@@ -1,0 +1,52 @@
+// Fig. 4 of the paper: the Partitioned Optical Passive Star network
+// POPS(4,2) with 8 nodes. Regenerates the coupler wiring table (which
+// groups feed/hear each of the g^2 couplers) and machine-checks the
+// single-hop property.
+
+#include <iostream>
+
+#include "core/table.hpp"
+#include "hypergraph/pops.hpp"
+
+int main() {
+  std::cout << "[Fig. 4] POPS(4,2): 8 processors, 2 groups of 4, 4 OPS "
+               "couplers of degree 4\n\n";
+  otis::hypergraph::Pops pops(4, 2);
+  const auto& hg = pops.stack().hypergraph();
+
+  otis::core::Table table({"coupler (i,j)", "fed by processors",
+                           "heard by processors"});
+  auto fmt = [](const std::vector<otis::hypergraph::Node>& v) {
+    std::string text;
+    for (auto x : v) {
+      text += (text.empty() ? "" : ",") + std::to_string(x);
+    }
+    return text;
+  };
+  bool ok = true;
+  for (std::int64_t i = 0; i < 2; ++i) {
+    for (std::int64_t j = 0; j < 2; ++j) {
+      const auto& arc = hg.hyperarc(pops.coupler(i, j));
+      table.add("(" + std::to_string(i) + "," + std::to_string(j) + ")",
+                fmt(arc.sources), fmt(arc.targets));
+      for (auto s : arc.sources) {
+        ok = ok && pops.group_of(s) == i;
+      }
+      for (auto t : arc.targets) {
+        ok = ok && pops.group_of(t) == j;
+      }
+      ok = ok && arc.sources.size() == 4 && arc.targets.size() == 4;
+    }
+  }
+  table.print(std::cout);
+
+  const std::int64_t diameter = hg.diameter();
+  std::cout << "\nprocessors: " << pops.processor_count()
+            << ", couplers: " << pops.coupler_count()
+            << ", hypergraph diameter: " << diameter
+            << " (single-hop: " << (diameter == 1 ? "yes" : "NO") << ")\n";
+  ok = ok && diameter == 1 && pops.processor_count() == 8 &&
+       pops.coupler_count() == 4;
+  std::cout << "figure reproduced: " << (ok ? "yes" : "NO") << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,146 @@
+// Google-benchmark microbenchmarks for the hot paths of the library:
+// topology construction, the Kautz word bijection, label/arithmetic
+// routing, line digraph iteration, optical design construction +
+// verification, and the simulator's slot rate.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "designs/builders.hpp"
+#include "designs/verify.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/line_digraph.hpp"
+#include "hypergraph/stack_kautz.hpp"
+#include "otis/imase_itoh_realization.hpp"
+#include "routing/imase_itoh_routing.hpp"
+#include "routing/kautz_routing.hpp"
+#include "routing/stack_routing.hpp"
+#include "sim/ops_network.hpp"
+#include "topology/imase_itoh.hpp"
+#include "topology/kautz.hpp"
+
+namespace {
+
+void BM_KautzConstruction(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    otis::topology::Kautz kautz(d, k);
+    benchmark::DoNotOptimize(kautz.graph().size());
+  }
+  state.SetLabel("KG(" + std::to_string(d) + "," + std::to_string(k) + ")");
+}
+BENCHMARK(BM_KautzConstruction)->Args({3, 3})->Args({4, 4})->Args({5, 4});
+
+void BM_KautzWordBijection(benchmark::State& state) {
+  otis::topology::Kautz kautz(4, 4);  // 500 nodes
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    auto word = kautz.word_of(v);
+    benchmark::DoNotOptimize(kautz.vertex_of(word));
+    v = (v + 1) % kautz.order();
+  }
+}
+BENCHMARK(BM_KautzWordBijection);
+
+void BM_KautzLabelRoute(benchmark::State& state) {
+  otis::topology::Kautz kautz(4, 4);
+  otis::routing::KautzRouter router(kautz);
+  std::int64_t u = 1;
+  std::int64_t v = kautz.order() / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route(u, v));
+    u = (u + 7) % kautz.order();
+    v = (v + 13) % kautz.order();
+  }
+}
+BENCHMARK(BM_KautzLabelRoute);
+
+void BM_ImaseItohArithmeticRoute(benchmark::State& state) {
+  otis::topology::ImaseItoh ii(4, static_cast<std::int64_t>(state.range(0)));
+  otis::routing::ImaseItohRouter router(ii);
+  std::int64_t u = 1;
+  std::int64_t v = ii.order() / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route_labels(u, v));
+    u = (u + 7) % ii.order();
+    v = (v + 13) % ii.order();
+  }
+}
+BENCHMARK(BM_ImaseItohArithmeticRoute)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_BfsDiameter(benchmark::State& state) {
+  otis::topology::Kautz kautz(3, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(otis::graph::diameter(kautz.graph()));
+  }
+}
+BENCHMARK(BM_BfsDiameter)->Arg(2)->Arg(3);
+
+void BM_LineDigraph(benchmark::State& state) {
+  otis::topology::Kautz kautz(3, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        otis::graph::line_digraph(kautz.graph()).graph.size());
+  }
+}
+BENCHMARK(BM_LineDigraph);
+
+void BM_Proposition1Verify(benchmark::State& state) {
+  otis::otis::ImaseItohRealization real(
+      4, static_cast<std::int64_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(real.verify(nullptr));
+  }
+}
+BENCHMARK(BM_Proposition1Verify)->Arg(64)->Arg(1024);
+
+void BM_StackKautzDesignBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    auto design = otis::designs::stack_kautz_design(6, 3, 2);
+    benchmark::DoNotOptimize(design.netlist.component_count());
+  }
+}
+BENCHMARK(BM_StackKautzDesignBuild);
+
+void BM_StackKautzDesignVerify(benchmark::State& state) {
+  auto design = otis::designs::stack_kautz_design(6, 3, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(otis::designs::verify_design(design).ok);
+  }
+}
+BENCHMARK(BM_StackKautzDesignVerify);
+
+void BM_SimulatorSlots(benchmark::State& state) {
+  // Measures whole short runs; report slots/second via counters.
+  const double load = 0.3;
+  std::int64_t slots = 0;
+  for (auto _ : state) {
+    otis::hypergraph::StackKautz sk(6, 3, 2);
+    otis::routing::StackKautzRouter router(sk);
+    otis::sim::RoutingHooks hooks;
+    hooks.next_coupler = [&](otis::hypergraph::Node c,
+                             otis::hypergraph::Node d) {
+      return router.next_coupler(c, d);
+    };
+    hooks.relay_on = [&](otis::hypergraph::HyperarcId h,
+                         otis::hypergraph::Node d) {
+      return router.relay_on(h, d);
+    };
+    otis::sim::SimConfig config;
+    config.warmup_slots = 0;
+    config.measure_slots = 500;
+    config.seed = 1;
+    otis::sim::OpsNetworkSim sim(
+        sk.stack(), hooks,
+        std::make_unique<otis::sim::UniformTraffic>(72, load), config);
+    benchmark::DoNotOptimize(sim.run().delivered_packets);
+    slots += 500;
+  }
+  state.counters["slots/s"] = benchmark::Counter(
+      static_cast<double>(slots), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorSlots)->Unit(benchmark::kMillisecond);
+
+}  // namespace

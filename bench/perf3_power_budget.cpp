@@ -1,0 +1,59 @@
+// Perf F3: power-budget feasibility vs stacking factor. The paper's
+// technology premise (low-loss OPS couplers [14,20], free-space optics
+// beating wires on power [12]) turns into an architectural bound: each
+// multi-OPS hop costs fixed insertion losses plus 10*log10(s) dB of
+// splitting, so the OPS degree s is capped by the link budget. Sweeps s,
+// reports the canonical hop loss, and cross-checks the analytic loss
+// against a real traced SK(s,2,2) design for small s.
+
+#include <iostream>
+
+#include "core/table.hpp"
+#include "designs/builders.hpp"
+#include "designs/verify.hpp"
+#include "optics/power.hpp"
+
+int main() {
+  std::cout << "[Perf F3] link budget vs stacking factor s\n\n";
+  otis::optics::LossModel model;
+  otis::optics::PowerBudget nominal;          // 0 dBm, -30 dBm, 3 dB margin
+  otis::optics::PowerBudget strong{3, -35, 3};   // better laser + detector
+  otis::optics::PowerBudget weak{-3, -22, 3};    // lossy, cheap parts
+
+  otis::core::Table table({"s", "hop loss dB", "nominal ok", "strong ok",
+                           "weak ok"});
+  for (std::int64_t s : {1, 2, 4, 6, 8, 16, 32, 64, 128, 256, 512, 1024}) {
+    const double loss = otis::optics::canonical_hop_loss_db(model, s);
+    table.add(s, otis::core::format_double(loss, 2), nominal.feasible(loss),
+              strong.feasible(loss), weak.feasible(loss));
+  }
+  table.print(std::cout);
+
+  const std::int64_t s_nominal =
+      otis::optics::max_stacking_factor(nominal, model);
+  const std::int64_t s_strong =
+      otis::optics::max_stacking_factor(strong, model);
+  const std::int64_t s_weak = otis::optics::max_stacking_factor(weak, model);
+  std::cout << "\nmax feasible s: weak budget " << s_weak << ", nominal "
+            << s_nominal << ", strong " << s_strong << "\n";
+
+  // Cross-check the analytic hop loss against traced designs.
+  bool ok = s_weak <= s_nominal && s_nominal <= s_strong && s_nominal > 0;
+  for (std::int64_t s : {1, 2, 4}) {
+    otis::designs::NetworkDesign design =
+        otis::designs::stack_kautz_design(s, 2, 2);
+    otis::designs::VerificationResult v =
+        otis::designs::verify_design(design, model);
+    const double analytic = otis::optics::canonical_hop_loss_db(model, s);
+    const bool match = v.ok && std::abs(v.max_loss_db - analytic) < 1e-9;
+    std::cout << "traced SK(" << s << ",2,2) max loss "
+              << otis::core::format_double(v.max_loss_db, 3)
+              << " dB vs analytic "
+              << otis::core::format_double(analytic, 3) << " dB: "
+              << (match ? "match" : "MISMATCH") << "\n";
+    ok = ok && match;
+  }
+  std::cout << "budget model consistent with traced designs: "
+            << (ok ? "yes" : "NO") << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// Claim T6 (paper Sec. 2.5, after Imase-Soneoka-Okada [17]): Kautz label
+// routing extends to paths of length <= k+2 that survive d-1 node
+// faults. Sweeps fault counts 0..d on several KG(d,k): for f <= d-1 the
+// guarantee must hold on every random trial; at f = d it is allowed to
+// break (and usually does at small sizes).
+
+#include <iostream>
+
+#include "core/rng.hpp"
+#include "core/table.hpp"
+#include "routing/fault_tolerant.hpp"
+#include "topology/kautz.hpp"
+
+int main() {
+  std::cout << "[Claim T6] fault tolerance: length <= k+2 under d-1 node "
+               "faults\n\n";
+  otis::core::Table table({"graph", "faults", "trials", "routed",
+                           "within k+2", "label-only", "bfs fallback",
+                           "guarantee"});
+  bool ok = true;
+  struct Params {
+    int d;
+    int k;
+  };
+  for (const Params& p : {Params{2, 3}, Params{3, 2}, Params{3, 3},
+                          Params{4, 2}}) {
+    otis::topology::Kautz kautz(p.d, p.k);
+    otis::routing::FaultTolerantKautzRouter router(kautz);
+    for (int faults = 0; faults <= p.d - 1; ++faults) {
+      otis::core::Rng rng(
+          static_cast<std::uint64_t>(1000 * p.d + 10 * p.k + faults));
+      const int trials = 150;
+      std::int64_t routed = 0;
+      std::int64_t within = 0;
+      std::int64_t label_only = 0;
+      std::int64_t fallback = 0;
+      for (int trial = 0; trial < trials; ++trial) {
+        auto picks = rng.sample_without_replacement(
+            static_cast<std::size_t>(kautz.order()),
+            static_cast<std::size_t>(faults) + 2);
+        const std::int64_t source = static_cast<std::int64_t>(picks[0]);
+        const std::int64_t target = static_cast<std::int64_t>(picks[1]);
+        std::vector<std::int64_t> faulty(picks.begin() + 2, picks.end());
+        auto route = router.route_avoiding(source, target, faulty);
+        if (!route) {
+          continue;
+        }
+        ++routed;
+        const std::int64_t length =
+            static_cast<std::int64_t>(route->path.size()) - 1;
+        within += length <= p.k + 2 ? 1 : 0;
+        if (route->used_bfs_fallback) {
+          ++fallback;
+        } else {
+          ++label_only;
+        }
+      }
+      const bool guarantee = routed == trials && within == routed;
+      table.add("KG(" + std::to_string(p.d) + "," + std::to_string(p.k) +
+                    ")",
+                faults, trials, routed, within, label_only, fallback,
+                guarantee ? "holds" : "VIOLATED");
+      ok = ok && guarantee;
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nguarantee held for every f <= d-1 instance: "
+            << (ok ? "yes" : "NO") << "\n";
+  return ok ? 0 : 1;
+}

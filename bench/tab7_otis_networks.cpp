@@ -1,0 +1,95 @@
+// Claim T7 (paper conclusion): "a corollary of our results is that the
+// OTIS architecture can be viewed as the graph of Imase and Itoh.
+// Therefore, properties of existing OTIS-based networks can be studied
+// using the properties of such a graph."
+//
+// Two checks: (1) the OTIS(d,n) port permutation, read node-level, IS
+// II(d,n) (Proposition 1, re-stated as the corollary); (2) the OTIS-G
+// swap networks of ref [24] -- built here over several factor networks
+// -- have their optical stage exactly described by the transpose, and
+// their diameters obey the classic 2*D(G)+1 bound, with the factor
+// comparison table Kautz vs de Bruijn the paper's Sec. 2.5 implies.
+
+#include <iostream>
+
+#include "core/table.hpp"
+#include "graph/algorithms.hpp"
+#include "otis/imase_itoh_realization.hpp"
+#include "topology/complete.hpp"
+#include "topology/debruijn.hpp"
+#include "topology/kautz.hpp"
+#include "topology/otis_swap.hpp"
+
+namespace {
+
+otis::graph::Digraph symmetrized(const otis::graph::Digraph& g) {
+  std::vector<otis::graph::Arc> arcs = g.arcs();
+  for (const otis::graph::Arc& a : g.arcs()) {
+    arcs.push_back(otis::graph::Arc{a.head, a.tail});
+  }
+  return otis::graph::Digraph::from_arcs(g.order(), arcs);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "[Claim T7] the OTIS architecture as an Imase-Itoh graph\n\n";
+  bool ok = true;
+
+  // (1) OTIS == II, a few shapes beyond the figure sizes.
+  otis::core::Table corollary({"OTIS(d,n)", "== II(d,n)"});
+  for (auto [d, n] : {std::pair<int, std::int64_t>{2, 9},
+                      std::pair<int, std::int64_t>{3, 12},
+                      std::pair<int, std::int64_t>{4, 4},
+                      std::pair<int, std::int64_t>{5, 11}}) {
+    otis::otis::ImaseItohRealization real(d, n);
+    const bool match = real.verify(nullptr);
+    corollary.add("OTIS(" + std::to_string(d) + "," + std::to_string(n) +
+                      ")",
+                  match);
+    ok = ok && match;
+  }
+  corollary.print(std::cout);
+
+  // (2) OTIS-G swap networks over factor networks (ref [24]).
+  std::cout << "\nOTIS-G swap networks (one OTIS(n,n) provides all optical "
+               "links):\n\n";
+  otis::core::Table table({"factor G", "n", "OTIS-G nodes",
+                           "optical arcs", "electronic arcs", "D(G)",
+                           "D(OTIS-G)", "<= 2D+1"});
+  struct Factor {
+    std::string name;
+    otis::graph::Digraph graph;
+  };
+  std::vector<Factor> factors;
+  factors.push_back(
+      {"K4 (sym)", otis::topology::complete_digraph(
+                       4, otis::topology::Loops::kWithout)});
+  factors.push_back({"KG(2,2) sym",
+                     symmetrized(otis::topology::Kautz(2, 2).graph())});
+  factors.push_back({"B(2,2) sym",
+                     symmetrized(otis::topology::DeBruijn(2, 2).graph())});
+  for (const Factor& f : factors) {
+    otis::topology::OtisSwapNetwork net(f.graph);
+    const std::int64_t d_factor = otis::graph::diameter(f.graph);
+    const std::int64_t d_net = otis::graph::diameter(net.graph());
+    const bool bound = d_net <= 2 * d_factor + 1;
+    table.add(f.name, f.graph.order(), net.order(),
+              net.optical_arc_count(), net.electronic_arc_count(), d_factor,
+              d_net, bound);
+    ok = ok && bound;
+  }
+  table.print(std::cout);
+
+  // Kautz-vs-de-Bruijn factor economics at equal degree/diameter.
+  std::cout << "\nfactor comparison at degree 2 / diameter 3: KG(2,3) has "
+            << otis::topology::Kautz(2, 3).order() << " nodes vs B(2,3) "
+            << otis::topology::DeBruijn(2, 3).order()
+            << " (Kautz advantage (d+1)/d)\n";
+  ok = ok && otis::topology::Kautz(2, 3).order() == 12 &&
+       otis::topology::DeBruijn(2, 3).order() == 8;
+
+  std::cout << "corollary and OTIS-network bounds verified: "
+            << (ok ? "yes" : "NO") << "\n";
+  return ok ? 0 : 1;
+}

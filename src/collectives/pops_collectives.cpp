@@ -1,0 +1,43 @@
+#include "collectives/pops_collectives.hpp"
+
+#include "core/error.hpp"
+
+namespace otis::collectives {
+
+SlotSchedule pops_one_to_all(const hypergraph::Pops& network,
+                             hypergraph::Node root) {
+  OTIS_REQUIRE(root >= 0 && root < network.processor_count(),
+               "pops_one_to_all: root out of range");
+  SlotSchedule schedule;
+  std::vector<Transmission> slot;
+  const std::int64_t i = network.group_of(root);
+  for (std::int64_t j = 0; j < network.group_count(); ++j) {
+    slot.push_back(Transmission{root, network.coupler(i, j)});
+  }
+  schedule.slots.push_back(std::move(slot));
+  return schedule;
+}
+
+SlotSchedule pops_gossip(const hypergraph::Pops& network) {
+  SlotSchedule schedule;
+  for (std::int64_t y = 0; y < network.group_size(); ++y) {
+    std::vector<Transmission> slot;
+    for (std::int64_t i = 0; i < network.group_count(); ++i) {
+      const hypergraph::Node sender = network.processor(i, y);
+      for (std::int64_t j = 0; j < network.group_count(); ++j) {
+        slot.push_back(Transmission{sender, network.coupler(i, j)});
+      }
+    }
+    schedule.slots.push_back(std::move(slot));
+  }
+  return schedule;
+}
+
+std::int64_t pops_gossip_lower_bound(const hypergraph::Pops& network) {
+  // Without combining, t tokens of group i must each cross coupler
+  // (i, j), one per slot. (With combining the bound drops; the measured
+  // schedule is reported against this conservative bound.)
+  return network.group_size();
+}
+
+}  // namespace otis::collectives

@@ -1,0 +1,34 @@
+#pragma once
+/// \file pops_collectives.hpp
+/// Collective communication schedules on POPS(t, g).
+///
+/// POPS is single-hop, so collectives reduce to coloring coupler usage:
+///  - one-to-all: the root fires its g couplers (i, 0..g-1) in ONE slot
+///    (one statically-tuned transmitter per coupler) -- every processor
+///    hears it; latency 1 slot, the multi-OPS headline.
+///  - gossip (all-to-all, non-personalized): t slots; in slot y the
+///    processor with in-group index y of EVERY group broadcasts on all
+///    its g couplers. Coupler (i, j) is driven only by (i, y): conflict
+///    free. Optimal under the no-combining count: each of the t members
+///    of group i must cross the single-wavelength coupler (i, j).
+///  - personalized all-to-all: same slot structure, but a transmission
+///    carries only individual packets; counted, not knowledge-based.
+
+#include "collectives/schedule.hpp"
+#include "hypergraph/pops.hpp"
+
+namespace otis::collectives {
+
+/// One-slot broadcast from `root` (paper Sec. 1's one-to-many step).
+[[nodiscard]] SlotSchedule pops_one_to_all(const hypergraph::Pops& network,
+                                           hypergraph::Node root);
+
+/// t-slot gossip: every node learns every token.
+[[nodiscard]] SlotSchedule pops_gossip(const hypergraph::Pops& network);
+
+/// Lower bound on gossip slots for POPS(t, g) without combining:
+/// coupler (i,j) must carry one transmission per member of group i.
+[[nodiscard]] std::int64_t pops_gossip_lower_bound(
+    const hypergraph::Pops& network);
+
+}  // namespace otis::collectives

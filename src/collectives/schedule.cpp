@@ -1,0 +1,102 @@
+#include "collectives/schedule.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace otis::collectives {
+
+std::string validate_schedule(const hypergraph::StackGraph& network,
+                              const SlotSchedule& schedule) {
+  const auto& hg = network.hypergraph();
+  for (std::size_t slot = 0; slot < schedule.slots.size(); ++slot) {
+    std::set<hypergraph::HyperarcId> used;
+    for (const Transmission& tx : schedule.slots[slot]) {
+      if (tx.coupler < 0 || tx.coupler >= hg.hyperarc_count()) {
+        return "slot " + std::to_string(slot) + ": coupler out of range";
+      }
+      if (!used.insert(tx.coupler).second) {
+        return "slot " + std::to_string(slot) + ": coupler " +
+               std::to_string(tx.coupler) +
+               " carries two transmissions (single wavelength)";
+      }
+      const auto& sources = hg.hyperarc(tx.coupler).sources;
+      if (std::find(sources.begin(), sources.end(), tx.sender) ==
+          sources.end()) {
+        return "slot " + std::to_string(slot) + ": node " +
+               std::to_string(tx.sender) + " cannot feed coupler " +
+               std::to_string(tx.coupler);
+      }
+    }
+  }
+  return {};
+}
+
+Knowledge initial_knowledge(hypergraph::Node node_count) {
+  Knowledge knowledge(static_cast<std::size_t>(node_count),
+                      std::vector<char>(static_cast<std::size_t>(node_count),
+                                        0));
+  for (hypergraph::Node v = 0; v < node_count; ++v) {
+    knowledge[static_cast<std::size_t>(v)][static_cast<std::size_t>(v)] = 1;
+  }
+  return knowledge;
+}
+
+Knowledge run_schedule(const hypergraph::StackGraph& network,
+                       const SlotSchedule& schedule, Knowledge knowledge) {
+  const auto& hg = network.hypergraph();
+  OTIS_REQUIRE(static_cast<hypergraph::Node>(knowledge.size()) ==
+                   hg.node_count(),
+               "run_schedule: knowledge size mismatch");
+  for (const auto& slot : schedule.slots) {
+    // Read phase: snapshot the payloads first so simultaneous
+    // transmissions cannot see each other's deliveries.
+    std::vector<const std::vector<char>*> payloads;
+    payloads.reserve(slot.size());
+    for (const Transmission& tx : slot) {
+      payloads.push_back(&knowledge[static_cast<std::size_t>(tx.sender)]);
+    }
+    // Copy payloads (senders may also be receivers in the same slot).
+    std::vector<std::vector<char>> copies;
+    copies.reserve(slot.size());
+    for (const auto* p : payloads) {
+      copies.push_back(*p);
+    }
+    // Deliver phase.
+    for (std::size_t i = 0; i < slot.size(); ++i) {
+      for (hypergraph::Node target :
+           hg.hyperarc(slot[i].coupler).targets) {
+        auto& dest = knowledge[static_cast<std::size_t>(target)];
+        const auto& payload = copies[i];
+        for (std::size_t b = 0; b < payload.size(); ++b) {
+          dest[b] = static_cast<char>(dest[b] | payload[b]);
+        }
+      }
+    }
+  }
+  return knowledge;
+}
+
+bool broadcast_complete(const Knowledge& knowledge, hypergraph::Node root) {
+  for (const auto& known : knowledge) {
+    if (!known[static_cast<std::size_t>(root)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool gossip_complete(const Knowledge& knowledge) {
+  for (const auto& known : knowledge) {
+    for (char bit : known) {
+      if (!bit) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace otis::collectives

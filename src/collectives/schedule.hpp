@@ -1,0 +1,76 @@
+#pragma once
+/// \file schedule.hpp
+/// Slot schedules for collective communications on multi-OPS networks.
+///
+/// The paper motivates multi-OPS networks by their one-to-many power:
+/// "the POPS network ... allows one-to-many communications at every
+/// communication step" (Sec. 1), and its companion paper (ref [11])
+/// evaluates collective operations under distributed control. This
+/// module makes those operations first-class: a SlotSchedule is an
+/// explicit, slot-by-slot list of coupler transmissions, validated
+/// against the physical constraints (single wavelength: one sender per
+/// coupler per slot) and executed under the standard gossip model where
+/// a transmission carries the sender's whole current knowledge set.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hypergraph/stack_graph.hpp"
+
+namespace otis::collectives {
+
+/// One coupler transmission: `sender` puts its current knowledge on
+/// `coupler`; every target of the coupler receives it.
+struct Transmission {
+  hypergraph::Node sender = 0;
+  hypergraph::HyperarcId coupler = 0;
+  friend bool operator==(const Transmission&, const Transmission&) = default;
+};
+
+/// A schedule: slots[i] is the set of transmissions fired in slot i.
+struct SlotSchedule {
+  std::vector<std::vector<Transmission>> slots;
+
+  [[nodiscard]] std::int64_t slot_count() const noexcept {
+    return static_cast<std::int64_t>(slots.size());
+  }
+  [[nodiscard]] std::int64_t transmission_count() const noexcept {
+    std::int64_t total = 0;
+    for (const auto& slot : slots) {
+      total += static_cast<std::int64_t>(slot.size());
+    }
+    return total;
+  }
+};
+
+/// Checks physical validity against a network: every sender is a source
+/// of the coupler it drives, and no coupler carries two transmissions in
+/// the same slot (single wavelength). Returns a diagnostic for the first
+/// violation, empty string when valid.
+[[nodiscard]] std::string validate_schedule(
+    const hypergraph::StackGraph& network, const SlotSchedule& schedule);
+
+/// Knowledge state: knows[v] is the set of token-origins node v has
+/// learned (as a bitset over nodes, vector<char> for simplicity).
+using Knowledge = std::vector<std::vector<char>>;
+
+/// Initial knowledge: every node knows exactly its own token.
+[[nodiscard]] Knowledge initial_knowledge(hypergraph::Node node_count);
+
+/// Executes the schedule under the combining (gossip) model: in each
+/// slot all transmissions read the knowledge state at the *start* of
+/// the slot, then all deliveries merge -- matching simultaneous optical
+/// transmissions. Returns the final knowledge.
+[[nodiscard]] Knowledge run_schedule(const hypergraph::StackGraph& network,
+                                     const SlotSchedule& schedule,
+                                     Knowledge knowledge);
+
+/// True if every node knows `root`'s token.
+[[nodiscard]] bool broadcast_complete(const Knowledge& knowledge,
+                                      hypergraph::Node root);
+
+/// True if every node knows every token.
+[[nodiscard]] bool gossip_complete(const Knowledge& knowledge);
+
+}  // namespace otis::collectives

@@ -1,0 +1,103 @@
+#include "collectives/stack_kautz_collectives.hpp"
+
+#include "core/error.hpp"
+
+namespace otis::collectives {
+
+namespace {
+
+/// Appends the d arc-coupler transmissions of group x, sent by the
+/// member with in-group index `sender_index`.
+void fire_arc_couplers(const hypergraph::StackKautz& network,
+                       graph::Vertex x, std::int64_t sender_index,
+                       std::vector<Transmission>& slot) {
+  const hypergraph::Node sender = network.processor(x, sender_index);
+  for (int alpha = 1; alpha <= network.kautz_degree(); ++alpha) {
+    slot.push_back(Transmission{sender, network.arc_coupler(x, alpha)});
+  }
+}
+
+}  // namespace
+
+SlotSchedule stack_kautz_one_to_all(const hypergraph::StackKautz& network,
+                                    hypergraph::Node root) {
+  OTIS_REQUIRE(root >= 0 && root < network.processor_count(),
+               "stack_kautz_one_to_all: root out of range");
+  SlotSchedule schedule;
+  const graph::Vertex root_group = network.group_of(root);
+
+  // Track group-level information spread to build the flooding slots.
+  std::vector<char> informed(static_cast<std::size_t>(network.group_count()),
+                             0);
+  informed[static_cast<std::size_t>(root_group)] = 1;
+
+  for (int round = 0; round < network.diameter(); ++round) {
+    std::vector<Transmission> slot;
+    std::vector<graph::Vertex> senders;
+    for (graph::Vertex x = 0; x < network.group_count(); ++x) {
+      if (informed[static_cast<std::size_t>(x)]) {
+        senders.push_back(x);
+      }
+    }
+    for (graph::Vertex x : senders) {
+      // Informed groups know the root token via their broadcast-hearing
+      // members; any member works as the relay -- use index 0 (the root
+      // itself in round 1 for its own group).
+      const std::int64_t relay_index =
+          (round == 0 && x == root_group) ? network.index_in_group(root) : 0;
+      fire_arc_couplers(network, x, relay_index, slot);
+      if (round == 0 && x == root_group) {
+        // The loop coupler informs the root's own group in the same slot.
+        slot.push_back(Transmission{root, network.loop_coupler(x)});
+      }
+    }
+    // Mark newly informed groups (all successors of senders).
+    for (graph::Vertex x : senders) {
+      for (graph::Vertex y : network.kautz().graph().out_neighbors(x)) {
+        informed[static_cast<std::size_t>(y)] = 1;
+      }
+    }
+    schedule.slots.push_back(std::move(slot));
+  }
+  return schedule;
+}
+
+SlotSchedule stack_kautz_gossip(const hypergraph::StackKautz& network) {
+  SlotSchedule schedule;
+  // Phase 1: intra-group loop round-robin. After slot y, everyone in a
+  // group knows the tokens of members 0..y (member y's payload includes
+  // what it heard in earlier slots).
+  for (std::int64_t y = 0; y < network.stacking_factor(); ++y) {
+    std::vector<Transmission> slot;
+    for (graph::Vertex x = 0; x < network.group_count(); ++x) {
+      slot.push_back(
+          Transmission{network.processor(x, y), network.loop_coupler(x)});
+    }
+    schedule.slots.push_back(std::move(slot));
+  }
+  // Phase 2: k rounds of all-group flooding on the arc couplers; group
+  // knowledge travels every Kautz arc each round, so after k rounds
+  // every group's bundle has reached every other group.
+  for (int round = 0; round < network.diameter(); ++round) {
+    std::vector<Transmission> slot;
+    for (graph::Vertex x = 0; x < network.group_count(); ++x) {
+      fire_arc_couplers(network, x, 0, slot);
+    }
+    // Re-synchronize each group internally: member 0 just transmitted
+    // the group's bundle outward; the loop keeps everyone in the group
+    // current so the *next* round's payload is complete.
+    for (graph::Vertex x = 0; x < network.group_count(); ++x) {
+      slot.push_back(
+          Transmission{network.processor(x, 0), network.loop_coupler(x)});
+    }
+    schedule.slots.push_back(std::move(slot));
+  }
+  return schedule;
+}
+
+std::int64_t stack_kautz_broadcast_lower_bound(
+    const hypergraph::StackKautz& network) {
+  return network.diameter();
+}
+
+}  // namespace otis::collectives

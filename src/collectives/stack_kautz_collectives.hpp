@@ -1,0 +1,34 @@
+#pragma once
+/// \file stack_kautz_collectives.hpp
+/// Collective communication schedules on SK(s, d, k).
+///
+///  - one-to-all: k rounds of group-level flooding. In round 1 the root
+///    fires all its d+1 couplers (loop informs its own group, arcs
+///    inform the d successor groups -- every member of a heard group is
+///    informed at once, the stack-graph's one-to-many power). In later
+///    rounds every informed group designates one member to fire the d
+///    arc couplers. Completes in exactly k slots = the network diameter,
+///    which is optimal.
+///  - gossip: s intra-group slots (loop round-robin: member y broadcasts
+///    its knowledge on the loop in slot y) followed by k flooding rounds
+///    where every group re-broadcasts its accumulated knowledge on all d
+///    arc couplers. Completes in s + k slots under the combining model.
+
+#include "collectives/schedule.hpp"
+#include "hypergraph/stack_kautz.hpp"
+
+namespace otis::collectives {
+
+/// k-slot broadcast from `root`; optimal (network diameter).
+[[nodiscard]] SlotSchedule stack_kautz_one_to_all(
+    const hypergraph::StackKautz& network, hypergraph::Node root);
+
+/// (s + k)-slot gossip under the combining model.
+[[nodiscard]] SlotSchedule stack_kautz_gossip(
+    const hypergraph::StackKautz& network);
+
+/// Diameter lower bound for one-to-all.
+[[nodiscard]] std::int64_t stack_kautz_broadcast_lower_bound(
+    const hypergraph::StackKautz& network);
+
+}  // namespace otis::collectives

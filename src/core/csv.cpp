@@ -1,0 +1,41 @@
+#include "core/csv.hpp"
+
+#include "core/error.hpp"
+
+namespace otis::core {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  OTIS_REQUIRE(out_.good(), "CsvWriter: cannot open " + path);
+  write_row(header);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  bool needs_quotes = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) {
+    return cell;
+  }
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') {
+      quoted += '"';
+    }
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  OTIS_REQUIRE(cells.size() == columns_, "CsvWriter: wrong column count");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      out_ << ',';
+    }
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace otis::core

@@ -1,0 +1,32 @@
+#pragma once
+/// \file csv.hpp
+/// Minimal CSV emission for experiment outputs.
+///
+/// Bench binaries can dump the series they print as CSV so the figures can
+/// be re-plotted outside the harness.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace otis::core {
+
+/// Appends rows to a CSV file; writes the header once on creation.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one data row. Cells containing commas/quotes are quoted.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// True if the underlying stream is healthy.
+  [[nodiscard]] bool good() const { return out_.good(); }
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace otis::core

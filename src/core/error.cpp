@@ -1,0 +1,19 @@
+#include "core/error.hpp"
+
+namespace otis::core {
+
+std::string format_error(const char* file, int line,
+                         const std::string& message) {
+  std::string text(file);
+  text += ':';
+  text += std::to_string(line);
+  text += ": ";
+  text += message;
+  return text;
+}
+
+void throw_error(const char* file, int line, const std::string& message) {
+  throw Error(format_error(file, line, message));
+}
+
+}  // namespace otis::core

@@ -1,0 +1,50 @@
+#pragma once
+/// \file error.hpp
+/// Error handling primitives shared by every otisnet module.
+///
+/// The library reports contract violations (bad parameters, malformed
+/// constructions) by throwing `otis::core::Error`, and uses
+/// `OTIS_REQUIRE` for argument validation on public entry points.
+/// Internal invariants that indicate a library bug use `OTIS_ASSERT`.
+
+#include <stdexcept>
+#include <string>
+
+namespace otis::core {
+
+/// Exception type thrown on contract violations in otisnet APIs.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Builds the "file:line: message" text used by the checking macros.
+[[nodiscard]] std::string format_error(const char* file, int line,
+                                       const std::string& message);
+
+/// Throws `Error` unconditionally; used by the macros below so the throw
+/// lives in one translation unit.
+[[noreturn]] void throw_error(const char* file, int line,
+                              const std::string& message);
+
+}  // namespace otis::core
+
+/// Validates a precondition on a public API; throws otis::core::Error with
+/// location info when `cond` is false.
+#define OTIS_REQUIRE(cond, message)                             \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::otis::core::throw_error(__FILE__, __LINE__, (message)); \
+    }                                                           \
+  } while (false)
+
+/// Checks an internal invariant. Failure means a bug inside otisnet, not a
+/// misuse by the caller; still throws so tests can observe it.
+#define OTIS_ASSERT(cond, message)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::otis::core::throw_error(__FILE__, __LINE__,                         \
+                                std::string("internal invariant failed: ") \
+                                    + (message));                           \
+    }                                                                       \
+  } while (false)

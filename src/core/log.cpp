@@ -1,0 +1,63 @@
+#include "core/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace otis::core {
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 means "not initialized yet"
+std::mutex g_io_mutex;
+
+int level_from_env() {
+  const char* env = std::getenv("OTISNET_LOG");
+  if (env == nullptr) {
+    return static_cast<int>(LogLevel::kWarn);
+  }
+  if (std::strcmp(env, "error") == 0) return static_cast<int>(LogLevel::kError);
+  if (std::strcmp(env, "warn") == 0) return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(env, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(env, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = level_from_env();
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::fprintf(stderr, "[otisnet %s] %s\n", level_name(level),
+               message.c_str());
+}
+
+}  // namespace otis::core

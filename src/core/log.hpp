@@ -1,0 +1,39 @@
+#pragma once
+/// \file log.hpp
+/// Leveled logging to stderr, off by default.
+///
+/// The library itself never prints; logging exists for the simulator and
+/// for debugging the design verifiers. Controlled by set_log_level or the
+/// OTISNET_LOG environment variable (error|warn|info|debug).
+
+#include <sstream>
+#include <string>
+
+namespace otis::core {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Sets the global threshold; messages above it are dropped.
+void set_log_level(LogLevel level) noexcept;
+
+/// Current threshold (initialized from OTISNET_LOG on first use).
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one line to stderr if `level` is enabled.
+void log_message(LogLevel level, const std::string& message);
+
+}  // namespace otis::core
+
+#define OTIS_LOG(level, expr)                                     \
+  do {                                                            \
+    if (static_cast<int>(level) <=                                \
+        static_cast<int>(::otis::core::log_level())) {            \
+      std::ostringstream otis_log_stream;                         \
+      otis_log_stream << expr;                                    \
+      ::otis::core::log_message((level), otis_log_stream.str()); \
+    }                                                             \
+  } while (false)
+
+#define OTIS_LOG_INFO(expr) OTIS_LOG(::otis::core::LogLevel::kInfo, expr)
+#define OTIS_LOG_WARN(expr) OTIS_LOG(::otis::core::LogLevel::kWarn, expr)
+#define OTIS_LOG_DEBUG(expr) OTIS_LOG(::otis::core::LogLevel::kDebug, expr)

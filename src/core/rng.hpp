@@ -1,0 +1,73 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic, fast pseudo-random number generation.
+///
+/// Simulation experiments must be reproducible across runs and platforms,
+/// so otisnet ships its own xoshiro256** generator (public-domain
+/// algorithm by Blackman & Vigna) seeded through splitmix64 instead of
+/// relying on implementation-defined std::default_random_engine behaviour.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace otis::core {
+
+/// splitmix64 step; used for seeding and for hashing seeds into streams.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator so it can
+/// drive <random> distributions, but the helpers below avoid distribution
+/// portability issues entirely.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit lanes from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Creates an independent stream for (seed, stream) pairs; used by the
+  /// experiment runner to give each trial its own generator.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream_id) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses
+  /// Lemire's multiply-shift rejection method (unbiased).
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo,
+                                         std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform_real() noexcept;
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Random permutation of {0, .., n-1}.
+  [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n);
+
+  /// k distinct values sampled uniformly from {0, .., n-1} (k <= n).
+  [[nodiscard]] std::vector<std::size_t> sample_without_replacement(
+      std::size_t n, std::size_t k);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace otis::core

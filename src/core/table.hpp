@@ -1,0 +1,60 @@
+#pragma once
+/// \file table.hpp
+/// Column-aligned plain-text tables.
+///
+/// Every bench binary regenerates a paper figure or claim as rows of a
+/// table; this writer keeps that output consistent and diffable.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace otis::core {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; the row is padded or truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each value with std::to_string-like rules.
+  template <typename... Ts>
+  void add(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(to_cell(values)), ...);
+    add_row(std::move(cells));
+  }
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule, e.g. for stdout.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string (used by tests).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  static std::string to_cell(const std::string& v) { return v; }
+  static std::string to_cell(const char* v) { return v; }
+  static std::string to_cell(bool v) { return v ? "yes" : "no"; }
+  static std::string to_cell(double v);
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (default 3) without trailing
+/// locale surprises; shared by Table and the CSV writer.
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+}  // namespace otis::core

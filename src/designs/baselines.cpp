@@ -1,0 +1,77 @@
+#include "core/error.hpp"
+#include "designs/builders.hpp"
+
+namespace otis::designs {
+
+using optics::ComponentId;
+using optics::PortRef;
+
+NetworkDesign single_ops_bus_design(std::int64_t processors) {
+  OTIS_REQUIRE(processors >= 1,
+               "single_ops_bus_design: need at least one processor");
+  const std::int64_t n = processors;
+  NetworkDesign design;
+  design.name = "single-OPS bus (N=" + std::to_string(n) + ")";
+  design.processor_count = n;
+  design.tx_of_processor.resize(static_cast<std::size_t>(n));
+  design.rx_of_processor.resize(static_cast<std::size_t>(n));
+
+  ComponentId mux = design.netlist.add_multiplexer(n, "bus/mux");
+  ComponentId splitter = design.netlist.add_beam_splitter(n, "bus/split");
+  design.netlist.connect(PortRef{mux, 0}, PortRef{splitter, 0});
+  for (std::int64_t p = 0; p < n; ++p) {
+    ComponentId tx =
+        design.netlist.add_transmitter("proc" + std::to_string(p) + "/tx");
+    ComponentId rx =
+        design.netlist.add_receiver("proc" + std::to_string(p) + "/rx");
+    design.tx_of_processor[static_cast<std::size_t>(p)].push_back(tx);
+    design.rx_of_processor[static_cast<std::size_t>(p)].push_back(rx);
+    design.netlist.connect(PortRef{tx, 0}, PortRef{mux, p});
+    design.netlist.connect(PortRef{splitter, p}, PortRef{rx, 0});
+  }
+
+  // The bus is one hyperarc: everyone sends, everyone hears.
+  hypergraph::Hyperarc bus;
+  for (std::int64_t p = 0; p < n; ++p) {
+    bus.sources.push_back(p);
+    bus.targets.push_back(p);
+  }
+  design.target_hypergraph = hypergraph::DirectedHypergraph(n, {bus});
+  design.finalize();
+  return design;
+}
+
+NetworkDesign fiber_point_to_point_design(const graph::Digraph& g,
+                                          const std::string& name) {
+  NetworkDesign design;
+  design.name = name;
+  design.processor_count = g.order();
+  design.tx_of_processor.resize(static_cast<std::size_t>(g.order()));
+  design.rx_of_processor.resize(static_cast<std::size_t>(g.order()));
+
+  // One dedicated transmitter/fiber/receiver triple per arc, in CSR
+  // order, so transmit slot c of u is its c-th out-arc and receive slots
+  // follow in-arc discovery order.
+  for (graph::Vertex u = 0; u < g.order(); ++u) {
+    for (graph::ArcId a = g.out_begin(u); a < g.out_end(u); ++a) {
+      const graph::Vertex v = g.head(a);
+      ComponentId tx = design.netlist.add_transmitter(
+          "proc" + std::to_string(u) + "/tx" + std::to_string(a));
+      ComponentId fiber = design.netlist.add_fiber(
+          "arc" + std::to_string(a) + "(" + std::to_string(u) + "->" +
+          std::to_string(v) + ")");
+      ComponentId rx = design.netlist.add_receiver(
+          "proc" + std::to_string(v) + "/rx" + std::to_string(a));
+      design.tx_of_processor[static_cast<std::size_t>(u)].push_back(tx);
+      design.rx_of_processor[static_cast<std::size_t>(v)].push_back(rx);
+      design.netlist.connect(PortRef{tx, 0}, PortRef{fiber, 0});
+      design.netlist.connect(PortRef{fiber, 0}, PortRef{rx, 0});
+    }
+  }
+
+  design.target_digraph = g;
+  design.finalize();
+  return design;
+}
+
+}  // namespace otis::designs

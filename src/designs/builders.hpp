@@ -1,0 +1,52 @@
+#pragma once
+/// \file builders.hpp
+/// Builders for every optical design in the paper plus the baselines the
+/// paper compares against by citation.
+///
+///  - imase_itoh_design: Sec. 3.2 / Fig. 10 -- point-to-point II(d, n)
+///    realized with a single OTIS(d, n) (Proposition 1). With a Kautz
+///    order this is the Corollary 1 design for KG(d, k).
+///  - pops_design: Sec. 4.1 / Fig. 11 -- POPS(t, g) from g transmit group
+///    blocks, g receive group blocks and one OTIS(g, g) interconnect.
+///  - stack_kautz_design: Sec. 4.2 / Fig. 12 -- SK(s, d, k) from
+///    d^{k-1}(d+1) group block pairs, one central OTIS(d, d^{k-1}(d+1))
+///    and one loop-back fiber per group.
+///  - stack_imase_itoh_design: the Sec. 2.7 extension SII(s, d, n).
+///  - single_ops_bus_design: the single-OPS broadcast bus baseline.
+///  - fiber_point_to_point_design: any digraph wired with one fiber per
+///    arc (the "no OTIS" baseline used for hardware-cost comparisons).
+
+#include <cstdint>
+
+#include "designs/design.hpp"
+#include "graph/digraph.hpp"
+
+namespace otis::designs {
+
+/// Point-to-point Imase-Itoh network II(d, n) on one OTIS(d, n)
+/// (paper Sec. 3.2; Fig. 10 is d = 3, n = 12).
+[[nodiscard]] NetworkDesign imase_itoh_design(int degree, std::int64_t order);
+
+/// POPS(t, g) optical design (paper Sec. 4.1; Fig. 11 is t = 4, g = 2).
+[[nodiscard]] NetworkDesign pops_design(std::int64_t group_size,
+                                        std::int64_t group_count);
+
+/// Stack-Kautz SK(s, d, k) optical design (paper Sec. 4.2; Fig. 12 is
+/// s = 6, d = 3, k = 2).
+[[nodiscard]] NetworkDesign stack_kautz_design(std::int64_t stacking_factor,
+                                               int degree, int diameter);
+
+/// Stack-Imase-Itoh SII(s, d, n) optical design (Sec. 2.7 extension).
+[[nodiscard]] NetworkDesign stack_imase_itoh_design(
+    std::int64_t stacking_factor, int degree, std::int64_t group_count);
+
+/// Single-hop single-OPS broadcast bus: one OPS(N, N) shared by all
+/// processors. The degenerate baseline of the paper's taxonomy (Sec. 1).
+[[nodiscard]] NetworkDesign single_ops_bus_design(std::int64_t processors);
+
+/// Point-to-point design wiring each arc of `g` with a dedicated fiber
+/// link; `name` labels it. Baseline for OTIS-vs-wires hardware cost.
+[[nodiscard]] NetworkDesign fiber_point_to_point_design(
+    const graph::Digraph& g, const std::string& name);
+
+}  // namespace otis::designs

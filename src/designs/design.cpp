@@ -1,0 +1,84 @@
+#include "designs/design.hpp"
+
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace otis::designs {
+
+std::int64_t NetworkDesign::processor_of_receiver(
+    optics::ComponentId rx) const {
+  auto it = rx_owner_.find(rx);
+  OTIS_REQUIRE(it != rx_owner_.end(),
+               "NetworkDesign: component is not a registered receiver");
+  return it->second;
+}
+
+void NetworkDesign::finalize() {
+  rx_owner_.clear();
+  for (std::int64_t p = 0;
+       p < static_cast<std::int64_t>(rx_of_processor.size()); ++p) {
+    for (optics::ComponentId rx :
+         rx_of_processor[static_cast<std::size_t>(p)]) {
+      rx_owner_[rx] = p;
+    }
+  }
+}
+
+std::int64_t BillOfMaterials::total_otis_blocks() const {
+  std::int64_t total = 0;
+  for (const auto& [shape, count] : otis_blocks) {
+    total += count;
+  }
+  return total;
+}
+
+std::int64_t BillOfMaterials::total_lenslets() const {
+  std::int64_t total = 0;
+  for (const auto& [shape, count] : otis_blocks) {
+    total += count * 2 * shape.first * shape.second;
+  }
+  return total;
+}
+
+std::string BillOfMaterials::to_string() const {
+  std::ostringstream oss;
+  oss << transmitters << " transmitters, " << receivers << " receivers, "
+      << multiplexers << " multiplexers, " << beam_splitters
+      << " beam-splitters, " << fibers << " fibers";
+  for (const auto& [shape, count] : otis_blocks) {
+    oss << ", " << count << "x OTIS(" << shape.first << "," << shape.second
+        << ")";
+  }
+  return oss.str();
+}
+
+BillOfMaterials bill_of_materials(const optics::Netlist& n) {
+  BillOfMaterials bom;
+  for (optics::ComponentId id = 0; id < n.component_count(); ++id) {
+    const optics::Component& c = n.component(id);
+    switch (c.kind) {
+      case optics::ComponentKind::kTransmitter:
+        ++bom.transmitters;
+        break;
+      case optics::ComponentKind::kReceiver:
+        ++bom.receivers;
+        break;
+      case optics::ComponentKind::kMultiplexer:
+        ++bom.multiplexers;
+        break;
+      case optics::ComponentKind::kBeamSplitter:
+        ++bom.beam_splitters;
+        break;
+      case optics::ComponentKind::kFiber:
+        ++bom.fibers;
+        break;
+      case optics::ComponentKind::kOtis:
+        ++bom.otis_blocks[{c.otis_groups, c.otis_group_size}];
+        break;
+    }
+  }
+  return bom;
+}
+
+}  // namespace otis::designs

@@ -1,0 +1,77 @@
+#pragma once
+/// \file design.hpp
+/// A NetworkDesign = an optical netlist plus the bookkeeping that ties
+/// its transmitters/receivers to processors and states what topology the
+/// optics are supposed to realize. The builders in this module implement
+/// the constructions of the paper's Sections 3 and 4; verify.hpp then
+/// checks them by tracing light, so every figure of the paper becomes an
+/// executable, machine-checked artifact.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "optics/netlist.hpp"
+
+namespace otis::designs {
+
+/// A complete optical design for a multiprocessor interconnect.
+struct NetworkDesign {
+  std::string name;
+  optics::Netlist netlist;
+  std::int64_t processor_count = 0;
+
+  /// tx_of_processor[p][c] = transmitter component of processor p's
+  /// transmit slot c (slots are the processor's out-couplers / out-arcs).
+  std::vector<std::vector<optics::ComponentId>> tx_of_processor;
+
+  /// rx_of_processor[p][q] = receiver component of processor p's receive
+  /// slot q.
+  std::vector<std::vector<optics::ComponentId>> rx_of_processor;
+
+  /// Exactly one of these states the intended topology:
+  /// a hypergraph for multi-OPS (coupler) designs, a digraph for
+  /// point-to-point designs such as the Sec. 3.2 Imase-Itoh realization.
+  std::optional<hypergraph::DirectedHypergraph> target_hypergraph;
+  std::optional<graph::Digraph> target_digraph;
+
+  /// Inverse of rx_of_processor: owner processor of each receiver
+  /// component (built by finalize()).
+  [[nodiscard]] std::int64_t processor_of_receiver(
+      optics::ComponentId rx) const;
+
+  /// Builds the receiver-owner index; called by every builder.
+  void finalize();
+
+ private:
+  std::map<optics::ComponentId, std::int64_t> rx_owner_;
+};
+
+/// Component inventory of a design: the paper's "12 OTIS(6,4), 12
+/// OTIS(4,6), 48 optical multiplexers, 48 beam-splitters and one
+/// OTIS(3,12)" sentences, as data.
+struct BillOfMaterials {
+  std::int64_t transmitters = 0;
+  std::int64_t receivers = 0;
+  std::int64_t multiplexers = 0;
+  std::int64_t beam_splitters = 0;
+  std::int64_t fibers = 0;
+  /// (G, T) -> number of OTIS(G, T) lens pairs.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> otis_blocks;
+
+  [[nodiscard]] std::int64_t total_otis_blocks() const;
+  /// Total lenslets across all OTIS blocks: an OTIS(G, T) uses G*T
+  /// transmitter-side lenslets plus T*G receiver-side ones.
+  [[nodiscard]] std::int64_t total_lenslets() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Counts components of `netlist` by kind and OTIS shape.
+[[nodiscard]] BillOfMaterials bill_of_materials(const optics::Netlist& n);
+
+}  // namespace otis::designs

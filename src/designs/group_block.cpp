@@ -1,0 +1,72 @@
+#include "designs/group_block.hpp"
+
+#include "core/error.hpp"
+
+namespace otis::designs {
+
+using optics::ComponentId;
+using optics::Netlist;
+using optics::PortRef;
+
+GroupTxBlock build_group_tx(Netlist& netlist, std::int64_t t, std::int64_t C,
+                            const std::string& prefix) {
+  OTIS_REQUIRE(t >= 1 && C >= 1, "build_group_tx: t and C must be >= 1");
+  GroupTxBlock block;
+  block.otis = netlist.add_otis(t, C, prefix + "/otis-tx");
+  block.tx.resize(static_cast<std::size_t>(t));
+  for (std::int64_t j = 0; j < t; ++j) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      ComponentId tx = netlist.add_transmitter(
+          prefix + "/tx[" + std::to_string(j) + "][" + std::to_string(c) +
+          "]");
+      block.tx[static_cast<std::size_t>(j)].push_back(tx);
+      // Transmitter slot c of processor j -> OTIS(t, C) input (j, c).
+      netlist.connect(PortRef{tx, 0}, PortRef{block.otis, j * C + c});
+    }
+  }
+  for (std::int64_t c = 0; c < C; ++c) {
+    block.mux.push_back(
+        netlist.add_multiplexer(t, prefix + "/mux[" + std::to_string(c) +
+                                       "]"));
+  }
+  // OTIS output group a holds transmitter slot C-1-a of every processor,
+  // so coupler slot c's multiplexer drains output group C-1-c.
+  for (std::int64_t c = 0; c < C; ++c) {
+    const std::int64_t out_group = C - 1 - c;
+    for (std::int64_t b = 0; b < t; ++b) {
+      netlist.connect(PortRef{block.otis, out_group * t + b},
+                      PortRef{block.mux[static_cast<std::size_t>(c)], b});
+    }
+  }
+  return block;
+}
+
+GroupRxBlock build_group_rx(Netlist& netlist, std::int64_t C, std::int64_t t,
+                            const std::string& prefix) {
+  OTIS_REQUIRE(t >= 1 && C >= 1, "build_group_rx: t and C must be >= 1");
+  GroupRxBlock block;
+  block.otis = netlist.add_otis(C, t, prefix + "/otis-rx");
+  for (std::int64_t r = 0; r < C; ++r) {
+    ComponentId splitter = netlist.add_beam_splitter(
+        t, prefix + "/split[" + std::to_string(r) + "]");
+    block.splitter.push_back(splitter);
+    // Splitter slot r's outputs enter OTIS(C, t) input group r.
+    for (std::int64_t y = 0; y < t; ++y) {
+      netlist.connect(PortRef{splitter, y}, PortRef{block.otis, r * t + y});
+    }
+  }
+  block.rx.resize(static_cast<std::size_t>(t));
+  for (std::int64_t j = 0; j < t; ++j) {
+    for (std::int64_t q = 0; q < C; ++q) {
+      ComponentId rx = netlist.add_receiver(
+          prefix + "/rx[" + std::to_string(j) + "][" + std::to_string(q) +
+          "]");
+      block.rx[static_cast<std::size_t>(j)].push_back(rx);
+      // OTIS output group j (one per processor), offset q.
+      netlist.connect(PortRef{block.otis, j * C + q}, PortRef{rx, 0});
+    }
+  }
+  return block;
+}
+
+}  // namespace otis::designs

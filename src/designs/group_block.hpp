@@ -1,0 +1,58 @@
+#pragma once
+/// \file group_block.hpp
+/// The paper's Sec. 3.1 building blocks: optically connecting a group of
+/// processors to its OPS couplers with one OTIS per direction.
+///
+/// Transmit side (Fig. 8): a group of `t` processors, each with `C`
+/// transmitters, feeds `C` optical multiplexers through one OTIS(t, C):
+/// transmitter slot c of processor j enters OTIS input (j, c) and, by the
+/// transpose, lands in output group C-1-c -- so multiplexer for coupler
+/// slot c collects t beams from OTIS output group C-1-c.
+///
+/// Receive side (Fig. 9): `C` beam-splitters reach the `t` processors
+/// (each with C receivers) through one OTIS(C, t): splitter slot r's
+/// output y enters OTIS input (r, y) and lands at processor t-1-y's
+/// receiver C-1-r.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "optics/netlist.hpp"
+
+namespace otis::designs {
+
+/// Components created by build_group_tx.
+struct GroupTxBlock {
+  /// tx[j][c]: transmitter slot c of in-group processor j.
+  std::vector<std::vector<optics::ComponentId>> tx;
+  optics::ComponentId otis = -1;  ///< the OTIS(t, C) lens pair
+  /// mux[c]: multiplexer of the group's coupler slot c.
+  std::vector<optics::ComponentId> mux;
+};
+
+/// Components created by build_group_rx.
+struct GroupRxBlock {
+  /// splitter[r]: beam-splitter of incoming coupler slot r.
+  std::vector<optics::ComponentId> splitter;
+  optics::ComponentId otis = -1;  ///< the OTIS(C, t) lens pair
+  /// rx[j][q]: receiver slot q of in-group processor j.
+  std::vector<std::vector<optics::ComponentId>> rx;
+};
+
+/// Builds and fully wires one transmit-side group block (t processors x
+/// C transmitters -> OTIS(t, C) -> C multiplexers of fan-in t). The
+/// multiplexers' outputs are left unwired for the caller (they go to the
+/// optical interconnection network). `prefix` labels the components.
+[[nodiscard]] GroupTxBlock build_group_tx(optics::Netlist& netlist,
+                                          std::int64_t t, std::int64_t C,
+                                          const std::string& prefix);
+
+/// Builds and wires one receive-side group block (C beam-splitters of
+/// fan-out t -> OTIS(C, t) -> t processors x C receivers). The splitters'
+/// inputs are left unwired for the caller.
+[[nodiscard]] GroupRxBlock build_group_rx(optics::Netlist& netlist,
+                                          std::int64_t C, std::int64_t t,
+                                          const std::string& prefix);
+
+}  // namespace otis::designs

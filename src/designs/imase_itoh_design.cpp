@@ -1,0 +1,51 @@
+#include "core/error.hpp"
+#include "designs/builders.hpp"
+#include "otis/imase_itoh_realization.hpp"
+#include "topology/imase_itoh.hpp"
+
+namespace otis::designs {
+
+using optics::ComponentId;
+using optics::PortRef;
+
+NetworkDesign imase_itoh_design(int degree, std::int64_t order) {
+  OTIS_REQUIRE(degree >= 1, "imase_itoh_design: degree must be >= 1");
+  OTIS_REQUIRE(order >= degree, "imase_itoh_design: order must be >= degree");
+  const std::int64_t d = degree;
+  const std::int64_t n = order;
+
+  NetworkDesign design;
+  design.name =
+      "II(" + std::to_string(d) + "," + std::to_string(n) + ") via OTIS";
+  design.processor_count = n;
+  design.tx_of_processor.resize(static_cast<std::size_t>(n));
+  design.rx_of_processor.resize(static_cast<std::size_t>(n));
+
+  // One OTIS(d, n) carries all the arcs (Proposition 1).
+  ComponentId otis = design.netlist.add_otis(d, n, design.name + "/otis");
+
+  // Node u's transmitter alpha plugs into OTIS input d*u + alpha - 1.
+  for (std::int64_t u = 0; u < n; ++u) {
+    for (std::int64_t alpha = 1; alpha <= d; ++alpha) {
+      ComponentId tx = design.netlist.add_transmitter(
+          "node" + std::to_string(u) + "/tx" + std::to_string(alpha));
+      design.tx_of_processor[static_cast<std::size_t>(u)].push_back(tx);
+      design.netlist.connect(PortRef{tx, 0}, PortRef{otis, d * u + alpha - 1});
+    }
+  }
+  // Node v's receivers are OTIS output group v (d ports).
+  for (std::int64_t v = 0; v < n; ++v) {
+    for (std::int64_t b = 0; b < d; ++b) {
+      ComponentId rx = design.netlist.add_receiver(
+          "node" + std::to_string(v) + "/rx" + std::to_string(b));
+      design.rx_of_processor[static_cast<std::size_t>(v)].push_back(rx);
+      design.netlist.connect(PortRef{otis, v * d + b}, PortRef{rx, 0});
+    }
+  }
+
+  design.target_digraph = topology::ImaseItoh(degree, order).graph();
+  design.finalize();
+  return design;
+}
+
+}  // namespace otis::designs

@@ -1,0 +1,70 @@
+#include "core/error.hpp"
+#include "designs/builders.hpp"
+#include "designs/group_block.hpp"
+#include "hypergraph/pops.hpp"
+
+namespace otis::designs {
+
+using optics::PortRef;
+
+NetworkDesign pops_design(std::int64_t group_size, std::int64_t group_count) {
+  OTIS_REQUIRE(group_size >= 1, "pops_design: group size must be >= 1");
+  OTIS_REQUIRE(group_count >= 1, "pops_design: group count must be >= 1");
+  const std::int64_t t = group_size;
+  const std::int64_t g = group_count;
+
+  NetworkDesign design;
+  design.name = "POPS(" + std::to_string(t) + "," + std::to_string(g) + ")";
+  design.processor_count = t * g;
+  design.tx_of_processor.resize(static_cast<std::size_t>(t * g));
+  design.rx_of_processor.resize(static_cast<std::size_t>(t * g));
+
+  // Per group: one transmit block OTIS(t, g) + g multiplexers, one
+  // receive block OTIS(g, t) + g beam-splitters (paper Sec. 3.1).
+  std::vector<GroupTxBlock> txb;
+  std::vector<GroupRxBlock> rxb;
+  txb.reserve(static_cast<std::size_t>(g));
+  rxb.reserve(static_cast<std::size_t>(g));
+  for (std::int64_t i = 0; i < g; ++i) {
+    const std::string prefix = "group" + std::to_string(i);
+    txb.push_back(build_group_tx(design.netlist, t, g, prefix));
+    rxb.push_back(build_group_rx(design.netlist, g, t, prefix));
+    for (std::int64_t j = 0; j < t; ++j) {
+      const std::size_t p = static_cast<std::size_t>(i * t + j);
+      design.tx_of_processor[p] = txb.back().tx[static_cast<std::size_t>(j)];
+      design.rx_of_processor[p] = rxb.back().rx[static_cast<std::size_t>(j)];
+    }
+  }
+
+  // The optical interconnection network is one OTIS(g, g), which realizes
+  // II(g, g) = K+_g (paper Sec. 4.1): multiplexer slot c of group i is
+  // node i's transmitter alpha = c+1, entering input g*i + c; node v's
+  // receivers are output group v, feeding its beam-splitter bank.
+  optics::ComponentId middle =
+      design.netlist.add_otis(g, g, design.name + "/otis-interconnect");
+  for (std::int64_t i = 0; i < g; ++i) {
+    for (std::int64_t c = 0; c < g; ++c) {
+      design.netlist.connect(
+          PortRef{txb[static_cast<std::size_t>(i)]
+                      .mux[static_cast<std::size_t>(c)],
+                  0},
+          PortRef{middle, g * i + c});
+    }
+  }
+  for (std::int64_t v = 0; v < g; ++v) {
+    for (std::int64_t b = 0; b < g; ++b) {
+      design.netlist.connect(
+          PortRef{middle, v * g + b},
+          PortRef{rxb[static_cast<std::size_t>(v)]
+                      .splitter[static_cast<std::size_t>(b)],
+                  0});
+    }
+  }
+
+  design.target_hypergraph =
+      hypergraph::Pops(t, g).stack().hypergraph();
+  design.finalize();
+  return design;
+}
+
+}  // namespace otis::designs

@@ -1,0 +1,121 @@
+#include "core/error.hpp"
+#include "designs/builders.hpp"
+#include "designs/group_block.hpp"
+#include "hypergraph/stack_imase_itoh.hpp"
+#include "hypergraph/stack_kautz.hpp"
+
+namespace otis::designs {
+
+using optics::PortRef;
+
+namespace {
+
+/// Shared construction for SK(s, d, k) and SII(s, d, n): both are
+/// s-stacked Imase-Itoh graphs with loops, differing only in the group
+/// count n (Kautz restricts n to d^{k-1}(d+1)). Per paper Sec. 4.2:
+///   - each of the n groups gets a transmit block OTIS(s, d+1) with d+1
+///     multiplexers, and a receive block OTIS(d+1, s) with d+1
+///     beam-splitters;
+///   - the d non-loop multiplexers of group x feed the single central
+///     OTIS(d, n) at inputs d*x + c (c = alpha - 1), whose output group v
+///     feeds the first d splitter slots of group v (Proposition 1);
+///   - the loop coupler (slot d) bypasses the central OTIS through a
+///     fiber, "connected using an appropriate technique (e.g., optical
+///     fiber)" as the paper puts it.
+NetworkDesign build_stacked(std::int64_t s, int degree, std::int64_t n,
+                            std::string name,
+                            hypergraph::DirectedHypergraph target) {
+  const std::int64_t d = degree;
+  NetworkDesign design;
+  design.name = std::move(name);
+  design.processor_count = s * n;
+  design.tx_of_processor.resize(static_cast<std::size_t>(s * n));
+  design.rx_of_processor.resize(static_cast<std::size_t>(s * n));
+
+  std::vector<GroupTxBlock> txb;
+  std::vector<GroupRxBlock> rxb;
+  txb.reserve(static_cast<std::size_t>(n));
+  rxb.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t x = 0; x < n; ++x) {
+    const std::string prefix = "group" + std::to_string(x);
+    txb.push_back(build_group_tx(design.netlist, s, d + 1, prefix));
+    rxb.push_back(build_group_rx(design.netlist, d + 1, s, prefix));
+    for (std::int64_t y = 0; y < s; ++y) {
+      const std::size_t p = static_cast<std::size_t>(x * s + y);
+      design.tx_of_processor[p] = txb.back().tx[static_cast<std::size_t>(y)];
+      design.rx_of_processor[p] = rxb.back().rx[static_cast<std::size_t>(y)];
+    }
+  }
+
+  // Central OTIS(d, n): carries every non-loop arc (Proposition 1 /
+  // Corollary 1).
+  optics::ComponentId central =
+      design.netlist.add_otis(d, n, design.name + "/otis-central");
+  for (std::int64_t x = 0; x < n; ++x) {
+    for (std::int64_t c = 0; c < d; ++c) {
+      design.netlist.connect(
+          PortRef{txb[static_cast<std::size_t>(x)]
+                      .mux[static_cast<std::size_t>(c)],
+                  0},
+          PortRef{central, d * x + c});
+    }
+  }
+  for (std::int64_t v = 0; v < n; ++v) {
+    for (std::int64_t b = 0; b < d; ++b) {
+      design.netlist.connect(
+          PortRef{central, v * d + b},
+          PortRef{rxb[static_cast<std::size_t>(v)]
+                      .splitter[static_cast<std::size_t>(b)],
+                  0});
+    }
+  }
+
+  // Loop couplers: multiplexer slot d of group x -> fiber -> splitter
+  // slot d of the same group.
+  for (std::int64_t x = 0; x < n; ++x) {
+    optics::ComponentId fiber = design.netlist.add_fiber(
+        "group" + std::to_string(x) + "/loop-fiber");
+    design.netlist.connect(
+        PortRef{txb[static_cast<std::size_t>(x)]
+                    .mux[static_cast<std::size_t>(d)],
+                0},
+        PortRef{fiber, 0});
+    design.netlist.connect(
+        PortRef{fiber, 0},
+        PortRef{rxb[static_cast<std::size_t>(x)]
+                    .splitter[static_cast<std::size_t>(d)],
+                0});
+  }
+
+  design.target_hypergraph = std::move(target);
+  design.finalize();
+  return design;
+}
+
+}  // namespace
+
+NetworkDesign stack_kautz_design(std::int64_t stacking_factor, int degree,
+                                 int diameter) {
+  OTIS_REQUIRE(stacking_factor >= 1,
+               "stack_kautz_design: stacking factor must be >= 1");
+  hypergraph::StackKautz sk(stacking_factor, degree, diameter);
+  std::string name = "SK(" + std::to_string(stacking_factor) + "," +
+                     std::to_string(degree) + "," + std::to_string(diameter) +
+                     ")";
+  return build_stacked(stacking_factor, degree, sk.group_count(),
+                       std::move(name), sk.stack().hypergraph());
+}
+
+NetworkDesign stack_imase_itoh_design(std::int64_t stacking_factor, int degree,
+                                      std::int64_t group_count) {
+  OTIS_REQUIRE(stacking_factor >= 1,
+               "stack_imase_itoh_design: stacking factor must be >= 1");
+  hypergraph::StackImaseItoh sii(stacking_factor, degree, group_count);
+  std::string name = "SII(" + std::to_string(stacking_factor) + "," +
+                     std::to_string(degree) + "," +
+                     std::to_string(group_count) + ")";
+  return build_stacked(stacking_factor, degree, group_count, std::move(name),
+                       sii.stack().hypergraph());
+}
+
+}  // namespace otis::designs

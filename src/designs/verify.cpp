@@ -1,0 +1,134 @@
+#include "designs/verify.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "optics/trace.hpp"
+
+namespace otis::designs {
+
+namespace {
+
+using optics::ComponentId;
+using optics::ComponentKind;
+
+/// Lightpaths grouped by the single multiplexer (coupler) they traverse.
+struct RealizedCoupler {
+  std::set<std::int64_t> sources;
+  std::set<std::int64_t> targets;
+};
+
+VerificationResult fail(std::string details) {
+  VerificationResult r;
+  r.ok = false;
+  r.details = std::move(details);
+  return r;
+}
+
+ComponentId multiplexer_on_path(const NetworkDesign& design,
+                                const std::vector<ComponentId>& path) {
+  ComponentId mux = -1;
+  for (ComponentId id : path) {
+    if (design.netlist.component(id).kind == ComponentKind::kMultiplexer) {
+      mux = id;
+    }
+  }
+  return mux;
+}
+
+}  // namespace
+
+VerificationResult verify_design(const NetworkDesign& design,
+                                 const optics::LossModel& model) {
+  VerificationResult result;
+
+  if (auto dangling = design.netlist.find_dangling_port()) {
+    return fail(design.name + ": " + *dangling);
+  }
+  const bool is_hypergraph = design.target_hypergraph.has_value();
+  const bool is_digraph = design.target_digraph.has_value();
+  if (is_hypergraph == is_digraph) {
+    return fail(design.name +
+                ": design must declare exactly one target topology");
+  }
+
+  std::map<ComponentId, RealizedCoupler> couplers;
+  std::vector<graph::Arc> realized_arcs;
+
+  for (std::int64_t p = 0; p < design.processor_count; ++p) {
+    for (ComponentId tx :
+         design.tx_of_processor[static_cast<std::size_t>(p)]) {
+      const auto endpoints =
+          optics::trace_from_transmitter(design.netlist, tx, model);
+      if (endpoints.empty()) {
+        return fail(design.name + ": transmitter of processor " +
+                    std::to_string(p) + " reaches no receiver");
+      }
+      ComponentId coupler_of_tx = -2;
+      for (const optics::TraceEndpoint& e : endpoints) {
+        ++result.lightpaths;
+        result.max_loss_db = std::max(result.max_loss_db, e.loss_db);
+        const std::int64_t q = design.processor_of_receiver(e.receiver);
+        if (is_hypergraph) {
+          if (e.couplers != 1) {
+            return fail(design.name + ": lightpath from processor " +
+                        std::to_string(p) + " crosses " +
+                        std::to_string(e.couplers) +
+                        " couplers (multi-OPS designs require exactly 1)");
+          }
+          const ComponentId mux = multiplexer_on_path(design, e.path);
+          if (coupler_of_tx == -2) {
+            coupler_of_tx = mux;
+          } else if (coupler_of_tx != mux) {
+            return fail(design.name + ": one transmitter of processor " +
+                        std::to_string(p) + " feeds two multiplexers");
+          }
+          couplers[mux].sources.insert(p);
+          couplers[mux].targets.insert(q);
+        } else {
+          if (e.couplers != 0 || endpoints.size() != 1) {
+            return fail(design.name +
+                        ": point-to-point design has a broadcast path");
+          }
+          realized_arcs.push_back(graph::Arc{p, q});
+        }
+      }
+    }
+  }
+
+  if (is_hypergraph) {
+    result.couplers_seen = static_cast<std::int64_t>(couplers.size());
+    // Rebuild the realized hypergraph and compare up to hyperarc order.
+    std::vector<hypergraph::Hyperarc> arcs;
+    arcs.reserve(couplers.size());
+    for (const auto& [mux, rc] : couplers) {
+      hypergraph::Hyperarc h;
+      h.sources.assign(rc.sources.begin(), rc.sources.end());
+      h.targets.assign(rc.targets.begin(), rc.targets.end());
+      arcs.push_back(std::move(h));
+    }
+    hypergraph::DirectedHypergraph realized(design.processor_count,
+                                            std::move(arcs));
+    if (!realized.equivalent_to(*design.target_hypergraph)) {
+      std::ostringstream oss;
+      oss << design.name << ": realized hypergraph ("
+          << realized.hyperarc_count() << " couplers) differs from target ("
+          << design.target_hypergraph->hyperarc_count() << " couplers)";
+      return fail(oss.str());
+    }
+  } else {
+    graph::Digraph realized = graph::Digraph::from_arcs(
+        design.processor_count, realized_arcs);
+    if (!realized.same_arcs(*design.target_digraph)) {
+      return fail(design.name +
+                  ": realized digraph differs from target digraph");
+    }
+  }
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace otis::designs

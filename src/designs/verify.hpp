@@ -1,0 +1,43 @@
+#pragma once
+/// \file verify.hpp
+/// End-to-end verification of optical designs by light tracing.
+///
+/// A design claims to realize a topology (NetworkDesign::target_*). The
+/// verifier reconstructs what the optics *actually* connect, using only
+/// the netlist (transmitters, lens transposes, multiplexers, splitters,
+/// fibers, receivers), and compares:
+///
+///  - multi-OPS designs: every lightpath must traverse exactly one
+///    multiplexer (one OPS coupler); grouping lightpaths by that coupler
+///    must reproduce the target hypergraph's hyperarcs source-set by
+///    source-set and target-set by target-set;
+///  - point-to-point designs: every transmitter must reach exactly one
+///    receiver through zero couplers, and the induced digraph must equal
+///    the target arc-for-arc.
+///
+/// This turns the paper's Proposition 1, Corollary 1 and the Sec. 4
+/// constructions into machine-checked statements about physical wiring.
+
+#include <cstdint>
+#include <string>
+
+#include "designs/design.hpp"
+#include "optics/power.hpp"
+
+namespace otis::designs {
+
+/// Outcome of a verification run.
+struct VerificationResult {
+  bool ok = false;
+  std::string details;             ///< first failure, empty when ok
+  std::int64_t lightpaths = 0;     ///< transmitter->receiver paths traced
+  std::int64_t couplers_seen = 0;  ///< distinct multiplexers on lightpaths
+  double max_loss_db = 0.0;        ///< worst path loss under `model`
+};
+
+/// Verifies `design` against its own declared target (hypergraph or
+/// digraph). `model` only affects the reported loss, not correctness.
+[[nodiscard]] VerificationResult verify_design(
+    const NetworkDesign& design, const optics::LossModel& model = {});
+
+}  // namespace otis::designs

@@ -1,0 +1,290 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/error.hpp"
+
+namespace otis::graph {
+
+std::vector<std::int64_t> bfs_distances(const Digraph& g, Vertex source) {
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(g.order()),
+                                 kUnreachable);
+  OTIS_REQUIRE(source >= 0 && source < g.order(),
+               "bfs_distances: source out of range");
+  std::vector<Vertex> frontier{source};
+  dist[static_cast<std::size_t>(source)] = 0;
+  std::int64_t level = 0;
+  std::vector<Vertex> next;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (Vertex u : frontier) {
+      for (ArcId a = g.out_begin(u); a < g.out_end(u); ++a) {
+        Vertex v = g.head(a);
+        if (dist[static_cast<std::size_t>(v)] == kUnreachable) {
+          dist[static_cast<std::size_t>(v)] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+namespace {
+
+std::optional<std::vector<Vertex>> bfs_path(const Digraph& g, Vertex source,
+                                            Vertex target,
+                                            const std::vector<char>& blocked) {
+  std::vector<Vertex> parent(static_cast<std::size_t>(g.order()), -2);
+  std::queue<Vertex> queue;
+  queue.push(source);
+  parent[static_cast<std::size_t>(source)] = -1;
+  while (!queue.empty()) {
+    Vertex u = queue.front();
+    queue.pop();
+    if (u == target) {
+      std::vector<Vertex> path;
+      for (Vertex v = target; v != -1;
+           v = parent[static_cast<std::size_t>(v)]) {
+        path.push_back(v);
+      }
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    for (ArcId a = g.out_begin(u); a < g.out_end(u); ++a) {
+      Vertex v = g.head(a);
+      if (parent[static_cast<std::size_t>(v)] != -2) {
+        continue;
+      }
+      if (!blocked.empty() && blocked[static_cast<std::size_t>(v)] &&
+          v != target) {
+        continue;
+      }
+      parent[static_cast<std::size_t>(v)] = u;
+      queue.push(v);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::vector<Vertex>> shortest_path(const Digraph& g,
+                                                 Vertex source, Vertex target) {
+  OTIS_REQUIRE(source >= 0 && source < g.order(), "shortest_path: bad source");
+  OTIS_REQUIRE(target >= 0 && target < g.order(), "shortest_path: bad target");
+  return bfs_path(g, source, target, {});
+}
+
+std::optional<std::vector<Vertex>> shortest_path_avoiding(
+    const Digraph& g, Vertex source, Vertex target,
+    const std::vector<Vertex>& forbidden) {
+  OTIS_REQUIRE(source >= 0 && source < g.order(), "shortest_path: bad source");
+  OTIS_REQUIRE(target >= 0 && target < g.order(), "shortest_path: bad target");
+  std::vector<char> blocked(static_cast<std::size_t>(g.order()), 0);
+  for (Vertex v : forbidden) {
+    if (v >= 0 && v < g.order() && v != source && v != target) {
+      blocked[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+  return bfs_path(g, source, target, blocked);
+}
+
+std::optional<std::vector<Vertex>> shortest_path_avoiding_arcs(
+    const Digraph& g, Vertex source, Vertex target,
+    const std::vector<Arc>& forbidden_arcs) {
+  OTIS_REQUIRE(source >= 0 && source < g.order(), "shortest_path: bad source");
+  OTIS_REQUIRE(target >= 0 && target < g.order(), "shortest_path: bad target");
+  std::vector<Vertex> parent(static_cast<std::size_t>(g.order()), -2);
+  std::queue<Vertex> queue;
+  queue.push(source);
+  parent[static_cast<std::size_t>(source)] = -1;
+  auto blocked = [&](Vertex u, Vertex v) {
+    return std::find(forbidden_arcs.begin(), forbidden_arcs.end(),
+                     Arc{u, v}) != forbidden_arcs.end();
+  };
+  while (!queue.empty()) {
+    Vertex u = queue.front();
+    queue.pop();
+    if (u == target) {
+      std::vector<Vertex> path;
+      for (Vertex v = target; v != -1;
+           v = parent[static_cast<std::size_t>(v)]) {
+        path.push_back(v);
+      }
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    for (ArcId a = g.out_begin(u); a < g.out_end(u); ++a) {
+      Vertex v = g.head(a);
+      if (parent[static_cast<std::size_t>(v)] != -2 || blocked(u, v)) {
+        continue;
+      }
+      parent[static_cast<std::size_t>(v)] = u;
+      queue.push(v);
+    }
+  }
+  return std::nullopt;
+}
+
+DistanceStats distance_stats(const Digraph& g) {
+  DistanceStats stats;
+  if (g.order() <= 1) {
+    return stats;
+  }
+  std::int64_t radius = -1;
+  double total = 0.0;
+  std::int64_t pairs = 0;
+  for (Vertex u = 0; u < g.order(); ++u) {
+    auto dist = bfs_distances(g, u);
+    std::int64_t ecc = 0;
+    for (Vertex v = 0; v < g.order(); ++v) {
+      if (v == u) {
+        continue;
+      }
+      std::int64_t d = dist[static_cast<std::size_t>(v)];
+      if (d == kUnreachable) {
+        stats.strongly_connected = false;
+        continue;
+      }
+      ecc = std::max(ecc, d);
+      total += static_cast<double>(d);
+      ++pairs;
+    }
+    stats.diameter = std::max(stats.diameter, ecc);
+    if (radius < 0 || ecc < radius) {
+      radius = ecc;
+    }
+  }
+  stats.radius = radius < 0 ? 0 : radius;
+  stats.mean_distance = pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
+  return stats;
+}
+
+std::int64_t diameter(const Digraph& g) {
+  DistanceStats stats = distance_stats(g);
+  OTIS_REQUIRE(stats.strongly_connected,
+               "diameter: graph is not strongly connected");
+  return stats.diameter;
+}
+
+bool is_strongly_connected(const Digraph& g) {
+  if (g.order() == 0) {
+    return true;
+  }
+  // Forward BFS from 0 plus backward BFS (on the reverse graph) from 0.
+  auto forward = bfs_distances(g, 0);
+  for (std::int64_t d : forward) {
+    if (d == kUnreachable) {
+      return false;
+    }
+  }
+  std::vector<Arc> reversed;
+  reversed.reserve(static_cast<std::size_t>(g.size()));
+  for (const Arc& a : g.arcs()) {
+    reversed.push_back(Arc{a.head, a.tail});
+  }
+  Digraph rev = Digraph::from_arcs(g.order(), reversed);
+  auto backward = bfs_distances(rev, 0);
+  for (std::int64_t d : backward) {
+    if (d == kUnreachable) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_eulerian(const Digraph& g) {
+  for (Vertex v = 0; v < g.order(); ++v) {
+    if (g.in_degree(v) != g.out_degree(v)) {
+      return false;
+    }
+  }
+  return is_strongly_connected(g);
+}
+
+namespace {
+
+bool hamiltonian_dfs(const Digraph& g, Vertex start, Vertex current,
+                     std::vector<char>& visited, std::vector<Vertex>& path,
+                     std::int64_t& steps, std::int64_t max_steps) {
+  if (steps++ > max_steps) {
+    return false;
+  }
+  if (static_cast<Vertex>(path.size()) == g.order()) {
+    return g.has_arc(current, start);
+  }
+  for (ArcId a = g.out_begin(current); a < g.out_end(current); ++a) {
+    Vertex v = g.head(a);
+    if (visited[static_cast<std::size_t>(v)]) {
+      continue;
+    }
+    visited[static_cast<std::size_t>(v)] = 1;
+    path.push_back(v);
+    if (hamiltonian_dfs(g, start, v, visited, path, steps, max_steps)) {
+      return true;
+    }
+    path.pop_back();
+    visited[static_cast<std::size_t>(v)] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<Vertex>> find_hamiltonian_cycle(
+    const Digraph& g, std::int64_t max_steps) {
+  if (g.order() == 0) {
+    return std::nullopt;
+  }
+  std::vector<char> visited(static_cast<std::size_t>(g.order()), 0);
+  std::vector<Vertex> path{0};
+  visited[0] = 1;
+  std::int64_t steps = 0;
+  if (hamiltonian_dfs(g, 0, 0, visited, path, steps, max_steps)) {
+    return path;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> girth_ignoring_loops(const Digraph& g) {
+  std::optional<std::int64_t> best;
+  for (Vertex u = 0; u < g.order(); ++u) {
+    // Shortest cycle through u = 1 + min distance from any non-loop
+    // out-neighbour of u back to u.
+    std::vector<Vertex> starts;
+    for (ArcId a = g.out_begin(u); a < g.out_end(u); ++a) {
+      if (g.head(a) != u) {
+        starts.push_back(g.head(a));
+      }
+    }
+    for (Vertex s : starts) {
+      auto dist = bfs_distances(g, s);
+      std::int64_t back = dist[static_cast<std::size_t>(u)];
+      if (back != kUnreachable) {
+        std::int64_t cycle = back + 1;
+        if (!best || cycle < *best) {
+          best = cycle;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+bool is_walk(const Digraph& g, const std::vector<Vertex>& path) {
+  if (path.empty()) {
+    return false;
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!g.has_arc(path[i], path[i + 1])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace otis::graph

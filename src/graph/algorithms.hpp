@@ -1,0 +1,77 @@
+#pragma once
+/// \file algorithms.hpp
+/// Classic digraph algorithms used to certify the topology constructions:
+/// distances and diameter (the paper's headline parameters), strong
+/// connectivity, Eulerian/Hamiltonian structure of Kautz graphs, girth.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace otis::graph {
+
+/// Distance marker for unreachable vertices.
+inline constexpr std::int64_t kUnreachable = -1;
+
+/// BFS distances from `source` (kUnreachable where no path exists).
+[[nodiscard]] std::vector<std::int64_t> bfs_distances(const Digraph& g,
+                                                      Vertex source);
+
+/// One shortest path from `source` to `target` (vertex sequence including
+/// both endpoints), or std::nullopt if unreachable.
+[[nodiscard]] std::optional<std::vector<Vertex>> shortest_path(
+    const Digraph& g, Vertex source, Vertex target);
+
+/// Shortest path avoiding the vertices in `forbidden` (endpoints are never
+/// treated as forbidden). Used by the fault-tolerance experiments.
+[[nodiscard]] std::optional<std::vector<Vertex>> shortest_path_avoiding(
+    const Digraph& g, Vertex source, Vertex target,
+    const std::vector<Vertex>& forbidden);
+
+/// Shortest path avoiding the (tail, head) arcs in `forbidden_arcs`
+/// (every parallel copy of a listed arc is treated as down). Models the
+/// paper's "link faults".
+[[nodiscard]] std::optional<std::vector<Vertex>> shortest_path_avoiding_arcs(
+    const Digraph& g, Vertex source, Vertex target,
+    const std::vector<Arc>& forbidden_arcs);
+
+/// Aggregate distance statistics from all-pairs BFS.
+struct DistanceStats {
+  std::int64_t diameter = 0;       ///< max finite distance
+  std::int64_t radius = 0;         ///< min eccentricity
+  double mean_distance = 0.0;      ///< over ordered pairs u != v
+  bool strongly_connected = true;  ///< false if any pair unreachable
+};
+
+/// Runs BFS from every vertex. Loops do not affect distances. O(V(V+E)).
+[[nodiscard]] DistanceStats distance_stats(const Digraph& g);
+
+/// Diameter convenience wrapper (throws if not strongly connected).
+[[nodiscard]] std::int64_t diameter(const Digraph& g);
+
+/// True if every ordered pair is connected by a directed path.
+[[nodiscard]] bool is_strongly_connected(const Digraph& g);
+
+/// True if g has an Eulerian circuit: connected (ignoring isolated
+/// vertices) and in-degree == out-degree everywhere.
+[[nodiscard]] bool is_eulerian(const Digraph& g);
+
+/// Finds a Hamiltonian cycle by backtracking. Exponential in the worst
+/// case: intended for the small instances in the paper's figures
+/// (order <= ~100 with pruning). Returns the cycle as a vertex sequence
+/// of length order() (closing arc back to front implied), or nullopt.
+[[nodiscard]] std::optional<std::vector<Vertex>> find_hamiltonian_cycle(
+    const Digraph& g, std::int64_t max_steps = 20'000'000);
+
+/// Length of the shortest directed cycle ignoring loops; nullopt if
+/// acyclic (apart from loops).
+[[nodiscard]] std::optional<std::int64_t> girth_ignoring_loops(
+    const Digraph& g);
+
+/// Verifies that `path` is a directed walk in g from path.front() to
+/// path.back() (every consecutive pair is an arc).
+[[nodiscard]] bool is_walk(const Digraph& g, const std::vector<Vertex>& path);
+
+}  // namespace otis::graph

@@ -1,0 +1,118 @@
+#include "graph/isomorphism.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace otis::graph {
+
+bool verify_isomorphism(const Digraph& g, const Digraph& h,
+                        const std::vector<Vertex>& mapping) {
+  if (g.order() != h.order() || g.size() != h.size()) {
+    return false;
+  }
+  if (static_cast<Vertex>(mapping.size()) != g.order()) {
+    return false;
+  }
+  std::vector<char> seen(static_cast<std::size_t>(h.order()), 0);
+  for (Vertex image : mapping) {
+    if (image < 0 || image >= h.order() ||
+        seen[static_cast<std::size_t>(image)]) {
+      return false;
+    }
+    seen[static_cast<std::size_t>(image)] = 1;
+  }
+  std::vector<Arc> mapped;
+  mapped.reserve(static_cast<std::size_t>(g.size()));
+  for (const Arc& a : g.arcs()) {
+    mapped.push_back(Arc{mapping[static_cast<std::size_t>(a.tail)],
+                         mapping[static_cast<std::size_t>(a.head)]});
+  }
+  std::sort(mapped.begin(), mapped.end());
+  return mapped == sorted_arcs(h);
+}
+
+namespace {
+
+struct SearchState {
+  const Digraph& g;
+  const Digraph& h;
+  std::vector<Vertex> mapping;         // g-vertex -> h-vertex or -1
+  std::vector<char> used;              // h-vertex already an image
+  std::int64_t steps = 0;
+  std::int64_t max_steps;
+};
+
+/// Partial consistency: all arcs between already-mapped vertices must be
+/// preserved with the right multiplicity in both directions.
+bool consistent(SearchState& s, Vertex u) {
+  Vertex mu = s.mapping[static_cast<std::size_t>(u)];
+  for (Vertex v = 0; v <= u; ++v) {
+    Vertex mv = s.mapping[static_cast<std::size_t>(v)];
+    if (mv < 0) {
+      continue;
+    }
+    if (s.g.arc_multiplicity(u, v) != s.h.arc_multiplicity(mu, mv)) {
+      return false;
+    }
+    if (s.g.arc_multiplicity(v, u) != s.h.arc_multiplicity(mv, mu)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool search(SearchState& s, Vertex u) {
+  if (s.steps++ > s.max_steps) {
+    return false;
+  }
+  if (u == s.g.order()) {
+    return true;
+  }
+  for (Vertex cand = 0; cand < s.h.order(); ++cand) {
+    if (s.used[static_cast<std::size_t>(cand)]) {
+      continue;
+    }
+    if (s.g.out_degree(u) != s.h.out_degree(cand) ||
+        s.g.in_degree(u) != s.h.in_degree(cand)) {
+      continue;
+    }
+    s.mapping[static_cast<std::size_t>(u)] = cand;
+    s.used[static_cast<std::size_t>(cand)] = 1;
+    if (consistent(s, u) && search(s, u + 1)) {
+      return true;
+    }
+    s.mapping[static_cast<std::size_t>(u)] = -1;
+    s.used[static_cast<std::size_t>(cand)] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<Vertex>> find_isomorphism(const Digraph& g,
+                                                    const Digraph& h,
+                                                    std::int64_t max_steps) {
+  if (g.order() != h.order() || g.size() != h.size()) {
+    return std::nullopt;
+  }
+  // Degree-profile quick reject: the multiset of (out, in) degree pairs
+  // must agree before any search is worth starting.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> gprof, hprof;
+  for (Vertex v = 0; v < g.order(); ++v) {
+    ++gprof[{g.out_degree(v), g.in_degree(v)}];
+    ++hprof[{h.out_degree(v), h.in_degree(v)}];
+  }
+  if (gprof != hprof) {
+    return std::nullopt;
+  }
+  SearchState s{g, h,
+                std::vector<Vertex>(static_cast<std::size_t>(g.order()), -1),
+                std::vector<char>(static_cast<std::size_t>(h.order()), 0), 0,
+                max_steps};
+  if (search(s, 0)) {
+    return s.mapping;
+  }
+  return std::nullopt;
+}
+
+}  // namespace otis::graph

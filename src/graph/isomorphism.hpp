@@ -1,0 +1,29 @@
+#pragma once
+/// \file isomorphism.hpp
+/// Isomorphism checking for the identities the paper relies on
+/// (Corollary 1: KG(d,k) = II(d, d^{k-1}(d+1)); Fig. 6 line digraph
+/// iterations; II(g,g) = K+_g).
+///
+/// Two modes: verification of an *explicit* mapping (cheap, used whenever
+/// a construction provides its own bijection), and a backtracking search
+/// for small graphs (used as an independent cross-check in tests).
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace otis::graph {
+
+/// Checks that `mapping` (mapping[u] = image of u) is a bijection carrying
+/// the arc multiset of `g` exactly onto the arc multiset of `h`.
+[[nodiscard]] bool verify_isomorphism(const Digraph& g, const Digraph& h,
+                                      const std::vector<Vertex>& mapping);
+
+/// Backtracking isomorphism search with degree-profile pruning.
+/// Exponential worst case; intended for the paper's figure-sized graphs
+/// (order <= ~60). Returns a witness mapping or nullopt.
+[[nodiscard]] std::optional<std::vector<Vertex>> find_isomorphism(
+    const Digraph& g, const Digraph& h, std::int64_t max_steps = 50'000'000);
+
+}  // namespace otis::graph

@@ -1,0 +1,33 @@
+#include "graph/line_digraph.hpp"
+
+namespace otis::graph {
+
+LineDigraph line_digraph(const Digraph& g) {
+  LineDigraph result;
+  result.arc_of = g.arcs();
+  std::vector<Arc> line_arcs;
+  // |A(L(G))| = sum over v of indeg(v) * outdeg(v); reserve exactly.
+  std::int64_t total = 0;
+  for (Vertex v = 0; v < g.order(); ++v) {
+    total += g.in_degree(v) * g.out_degree(v);
+  }
+  line_arcs.reserve(static_cast<std::size_t>(total));
+  for (ArcId a = 0; a < g.size(); ++a) {
+    Vertex v = g.head(a);
+    for (ArcId b = g.out_begin(v); b < g.out_end(v); ++b) {
+      line_arcs.push_back(Arc{a, b});
+    }
+  }
+  result.graph = Digraph::from_arcs(g.size(), line_arcs);
+  return result;
+}
+
+Digraph iterated_line_digraph(const Digraph& g, unsigned k) {
+  Digraph current = g;
+  for (unsigned i = 0; i < k; ++i) {
+    current = line_digraph(current).graph;
+  }
+  return current;
+}
+
+}  // namespace otis::graph

@@ -1,0 +1,34 @@
+#pragma once
+/// \file line_digraph.hpp
+/// Line digraph operator L(G) (Fiol, Yebra, Alegre 1984).
+///
+/// The paper's Fig. 6 presents Kautz graphs as iterated line digraphs:
+/// KG(d,1) = K_{d+1} and KG(d,k) = L^{k-1}(K_{d+1}). The same operator
+/// links Imase-Itoh graphs: L(II(d,n)) is isomorphic to II(d, d*n), with
+/// the explicit arc numbering phi(u, alpha) = d*u + alpha - 1 -- exactly
+/// the numbering this implementation produces when the base graph stores
+/// its arcs in Imase-Itoh order (alpha = 1..d per tail). That fact is the
+/// backbone of the Kautz-word <-> Imase-Itoh-integer bijection in
+/// topology/kautz.cpp.
+
+#include "graph/digraph.hpp"
+
+namespace otis::graph {
+
+/// Result of the line digraph construction: the graph L(G) plus the
+/// correspondence between L(G)'s vertices and G's arcs.
+struct LineDigraph {
+  Digraph graph;               ///< L(G); vertex x == arc x of G (CSR order)
+  std::vector<Arc> arc_of;     ///< arc_of[x] = the G-arc that is vertex x
+};
+
+/// Builds L(G): one vertex per arc of G; an arc from vertex a=(u,v) to
+/// vertex b=(v,w) for every pair of consecutive arcs. Vertex numbering is
+/// G's CSR arc numbering; outgoing arcs of a vertex are emitted in the CSR
+/// order of the head's out-arcs.
+[[nodiscard]] LineDigraph line_digraph(const Digraph& g);
+
+/// Applies line_digraph k times.
+[[nodiscard]] Digraph iterated_line_digraph(const Digraph& g, unsigned k);
+
+}  // namespace otis::graph

@@ -1,0 +1,121 @@
+#include "hypergraph/hypergraph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/error.hpp"
+
+namespace otis::hypergraph {
+
+DirectedHypergraph::DirectedHypergraph(Node node_count,
+                                       std::vector<Hyperarc> hyperarcs)
+    : node_count_(node_count), hyperarcs_(std::move(hyperarcs)) {
+  OTIS_REQUIRE(node_count_ >= 0, "DirectedHypergraph: negative node count");
+  out_index_.resize(static_cast<std::size_t>(node_count_));
+  in_index_.resize(static_cast<std::size_t>(node_count_));
+  for (HyperarcId h = 0; h < hyperarc_count(); ++h) {
+    for (Node v : hyperarcs_[static_cast<std::size_t>(h)].sources) {
+      OTIS_REQUIRE(v >= 0 && v < node_count_,
+                   "DirectedHypergraph: source node out of range");
+      out_index_[static_cast<std::size_t>(v)].push_back(h);
+    }
+    for (Node v : hyperarcs_[static_cast<std::size_t>(h)].targets) {
+      OTIS_REQUIRE(v >= 0 && v < node_count_,
+                   "DirectedHypergraph: target node out of range");
+      in_index_[static_cast<std::size_t>(v)].push_back(h);
+    }
+  }
+}
+
+const Hyperarc& DirectedHypergraph::hyperarc(HyperarcId h) const {
+  OTIS_REQUIRE(h >= 0 && h < hyperarc_count(),
+               "DirectedHypergraph: hyperarc id out of range");
+  return hyperarcs_[static_cast<std::size_t>(h)];
+}
+
+const std::vector<HyperarcId>& DirectedHypergraph::out_hyperarcs(
+    Node v) const {
+  OTIS_REQUIRE(v >= 0 && v < node_count_,
+               "DirectedHypergraph: node out of range");
+  return out_index_[static_cast<std::size_t>(v)];
+}
+
+const std::vector<HyperarcId>& DirectedHypergraph::in_hyperarcs(Node v) const {
+  OTIS_REQUIRE(v >= 0 && v < node_count_,
+               "DirectedHypergraph: node out of range");
+  return in_index_[static_cast<std::size_t>(v)];
+}
+
+std::vector<Node> DirectedHypergraph::one_hop_targets(Node v) const {
+  std::vector<Node> targets;
+  for (HyperarcId h : out_hyperarcs(v)) {
+    const auto& arc = hyperarcs_[static_cast<std::size_t>(h)];
+    targets.insert(targets.end(), arc.targets.begin(), arc.targets.end());
+  }
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  return targets;
+}
+
+std::vector<std::int64_t> DirectedHypergraph::bfs_distances(
+    Node source) const {
+  OTIS_REQUIRE(source >= 0 && source < node_count_,
+               "DirectedHypergraph: source out of range");
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(node_count_), -1);
+  dist[static_cast<std::size_t>(source)] = 0;
+  std::queue<Node> queue;
+  queue.push(source);
+  while (!queue.empty()) {
+    Node u = queue.front();
+    queue.pop();
+    for (HyperarcId h : out_hyperarcs(u)) {
+      for (Node v : hyperarcs_[static_cast<std::size_t>(h)].targets) {
+        if (dist[static_cast<std::size_t>(v)] < 0) {
+          dist[static_cast<std::size_t>(v)] =
+              dist[static_cast<std::size_t>(u)] + 1;
+          queue.push(v);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+std::int64_t DirectedHypergraph::diameter() const {
+  std::int64_t best = 0;
+  for (Node v = 0; v < node_count_; ++v) {
+    auto dist = bfs_distances(v);
+    for (std::int64_t d : dist) {
+      if (d < 0) {
+        return -1;
+      }
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+bool DirectedHypergraph::equivalent_to(const DirectedHypergraph& other) const {
+  if (node_count_ != other.node_count_ ||
+      hyperarc_count() != other.hyperarc_count()) {
+    return false;
+  }
+  auto normalize = [](const DirectedHypergraph& hg) {
+    std::vector<Hyperarc> arcs = hg.hyperarcs_;
+    for (Hyperarc& a : arcs) {
+      std::sort(a.sources.begin(), a.sources.end());
+      std::sort(a.targets.begin(), a.targets.end());
+    }
+    std::sort(arcs.begin(), arcs.end(),
+              [](const Hyperarc& x, const Hyperarc& y) {
+                if (x.sources != y.sources) {
+                  return x.sources < y.sources;
+                }
+                return x.targets < y.targets;
+              });
+    return arcs;
+  };
+  return normalize(*this) == normalize(other);
+}
+
+}  // namespace otis::hypergraph

@@ -1,0 +1,84 @@
+#pragma once
+/// \file hypergraph.hpp
+/// Directed hypergraphs: the model for one-to-many (multi-OPS) optical
+/// networks (paper Sec. 1-2; Berge 1987; Bourdin-Ferreira-Marcus 1998).
+///
+/// A hyperarc bundles a set of source nodes and a set of target nodes:
+/// any source may transmit, every target hears the transmission. A
+/// single-wavelength OPS coupler of degree s is exactly a hyperarc with
+/// s sources and s targets (paper Fig. 3).
+
+#include <cstdint>
+#include <vector>
+
+namespace otis::hypergraph {
+
+/// Node id within a hypergraph; nodes are 0..node_count()-1.
+using Node = std::int64_t;
+
+/// Hyperarc id; hyperarcs are 0..hyperarc_count()-1.
+using HyperarcId = std::int64_t;
+
+/// One directed hyperarc: every node in `sources` can send, every node in
+/// `targets` receives.
+struct Hyperarc {
+  std::vector<Node> sources;
+  std::vector<Node> targets;
+  friend bool operator==(const Hyperarc&, const Hyperarc&) = default;
+};
+
+/// Immutable directed hypergraph with per-node incidence indexes.
+class DirectedHypergraph {
+ public:
+  DirectedHypergraph() = default;
+
+  /// Builds from explicit hyperarcs; validates node ranges.
+  DirectedHypergraph(Node node_count, std::vector<Hyperarc> hyperarcs);
+
+  [[nodiscard]] Node node_count() const noexcept { return node_count_; }
+  [[nodiscard]] HyperarcId hyperarc_count() const noexcept {
+    return static_cast<HyperarcId>(hyperarcs_.size());
+  }
+
+  [[nodiscard]] const Hyperarc& hyperarc(HyperarcId h) const;
+  [[nodiscard]] const std::vector<Hyperarc>& hyperarcs() const noexcept {
+    return hyperarcs_;
+  }
+
+  /// Hyperarcs in which `v` appears as a source (its "out-couplers").
+  [[nodiscard]] const std::vector<HyperarcId>& out_hyperarcs(Node v) const;
+
+  /// Hyperarcs in which `v` appears as a target (its "in-couplers").
+  [[nodiscard]] const std::vector<HyperarcId>& in_hyperarcs(Node v) const;
+
+  /// Out-degree of a node = number of hyperarcs it can send on.
+  [[nodiscard]] std::int64_t out_degree(Node v) const {
+    return static_cast<std::int64_t>(out_hyperarcs(v).size());
+  }
+
+  /// In-degree of a node = number of hyperarcs it listens on.
+  [[nodiscard]] std::int64_t in_degree(Node v) const {
+    return static_cast<std::int64_t>(in_hyperarcs(v).size());
+  }
+
+  /// All nodes reachable from `v` in one transmission (union of targets of
+  /// out-hyperarcs).
+  [[nodiscard]] std::vector<Node> one_hop_targets(Node v) const;
+
+  /// BFS distances over hyperarcs (a hop = one coupler traversal).
+  [[nodiscard]] std::vector<std::int64_t> bfs_distances(Node source) const;
+
+  /// Max finite BFS distance over all ordered pairs; -1 if not connected.
+  [[nodiscard]] std::int64_t diameter() const;
+
+  /// Structural equality up to hyperarc order and source/target order.
+  [[nodiscard]] bool equivalent_to(const DirectedHypergraph& other) const;
+
+ private:
+  Node node_count_ = 0;
+  std::vector<Hyperarc> hyperarcs_;
+  std::vector<std::vector<HyperarcId>> out_index_;
+  std::vector<std::vector<HyperarcId>> in_index_;
+};
+
+}  // namespace otis::hypergraph

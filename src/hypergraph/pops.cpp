@@ -1,0 +1,40 @@
+#include "hypergraph/pops.hpp"
+
+#include "core/error.hpp"
+#include "core/mathutil.hpp"
+#include "topology/complete.hpp"
+
+namespace otis::hypergraph {
+
+Pops::Pops(std::int64_t group_size, std::int64_t group_count)
+    : t_(group_size),
+      g_(group_count),
+      stack_(group_size,
+             topology::complete_digraph(group_count, topology::Loops::kWith)) {
+  OTIS_REQUIRE(t_ >= 1, "Pops: group size must be >= 1");
+  OTIS_REQUIRE(g_ >= 1, "Pops: group count must be >= 1");
+}
+
+HyperarcId Pops::coupler(std::int64_t i, std::int64_t j) const {
+  OTIS_REQUIRE(i >= 0 && i < g_, "Pops::coupler: source group out of range");
+  OTIS_REQUIRE(j >= 0 && j < g_,
+               "Pops::coupler: destination group out of range");
+  // K+_g stores the arcs of tail i in Imase-Itoh order: position alpha-1
+  // holds head (g - alpha) mod g. Solve for alpha from j:
+  //   j = (-g*i - alpha) mod g = (-alpha) mod g  =>  alpha = (-j) mod g,
+  // with alpha == 0 meaning alpha = g (the loop head j == 0 case).
+  std::int64_t alpha = core::floor_mod(-j, g_);
+  if (alpha == 0) {
+    alpha = g_;
+  }
+  return stack_.coupler_of_arc(i * g_ + alpha - 1);
+}
+
+std::pair<std::int64_t, std::int64_t> Pops::coupler_label(HyperarcId h) const {
+  OTIS_REQUIRE(h >= 0 && h < coupler_count(),
+               "Pops::coupler_label: coupler out of range");
+  const graph::Arc arc = stack_.base().arc(stack_.arc_of_coupler(h));
+  return {arc.tail, arc.head};
+}
+
+}  // namespace otis::hypergraph

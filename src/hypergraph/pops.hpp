@@ -1,0 +1,65 @@
+#pragma once
+/// \file pops.hpp
+/// The Partitioned Optical Passive Star network POPS(t, g)
+/// (Chiarulli et al. 1996; paper Sec. 2.4, Figs. 4-5).
+///
+/// N = t*g processors split into g groups of t; one OPS coupler of degree
+/// t per ordered pair (i, j) of groups (g^2 couplers), coupler (i, j)
+/// fed by group i and heard by group j. Single-hop: every processor
+/// reaches every other in one coupler traversal. As a stack-graph it is
+/// sigma(t, K+_g) (Berthome-Ferreira 1996).
+
+#include <cstdint>
+#include <utility>
+
+#include "hypergraph/stack_graph.hpp"
+
+namespace otis::hypergraph {
+
+/// POPS(t, g) as a thin, label-aware wrapper over sigma(t, K+_g).
+class Pops {
+ public:
+  /// Requires t >= 1 (group size) and g >= 1 (group count).
+  Pops(std::int64_t group_size, std::int64_t group_count);
+
+  [[nodiscard]] std::int64_t group_size() const noexcept { return t_; }
+  [[nodiscard]] std::int64_t group_count() const noexcept { return g_; }
+  /// N = t*g.
+  [[nodiscard]] std::int64_t processor_count() const noexcept {
+    return t_ * g_;
+  }
+  /// g^2 couplers of degree t.
+  [[nodiscard]] std::int64_t coupler_count() const noexcept { return g_ * g_; }
+
+  /// The stack-graph model sigma(t, K+_g).
+  [[nodiscard]] const StackGraph& stack() const noexcept { return stack_; }
+
+  /// Group of a processor.
+  [[nodiscard]] std::int64_t group_of(Node p) const {
+    return stack_.project(p);
+  }
+
+  /// Index of a processor within its group.
+  [[nodiscard]] std::int64_t index_in_group(Node p) const {
+    return stack_.copy_index(p);
+  }
+
+  /// Processor id of (group, index).
+  [[nodiscard]] Node processor(std::int64_t group, std::int64_t index) const {
+    return stack_.node_of(group, index);
+  }
+
+  /// Coupler id for the (source group i, destination group j) pair.
+  [[nodiscard]] HyperarcId coupler(std::int64_t i, std::int64_t j) const;
+
+  /// Inverse of coupler(): the (i, j) label of a coupler id.
+  [[nodiscard]] std::pair<std::int64_t, std::int64_t> coupler_label(
+      HyperarcId h) const;
+
+ private:
+  std::int64_t t_;
+  std::int64_t g_;
+  StackGraph stack_;
+};
+
+}  // namespace otis::hypergraph

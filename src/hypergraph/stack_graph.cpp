@@ -1,0 +1,59 @@
+#include "hypergraph/stack_graph.hpp"
+
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace otis::hypergraph {
+
+StackGraph::StackGraph(std::int64_t stacking_factor, graph::Digraph base)
+    : s_(stacking_factor), base_(std::move(base)) {
+  OTIS_REQUIRE(s_ >= 1, "StackGraph: stacking factor must be >= 1");
+  std::vector<Hyperarc> hyperarcs;
+  hyperarcs.reserve(static_cast<std::size_t>(base_.size()));
+  for (graph::ArcId a = 0; a < base_.size(); ++a) {
+    const graph::Arc arc = base_.arc(a);
+    Hyperarc h;
+    h.sources.reserve(static_cast<std::size_t>(s_));
+    h.targets.reserve(static_cast<std::size_t>(s_));
+    for (std::int64_t y = 0; y < s_; ++y) {
+      h.sources.push_back(arc.tail * s_ + y);
+      h.targets.push_back(arc.head * s_ + y);
+    }
+    hyperarcs.push_back(std::move(h));
+  }
+  hypergraph_ = DirectedHypergraph(base_.order() * s_, std::move(hyperarcs));
+}
+
+graph::Vertex StackGraph::project(Node node) const {
+  OTIS_REQUIRE(node >= 0 && node < node_count(),
+               "StackGraph::project: node out of range");
+  return node / s_;
+}
+
+std::int64_t StackGraph::copy_index(Node node) const {
+  OTIS_REQUIRE(node >= 0 && node < node_count(),
+               "StackGraph::copy_index: node out of range");
+  return node % s_;
+}
+
+Node StackGraph::node_of(graph::Vertex x, std::int64_t y) const {
+  OTIS_REQUIRE(x >= 0 && x < base_.order(),
+               "StackGraph::node_of: base vertex out of range");
+  OTIS_REQUIRE(y >= 0 && y < s_, "StackGraph::node_of: copy index out of range");
+  return x * s_ + y;
+}
+
+HyperarcId StackGraph::coupler_of_arc(graph::ArcId a) const {
+  OTIS_REQUIRE(a >= 0 && a < base_.size(),
+               "StackGraph::coupler_of_arc: arc out of range");
+  return a;
+}
+
+graph::ArcId StackGraph::arc_of_coupler(HyperarcId h) const {
+  OTIS_REQUIRE(h >= 0 && h < hypergraph_.hyperarc_count(),
+               "StackGraph::arc_of_coupler: coupler out of range");
+  return h;
+}
+
+}  // namespace otis::hypergraph

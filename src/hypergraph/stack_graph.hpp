@@ -1,0 +1,68 @@
+#pragma once
+/// \file stack_graph.hpp
+/// Stack-graphs (paper Def. 1; Bourdin-Ferreira-Marcus 1998).
+///
+/// The stack-graph sigma(s, G) piles s copies of each vertex of a base
+/// digraph G and turns every base arc (u, v) into one hyperarc whose
+/// sources are the s copies of u and whose targets are the s copies of v.
+/// One hyperarc == one OPS coupler of degree s, so sigma(s, G) is *the*
+/// model of a multi-OPS network whose coupler wiring follows G.
+///
+/// Node numbering: copy y of base vertex x gets node id x*s + y, matching
+/// the paper's processor labels (x, y) = (group, index-in-group) for the
+/// stack-Kautz network (Fig. 7 numbers SK(6,3,2)'s processors 0..71 in
+/// exactly this order).
+
+#include <cstdint>
+
+#include "graph/digraph.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace otis::hypergraph {
+
+/// sigma(s, G) with the projection pi back onto G kept explicit.
+class StackGraph {
+ public:
+  /// Builds sigma(stacking_factor, base). stacking_factor >= 1.
+  StackGraph(std::int64_t stacking_factor, graph::Digraph base);
+
+  /// The stacking factor s (OPS coupler degree).
+  [[nodiscard]] std::int64_t stacking_factor() const noexcept { return s_; }
+
+  /// The base digraph G.
+  [[nodiscard]] const graph::Digraph& base() const noexcept { return base_; }
+
+  /// The hypergraph sigma(s, G); hyperarc h corresponds to base arc h
+  /// (CSR arc numbering of the base digraph).
+  [[nodiscard]] const DirectedHypergraph& hypergraph() const noexcept {
+    return hypergraph_;
+  }
+
+  /// Total processors: s * |V(G)|.
+  [[nodiscard]] Node node_count() const noexcept {
+    return hypergraph_.node_count();
+  }
+
+  /// Projection pi: stack node -> base vertex (the "group" label x).
+  [[nodiscard]] graph::Vertex project(Node node) const;
+
+  /// Copy index within the stack (the label y, 0 <= y < s).
+  [[nodiscard]] std::int64_t copy_index(Node node) const;
+
+  /// Node id of copy y of base vertex x.
+  [[nodiscard]] Node node_of(graph::Vertex x, std::int64_t y) const;
+
+  /// Hyperarc (coupler) id of base arc `a`; identity by construction but
+  /// kept as API so callers do not depend on that.
+  [[nodiscard]] HyperarcId coupler_of_arc(graph::ArcId a) const;
+
+  /// Base arc of a coupler.
+  [[nodiscard]] graph::ArcId arc_of_coupler(HyperarcId h) const;
+
+ private:
+  std::int64_t s_;
+  graph::Digraph base_;
+  DirectedHypergraph hypergraph_;
+};
+
+}  // namespace otis::hypergraph

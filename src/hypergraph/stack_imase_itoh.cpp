@@ -1,0 +1,43 @@
+#include "hypergraph/stack_imase_itoh.hpp"
+
+#include "core/error.hpp"
+
+namespace otis::hypergraph {
+
+graph::Digraph imase_itoh_with_loops(int degree, std::int64_t n) {
+  topology::ImaseItoh ii(degree, n);
+  const graph::Digraph& base = ii.graph();
+  std::vector<graph::Arc> arcs;
+  arcs.reserve(static_cast<std::size_t>(base.size() + base.order()));
+  for (graph::Vertex v = 0; v < base.order(); ++v) {
+    for (graph::ArcId a = base.out_begin(v); a < base.out_end(v); ++a) {
+      arcs.push_back(graph::Arc{v, base.head(a)});
+    }
+    arcs.push_back(graph::Arc{v, v});
+  }
+  return graph::Digraph::from_arcs(base.order(), arcs);
+}
+
+StackImaseItoh::StackImaseItoh(std::int64_t stacking_factor, int degree,
+                               std::int64_t n)
+    : s_(stacking_factor),
+      ii_(degree, n),
+      stack_(stacking_factor, imase_itoh_with_loops(degree, n)) {
+  OTIS_REQUIRE(s_ >= 1, "StackImaseItoh: stacking factor must be >= 1");
+}
+
+HyperarcId StackImaseItoh::arc_coupler(graph::Vertex x, int alpha) const {
+  OTIS_REQUIRE(x >= 0 && x < group_count(),
+               "StackImaseItoh::arc_coupler: group out of range");
+  OTIS_REQUIRE(alpha >= 1 && alpha <= ii_.degree(),
+               "StackImaseItoh::arc_coupler: alpha out of range");
+  return stack_.coupler_of_arc(x * (ii_.degree() + 1) + alpha - 1);
+}
+
+HyperarcId StackImaseItoh::loop_coupler(graph::Vertex x) const {
+  OTIS_REQUIRE(x >= 0 && x < group_count(),
+               "StackImaseItoh::loop_coupler: group out of range");
+  return stack_.coupler_of_arc(x * (ii_.degree() + 1) + ii_.degree());
+}
+
+}  // namespace otis::hypergraph

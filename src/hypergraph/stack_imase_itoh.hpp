@@ -1,0 +1,75 @@
+#pragma once
+/// \file stack_imase_itoh.hpp
+/// Stack-Imase-Itoh networks SII(s, d, n) -- the generalization the paper
+/// notes at the end of Sec. 2.7 ("the definition of stack-Kautz network
+/// can be trivially extended to the stack-Imase-Itoh network").
+///
+/// SII(s, d, n) = sigma(s, II+(d, n)) where II+(d,n) is the Imase-Itoh
+/// graph with a loop added at every vertex. Unlike stack-Kautz it exists
+/// for *every* group count n, which is what makes it deployable: you can
+/// grow the machine one group at a time.
+
+#include <cstdint>
+
+#include "hypergraph/stack_graph.hpp"
+#include "topology/imase_itoh.hpp"
+
+namespace otis::hypergraph {
+
+/// SII(s, d, n): s-stacked Imase-Itoh network with loop couplers.
+class StackImaseItoh {
+ public:
+  /// Requires s >= 1, d >= 1, n >= d.
+  StackImaseItoh(std::int64_t stacking_factor, int degree, std::int64_t n);
+
+  [[nodiscard]] std::int64_t stacking_factor() const noexcept { return s_; }
+  [[nodiscard]] int base_degree() const noexcept { return ii_.degree(); }
+  [[nodiscard]] int processor_degree() const noexcept {
+    return ii_.degree() + 1;
+  }
+  [[nodiscard]] std::int64_t group_count() const noexcept {
+    return ii_.order();
+  }
+  [[nodiscard]] std::int64_t processor_count() const noexcept {
+    return s_ * ii_.order();
+  }
+  [[nodiscard]] std::int64_t coupler_count() const noexcept {
+    return group_count() * (ii_.degree() + 1);
+  }
+
+  /// Group-level diameter bound ceil(log_d n) from Imase-Itoh 1981.
+  [[nodiscard]] unsigned diameter_bound() const {
+    return ii_.diameter_formula();
+  }
+
+  [[nodiscard]] const topology::ImaseItoh& imase_itoh() const noexcept {
+    return ii_;
+  }
+
+  [[nodiscard]] const StackGraph& stack() const noexcept { return stack_; }
+
+  [[nodiscard]] graph::Vertex group_of(Node p) const {
+    return stack_.project(p);
+  }
+  [[nodiscard]] std::int64_t index_in_group(Node p) const {
+    return stack_.copy_index(p);
+  }
+  [[nodiscard]] Node processor(graph::Vertex x, std::int64_t y) const {
+    return stack_.node_of(x, y);
+  }
+
+  /// Coupler of group x's arc alpha (1..d), or the loop coupler.
+  [[nodiscard]] HyperarcId arc_coupler(graph::Vertex x, int alpha) const;
+  [[nodiscard]] HyperarcId loop_coupler(graph::Vertex x) const;
+
+ private:
+  std::int64_t s_;
+  topology::ImaseItoh ii_;
+  StackGraph stack_;
+};
+
+/// II+(d, n): Imase-Itoh graph with a loop appended at every vertex
+/// (after the d Imase-Itoh-ordered arcs).
+[[nodiscard]] graph::Digraph imase_itoh_with_loops(int degree, std::int64_t n);
+
+}  // namespace otis::hypergraph

@@ -1,0 +1,43 @@
+#include "hypergraph/stack_kautz.hpp"
+
+#include "core/error.hpp"
+#include "topology/imase_itoh.hpp"
+
+namespace otis::hypergraph {
+
+StackKautz::StackKautz(std::int64_t stacking_factor, int degree, int diameter)
+    : s_(stacking_factor),
+      kautz_(degree, diameter),
+      stack_(stacking_factor, topology::kautz_with_loops(degree, diameter)) {
+  OTIS_REQUIRE(s_ >= 1, "StackKautz: stacking factor must be >= 1");
+}
+
+HyperarcId StackKautz::arc_coupler(graph::Vertex x, int alpha) const {
+  OTIS_REQUIRE(x >= 0 && x < group_count(),
+               "StackKautz::arc_coupler: group out of range");
+  OTIS_REQUIRE(alpha >= 1 && alpha <= kautz_.degree(),
+               "StackKautz::arc_coupler: alpha out of range");
+  // kautz_with_loops stores, per vertex, the d Imase-Itoh arcs followed by
+  // the loop: arc alpha of group x is base arc x*(d+1) + alpha - 1.
+  return stack_.coupler_of_arc(x * (kautz_.degree() + 1) + alpha - 1);
+}
+
+HyperarcId StackKautz::loop_coupler(graph::Vertex x) const {
+  OTIS_REQUIRE(x >= 0 && x < group_count(),
+               "StackKautz::loop_coupler: group out of range");
+  return stack_.coupler_of_arc(x * (kautz_.degree() + 1) + kautz_.degree());
+}
+
+HyperarcId StackKautz::coupler_between(graph::Vertex x,
+                                       graph::Vertex x_next) const {
+  if (x == x_next) {
+    return loop_coupler(x);
+  }
+  topology::ImaseItoh ii(kautz_.degree(), kautz_.order());
+  int alpha = ii.alpha_of_arc(x, x_next);
+  OTIS_REQUIRE(alpha != 0,
+               "StackKautz::coupler_between: groups are not adjacent");
+  return arc_coupler(x, alpha);
+}
+
+}  // namespace otis::hypergraph

@@ -1,0 +1,87 @@
+#pragma once
+/// \file stack_kautz.hpp
+/// The stack-Kautz network SK(s, d, k) (paper Def. 4; Coudert-Ferreira-
+/// Munoz IPPS 1998) -- the paper's flagship multi-hop multi-OPS topology.
+///
+/// SK(s, d, k) = sigma(s, KG+(d, k)): groups of s processors wired along
+/// the Kautz graph with loops, so every group owns d+1 outgoing OPS
+/// couplers of degree s (d Kautz arcs + 1 loop) and listens on d+1.
+/// N = s * d^{k-1} (d+1) processors, processor degree d+1, diameter k.
+/// A processor is labeled (x, y): x the Kautz group (word label via
+/// topology::Kautz), y its index in the group.
+
+#include <cstdint>
+
+#include "hypergraph/stack_graph.hpp"
+#include "topology/kautz.hpp"
+
+namespace otis::hypergraph {
+
+/// SK(s, d, k) with Kautz word labels and coupler arithmetic exposed.
+class StackKautz {
+ public:
+  /// Requires s >= 1, d >= 1, k >= 1.
+  StackKautz(std::int64_t stacking_factor, int degree, int diameter);
+
+  [[nodiscard]] std::int64_t stacking_factor() const noexcept { return s_; }
+  [[nodiscard]] int kautz_degree() const noexcept { return kautz_.degree(); }
+  /// Processor degree d+1 (Kautz arcs plus the loop coupler).
+  [[nodiscard]] int processor_degree() const noexcept {
+    return kautz_.degree() + 1;
+  }
+  [[nodiscard]] int diameter() const noexcept { return kautz_.diameter(); }
+  /// Number of groups: d^{k-1}(d+1).
+  [[nodiscard]] std::int64_t group_count() const noexcept {
+    return kautz_.order();
+  }
+  /// N = s * d^{k-1}(d+1).
+  [[nodiscard]] std::int64_t processor_count() const noexcept {
+    return s_ * kautz_.order();
+  }
+  /// d^{k-1}(d+1)^2 couplers: (d+1) per group.
+  [[nodiscard]] std::int64_t coupler_count() const noexcept {
+    return group_count() * (kautz_.degree() + 1);
+  }
+
+  /// The underlying Kautz graph (word labels, Imase-Itoh numbering).
+  [[nodiscard]] const topology::Kautz& kautz() const noexcept {
+    return kautz_;
+  }
+
+  /// The stack-graph sigma(s, KG+(d,k)).
+  [[nodiscard]] const StackGraph& stack() const noexcept { return stack_; }
+
+  /// Group (Kautz vertex) of a processor.
+  [[nodiscard]] graph::Vertex group_of(Node p) const {
+    return stack_.project(p);
+  }
+
+  /// Index of a processor inside its group.
+  [[nodiscard]] std::int64_t index_in_group(Node p) const {
+    return stack_.copy_index(p);
+  }
+
+  /// Processor id of (group x, index y).
+  [[nodiscard]] Node processor(graph::Vertex x, std::int64_t y) const {
+    return stack_.node_of(x, y);
+  }
+
+  /// Coupler carrying group x's Kautz arc with Imase-Itoh label alpha
+  /// (1 <= alpha <= d).
+  [[nodiscard]] HyperarcId arc_coupler(graph::Vertex x, int alpha) const;
+
+  /// The loop coupler of group x (intra-group one-to-many).
+  [[nodiscard]] HyperarcId loop_coupler(graph::Vertex x) const;
+
+  /// Coupler from group x to adjacent group x'; requires the Kautz arc
+  /// x -> x' (or x == x' for the loop) to exist.
+  [[nodiscard]] HyperarcId coupler_between(graph::Vertex x,
+                                           graph::Vertex x_next) const;
+
+ private:
+  std::int64_t s_;
+  topology::Kautz kautz_;
+  StackGraph stack_;
+};
+
+}  // namespace otis::hypergraph

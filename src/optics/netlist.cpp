@@ -1,0 +1,189 @@
+#include "optics/netlist.hpp"
+
+#include "core/error.hpp"
+
+namespace otis::optics {
+
+const char* kind_name(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kTransmitter:
+      return "transmitter";
+    case ComponentKind::kReceiver:
+      return "receiver";
+    case ComponentKind::kMultiplexer:
+      return "multiplexer";
+    case ComponentKind::kBeamSplitter:
+      return "beam-splitter";
+    case ComponentKind::kOtis:
+      return "OTIS";
+    case ComponentKind::kFiber:
+      return "fiber";
+  }
+  return "?";
+}
+
+ComponentId Netlist::add_component(Component component) {
+  components_.push_back(std::move(component));
+  const Component& placed = components_.back();
+  out_links_.emplace_back(static_cast<std::size_t>(placed.outputs));
+  in_links_.emplace_back(static_cast<std::size_t>(placed.inputs));
+  return static_cast<ComponentId>(components_.size()) - 1;
+}
+
+ComponentId Netlist::add_transmitter(std::string label) {
+  return add_component(
+      Component{ComponentKind::kTransmitter, 0, 1, 0, 0, std::move(label)});
+}
+
+ComponentId Netlist::add_receiver(std::string label) {
+  return add_component(
+      Component{ComponentKind::kReceiver, 1, 0, 0, 0, std::move(label)});
+}
+
+ComponentId Netlist::add_multiplexer(std::int64_t fan_in, std::string label) {
+  OTIS_REQUIRE(fan_in >= 1, "Netlist: multiplexer fan-in must be >= 1");
+  return add_component(Component{ComponentKind::kMultiplexer, fan_in, 1, 0, 0,
+                                 std::move(label)});
+}
+
+ComponentId Netlist::add_beam_splitter(std::int64_t fan_out,
+                                       std::string label) {
+  OTIS_REQUIRE(fan_out >= 1, "Netlist: beam-splitter fan-out must be >= 1");
+  return add_component(Component{ComponentKind::kBeamSplitter, 1, fan_out, 0,
+                                 0, std::move(label)});
+}
+
+ComponentId Netlist::add_otis(std::int64_t groups, std::int64_t group_size,
+                              std::string label) {
+  OTIS_REQUIRE(groups >= 1 && group_size >= 1,
+               "Netlist: OTIS parameters must be >= 1");
+  const std::int64_t ports = groups * group_size;
+  return add_component(Component{ComponentKind::kOtis, ports, ports, groups,
+                                 group_size, std::move(label)});
+}
+
+ComponentId Netlist::add_fiber(std::string label) {
+  return add_component(
+      Component{ComponentKind::kFiber, 1, 1, 0, 0, std::move(label)});
+}
+
+const Component& Netlist::component(ComponentId id) const {
+  OTIS_REQUIRE(id >= 0 && id < component_count(),
+               "Netlist: component id out of range");
+  return components_[static_cast<std::size_t>(id)];
+}
+
+void Netlist::check_output(PortRef ref) const {
+  const Component& c = component(ref.component);
+  OTIS_REQUIRE(ref.port >= 0 && ref.port < c.outputs,
+               "Netlist: output port out of range on " + c.label);
+}
+
+void Netlist::check_input(PortRef ref) const {
+  const Component& c = component(ref.component);
+  OTIS_REQUIRE(ref.port >= 0 && ref.port < c.inputs,
+               "Netlist: input port out of range on " + c.label);
+}
+
+void Netlist::connect(PortRef from, PortRef to) {
+  check_output(from);
+  check_input(to);
+  auto& out_slot = out_links_[static_cast<std::size_t>(from.component)]
+                             [static_cast<std::size_t>(from.port)];
+  auto& in_slot = in_links_[static_cast<std::size_t>(to.component)]
+                           [static_cast<std::size_t>(to.port)];
+  OTIS_REQUIRE(!out_slot.has_value(),
+               "Netlist: output port already wired on " +
+                   component(from.component).label);
+  OTIS_REQUIRE(!in_slot.has_value(),
+               "Netlist: input port already wired on " +
+                   component(to.component).label);
+  out_slot = to;
+  in_slot = from;
+}
+
+std::optional<PortRef> Netlist::link_from(PortRef output) const {
+  check_output(output);
+  return out_links_[static_cast<std::size_t>(output.component)]
+                   [static_cast<std::size_t>(output.port)];
+}
+
+std::optional<PortRef> Netlist::link_into(PortRef input) const {
+  check_input(input);
+  return in_links_[static_cast<std::size_t>(input.component)]
+                  [static_cast<std::size_t>(input.port)];
+}
+
+std::vector<PortRef> Netlist::propagate_inside(PortRef input) const {
+  check_input(input);
+  const Component& c = component(input.component);
+  switch (c.kind) {
+    case ComponentKind::kTransmitter:
+      OTIS_ASSERT(false, "transmitter has no inputs");
+      return {};
+    case ComponentKind::kReceiver:
+      return {};  // light terminates at the photodetector
+    case ComponentKind::kMultiplexer:
+      return {PortRef{input.component, 0}};
+    case ComponentKind::kBeamSplitter: {
+      std::vector<PortRef> outs;
+      outs.reserve(static_cast<std::size_t>(c.outputs));
+      for (std::int64_t p = 0; p < c.outputs; ++p) {
+        outs.push_back(PortRef{input.component, p});
+      }
+      return outs;
+    }
+    case ComponentKind::kOtis: {
+      ::otis::otis::Otis lens(c.otis_groups, c.otis_group_size);
+      const std::int64_t out =
+          lens.output_index(lens.map(lens.input_port(input.port)));
+      return {PortRef{input.component, out}};
+    }
+    case ComponentKind::kFiber:
+      return {PortRef{input.component, 0}};
+  }
+  return {};
+}
+
+std::int64_t Netlist::count(ComponentKind kind) const {
+  std::int64_t n = 0;
+  for (const Component& c : components_) {
+    if (c.kind == kind) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<ComponentId> Netlist::of_kind(ComponentKind kind) const {
+  std::vector<ComponentId> ids;
+  for (ComponentId id = 0; id < component_count(); ++id) {
+    if (components_[static_cast<std::size_t>(id)].kind == kind) {
+      ids.push_back(id);
+    }
+  }
+  return ids;
+}
+
+std::optional<std::string> Netlist::find_dangling_port() const {
+  for (ComponentId id = 0; id < component_count(); ++id) {
+    const Component& c = components_[static_cast<std::size_t>(id)];
+    for (std::int64_t p = 0; p < c.outputs; ++p) {
+      if (!out_links_[static_cast<std::size_t>(id)][static_cast<std::size_t>(
+              p)]) {
+        return std::string(kind_name(c.kind)) + " '" + c.label +
+               "' output port " + std::to_string(p) + " is dangling";
+      }
+    }
+    for (std::int64_t p = 0; p < c.inputs; ++p) {
+      if (!in_links_[static_cast<std::size_t>(id)][static_cast<std::size_t>(
+              p)]) {
+        return std::string(kind_name(c.kind)) + " '" + c.label +
+               "' input port " + std::to_string(p) + " is dangling";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace otis::optics

@@ -1,0 +1,117 @@
+#pragma once
+/// \file netlist.hpp
+/// Optical component netlists.
+///
+/// The paper's designs are assemblies of six component types: laser
+/// transmitters, photodetector receivers, optical multiplexers (the input
+/// half of an OPS coupler), beam-splitters (the output half), OTIS lens
+/// pairs, and plain fiber links. A Netlist is a directed wiring of such
+/// components; light always flows from output ports to input ports.
+/// Designs built in src/designs are verified by tracing light through the
+/// netlist (trace.hpp), so the netlist is the single source of truth for
+/// "what the optics actually connect".
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "otis/otis.hpp"
+
+namespace otis::optics {
+
+/// Component id within a netlist.
+using ComponentId = std::int64_t;
+
+/// The six component types of the paper's constructions.
+enum class ComponentKind {
+  kTransmitter,   ///< laser source: 0 inputs, 1 output
+  kReceiver,      ///< photodetector: 1 input, 0 outputs
+  kMultiplexer,   ///< OPS input half: s inputs, 1 output
+  kBeamSplitter,  ///< OPS output half: 1 input, s outputs
+  kOtis,          ///< OTIS(G, T) lens pair: G*T inputs, G*T outputs
+  kFiber,         ///< guided link: 1 input, 1 output
+};
+
+/// Human-readable name of a component kind.
+[[nodiscard]] const char* kind_name(ComponentKind kind);
+
+/// One placed component.
+struct Component {
+  ComponentKind kind = ComponentKind::kFiber;
+  std::int64_t inputs = 0;   ///< number of input ports
+  std::int64_t outputs = 0;  ///< number of output ports
+  /// For kOtis: the lens-pair parameters (inputs = outputs = G*T).
+  std::int64_t otis_groups = 0;
+  std::int64_t otis_group_size = 0;
+  std::string label;  ///< free-form, used in error messages and dumps
+};
+
+/// Reference to one port of one component.
+struct PortRef {
+  ComponentId component = -1;
+  std::int64_t port = 0;
+  friend bool operator==(const PortRef&, const PortRef&) = default;
+};
+
+/// A directed optical wiring of components.
+class Netlist {
+ public:
+  Netlist() = default;
+
+  /// \name Component placement
+  /// @{
+  ComponentId add_transmitter(std::string label);
+  ComponentId add_receiver(std::string label);
+  ComponentId add_multiplexer(std::int64_t fan_in, std::string label);
+  ComponentId add_beam_splitter(std::int64_t fan_out, std::string label);
+  ComponentId add_otis(std::int64_t groups, std::int64_t group_size,
+                       std::string label);
+  ComponentId add_fiber(std::string label);
+  /// @}
+
+  /// Connects output port `from` to input port `to`. Each output drives
+  /// at most one input and vice versa (free-space beams and fibers are
+  /// point-to-point; fan-out only happens *inside* beam-splitters).
+  void connect(PortRef from, PortRef to);
+
+  [[nodiscard]] std::int64_t component_count() const noexcept {
+    return static_cast<std::int64_t>(components_.size());
+  }
+  [[nodiscard]] const Component& component(ComponentId id) const;
+
+  /// The input port wired to the given output port, if any.
+  [[nodiscard]] std::optional<PortRef> link_from(PortRef output) const;
+
+  /// The output port wired to the given input port, if any.
+  [[nodiscard]] std::optional<PortRef> link_into(PortRef input) const;
+
+  /// Where light entering `input` exits the same component: the list of
+  /// output ports it illuminates (empty for receivers; all outputs for a
+  /// beam-splitter; the transpose image for an OTIS block).
+  [[nodiscard]] std::vector<PortRef> propagate_inside(PortRef input) const;
+
+  /// Count of components of a given kind.
+  [[nodiscard]] std::int64_t count(ComponentKind kind) const;
+
+  /// All component ids of a given kind, in placement order.
+  [[nodiscard]] std::vector<ComponentId> of_kind(ComponentKind kind) const;
+
+  /// Checks every port of every component is wired (transmitter outputs,
+  /// receiver inputs, all mux/splitter/OTIS/fiber ports). Returns a
+  /// description of the first dangling port, or std::nullopt when fully
+  /// wired. Designs are expected to be fully wired.
+  [[nodiscard]] std::optional<std::string> find_dangling_port() const;
+
+ private:
+  ComponentId add_component(Component component);
+  void check_output(PortRef ref) const;
+  void check_input(PortRef ref) const;
+
+  std::vector<Component> components_;
+  /// Per component: wired peer of each output port / input port.
+  std::vector<std::vector<std::optional<PortRef>>> out_links_;
+  std::vector<std::vector<std::optional<PortRef>>> in_links_;
+};
+
+}  // namespace otis::optics

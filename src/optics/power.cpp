@@ -1,0 +1,48 @@
+#include "optics/power.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace otis::optics {
+
+double LossModel::beam_splitter_db(std::int64_t fan_out) const {
+  OTIS_REQUIRE(fan_out >= 1, "beam_splitter_db: fan-out must be >= 1");
+  return 10.0 * std::log10(static_cast<double>(fan_out)) + splitter_excess_db;
+}
+
+double canonical_hop_loss_db(const LossModel& model, std::int64_t s) {
+  return model.transmitter_coupling_db + model.otis_lens_pair_db +
+         model.multiplexer_db + model.otis_lens_pair_db +
+         model.beam_splitter_db(s) + model.otis_lens_pair_db +
+         model.receiver_coupling_db;
+}
+
+std::int64_t max_stacking_factor(const PowerBudget& budget,
+                                 const LossModel& model) {
+  if (!budget.feasible(canonical_hop_loss_db(model, 1))) {
+    return 0;
+  }
+  // Loss grows monotonically in s; exponential + binary search keeps this
+  // O(log s_max) even for generous budgets.
+  std::int64_t lo = 1;
+  std::int64_t hi = 2;
+  while (budget.feasible(canonical_hop_loss_db(model, hi))) {
+    lo = hi;
+    if (hi > (std::int64_t{1} << 40)) {
+      return hi;  // budget is effectively unbounded
+    }
+    hi *= 2;
+  }
+  while (lo + 1 < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (budget.feasible(canonical_hop_loss_db(model, mid))) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace otis::optics

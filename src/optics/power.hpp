@@ -1,0 +1,64 @@
+#pragma once
+/// \file power.hpp
+/// Optical power budget model.
+///
+/// The paper leans on the technology argument that OPS couplers are
+/// passive (no power source) and low loss [14, 20], and that free-space
+/// optics beat electrical wiring on power [12]. The architectural
+/// consequence is a feasibility constraint: a degree-s beam-splitter
+/// divides the signal s ways, costing 10*log10(s) dB, so the stacking
+/// factor s of a multi-OPS network is bounded by the link budget. This
+/// model makes that bound computable (used by bench/perf3_power_budget).
+///
+/// Default constants are representative mid-1990s free-space values
+/// (VCSEL arrays ~0 dBm, PIN receivers ~ -30 dBm sensitivity at Gb/s,
+/// fractions of a dB per passive element); they are parameters, not
+/// claims.
+
+#include <cstdint>
+
+namespace otis::optics {
+
+/// Per-component insertion losses in dB (excess loss only; the 1/s
+/// splitting loss of a beam-splitter is added separately).
+struct LossModel {
+  double transmitter_coupling_db = 0.5;  ///< laser -> system coupling
+  double multiplexer_db = 1.0;           ///< OPS input half
+  double splitter_excess_db = 0.5;       ///< OPS output half, excess only
+  double otis_lens_pair_db = 1.0;        ///< two lenslet planes + path
+  double fiber_db = 0.2;                 ///< short guided link
+  double receiver_coupling_db = 0.5;     ///< system -> detector coupling
+
+  /// Splitting loss of a 1:s beam-splitter: 10*log10(s) + excess.
+  [[nodiscard]] double beam_splitter_db(std::int64_t fan_out) const;
+};
+
+/// End-to-end link budget.
+struct PowerBudget {
+  double transmit_power_dbm = 0.0;        ///< laser output
+  double receiver_sensitivity_dbm = -30;  ///< detector threshold
+  double system_margin_db = 3.0;          ///< safety margin
+
+  /// Maximum tolerable path loss: P_tx - (S_rx + margin).
+  [[nodiscard]] double loss_allowance_db() const {
+    return transmit_power_dbm - receiver_sensitivity_dbm - system_margin_db;
+  }
+
+  /// True if a path with the given loss closes the link.
+  [[nodiscard]] bool feasible(double path_loss_db) const {
+    return path_loss_db <= loss_allowance_db();
+  }
+};
+
+/// Largest OPS degree s such that a canonical multi-OPS hop
+/// (transmitter -> group OTIS -> multiplexer -> interconnect OTIS ->
+/// 1:s beam-splitter -> group OTIS -> receiver) still closes the link.
+/// Returns 0 if even s = 1 fails.
+[[nodiscard]] std::int64_t max_stacking_factor(const PowerBudget& budget,
+                                               const LossModel& model);
+
+/// The loss of that canonical multi-OPS hop for a given s.
+[[nodiscard]] double canonical_hop_loss_db(const LossModel& model,
+                                           std::int64_t s);
+
+}  // namespace otis::optics

@@ -1,0 +1,96 @@
+#include "optics/trace.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace otis::optics {
+
+namespace {
+
+struct Frontier {
+  PortRef output;  // an output port light is leaving
+  double loss_db;
+  std::int64_t couplers;
+  std::vector<ComponentId> path;
+};
+
+double component_loss(const Netlist& netlist, ComponentId id,
+                      const LossModel& model) {
+  const Component& c = netlist.component(id);
+  switch (c.kind) {
+    case ComponentKind::kTransmitter:
+      return model.transmitter_coupling_db;
+    case ComponentKind::kReceiver:
+      return model.receiver_coupling_db;
+    case ComponentKind::kMultiplexer:
+      return model.multiplexer_db;
+    case ComponentKind::kBeamSplitter:
+      return model.beam_splitter_db(c.outputs);
+    case ComponentKind::kOtis:
+      return model.otis_lens_pair_db;
+    case ComponentKind::kFiber:
+      return model.fiber_db;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<TraceEndpoint> trace_from_transmitter(const Netlist& netlist,
+                                                  ComponentId transmitter,
+                                                  const LossModel& model) {
+  OTIS_REQUIRE(netlist.component(transmitter).kind ==
+                   ComponentKind::kTransmitter,
+               "trace_from_transmitter: component is not a transmitter");
+  std::vector<TraceEndpoint> endpoints;
+  std::vector<Frontier> stack;
+  stack.push_back(Frontier{PortRef{transmitter, 0},
+                           component_loss(netlist, transmitter, model), 0,
+                           {transmitter}});
+  // A physical design is feed-forward; bound the walk defensively so a
+  // miswired netlist with a loop fails loudly instead of spinning.
+  const std::int64_t step_limit = 4 * netlist.component_count() + 16;
+  while (!stack.empty()) {
+    Frontier f = std::move(stack.back());
+    stack.pop_back();
+    OTIS_REQUIRE(static_cast<std::int64_t>(f.path.size()) <= step_limit,
+                 "trace_from_transmitter: step limit exceeded (cycle in "
+                 "netlist?)");
+    auto next_input = netlist.link_from(f.output);
+    OTIS_REQUIRE(next_input.has_value(),
+                 "trace_from_transmitter: dangling output on " +
+                     netlist.component(f.output.component).label);
+    const ComponentId next = next_input->component;
+    const Component& c = netlist.component(next);
+    double loss = f.loss_db + component_loss(netlist, next, model);
+    std::vector<ComponentId> path = f.path;
+    path.push_back(next);
+    if (c.kind == ComponentKind::kReceiver) {
+      endpoints.push_back(TraceEndpoint{next, loss, f.couplers, std::move(path)});
+      continue;
+    }
+    const std::int64_t couplers =
+        f.couplers + (c.kind == ComponentKind::kMultiplexer ? 1 : 0);
+    for (PortRef out : netlist.propagate_inside(*next_input)) {
+      stack.push_back(Frontier{out, loss, couplers, path});
+    }
+  }
+  std::sort(endpoints.begin(), endpoints.end(),
+            [](const TraceEndpoint& a, const TraceEndpoint& b) {
+              return a.receiver < b.receiver;
+            });
+  return endpoints;
+}
+
+double max_loss_db(const Netlist& netlist, const LossModel& model) {
+  double worst = 0.0;
+  for (ComponentId tx : netlist.of_kind(ComponentKind::kTransmitter)) {
+    for (const TraceEndpoint& e : trace_from_transmitter(netlist, tx, model)) {
+      worst = std::max(worst, e.loss_db);
+    }
+  }
+  return worst;
+}
+
+}  // namespace otis::optics

@@ -1,0 +1,40 @@
+#pragma once
+/// \file trace.hpp
+/// Light-path tracing through an optical netlist.
+///
+/// Starting at a transmitter, light crosses point-to-point links, is
+/// redirected inside OTIS lens pairs, merged by multiplexers, fanned out
+/// by beam-splitters and terminated by receivers. The tracer enumerates
+/// every receiver a transmitter illuminates, together with the traversed
+/// component chain and the accumulated insertion/splitting loss. Design
+/// verification (designs/verify.hpp) is built entirely on this.
+
+#include <cstdint>
+#include <vector>
+
+#include "optics/netlist.hpp"
+#include "optics/power.hpp"
+
+namespace otis::optics {
+
+/// One terminal of a traced lightpath.
+struct TraceEndpoint {
+  ComponentId receiver = -1;   ///< the photodetector reached
+  double loss_db = 0.0;        ///< total optical loss along the path
+  std::int64_t couplers = 0;   ///< multiplexers traversed (== OPS couplers)
+  std::vector<ComponentId> path;  ///< component chain, transmitter first
+};
+
+/// All receivers illuminated by `transmitter`, in deterministic order.
+/// Loss is computed with `model` (use LossModel{} for the default).
+/// Throws if the netlist contains a cycle reachable from the transmitter
+/// (physical designs are feed-forward) or a dangling port on the path.
+[[nodiscard]] std::vector<TraceEndpoint> trace_from_transmitter(
+    const Netlist& netlist, ComponentId transmitter, const LossModel& model);
+
+/// Worst-case (max) loss over every transmitter -> receiver path in the
+/// netlist. Useful for power-budget feasibility of a whole design.
+[[nodiscard]] double max_loss_db(const Netlist& netlist,
+                                 const LossModel& model);
+
+}  // namespace otis::optics

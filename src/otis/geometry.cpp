@@ -1,0 +1,86 @@
+#include "otis/geometry.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace otis::otis {
+
+OtisGeometry::OtisGeometry(Otis otis, GeometryConfig config)
+    : otis_(otis), config_(config) {
+  OTIS_REQUIRE(config_.port_pitch > 0, "OtisGeometry: pitch must be > 0");
+  OTIS_REQUIRE(config_.plane_separation > 0,
+               "OtisGeometry: separation must be > 0");
+}
+
+double OtisGeometry::input_position(std::int64_t input_index) const {
+  OTIS_REQUIRE(input_index >= 0 && input_index < otis_.port_count(),
+               "OtisGeometry: input index out of range");
+  // Ports are laid out contiguously; both planes share the same span so
+  // the transpose's center symmetry is visible in the coordinates.
+  return config_.port_pitch * static_cast<double>(input_index);
+}
+
+double OtisGeometry::output_position(std::int64_t output_index) const {
+  OTIS_REQUIRE(output_index >= 0 && output_index < otis_.port_count(),
+               "OtisGeometry: output index out of range");
+  return config_.port_pitch * static_cast<double>(output_index);
+}
+
+double OtisGeometry::input_lenslet_center(std::int64_t group) const {
+  OTIS_REQUIRE(group >= 0 && group < otis_.input_groups(),
+               "OtisGeometry: input group out of range");
+  const double first = input_position(group * otis_.input_group_size());
+  const double last = input_position((group + 1) * otis_.input_group_size() -
+                                     1);
+  return (first + last) / 2.0;
+}
+
+double OtisGeometry::output_lenslet_center(std::int64_t group) const {
+  OTIS_REQUIRE(group >= 0 && group < otis_.output_groups(),
+               "OtisGeometry: output group out of range");
+  const double first = output_position(group * otis_.output_group_size());
+  const double last =
+      output_position((group + 1) * otis_.output_group_size() - 1);
+  return (first + last) / 2.0;
+}
+
+Beam OtisGeometry::beam(std::int64_t input_index) const {
+  Beam b;
+  b.input_index = input_index;
+  const OutputPort out = otis_.map(otis_.input_port(input_index));
+  b.output_index = otis_.output_index(out);
+  b.x_in = input_position(input_index);
+  b.x_out = output_position(b.output_index);
+  const double dx = b.x_out - b.x_in;
+  b.angle_rad = std::atan2(dx, config_.plane_separation);
+  b.length = std::hypot(dx, config_.plane_separation);
+  return b;
+}
+
+std::vector<Beam> OtisGeometry::all_beams() const {
+  std::vector<Beam> beams;
+  beams.reserve(static_cast<std::size_t>(otis_.port_count()));
+  for (std::int64_t i = 0; i < otis_.port_count(); ++i) {
+    beams.push_back(beam(i));
+  }
+  return beams;
+}
+
+double OtisGeometry::max_angle_rad() const {
+  double worst = 0.0;
+  for (const Beam& b : all_beams()) {
+    worst = std::max(worst, std::abs(b.angle_rad));
+  }
+  return worst;
+}
+
+double OtisGeometry::total_beam_length() const {
+  double total = 0.0;
+  for (const Beam& b : all_beams()) {
+    total += b.length;
+  }
+  return total;
+}
+
+}  // namespace otis::otis

@@ -1,0 +1,79 @@
+#pragma once
+/// \file geometry.hpp
+/// Physical lens-plane geometry of the OTIS architecture.
+///
+/// OTIS(G, T) is built from two planes of lenslets in free space
+/// (Marsden et al. 1993, paper Fig. 1): a transmitter-side plane with G
+/// lenslets (one per input group) and a receiver-side plane with T
+/// lenslets (one per output group). Each input group's lenslet images
+/// the whole group onto the opposite plane reversed, producing the
+/// transpose. This model assigns 1-D coordinates (the figure's layout)
+/// to every port and lenslet and computes the beam angles the design
+/// would need -- the quantity that bounds how large an OTIS plane can
+/// get before lens aperture/field limits bite (Zane et al. 1996).
+
+#include <cstdint>
+#include <vector>
+
+#include "otis/otis.hpp"
+
+namespace otis::otis {
+
+/// Geometry parameters: all lengths in arbitrary consistent units.
+struct GeometryConfig {
+  double port_pitch = 1.0;        ///< spacing between adjacent ports
+  double plane_separation = 50.0; ///< distance between the two planes
+};
+
+/// A straight beam segment from a transmitter port to a receiver port.
+struct Beam {
+  std::int64_t input_index = 0;   ///< linear transmitter index
+  std::int64_t output_index = 0;  ///< linear receiver index
+  double x_in = 0.0;              ///< transmitter-plane coordinate
+  double x_out = 0.0;             ///< receiver-plane coordinate
+  double angle_rad = 0.0;         ///< deflection from the optical axis
+  double length = 0.0;            ///< geometric path length
+};
+
+/// 1-D physical layout of an OTIS(G, T) system.
+class OtisGeometry {
+ public:
+  OtisGeometry(Otis otis, GeometryConfig config);
+
+  [[nodiscard]] const Otis& otis() const noexcept { return otis_; }
+  [[nodiscard]] const GeometryConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Transmitter-plane coordinate of an input port (linear index).
+  [[nodiscard]] double input_position(std::int64_t input_index) const;
+
+  /// Receiver-plane coordinate of an output port (linear index).
+  [[nodiscard]] double output_position(std::int64_t output_index) const;
+
+  /// Center coordinate of transmitter-side lenslet `group` (one per
+  /// input group, spanning that group's T ports).
+  [[nodiscard]] double input_lenslet_center(std::int64_t group) const;
+
+  /// Center coordinate of receiver-side lenslet `group`.
+  [[nodiscard]] double output_lenslet_center(std::int64_t group) const;
+
+  /// The beam carrying a given input port's light.
+  [[nodiscard]] Beam beam(std::int64_t input_index) const;
+
+  /// All G*T beams.
+  [[nodiscard]] std::vector<Beam> all_beams() const;
+
+  /// Largest |deflection angle| over all beams: the aperture driver.
+  [[nodiscard]] double max_angle_rad() const;
+
+  /// Total optical path length summed over beams (relative figure of
+  /// merit between OTIS shapes of equal port count).
+  [[nodiscard]] double total_beam_length() const;
+
+ private:
+  Otis otis_;
+  GeometryConfig config_;
+};
+
+}  // namespace otis::otis

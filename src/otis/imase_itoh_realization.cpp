@@ -1,0 +1,109 @@
+#include "otis/imase_itoh_realization.hpp"
+
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace otis::otis {
+
+ImaseItohRealization::ImaseItohRealization(int degree, std::int64_t order)
+    : d_(degree), n_(order), otis_(degree, order) {
+  OTIS_REQUIRE(d_ >= 1, "ImaseItohRealization: degree must be >= 1");
+  OTIS_REQUIRE(n_ >= d_, "ImaseItohRealization: order must be >= degree");
+}
+
+std::int64_t ImaseItohRealization::input_of(std::int64_t u, int alpha) const {
+  OTIS_REQUIRE(u >= 0 && u < n_, "input_of: node out of range");
+  OTIS_REQUIRE(alpha >= 1 && alpha <= d_, "input_of: alpha out of range");
+  return d_ * u + alpha - 1;
+}
+
+InputPort ImaseItohRealization::input_port_of(std::int64_t u,
+                                              int alpha) const {
+  const std::int64_t index = input_of(u, alpha);
+  // OTIS(d, n): inputs are d groups of size n, so linear index i*n + j.
+  return InputPort{index / n_, index % n_};
+}
+
+std::int64_t ImaseItohRealization::node_of_input(
+    std::int64_t input_index) const {
+  OTIS_REQUIRE(input_index >= 0 && input_index < d_ * n_,
+               "node_of_input: index out of range");
+  return input_index / d_;
+}
+
+std::vector<OutputPort> ImaseItohRealization::receiver_ports_of(
+    std::int64_t v) const {
+  OTIS_REQUIRE(v >= 0 && v < n_, "receiver_ports_of: node out of range");
+  std::vector<OutputPort> ports;
+  ports.reserve(static_cast<std::size_t>(d_));
+  for (std::int64_t b = 0; b < d_; ++b) {
+    ports.push_back(OutputPort{v, b});
+  }
+  return ports;
+}
+
+std::int64_t ImaseItohRealization::node_of_output(OutputPort out) const {
+  OTIS_REQUIRE(out.group >= 0 && out.group < n_,
+               "node_of_output: group out of range");
+  return out.group;
+}
+
+std::int64_t ImaseItohRealization::neighbor_via_otis(std::int64_t u,
+                                                     int alpha) const {
+  return node_of_output(otis_.map(input_port_of(u, alpha)));
+}
+
+graph::Digraph ImaseItohRealization::realized_digraph() const {
+  std::vector<graph::Arc> arcs;
+  arcs.reserve(static_cast<std::size_t>(n_) * static_cast<std::size_t>(d_));
+  for (std::int64_t u = 0; u < n_; ++u) {
+    for (int alpha = 1; alpha <= d_; ++alpha) {
+      arcs.push_back(graph::Arc{u, neighbor_via_otis(u, alpha)});
+    }
+  }
+  return graph::Digraph::from_arcs(n_, arcs);
+}
+
+bool ImaseItohRealization::verify(std::string* details) const {
+  topology::ImaseItoh ii(d_, n_);
+  for (std::int64_t u = 0; u < n_; ++u) {
+    for (int alpha = 1; alpha <= d_; ++alpha) {
+      const std::int64_t via_otis = neighbor_via_otis(u, alpha);
+      const std::int64_t expected = ii.successor(u, alpha);
+      if (via_otis != expected) {
+        if (details != nullptr) {
+          std::ostringstream oss;
+          oss << "OTIS(" << d_ << "," << n_ << "): node " << u << " alpha "
+              << alpha << " reaches " << via_otis << " but II expects "
+              << expected;
+          *details = oss.str();
+        }
+        return false;
+      }
+    }
+  }
+  // Receiver-side sanity: each node's d receiver ports must be hit by
+  // exactly its d in-arcs (no port reused, none dark).
+  std::vector<int> hits(static_cast<std::size_t>(d_ * n_), 0);
+  for (std::int64_t u = 0; u < n_; ++u) {
+    for (int alpha = 1; alpha <= d_; ++alpha) {
+      OutputPort out = otis_.map(input_port_of(u, alpha));
+      ++hits[static_cast<std::size_t>(otis_.output_index(out))];
+    }
+  }
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    if (hits[i] != 1) {
+      if (details != nullptr) {
+        std::ostringstream oss;
+        oss << "OTIS(" << d_ << "," << n_ << "): output index " << i
+            << " driven by " << hits[i] << " transmitters (expected 1)";
+        *details = oss.str();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace otis::otis

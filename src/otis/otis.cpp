@@ -1,0 +1,91 @@
+#include "otis/otis.hpp"
+
+#include "core/error.hpp"
+
+namespace otis::otis {
+
+Otis::Otis(std::int64_t groups, std::int64_t group_size)
+    : g_(groups), t_(group_size) {
+  OTIS_REQUIRE(g_ >= 1, "Otis: G must be >= 1");
+  OTIS_REQUIRE(t_ >= 1, "Otis: T must be >= 1");
+}
+
+OutputPort Otis::map(InputPort in) const {
+  OTIS_REQUIRE(in.group >= 0 && in.group < g_, "Otis::map: group out of range");
+  OTIS_REQUIRE(in.offset >= 0 && in.offset < t_,
+               "Otis::map: offset out of range");
+  return OutputPort{t_ - 1 - in.offset, g_ - 1 - in.group};
+}
+
+InputPort Otis::inverse_map(OutputPort out) const {
+  OTIS_REQUIRE(out.group >= 0 && out.group < t_,
+               "Otis::inverse_map: group out of range");
+  OTIS_REQUIRE(out.offset >= 0 && out.offset < g_,
+               "Otis::inverse_map: offset out of range");
+  return InputPort{g_ - 1 - out.offset, t_ - 1 - out.group};
+}
+
+std::int64_t Otis::input_index(InputPort in) const {
+  OTIS_REQUIRE(in.group >= 0 && in.group < g_ && in.offset >= 0 &&
+                   in.offset < t_,
+               "Otis::input_index: port out of range");
+  return in.group * t_ + in.offset;
+}
+
+InputPort Otis::input_port(std::int64_t index) const {
+  OTIS_REQUIRE(index >= 0 && index < port_count(),
+               "Otis::input_port: index out of range");
+  return InputPort{index / t_, index % t_};
+}
+
+std::int64_t Otis::output_index(OutputPort out) const {
+  OTIS_REQUIRE(out.group >= 0 && out.group < t_ && out.offset >= 0 &&
+                   out.offset < g_,
+               "Otis::output_index: port out of range");
+  return out.group * g_ + out.offset;
+}
+
+OutputPort Otis::output_port(std::int64_t index) const {
+  OTIS_REQUIRE(index >= 0 && index < port_count(),
+               "Otis::output_port: index out of range");
+  return OutputPort{index / g_, index % g_};
+}
+
+std::vector<std::int64_t> Otis::permutation() const {
+  std::vector<std::int64_t> perm(static_cast<std::size_t>(port_count()));
+  for (std::int64_t idx = 0; idx < port_count(); ++idx) {
+    perm[static_cast<std::size_t>(idx)] = output_index(map(input_port(idx)));
+  }
+  return perm;
+}
+
+std::int64_t Otis::fixed_point_count() const {
+  std::int64_t count = 0;
+  for (std::int64_t idx = 0; idx < port_count(); ++idx) {
+    if (output_index(map(input_port(idx))) == idx) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+bool composes_to_identity(const Otis& forward, const Otis& backward) {
+  if (forward.input_groups() != backward.output_groups() ||
+      forward.input_group_size() != backward.input_groups()) {
+    return false;
+  }
+  for (std::int64_t i = 0; i < forward.input_groups(); ++i) {
+    for (std::int64_t j = 0; j < forward.input_group_size(); ++j) {
+      OutputPort mid = forward.map(InputPort{i, j});
+      // Feed the output of the first stage into the second stage as an
+      // input port with the same (group, offset) coordinates.
+      OutputPort back = backward.map(InputPort{mid.group, mid.offset});
+      if (back.group != i || back.offset != j) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace otis::otis

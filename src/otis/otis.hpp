@@ -1,0 +1,82 @@
+#pragma once
+/// \file otis.hpp
+/// The Optical Transpose Interconnection System OTIS(G, T)
+/// (Marsden-Marchand-Harvey-Esener, Optics Letters 1993; paper Sec. 2.1).
+///
+/// OTIS(G, T) is a free-space optical system built from two planes of
+/// lenslets that connects G*T transmitters, arranged as G groups of T,
+/// to G*T receivers, arranged as T groups of G: the transmitter (i, j)
+/// (0 <= i < G, 0 <= j < T) illuminates the receiver (T-1-j, G-1-i).
+/// The reversal of both coordinates is the optical inversion through the
+/// two lens planes (Fig. 1 of the paper).
+///
+/// This class models the architecture as the exact port permutation plus
+/// the lenslet geometry needed for the physical-layer (loss) model. The
+/// key theoretical fact -- OTIS(d, n) *is* the Imase-Itoh digraph
+/// II(d, n) (paper Proposition 1) -- lives in imase_itoh_realization.hpp.
+
+#include <cstdint>
+#include <vector>
+
+namespace otis::otis {
+
+/// A transmitter-side port (group, offset-in-group).
+struct InputPort {
+  std::int64_t group = 0;   ///< 0 <= group < G
+  std::int64_t offset = 0;  ///< 0 <= offset < T
+  friend bool operator==(const InputPort&, const InputPort&) = default;
+};
+
+/// A receiver-side port (group, offset-in-group).
+struct OutputPort {
+  std::int64_t group = 0;   ///< 0 <= group < T
+  std::int64_t offset = 0;  ///< 0 <= offset < G
+  friend bool operator==(const OutputPort&, const OutputPort&) = default;
+};
+
+/// OTIS(G, T): the transpose permutation on G*T ports.
+class Otis {
+ public:
+  /// Requires G >= 1 and T >= 1.
+  Otis(std::int64_t groups, std::int64_t group_size);
+
+  [[nodiscard]] std::int64_t input_groups() const noexcept { return g_; }
+  [[nodiscard]] std::int64_t input_group_size() const noexcept { return t_; }
+  [[nodiscard]] std::int64_t output_groups() const noexcept { return t_; }
+  [[nodiscard]] std::int64_t output_group_size() const noexcept { return g_; }
+  /// Total port count G*T on each side.
+  [[nodiscard]] std::int64_t port_count() const noexcept { return g_ * t_; }
+
+  /// The optical transpose: input (i, j) -> output (T-1-j, G-1-i).
+  [[nodiscard]] OutputPort map(InputPort in) const;
+
+  /// Inverse map: which input illuminates a given output.
+  [[nodiscard]] InputPort inverse_map(OutputPort out) const;
+
+  /// Linearized input index of (i, j): i*T + j (row-major by group).
+  [[nodiscard]] std::int64_t input_index(InputPort in) const;
+  [[nodiscard]] InputPort input_port(std::int64_t index) const;
+
+  /// Linearized output index of (a, b): a*G + b.
+  [[nodiscard]] std::int64_t output_index(OutputPort out) const;
+  [[nodiscard]] OutputPort output_port(std::int64_t index) const;
+
+  /// The permutation as a vector: perm[input_index] = output_index.
+  [[nodiscard]] std::vector<std::int64_t> permutation() const;
+
+  /// Number of ports with input_index == mapped output_index, i.e. fixed
+  /// points of the permutation read as a map on linear indices.
+  [[nodiscard]] std::int64_t fixed_point_count() const;
+
+ private:
+  std::int64_t g_;
+  std::int64_t t_;
+};
+
+/// Composing OTIS(T, G) after OTIS(G, T) gives the identity on ports:
+/// the transpose is an optical involution. Returns true when that holds
+/// (it always does; exposed as a checkable property for tests/benches).
+[[nodiscard]] bool composes_to_identity(const Otis& forward,
+                                        const Otis& backward);
+
+}  // namespace otis::otis

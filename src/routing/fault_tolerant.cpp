@@ -1,0 +1,154 @@
+#include "routing/fault_tolerant.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/algorithms.hpp"
+
+namespace otis::routing {
+
+using topology::Word;
+
+FaultTolerantKautzRouter::FaultTolerantKautzRouter(topology::Kautz kautz)
+    : router_(std::move(kautz)) {}
+
+std::vector<std::vector<std::int64_t>>
+FaultTolerantKautzRouter::candidate_paths(std::int64_t source,
+                                          std::int64_t target) const {
+  const topology::Kautz& kautz = router_.kautz();
+  const int alphabet = kautz.alphabet();
+  const Word src = kautz.word_of(source);
+  const Word dst = kautz.word_of(target);
+
+  std::vector<std::vector<std::int64_t>> candidates;
+  std::set<std::vector<std::int64_t>> seen;
+  auto add_words = [&](std::vector<Word> words) {
+    std::vector<std::int64_t> path;
+    path.reserve(words.size());
+    for (const Word& w : words) {
+      path.push_back(kautz.vertex_of(w));
+    }
+    if (seen.insert(path).second) {
+      candidates.push_back(std::move(path));
+    }
+  };
+
+  // Primary label route, length k - overlap.
+  add_words(router_.route_words(src, dst));
+
+  // One-letter detours: x -> x.z -> label route, length <= k + 1.
+  for (int z = 0; z < alphabet; ++z) {
+    if (z == src.back()) {
+      continue;
+    }
+    Word via = topology::Kautz::shift(src, z);
+    auto tail = router_.route_words(via, dst);
+    std::vector<Word> words{src};
+    words.insert(words.end(), tail.begin(), tail.end());
+    add_words(std::move(words));
+  }
+
+  // Two-letter detours: x -> x.z1 -> x.z1.z2 -> label route, <= k + 2.
+  for (int z1 = 0; z1 < alphabet; ++z1) {
+    if (z1 == src.back()) {
+      continue;
+    }
+    Word via1 = topology::Kautz::shift(src, z1);
+    for (int z2 = 0; z2 < alphabet; ++z2) {
+      if (z2 == z1) {
+        continue;
+      }
+      Word via2 = topology::Kautz::shift(via1, z2);
+      auto tail = router_.route_words(via2, dst);
+      std::vector<Word> words{src, via1};
+      words.insert(words.end(), tail.begin(), tail.end());
+      add_words(std::move(words));
+    }
+  }
+
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.size() < b.size();
+                   });
+  return candidates;
+}
+
+bool FaultTolerantKautzRouter::path_avoids(
+    const std::vector<std::int64_t>& path,
+    const std::vector<std::int64_t>& faulty) const {
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    if (std::find(faulty.begin(), faulty.end(), path[i]) != faulty.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<FaultTolerantRoute> FaultTolerantKautzRouter::route_avoiding(
+    std::int64_t source, std::int64_t target,
+    const std::vector<std::int64_t>& faulty) const {
+  for (auto& candidate : candidate_paths(source, target)) {
+    if (path_avoids(candidate, faulty)) {
+      return FaultTolerantRoute{std::move(candidate), false};
+    }
+  }
+  auto bfs = graph::shortest_path_avoiding(router_.kautz().graph(), source,
+                                           target, faulty);
+  if (!bfs) {
+    return std::nullopt;
+  }
+  return FaultTolerantRoute{std::move(*bfs), true};
+}
+
+bool FaultTolerantKautzRouter::survives_with_bound(
+    std::int64_t source, std::int64_t target,
+    const std::vector<std::int64_t>& faulty) const {
+  auto route = route_avoiding(source, target, faulty);
+  if (!route) {
+    return false;
+  }
+  const std::int64_t hops =
+      static_cast<std::int64_t>(route->path.size()) - 1;
+  return hops <= router_.kautz().diameter() + 2;
+}
+
+std::optional<FaultTolerantRoute>
+FaultTolerantKautzRouter::route_avoiding_arcs(
+    std::int64_t source, std::int64_t target,
+    const std::vector<graph::Arc>& faulty_arcs) const {
+  auto arc_is_faulty = [&](std::int64_t u, std::int64_t v) {
+    return std::find(faulty_arcs.begin(), faulty_arcs.end(),
+                     graph::Arc{u, v}) != faulty_arcs.end();
+  };
+  for (auto& candidate : candidate_paths(source, target)) {
+    bool clean = true;
+    for (std::size_t i = 0; i + 1 < candidate.size(); ++i) {
+      if (arc_is_faulty(candidate[i], candidate[i + 1])) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) {
+      return FaultTolerantRoute{std::move(candidate), false};
+    }
+  }
+  auto bfs = graph::shortest_path_avoiding_arcs(router_.kautz().graph(),
+                                                source, target, faulty_arcs);
+  if (!bfs) {
+    return std::nullopt;
+  }
+  return FaultTolerantRoute{std::move(*bfs), true};
+}
+
+bool FaultTolerantKautzRouter::survives_arc_faults_with_bound(
+    std::int64_t source, std::int64_t target,
+    const std::vector<graph::Arc>& faulty_arcs) const {
+  auto route = route_avoiding_arcs(source, target, faulty_arcs);
+  if (!route) {
+    return false;
+  }
+  return static_cast<std::int64_t>(route->path.size()) - 1 <=
+         router_.kautz().diameter() + 2;
+}
+
+}  // namespace otis::routing

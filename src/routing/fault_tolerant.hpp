@@ -1,0 +1,78 @@
+#pragma once
+/// \file fault_tolerant.hpp
+/// Fault-tolerant routing on Kautz graphs, after Imase, Soneoka & Okada
+/// 1986 (paper ref [17], cited in Sec. 2.5: label routing "can be
+/// extended to generate a path of length at most k + 2 which survives
+/// d - 1 link or node faults").
+///
+/// Two layers:
+///  - a *candidate generator* that emits label-computable detour paths:
+///    the primary label route (<= k), the d one-letter detours
+///    x -> x.z -> route (<= k+1) and the two-letter detours (<= k+2) --
+///    everything a node can compute from labels alone, no global state;
+///  - route_avoiding(), which scans candidates in length order and falls
+///    back to BFS-on-the-surviving-graph only if every candidate is hit.
+///
+/// The theorem itself (d-1 faults leave some path of length <= k+2) is
+/// exercised by tests/bench via survives_with_bound().
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "routing/kautz_routing.hpp"
+
+namespace otis::routing {
+
+/// A routed path plus how it was obtained.
+struct FaultTolerantRoute {
+  std::vector<std::int64_t> path;  ///< vertices, source first
+  bool used_bfs_fallback = false;  ///< true if candidates were exhausted
+};
+
+/// Fault-tolerant router wrapping a KautzRouter.
+class FaultTolerantKautzRouter {
+ public:
+  explicit FaultTolerantKautzRouter(topology::Kautz kautz);
+
+  [[nodiscard]] const KautzRouter& base() const noexcept { return router_; }
+
+  /// All label-computable candidate paths from source to target, sorted
+  /// by length: primary route, one-letter detours, two-letter detours.
+  /// Paths are vertex sequences; duplicates are removed.
+  [[nodiscard]] std::vector<std::vector<std::int64_t>> candidate_paths(
+      std::int64_t source, std::int64_t target) const;
+
+  /// First candidate whose *internal* vertices avoid `faulty` (endpoints
+  /// are exempt); BFS fallback on the surviving subgraph if none works.
+  /// nullopt when target is unreachable even by BFS.
+  [[nodiscard]] std::optional<FaultTolerantRoute> route_avoiding(
+      std::int64_t source, std::int64_t target,
+      const std::vector<std::int64_t>& faulty) const;
+
+  /// The [17] property for one instance: with the given faults, does a
+  /// path of length <= k + 2 survive from source to target?
+  [[nodiscard]] bool survives_with_bound(
+      std::int64_t source, std::int64_t target,
+      const std::vector<std::int64_t>& faulty) const;
+
+  /// Link-fault variant (the paper says "link or node faults"): first
+  /// candidate whose arcs avoid `faulty_arcs`, BFS-avoiding-arcs
+  /// fallback. nullopt when disconnected.
+  [[nodiscard]] std::optional<FaultTolerantRoute> route_avoiding_arcs(
+      std::int64_t source, std::int64_t target,
+      const std::vector<graph::Arc>& faulty_arcs) const;
+
+  /// The [17] bound under link faults.
+  [[nodiscard]] bool survives_arc_faults_with_bound(
+      std::int64_t source, std::int64_t target,
+      const std::vector<graph::Arc>& faulty_arcs) const;
+
+ private:
+  [[nodiscard]] bool path_avoids(const std::vector<std::int64_t>& path,
+                                 const std::vector<std::int64_t>& faulty) const;
+
+  KautzRouter router_;
+};
+
+}  // namespace otis::routing

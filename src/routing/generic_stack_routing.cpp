@@ -1,0 +1,64 @@
+#include "routing/generic_stack_routing.hpp"
+
+#include "core/error.hpp"
+
+namespace otis::routing {
+
+GenericStackRouter::GenericStackRouter(
+    const hypergraph::StackGraph& network)
+    : network_(network), table_(network.base()) {}
+
+graph::ArcId GenericStackRouter::arc_between(graph::Vertex from,
+                                             graph::Vertex to) const {
+  const graph::Digraph& base = network_.base();
+  for (graph::ArcId a = base.out_begin(from); a < base.out_end(from); ++a) {
+    if (base.head(a) == to) {
+      return a;
+    }
+  }
+  OTIS_REQUIRE(false, "GenericStackRouter: no base arc between groups");
+  return -1;
+}
+
+std::int64_t GenericStackRouter::distance(hypergraph::Node source,
+                                          hypergraph::Node target) const {
+  if (source == target) {
+    return 0;
+  }
+  const graph::Vertex gs = network_.project(source);
+  const graph::Vertex gt = network_.project(target);
+  if (gs == gt) {
+    return 1;  // loop coupler
+  }
+  const std::int64_t d = table_.distance(gs, gt);
+  OTIS_REQUIRE(d >= 0, "GenericStackRouter: target group unreachable");
+  return d;
+}
+
+hypergraph::HyperarcId GenericStackRouter::next_coupler(
+    hypergraph::Node current, hypergraph::Node target) const {
+  OTIS_REQUIRE(current != target,
+               "GenericStackRouter::next_coupler: already delivered");
+  const graph::Vertex gc = network_.project(current);
+  const graph::Vertex gt = network_.project(target);
+  if (gc == gt) {
+    return network_.coupler_of_arc(arc_between(gc, gc));
+  }
+  const graph::Vertex next = table_.next_hop(gc, gt);
+  OTIS_REQUIRE(next >= 0, "GenericStackRouter: unreachable target group");
+  return network_.coupler_of_arc(arc_between(gc, next));
+}
+
+hypergraph::Node GenericStackRouter::relay_on(
+    hypergraph::HyperarcId coupler, hypergraph::Node target) const {
+  const auto& arc = network_.hypergraph().hyperarc(coupler);
+  OTIS_ASSERT(!arc.targets.empty(),
+              "GenericStackRouter: coupler has no targets");
+  const graph::Vertex group = network_.project(arc.targets.front());
+  if (group == network_.project(target)) {
+    return target;
+  }
+  return network_.node_of(group, network_.copy_index(target));
+}
+
+}  // namespace otis::routing

@@ -1,0 +1,49 @@
+#pragma once
+/// \file generic_stack_routing.hpp
+/// Table-driven routing for ANY stack-graph network.
+///
+/// StackKautzRouter exploits Kautz labels; this router serves the rest:
+/// stack-Imase-Itoh networks (where the arithmetic router could be used,
+/// but a table is simpler and exact), OTIS-G style bases, or ad-hoc
+/// topologies. Group-level next hops come from a TableRouter over the
+/// base digraph; relays follow the same convention as the Kautz router
+/// (the member of the next group with the destination's in-group index).
+
+#include "hypergraph/stack_graph.hpp"
+#include "routing/table_router.hpp"
+
+namespace otis::routing {
+
+/// Shortest-path router over an arbitrary stack-graph.
+class GenericStackRouter {
+ public:
+  /// `network` must outlive the router. The base digraph must contain a
+  /// loop at every vertex if same-group traffic is expected (stack-Kautz
+  /// and stack-Imase-Itoh bases do).
+  explicit GenericStackRouter(const hypergraph::StackGraph& network);
+
+  /// Coupler transmissions needed between two processors (0 for self;
+  /// 1 for same group via the loop; else base shortest-path distance).
+  [[nodiscard]] std::int64_t distance(hypergraph::Node source,
+                                      hypergraph::Node target) const;
+
+  /// Next coupler for a packet at `current` toward `target`.
+  [[nodiscard]] hypergraph::HyperarcId next_coupler(
+      hypergraph::Node current, hypergraph::Node target) const;
+
+  /// The node that consumes a packet delivered on `coupler` when headed
+  /// for `target` (the destination itself once it is in the coupler's
+  /// target set).
+  [[nodiscard]] hypergraph::Node relay_on(hypergraph::HyperarcId coupler,
+                                          hypergraph::Node target) const;
+
+ private:
+  /// First base arc from `from` to `to` (loops included).
+  [[nodiscard]] graph::ArcId arc_between(graph::Vertex from,
+                                         graph::Vertex to) const;
+
+  const hypergraph::StackGraph& network_;
+  TableRouter table_;
+};
+
+}  // namespace otis::routing

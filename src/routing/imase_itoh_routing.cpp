@@ -1,0 +1,121 @@
+#include "routing/imase_itoh_routing.hpp"
+
+#include "core/error.hpp"
+#include "core/mathutil.hpp"
+
+namespace otis::routing {
+
+namespace {
+
+/// Decodes t (an exact integer in S_m) into digits a_0..a_{m-1} with
+/// t = sum (-d)^j a_j, a_j in [1, d]. Returns false if t has no such
+/// expansion of length m.
+bool decode_digits(std::int64_t t, int d, int m, std::vector<int>& digits) {
+  digits.assign(static_cast<std::size_t>(m), 0);
+  for (int j = 0; j < m; ++j) {
+    std::int64_t r = otis::core::floor_mod(t, d);
+    int a = (r == 0) ? d : static_cast<int>(r);
+    digits[static_cast<std::size_t>(j)] = a;
+    // t - a is divisible by d with quotient of opposite sign base.
+    t = (t - a) / (-d);
+  }
+  return t == 0;
+}
+
+}  // namespace
+
+ImaseItohRouter::ImaseItohRouter(topology::ImaseItoh graph)
+    : ii_(std::move(graph)) {}
+
+std::vector<std::vector<int>> ImaseItohRouter::exact_length_routes(
+    std::int64_t u, std::int64_t v, int m) const {
+  const std::int64_t n = ii_.order();
+  const int d = ii_.degree();
+  std::vector<std::vector<int>> routes;
+  if (m == 0) {
+    if (u == v) {
+      routes.push_back({});
+    }
+    return routes;
+  }
+  // Interval S_m: S_0 = [0,0]; S_m = -d*S_{m-1} + [1, d].
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  for (int j = 0; j < m; ++j) {
+    const std::int64_t new_lo = -d * hi + 1;
+    const std::int64_t new_hi = -d * lo + d;
+    lo = new_lo;
+    hi = new_hi;
+  }
+  // t0 = ((-d)^m u - v) mod n, computed with running reductions so no
+  // intermediate overflows for any graph that fits in memory.
+  std::int64_t p = 1;  // (-d)^m mod n, kept in [0, n)
+  for (int j = 0; j < m; ++j) {
+    p = otis::core::floor_mod(p * -static_cast<std::int64_t>(d), n);
+  }
+  const std::int64_t t0 = otis::core::floor_mod(p * u - v, n);
+  // Smallest representative of t0 (mod n) that is >= lo; then step by n.
+  const std::int64_t first = lo + otis::core::floor_mod(t0 - lo, n);
+  std::vector<int> digits;
+  for (std::int64_t t = first; t <= hi; t += n) {
+    if (!decode_digits(t, d, m, digits)) {
+      continue;  // cannot happen for contiguous S_m; kept defensive
+    }
+    // digits[j] is alpha_{m-j}; reverse into hop order alpha_1..alpha_m.
+    std::vector<int> alphas(static_cast<std::size_t>(m));
+    for (int j = 0; j < m; ++j) {
+      alphas[static_cast<std::size_t>(m - 1 - j)] =
+          digits[static_cast<std::size_t>(j)];
+    }
+    routes.push_back(std::move(alphas));
+  }
+  return routes;
+}
+
+int ImaseItohRouter::distance(std::int64_t u, std::int64_t v) const {
+  OTIS_REQUIRE(u >= 0 && u < ii_.order(), "ImaseItohRouter: u out of range");
+  OTIS_REQUIRE(v >= 0 && v < ii_.order(), "ImaseItohRouter: v out of range");
+  const int limit = static_cast<int>(ii_.diameter_formula()) + 4;
+  for (int m = 0; m <= limit; ++m) {
+    if (!exact_length_routes(u, v, m).empty()) {
+      return m;
+    }
+  }
+  OTIS_REQUIRE(false, "ImaseItohRouter: no route within diameter bound + 4");
+  return -1;
+}
+
+std::vector<int> ImaseItohRouter::route_labels(std::int64_t u,
+                                               std::int64_t v) const {
+  OTIS_REQUIRE(u >= 0 && u < ii_.order(), "ImaseItohRouter: u out of range");
+  OTIS_REQUIRE(v >= 0 && v < ii_.order(), "ImaseItohRouter: v out of range");
+  const int limit = static_cast<int>(ii_.diameter_formula()) + 4;
+  for (int m = 0; m <= limit; ++m) {
+    auto routes = exact_length_routes(u, v, m);
+    if (!routes.empty()) {
+      return routes.front();
+    }
+  }
+  OTIS_REQUIRE(false, "ImaseItohRouter: no route within diameter bound + 4");
+  return {};
+}
+
+std::vector<std::int64_t> ImaseItohRouter::route(std::int64_t u,
+                                                 std::int64_t v) const {
+  std::vector<std::int64_t> path{u};
+  std::int64_t current = u;
+  for (int alpha : route_labels(u, v)) {
+    current = ii_.successor(current, alpha);
+    path.push_back(current);
+  }
+  OTIS_ASSERT(path.back() == v, "ImaseItohRouter: route did not reach target");
+  return path;
+}
+
+std::vector<std::vector<int>> ImaseItohRouter::all_shortest_label_routes(
+    std::int64_t u, std::int64_t v) const {
+  const int m = distance(u, v);
+  return exact_length_routes(u, v, m);
+}
+
+}  // namespace otis::routing

@@ -1,0 +1,80 @@
+#include "routing/kautz_routing.hpp"
+
+#include "core/error.hpp"
+
+namespace otis::routing {
+
+using topology::Word;
+
+KautzRouter::KautzRouter(topology::Kautz kautz) : kautz_(std::move(kautz)) {}
+
+int KautzRouter::overlap(const Word& x, const Word& y) {
+  OTIS_REQUIRE(x.size() == y.size(), "KautzRouter::overlap: length mismatch");
+  const int k = static_cast<int>(x.size());
+  for (int l = k; l >= 1; --l) {
+    bool match = true;
+    for (int i = 0; i < l; ++i) {
+      if (x[static_cast<std::size_t>(k - l + i)] !=
+          y[static_cast<std::size_t>(i)]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      return l;
+    }
+  }
+  return 0;
+}
+
+int KautzRouter::distance(std::int64_t source, std::int64_t target) const {
+  return kautz_.diameter() -
+         overlap(kautz_.word_of(source), kautz_.word_of(target));
+}
+
+std::vector<Word> KautzRouter::route_words(const Word& source,
+                                           const Word& target) const {
+  OTIS_REQUIRE(kautz_.is_valid_word(source),
+               "KautzRouter::route_words: invalid source word");
+  OTIS_REQUIRE(kautz_.is_valid_word(target),
+               "KautzRouter::route_words: invalid target word");
+  const int k = kautz_.diameter();
+  const int l = overlap(source, target);
+  std::vector<Word> path{source};
+  Word current = source;
+  // Shift in the target's letters y_{l+1} .. y_k, one hop each. Validity
+  // of every intermediate word follows from the overlap: the boundary
+  // pair is (x_k = y_l, y_{l+1}) which differs since target is valid.
+  for (int i = l; i < k; ++i) {
+    current = topology::Kautz::shift(current,
+                                     target[static_cast<std::size_t>(i)]);
+    path.push_back(current);
+  }
+  OTIS_ASSERT(current == target, "KautzRouter: route did not reach target");
+  return path;
+}
+
+std::vector<std::int64_t> KautzRouter::route(std::int64_t source,
+                                             std::int64_t target) const {
+  std::vector<std::int64_t> path;
+  for (const Word& w : route_words(kautz_.word_of(source),
+                                   kautz_.word_of(target))) {
+    path.push_back(kautz_.vertex_of(w));
+  }
+  return path;
+}
+
+Word KautzRouter::next_hop_word(const Word& current, const Word& target) const {
+  OTIS_REQUIRE(current != target, "KautzRouter::next_hop_word: already there");
+  const int l = overlap(current, target);
+  OTIS_ASSERT(l < kautz_.diameter(), "next_hop_word: full overlap but not equal");
+  return topology::Kautz::shift(current, target[static_cast<std::size_t>(l)]);
+}
+
+std::int64_t KautzRouter::next_hop(std::int64_t current,
+                                   std::int64_t target) const {
+  return kautz_.vertex_of(
+      next_hop_word(kautz_.word_of(current), kautz_.word_of(target)));
+}
+
+}  // namespace otis::routing

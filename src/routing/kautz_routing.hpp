@@ -1,0 +1,61 @@
+#pragma once
+/// \file kautz_routing.hpp
+/// Label-induced shortest-path routing on Kautz graphs (paper Sec. 2.5:
+/// "routing on the Kautz graph is very simple, since a shortest path
+/// routing algorithm (every path is of length at most k) is induced by
+/// the label of the nodes").
+///
+/// The algorithm: find the longest suffix of the source word that is a
+/// prefix of the destination word (overlap l), then shift in the
+/// destination's remaining k-l letters one per hop. Because any walk of
+/// length m from x to y forces suffix_{k-m}(x) = prefix_{k-m}(y), the
+/// label route of length k - l is provably a *shortest* path, which the
+/// tests also cross-check against BFS.
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/kautz.hpp"
+
+namespace otis::routing {
+
+/// Shortest-path router over Kautz word labels. Owns a copy of the Kautz
+/// description (cheap relative to the graphs involved).
+class KautzRouter {
+ public:
+  explicit KautzRouter(topology::Kautz kautz);
+
+  [[nodiscard]] const topology::Kautz& kautz() const noexcept {
+    return kautz_;
+  }
+
+  /// Longest l in [0, k] with suffix_l(x) == prefix_l(y).
+  [[nodiscard]] static int overlap(const topology::Word& x,
+                                   const topology::Word& y);
+
+  /// Exact distance: k - overlap (0 when x == y).
+  [[nodiscard]] int distance(std::int64_t source, std::int64_t target) const;
+
+  /// The label route as a word sequence, source first, target last.
+  [[nodiscard]] std::vector<topology::Word> route_words(
+      const topology::Word& source, const topology::Word& target) const;
+
+  /// The label route as vertex numbers.
+  [[nodiscard]] std::vector<std::int64_t> route(std::int64_t source,
+                                                std::int64_t target) const;
+
+  /// Self-routing step: the word after one hop toward `target` (requires
+  /// current != target). Each node can compute this from labels alone --
+  /// the property that makes the network's distributed control simple.
+  [[nodiscard]] topology::Word next_hop_word(
+      const topology::Word& current, const topology::Word& target) const;
+
+  /// Vertex-number form of next_hop_word.
+  [[nodiscard]] std::int64_t next_hop(std::int64_t current,
+                                      std::int64_t target) const;
+
+ private:
+  topology::Kautz kautz_;
+};
+
+}  // namespace otis::routing

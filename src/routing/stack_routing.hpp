@@ -1,0 +1,85 @@
+#pragma once
+/// \file stack_routing.hpp
+/// Routing on the multi-OPS networks: stack-Kautz (paper Sec. 2.7 --
+/// "the stack-Kautz network inherits most of the properties of the Kautz
+/// graph, like shortest path routing") and POPS (single-hop).
+///
+/// A route on a stack-graph is a sequence of coupler transmissions. For
+/// SK(s, d, k) the group-level path is the Kautz label route; at each hop
+/// the message is broadcast to all s processors of the next group and
+/// the designated relay (the processor whose in-group index matches the
+/// destination's) forwards it. Same-group traffic uses the loop coupler.
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/pops.hpp"
+#include "hypergraph/stack_kautz.hpp"
+#include "routing/kautz_routing.hpp"
+
+namespace otis::routing {
+
+/// One transmission: `sender` puts the packet on `coupler`; `relay` is
+/// the processor that picks it up (the destination on the last hop).
+struct StackHop {
+  hypergraph::Node sender = 0;
+  hypergraph::HyperarcId coupler = 0;
+  hypergraph::Node relay = 0;
+};
+
+/// Shortest-path router for SK(s, d, k).
+class StackKautzRouter {
+ public:
+  explicit StackKautzRouter(const hypergraph::StackKautz& network);
+
+  /// Number of coupler transmissions between two processors:
+  /// 0 if equal, 1 if same group (loop coupler), else the Kautz distance
+  /// between the groups.
+  [[nodiscard]] int distance(hypergraph::Node source,
+                             hypergraph::Node target) const;
+
+  /// The hop sequence (empty when source == target). Relays are chosen
+  /// deterministically: the member of the next group whose in-group index
+  /// equals the destination's, so the final hop needs no extra delivery.
+  [[nodiscard]] std::vector<StackHop> route(hypergraph::Node source,
+                                            hypergraph::Node target) const;
+
+  /// Next coupler for a packet currently held by `current` and destined
+  /// for `target` (used by the simulator's per-slot forwarding).
+  [[nodiscard]] hypergraph::HyperarcId next_coupler(
+      hypergraph::Node current, hypergraph::Node target) const;
+
+  /// The relay that picks the packet off `coupler` when heading for
+  /// `target`.
+  [[nodiscard]] hypergraph::Node relay_on(hypergraph::HyperarcId coupler,
+                                          hypergraph::Node target) const;
+
+  /// Worst-case hops: network diameter k (plus the loop hop counts as 1).
+  [[nodiscard]] int max_hops() const;
+
+ private:
+  const hypergraph::StackKautz& network_;
+  KautzRouter kautz_router_;
+};
+
+/// Single-hop router for POPS(t, g): every packet crosses exactly the
+/// coupler (group(source), group(target)).
+class PopsRouter {
+ public:
+  explicit PopsRouter(const hypergraph::Pops& network);
+
+  /// Always 1 for distinct processors (0 for self).
+  [[nodiscard]] int distance(hypergraph::Node source,
+                             hypergraph::Node target) const;
+
+  [[nodiscard]] std::vector<StackHop> route(hypergraph::Node source,
+                                            hypergraph::Node target) const;
+
+  [[nodiscard]] hypergraph::HyperarcId next_coupler(
+      hypergraph::Node current, hypergraph::Node target) const;
+
+ private:
+  const hypergraph::Pops& network_;
+};
+
+}  // namespace otis::routing

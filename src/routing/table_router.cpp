@@ -1,0 +1,68 @@
+#include "routing/table_router.hpp"
+
+#include <queue>
+
+#include "core/error.hpp"
+
+namespace otis::routing {
+
+TableRouter::TableRouter(const graph::Digraph& g) : n_(g.order()) {
+  const std::size_t cells =
+      static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_);
+  dist_.assign(cells, -1);
+  next_hop_.assign(cells, -1);
+  // Reverse adjacency once; BFS from every *target* v over the reverse
+  // graph discovers, for each u, the distance and (via the arc that
+  // relaxed u) a first hop on a forward shortest path.
+  std::vector<std::vector<graph::Vertex>> reverse(
+      static_cast<std::size_t>(n_));
+  for (const graph::Arc& a : g.arcs()) {
+    reverse[static_cast<std::size_t>(a.head)].push_back(a.tail);
+  }
+  std::queue<graph::Vertex> queue;
+  for (graph::Vertex v = 0; v < n_; ++v) {
+    dist_[at(v, v)] = 0;
+    queue.push(v);
+    while (!queue.empty()) {
+      const graph::Vertex w = queue.front();
+      queue.pop();
+      for (graph::Vertex u : reverse[static_cast<std::size_t>(w)]) {
+        if (dist_[at(u, v)] < 0) {
+          dist_[at(u, v)] = dist_[at(w, v)] + 1;
+          next_hop_[at(u, v)] = static_cast<std::int32_t>(w);
+          queue.push(u);
+        }
+      }
+    }
+  }
+}
+
+std::int64_t TableRouter::distance(graph::Vertex u, graph::Vertex v) const {
+  OTIS_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_,
+               "TableRouter::distance: vertex out of range");
+  return dist_[at(u, v)];
+}
+
+graph::Vertex TableRouter::next_hop(graph::Vertex u, graph::Vertex v) const {
+  OTIS_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_,
+               "TableRouter::next_hop: vertex out of range");
+  return next_hop_[at(u, v)];
+}
+
+std::vector<graph::Vertex> TableRouter::route(graph::Vertex u,
+                                              graph::Vertex v) const {
+  std::vector<graph::Vertex> path;
+  if (distance(u, v) < 0) {
+    return path;
+  }
+  path.push_back(u);
+  graph::Vertex current = u;
+  while (current != v) {
+    current = next_hop(current, v);
+    OTIS_ASSERT(current >= 0, "TableRouter: broken next-hop chain");
+    path.push_back(current);
+  }
+  return path;
+}
+
+}  // namespace otis::routing

@@ -1,0 +1,48 @@
+#pragma once
+/// \file table_router.hpp
+/// All-pairs next-hop routing tables for arbitrary digraphs.
+///
+/// The label routers (Kautz words, Imase-Itoh arithmetic) need no state;
+/// this router trades O(V^2) memory for generality, serving topologies
+/// without algebraic structure (OTIS-G swap networks, faulted graphs) and
+/// acting as the reference implementation the algebraic routers are
+/// tested against. Built with one BFS per vertex on the reverse graph,
+/// so next_hop(u, v) always advances along a shortest u -> v path.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace otis::routing {
+
+/// Dense all-pairs shortest-path next-hop table.
+class TableRouter {
+ public:
+  /// Precomputes tables; O(V * (V + E)) time, O(V^2) space.
+  explicit TableRouter(const graph::Digraph& g);
+
+  /// Exact distance, or -1 if unreachable.
+  [[nodiscard]] std::int64_t distance(graph::Vertex u, graph::Vertex v) const;
+
+  /// First hop of a shortest u -> v path; -1 if unreachable or u == v.
+  [[nodiscard]] graph::Vertex next_hop(graph::Vertex u, graph::Vertex v) const;
+
+  /// Full shortest path u .. v; empty if unreachable.
+  [[nodiscard]] std::vector<graph::Vertex> route(graph::Vertex u,
+                                                 graph::Vertex v) const;
+
+  [[nodiscard]] graph::Vertex order() const noexcept { return n_; }
+
+ private:
+  [[nodiscard]] std::size_t at(graph::Vertex u, graph::Vertex v) const {
+    return static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(v);
+  }
+
+  graph::Vertex n_ = 0;
+  std::vector<std::int32_t> dist_;      // [u][v]
+  std::vector<std::int32_t> next_hop_;  // [u][v]
+};
+
+}  // namespace otis::routing

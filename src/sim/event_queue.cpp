@@ -1,0 +1,46 @@
+#include "sim/event_queue.hpp"
+
+#include "core/error.hpp"
+
+namespace otis::sim {
+
+void EventQueue::schedule_at(SimTime at, Action action) {
+  OTIS_REQUIRE(at >= now_, "EventQueue: cannot schedule in the past");
+  events_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+void EventQueue::schedule_in(SimTime delay, Action action) {
+  OTIS_REQUIRE(delay >= 0, "EventQueue: negative delay");
+  schedule_at(now_ + delay, std::move(action));
+}
+
+std::int64_t EventQueue::run_until(SimTime until) {
+  std::int64_t executed = 0;
+  while (!events_.empty() && events_.top().time <= until) {
+    // priority_queue::top is const; move via const_cast is UB, so copy
+    // the action handle out before popping.
+    Entry entry{events_.top().time, events_.top().seq, events_.top().action};
+    events_.pop();
+    now_ = entry.time;
+    entry.action();
+    ++executed;
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+  return executed;
+}
+
+std::int64_t EventQueue::run_all() {
+  std::int64_t executed = 0;
+  while (!events_.empty()) {
+    Entry entry{events_.top().time, events_.top().seq, events_.top().action};
+    events_.pop();
+    now_ = entry.time;
+    entry.action();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace otis::sim

@@ -1,0 +1,71 @@
+#pragma once
+/// \file event_queue.hpp
+/// Generic discrete-event simulation core.
+///
+/// The OPS network simulator is slot-synchronous (single-wavelength
+/// couplers make time naturally slotted), but it is built on this
+/// general event engine so that asynchronous extensions (tuning
+/// latencies, unequal propagation delays) slot in without rework.
+/// Events at equal times fire in schedule order (stable FIFO tie-break),
+/// which keeps runs bit-reproducible.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace otis::sim {
+
+/// Simulation clock type: abstract time units (slots for the OPS model).
+using SimTime = std::int64_t;
+
+/// A deterministic discrete-event engine.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `at` (>= now()).
+  void schedule_at(SimTime at, Action action);
+
+  /// Schedules `action` `delay` units after now().
+  void schedule_in(SimTime delay, Action action);
+
+  /// Current simulation time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// True when no events remain.
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return events_.size();
+  }
+
+  /// Runs events until the queue drains or the next event is later than
+  /// `until`. Returns the number of events executed.
+  std::int64_t run_until(SimTime until);
+
+  /// Runs everything (use with care: actions may self-perpetuate).
+  std::int64_t run_all();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> events_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace otis::sim

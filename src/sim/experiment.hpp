@@ -1,0 +1,42 @@
+#pragma once
+/// \file experiment.hpp
+/// Multi-trial experiment runner: load sweeps with independent seeds,
+/// fanned out over a thread pool (each trial builds its own simulator,
+/// so trials share nothing and scale embarrassingly).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/ops_network.hpp"
+
+namespace otis::sim {
+
+/// Aggregated results of one sweep point (mean over seeds).
+struct SweepPoint {
+  double load = 0.0;
+  double throughput_per_node = 0.0;  ///< delivered / node / slot
+  double mean_latency = 0.0;         ///< slots
+  double p95_latency = 0.0;          ///< slots
+  double coupler_utilization = 0.0;  ///< successful coupler-slots fraction
+  double collision_rate = 0.0;       ///< collisions / coupler / slot
+  double delivered_fraction = 0.0;   ///< delivered / offered
+  std::int64_t trials = 0;
+};
+
+/// Builds a fresh simulator for (load, seed). The factory owns nothing;
+/// it is called once per trial, possibly from several threads at once,
+/// and must hand back an independent simulator.
+using TrialFactory =
+    std::function<RunMetrics(double load, std::uint64_t seed)>;
+
+/// Runs `seeds` trials per load and averages. `threads` <= 0 means
+/// hardware concurrency.
+[[nodiscard]] std::vector<SweepPoint> run_load_sweep(
+    const TrialFactory& factory, const std::vector<double>& loads,
+    std::int64_t nodes, std::int64_t couplers,
+    const std::vector<std::uint64_t>& seeds, int threads = 0);
+
+}  // namespace otis::sim

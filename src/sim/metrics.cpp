@@ -1,0 +1,65 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+namespace otis::sim {
+
+void LatencyStats::record(std::int64_t latency_slots) {
+  samples_.push_back(latency_slots);
+  sorted_ = false;
+}
+
+double LatencyStats::mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (std::int64_t s : samples_) {
+    total += static_cast<double>(s);
+  }
+  return total / static_cast<double>(samples_.size());
+}
+
+std::int64_t LatencyStats::max() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+std::int64_t LatencyStats::percentile(double q) const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (q <= 0.0) {
+    return samples_.front();
+  }
+  if (q >= 1.0) {
+    return samples_.back();
+  }
+  const std::size_t rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[std::min(rank, samples_.size() - 1)];
+}
+
+double RunMetrics::throughput_per_node(std::int64_t nodes) const {
+  if (slots == 0 || nodes == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(delivered_packets) /
+         (static_cast<double>(slots) * static_cast<double>(nodes));
+}
+
+double RunMetrics::coupler_utilization(std::int64_t couplers) const {
+  if (slots == 0 || couplers == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(coupler_transmissions) /
+         (static_cast<double>(slots) * static_cast<double>(couplers));
+}
+
+}  // namespace otis::sim

@@ -1,0 +1,45 @@
+#pragma once
+/// \file metrics.hpp
+/// Measurement collection for the network simulator.
+
+#include <cstdint>
+#include <vector>
+
+namespace otis::sim {
+
+/// Online latency statistics with full-sample percentiles.
+class LatencyStats {
+ public:
+  void record(std::int64_t latency_slots);
+
+  [[nodiscard]] std::int64_t count() const noexcept {
+    return static_cast<std::int64_t>(samples_.size());
+  }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] std::int64_t max() const;
+  /// q in [0, 1]; nearest-rank percentile. 0 samples -> 0.
+  [[nodiscard]] std::int64_t percentile(double q) const;
+
+ private:
+  mutable std::vector<std::int64_t> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Aggregate counters of one simulation run.
+struct RunMetrics {
+  std::int64_t slots = 0;             ///< measured slots (after warmup)
+  std::int64_t offered_packets = 0;   ///< generated during measurement
+  std::int64_t delivered_packets = 0; ///< reached destination
+  std::int64_t coupler_transmissions = 0;  ///< successful slot-coupler uses
+  std::int64_t collisions = 0;        ///< slot-couplers lost to contention
+  std::int64_t dropped_packets = 0;   ///< lost to finite queues (if any)
+  std::int64_t backlog = 0;           ///< packets still queued at the end
+  LatencyStats latency;
+
+  /// Delivered packets per processor per slot.
+  [[nodiscard]] double throughput_per_node(std::int64_t nodes) const;
+  /// Fraction of coupler-slots carrying a successful transmission.
+  [[nodiscard]] double coupler_utilization(std::int64_t couplers) const;
+};
+
+}  // namespace otis::sim

@@ -1,0 +1,224 @@
+#include "sim/ops_network.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace otis::sim {
+
+const char* arbitration_name(Arbitration policy) {
+  switch (policy) {
+    case Arbitration::kTokenRoundRobin:
+      return "token";
+    case Arbitration::kRandomWinner:
+      return "random";
+    case Arbitration::kSlottedAloha:
+      return "aloha";
+  }
+  return "?";
+}
+
+OpsNetworkSim::OpsNetworkSim(const hypergraph::StackGraph& network,
+                             RoutingHooks routing,
+                             std::unique_ptr<TrafficGenerator> traffic,
+                             SimConfig config)
+    : network_(network),
+      routing_(std::move(routing)),
+      traffic_(std::move(traffic)),
+      config_(config),
+      rng_(core::Rng::stream(config.seed, 0x0715)) {
+  OTIS_REQUIRE(routing_.next_coupler && routing_.relay_on,
+               "OpsNetworkSim: routing hooks must be set");
+  OTIS_REQUIRE(traffic_ != nullptr, "OpsNetworkSim: traffic must be set");
+  const auto& hg = network_.hypergraph();
+  voq_.resize(static_cast<std::size_t>(hg.node_count()));
+  for (hypergraph::Node v = 0; v < hg.node_count(); ++v) {
+    voq_[static_cast<std::size_t>(v)].resize(hg.out_hyperarcs(v).size());
+  }
+  token_.assign(static_cast<std::size_t>(hg.hyperarc_count()), 0);
+  coupler_success_.assign(static_cast<std::size_t>(hg.hyperarc_count()), 0);
+}
+
+void OpsNetworkSim::enqueue(Packet packet, hypergraph::Node at) {
+  const auto& hg = network_.hypergraph();
+  const hypergraph::HyperarcId coupler =
+      routing_.next_coupler(at, packet.destination);
+  const auto& outs = hg.out_hyperarcs(at);
+  auto it = std::find(outs.begin(), outs.end(), coupler);
+  OTIS_REQUIRE(it != outs.end(),
+               "OpsNetworkSim: router chose a coupler the node cannot feed");
+  const std::size_t slot_index =
+      static_cast<std::size_t>(it - outs.begin());
+  auto& queue = voq_[static_cast<std::size_t>(at)][slot_index];
+  if (config_.queue_capacity > 0 &&
+      static_cast<std::int64_t>(queue.size()) >= config_.queue_capacity) {
+    if (measuring_) {
+      ++metrics_.dropped_packets;
+    }
+    --inflight_;
+    return;
+  }
+  queue.push_back(std::move(packet));
+}
+
+void OpsNetworkSim::slot() {
+  const auto& hg = network_.hypergraph();
+  const SimTime now = queue_.now();
+
+  // Phase 1: traffic generation (skipped while draining).
+  const bool generating =
+      now < config_.warmup_slots + config_.measure_slots;
+  if (generating) {
+    for (hypergraph::Node v = 0; v < hg.node_count(); ++v) {
+      TrafficDemand demand = traffic_->demand(v, rng_);
+      if (!demand.has_packet || demand.destination == v) {
+        continue;
+      }
+      if (measuring_) {
+        ++metrics_.offered_packets;
+      }
+      ++inflight_;
+      enqueue(Packet{next_packet_id_++, v, demand.destination, now, 0}, v);
+    }
+  }
+
+  // Phase 2: per-coupler arbitration over the head packets of the VOQs
+  // feeding it. Winners are collected first and forwarded afterwards so a
+  // packet advances at most one hop per slot.
+  struct Delivery {
+    Packet packet;
+    hypergraph::HyperarcId coupler;
+  };
+  std::vector<Delivery> deliveries;
+  for (hypergraph::HyperarcId h = 0; h < hg.hyperarc_count(); ++h) {
+    const auto& sources = hg.hyperarc(h).sources;
+    // Contenders: indices into `sources` whose VOQ toward h is non-empty.
+    std::vector<std::size_t> contenders;
+    for (std::size_t si = 0; si < sources.size(); ++si) {
+      const hypergraph::Node node = sources[si];
+      const auto& outs = hg.out_hyperarcs(node);
+      const std::size_t slot_index = static_cast<std::size_t>(
+          std::find(outs.begin(), outs.end(), h) - outs.begin());
+      if (!voq_[static_cast<std::size_t>(node)][slot_index].empty()) {
+        contenders.push_back(si);
+      }
+    }
+    if (contenders.empty()) {
+      continue;
+    }
+    // Up to `wavelengths` contenders succeed per coupler-slot (the paper's
+    // single-wavelength couplers are W = 1).
+    const std::size_t capacity = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, config_.wavelengths));
+    std::vector<std::size_t> winners;
+    switch (config_.arbitration) {
+      case Arbitration::kTokenRoundRobin: {
+        // Scan sources starting at the token cursor; the first W
+        // contenders win and the token moves just past the last winner.
+        const std::int64_t start = token_[static_cast<std::size_t>(h)];
+        for (std::size_t step = 0;
+             step < sources.size() && winners.size() < capacity; ++step) {
+          const std::size_t si =
+              (static_cast<std::size_t>(start) + step) % sources.size();
+          if (std::find(contenders.begin(), contenders.end(), si) !=
+              contenders.end()) {
+            winners.push_back(si);
+            token_[static_cast<std::size_t>(h)] =
+                static_cast<std::int64_t>((si + 1) % sources.size());
+          }
+        }
+        break;
+      }
+      case Arbitration::kRandomWinner: {
+        // Partial Fisher-Yates over the contender list.
+        for (std::size_t i = 0;
+             i < contenders.size() && winners.size() < capacity; ++i) {
+          const std::size_t j =
+              i + static_cast<std::size_t>(rng_.uniform(contenders.size() -
+                                                        i));
+          std::swap(contenders[i], contenders[j]);
+          winners.push_back(contenders[i]);
+        }
+        break;
+      }
+      case Arbitration::kSlottedAloha: {
+        // Every contender independently transmits with probability 1/2;
+        // at most W simultaneous transmitters succeed, more collide.
+        std::vector<std::size_t> transmitting;
+        for (std::size_t si : contenders) {
+          if (rng_.bernoulli(0.5)) {
+            transmitting.push_back(si);
+          }
+        }
+        if (!transmitting.empty() && transmitting.size() <= capacity) {
+          winners = std::move(transmitting);
+        } else if (transmitting.size() > capacity && measuring_) {
+          ++metrics_.collisions;
+        }
+        break;
+      }
+    }
+    for (std::size_t winner_si : winners) {
+      const hypergraph::Node winner = sources[winner_si];
+      const auto& outs = hg.out_hyperarcs(winner);
+      const std::size_t slot_index = static_cast<std::size_t>(
+          std::find(outs.begin(), outs.end(), h) - outs.begin());
+      auto& queue = voq_[static_cast<std::size_t>(winner)][slot_index];
+      Packet packet = std::move(queue.front());
+      queue.pop_front();
+      ++packet.hops;
+      if (measuring_) {
+        ++metrics_.coupler_transmissions;
+        ++coupler_success_[static_cast<std::size_t>(h)];
+      }
+      deliveries.push_back(Delivery{std::move(packet), h});
+    }
+  }
+
+  // Phase 3: receivers pick winners off their couplers.
+  for (Delivery& d : deliveries) {
+    const hypergraph::Node relay =
+        routing_.relay_on(d.coupler, d.packet.destination);
+    if (relay == d.packet.destination) {
+      if (measuring_) {
+        ++metrics_.delivered_packets;
+        if (d.packet.created >= config_.warmup_slots) {
+          metrics_.latency.record(now - d.packet.created + 1);
+        }
+      }
+      --inflight_;
+    } else {
+      enqueue(std::move(d.packet), relay);
+    }
+  }
+
+  // Schedule the next slot while work remains.
+  const bool more_traffic = now + 1 < config_.warmup_slots +
+                                          config_.measure_slots;
+  const bool keep_draining = config_.drain && inflight_ > 0;
+  if (more_traffic || keep_draining) {
+    queue_.schedule_in(1, [this] { slot(); });
+  }
+}
+
+RunMetrics OpsNetworkSim::run() {
+  metrics_ = RunMetrics{};
+  metrics_.slots = config_.measure_slots;
+  queue_.schedule_at(0, [this] { slot(); });
+  // Warmup window: run without recording.
+  measuring_ = false;
+  queue_.run_until(config_.warmup_slots - 1);
+  measuring_ = true;
+  queue_.run_until(config_.warmup_slots + config_.measure_slots - 1);
+  measuring_ = false;
+  if (config_.drain) {
+    // Generous bound: every in-flight packet can always progress under
+    // token/random arbitration; aloha needs slack.
+    queue_.run_until(config_.warmup_slots + config_.measure_slots +
+                     1'000'000);
+  }
+  metrics_.backlog = inflight_;
+  return metrics_;
+}
+
+}  // namespace otis::sim

@@ -1,0 +1,124 @@
+#pragma once
+/// \file ops_network.hpp
+/// Slot-synchronous simulator of multi-OPS networks.
+///
+/// Model (matching the paper's hardware assumptions):
+///  - time is slotted; in one slot a coupler carries at most one packet
+///    (single-wavelength OPS, Sec. 2.2);
+///  - a processor owns one statically-tuned transmitter per out-coupler
+///    and one receiver per in-coupler, so it can send and receive on all
+///    its couplers in the same slot (multi-hop network with fixed tuning,
+///    Sec. 1);
+///  - a transmission on a coupler is heard by all its targets; the
+///    routing relay (or the destination) consumes it, everyone else
+///    discards it;
+///  - contention for a coupler is resolved by a pluggable arbitration
+///    policy -- the "distributed control" knob of the companion paper
+///    [11]: token round-robin, random winner, or oblivious (collision
+///    destroys all packets in that coupler-slot; senders retry).
+///
+/// The simulator runs on the generic EventQueue (one event per slot) and
+/// works for *any* stack-graph network: POPS, stack-Kautz and
+/// stack-Imase-Itoh differ only in the StackGraph and the routing
+/// callbacks handed in.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "hypergraph/stack_graph.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+#include "sim/traffic.hpp"
+
+namespace otis::sim {
+
+/// Coupler-contention resolution policies.
+enum class Arbitration {
+  kTokenRoundRobin,  ///< rotating priority per coupler: fair, collision-free
+  kRandomWinner,     ///< uniformly random contender wins, others wait
+  kSlottedAloha,     ///< each contender transmits w.p. 1/2; >1 collides
+};
+
+[[nodiscard]] const char* arbitration_name(Arbitration policy);
+
+/// A packet in flight.
+struct Packet {
+  std::int64_t id = 0;
+  hypergraph::Node source = 0;
+  hypergraph::Node destination = 0;
+  SimTime created = 0;
+  int hops = 0;
+};
+
+/// Routing callbacks: which coupler a node uses for a destination, and
+/// which member of the coupler's target set relays the packet onward.
+struct RoutingHooks {
+  /// next_coupler(current, destination) -> coupler id.
+  std::function<hypergraph::HyperarcId(hypergraph::Node, hypergraph::Node)>
+      next_coupler;
+  /// relay_on(coupler, destination) -> the node that picks the packet up
+  /// off that coupler (must be one of the coupler's targets).
+  std::function<hypergraph::Node(hypergraph::HyperarcId, hypergraph::Node)>
+      relay_on;
+};
+
+/// Simulator configuration.
+struct SimConfig {
+  Arbitration arbitration = Arbitration::kTokenRoundRobin;
+  std::int64_t warmup_slots = 200;     ///< excluded from metrics
+  std::int64_t measure_slots = 2000;   ///< measured window
+  std::int64_t queue_capacity = 0;     ///< 0 = unbounded VOQs
+  std::uint64_t seed = 1;
+  bool drain = false;  ///< keep running (no new traffic) until empty
+  /// Wavelengths per coupler (WDM extension; the paper's couplers are
+  /// single-wavelength, its "further research" direction): up to this
+  /// many senders succeed per coupler-slot. Must be >= 1.
+  std::int64_t wavelengths = 1;
+};
+
+/// The slot-synchronous multi-OPS network simulator.
+class OpsNetworkSim {
+ public:
+  /// `network` must outlive the simulator. Traffic generator is owned.
+  OpsNetworkSim(const hypergraph::StackGraph& network, RoutingHooks routing,
+                std::unique_ptr<TrafficGenerator> traffic, SimConfig config);
+
+  /// Runs warmup + measurement (+ optional drain); returns the metrics of
+  /// the measurement window.
+  RunMetrics run();
+
+  /// Per-coupler successful-transmission counts of the measured window
+  /// (valid after run()).
+  [[nodiscard]] const std::vector<std::int64_t>& coupler_successes() const {
+    return coupler_success_;
+  }
+
+ private:
+  void slot();
+  void enqueue(Packet packet, hypergraph::Node at);
+
+  const hypergraph::StackGraph& network_;
+  RoutingHooks routing_;
+  std::unique_ptr<TrafficGenerator> traffic_;
+  SimConfig config_;
+  core::Rng rng_;
+  EventQueue queue_;
+
+  /// Virtual output queues: per node, per out-coupler slot (indexed by
+  /// position of the coupler in out_hyperarcs(node)).
+  std::vector<std::vector<std::deque<Packet>>> voq_;
+  /// Position of each coupler in its sources' out-coupler lists:
+  /// voq_slot_[node][coupler-position] mirrors out_hyperarcs order.
+  std::vector<std::int64_t> token_;  ///< per coupler, round-robin cursor
+  std::vector<std::int64_t> coupler_success_;
+  RunMetrics metrics_;
+  bool measuring_ = false;
+  std::int64_t next_packet_id_ = 0;
+  std::int64_t inflight_ = 0;
+};
+
+}  // namespace otis::sim

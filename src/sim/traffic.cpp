@@ -1,0 +1,131 @@
+#include "sim/traffic.hpp"
+
+#include "core/error.hpp"
+
+namespace otis::sim {
+
+namespace {
+
+std::int64_t uniform_other(std::int64_t node, std::int64_t nodes,
+                           core::Rng& rng) {
+  if (nodes <= 1) {
+    return node;
+  }
+  // Draw from the n-1 nodes != node without rejection.
+  std::int64_t dest = static_cast<std::int64_t>(
+      rng.uniform(static_cast<std::uint64_t>(nodes - 1)));
+  if (dest >= node) {
+    ++dest;
+  }
+  return dest;
+}
+
+}  // namespace
+
+UniformTraffic::UniformTraffic(std::int64_t nodes, double load)
+    : nodes_(nodes), load_(load) {
+  OTIS_REQUIRE(nodes >= 1, "UniformTraffic: need at least one node");
+  OTIS_REQUIRE(load >= 0.0 && load <= 1.0,
+               "UniformTraffic: load must be in [0, 1]");
+}
+
+TrafficDemand UniformTraffic::demand(std::int64_t node, core::Rng& rng) {
+  if (!rng.bernoulli(load_)) {
+    return {};
+  }
+  return TrafficDemand{true, uniform_other(node, nodes_, rng)};
+}
+
+HotspotTraffic::HotspotTraffic(std::int64_t nodes, double load,
+                               std::int64_t hot_node, double hot_fraction)
+    : nodes_(nodes),
+      load_(load),
+      hot_node_(hot_node),
+      hot_fraction_(hot_fraction) {
+  OTIS_REQUIRE(nodes >= 1, "HotspotTraffic: need at least one node");
+  OTIS_REQUIRE(hot_node >= 0 && hot_node < nodes,
+               "HotspotTraffic: hot node out of range");
+  OTIS_REQUIRE(hot_fraction >= 0.0 && hot_fraction <= 1.0,
+               "HotspotTraffic: hot fraction must be in [0, 1]");
+}
+
+TrafficDemand HotspotTraffic::demand(std::int64_t node, core::Rng& rng) {
+  if (!rng.bernoulli(load_)) {
+    return {};
+  }
+  if (node != hot_node_ && rng.bernoulli(hot_fraction_)) {
+    return TrafficDemand{true, hot_node_};
+  }
+  return TrafficDemand{true, uniform_other(node, nodes_, rng)};
+}
+
+PermutationTraffic::PermutationTraffic(std::int64_t nodes, double load,
+                                       std::uint64_t seed)
+    : load_(load) {
+  OTIS_REQUIRE(nodes >= 1, "PermutationTraffic: need at least one node");
+  core::Rng rng(seed);
+  auto perm = rng.permutation(static_cast<std::size_t>(nodes));
+  partner_.assign(perm.begin(), perm.end());
+  // Fix the (rare) fixed points by swapping with a neighbour so no node
+  // targets itself.
+  for (std::int64_t i = 0; i < nodes && nodes > 1; ++i) {
+    if (partner_[static_cast<std::size_t>(i)] == i) {
+      const std::int64_t j = (i + 1) % nodes;
+      std::swap(partner_[static_cast<std::size_t>(i)],
+                partner_[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+TrafficDemand PermutationTraffic::demand(std::int64_t node, core::Rng& rng) {
+  if (!rng.bernoulli(load_)) {
+    return {};
+  }
+  return TrafficDemand{true, partner_[static_cast<std::size_t>(node)]};
+}
+
+BurstyTraffic::BurstyTraffic(std::int64_t nodes, double peak_load,
+                             double enter_on, double exit_on)
+    : nodes_(nodes),
+      peak_load_(peak_load),
+      enter_on_(enter_on),
+      exit_on_(exit_on),
+      on_(static_cast<std::size_t>(nodes), 0) {
+  OTIS_REQUIRE(nodes >= 1, "BurstyTraffic: need at least one node");
+  OTIS_REQUIRE(peak_load >= 0.0 && peak_load <= 1.0,
+               "BurstyTraffic: peak load must be in [0, 1]");
+  OTIS_REQUIRE(enter_on > 0.0 && enter_on <= 1.0,
+               "BurstyTraffic: enter_on must be in (0, 1]");
+  OTIS_REQUIRE(exit_on > 0.0 && exit_on <= 1.0,
+               "BurstyTraffic: exit_on must be in (0, 1]");
+}
+
+double BurstyTraffic::mean_load() const {
+  // Stationary P(on) of the two-state chain: enter / (enter + exit).
+  return peak_load_ * enter_on_ / (enter_on_ + exit_on_);
+}
+
+TrafficDemand BurstyTraffic::demand(std::int64_t node, core::Rng& rng) {
+  char& state = on_[static_cast<std::size_t>(node)];
+  if (state) {
+    if (rng.bernoulli(exit_on_)) {
+      state = 0;
+    }
+  } else if (rng.bernoulli(enter_on_)) {
+    state = 1;
+  }
+  if (!state || !rng.bernoulli(peak_load_)) {
+    return {};
+  }
+  return TrafficDemand{true, uniform_other(node, nodes_, rng)};
+}
+
+SaturationTraffic::SaturationTraffic(std::int64_t nodes) : nodes_(nodes) {
+  OTIS_REQUIRE(nodes >= 1, "SaturationTraffic: need at least one node");
+}
+
+TrafficDemand SaturationTraffic::demand(std::int64_t node, core::Rng& rng) {
+  return TrafficDemand{true, uniform_other(node, nodes_, rng)};
+}
+
+}  // namespace otis::sim

@@ -1,0 +1,114 @@
+#pragma once
+/// \file traffic.hpp
+/// Traffic generators for the OPS network simulator: the standard
+/// workloads used to evaluate passive-star lightwave networks
+/// (uniform Bernoulli, hotspot, fixed permutation, saturation), per
+/// refs [7, 9, 25] of the paper.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace otis::sim {
+
+/// Destination request produced by a generator for one node in one slot.
+struct TrafficDemand {
+  bool has_packet = false;
+  std::int64_t destination = -1;
+};
+
+/// Per-slot, per-node packet generation interface. Implementations must
+/// be deterministic given the Rng stream handed to them.
+class TrafficGenerator {
+ public:
+  virtual ~TrafficGenerator() = default;
+
+  /// Demand of `node` in the current slot. `rng` is the run's generator.
+  virtual TrafficDemand demand(std::int64_t node, core::Rng& rng) = 0;
+
+  /// True for saturation-style generators that always have a packet
+  /// ready (used to measure saturation throughput).
+  [[nodiscard]] virtual bool is_saturating() const { return false; }
+};
+
+/// Bernoulli(load) arrivals, destination uniform over the other nodes.
+class UniformTraffic : public TrafficGenerator {
+ public:
+  UniformTraffic(std::int64_t nodes, double load);
+  TrafficDemand demand(std::int64_t node, core::Rng& rng) override;
+
+ private:
+  std::int64_t nodes_;
+  double load_;
+};
+
+/// Bernoulli(load) arrivals; with probability `hot_fraction` the packet
+/// goes to `hot_node`, otherwise uniform.
+class HotspotTraffic : public TrafficGenerator {
+ public:
+  HotspotTraffic(std::int64_t nodes, double load, std::int64_t hot_node,
+                 double hot_fraction);
+  TrafficDemand demand(std::int64_t node, core::Rng& rng) override;
+
+ private:
+  std::int64_t nodes_;
+  double load_;
+  std::int64_t hot_node_;
+  double hot_fraction_;
+};
+
+/// Bernoulli(load) arrivals to a fixed random permutation partner
+/// (classic adversarial-but-balanced pattern).
+class PermutationTraffic : public TrafficGenerator {
+ public:
+  /// The permutation is drawn once from `seed` (derangement-adjusted so
+  /// no node targets itself when nodes > 1).
+  PermutationTraffic(std::int64_t nodes, double load, std::uint64_t seed);
+  TrafficDemand demand(std::int64_t node, core::Rng& rng) override;
+
+  [[nodiscard]] const std::vector<std::int64_t>& permutation() const {
+    return partner_;
+  }
+
+ private:
+  double load_;
+  std::vector<std::int64_t> partner_;
+};
+
+/// Two-state (on/off) Markov-modulated Bernoulli arrivals: bursty
+/// traffic. While ON, packets arrive with probability `peak_load`; the
+/// ON->OFF and OFF->ON transition probabilities set burst and idle
+/// lengths. Destinations are uniform.
+class BurstyTraffic : public TrafficGenerator {
+ public:
+  /// mean burst length = 1/`exit_on`, mean idle = 1/`enter_on` (slots).
+  BurstyTraffic(std::int64_t nodes, double peak_load, double enter_on,
+                double exit_on);
+  TrafficDemand demand(std::int64_t node, core::Rng& rng) override;
+
+  /// Long-run average load: peak_load * P(on).
+  [[nodiscard]] double mean_load() const;
+
+ private:
+  std::int64_t nodes_;
+  double peak_load_;
+  double enter_on_;
+  double exit_on_;
+  std::vector<char> on_;  ///< per-node burst state
+};
+
+/// Every node always has a packet for a uniform random destination:
+/// measures saturation throughput.
+class SaturationTraffic : public TrafficGenerator {
+ public:
+  explicit SaturationTraffic(std::int64_t nodes);
+  TrafficDemand demand(std::int64_t node, core::Rng& rng) override;
+  [[nodiscard]] bool is_saturating() const override { return true; }
+
+ private:
+  std::int64_t nodes_;
+};
+
+}  // namespace otis::sim

@@ -1,0 +1,30 @@
+#include "topology/complete.hpp"
+
+#include "core/error.hpp"
+#include "core/mathutil.hpp"
+
+namespace otis::topology {
+
+graph::Digraph complete_digraph(std::int64_t g, Loops loops) {
+  OTIS_REQUIRE(g >= 1, "complete_digraph: g must be >= 1");
+  std::vector<graph::Arc> arcs;
+  arcs.reserve(static_cast<std::size_t>(g * g));
+  for (std::int64_t u = 0; u < g; ++u) {
+    if (loops == Loops::kWith) {
+      // Imase-Itoh order: alpha = 1..g, head = (-g*u - alpha) mod g
+      // = (g - alpha) mod g, independent of u.
+      for (std::int64_t alpha = 1; alpha <= g; ++alpha) {
+        arcs.push_back(graph::Arc{u, core::floor_mod(-g * u - alpha, g)});
+      }
+    } else {
+      for (std::int64_t v = 0; v < g; ++v) {
+        if (v != u) {
+          arcs.push_back(graph::Arc{u, v});
+        }
+      }
+    }
+  }
+  return graph::Digraph::from_arcs(g, arcs);
+}
+
+}  // namespace otis::topology

@@ -1,0 +1,23 @@
+#pragma once
+/// \file complete.hpp
+/// Complete digraphs K_g and K+_g.
+///
+/// The POPS network (paper Sec. 2.4, Fig. 5) is the stack-graph of K+_g,
+/// the complete digraph *with loops*: a group talks to every group
+/// including itself, one OPS coupler per ordered pair (i, j).
+
+#include "graph/digraph.hpp"
+
+namespace otis::topology {
+
+/// Loop policy for complete digraphs.
+enum class Loops { kWithout, kWith };
+
+/// K_g (loops == kWithout, g(g-1) arcs) or K+_g (loops == kWith, g^2 arcs).
+/// Arcs out of each vertex are emitted in Imase-Itoh order, i.e. head
+/// (-g*u - alpha) mod g for alpha = 1..g when loops are present; this makes
+/// K+_g literally equal (not just isomorphic) to II(g, g), matching the
+/// paper's use of OTIS(g,g) as the POPS interconnect.
+[[nodiscard]] graph::Digraph complete_digraph(std::int64_t g, Loops loops);
+
+}  // namespace otis::topology

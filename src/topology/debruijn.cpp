@@ -1,0 +1,44 @@
+#include "topology/debruijn.hpp"
+
+#include "core/error.hpp"
+#include "core/mathutil.hpp"
+
+namespace otis::topology {
+
+DeBruijn::DeBruijn(int degree, int dimension) : d_(degree), k_(dimension) {
+  OTIS_REQUIRE(d_ >= 1, "DeBruijn: degree must be >= 1");
+  OTIS_REQUIRE(k_ >= 1, "DeBruijn: dimension must be >= 1");
+  n_ = core::ipow(d_, static_cast<unsigned>(k_));
+  std::vector<graph::Arc> arcs;
+  arcs.reserve(static_cast<std::size_t>(n_) * static_cast<std::size_t>(d_));
+  for (std::int64_t u = 0; u < n_; ++u) {
+    for (int alpha = 0; alpha < d_; ++alpha) {
+      arcs.push_back(graph::Arc{u, core::floor_mod(d_ * u + alpha, n_)});
+    }
+  }
+  graph_ = graph::Digraph::from_arcs(n_, arcs);
+}
+
+Word DeBruijn::word_of(std::int64_t v) const {
+  OTIS_REQUIRE(v >= 0 && v < n_, "DeBruijn::word_of: vertex out of range");
+  Word word(static_cast<std::size_t>(k_));
+  for (int i = k_ - 1; i >= 0; --i) {
+    word[static_cast<std::size_t>(i)] = static_cast<int>(v % d_);
+    v /= d_;
+  }
+  return word;
+}
+
+std::int64_t DeBruijn::vertex_of(const Word& word) const {
+  OTIS_REQUIRE(static_cast<int>(word.size()) == k_,
+               "DeBruijn::vertex_of: wrong word length");
+  std::int64_t v = 0;
+  for (int letter : word) {
+    OTIS_REQUIRE(letter >= 0 && letter < d_,
+                 "DeBruijn::vertex_of: letter out of range");
+    v = v * d_ + letter;
+  }
+  return v;
+}
+
+}  // namespace otis::topology

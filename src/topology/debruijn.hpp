@@ -1,0 +1,47 @@
+#pragma once
+/// \file debruijn.hpp
+/// De Bruijn digraphs B(d, k) -- the comparison topology of Sivarajan &
+/// Ramaswami 1994 ("Lightwave networks based on de Bruijn graphs",
+/// paper ref [22]); used here as a baseline against Kautz/Imase-Itoh.
+///
+/// B(d, k): vertices are words of length k over {0..d-1} (equivalently
+/// integers modulo d^k); u -> (d*u + alpha) mod d^k for alpha = 0..d-1.
+/// Order d^k, degree d, diameter k; contains loops (at the constant
+/// words), which is one reason Kautz graphs beat it for networking: same
+/// degree and diameter, (d+1)/d times more usable vertices and no loops.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "topology/kautz.hpp"
+
+namespace otis::topology {
+
+/// De Bruijn digraph with word labels.
+class DeBruijn {
+ public:
+  /// Requires degree >= 1, dimension >= 1.
+  DeBruijn(int degree, int dimension);
+
+  [[nodiscard]] int degree() const noexcept { return d_; }
+  [[nodiscard]] int dimension() const noexcept { return k_; }
+  /// d^k.
+  [[nodiscard]] std::int64_t order() const noexcept { return n_; }
+
+  [[nodiscard]] const graph::Digraph& graph() const noexcept { return graph_; }
+
+  /// Word of vertex v: base-d digits, most significant first.
+  [[nodiscard]] Word word_of(std::int64_t v) const;
+
+  /// Vertex of a word (digits in 0..d-1, length k).
+  [[nodiscard]] std::int64_t vertex_of(const Word& word) const;
+
+ private:
+  int d_;
+  int k_;
+  std::int64_t n_;
+  graph::Digraph graph_;
+};
+
+}  // namespace otis::topology

@@ -1,0 +1,84 @@
+#include "topology/imase_itoh.hpp"
+
+#include "core/error.hpp"
+#include "core/mathutil.hpp"
+
+namespace otis::topology {
+
+ImaseItoh::ImaseItoh(int degree, std::int64_t order) : d_(degree), n_(order) {
+  OTIS_REQUIRE(d_ >= 1, "ImaseItoh: degree must be >= 1");
+  OTIS_REQUIRE(n_ >= d_, "ImaseItoh: order must be >= degree");
+  std::vector<graph::Arc> arcs;
+  arcs.reserve(static_cast<std::size_t>(n_) * static_cast<std::size_t>(d_));
+  for (std::int64_t u = 0; u < n_; ++u) {
+    for (int alpha = 1; alpha <= d_; ++alpha) {
+      arcs.push_back(graph::Arc{u, successor_impl(u, alpha)});
+    }
+  }
+  graph_ = graph::Digraph::from_arcs(n_, arcs);
+}
+
+std::int64_t ImaseItoh::successor(std::int64_t u, int alpha) const {
+  OTIS_REQUIRE(u >= 0 && u < n_, "ImaseItoh::successor: vertex out of range");
+  OTIS_REQUIRE(alpha >= 1 && alpha <= d_,
+               "ImaseItoh::successor: alpha out of range");
+  return successor_impl(u, alpha);
+}
+
+std::vector<std::int64_t> ImaseItoh::successors(std::int64_t u) const {
+  std::vector<std::int64_t> result;
+  result.reserve(static_cast<std::size_t>(d_));
+  for (int alpha = 1; alpha <= d_; ++alpha) {
+    result.push_back(successor(u, alpha));
+  }
+  return result;
+}
+
+int ImaseItoh::alpha_of_arc(std::int64_t u, std::int64_t v) const {
+  // v = (-d*u - alpha) mod n  <=>  alpha = (-d*u - v) mod n.
+  std::int64_t alpha = core::floor_mod(-static_cast<std::int64_t>(d_) * u - v,
+                                       n_);
+  if (alpha >= 1 && alpha <= d_) {
+    return static_cast<int>(alpha);
+  }
+  return 0;
+}
+
+unsigned ImaseItoh::diameter_formula() const {
+  if (n_ <= 1 || d_ < 2) {
+    return n_ <= 1 ? 0 : static_cast<unsigned>(n_ - 1);
+  }
+  return core::ceil_log(d_, n_);
+}
+
+bool ImaseItoh::is_kautz() const {
+  // n = d^{k-1} (d+1): strip factors of d, the remainder must be d+1
+  // (k >= 2), or n == d+1 directly (k = 1).
+  std::int64_t m = n_;
+  if (m == d_ + 1) {
+    return true;
+  }
+  if (d_ == 1) {
+    return m == 2;
+  }
+  while (m % d_ == 0) {
+    m /= d_;
+    if (m == d_ + 1) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int ImaseItoh::kautz_diameter() const {
+  OTIS_REQUIRE(is_kautz(), "ImaseItoh::kautz_diameter: not a Kautz order");
+  std::int64_t m = n_;
+  int k = 1;
+  while (m != d_ + 1) {
+    m /= d_;
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace otis::topology

@@ -1,0 +1,67 @@
+#pragma once
+/// \file imase_itoh.hpp
+/// Imase-Itoh digraphs II(d, n) (Imase & Itoh 1981, paper Def. 3).
+///
+/// II(d, n): vertices are integers modulo n; u has an arc to every
+/// v = (-d*u - alpha) mod n for alpha = 1..d. These graphs generalize
+/// Kautz graphs to arbitrary order (II(d, d^{k-1}(d+1)) = KG(d,k)) while
+/// keeping diameter ceil(log_d n) -- and, the paper's Proposition 1, their
+/// arcs are exactly the port permutation of the OTIS(d, n) optical system.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mathutil.hpp"
+#include "graph/digraph.hpp"
+
+namespace otis::topology {
+
+/// Imase-Itoh digraph with its arithmetic structure kept accessible
+/// (successor formula, alpha labels) rather than just the arc list.
+class ImaseItoh {
+ public:
+  /// Requires d >= 1 and n >= d (so the d successors of a vertex are
+  /// pairwise distinct).
+  ImaseItoh(int degree, std::int64_t order);
+
+  [[nodiscard]] int degree() const noexcept { return d_; }
+  [[nodiscard]] std::int64_t order() const noexcept { return n_; }
+
+  /// The successor reached from `u` by arc label alpha (1 <= alpha <= d):
+  /// (-d*u - alpha) mod n.
+  [[nodiscard]] std::int64_t successor(std::int64_t u, int alpha) const;
+
+  /// All d successors in alpha order.
+  [[nodiscard]] std::vector<std::int64_t> successors(std::int64_t u) const;
+
+  /// The alpha with successor(u, alpha) == v; 0 if v is not a successor.
+  [[nodiscard]] int alpha_of_arc(std::int64_t u, std::int64_t v) const;
+
+  /// The digraph (arcs in alpha order per tail -- the canonical Imase-Itoh
+  /// arc numbering phi(u, alpha) = d*u + alpha - 1).
+  [[nodiscard]] const graph::Digraph& graph() const noexcept { return graph_; }
+
+  /// Diameter formula from Imase-Itoh 1981: ceil(log_d n) (for n > 1).
+  [[nodiscard]] unsigned diameter_formula() const;
+
+  /// True when n = d^{k-1}(d+1) for some k >= 1, i.e. II(d,n) is the Kautz
+  /// graph KG(d,k) (Imase-Itoh 1983; paper Sec. 2.6).
+  [[nodiscard]] bool is_kautz() const;
+
+  /// The k with n = d^{k-1}(d+1), if is_kautz().
+  [[nodiscard]] int kautz_diameter() const;
+
+ private:
+  /// Unchecked successor formula; factored out so the constructor can use
+  /// it before the object is fully built.
+  [[nodiscard]] std::int64_t successor_impl(std::int64_t u,
+                                            int alpha) const noexcept {
+    return core::floor_mod(-static_cast<std::int64_t>(d_) * u - alpha, n_);
+  }
+
+  int d_;
+  std::int64_t n_;
+  graph::Digraph graph_;
+};
+
+}  // namespace otis::topology

@@ -1,0 +1,134 @@
+#include "topology/kautz.hpp"
+
+#include "core/error.hpp"
+#include "core/mathutil.hpp"
+#include "topology/imase_itoh.hpp"
+
+namespace otis::topology {
+
+Kautz::Kautz(int degree, int diameter) : d_(degree), k_(diameter) {
+  OTIS_REQUIRE(d_ >= 1, "Kautz: degree must be >= 1");
+  OTIS_REQUIRE(k_ >= 1, "Kautz: diameter must be >= 1");
+  n_ = core::kautz_order(d_, k_);
+  // By Corollary 1 / Imase-Itoh 1983 the arc set in iota numbering is that
+  // of II(d, N); building it arithmetically is O(N d) and the word-level
+  // definition is verified against it in tests.
+  graph_ = ImaseItoh(d_, n_).graph();
+}
+
+bool Kautz::is_valid_word(const Word& word) const {
+  if (static_cast<int>(word.size()) != k_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    if (word[i] < 0 || word[i] > d_) {
+      return false;
+    }
+    if (i > 0 && word[i] == word[i - 1]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::int64_t Kautz::vertex_of_impl(const int* letters, int length) const {
+  if (length == 1) {
+    return letters[0];
+  }
+  const std::int64_t n_prev = core::kautz_order(d_, length - 1);
+  const std::int64_t prefix = vertex_of_impl(letters, length - 1);
+  const std::int64_t suffix = vertex_of_impl(letters + 1, length - 1);
+  const std::int64_t alpha =
+      core::floor_mod(-static_cast<std::int64_t>(d_) * prefix - suffix,
+                      n_prev);
+  OTIS_ASSERT(alpha >= 1 && alpha <= d_,
+              "Kautz word numbering: alpha out of 1..d");
+  return d_ * prefix + alpha - 1;
+}
+
+std::int64_t Kautz::vertex_of(const Word& word) const {
+  OTIS_REQUIRE(is_valid_word(word), "Kautz::vertex_of: invalid word");
+  return vertex_of_impl(word.data(), k_);
+}
+
+void Kautz::word_of_impl(std::int64_t v, int length, int* out) const {
+  if (length == 1) {
+    out[0] = static_cast<int>(v);
+    return;
+  }
+  const std::int64_t n_prev = core::kautz_order(d_, length - 1);
+  const std::int64_t prefix = v / d_;
+  const int alpha = static_cast<int>(v % d_) + 1;
+  const std::int64_t suffix =
+      core::floor_mod(-static_cast<std::int64_t>(d_) * prefix - alpha, n_prev);
+  // Decode prefix into out[0 .. length-2] and suffix into out[1 ..
+  // length-1]; they overlap on length-2 letters, which must agree -- that
+  // overlap is exactly the line-digraph consistency of the numbering.
+  word_of_impl(prefix, length - 1, out);
+  if (length >= 3) {
+    const int prefix_second_letter = out[1];  // overwritten by suffix decode
+    word_of_impl(suffix, length - 1, out + 1);
+    OTIS_ASSERT(out[1] == prefix_second_letter,
+                "Kautz word decoding: prefix/suffix overlap mismatch");
+  } else {
+    word_of_impl(suffix, length - 1, out + 1);
+  }
+}
+
+Word Kautz::word_of(std::int64_t v) const {
+  OTIS_REQUIRE(v >= 0 && v < n_, "Kautz::word_of: vertex out of range");
+  Word word(static_cast<std::size_t>(k_));
+  word_of_impl(v, k_, word.data());
+  OTIS_ASSERT(is_valid_word(word), "Kautz::word_of produced invalid word");
+  return word;
+}
+
+Word Kautz::shift(const Word& word, int z) {
+  OTIS_REQUIRE(!word.empty(), "Kautz::shift: empty word");
+  OTIS_REQUIRE(z != word.back(), "Kautz::shift: z equals last letter");
+  Word next(word.begin() + 1, word.end());
+  next.push_back(z);
+  return next;
+}
+
+std::vector<Word> Kautz::all_words() const {
+  std::vector<Word> words;
+  words.reserve(static_cast<std::size_t>(n_));
+  for (std::int64_t v = 0; v < n_; ++v) {
+    words.push_back(word_of(v));
+  }
+  return words;
+}
+
+std::string Kautz::word_to_string(const Word& word) {
+  bool wide = false;
+  for (int letter : word) {
+    if (letter > 9) {
+      wide = true;
+    }
+  }
+  std::string text;
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    if (wide && i > 0) {
+      text += '.';
+    }
+    text += std::to_string(word[i]);
+  }
+  return text;
+}
+
+graph::Digraph kautz_with_loops(int degree, int diameter) {
+  Kautz kautz(degree, diameter);
+  std::vector<graph::Arc> arcs;
+  const graph::Digraph& base = kautz.graph();
+  arcs.reserve(static_cast<std::size_t>(base.size() + base.order()));
+  for (graph::Vertex v = 0; v < base.order(); ++v) {
+    for (graph::ArcId a = base.out_begin(v); a < base.out_end(v); ++a) {
+      arcs.push_back(graph::Arc{v, base.head(a)});
+    }
+    arcs.push_back(graph::Arc{v, v});  // the loop, last out-arc of v
+  }
+  return graph::Digraph::from_arcs(base.order(), arcs);
+}
+
+}  // namespace otis::topology

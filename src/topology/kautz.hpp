@@ -1,0 +1,93 @@
+#pragma once
+/// \file kautz.hpp
+/// Kautz digraphs KG(d, k) with word labels (paper Def. 2) and the
+/// explicit bijection onto Imase-Itoh integer labels (paper Cor. 1).
+///
+/// A vertex is a word (x_1, .., x_k) over the alphabet {0, .., d} with
+/// x_i != x_{i+1}; arcs shift the word left and append a fresh letter.
+/// KG(d,k) has N = d^{k-1}(d+1) vertices, degree d and diameter k, is
+/// Eulerian and Hamiltonian, and is vertex-optimal for d > 2 (Kautz 1968).
+///
+/// Vertex numbering. This class numbers vertices so that the arc set is
+/// *identical* (not merely isomorphic) to II(d, N): the proof of
+/// L(II(d,n)) = II(d, d*n) assigns arc (u, alpha) of II(d,n) the number
+/// phi(u, alpha) = d*u + alpha - 1, and a Kautz word of length k is an
+/// arc of KG(d, k-1). Recursing down to KG(d,1) = K_{d+1} = II(d, d+1)
+/// (where word (x_1) is vertex x_1) yields
+///
+///   iota_1(x_1)        = x_1
+///   iota_k(x_1 .. x_k) = d * iota_{k-1}(x_1 .. x_{k-1}) + alpha - 1,
+///     where alpha = (-d * iota_{k-1}(x_1..x_{k-1})
+///                    - iota_{k-1}(x_2..x_k)) mod d^{k-2}(d+1).
+///
+/// That alpha is always in 1..d because prefix -> suffix is an arc of
+/// KG(d, k-1) (induction hypothesis). The inverse peels digits base d.
+/// Tests cross-check the bijection against brute-force BFS and against
+/// find_isomorphism on small instances.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace otis::topology {
+
+/// A Kautz vertex label: k letters over {0, .., d}, adjacent letters
+/// distinct.
+using Word = std::vector<int>;
+
+/// Kautz digraph KG(d, k) with both label systems attached.
+class Kautz {
+ public:
+  /// Requires degree >= 1 and diameter >= 1. KG(1, k) is the directed
+  /// cycle on 2 vertices for k = 1 (degenerate but well defined).
+  Kautz(int degree, int diameter);
+
+  [[nodiscard]] int degree() const noexcept { return d_; }
+  [[nodiscard]] int diameter() const noexcept { return k_; }
+  /// Alphabet size d+1.
+  [[nodiscard]] int alphabet() const noexcept { return d_ + 1; }
+  /// N = d^{k-1} (d+1).
+  [[nodiscard]] std::int64_t order() const noexcept { return n_; }
+
+  /// The digraph, in Imase-Itoh numbering (see file comment).
+  [[nodiscard]] const graph::Digraph& graph() const noexcept { return graph_; }
+
+  /// Kautz word of vertex v.
+  [[nodiscard]] Word word_of(std::int64_t v) const;
+
+  /// Vertex number of a word (validates the word).
+  [[nodiscard]] std::int64_t vertex_of(const Word& word) const;
+
+  /// True if `word` has length k, letters in {0..d}, adjacent distinct.
+  [[nodiscard]] bool is_valid_word(const Word& word) const;
+
+  /// The word reached from `word` by shifting in letter z (z != last
+  /// letter): (x_2, .., x_k, z).
+  [[nodiscard]] static Word shift(const Word& word, int z);
+
+  /// All words of KG(d,k) in vertex-number order.
+  [[nodiscard]] std::vector<Word> all_words() const;
+
+  /// Render a word as a compact string, e.g. "102" (letters > 9 are
+  /// separated by dots).
+  [[nodiscard]] static std::string word_to_string(const Word& word);
+
+ private:
+  [[nodiscard]] std::int64_t vertex_of_impl(const int* letters,
+                                            int length) const;
+  void word_of_impl(std::int64_t v, int length, int* out) const;
+
+  int d_;
+  int k_;
+  std::int64_t n_;
+  graph::Digraph graph_;
+};
+
+/// KG+(d, k): the Kautz graph with a loop added at every vertex, degree
+/// d+1 (paper Sec. 2.7) -- the base graph of the stack-Kautz network.
+/// Loops are appended after the d Imase-Itoh-ordered arcs of each vertex.
+[[nodiscard]] graph::Digraph kautz_with_loops(int degree, int diameter);
+
+}  // namespace otis::topology

@@ -1,0 +1,53 @@
+#include "topology/otis_swap.hpp"
+
+#include "core/error.hpp"
+
+namespace otis::topology {
+
+OtisSwapNetwork::OtisSwapNetwork(graph::Digraph factor)
+    : factor_(std::move(factor)) {
+  const graph::Vertex n = factor_.order();
+  OTIS_REQUIRE(n >= 1, "OtisSwapNetwork: factor must be non-empty");
+  std::vector<graph::Arc> arcs;
+  arcs.reserve(static_cast<std::size_t>(n * factor_.size() + n * n - n));
+  for (graph::Vertex x = 0; x < n; ++x) {
+    // Electronic copy of the factor inside group x.
+    for (const graph::Arc& a : factor_.arcs()) {
+      arcs.push_back(graph::Arc{x * n + a.tail, x * n + a.head});
+    }
+    // Optical transpose links.
+    for (graph::Vertex p = 0; p < n; ++p) {
+      if (p != x) {
+        arcs.push_back(graph::Arc{x * n + p, p * n + x});
+      }
+    }
+  }
+  graph_ = graph::Digraph::from_arcs(n * n, arcs);
+}
+
+graph::Vertex OtisSwapNetwork::node_of(graph::Vertex group,
+                                       graph::Vertex index) const {
+  const graph::Vertex n = factor_.order();
+  OTIS_REQUIRE(group >= 0 && group < n && index >= 0 && index < n,
+               "OtisSwapNetwork::node_of: label out of range");
+  return group * n + index;
+}
+
+std::pair<graph::Vertex, graph::Vertex> OtisSwapNetwork::label_of(
+    graph::Vertex node) const {
+  OTIS_REQUIRE(node >= 0 && node < order(),
+               "OtisSwapNetwork::label_of: node out of range");
+  const graph::Vertex n = factor_.order();
+  return {node / n, node % n};
+}
+
+std::int64_t OtisSwapNetwork::optical_arc_count() const {
+  const std::int64_t n = factor_.order();
+  return n * n - n;
+}
+
+std::int64_t OtisSwapNetwork::electronic_arc_count() const {
+  return factor_.order() * factor_.size();
+}
+
+}  // namespace otis::topology

@@ -1,0 +1,68 @@
+#pragma once
+/// \file otis_swap.hpp
+/// OTIS-G "swap" networks (Zane-Marchand-Paturi-Esener 1996, paper ref
+/// [24]) and the paper's concluding corollary.
+///
+/// An OTIS-G multiprocessor takes a factor network G on n nodes and
+/// builds n^2 processors (g, p): inside a group, processors are wired
+/// electronically along G; between groups, processor (g, p) has a single
+/// free-space optical link to its transpose (p, g) -- one OTIS(n, n)
+/// plane provides all of them. Ref [24] realizes hypercubes, 4-D meshes,
+/// mesh-of-trees and butterflies this way.
+///
+/// The paper's closing remark -- "the OTIS architecture can be viewed as
+/// the graph of Imase and Itoh. Therefore, properties of existing
+/// OTIS-based networks can be studied using the properties of such a
+/// graph" -- is checkable here: the swap edges of OTIS-G are exactly the
+/// OTIS(n, n) port permutation, which by Proposition 1 is the arc set of
+/// II(n, n) = K+_n under node relabeling; see bench/tab7_otis_networks.
+
+#include <cstdint>
+#include <utility>
+
+#include "graph/digraph.hpp"
+
+namespace otis::topology {
+
+/// The OTIS-G (swap) network over a factor digraph.
+class OtisSwapNetwork {
+ public:
+  /// Builds the n^2-processor network from factor `g` (n = g.order()).
+  /// Every factor arc (p, q) becomes an intra-group arc (x,p) -> (x,q)
+  /// in every group x; every processor (x, p) with x != p gets the
+  /// optical swap arc (x, p) -> (p, x). (x, x) processors have no
+  /// optical link, exactly as in ref [24].
+  explicit OtisSwapNetwork(graph::Digraph factor);
+
+  [[nodiscard]] const graph::Digraph& factor() const noexcept {
+    return factor_;
+  }
+  [[nodiscard]] const graph::Digraph& graph() const noexcept {
+    return graph_;
+  }
+
+  /// n^2 processors.
+  [[nodiscard]] std::int64_t order() const noexcept {
+    return graph_.order();
+  }
+
+  /// Processor id of (group, index).
+  [[nodiscard]] graph::Vertex node_of(graph::Vertex group,
+                                      graph::Vertex index) const;
+
+  /// (group, index) of a processor id.
+  [[nodiscard]] std::pair<graph::Vertex, graph::Vertex> label_of(
+      graph::Vertex node) const;
+
+  /// Number of optical (swap) arcs: n^2 - n.
+  [[nodiscard]] std::int64_t optical_arc_count() const;
+
+  /// Number of electronic (intra-group) arcs: n * |A(G)|.
+  [[nodiscard]] std::int64_t electronic_arc_count() const;
+
+ private:
+  graph::Digraph factor_;
+  graph::Digraph graph_;
+};
+
+}  // namespace otis::topology

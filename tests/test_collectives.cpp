@@ -1,0 +1,174 @@
+// Tests for collective communication schedules on POPS and stack-Kautz:
+// physical validity (single wavelength), completion under the combining
+// model, and optimality against the lower bounds.
+
+#include <gtest/gtest.h>
+
+#include "collectives/pops_collectives.hpp"
+#include "collectives/schedule.hpp"
+#include "collectives/stack_kautz_collectives.hpp"
+#include "hypergraph/pops.hpp"
+#include "hypergraph/stack_kautz.hpp"
+
+namespace otis::collectives {
+namespace {
+
+TEST(Schedule, ValidateRejectsDoubleCouplerUse) {
+  hypergraph::Pops pops(2, 2);
+  SlotSchedule schedule;
+  const auto coupler = pops.coupler(0, 1);
+  schedule.slots.push_back({Transmission{pops.processor(0, 0), coupler},
+                            Transmission{pops.processor(0, 1), coupler}});
+  const std::string error = validate_schedule(pops.stack(), schedule);
+  EXPECT_NE(error.find("single wavelength"), std::string::npos);
+}
+
+TEST(Schedule, ValidateRejectsNonSourceSender) {
+  hypergraph::Pops pops(2, 2);
+  SlotSchedule schedule;
+  // Processor of group 1 cannot feed coupler (0, 0).
+  schedule.slots.push_back(
+      {Transmission{pops.processor(1, 0), pops.coupler(0, 0)}});
+  const std::string error = validate_schedule(pops.stack(), schedule);
+  EXPECT_NE(error.find("cannot feed"), std::string::npos);
+}
+
+TEST(Schedule, ValidateAcceptsEmptyAndDisjoint) {
+  hypergraph::Pops pops(2, 2);
+  SlotSchedule schedule;
+  schedule.slots.push_back({});
+  schedule.slots.push_back(
+      {Transmission{pops.processor(0, 0), pops.coupler(0, 0)},
+       Transmission{pops.processor(1, 0), pops.coupler(1, 0)}});
+  EXPECT_TRUE(validate_schedule(pops.stack(), schedule).empty());
+  EXPECT_EQ(schedule.slot_count(), 2);
+  EXPECT_EQ(schedule.transmission_count(), 2);
+}
+
+TEST(Schedule, InitialKnowledgeIsDiagonal) {
+  Knowledge knowledge = initial_knowledge(4);
+  for (std::size_t u = 0; u < 4; ++u) {
+    for (std::size_t v = 0; v < 4; ++v) {
+      EXPECT_EQ(knowledge[u][v] != 0, u == v);
+    }
+  }
+  EXPECT_FALSE(gossip_complete(knowledge));
+  EXPECT_FALSE(broadcast_complete(knowledge, 0));
+}
+
+TEST(Schedule, RunPropagatesThroughCoupler) {
+  hypergraph::Pops pops(2, 2);
+  SlotSchedule schedule;
+  schedule.slots.push_back(
+      {Transmission{pops.processor(0, 0), pops.coupler(0, 1)}});
+  Knowledge after = run_schedule(pops.stack(), schedule,
+                                 initial_knowledge(4));
+  // Group 1 = processors 2, 3 heard processor 0's token.
+  EXPECT_TRUE(after[2][0]);
+  EXPECT_TRUE(after[3][0]);
+  EXPECT_FALSE(after[1][0]);  // same-group sibling did not hear (0,1)
+}
+
+TEST(Schedule, SameSlotPayloadsAreSnapshotted) {
+  // A -> B and B -> C in the same slot: C must NOT receive A's token
+  // (B's payload is its knowledge at slot start).
+  hypergraph::Pops pops(1, 3);
+  SlotSchedule schedule;
+  schedule.slots.push_back(
+      {Transmission{pops.processor(0, 0), pops.coupler(0, 1)},
+       Transmission{pops.processor(1, 0), pops.coupler(1, 2)}});
+  Knowledge after = run_schedule(pops.stack(), schedule,
+                                 initial_knowledge(3));
+  EXPECT_TRUE(after[1][0]);   // B heard A
+  EXPECT_TRUE(after[2][1]);   // C heard B's own token
+  EXPECT_FALSE(after[2][0]);  // but not A's, which B learned this slot
+}
+
+class PopsCollectivesSweep
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(PopsCollectivesSweep, OneToAllCompletesInOneSlot) {
+  const auto [t, g] = GetParam();
+  hypergraph::Pops pops(t, g);
+  for (hypergraph::Node root : {hypergraph::Node{0},
+                                pops.processor_count() / 2,
+                                pops.processor_count() - 1}) {
+    SlotSchedule schedule = pops_one_to_all(pops, root);
+    EXPECT_EQ(schedule.slot_count(), 1);
+    EXPECT_TRUE(validate_schedule(pops.stack(), schedule).empty());
+    Knowledge after = run_schedule(pops.stack(), schedule,
+                                   initial_knowledge(pops.processor_count()));
+    EXPECT_TRUE(broadcast_complete(after, root));
+  }
+}
+
+TEST_P(PopsCollectivesSweep, GossipCompletesInTSlots) {
+  const auto [t, g] = GetParam();
+  hypergraph::Pops pops(t, g);
+  SlotSchedule schedule = pops_gossip(pops);
+  EXPECT_EQ(schedule.slot_count(), t);
+  EXPECT_EQ(schedule.slot_count(), pops_gossip_lower_bound(pops));
+  EXPECT_TRUE(validate_schedule(pops.stack(), schedule).empty());
+  Knowledge after = run_schedule(pops.stack(), schedule,
+                                 initial_knowledge(pops.processor_count()));
+  EXPECT_TRUE(gossip_complete(after));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PopsCollectivesSweep,
+    ::testing::Values(std::pair<std::int64_t, std::int64_t>{1, 1},
+                      std::pair<std::int64_t, std::int64_t>{4, 2},
+                      std::pair<std::int64_t, std::int64_t>{2, 4},
+                      std::pair<std::int64_t, std::int64_t>{5, 3}));
+
+class StackKautzCollectivesSweep
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, int, int>> {};
+
+TEST_P(StackKautzCollectivesSweep, OneToAllCompletesInKSlots) {
+  const auto [s, d, k] = GetParam();
+  hypergraph::StackKautz sk(s, d, k);
+  for (hypergraph::Node root : {hypergraph::Node{0},
+                                sk.processor_count() / 3,
+                                sk.processor_count() - 1}) {
+    SlotSchedule schedule = stack_kautz_one_to_all(sk, root);
+    EXPECT_EQ(schedule.slot_count(), k);
+    EXPECT_EQ(schedule.slot_count(), stack_kautz_broadcast_lower_bound(sk));
+    EXPECT_TRUE(validate_schedule(sk.stack(), schedule).empty());
+    Knowledge after = run_schedule(sk.stack(), schedule,
+                                   initial_knowledge(sk.processor_count()));
+    EXPECT_TRUE(broadcast_complete(after, root))
+        << "root " << root << " on SK(" << s << "," << d << "," << k << ")";
+  }
+}
+
+TEST_P(StackKautzCollectivesSweep, GossipCompletesInSPlusKSlots) {
+  const auto [s, d, k] = GetParam();
+  hypergraph::StackKautz sk(s, d, k);
+  SlotSchedule schedule = stack_kautz_gossip(sk);
+  EXPECT_EQ(schedule.slot_count(), s + k);
+  EXPECT_TRUE(validate_schedule(sk.stack(), schedule).empty());
+  Knowledge after = run_schedule(sk.stack(), schedule,
+                                 initial_knowledge(sk.processor_count()));
+  EXPECT_TRUE(gossip_complete(after));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StackKautzCollectivesSweep,
+    ::testing::Values(std::tuple<std::int64_t, int, int>{2, 2, 2},
+                      std::tuple<std::int64_t, int, int>{6, 3, 2},
+                      std::tuple<std::int64_t, int, int>{3, 2, 3},
+                      std::tuple<std::int64_t, int, int>{1, 2, 2}));
+
+TEST(StackKautzCollectives, BroadcastIsNotFasterThanDiameter) {
+  // One fewer slot must leave someone uninformed (the schedule is tight).
+  hypergraph::StackKautz sk(2, 2, 3);
+  SlotSchedule schedule = stack_kautz_one_to_all(sk, 0);
+  schedule.slots.pop_back();
+  Knowledge after = run_schedule(sk.stack(), schedule,
+                                 initial_knowledge(sk.processor_count()));
+  EXPECT_FALSE(broadcast_complete(after, 0));
+}
+
+}  // namespace
+}  // namespace otis::collectives

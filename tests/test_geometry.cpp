@@ -1,0 +1,104 @@
+// Tests for the OTIS lens-plane geometry model: coordinates, lenslet
+// centers, beam angles/lengths and their symmetry properties.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "otis/geometry.hpp"
+
+namespace otis::otis {
+namespace {
+
+TEST(Geometry, PortPositionsFollowPitch) {
+  OtisGeometry geom(Otis(3, 6), GeometryConfig{2.0, 100.0});
+  EXPECT_DOUBLE_EQ(geom.input_position(0), 0.0);
+  EXPECT_DOUBLE_EQ(geom.input_position(5), 10.0);
+  EXPECT_DOUBLE_EQ(geom.output_position(17), 34.0);
+}
+
+TEST(Geometry, LensletCentersAreGroupMidpoints) {
+  OtisGeometry geom(Otis(3, 6), GeometryConfig{1.0, 50.0});
+  // Input group 0 spans ports 0..5 -> center 2.5.
+  EXPECT_DOUBLE_EQ(geom.input_lenslet_center(0), 2.5);
+  EXPECT_DOUBLE_EQ(geom.input_lenslet_center(2), 14.5);
+  // Output groups have 3 ports each: group 0 spans 0..2 -> center 1.
+  EXPECT_DOUBLE_EQ(geom.output_lenslet_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(geom.output_lenslet_center(5), 16.0);
+}
+
+TEST(Geometry, BeamEndpointsMatchTheTranspose) {
+  Otis otis(3, 6);
+  OtisGeometry geom(otis, GeometryConfig{1.0, 50.0});
+  for (std::int64_t i = 0; i < otis.port_count(); ++i) {
+    const Beam b = geom.beam(i);
+    EXPECT_EQ(b.input_index, i);
+    EXPECT_EQ(b.output_index, otis.output_index(otis.map(otis.input_port(i))));
+    EXPECT_DOUBLE_EQ(b.x_in, geom.input_position(i));
+    EXPECT_DOUBLE_EQ(b.x_out, geom.output_position(b.output_index));
+  }
+}
+
+TEST(Geometry, CentralSymmetryOfTheTranspose) {
+  // The OTIS map reverses both coordinates, so the beam pattern is
+  // centrally symmetric: beam(i) and beam(P-1-i) have opposite angles.
+  Otis otis(4, 5);
+  OtisGeometry geom(otis, GeometryConfig{1.0, 40.0});
+  const std::int64_t ports = otis.port_count();
+  for (std::int64_t i = 0; i < ports; ++i) {
+    const Beam a = geom.beam(i);
+    const Beam b = geom.beam(ports - 1 - i);
+    EXPECT_NEAR(a.angle_rad, -b.angle_rad, 1e-12);
+    EXPECT_NEAR(a.length, b.length, 1e-12);
+  }
+}
+
+TEST(Geometry, AnglesBoundedByPlaneExtent) {
+  Otis otis(3, 6);
+  OtisGeometry geom(otis, GeometryConfig{1.0, 50.0});
+  const double extreme =
+      std::atan2(geom.input_position(otis.port_count() - 1), 50.0);
+  EXPECT_LE(geom.max_angle_rad(), extreme + 1e-12);
+  EXPECT_GT(geom.max_angle_rad(), 0.0);
+}
+
+TEST(Geometry, LargerSeparationShrinksAngles) {
+  Otis otis(3, 6);
+  OtisGeometry near_planes(otis, GeometryConfig{1.0, 20.0});
+  OtisGeometry far_planes(otis, GeometryConfig{1.0, 200.0});
+  EXPECT_GT(near_planes.max_angle_rad(), far_planes.max_angle_rad());
+}
+
+TEST(Geometry, BeamLengthAtLeastSeparation) {
+  OtisGeometry geom(Otis(2, 4), GeometryConfig{1.0, 30.0});
+  for (const Beam& b : geom.all_beams()) {
+    EXPECT_GE(b.length, 30.0);
+  }
+  EXPECT_GE(geom.total_beam_length(),
+            30.0 * static_cast<double>(geom.otis().port_count()));
+}
+
+TEST(Geometry, SquareOtisAntiDiagonalBeamsAreStraight) {
+  // Fixed points of OTIS(g,g) (anti-diagonal ports) map to themselves:
+  // zero-angle beams.
+  Otis otis(4, 4);
+  OtisGeometry geom(otis, GeometryConfig{1.0, 10.0});
+  std::int64_t straight = 0;
+  for (const Beam& b : geom.all_beams()) {
+    if (std::abs(b.angle_rad) < 1e-12) {
+      ++straight;
+    }
+  }
+  EXPECT_EQ(straight, 4);
+}
+
+TEST(Geometry, RejectsBadConfig) {
+  EXPECT_THROW(OtisGeometry(Otis(2, 2), GeometryConfig{0.0, 10.0}),
+               core::Error);
+  EXPECT_THROW(OtisGeometry(Otis(2, 2), GeometryConfig{1.0, -1.0}),
+               core::Error);
+}
+
+}  // namespace
+}  // namespace otis::otis

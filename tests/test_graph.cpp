@@ -1,0 +1,256 @@
+// Unit tests for the digraph layer: CSR construction, distances,
+// connectivity, Eulerian/Hamiltonian detection, line digraph operator and
+// isomorphism checking.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/digraph.hpp"
+#include "graph/isomorphism.hpp"
+#include "graph/line_digraph.hpp"
+
+namespace otis::graph {
+namespace {
+
+Digraph directed_cycle(Vertex n) {
+  std::vector<Arc> arcs;
+  for (Vertex v = 0; v < n; ++v) {
+    arcs.push_back(Arc{v, (v + 1) % n});
+  }
+  return Digraph::from_arcs(n, arcs);
+}
+
+TEST(Digraph, EmptyGraph) {
+  Digraph g(5);
+  EXPECT_EQ(g.order(), 5);
+  EXPECT_EQ(g.size(), 0);
+  EXPECT_EQ(g.out_degree(0), 0);
+  EXPECT_EQ(g.in_degree(4), 0);
+}
+
+TEST(Digraph, FromArcsPreservesMultiplicityAndOrder) {
+  Digraph g = Digraph::from_arcs(3, {{0, 1}, {0, 1}, {2, 0}, {0, 2}});
+  EXPECT_EQ(g.size(), 4);
+  EXPECT_EQ(g.arc_multiplicity(0, 1), 2);
+  EXPECT_EQ(g.arc_multiplicity(0, 2), 1);
+  EXPECT_EQ(g.out_degree(0), 3);
+  EXPECT_EQ(g.in_degree(1), 2);
+  // CSR order: arcs of tail 0 in insertion order.
+  auto n0 = g.out_neighbors(0);
+  EXPECT_EQ(n0, (std::vector<Vertex>{1, 1, 2}));
+}
+
+TEST(Digraph, TailHeadRoundTrip) {
+  Digraph g = Digraph::from_arcs(4, {{1, 2}, {0, 3}, {1, 0}, {3, 3}});
+  for (ArcId a = 0; a < g.size(); ++a) {
+    const Arc arc = g.arc(a);
+    EXPECT_GE(arc.tail, 0);
+    EXPECT_LT(arc.tail, 4);
+    bool found = false;
+    for (ArcId b = g.out_begin(arc.tail); b < g.out_end(arc.tail); ++b) {
+      if (b == a) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Digraph, LoopsCounted) {
+  Digraph g = Digraph::from_arcs(3, {{0, 0}, {1, 1}, {1, 2}});
+  EXPECT_EQ(g.loop_count(), 2);
+}
+
+TEST(Digraph, RejectsOutOfRangeVertices) {
+  EXPECT_THROW(Digraph::from_arcs(2, {{0, 2}}), core::Error);
+  EXPECT_THROW(Digraph::from_arcs(2, {{-1, 0}}), core::Error);
+}
+
+TEST(Digraph, SameArcsIgnoresInsertionOrder) {
+  Digraph g = Digraph::from_arcs(3, {{0, 1}, {1, 2}, {2, 0}});
+  Digraph h = Digraph::from_arcs(3, {{2, 0}, {0, 1}, {1, 2}});
+  EXPECT_TRUE(g.same_arcs(h));
+  Digraph k = Digraph::from_arcs(3, {{0, 1}, {1, 2}, {2, 1}});
+  EXPECT_FALSE(g.same_arcs(k));
+}
+
+TEST(Digraph, IsRegular) {
+  EXPECT_TRUE(directed_cycle(5).is_regular(1));
+  EXPECT_FALSE(directed_cycle(5).is_regular(2));
+}
+
+TEST(Algorithms, BfsDistancesOnCycle) {
+  Digraph g = directed_cycle(6);
+  auto dist = bfs_distances(g, 0);
+  for (Vertex v = 0; v < 6; ++v) {
+    EXPECT_EQ(dist[static_cast<std::size_t>(v)], v);
+  }
+}
+
+TEST(Algorithms, BfsUnreachableMarked) {
+  Digraph g = Digraph::from_arcs(3, {{0, 1}});
+  auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(Algorithms, ShortestPathEndpointsIncluded) {
+  Digraph g = directed_cycle(4);
+  auto path = shortest_path(g, 1, 3);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<Vertex>{1, 2, 3}));
+  EXPECT_TRUE(is_walk(g, *path));
+}
+
+TEST(Algorithms, ShortestPathToSelfIsTrivial) {
+  Digraph g = directed_cycle(4);
+  auto path = shortest_path(g, 2, 2);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 1u);
+}
+
+TEST(Algorithms, ShortestPathAvoidingBlocksVertices) {
+  // Diamond: 0 -> {1, 2} -> 3.
+  Digraph g = Digraph::from_arcs(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  auto unrestricted = shortest_path(g, 0, 3);
+  ASSERT_TRUE(unrestricted.has_value());
+  auto avoiding = shortest_path_avoiding(g, 0, 3, {1});
+  ASSERT_TRUE(avoiding.has_value());
+  EXPECT_EQ(*avoiding, (std::vector<Vertex>{0, 2, 3}));
+  auto blocked = shortest_path_avoiding(g, 0, 3, {1, 2});
+  EXPECT_FALSE(blocked.has_value());
+}
+
+TEST(Algorithms, DistanceStatsOnCycle) {
+  DistanceStats stats = distance_stats(directed_cycle(5));
+  EXPECT_TRUE(stats.strongly_connected);
+  EXPECT_EQ(stats.diameter, 4);
+  EXPECT_EQ(stats.radius, 4);
+  EXPECT_DOUBLE_EQ(stats.mean_distance, (1 + 2 + 3 + 4) / 4.0);
+}
+
+TEST(Algorithms, DiameterThrowsWhenDisconnected) {
+  Digraph g = Digraph::from_arcs(2, {{0, 1}});
+  EXPECT_THROW((void)diameter(g), core::Error);
+}
+
+TEST(Algorithms, StrongConnectivity) {
+  EXPECT_TRUE(is_strongly_connected(directed_cycle(7)));
+  EXPECT_FALSE(is_strongly_connected(Digraph::from_arcs(2, {{0, 1}})));
+  EXPECT_TRUE(is_strongly_connected(Digraph(0)));
+  EXPECT_TRUE(is_strongly_connected(Digraph(1)));
+}
+
+TEST(Algorithms, EulerianCycleGraph) {
+  EXPECT_TRUE(is_eulerian(directed_cycle(4)));
+  // Unbalanced vertex breaks it.
+  EXPECT_FALSE(is_eulerian(Digraph::from_arcs(3, {{0, 1}, {1, 2}, {2, 0},
+                                                  {0, 2}})));
+}
+
+TEST(Algorithms, HamiltonianCycleFoundOnCycle) {
+  auto cycle = find_hamiltonian_cycle(directed_cycle(6));
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 6u);
+}
+
+TEST(Algorithms, HamiltonianAbsentOnPath) {
+  Digraph g = Digraph::from_arcs(3, {{0, 1}, {1, 2}});
+  EXPECT_FALSE(find_hamiltonian_cycle(g).has_value());
+}
+
+TEST(Algorithms, GirthIgnoringLoops) {
+  Digraph g = Digraph::from_arcs(4, {{0, 0}, {0, 1}, {1, 2}, {2, 0}, {2, 3},
+                                     {3, 2}});
+  auto girth = girth_ignoring_loops(g);
+  ASSERT_TRUE(girth.has_value());
+  EXPECT_EQ(*girth, 2);  // 2 <-> 3
+}
+
+TEST(Algorithms, GirthOfAcyclicIsNull) {
+  Digraph g = Digraph::from_arcs(3, {{0, 1}, {1, 2}});
+  EXPECT_FALSE(girth_ignoring_loops(g).has_value());
+}
+
+TEST(LineDigraph, CycleIsInvariant) {
+  // L(C_n) is C_n again.
+  Digraph g = directed_cycle(5);
+  LineDigraph line = line_digraph(g);
+  EXPECT_EQ(line.graph.order(), 5);
+  EXPECT_EQ(line.graph.size(), 5);
+  EXPECT_TRUE(find_isomorphism(g, line.graph).has_value());
+}
+
+TEST(LineDigraph, ArcCountFormula) {
+  // |A(L(G))| = sum_v indeg(v) * outdeg(v).
+  Digraph g = Digraph::from_arcs(3, {{0, 1}, {0, 2}, {1, 2}, {2, 0}});
+  LineDigraph line = line_digraph(g);
+  EXPECT_EQ(line.graph.order(), 4);
+  std::int64_t expected = 0;
+  for (Vertex v = 0; v < g.order(); ++v) {
+    expected += g.in_degree(v) * g.out_degree(v);
+  }
+  EXPECT_EQ(line.graph.size(), expected);
+}
+
+TEST(LineDigraph, ArcOfTracksOriginalArcs) {
+  Digraph g = Digraph::from_arcs(3, {{0, 1}, {1, 2}});
+  LineDigraph line = line_digraph(g);
+  ASSERT_EQ(line.arc_of.size(), 2u);
+  EXPECT_EQ(line.arc_of[0], (Arc{0, 1}));
+  EXPECT_EQ(line.arc_of[1], (Arc{1, 2}));
+  EXPECT_TRUE(line.graph.has_arc(0, 1));
+}
+
+TEST(LineDigraph, IteratedMatchesRepeatedApplication) {
+  Digraph g = directed_cycle(4);
+  Digraph twice = iterated_line_digraph(g, 2);
+  Digraph manual = line_digraph(line_digraph(g).graph).graph;
+  EXPECT_TRUE(twice.same_arcs(manual));
+}
+
+TEST(Isomorphism, VerifyAcceptsIdentity) {
+  Digraph g = directed_cycle(4);
+  EXPECT_TRUE(verify_isomorphism(g, g, {0, 1, 2, 3}));
+}
+
+TEST(Isomorphism, VerifyAcceptsRotation) {
+  Digraph g = directed_cycle(4);
+  EXPECT_TRUE(verify_isomorphism(g, g, {1, 2, 3, 0}));
+}
+
+TEST(Isomorphism, VerifyRejectsNonBijection) {
+  Digraph g = directed_cycle(3);
+  EXPECT_FALSE(verify_isomorphism(g, g, {0, 0, 1}));
+}
+
+TEST(Isomorphism, VerifyRejectsWrongMap) {
+  Digraph g = Digraph::from_arcs(3, {{0, 1}, {1, 2}, {2, 0}});
+  Digraph h = Digraph::from_arcs(3, {{0, 2}, {2, 1}, {1, 0}});
+  // h is the reversed cycle; the identity is NOT an isomorphism...
+  EXPECT_FALSE(verify_isomorphism(g, h, {0, 1, 2}));
+  // ...but swapping 1 and 2 is.
+  EXPECT_TRUE(verify_isomorphism(g, h, {0, 2, 1}));
+}
+
+TEST(Isomorphism, FindDistinguishesCycleLengths) {
+  Digraph two_triangles = Digraph::from_arcs(
+      6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  Digraph hexagon = directed_cycle(6);
+  EXPECT_FALSE(find_isomorphism(two_triangles, hexagon).has_value());
+}
+
+TEST(Isomorphism, FindProducesVerifiableWitness) {
+  Digraph g = Digraph::from_arcs(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+  // Relabel vertices by the permutation (0 1 2 3) -> (2 3 0 1).
+  Digraph h = Digraph::from_arcs(4, {{2, 3}, {3, 0}, {0, 1}, {1, 2}, {2, 0}});
+  auto witness = find_isomorphism(g, h);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(verify_isomorphism(g, h, *witness));
+}
+
+}  // namespace
+}  // namespace otis::graph

@@ -1,0 +1,295 @@
+// Tests for hypergraphs, stack-graphs and the paper's multi-OPS network
+// models: POPS(t,g) (Figs. 4-5), stack-Kautz SK(s,d,k) (Fig. 7) and
+// stack-Imase-Itoh.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/error.hpp"
+#include "graph/algorithms.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/pops.hpp"
+#include "hypergraph/stack_graph.hpp"
+#include "hypergraph/stack_imase_itoh.hpp"
+#include "hypergraph/stack_kautz.hpp"
+#include "topology/complete.hpp"
+#include "topology/kautz.hpp"
+
+namespace otis::hypergraph {
+namespace {
+
+TEST(DirectedHypergraph, OpsCouplerAsHyperarc) {
+  // Fig. 3: a degree-4 OPS coupler is one hyperarc with 4 sources
+  // (processors 0-3) and 4 targets (processors 4-7).
+  Hyperarc coupler{{0, 1, 2, 3}, {4, 5, 6, 7}};
+  DirectedHypergraph hg(8, {coupler});
+  EXPECT_EQ(hg.hyperarc_count(), 1);
+  for (Node v = 0; v < 4; ++v) {
+    EXPECT_EQ(hg.out_degree(v), 1);
+    EXPECT_EQ(hg.in_degree(v), 0);
+  }
+  for (Node v = 4; v < 8; ++v) {
+    EXPECT_EQ(hg.out_degree(v), 0);
+    EXPECT_EQ(hg.in_degree(v), 1);
+  }
+  EXPECT_EQ(hg.one_hop_targets(0), (std::vector<Node>{4, 5, 6, 7}));
+}
+
+TEST(DirectedHypergraph, RejectsOutOfRangeNodes) {
+  EXPECT_THROW(DirectedHypergraph(2, {Hyperarc{{0}, {2}}}), core::Error);
+}
+
+TEST(DirectedHypergraph, BfsOverHyperarcs) {
+  // Two couplers chained: {0,1} -> {2,3} -> {4,5}.
+  DirectedHypergraph hg(6, {Hyperarc{{0, 1}, {2, 3}},
+                            Hyperarc{{2, 3}, {4, 5}}});
+  auto dist = hg.bfs_distances(0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[2], 1);
+  EXPECT_EQ(dist[4], 2);
+  EXPECT_EQ(dist[1], -1);  // 0's copy sibling is not reachable
+}
+
+TEST(DirectedHypergraph, EquivalentToIgnoresOrdering) {
+  DirectedHypergraph a(4, {Hyperarc{{0, 1}, {2, 3}}, Hyperarc{{2}, {0}}});
+  DirectedHypergraph b(4, {Hyperarc{{2}, {0}}, Hyperarc{{1, 0}, {3, 2}}});
+  DirectedHypergraph c(4, {Hyperarc{{2}, {0}}, Hyperarc{{1, 0}, {3, 1}}});
+  EXPECT_TRUE(a.equivalent_to(b));
+  EXPECT_FALSE(a.equivalent_to(c));
+}
+
+TEST(StackGraph, Definition1Structure) {
+  // sigma(s, G): s copies per vertex, one hyperarc per base arc with the
+  // s copies of tail as sources and the s copies of head as targets.
+  graph::Digraph base = graph::Digraph::from_arcs(3, {{0, 1}, {1, 2}});
+  StackGraph sg(4, base);
+  EXPECT_EQ(sg.node_count(), 12);
+  EXPECT_EQ(sg.hypergraph().hyperarc_count(), 2);
+  const Hyperarc& h0 = sg.hypergraph().hyperarc(0);
+  EXPECT_EQ(h0.sources, (std::vector<Node>{0, 1, 2, 3}));
+  EXPECT_EQ(h0.targets, (std::vector<Node>{4, 5, 6, 7}));
+}
+
+TEST(StackGraph, ProjectionAndCopyIndex) {
+  graph::Digraph base = graph::Digraph::from_arcs(2, {{0, 1}});
+  StackGraph sg(3, base);
+  for (Node node = 0; node < sg.node_count(); ++node) {
+    EXPECT_EQ(sg.node_of(sg.project(node), sg.copy_index(node)), node);
+  }
+  EXPECT_EQ(sg.project(4), 1);
+  EXPECT_EQ(sg.copy_index(4), 1);
+}
+
+TEST(StackGraph, StackingFactorOneIsBaseGraph) {
+  graph::Digraph base = graph::Digraph::from_arcs(3, {{0, 1}, {1, 2},
+                                                      {2, 0}});
+  StackGraph sg(1, base);
+  EXPECT_EQ(sg.node_count(), 3);
+  for (graph::ArcId a = 0; a < base.size(); ++a) {
+    const Hyperarc& h = sg.hypergraph().hyperarc(sg.coupler_of_arc(a));
+    EXPECT_EQ(h.sources.size(), 1u);
+    EXPECT_EQ(h.targets.size(), 1u);
+    EXPECT_EQ(h.sources[0], base.arc(a).tail);
+    EXPECT_EQ(h.targets[0], base.arc(a).head);
+  }
+}
+
+TEST(Pops, Fig4Structure) {
+  // POPS(4,2): 8 processors, 2 groups of 4, 4 couplers of degree 4.
+  Pops pops(4, 2);
+  EXPECT_EQ(pops.processor_count(), 8);
+  EXPECT_EQ(pops.coupler_count(), 4);
+  EXPECT_EQ(pops.group_count(), 2);
+  for (Node p = 0; p < 8; ++p) {
+    EXPECT_EQ(pops.group_of(p), p / 4);
+    EXPECT_EQ(pops.index_in_group(p), p % 4);
+    // Every processor feeds g couplers and hears g couplers.
+    EXPECT_EQ(pops.stack().hypergraph().out_degree(p), 2);
+    EXPECT_EQ(pops.stack().hypergraph().in_degree(p), 2);
+  }
+}
+
+TEST(Pops, CouplerLabelsRoundTrip) {
+  Pops pops(3, 4);
+  std::set<HyperarcId> seen;
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t j = 0; j < 4; ++j) {
+      const HyperarcId h = pops.coupler(i, j);
+      EXPECT_EQ(pops.coupler_label(h), (std::pair<std::int64_t,
+                                                  std::int64_t>{i, j}));
+      seen.insert(h);
+    }
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), pops.coupler_count());
+}
+
+TEST(Pops, CouplerConnectsRightGroups) {
+  Pops pops(4, 2);
+  for (std::int64_t i = 0; i < 2; ++i) {
+    for (std::int64_t j = 0; j < 2; ++j) {
+      const Hyperarc& h =
+          pops.stack().hypergraph().hyperarc(pops.coupler(i, j));
+      for (Node src : h.sources) {
+        EXPECT_EQ(pops.group_of(src), i);
+      }
+      for (Node dst : h.targets) {
+        EXPECT_EQ(pops.group_of(dst), j);
+      }
+      EXPECT_EQ(h.sources.size(), 4u);
+      EXPECT_EQ(h.targets.size(), 4u);
+    }
+  }
+}
+
+TEST(Pops, IsSingleHop) {
+  // Fig. 5 consequence: the POPS hypergraph has diameter 1.
+  Pops pops(4, 2);
+  EXPECT_EQ(pops.stack().hypergraph().diameter(), 1);
+  Pops bigger(5, 3);
+  EXPECT_EQ(bigger.stack().hypergraph().diameter(), 1);
+}
+
+TEST(Pops, BaseIsCompleteWithLoops) {
+  Pops pops(4, 2);
+  EXPECT_TRUE(pops.stack().base().same_arcs(
+      topology::complete_digraph(2, topology::Loops::kWith)));
+}
+
+class StackKautzSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(StackKautzSweep, CountsMatchFormulas) {
+  const auto [s, d, k] = GetParam();
+  StackKautz sk(s, d, k);
+  const std::int64_t groups = core::kautz_order(d, k);
+  EXPECT_EQ(sk.group_count(), groups);
+  EXPECT_EQ(sk.processor_count(), s * groups);
+  EXPECT_EQ(sk.coupler_count(), groups * (d + 1));
+  EXPECT_EQ(sk.processor_degree(), d + 1);
+  for (Node p = 0; p < sk.processor_count(); ++p) {
+    EXPECT_EQ(sk.stack().hypergraph().out_degree(p), d + 1);
+    EXPECT_EQ(sk.stack().hypergraph().in_degree(p), d + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StackKautzSweep,
+                         ::testing::Values(std::tuple<int, int, int>{2, 2, 2},
+                                           std::tuple<int, int, int>{6, 3, 2},
+                                           std::tuple<int, int, int>{4, 2, 3},
+                                           std::tuple<int, int, int>{3, 4, 2},
+                                           std::tuple<int, int, int>{1, 3,
+                                                                     2}));
+
+TEST(StackKautz, PaperFig7Example) {
+  // SK(6,3,2): 72 processors, 12 groups of 6, degree 4, diameter 2,
+  // 48 couplers of degree 6.
+  StackKautz sk(6, 3, 2);
+  EXPECT_EQ(sk.processor_count(), 72);
+  EXPECT_EQ(sk.group_count(), 12);
+  EXPECT_EQ(sk.processor_degree(), 4);
+  EXPECT_EQ(sk.coupler_count(), 48);
+  EXPECT_EQ(sk.diameter(), 2);
+  EXPECT_EQ(sk.stack().hypergraph().diameter(), 2);
+  EXPECT_EQ(sk.stack().stacking_factor(), 6);
+}
+
+TEST(StackKautz, HypergraphDiameterEqualsK) {
+  // The stack construction preserves the base diameter (loops make
+  // same-group distance 1, which never exceeds k >= 1).
+  StackKautz sk(2, 2, 2);
+  EXPECT_EQ(sk.stack().hypergraph().diameter(), 2);
+  StackKautz sk3(2, 2, 3);
+  EXPECT_EQ(sk3.stack().hypergraph().diameter(), 3);
+}
+
+TEST(StackKautz, ArcCouplerMatchesImaseItohSuccessor) {
+  StackKautz sk(3, 3, 2);
+  topology::ImaseItoh ii(3, 12);
+  for (graph::Vertex x = 0; x < sk.group_count(); ++x) {
+    for (int alpha = 1; alpha <= 3; ++alpha) {
+      const Hyperarc& h =
+          sk.stack().hypergraph().hyperarc(sk.arc_coupler(x, alpha));
+      const graph::Vertex head = ii.successor(x, alpha);
+      for (Node src : h.sources) {
+        EXPECT_EQ(sk.group_of(src), x);
+      }
+      for (Node dst : h.targets) {
+        EXPECT_EQ(sk.group_of(dst), head);
+      }
+    }
+  }
+}
+
+TEST(StackKautz, LoopCouplerStaysInGroup) {
+  StackKautz sk(4, 2, 2);
+  for (graph::Vertex x = 0; x < sk.group_count(); ++x) {
+    const Hyperarc& h =
+        sk.stack().hypergraph().hyperarc(sk.loop_coupler(x));
+    for (Node v : h.sources) {
+      EXPECT_EQ(sk.group_of(v), x);
+    }
+    for (Node v : h.targets) {
+      EXPECT_EQ(sk.group_of(v), x);
+    }
+  }
+}
+
+TEST(StackKautz, CouplerBetweenRejectsNonAdjacent) {
+  StackKautz sk(2, 3, 2);
+  topology::ImaseItoh ii(3, 12);
+  // Find a non-adjacent pair.
+  graph::Vertex x = 0;
+  graph::Vertex bad = -1;
+  auto succ = ii.successors(x);
+  for (graph::Vertex y = 0; y < 12; ++y) {
+    if (y != x && std::find(succ.begin(), succ.end(), y) == succ.end()) {
+      bad = y;
+      break;
+    }
+  }
+  ASSERT_GE(bad, 0);
+  EXPECT_THROW((void)sk.coupler_between(x, bad), core::Error);
+  EXPECT_EQ(sk.coupler_between(x, x), sk.loop_coupler(x));
+}
+
+TEST(StackImaseItoh, ExistsForEveryGroupCount) {
+  // The whole point of the Sec. 2.7 extension: any n works.
+  for (std::int64_t n = 5; n <= 20; ++n) {
+    StackImaseItoh sii(3, 3, n);
+    EXPECT_EQ(sii.group_count(), n);
+    EXPECT_EQ(sii.processor_count(), 3 * n);
+    EXPECT_EQ(sii.coupler_count(), n * 4);
+  }
+}
+
+TEST(StackImaseItoh, MatchesStackKautzAtKautzOrders) {
+  StackImaseItoh sii(4, 3, 12);
+  StackKautz sk(4, 3, 2);
+  EXPECT_TRUE(
+      sii.stack().hypergraph().equivalent_to(sk.stack().hypergraph()));
+}
+
+TEST(StackImaseItoh, DiameterBoundHolds) {
+  StackImaseItoh sii(2, 3, 20);
+  const std::int64_t hyper_diameter = sii.stack().hypergraph().diameter();
+  EXPECT_LE(hyper_diameter,
+            static_cast<std::int64_t>(sii.diameter_bound()) + 1);
+}
+
+TEST(ImaseItohWithLoops, StructureMatches) {
+  // Unlike Kautz graphs, II(d,n) can have *natural* loops (u with
+  // (d+1)u + alpha = 0 mod n); the construction adds one more per
+  // vertex. II(3,10) has natural loops at u = 2 and u = 7.
+  graph::Digraph g = imase_itoh_with_loops(3, 10);
+  EXPECT_EQ(g.order(), 10);
+  const std::int64_t natural =
+      topology::ImaseItoh(3, 10).graph().loop_count();
+  EXPECT_EQ(natural, 2);
+  EXPECT_EQ(g.loop_count(), 10 + natural);
+  EXPECT_TRUE(g.is_regular(4));
+}
+
+}  // namespace
+}  // namespace otis::hypergraph

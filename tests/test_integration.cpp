@@ -1,0 +1,227 @@
+// Cross-module integration tests: the full pipeline the paper implies --
+// build a topology, realize it optically with OTIS, verify the optics by
+// tracing, route over the abstract network, and simulate traffic on it.
+// Each test stitches at least three modules together.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "designs/builders.hpp"
+#include "designs/verify.hpp"
+#include "graph/algorithms.hpp"
+#include "hypergraph/stack_kautz.hpp"
+#include "optics/trace.hpp"
+#include "otis/imase_itoh_realization.hpp"
+#include "routing/imase_itoh_routing.hpp"
+#include "routing/kautz_routing.hpp"
+#include "routing/stack_routing.hpp"
+#include "sim/experiment.hpp"
+#include "sim/ops_network.hpp"
+#include "topology/kautz.hpp"
+
+namespace otis {
+namespace {
+
+TEST(Integration, KautzWordsNameTheOtisRealizedNetwork) {
+  // Corollary 1 end-to-end: take the OTIS-realized II(2,12) digraph,
+  // treat it as KG(2,3), and check that word routing describes actual
+  // arcs of the *realized* graph.
+  otis::ImaseItohRealization real(2, 12);
+  graph::Digraph realized = real.realized_digraph();
+  topology::Kautz kautz(2, 3);
+  ASSERT_TRUE(realized.same_arcs(kautz.graph()));
+  routing::KautzRouter router(kautz);
+  for (std::int64_t u = 0; u < 12; ++u) {
+    for (std::int64_t v = 0; v < 12; ++v) {
+      auto path = router.route(u, v);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_TRUE(realized.has_arc(path[i], path[i + 1]));
+      }
+    }
+  }
+}
+
+TEST(Integration, StackKautzDesignMatchesAbstractNetworkHopForHop) {
+  // Trace the SK(2,2,2) optical design; the coupler-level reachability
+  // extracted from light paths must support every route the stack router
+  // produces.
+  hypergraph::StackKautz sk(2, 2, 2);
+  designs::NetworkDesign design = designs::stack_kautz_design(2, 2, 2);
+  ASSERT_TRUE(designs::verify_design(design).ok);
+
+  // Build processor-level one-hop reachability from the traced optics.
+  std::vector<std::set<std::int64_t>> optical_reach(
+      static_cast<std::size_t>(design.processor_count));
+  for (std::int64_t p = 0; p < design.processor_count; ++p) {
+    for (optics::ComponentId tx :
+         design.tx_of_processor[static_cast<std::size_t>(p)]) {
+      for (const auto& e :
+           optics::trace_from_transmitter(design.netlist, tx, {})) {
+        optical_reach[static_cast<std::size_t>(p)].insert(
+            design.processor_of_receiver(e.receiver));
+      }
+    }
+  }
+
+  routing::StackKautzRouter router(sk);
+  for (std::int64_t src = 0; src < sk.processor_count(); ++src) {
+    for (std::int64_t dst = 0; dst < sk.processor_count(); ++dst) {
+      std::int64_t current = src;
+      for (const routing::StackHop& hop : router.route(src, dst)) {
+        EXPECT_TRUE(optical_reach[static_cast<std::size_t>(current)].count(
+            hop.relay))
+            << "optics cannot carry hop " << current << " -> " << hop.relay;
+        current = hop.relay;
+      }
+    }
+  }
+}
+
+TEST(Integration, OpticalHypergraphEqualsModelHypergraph) {
+  // The hypergraph reconstructed from light tracing must be the model
+  // hypergraph of SK (already asserted inside verify_design); also check
+  // the one-hop sets coincide node by node.
+  hypergraph::StackKautz sk(3, 2, 2);
+  designs::NetworkDesign design = designs::stack_kautz_design(3, 2, 2);
+  ASSERT_TRUE(designs::verify_design(design).ok);
+  for (std::int64_t p = 0; p < sk.processor_count(); ++p) {
+    std::set<std::int64_t> optical;
+    for (optics::ComponentId tx :
+         design.tx_of_processor[static_cast<std::size_t>(p)]) {
+      for (const auto& e :
+           optics::trace_from_transmitter(design.netlist, tx, {})) {
+        optical.insert(design.processor_of_receiver(e.receiver));
+      }
+    }
+    auto model = sk.stack().hypergraph().one_hop_targets(p);
+    std::set<std::int64_t> model_set(model.begin(), model.end());
+    EXPECT_EQ(optical, model_set) << "processor " << p;
+  }
+}
+
+TEST(Integration, SimulatedHopsMatchRouterDistances) {
+  // Run the simulator at trivial load on SK(2,2,2) and check that
+  // delivered latency is at least the router distance (queueing can only
+  // add slots, and at load 0.005 it rarely does).
+  hypergraph::StackKautz sk(2, 2, 2);
+  routing::StackKautzRouter router(sk);
+  sim::RoutingHooks hooks;
+  hooks.next_coupler = [&](hypergraph::Node c, hypergraph::Node d) {
+    return router.next_coupler(c, d);
+  };
+  hooks.relay_on = [&](hypergraph::HyperarcId h, hypergraph::Node d) {
+    return router.relay_on(h, d);
+  };
+  sim::SimConfig config;
+  config.warmup_slots = 0;
+  config.measure_slots = 6000;
+  config.seed = 42;
+  sim::OpsNetworkSim sim_instance(
+      sk.stack(), hooks,
+      std::make_unique<sim::UniformTraffic>(sk.processor_count(), 0.005),
+      config);
+  sim::RunMetrics m = sim_instance.run();
+  ASSERT_GT(m.latency.count(), 50);
+  // Distances on SK(2,2,2) average somewhere in (1, 2]; simulated mean
+  // latency at near-zero load must be close to that range.
+  EXPECT_GE(m.latency.mean(), 1.0);
+  EXPECT_LE(m.latency.mean(), 2.6);
+}
+
+TEST(Integration, PowerBudgetBoundsStackingOfVerifiedDesign) {
+  // The max path loss of a verified SK design must equal the canonical
+  // hop loss formula for its stacking factor.
+  const std::int64_t s = 4;
+  designs::NetworkDesign design = designs::stack_kautz_design(s, 2, 2);
+  designs::VerificationResult result = designs::verify_design(design);
+  ASSERT_TRUE(result.ok);
+  optics::LossModel model;
+  // Non-loop paths: tx + group OTIS + mux + central OTIS + splitter +
+  // group OTIS + rx == canonical_hop_loss_db(s).
+  EXPECT_NEAR(result.max_loss_db, optics::canonical_hop_loss_db(model, s),
+              1e-9);
+  // A budget that cannot close s=4 must reject the design's max loss.
+  optics::PowerBudget tight;
+  tight.transmit_power_dbm = 0.0;
+  tight.receiver_sensitivity_dbm =
+      -(optics::canonical_hop_loss_db(model, 2));  // only s<=~2 feasible
+  tight.system_margin_db = 0.0;
+  EXPECT_LT(optics::max_stacking_factor(tight, model), s);
+}
+
+TEST(Integration, ImaseItohRouterDrivesRealizedPointToPointDesign) {
+  // Route over the *traced* point-to-point II design: every hop of the
+  // arithmetic route must appear as a traced transmitter->receiver pair.
+  const int d = 3;
+  const std::int64_t n = 20;
+  designs::NetworkDesign design = designs::imase_itoh_design(d, n);
+  ASSERT_TRUE(designs::verify_design(design).ok);
+  std::vector<std::set<std::int64_t>> reach(static_cast<std::size_t>(n));
+  for (std::int64_t p = 0; p < n; ++p) {
+    for (optics::ComponentId tx :
+         design.tx_of_processor[static_cast<std::size_t>(p)]) {
+      for (const auto& e :
+           optics::trace_from_transmitter(design.netlist, tx, {})) {
+        reach[static_cast<std::size_t>(p)].insert(
+            design.processor_of_receiver(e.receiver));
+      }
+    }
+  }
+  routing::ImaseItohRouter router(topology::ImaseItoh(d, n));
+  for (std::int64_t u = 0; u < n; ++u) {
+    for (std::int64_t v = 0; v < n; ++v) {
+      auto path = router.route(u, v);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_TRUE(reach[static_cast<std::size_t>(path[i])].count(
+            path[i + 1]));
+      }
+    }
+  }
+}
+
+TEST(Integration, PopsVsStackKautzHardwareShape) {
+  // The paper's architectural trade-off at comparable scale: POPS needs
+  // g^2 couplers for diameter 1; stack-Kautz needs far fewer couplers at
+  // the price of diameter k. Compare POPS(6,12) and SK(6,3,2), both 72
+  // processors with degree-6 couplers.
+  designs::NetworkDesign pops = designs::pops_design(6, 12);
+  designs::NetworkDesign sk = designs::stack_kautz_design(6, 3, 2);
+  ASSERT_TRUE(designs::verify_design(pops).ok);
+  ASSERT_TRUE(designs::verify_design(sk).ok);
+  designs::BillOfMaterials pops_bom = designs::bill_of_materials(pops.netlist);
+  designs::BillOfMaterials sk_bom = designs::bill_of_materials(sk.netlist);
+  EXPECT_EQ(pops_bom.multiplexers, 144);  // g^2
+  EXPECT_EQ(sk_bom.multiplexers, 48);     // groups * (d+1)
+  EXPECT_LT(sk_bom.multiplexers, pops_bom.multiplexers);
+  // POPS buys diameter 1; SK pays diameter k = 2.
+  hypergraph::Pops pops_model(6, 12);
+  hypergraph::StackKautz sk_model(6, 3, 2);
+  EXPECT_EQ(pops_model.stack().hypergraph().diameter(), 1);
+  EXPECT_EQ(sk_model.stack().hypergraph().diameter(), 2);
+  // Per-processor transceiver cost: POPS needs g = 12 transmitters,
+  // SK needs d+1 = 4.
+  EXPECT_EQ(pops_bom.transmitters / 72, 12);
+  EXPECT_EQ(sk_bom.transmitters / 72, 4);
+}
+
+TEST(Integration, SweepSmallDesignsAllVerify) {
+  // A broad safety net across builders and parameters.
+  for (std::int64_t s : {1, 2, 3}) {
+    for (int d = 2; d <= 3; ++d) {
+      designs::NetworkDesign sk = designs::stack_kautz_design(s, d, 2);
+      EXPECT_TRUE(designs::verify_design(sk).ok) << sk.name;
+    }
+  }
+  for (std::int64_t t : {2, 3}) {
+    for (std::int64_t g : {2, 3}) {
+      designs::NetworkDesign pops = designs::pops_design(t, g);
+      EXPECT_TRUE(designs::verify_design(pops).ok) << pops.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace otis

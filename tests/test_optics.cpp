@@ -1,0 +1,240 @@
+// Tests for the optical netlist, light tracing and the power budget
+// model: component wiring rules, propagation through every component
+// kind, loss accounting, feasibility bounds on the stacking factor.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "optics/netlist.hpp"
+#include "optics/power.hpp"
+#include "optics/trace.hpp"
+
+namespace otis::optics {
+namespace {
+
+TEST(Netlist, ComponentShapes) {
+  Netlist n;
+  const ComponentId tx = n.add_transmitter("tx");
+  const ComponentId rx = n.add_receiver("rx");
+  const ComponentId mux = n.add_multiplexer(4, "mux");
+  const ComponentId split = n.add_beam_splitter(4, "split");
+  const ComponentId otis = n.add_otis(3, 6, "otis");
+  const ComponentId fiber = n.add_fiber("fiber");
+  EXPECT_EQ(n.component(tx).outputs, 1);
+  EXPECT_EQ(n.component(tx).inputs, 0);
+  EXPECT_EQ(n.component(rx).inputs, 1);
+  EXPECT_EQ(n.component(mux).inputs, 4);
+  EXPECT_EQ(n.component(mux).outputs, 1);
+  EXPECT_EQ(n.component(split).inputs, 1);
+  EXPECT_EQ(n.component(split).outputs, 4);
+  EXPECT_EQ(n.component(otis).inputs, 18);
+  EXPECT_EQ(n.component(otis).outputs, 18);
+  EXPECT_EQ(n.component(fiber).inputs, 1);
+  EXPECT_EQ(n.component(fiber).outputs, 1);
+  EXPECT_EQ(n.count(ComponentKind::kTransmitter), 1);
+  EXPECT_EQ(n.of_kind(ComponentKind::kOtis),
+            (std::vector<ComponentId>{otis}));
+}
+
+TEST(Netlist, ConnectRejectsDoubleWiring) {
+  Netlist n;
+  const ComponentId tx1 = n.add_transmitter("tx1");
+  const ComponentId tx2 = n.add_transmitter("tx2");
+  const ComponentId rx = n.add_receiver("rx");
+  n.connect({tx1, 0}, {rx, 0});
+  EXPECT_THROW(n.connect({tx1, 0}, {rx, 0}), core::Error);
+  EXPECT_THROW(n.connect({tx2, 0}, {rx, 0}), core::Error);
+}
+
+TEST(Netlist, ConnectRejectsBadPorts) {
+  Netlist n;
+  const ComponentId tx = n.add_transmitter("tx");
+  const ComponentId rx = n.add_receiver("rx");
+  EXPECT_THROW(n.connect({tx, 1}, {rx, 0}), core::Error);
+  EXPECT_THROW(n.connect({tx, 0}, {rx, 5}), core::Error);
+}
+
+TEST(Netlist, LinksAreQueryable) {
+  Netlist n;
+  const ComponentId tx = n.add_transmitter("tx");
+  const ComponentId rx = n.add_receiver("rx");
+  EXPECT_FALSE(n.link_from({tx, 0}).has_value());
+  n.connect({tx, 0}, {rx, 0});
+  ASSERT_TRUE(n.link_from({tx, 0}).has_value());
+  EXPECT_EQ(n.link_from({tx, 0})->component, rx);
+  ASSERT_TRUE(n.link_into({rx, 0}).has_value());
+  EXPECT_EQ(n.link_into({rx, 0})->component, tx);
+}
+
+TEST(Netlist, PropagateInsideOtisUsesTranspose) {
+  Netlist n;
+  const ComponentId otis = n.add_otis(2, 3, "otis");
+  // Input (0,0) = linear 0 -> output (2,1) = linear 2*2+1 = 5.
+  auto outs = n.propagate_inside({otis, 0});
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].port, 5);
+}
+
+TEST(Netlist, PropagateInsideSplitterFansOut) {
+  Netlist n;
+  const ComponentId split = n.add_beam_splitter(3, "split");
+  auto outs = n.propagate_inside({split, 0});
+  EXPECT_EQ(outs.size(), 3u);
+}
+
+TEST(Netlist, DanglingPortDetection) {
+  Netlist n;
+  const ComponentId tx = n.add_transmitter("lonely");
+  EXPECT_TRUE(n.find_dangling_port().has_value());
+  const ComponentId rx = n.add_receiver("rx");
+  n.connect({tx, 0}, {rx, 0});
+  EXPECT_FALSE(n.find_dangling_port().has_value());
+}
+
+TEST(Trace, DirectLink) {
+  Netlist n;
+  const ComponentId tx = n.add_transmitter("tx");
+  const ComponentId rx = n.add_receiver("rx");
+  n.connect({tx, 0}, {rx, 0});
+  auto endpoints = trace_from_transmitter(n, tx, LossModel{});
+  ASSERT_EQ(endpoints.size(), 1u);
+  EXPECT_EQ(endpoints[0].receiver, rx);
+  EXPECT_EQ(endpoints[0].couplers, 0);
+  EXPECT_EQ(endpoints[0].path,
+            (std::vector<ComponentId>{tx, rx}));
+}
+
+TEST(Trace, CouplerBroadcast) {
+  // tx0, tx1 -> mux -> splitter -> rx0, rx1: one OPS coupler of degree 2.
+  Netlist n;
+  LossModel model;
+  const ComponentId tx0 = n.add_transmitter("tx0");
+  const ComponentId tx1 = n.add_transmitter("tx1");
+  const ComponentId mux = n.add_multiplexer(2, "mux");
+  const ComponentId split = n.add_beam_splitter(2, "split");
+  const ComponentId rx0 = n.add_receiver("rx0");
+  const ComponentId rx1 = n.add_receiver("rx1");
+  n.connect({tx0, 0}, {mux, 0});
+  n.connect({tx1, 0}, {mux, 1});
+  n.connect({mux, 0}, {split, 0});
+  n.connect({split, 0}, {rx0, 0});
+  n.connect({split, 1}, {rx1, 0});
+  auto endpoints = trace_from_transmitter(n, tx0, model);
+  ASSERT_EQ(endpoints.size(), 2u);
+  EXPECT_EQ(endpoints[0].receiver, rx0);
+  EXPECT_EQ(endpoints[1].receiver, rx1);
+  EXPECT_EQ(endpoints[0].couplers, 1);
+  // Loss: tx coupling + mux + splitter (3 dB split + excess) + rx.
+  const double expected = model.transmitter_coupling_db +
+                          model.multiplexer_db + model.beam_splitter_db(2) +
+                          model.receiver_coupling_db;
+  EXPECT_NEAR(endpoints[0].loss_db, expected, 1e-9);
+}
+
+TEST(Trace, ThroughOtisAndFiber) {
+  Netlist n;
+  const ComponentId tx = n.add_transmitter("tx");
+  const ComponentId otis = n.add_otis(1, 1, "otis");
+  const ComponentId fiber = n.add_fiber("fiber");
+  const ComponentId rx = n.add_receiver("rx");
+  n.connect({tx, 0}, {otis, 0});
+  n.connect({otis, 0}, {fiber, 0});
+  n.connect({fiber, 0}, {rx, 0});
+  auto endpoints = trace_from_transmitter(n, tx, LossModel{});
+  ASSERT_EQ(endpoints.size(), 1u);
+  EXPECT_EQ(endpoints[0].path,
+            (std::vector<ComponentId>{tx, otis, fiber, rx}));
+}
+
+TEST(Trace, DanglingPathThrows) {
+  Netlist n;
+  const ComponentId tx = n.add_transmitter("tx");
+  EXPECT_THROW(trace_from_transmitter(n, tx, LossModel{}), core::Error);
+}
+
+TEST(Trace, CycleDetectedByStepLimit) {
+  Netlist n;
+  const ComponentId tx = n.add_transmitter("tx");
+  const ComponentId f1 = n.add_fiber("f1");
+  const ComponentId f2 = n.add_fiber("f2");
+  const ComponentId mux = n.add_multiplexer(2, "mux");
+  n.connect({tx, 0}, {mux, 0});
+  n.connect({mux, 0}, {f1, 0});
+  n.connect({f1, 0}, {f2, 0});
+  n.connect({f2, 0}, {mux, 1});  // loop back
+  EXPECT_THROW(trace_from_transmitter(n, tx, LossModel{}), core::Error);
+}
+
+TEST(Trace, MaxLossOverNetlist) {
+  Netlist n;
+  LossModel model;
+  const ComponentId tx = n.add_transmitter("tx");
+  const ComponentId split = n.add_beam_splitter(8, "split");
+  std::vector<ComponentId> rx;
+  const ComponentId mux = n.add_multiplexer(1, "mux");
+  n.connect({tx, 0}, {mux, 0});
+  n.connect({mux, 0}, {split, 0});
+  for (int i = 0; i < 8; ++i) {
+    rx.push_back(n.add_receiver("rx" + std::to_string(i)));
+    n.connect({split, i}, {rx.back(), 0});
+  }
+  const double expected = model.transmitter_coupling_db +
+                          model.multiplexer_db + model.beam_splitter_db(8) +
+                          model.receiver_coupling_db;
+  EXPECT_NEAR(max_loss_db(n, model), expected, 1e-9);
+}
+
+TEST(Power, SplitterLossIsLogarithmic) {
+  LossModel model;
+  EXPECT_NEAR(model.beam_splitter_db(1), model.splitter_excess_db, 1e-12);
+  EXPECT_NEAR(model.beam_splitter_db(10),
+              10.0 + model.splitter_excess_db, 1e-9);
+  EXPECT_NEAR(model.beam_splitter_db(100),
+              20.0 + model.splitter_excess_db, 1e-9);
+}
+
+TEST(Power, LossAllowance) {
+  PowerBudget budget;
+  budget.transmit_power_dbm = 0.0;
+  budget.receiver_sensitivity_dbm = -30.0;
+  budget.system_margin_db = 3.0;
+  EXPECT_DOUBLE_EQ(budget.loss_allowance_db(), 27.0);
+  EXPECT_TRUE(budget.feasible(27.0));
+  EXPECT_FALSE(budget.feasible(27.01));
+}
+
+TEST(Power, MaxStackingFactorMonotoneInBudget) {
+  LossModel model;
+  PowerBudget poor{-3.0, -20.0, 3.0};
+  PowerBudget rich{0.0, -35.0, 3.0};
+  const std::int64_t s_poor = max_stacking_factor(poor, model);
+  const std::int64_t s_rich = max_stacking_factor(rich, model);
+  EXPECT_LE(s_poor, s_rich);
+  EXPECT_GT(s_rich, 0);
+  // The returned s must be feasible and s+1 infeasible.
+  if (s_rich > 0) {
+    EXPECT_TRUE(rich.feasible(canonical_hop_loss_db(model, s_rich)));
+    EXPECT_FALSE(rich.feasible(canonical_hop_loss_db(model, s_rich + 1)));
+  }
+}
+
+TEST(Power, HopelessBudgetGivesZero) {
+  LossModel model;
+  PowerBudget hopeless{-10.0, -5.0, 3.0};  // negative allowance
+  EXPECT_EQ(max_stacking_factor(hopeless, model), 0);
+}
+
+TEST(Power, CanonicalHopLossGrowsWithS) {
+  LossModel model;
+  EXPECT_LT(canonical_hop_loss_db(model, 2),
+            canonical_hop_loss_db(model, 16));
+  // 10x fan-out costs exactly 10 dB more.
+  EXPECT_NEAR(canonical_hop_loss_db(model, 60) -
+                  canonical_hop_loss_db(model, 6),
+              10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace otis::optics

@@ -1,0 +1,177 @@
+// Tests for the OTIS architecture model and Proposition 1 (OTIS(d,n)
+// realizes II(d,n)), including the paper's worked figures: OTIS(3,6)
+// (Fig. 1) and II(3,12) on OTIS(3,12) (Fig. 10).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/error.hpp"
+#include "otis/imase_itoh_realization.hpp"
+#include "otis/otis.hpp"
+#include "topology/imase_itoh.hpp"
+#include "topology/kautz.hpp"
+
+namespace otis::otis {
+namespace {
+
+TEST(Otis, MapFormula) {
+  Otis otis(3, 6);
+  // (i, j) -> (T-1-j, G-1-i).
+  EXPECT_EQ(otis.map(InputPort{0, 0}), (OutputPort{5, 2}));
+  EXPECT_EQ(otis.map(InputPort{2, 5}), (OutputPort{0, 0}));
+  EXPECT_EQ(otis.map(InputPort{1, 3}), (OutputPort{2, 1}));
+}
+
+TEST(Otis, InverseMapRoundTrip) {
+  Otis otis(4, 7);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t j = 0; j < 7; ++j) {
+      const InputPort in{i, j};
+      EXPECT_EQ(otis.inverse_map(otis.map(in)), in);
+    }
+  }
+}
+
+TEST(Otis, LinearIndexRoundTrip) {
+  Otis otis(3, 5);
+  for (std::int64_t idx = 0; idx < otis.port_count(); ++idx) {
+    EXPECT_EQ(otis.input_index(otis.input_port(idx)), idx);
+    EXPECT_EQ(otis.output_index(otis.output_port(idx)), idx);
+  }
+}
+
+TEST(Otis, PermutationIsBijection) {
+  Otis otis(5, 4);
+  auto perm = otis.permutation();
+  std::set<std::int64_t> image(perm.begin(), perm.end());
+  EXPECT_EQ(static_cast<std::int64_t>(image.size()), otis.port_count());
+}
+
+TEST(Otis, ComposedWithTransposeIsIdentity) {
+  // OTIS(T,G) undoes OTIS(G,T): the optical involution.
+  for (std::int64_t g = 1; g <= 5; ++g) {
+    for (std::int64_t t = 1; t <= 5; ++t) {
+      EXPECT_TRUE(composes_to_identity(Otis(g, t), Otis(t, g)));
+    }
+  }
+}
+
+TEST(Otis, ComposeRejectsMismatchedShapes) {
+  EXPECT_FALSE(composes_to_identity(Otis(3, 4), Otis(3, 4)));
+}
+
+TEST(Otis, SquareOtisFixedPoints) {
+  // OTIS(g,g) read as a permutation of linear indices: index i*g+j maps
+  // to (g-1-j)*g + (g-1-i); fixed points are exactly the anti-diagonal
+  // i + j = g - 1, so there are g of them.
+  EXPECT_EQ(Otis(3, 3).fixed_point_count(), 3);
+  EXPECT_EQ(Otis(4, 4).fixed_point_count(), 4);
+  EXPECT_EQ(Otis(5, 5).fixed_point_count(), 5);
+}
+
+TEST(Otis, Fig1ConnectionSpotChecks) {
+  // Fig. 1 draws OTIS(3, 6): 3 groups of 6 transmitters onto 6 groups of
+  // 3 receivers. Transmitter (0,0) illuminates receiver (5, 2).
+  Otis otis(3, 6);
+  EXPECT_EQ(otis.map(InputPort{0, 0}), (OutputPort{5, 2}));
+  // Last transmitter (2,5) illuminates receiver (0,0).
+  EXPECT_EQ(otis.map(InputPort{2, 5}), (OutputPort{0, 0}));
+  EXPECT_EQ(otis.port_count(), 18);
+}
+
+TEST(Otis, RejectsOutOfRangePorts) {
+  Otis otis(2, 3);
+  EXPECT_THROW((void)otis.map(InputPort{2, 0}), core::Error);
+  EXPECT_THROW((void)otis.map(InputPort{0, 3}), core::Error);
+  EXPECT_THROW((void)otis.input_port(6), core::Error);
+}
+
+TEST(Realization, PortAssignmentShapes) {
+  ImaseItohRealization real(3, 12);
+  // Node 0's transmitters occupy inputs 0, 1, 2.
+  EXPECT_EQ(real.input_of(0, 1), 0);
+  EXPECT_EQ(real.input_of(0, 3), 2);
+  EXPECT_EQ(real.input_of(5, 2), 16);
+  EXPECT_EQ(real.node_of_input(16), 5);
+  // Node 7's receivers are output group 7.
+  auto ports = real.receiver_ports_of(7);
+  ASSERT_EQ(ports.size(), 3u);
+  for (std::int64_t b = 0; b < 3; ++b) {
+    EXPECT_EQ(ports[static_cast<std::size_t>(b)].group, 7);
+    EXPECT_EQ(ports[static_cast<std::size_t>(b)].offset, b);
+  }
+}
+
+TEST(Realization, Fig10NeighborhoodOfNodeZero) {
+  // In Fig. 10, II(3,12) node 0 connects to nodes 11, 10, 9.
+  ImaseItohRealization real(3, 12);
+  EXPECT_EQ(real.neighbor_via_otis(0, 1), 11);
+  EXPECT_EQ(real.neighbor_via_otis(0, 2), 10);
+  EXPECT_EQ(real.neighbor_via_otis(0, 3), 9);
+}
+
+/// Proposition 1, swept over a grid of (d, n): the OTIS-realized digraph
+/// equals II(d, n) arc-for-arc, with every receiver port driven exactly
+/// once.
+class Proposition1Sweep
+    : public ::testing::TestWithParam<std::pair<int, std::int64_t>> {};
+
+TEST_P(Proposition1Sweep, OtisRealizesImaseItoh) {
+  const auto [d, n] = GetParam();
+  ImaseItohRealization real(d, n);
+  std::string details;
+  EXPECT_TRUE(real.verify(&details)) << details;
+  EXPECT_TRUE(
+      real.realized_digraph().same_arcs(topology::ImaseItoh(d, n).graph()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Proposition1Sweep,
+    ::testing::Values(std::pair<int, std::int64_t>{1, 1},
+                      std::pair<int, std::int64_t>{1, 5},
+                      std::pair<int, std::int64_t>{2, 2},
+                      std::pair<int, std::int64_t>{2, 6},
+                      std::pair<int, std::int64_t>{2, 12},
+                      std::pair<int, std::int64_t>{3, 12},
+                      std::pair<int, std::int64_t>{3, 13},
+                      std::pair<int, std::int64_t>{3, 36},
+                      std::pair<int, std::int64_t>{4, 20},
+                      std::pair<int, std::int64_t>{5, 30},
+                      std::pair<int, std::int64_t>{6, 42},
+                      std::pair<int, std::int64_t>{7, 8},
+                      std::pair<int, std::int64_t>{8, 64}));
+
+TEST(Realization, Corollary1KautzOnOtis) {
+  // Corollary 1: KG(d,k) = II(d, d^{k-1}(d+1)) realized by one OTIS.
+  for (int d = 2; d <= 3; ++d) {
+    for (int k = 1; k <= 3; ++k) {
+      topology::Kautz kautz(d, k);
+      ImaseItohRealization real(d, kautz.order());
+      EXPECT_TRUE(real.verify(nullptr));
+      EXPECT_TRUE(real.realized_digraph().same_arcs(kautz.graph()))
+          << "KG(" << d << "," << k << ") via OTIS(" << d << ","
+          << kautz.order() << ")";
+    }
+  }
+}
+
+TEST(Realization, SquareOtisRealizesCompleteDigraph) {
+  // II(g,g) = K+_g: the POPS interconnect fact, via the OTIS lens.
+  ImaseItohRealization real(4, 4);
+  EXPECT_TRUE(real.verify(nullptr));
+  EXPECT_EQ(real.realized_digraph().loop_count(), 4);
+  for (std::int64_t u = 0; u < 4; ++u) {
+    for (std::int64_t v = 0; v < 4; ++v) {
+      EXPECT_TRUE(real.realized_digraph().has_arc(u, v));
+    }
+  }
+}
+
+TEST(Realization, RejectsBadParameters) {
+  EXPECT_THROW(ImaseItohRealization(0, 5), core::Error);
+  EXPECT_THROW(ImaseItohRealization(5, 4), core::Error);
+}
+
+}  // namespace
+}  // namespace otis::otis

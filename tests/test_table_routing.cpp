@@ -1,0 +1,162 @@
+// Tests for the dense table router, the generic stack router built on
+// it, and the OTIS-G swap networks they serve.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "graph/algorithms.hpp"
+#include "hypergraph/stack_imase_itoh.hpp"
+#include "routing/generic_stack_routing.hpp"
+#include "routing/imase_itoh_routing.hpp"
+#include "routing/table_router.hpp"
+#include "topology/complete.hpp"
+#include "topology/debruijn.hpp"
+#include "topology/kautz.hpp"
+#include "topology/otis_swap.hpp"
+
+namespace otis::routing {
+namespace {
+
+TEST(TableRouter, MatchesBfsOnKautz) {
+  topology::Kautz kautz(3, 2);
+  TableRouter router(kautz.graph());
+  for (graph::Vertex u = 0; u < 12; ++u) {
+    auto bfs = graph::bfs_distances(kautz.graph(), u);
+    for (graph::Vertex v = 0; v < 12; ++v) {
+      EXPECT_EQ(router.distance(u, v), bfs[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(TableRouter, RoutesAreShortestWalks) {
+  topology::DeBruijn db(2, 3);
+  TableRouter router(db.graph());
+  for (graph::Vertex u = 0; u < db.order(); ++u) {
+    for (graph::Vertex v = 0; v < db.order(); ++v) {
+      auto path = router.route(u, v);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.front(), u);
+      EXPECT_EQ(path.back(), v);
+      EXPECT_EQ(static_cast<std::int64_t>(path.size()) - 1,
+                router.distance(u, v));
+      EXPECT_TRUE(graph::is_walk(db.graph(), path) || path.size() == 1);
+    }
+  }
+}
+
+TEST(TableRouter, UnreachableIsSignalled) {
+  graph::Digraph g = graph::Digraph::from_arcs(3, {{0, 1}});
+  TableRouter router(g);
+  EXPECT_EQ(router.distance(0, 2), -1);
+  EXPECT_EQ(router.next_hop(0, 2), -1);
+  EXPECT_TRUE(router.route(0, 2).empty());
+}
+
+TEST(TableRouter, AgreesWithArithmeticRouterOnImaseItoh) {
+  topology::ImaseItoh ii(3, 17);
+  TableRouter table(ii.graph());
+  ImaseItohRouter arithmetic(ii);
+  for (graph::Vertex u = 0; u < 17; ++u) {
+    for (graph::Vertex v = 0; v < 17; ++v) {
+      EXPECT_EQ(table.distance(u, v), arithmetic.distance(u, v));
+    }
+  }
+}
+
+TEST(GenericStackRouter, DeliversOnStackImaseItoh) {
+  hypergraph::StackImaseItoh sii(3, 3, 10);  // non-Kautz order
+  GenericStackRouter router(sii.stack());
+  const auto& hg = sii.stack().hypergraph();
+  for (hypergraph::Node src = 0; src < sii.processor_count(); src += 3) {
+    for (hypergraph::Node dst = 0; dst < sii.processor_count(); dst += 2) {
+      hypergraph::Node current = src;
+      std::int64_t hops = 0;
+      while (current != dst) {
+        const auto coupler = router.next_coupler(current, dst);
+        // The sender must be able to feed the chosen coupler.
+        const auto& sources = hg.hyperarc(coupler).sources;
+        ASSERT_NE(std::find(sources.begin(), sources.end(), current),
+                  sources.end());
+        current = router.relay_on(coupler, dst);
+        ++hops;
+        ASSERT_LE(hops, 10);
+      }
+      EXPECT_EQ(hops, router.distance(src, dst));
+    }
+  }
+}
+
+TEST(GenericStackRouter, DistanceCases) {
+  hypergraph::StackImaseItoh sii(4, 2, 9);
+  GenericStackRouter router(sii.stack());
+  EXPECT_EQ(router.distance(5, 5), 0);
+  // Same group, different copy: the loop, one hop.
+  EXPECT_EQ(router.distance(sii.processor(2, 0), sii.processor(2, 3)), 1);
+  // Distances bounded by group diameter bound + loop handling.
+  for (hypergraph::Node p = 0; p < sii.processor_count(); p += 5) {
+    for (hypergraph::Node q = 0; q < sii.processor_count(); q += 7) {
+      EXPECT_LE(router.distance(p, q),
+                static_cast<std::int64_t>(sii.diameter_bound()) + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace otis::routing
+
+namespace otis::topology {
+namespace {
+
+TEST(OtisSwap, CountsAndLabels) {
+  graph::Digraph ring = graph::Digraph::from_arcs(
+      4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 0}, {2, 1}, {3, 2}, {0, 3}});
+  OtisSwapNetwork net(ring);
+  EXPECT_EQ(net.order(), 16);
+  EXPECT_EQ(net.electronic_arc_count(), 4 * 8);
+  EXPECT_EQ(net.optical_arc_count(), 12);
+  EXPECT_EQ(net.graph().size(),
+            net.electronic_arc_count() + net.optical_arc_count());
+  for (graph::Vertex v = 0; v < net.order(); ++v) {
+    auto [g, p] = net.label_of(v);
+    EXPECT_EQ(net.node_of(g, p), v);
+  }
+}
+
+TEST(OtisSwap, SwapArcsAreTheTranspose) {
+  graph::Digraph factor = complete_digraph(3, Loops::kWithout);
+  OtisSwapNetwork net(factor);
+  for (graph::Vertex g = 0; g < 3; ++g) {
+    for (graph::Vertex p = 0; p < 3; ++p) {
+      if (g != p) {
+        EXPECT_TRUE(net.graph().has_arc(net.node_of(g, p), net.node_of(p, g)));
+      } else {
+        // diagonal processors have no optical link
+        EXPECT_FALSE(net.graph().has_arc(net.node_of(g, p), net.node_of(p,
+                                                                        g)));
+      }
+    }
+  }
+}
+
+TEST(OtisSwap, DiameterAtMostTwiceFactorPlusOne) {
+  // Classic OTIS-network bound (ref [24]): D(OTIS-G) <= 2 D(G) + 1 for
+  // strongly-connected symmetric factors.
+  graph::Digraph factor = graph::Digraph::from_arcs(
+      3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 0}, {0, 2}});
+  OtisSwapNetwork net(factor);
+  const std::int64_t factor_diameter = graph::diameter(factor);
+  EXPECT_LE(graph::diameter(net.graph()), 2 * factor_diameter + 1 + 1)
+      << "allowing +1 slack for directed factors";
+}
+
+TEST(OtisSwap, StronglyConnectedForConnectedSymmetricFactor) {
+  graph::Digraph path = graph::Digraph::from_arcs(
+      3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}});
+  OtisSwapNetwork net(path);
+  EXPECT_TRUE(graph::is_strongly_connected(net.graph()));
+}
+
+}  // namespace
+}  // namespace otis::topology

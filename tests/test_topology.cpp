@@ -1,0 +1,333 @@
+// Tests for the topology constructions: complete digraphs, Imase-Itoh
+// graphs, Kautz graphs with the word <-> integer bijection, de Bruijn
+// baselines. Parameterized sweeps check the paper's structural claims
+// (order, degree, diameter, Eulerian/Hamiltonian, Corollary 1 identity).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/error.hpp"
+#include "core/mathutil.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/isomorphism.hpp"
+#include "graph/line_digraph.hpp"
+#include "topology/complete.hpp"
+#include "topology/debruijn.hpp"
+#include "topology/imase_itoh.hpp"
+#include "topology/kautz.hpp"
+
+namespace otis::topology {
+namespace {
+
+TEST(Complete, WithoutLoops) {
+  graph::Digraph g = complete_digraph(4, Loops::kWithout);
+  EXPECT_EQ(g.order(), 4);
+  EXPECT_EQ(g.size(), 12);
+  EXPECT_EQ(g.loop_count(), 0);
+  EXPECT_TRUE(g.is_regular(3));
+}
+
+TEST(Complete, WithLoopsEqualsImaseItohOfSameOrder) {
+  // K+_g == II(g, g): the identity behind using OTIS(g,g) as the POPS
+  // interconnect (paper Sec. 4.1, Fig. 5).
+  for (std::int64_t g = 1; g <= 6; ++g) {
+    graph::Digraph complete = complete_digraph(g, Loops::kWith);
+    EXPECT_EQ(complete.size(), g * g);
+    EXPECT_EQ(complete.loop_count(), g);
+    ImaseItoh ii(static_cast<int>(g), g);
+    EXPECT_TRUE(complete.same_arcs(ii.graph()))
+        << "K+_" << g << " != II(" << g << "," << g << ")";
+  }
+}
+
+TEST(ImaseItoh, SuccessorFormula) {
+  ImaseItoh ii(3, 12);
+  // Node 0: v = (-alpha) mod 12 for alpha = 1..3 -> 11, 10, 9.
+  EXPECT_EQ(ii.successors(0), (std::vector<std::int64_t>{11, 10, 9}));
+  // Node 5: v = (-15 - alpha) mod 12 -> alpha=1: -16 mod 12 = 8, then 7, 6.
+  EXPECT_EQ(ii.successors(5), (std::vector<std::int64_t>{8, 7, 6}));
+}
+
+TEST(ImaseItoh, AlphaOfArcInvertsSuccessor) {
+  ImaseItoh ii(4, 21);
+  for (std::int64_t u = 0; u < 21; ++u) {
+    for (int alpha = 1; alpha <= 4; ++alpha) {
+      EXPECT_EQ(ii.alpha_of_arc(u, ii.successor(u, alpha)), alpha);
+    }
+  }
+}
+
+TEST(ImaseItoh, AlphaOfArcZeroForNonNeighbors) {
+  ImaseItoh ii(2, 12);
+  // Node 0's successors are 11 and 10; 5 is not one.
+  EXPECT_EQ(ii.alpha_of_arc(0, 5), 0);
+}
+
+TEST(ImaseItoh, RejectsBadParameters) {
+  EXPECT_THROW(ImaseItoh(0, 5), core::Error);
+  EXPECT_THROW(ImaseItoh(5, 3), core::Error);
+}
+
+TEST(ImaseItoh, IsKautzDetection) {
+  EXPECT_TRUE(ImaseItoh(3, 12).is_kautz());   // KG(3,2)
+  EXPECT_TRUE(ImaseItoh(3, 4).is_kautz());    // KG(3,1)
+  EXPECT_TRUE(ImaseItoh(2, 12).is_kautz());   // KG(2,3)
+  EXPECT_FALSE(ImaseItoh(3, 13).is_kautz());
+  EXPECT_FALSE(ImaseItoh(3, 9).is_kautz());
+  EXPECT_EQ(ImaseItoh(3, 12).kautz_diameter(), 2);
+  EXPECT_EQ(ImaseItoh(2, 12).kautz_diameter(), 3);
+}
+
+/// Sweep: the Imase-Itoh diameter theorem, diameter(II(d,n)) <=
+/// ceil(log_d n), with equality in the generic case; checked by BFS.
+class ImaseItohDiameterSweep
+    : public ::testing::TestWithParam<std::pair<int, std::int64_t>> {};
+
+TEST_P(ImaseItohDiameterSweep, DiameterWithinFormula) {
+  const auto [d, n] = GetParam();
+  ImaseItoh ii(d, n);
+  graph::DistanceStats stats = graph::distance_stats(ii.graph());
+  EXPECT_TRUE(stats.strongly_connected);
+  EXPECT_LE(stats.diameter, static_cast<std::int64_t>(ii.diameter_formula()))
+      << "II(" << d << "," << n << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ImaseItohDiameterSweep,
+    ::testing::Values(std::pair<int, std::int64_t>{2, 5},
+                      std::pair<int, std::int64_t>{2, 12},
+                      std::pair<int, std::int64_t>{2, 31},
+                      std::pair<int, std::int64_t>{3, 12},
+                      std::pair<int, std::int64_t>{3, 20},
+                      std::pair<int, std::int64_t>{3, 36},
+                      std::pair<int, std::int64_t>{4, 17},
+                      std::pair<int, std::int64_t>{4, 80},
+                      std::pair<int, std::int64_t>{5, 30},
+                      std::pair<int, std::int64_t>{5, 150}));
+
+TEST(ImaseItoh, RegularInAndOut) {
+  for (int d = 2; d <= 4; ++d) {
+    for (std::int64_t n : {7LL, 12LL, 25LL}) {
+      ImaseItoh ii(d, n);
+      EXPECT_TRUE(ii.graph().is_regular(d))
+          << "II(" << d << "," << n << ") not " << d << "-regular";
+    }
+  }
+}
+
+TEST(Kautz, OrderDegreeMatchDefinition) {
+  Kautz kg(3, 2);
+  EXPECT_EQ(kg.order(), 12);
+  EXPECT_EQ(kg.degree(), 3);
+  EXPECT_EQ(kg.alphabet(), 4);
+  EXPECT_TRUE(kg.graph().is_regular(3));
+  EXPECT_EQ(kg.graph().loop_count(), 0);
+}
+
+TEST(Kautz, PaperSizeExample) {
+  // Sec. 2.5 claims "KG(5,4) has N = 3750 nodes, degree 5 and diameter
+  // 4"; by the paper's own formula N = d^{k-1}(d+1) that is 750 (3750 is
+  // KG(5,5)). We verify the formula and record the typo in
+  // EXPERIMENTS.md.
+  Kautz kg(5, 4);
+  EXPECT_EQ(kg.order(), 750);
+  EXPECT_EQ(kg.degree(), 5);
+  EXPECT_EQ(kg.diameter(), 4);
+  EXPECT_EQ(Kautz(5, 5).order(), 3750);
+}
+
+TEST(Kautz, WordValidation) {
+  Kautz kg(2, 3);
+  EXPECT_TRUE(kg.is_valid_word({0, 1, 0}));
+  EXPECT_FALSE(kg.is_valid_word({0, 0, 1}));  // repeated letter
+  EXPECT_FALSE(kg.is_valid_word({0, 1}));     // wrong length
+  EXPECT_FALSE(kg.is_valid_word({0, 3, 1}));  // letter out of alphabet
+}
+
+TEST(Kautz, WordVertexBijectionRoundTrip) {
+  for (int d = 1; d <= 4; ++d) {
+    for (int k = 1; k <= 3; ++k) {
+      Kautz kg(d, k);
+      std::set<std::int64_t> seen;
+      for (const Word& w : kg.all_words()) {
+        const std::int64_t v = kg.vertex_of(w);
+        EXPECT_EQ(kg.word_of(v), w);
+        seen.insert(v);
+      }
+      EXPECT_EQ(static_cast<std::int64_t>(seen.size()), kg.order());
+    }
+  }
+}
+
+TEST(Kautz, WordArcsMatchIntegerArcs) {
+  // The bijection is an isomorphism: word shifts == II integer arcs.
+  for (int d = 2; d <= 3; ++d) {
+    for (int k = 2; k <= 3; ++k) {
+      Kautz kg(d, k);
+      for (std::int64_t v = 0; v < kg.order(); ++v) {
+        const Word w = kg.word_of(v);
+        std::set<std::int64_t> word_neighbors;
+        for (int z = 0; z <= d; ++z) {
+          if (z == w.back()) {
+            continue;
+          }
+          word_neighbors.insert(kg.vertex_of(Kautz::shift(w, z)));
+        }
+        auto graph_neighbors = kg.graph().out_neighbors(v);
+        std::set<std::int64_t> graph_set(graph_neighbors.begin(),
+                                         graph_neighbors.end());
+        EXPECT_EQ(word_neighbors, graph_set) << "vertex " << v;
+      }
+    }
+  }
+}
+
+TEST(Kautz, EqualsImaseItohOfKautzOrder) {
+  // Corollary 1's combinatorial half: KG(d,k) = II(d, d^{k-1}(d+1)),
+  // arc-for-arc in our numbering, not just up to isomorphism.
+  for (int d = 1; d <= 4; ++d) {
+    for (int k = 1; k <= 3; ++k) {
+      Kautz kg(d, k);
+      ImaseItoh ii(d, kg.order());
+      EXPECT_TRUE(kg.graph().same_arcs(ii.graph()))
+          << "KG(" << d << "," << k << ")";
+    }
+  }
+}
+
+TEST(Kautz, LineDigraphIteration) {
+  // Fig. 6: KG(d,k) = L(KG(d,k-1)); checked as abstract isomorphism.
+  for (int d = 2; d <= 3; ++d) {
+    for (int k = 2; k <= 3; ++k) {
+      Kautz smaller(d, k - 1);
+      Kautz larger(d, k);
+      graph::Digraph line = graph::line_digraph(smaller.graph()).graph;
+      EXPECT_EQ(line.order(), larger.order());
+      // The II arc numbering phi(u, alpha) = d*u + alpha - 1 *is* the line
+      // digraph vertex numbering, so the graphs must be equal outright.
+      EXPECT_TRUE(line.same_arcs(larger.graph()))
+          << "L(KG(" << d << "," << k - 1 << ")) != KG(" << d << "," << k
+          << ")";
+    }
+  }
+}
+
+TEST(Kautz, DiameterIsExactlyK) {
+  for (int d = 2; d <= 3; ++d) {
+    for (int k = 1; k <= 3; ++k) {
+      Kautz kg(d, k);
+      EXPECT_EQ(graph::diameter(kg.graph()), k)
+          << "KG(" << d << "," << k << ")";
+    }
+  }
+}
+
+TEST(Kautz, EulerianAndHamiltonian) {
+  // Paper Sec. 2.5: "It is both Eulerian and Hamiltonian".
+  Kautz kg(2, 2);  // 6 vertices
+  EXPECT_TRUE(graph::is_eulerian(kg.graph()));
+  EXPECT_TRUE(graph::find_hamiltonian_cycle(kg.graph()).has_value());
+  Kautz kg3(3, 2);  // 12 vertices
+  EXPECT_TRUE(graph::is_eulerian(kg3.graph()));
+  EXPECT_TRUE(graph::find_hamiltonian_cycle(kg3.graph()).has_value());
+}
+
+TEST(Kautz, KG21IsK3) {
+  // Fig. 6 leftmost: KG(2,1) is the complete digraph K_3.
+  Kautz kg(2, 1);
+  EXPECT_TRUE(kg.graph().same_arcs(complete_digraph(3, Loops::kWithout)));
+}
+
+TEST(Kautz, Fig6WordCountsAndSamples) {
+  // Fig. 6 shows KG(2,2) with words 01,02,10,12,20,21 and KG(2,3) with
+  // twelve 3-letter words.
+  Kautz kg22(2, 2);
+  std::set<std::string> words;
+  for (const Word& w : kg22.all_words()) {
+    words.insert(Kautz::word_to_string(w));
+  }
+  EXPECT_EQ(words, (std::set<std::string>{"01", "02", "10", "12", "20",
+                                          "21"}));
+  Kautz kg23(2, 3);
+  EXPECT_EQ(kg23.order(), 12);
+  // Spot-check an arc from the figure: 010 -> 101.
+  const std::int64_t u = kg23.vertex_of({0, 1, 0});
+  const std::int64_t v = kg23.vertex_of({1, 0, 1});
+  EXPECT_TRUE(kg23.graph().has_arc(u, v));
+}
+
+TEST(Kautz, ShiftValidatesArguments) {
+  EXPECT_THROW(Kautz::shift({0, 1}, 1), core::Error);
+  EXPECT_EQ(Kautz::shift({0, 1}, 2), (Word{1, 2}));
+}
+
+TEST(Kautz, WordToString) {
+  EXPECT_EQ(Kautz::word_to_string({1, 0, 2}), "102");
+  EXPECT_EQ(Kautz::word_to_string({10, 2}), "10.2");
+}
+
+TEST(KautzWithLoops, DegreeAndLoops) {
+  graph::Digraph g = kautz_with_loops(3, 2);
+  EXPECT_EQ(g.order(), 12);
+  EXPECT_EQ(g.loop_count(), 12);
+  EXPECT_TRUE(g.is_regular(4));  // degree d+1 (paper Sec. 2.7)
+}
+
+TEST(KautzWithLoops, LoopIsLastOutArc) {
+  graph::Digraph g = kautz_with_loops(2, 2);
+  for (graph::Vertex v = 0; v < g.order(); ++v) {
+    EXPECT_EQ(g.head(g.out_end(v) - 1), v);
+  }
+}
+
+TEST(DeBruijn, OrderAndDegree) {
+  DeBruijn db(2, 3);
+  EXPECT_EQ(db.order(), 8);
+  EXPECT_TRUE(db.graph().is_regular(2));
+  // De Bruijn graphs have d loops (constant words) -- the structural
+  // disadvantage vs Kautz the comparison benches report.
+  EXPECT_EQ(db.graph().loop_count(), 2);
+}
+
+TEST(DeBruijn, DiameterIsDimension) {
+  for (int d = 2; d <= 3; ++d) {
+    for (int k = 2; k <= 3; ++k) {
+      DeBruijn db(d, k);
+      EXPECT_EQ(graph::diameter(db.graph()), k);
+    }
+  }
+}
+
+TEST(DeBruijn, WordShiftStructure) {
+  DeBruijn db(2, 3);
+  // 011 -> {110, 111}.
+  const std::int64_t u = db.vertex_of({0, 1, 1});
+  std::set<std::int64_t> expected{db.vertex_of({1, 1, 0}),
+                                  db.vertex_of({1, 1, 1})};
+  auto neighbors = db.graph().out_neighbors(u);
+  std::set<std::int64_t> actual(neighbors.begin(), neighbors.end());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(DeBruijn, WordRoundTrip) {
+  DeBruijn db(3, 3);
+  for (std::int64_t v = 0; v < db.order(); ++v) {
+    EXPECT_EQ(db.vertex_of(db.word_of(v)), v);
+  }
+}
+
+TEST(KautzVsDeBruijn, KautzHasMoreVerticesSameDegreeDiameter) {
+  // The (d+1)/d vertex advantage at equal degree and diameter.
+  for (int d = 2; d <= 4; ++d) {
+    for (int k = 2; k <= 3; ++k) {
+      Kautz kg(d, k);
+      DeBruijn db(d, k);
+      EXPECT_GT(kg.order(), db.order());
+      EXPECT_EQ(kg.order(), db.order() / d * (d + 1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace otis::topology
