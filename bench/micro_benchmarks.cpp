@@ -1,18 +1,39 @@
-// Google-benchmark microbenchmarks for the hot paths of the library:
-// topology construction, the Kautz word bijection, label/arithmetic
-// routing, line digraph iteration, optical design construction +
-// verification, and the simulator's slot rate.
+// Microbenchmarks for the hot paths of the library: topology
+// construction, the Kautz word bijection, label/arithmetic routing, line
+// digraph iteration, design construction + verification, and -- the
+// headline -- the simulator's slot rate per engine.
+//
+// The simulator section times every (topology, arbitration) pair on the
+// legacy event-queue engine and on the phased engine (plus a sharded
+// run), prints slots/sec, and writes the results to BENCH_sim.json so
+// future PRs have a machine-readable perf trajectory. Exit status checks
+// the acceptance bar: phased >= 3x event-queue slots/sec on SK(4,3,2).
+//
+// Self-contained chrono harness (no external benchmark dependency): each
+// measurement is the best of `kReps` runs, which is the right estimator
+// for a noisy single-core container.
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "core/table.hpp"
 #include "designs/builders.hpp"
 #include "designs/verify.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/line_digraph.hpp"
+#include "hypergraph/pops.hpp"
+#include "hypergraph/stack_imase_itoh.hpp"
 #include "hypergraph/stack_kautz.hpp"
 #include "otis/imase_itoh_realization.hpp"
+#include "routing/compiled_routes.hpp"
+#include "routing/generic_stack_routing.hpp"
 #include "routing/imase_itoh_routing.hpp"
 #include "routing/kautz_routing.hpp"
 #include "routing/stack_routing.hpp"
@@ -22,125 +43,297 @@
 
 namespace {
 
-void BM_KautzConstruction(benchmark::State& state) {
-  const int d = static_cast<int>(state.range(0));
-  const int k = static_cast<int>(state.range(1));
-  for (auto _ : state) {
-    otis::topology::Kautz kautz(d, k);
-    benchmark::DoNotOptimize(kautz.graph().size());
-  }
-  state.SetLabel("KG(" + std::to_string(d) + "," + std::to_string(k) + ")");
-}
-BENCHMARK(BM_KautzConstruction)->Args({3, 3})->Args({4, 4})->Args({5, 4});
+constexpr int kReps = 3;
 
-void BM_KautzWordBijection(benchmark::State& state) {
-  otis::topology::Kautz kautz(4, 4);  // 500 nodes
-  std::int64_t v = 0;
-  for (auto _ : state) {
-    auto word = kautz.word_of(v);
-    benchmark::DoNotOptimize(kautz.vertex_of(word));
-    v = (v + 1) % kautz.order();
+/// Best-of-kReps wall time of `fn()` in seconds.
+double time_best(const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double>(stop - start).count());
   }
+  return best;
 }
-BENCHMARK(BM_KautzWordBijection);
 
-void BM_KautzLabelRoute(benchmark::State& state) {
-  otis::topology::Kautz kautz(4, 4);
-  otis::routing::KautzRouter router(kautz);
-  std::int64_t u = 1;
-  std::int64_t v = kautz.order() / 2;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(router.route(u, v));
-    u = (u + 7) % kautz.order();
-    v = (v + 13) % kautz.order();
-  }
+/// One classic micro-benchmark row: `iters` calls of `fn`, ns/op.
+void micro(otis::core::Table& table, const std::string& name,
+           std::int64_t iters, const std::function<void()>& fn) {
+  const double seconds = time_best([&] {
+    for (std::int64_t i = 0; i < iters; ++i) {
+      fn();
+    }
+  });
+  table.add(name, iters,
+            otis::core::format_double(seconds / static_cast<double>(iters) *
+                                          1e9,
+                                      1));
 }
-BENCHMARK(BM_KautzLabelRoute);
 
-void BM_ImaseItohArithmeticRoute(benchmark::State& state) {
-  otis::topology::ImaseItoh ii(4, static_cast<std::int64_t>(state.range(0)));
-  otis::routing::ImaseItohRouter router(ii);
-  std::int64_t u = 1;
-  std::int64_t v = ii.order() / 2;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(router.route_labels(u, v));
-    u = (u + 7) % ii.order();
-    v = (v + 13) % ii.order();
-  }
-}
-BENCHMARK(BM_ImaseItohArithmeticRoute)->Arg(100)->Arg(1000)->Arg(10000);
+// ------------------------------------------------------------- sim bench
 
-void BM_BfsDiameter(benchmark::State& state) {
-  otis::topology::Kautz kautz(3, static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(otis::graph::diameter(kautz.graph()));
-  }
-}
-BENCHMARK(BM_BfsDiameter)->Arg(2)->Arg(3);
+struct SimBenchCase {
+  std::string topology;
+  const otis::hypergraph::StackGraph* stack;
+  /// The pre-refactor call pattern: per-packet routing callbacks into
+  /// the real router. Drives the event-queue baseline.
+  otis::sim::RoutingHooks hooks;
+  /// The compiled tables driving the phased/sharded engines.
+  std::shared_ptr<const otis::routing::CompiledRoutes> routes;
+  std::int64_t nodes;
+};
 
-void BM_LineDigraph(benchmark::State& state) {
-  otis::topology::Kautz kautz(3, 3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        otis::graph::line_digraph(kautz.graph()).graph.size());
-  }
-}
-BENCHMARK(BM_LineDigraph);
+struct SimBenchResult {
+  std::string topology;
+  std::string arbitration;
+  std::string engine;
+  std::int64_t slots;
+  double slots_per_sec;
+  double packets_per_sec;
+};
 
-void BM_Proposition1Verify(benchmark::State& state) {
-  otis::otis::ImaseItohRealization real(
-      4, static_cast<std::int64_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(real.verify(nullptr));
-  }
-}
-BENCHMARK(BM_Proposition1Verify)->Arg(64)->Arg(1024);
+constexpr std::int64_t kSimSlots = 2000;
+constexpr double kSimLoad = 0.3;
 
-void BM_StackKautzDesignBuild(benchmark::State& state) {
-  for (auto _ : state) {
-    auto design = otis::designs::stack_kautz_design(6, 3, 2);
-    benchmark::DoNotOptimize(design.netlist.component_count());
-  }
-}
-BENCHMARK(BM_StackKautzDesignBuild);
-
-void BM_StackKautzDesignVerify(benchmark::State& state) {
-  auto design = otis::designs::stack_kautz_design(6, 3, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(otis::designs::verify_design(design).ok);
-  }
-}
-BENCHMARK(BM_StackKautzDesignVerify);
-
-void BM_SimulatorSlots(benchmark::State& state) {
-  // Measures whole short runs; report slots/second via counters.
-  const double load = 0.3;
-  std::int64_t slots = 0;
-  for (auto _ : state) {
-    otis::hypergraph::StackKautz sk(6, 3, 2);
-    otis::routing::StackKautzRouter router(sk);
-    otis::sim::RoutingHooks hooks;
-    hooks.next_coupler = [&](otis::hypergraph::Node c,
-                             otis::hypergraph::Node d) {
-      return router.next_coupler(c, d);
-    };
-    hooks.relay_on = [&](otis::hypergraph::HyperarcId h,
-                         otis::hypergraph::Node d) {
-      return router.relay_on(h, d);
-    };
+SimBenchResult run_sim_bench(const SimBenchCase& c,
+                             otis::sim::Arbitration arb,
+                             otis::sim::Engine engine, int threads) {
+  otis::sim::RunMetrics metrics;
+  const double seconds = time_best([&] {
     otis::sim::SimConfig config;
+    config.arbitration = arb;
     config.warmup_slots = 0;
-    config.measure_slots = 500;
+    config.measure_slots = kSimSlots;
     config.seed = 1;
-    otis::sim::OpsNetworkSim sim(
-        sk.stack(), hooks,
-        std::make_unique<otis::sim::UniformTraffic>(72, load), config);
-    benchmark::DoNotOptimize(sim.run().delivered_packets);
-    slots += 500;
+    config.engine = engine;
+    config.threads = threads;
+    auto traffic =
+        std::make_unique<otis::sim::UniformTraffic>(c.nodes, kSimLoad);
+    if (engine == otis::sim::Engine::kEventQueue) {
+      // Baseline: the seed's end-to-end path -- callback routing on the
+      // event-queue loop, no compiled tables anywhere.
+      otis::sim::OpsNetworkSim sim(*c.stack, c.hooks, std::move(traffic),
+                                   config);
+      metrics = sim.run();
+    } else {
+      otis::sim::OpsNetworkSim sim(*c.stack, c.routes, std::move(traffic),
+                                   config);
+      metrics = sim.run();
+    }
+  });
+  SimBenchResult r;
+  r.topology = c.topology;
+  r.arbitration = otis::sim::arbitration_name(arb);
+  r.engine = otis::sim::engine_name(engine);
+  if (engine == otis::sim::Engine::kSharded) {
+    r.engine += "(" + std::to_string(threads) + ")";
   }
-  state.counters["slots/s"] = benchmark::Counter(
-      static_cast<double>(slots), benchmark::Counter::kIsRate);
+  r.slots = kSimSlots;
+  r.slots_per_sec = static_cast<double>(kSimSlots) / seconds;
+  r.packets_per_sec =
+      static_cast<double>(metrics.delivered_packets) / seconds;
+  return r;
 }
-BENCHMARK(BM_SimulatorSlots)->Unit(benchmark::kMillisecond);
+
+void write_bench_json(const std::vector<SimBenchResult>& results,
+                      double sk_speedup, bool pass) {
+  std::ofstream out("BENCH_sim.json");
+  out << "{\n"
+      << "  \"benchmark\": \"ops_network_slot_engine\",\n"
+      << "  \"slots_per_run\": " << kSimSlots << ",\n"
+      << "  \"uniform_load\": " << kSimLoad << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SimBenchResult& r = results[i];
+    out << "    {\"topology\": \"" << r.topology << "\", \"arbitration\": \""
+        << r.arbitration << "\", \"engine\": \"" << r.engine
+        << "\", \"slots_per_sec\": " << static_cast<std::int64_t>(
+               r.slots_per_sec)
+        << ", \"packets_per_sec\": " << static_cast<std::int64_t>(
+               r.packets_per_sec)
+        << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"acceptance\": {\"topology\": \"SK(4,3,2)\", \"arbitration\": "
+         "\"token\", \"required_speedup\": 3.0, \"measured_speedup\": "
+      << otis::core::format_double(sk_speedup, 2)
+      << ", \"pass\": " << (pass ? "true" : "false") << "}\n"
+      << "}\n";
+}
 
 }  // namespace
+
+int main() {
+  // ---------------------------------------------- classic micro section
+  std::cout << "[micro] library hot paths (best of " << kReps << ")\n\n";
+  otis::core::Table table({"benchmark", "iters", "ns/op"});
+
+  micro(table, "Kautz(4,4) construction", 20,
+        [] { otis::topology::Kautz kautz(4, 4); });
+  {
+    otis::topology::Kautz kautz(4, 4);  // 500 nodes
+    std::int64_t v = 0;
+    micro(table, "Kautz word bijection", 20000, [&] {
+      auto word = kautz.word_of(v);
+      if (kautz.vertex_of(word) != v) {
+        std::abort();
+      }
+      v = (v + 1) % kautz.order();
+    });
+    otis::routing::KautzRouter router(kautz);
+    std::int64_t u = 1;
+    std::int64_t w = kautz.order() / 2;
+    micro(table, "Kautz label route", 20000, [&] {
+      volatile auto hops = router.route(u, w).size();
+      (void)hops;
+      u = (u + 7) % kautz.order();
+      w = (w + 13) % kautz.order();
+    });
+  }
+  {
+    otis::topology::ImaseItoh ii(4, 10000);
+    otis::routing::ImaseItohRouter router(ii);
+    std::int64_t u = 1;
+    std::int64_t w = ii.order() / 2;
+    micro(table, "Imase-Itoh arithmetic route (n=10000)", 20000, [&] {
+      volatile auto labels = router.route_labels(u, w).size();
+      (void)labels;
+      u = (u + 7) % ii.order();
+      w = (w + 13) % ii.order();
+    });
+  }
+  micro(table, "Kautz(3,3) BFS diameter", 50, [] {
+    otis::topology::Kautz kautz(3, 3);
+    volatile auto d = otis::graph::diameter(kautz.graph());
+    (void)d;
+  });
+  micro(table, "Kautz(3,3) line digraph", 100, [] {
+    otis::topology::Kautz kautz(3, 3);
+    volatile auto n = otis::graph::line_digraph(kautz.graph()).graph.size();
+    (void)n;
+  });
+  micro(table, "SK(6,3,2) design build", 10, [] {
+    volatile auto n =
+        otis::designs::stack_kautz_design(6, 3, 2).netlist.component_count();
+    (void)n;
+  });
+  {
+    auto design = otis::designs::stack_kautz_design(6, 3, 2);
+    micro(table, "SK(6,3,2) design verify", 10, [&] {
+      volatile bool ok = otis::designs::verify_design(design).ok;
+      (void)ok;
+    });
+  }
+  micro(table, "Proposition 1 verify (n=1024)", 10, [] {
+    otis::otis::ImaseItohRealization real(4, 1024);
+    volatile bool ok = real.verify(nullptr);
+    (void)ok;
+  });
+  table.print(std::cout);
+
+  // ---------------------------------------------------- simulator bench
+  std::cout << "\n[sim] slot engine throughput, uniform load " << kSimLoad
+            << ", " << kSimSlots << " slots/run (best of " << kReps
+            << ")\n\n";
+
+  otis::hypergraph::StackKautz sk(4, 3, 2);
+  otis::hypergraph::Pops pops(6, 12);
+  otis::hypergraph::StackImaseItoh sii(4, 2, 12);
+  otis::routing::StackKautzRouter sk_router(sk);
+  otis::routing::PopsRouter pops_router(pops);
+  otis::routing::GenericStackRouter sii_router(sii.stack());
+
+  otis::sim::RoutingHooks sk_hooks;
+  sk_hooks.next_coupler = [&sk_router](otis::hypergraph::Node c,
+                                       otis::hypergraph::Node d) {
+    return sk_router.next_coupler(c, d);
+  };
+  sk_hooks.relay_on = [&sk_router](otis::hypergraph::HyperarcId h,
+                                   otis::hypergraph::Node d) {
+    return sk_router.relay_on(h, d);
+  };
+  otis::sim::RoutingHooks pops_hooks;
+  pops_hooks.next_coupler = [&pops_router](otis::hypergraph::Node c,
+                                           otis::hypergraph::Node d) {
+    return pops_router.next_coupler(c, d);
+  };
+  pops_hooks.relay_on = [](otis::hypergraph::HyperarcId,
+                           otis::hypergraph::Node d) { return d; };
+  otis::sim::RoutingHooks sii_hooks;
+  sii_hooks.next_coupler = [&sii_router](otis::hypergraph::Node c,
+                                         otis::hypergraph::Node d) {
+    return sii_router.next_coupler(c, d);
+  };
+  sii_hooks.relay_on = [&sii_router](otis::hypergraph::HyperarcId h,
+                                     otis::hypergraph::Node d) {
+    return sii_router.relay_on(h, d);
+  };
+
+  const std::vector<SimBenchCase> cases = {
+      {"SK(4,3,2)", &sk.stack(), sk_hooks,
+       std::make_shared<const otis::routing::CompiledRoutes>(
+           otis::routing::compile_stack_kautz_routes(sk)),
+       sk.processor_count()},
+      {"POPS(6,12)", &pops.stack(), pops_hooks,
+       std::make_shared<const otis::routing::CompiledRoutes>(
+           otis::routing::compile_pops_routes(pops)),
+       pops.processor_count()},
+      {"SII(4,2,12)", &sii.stack(), sii_hooks,
+       std::make_shared<const otis::routing::CompiledRoutes>(
+           otis::routing::compile_stack_imase_itoh_routes(sii)),
+       sii.processor_count()},
+  };
+  const otis::sim::Arbitration policies[] = {
+      otis::sim::Arbitration::kTokenRoundRobin,
+      otis::sim::Arbitration::kRandomWinner,
+      otis::sim::Arbitration::kSlottedAloha};
+
+  std::vector<SimBenchResult> results;
+  otis::core::Table sim_table(
+      {"topology", "arbitration", "engine", "slots/s", "pkts/s"});
+  double sk_token_event_queue = 0.0;
+  double sk_token_phased = 0.0;
+  for (const SimBenchCase& c : cases) {
+    for (otis::sim::Arbitration arb : policies) {
+      for (otis::sim::Engine engine : {otis::sim::Engine::kEventQueue,
+                                       otis::sim::Engine::kPhased}) {
+        SimBenchResult r = run_sim_bench(c, arb, engine, 1);
+        if (c.topology == "SK(4,3,2)" &&
+            arb == otis::sim::Arbitration::kTokenRoundRobin) {
+          (engine == otis::sim::Engine::kEventQueue ? sk_token_event_queue
+                                                    : sk_token_phased) =
+              r.slots_per_sec;
+        }
+        sim_table.add(r.topology, r.arbitration, r.engine,
+                      static_cast<std::int64_t>(r.slots_per_sec),
+                      static_cast<std::int64_t>(r.packets_per_sec));
+        results.push_back(std::move(r));
+      }
+    }
+  }
+  // One sharded datapoint (thread-count invariant by construction; on a
+  // single-core container this mostly measures barrier overhead).
+  {
+    SimBenchResult r =
+        run_sim_bench(cases[0], otis::sim::Arbitration::kTokenRoundRobin,
+                      otis::sim::Engine::kSharded, 2);
+    sim_table.add(r.topology, r.arbitration, r.engine,
+                  static_cast<std::int64_t>(r.slots_per_sec),
+                  static_cast<std::int64_t>(r.packets_per_sec));
+    results.push_back(std::move(r));
+  }
+  sim_table.print(std::cout);
+
+  const double speedup =
+      sk_token_event_queue > 0.0 ? sk_token_phased / sk_token_event_queue
+                                 : 0.0;
+  const bool pass = speedup >= 3.0;
+  write_bench_json(results, speedup, pass);
+  std::cout << "\nphased vs event-queue on SK(4,3,2)/token: "
+            << otis::core::format_double(speedup, 2)
+            << "x (acceptance >= 3x: " << (pass ? "PASS" : "FAIL")
+            << ")\nresults written to BENCH_sim.json\n";
+  return pass ? 0 : 1;
+}

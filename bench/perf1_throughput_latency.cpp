@@ -17,57 +17,38 @@
 #include "core/table.hpp"
 #include "hypergraph/pops.hpp"
 #include "hypergraph/stack_kautz.hpp"
-#include "routing/stack_routing.hpp"
+#include "routing/compiled_routes.hpp"
 #include "sim/experiment.hpp"
 #include "sim/ops_network.hpp"
 
 namespace {
 
 using otis::sim::Arbitration;
-using otis::sim::RoutingHooks;
 using otis::sim::RunMetrics;
 using otis::sim::SimConfig;
 
-RunMetrics run_sk(double load, std::uint64_t seed) {
-  otis::hypergraph::StackKautz sk(6, 3, 2);
-  otis::routing::StackKautzRouter router(sk);
-  RoutingHooks hooks;
-  hooks.next_coupler = [&](otis::hypergraph::Node c,
-                           otis::hypergraph::Node d) {
-    return router.next_coupler(c, d);
-  };
-  hooks.relay_on = [&](otis::hypergraph::HyperarcId h,
-                       otis::hypergraph::Node d) {
-    return router.relay_on(h, d);
-  };
-  SimConfig config;
-  config.warmup_slots = 300;
-  config.measure_slots = 1500;
-  config.seed = seed;
-  otis::sim::OpsNetworkSim sim(
-      sk.stack(), hooks,
-      std::make_unique<otis::sim::UniformTraffic>(72, load), config);
-  return sim.run();
-}
+// Both topologies and their compiled routing tables are immutable: built
+// once here and shared read-only by the sweep's trial threads.
+struct SharedNetworks {
+  SharedNetworks()
+      : sk(6, 3, 2),
+        pops(6, 12),
+        sk_routes(std::make_shared<const otis::routing::CompiledRoutes>(
+            otis::routing::compile_stack_kautz_routes(sk))),
+        pops_routes(std::make_shared<const otis::routing::CompiledRoutes>(
+            otis::routing::compile_pops_routes(pops))) {}
+  otis::hypergraph::StackKautz sk;
+  otis::hypergraph::Pops pops;
+  std::shared_ptr<const otis::routing::CompiledRoutes> sk_routes;
+  std::shared_ptr<const otis::routing::CompiledRoutes> pops_routes;
+};
 
-RunMetrics run_pops(double load, std::uint64_t seed) {
-  otis::hypergraph::Pops pops(6, 12);
-  otis::routing::PopsRouter router(pops);
-  RoutingHooks hooks;
-  hooks.next_coupler = [&](otis::hypergraph::Node c,
-                           otis::hypergraph::Node d) {
-    return router.next_coupler(c, d);
-  };
-  hooks.relay_on = [](otis::hypergraph::HyperarcId,
-                      otis::hypergraph::Node d) { return d; };
+SimConfig sweep_config(std::uint64_t seed) {
   SimConfig config;
   config.warmup_slots = 300;
   config.measure_slots = 1500;
   config.seed = seed;
-  otis::sim::OpsNetworkSim sim(
-      pops.stack(), hooks,
-      std::make_unique<otis::sim::UniformTraffic>(72, load), config);
-  return sim.run();
+  return config;
 }
 
 }  // namespace
@@ -77,6 +58,22 @@ int main() {
                "traffic, token arbitration, 5 seeds\n\n";
   const std::vector<double> loads{0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9};
   const std::vector<std::uint64_t> seeds{1, 2, 3, 4, 5};
+
+  const SharedNetworks nets;
+  auto run_sk = [&nets](double load, std::uint64_t seed) {
+    otis::sim::OpsNetworkSim sim(
+        nets.sk.stack(), nets.sk_routes,
+        std::make_unique<otis::sim::UniformTraffic>(72, load),
+        sweep_config(seed));
+    return sim.run();
+  };
+  auto run_pops = [&nets](double load, std::uint64_t seed) {
+    otis::sim::OpsNetworkSim sim(
+        nets.pops.stack(), nets.pops_routes,
+        std::make_unique<otis::sim::UniformTraffic>(72, load),
+        sweep_config(seed));
+    return sim.run();
+  };
 
   auto sk_points = otis::sim::run_load_sweep(run_sk, loads, 72, 48, seeds);
   auto pops_points =

@@ -10,32 +10,33 @@
 
 #include "core/table.hpp"
 #include "hypergraph/stack_kautz.hpp"
-#include "routing/stack_routing.hpp"
+#include "routing/compiled_routes.hpp"
 #include "sim/experiment.hpp"
 #include "sim/ops_network.hpp"
 
 namespace {
 
-otis::sim::RunMetrics run_with(otis::sim::Arbitration policy, double load,
+// Topology and routing tables are immutable across trials: build once,
+// share between the sweep's worker threads.
+struct SharedNetwork {
+  SharedNetwork()
+      : sk(6, 3, 2),
+        routes(std::make_shared<const otis::routing::CompiledRoutes>(
+            otis::routing::compile_stack_kautz_routes(sk))) {}
+  otis::hypergraph::StackKautz sk;
+  std::shared_ptr<const otis::routing::CompiledRoutes> routes;
+};
+
+otis::sim::RunMetrics run_with(const SharedNetwork& net,
+                               otis::sim::Arbitration policy, double load,
                                std::uint64_t seed) {
-  otis::hypergraph::StackKautz sk(6, 3, 2);
-  otis::routing::StackKautzRouter router(sk);
-  otis::sim::RoutingHooks hooks;
-  hooks.next_coupler = [&](otis::hypergraph::Node c,
-                           otis::hypergraph::Node d) {
-    return router.next_coupler(c, d);
-  };
-  hooks.relay_on = [&](otis::hypergraph::HyperarcId h,
-                       otis::hypergraph::Node d) {
-    return router.relay_on(h, d);
-  };
   otis::sim::SimConfig config;
   config.arbitration = policy;
   config.warmup_slots = 300;
   config.measure_slots = 1500;
   config.seed = seed;
   otis::sim::OpsNetworkSim sim(
-      sk.stack(), hooks,
+      net.sk.stack(), net.routes,
       std::make_unique<otis::sim::UniformTraffic>(72, load), config);
   return sim.run();
 }
@@ -48,6 +49,7 @@ int main() {
   const std::vector<double> loads{0.1, 0.3, 0.6, 0.9};
   const std::vector<std::uint64_t> seeds{11, 12, 13, 14, 15};
 
+  const SharedNetwork net;
   otis::core::Table table({"policy", "load", "throughput", "mean lat",
                            "p95 lat", "collisions/coupler/slot"});
   std::vector<std::vector<otis::sim::SweepPoint>> results;
@@ -56,8 +58,8 @@ int main() {
         otis::sim::Arbitration::kRandomWinner,
         otis::sim::Arbitration::kSlottedAloha}) {
     auto points = otis::sim::run_load_sweep(
-        [policy](double load, std::uint64_t seed) {
-          return run_with(policy, load, seed);
+        [policy, &net](double load, std::uint64_t seed) {
+          return run_with(net, policy, load, seed);
         },
         loads, 72, 48, seeds);
     for (const auto& p : points) {

@@ -18,29 +18,19 @@
 #include "designs/verify.hpp"
 #include "hypergraph/stack_kautz.hpp"
 #include "optics/power.hpp"
-#include "routing/stack_routing.hpp"
+#include "routing/compiled_routes.hpp"
 #include "sim/ops_network.hpp"
 
 namespace {
 
 double saturation_throughput(std::int64_t s, std::uint64_t seed) {
   otis::hypergraph::StackKautz sk(s, 3, 2);
-  otis::routing::StackKautzRouter router(sk);
-  otis::sim::RoutingHooks hooks;
-  hooks.next_coupler = [&](otis::hypergraph::Node c,
-                           otis::hypergraph::Node d) {
-    return router.next_coupler(c, d);
-  };
-  hooks.relay_on = [&](otis::hypergraph::HyperarcId h,
-                       otis::hypergraph::Node d) {
-    return router.relay_on(h, d);
-  };
   otis::sim::SimConfig config;
   config.warmup_slots = 200;
   config.measure_slots = 800;
   config.seed = seed;
   otis::sim::OpsNetworkSim sim(
-      sk.stack(), hooks,
+      sk.stack(), otis::routing::compile_stack_kautz_routes(sk),
       std::make_unique<otis::sim::SaturationTraffic>(sk.processor_count()),
       config);
   return sim.run().throughput_per_node(sk.processor_count());

@@ -12,7 +12,7 @@
 
 #include "core/table.hpp"
 #include "hypergraph/stack_kautz.hpp"
-#include "routing/stack_routing.hpp"
+#include "routing/compiled_routes.hpp"
 #include "sim/ops_network.hpp"
 
 namespace {
@@ -21,22 +21,13 @@ otis::sim::RunMetrics run_with(
     std::unique_ptr<otis::sim::TrafficGenerator> traffic,
     std::uint64_t seed) {
   otis::hypergraph::StackKautz sk(6, 3, 2);
-  otis::routing::StackKautzRouter router(sk);
-  otis::sim::RoutingHooks hooks;
-  hooks.next_coupler = [&](otis::hypergraph::Node c,
-                           otis::hypergraph::Node d) {
-    return router.next_coupler(c, d);
-  };
-  hooks.relay_on = [&](otis::hypergraph::HyperarcId h,
-                       otis::hypergraph::Node d) {
-    return router.relay_on(h, d);
-  };
   otis::sim::SimConfig config;
   config.warmup_slots = 400;
   config.measure_slots = 3000;
   config.seed = seed;
-  otis::sim::OpsNetworkSim sim(sk.stack(), hooks, std::move(traffic),
-                               config);
+  otis::sim::OpsNetworkSim sim(
+      sk.stack(), otis::routing::compile_stack_kautz_routes(sk),
+      std::move(traffic), config);
   return sim.run();
 }
 

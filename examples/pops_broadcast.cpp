@@ -16,7 +16,7 @@
 #include "core/args.hpp"
 #include "core/table.hpp"
 #include "hypergraph/pops.hpp"
-#include "routing/stack_routing.hpp"
+#include "routing/compiled_routes.hpp"
 #include "sim/ops_network.hpp"
 
 int main(int argc, char** argv) {
@@ -59,20 +59,12 @@ int main(int argc, char** argv) {
             << " slots with a single tunable transmitter)\n\n";
 
   // (c) Saturation all-to-all under token arbitration.
-  otis::routing::PopsRouter router(pops);
-  otis::sim::RoutingHooks hooks;
-  hooks.next_coupler = [&](otis::hypergraph::Node c,
-                           otis::hypergraph::Node d) {
-    return router.next_coupler(c, d);
-  };
-  hooks.relay_on = [](otis::hypergraph::HyperarcId,
-                      otis::hypergraph::Node d) { return d; };
   otis::sim::SimConfig config;
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
   config.warmup_slots = 200;
   config.measure_slots = 3000;
   otis::sim::OpsNetworkSim sim(
-      pops.stack(), hooks,
+      pops.stack(), otis::routing::compile_pops_routes(pops),
       std::make_unique<otis::sim::SaturationTraffic>(pops.processor_count()),
       config);
   otis::sim::RunMetrics m = sim.run();

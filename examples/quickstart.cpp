@@ -19,6 +19,7 @@
 #include "designs/builders.hpp"
 #include "designs/verify.hpp"
 #include "hypergraph/stack_kautz.hpp"
+#include "routing/compiled_routes.hpp"
 #include "routing/stack_routing.hpp"
 #include "sim/ops_network.hpp"
 #include "topology/kautz.hpp"
@@ -85,21 +86,14 @@ int main(int argc, char** argv) {
   std::cout << "\n";
 
   // --- 4. Simulation -------------------------------------------------
-  otis::sim::RoutingHooks hooks;
-  hooks.next_coupler = [&](otis::hypergraph::Node c,
-                           otis::hypergraph::Node t) {
-    return router.next_coupler(c, t);
-  };
-  hooks.relay_on = [&](otis::hypergraph::HyperarcId h,
-                       otis::hypergraph::Node t) {
-    return router.relay_on(h, t);
-  };
+  // The label router is compiled into dense tables once; the phased slot
+  // engine (default) then never touches a callback on the hot path.
   otis::sim::SimConfig config;
   config.seed = seed;
   config.warmup_slots = 500;
   config.measure_slots = 5000;
   otis::sim::OpsNetworkSim sim(
-      sk.stack(), hooks,
+      sk.stack(), otis::routing::compile_stack_kautz_routes(sk),
       std::make_unique<otis::sim::UniformTraffic>(sk.processor_count(), load),
       config);
   otis::sim::RunMetrics metrics = sim.run();

@@ -25,6 +25,40 @@ DirectedHypergraph::DirectedHypergraph(Node node_count,
       in_index_[static_cast<std::size_t>(v)].push_back(h);
     }
   }
+  // Flatten the coupler feeds: the out lists above are sorted by h (arcs
+  // are visited in id order), so out_slot_of is a binary search already.
+  feed_offsets_.reserve(static_cast<std::size_t>(hyperarc_count()) + 1);
+  feed_offsets_.push_back(0);
+  for (HyperarcId h = 0; h < hyperarc_count(); ++h) {
+    const auto& sources = hyperarcs_[static_cast<std::size_t>(h)].sources;
+    for (Node v : sources) {
+      const std::int64_t slot = out_slot_of(v, h);
+      OTIS_ASSERT(slot >= 0, "DirectedHypergraph: feed slot not found");
+      feed_source_.push_back(v);
+      feed_slot_.push_back(static_cast<std::int32_t>(slot));
+    }
+    feed_offsets_.push_back(static_cast<std::int64_t>(feed_source_.size()));
+  }
+}
+
+std::int64_t DirectedHypergraph::out_slot_of(Node v, HyperarcId h) const {
+  const auto& outs = out_hyperarcs(v);
+  const auto it = std::lower_bound(outs.begin(), outs.end(), h);
+  if (it == outs.end() || *it != h) {
+    return -1;
+  }
+  return static_cast<std::int64_t>(it - outs.begin());
+}
+
+CouplerFeed DirectedHypergraph::coupler_feed(HyperarcId h) const {
+  OTIS_REQUIRE(h >= 0 && h < hyperarc_count(),
+               "DirectedHypergraph: hyperarc id out of range");
+  const std::size_t begin =
+      static_cast<std::size_t>(feed_offsets_[static_cast<std::size_t>(h)]);
+  const std::size_t end =
+      static_cast<std::size_t>(feed_offsets_[static_cast<std::size_t>(h) + 1]);
+  return CouplerFeed{feed_source_.data() + begin, feed_slot_.data() + begin,
+                     static_cast<std::int64_t>(end - begin)};
 }
 
 const Hyperarc& DirectedHypergraph::hyperarc(HyperarcId h) const {

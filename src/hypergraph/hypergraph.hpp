@@ -27,6 +27,16 @@ struct Hyperarc {
   friend bool operator==(const Hyperarc&, const Hyperarc&) = default;
 };
 
+/// Flat view of the senders feeding one hyperarc (coupler): `count`
+/// parallel entries of source node and the position ("VOQ slot") this
+/// hyperarc occupies in that source's out-hyperarc list. Precomputed at
+/// construction so per-slot simulation loops touch only flat arrays.
+struct CouplerFeed {
+  const Node* source = nullptr;
+  const std::int32_t* slot = nullptr;
+  std::int64_t count = 0;
+};
+
 /// Immutable directed hypergraph with per-node incidence indexes.
 class DirectedHypergraph {
  public:
@@ -46,7 +56,17 @@ class DirectedHypergraph {
   }
 
   /// Hyperarcs in which `v` appears as a source (its "out-couplers").
+  /// Always sorted by hyperarc id (construction visits arcs in order).
   [[nodiscard]] const std::vector<HyperarcId>& out_hyperarcs(Node v) const;
+
+  /// Position of hyperarc `h` in out_hyperarcs(v) -- the VOQ slot a
+  /// simulator indexes -- or -1 when `v` is not a source of `h`. Binary
+  /// search over the sorted out list: O(log out-degree), no allocation.
+  [[nodiscard]] std::int64_t out_slot_of(Node v, HyperarcId h) const;
+
+  /// Flattened (source, voq-slot) arrays of the senders feeding `h`.
+  /// Entry i corresponds to hyperarc(h).sources[i]. O(1).
+  [[nodiscard]] CouplerFeed coupler_feed(HyperarcId h) const;
 
   /// Hyperarcs in which `v` appears as a target (its "in-couplers").
   [[nodiscard]] const std::vector<HyperarcId>& in_hyperarcs(Node v) const;
@@ -79,6 +99,11 @@ class DirectedHypergraph {
   std::vector<Hyperarc> hyperarcs_;
   std::vector<std::vector<HyperarcId>> out_index_;
   std::vector<std::vector<HyperarcId>> in_index_;
+  /// CSR over hyperarcs: the senders of hyperarc h are entries
+  /// [feed_offsets_[h], feed_offsets_[h+1]) of the two parallel arrays.
+  std::vector<std::int64_t> feed_offsets_;
+  std::vector<Node> feed_source_;
+  std::vector<std::int32_t> feed_slot_;
 };
 
 }  // namespace otis::hypergraph

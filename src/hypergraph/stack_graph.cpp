@@ -44,6 +44,17 @@ Node StackGraph::node_of(graph::Vertex x, std::int64_t y) const {
   return x * s_ + y;
 }
 
+std::int64_t StackGraph::out_slot_of(Node node, HyperarcId h) const {
+  OTIS_REQUIRE(h >= 0 && h < hypergraph_.hyperarc_count(),
+               "StackGraph::out_slot_of: coupler out of range");
+  const graph::Vertex x = project(node);  // range-checks node
+  const graph::ArcId begin = base_.out_begin(x);
+  if (h < begin || h >= base_.out_end(x)) {
+    return -1;
+  }
+  return h - begin;
+}
+
 HyperarcId StackGraph::coupler_of_arc(graph::ArcId a) const {
   OTIS_REQUIRE(a >= 0 && a < base_.size(),
                "StackGraph::coupler_of_arc: arc out of range");

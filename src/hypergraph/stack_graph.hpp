@@ -52,6 +52,12 @@ class StackGraph {
   /// Node id of copy y of base vertex x.
   [[nodiscard]] Node node_of(graph::Vertex x, std::int64_t y) const;
 
+  /// Position of coupler `h` in out_hyperarcs(node) -- the VOQ slot fed
+  /// by `node` toward `h` -- or -1 when `node` cannot feed `h`. Pure
+  /// arithmetic O(1): a stack node's out-couplers are exactly the CSR
+  /// arc range of its base vertex, in arc-id order.
+  [[nodiscard]] std::int64_t out_slot_of(Node node, HyperarcId h) const;
+
   /// Hyperarc (coupler) id of base arc `a`; identity by construction but
   /// kept as API so callers do not depend on that.
   [[nodiscard]] HyperarcId coupler_of_arc(graph::ArcId a) const;

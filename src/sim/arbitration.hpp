@@ -1,0 +1,81 @@
+#pragma once
+/// \file arbitration.hpp
+/// Per-coupler winner selection for the phased and sharded engines.
+///
+/// This is a faithful restatement of the event-queue engine's inline
+/// arbitration (ops_network.cpp slot()), including the exact RNG
+/// consumption order. The event-queue copy is deliberately left as the
+/// seed wrote it -- it is the reference implementation and benchmark
+/// baseline -- so any change here MUST be mirrored there (or rejected);
+/// tests/test_engine_equivalence.cpp enforces the bit-for-bit agreement
+/// and will fail on divergence.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "sim/ops_network.hpp"
+
+namespace otis::sim::detail {
+
+/// Picks the winners of one coupler-slot.
+///
+/// `contenders` holds the positions (ascending) in the coupler's source
+/// list whose VOQ toward this coupler is non-empty; it may be permuted
+/// in place. `is_contender` is a mask over source positions consistent
+/// with `contenders` (used by the token scan). `token` is the coupler's
+/// round-robin cursor, advanced on each win. Winners are appended to
+/// `winners` (cleared first) in transmission order. Returns true when a
+/// slotted-aloha collision destroyed every transmission of this slot.
+inline bool pick_winners(Arbitration policy, std::size_t capacity,
+                         std::size_t source_count,
+                         std::vector<std::size_t>& contenders,
+                         const std::vector<char>& is_contender,
+                         std::int64_t& token, core::Rng& rng,
+                         std::vector<std::size_t>& winners) {
+  winners.clear();
+  switch (policy) {
+    case Arbitration::kTokenRoundRobin: {
+      // Scan sources starting at the token cursor; the first `capacity`
+      // contenders win and the token moves just past the last winner.
+      const std::size_t start = static_cast<std::size_t>(token);
+      for (std::size_t step = 0;
+           step < source_count && winners.size() < capacity; ++step) {
+        const std::size_t si = (start + step) % source_count;
+        if (is_contender[si]) {
+          winners.push_back(si);
+          token = static_cast<std::int64_t>((si + 1) % source_count);
+        }
+      }
+      return false;
+    }
+    case Arbitration::kRandomWinner: {
+      // Partial Fisher-Yates over the contender list.
+      for (std::size_t i = 0;
+           i < contenders.size() && winners.size() < capacity; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(rng.uniform(contenders.size() - i));
+        std::swap(contenders[i], contenders[j]);
+        winners.push_back(contenders[i]);
+      }
+      return false;
+    }
+    case Arbitration::kSlottedAloha: {
+      // Every contender independently transmits with probability 1/2; at
+      // most `capacity` simultaneous transmitters succeed, more collide.
+      for (std::size_t si : contenders) {
+        if (rng.bernoulli(0.5)) {
+          winners.push_back(si);
+        }
+      }
+      if (winners.size() > capacity) {
+        winners.clear();
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace otis::sim::detail

@@ -9,15 +9,24 @@ void LatencyStats::record(std::int64_t latency_slots) {
   sorted_ = false;
 }
 
+void LatencyStats::merge(const LatencyStats& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
 double LatencyStats::mean() const {
   if (samples_.empty()) {
     return 0.0;
   }
-  double total = 0.0;
+  // Exact integer sum: the mean is a pure function of the sample
+  // multiset, independent of recording order (the sharded engine merges
+  // per-worker stats and must stay bit-identical across thread counts).
+  std::int64_t total = 0;
   for (std::int64_t s : samples_) {
-    total += static_cast<double>(s);
+    total += s;
   }
-  return total / static_cast<double>(samples_.size());
+  return static_cast<double>(total) / static_cast<double>(samples_.size());
 }
 
 std::int64_t LatencyStats::max() const {

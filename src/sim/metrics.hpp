@@ -12,6 +12,12 @@ class LatencyStats {
  public:
   void record(std::int64_t latency_slots);
 
+  /// Appends all of `other`'s samples (used to fold per-shard stats).
+  /// Every statistic below depends only on the sample multiset -- the
+  /// mean is an exact integer sum and the percentiles sort -- so merged
+  /// results are identical for any merge order.
+  void merge(const LatencyStats& other);
+
   [[nodiscard]] std::int64_t count() const noexcept {
     return static_cast<std::int64_t>(samples_.size());
   }

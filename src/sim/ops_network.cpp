@@ -1,8 +1,10 @@
 #include "sim/ops_network.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/error.hpp"
+#include "sim/phased_engine.hpp"
 
 namespace otis::sim {
 
@@ -18,6 +20,29 @@ const char* arbitration_name(Arbitration policy) {
   return "?";
 }
 
+const char* engine_name(Engine engine) {
+  switch (engine) {
+    case Engine::kEventQueue:
+      return "event-queue";
+    case Engine::kPhased:
+      return "phased";
+    case Engine::kSharded:
+      return "sharded";
+  }
+  return "?";
+}
+
+void OpsNetworkSim::validate_config() const {
+  OTIS_REQUIRE(config_.wavelengths >= 1,
+               "OpsNetworkSim: wavelengths must be >= 1");
+  OTIS_REQUIRE(config_.measure_slots > 0,
+               "OpsNetworkSim: measure_slots must be > 0");
+  OTIS_REQUIRE(config_.warmup_slots >= 0,
+               "OpsNetworkSim: warmup_slots must be >= 0");
+  OTIS_REQUIRE(config_.queue_capacity >= 0,
+               "OpsNetworkSim: queue_capacity must be >= 0");
+}
+
 OpsNetworkSim::OpsNetworkSim(const hypergraph::StackGraph& network,
                              RoutingHooks routing,
                              std::unique_ptr<TrafficGenerator> traffic,
@@ -30,15 +55,53 @@ OpsNetworkSim::OpsNetworkSim(const hypergraph::StackGraph& network,
   OTIS_REQUIRE(routing_.next_coupler && routing_.relay_on,
                "OpsNetworkSim: routing hooks must be set");
   OTIS_REQUIRE(traffic_ != nullptr, "OpsNetworkSim: traffic must be set");
-  const auto& hg = network_.hypergraph();
-  voq_.resize(static_cast<std::size_t>(hg.node_count()));
-  for (hypergraph::Node v = 0; v < hg.node_count(); ++v) {
-    voq_[static_cast<std::size_t>(v)].resize(hg.out_hyperarcs(v).size());
+  validate_config();
+  if (config_.engine != Engine::kEventQueue) {
+    routes_ = std::make_shared<const routing::CompiledRoutes>(
+        routing::CompiledRoutes::compile(network_, routing_.next_coupler,
+                                         routing_.relay_on));
   }
-  token_.assign(static_cast<std::size_t>(hg.hyperarc_count()), 0);
-  coupler_success_.assign(static_cast<std::size_t>(hg.hyperarc_count()), 0);
+  coupler_success_.assign(
+      static_cast<std::size_t>(network_.hypergraph().hyperarc_count()), 0);
 }
 
+OpsNetworkSim::OpsNetworkSim(
+    const hypergraph::StackGraph& network,
+    std::shared_ptr<const routing::CompiledRoutes> routes,
+    std::unique_ptr<TrafficGenerator> traffic, SimConfig config)
+    : network_(network),
+      routes_(std::move(routes)),
+      traffic_(std::move(traffic)),
+      config_(config),
+      rng_(core::Rng::stream(config.seed, 0x0715)) {
+  OTIS_REQUIRE(routes_ != nullptr, "OpsNetworkSim: routes must be set");
+  OTIS_REQUIRE(traffic_ != nullptr, "OpsNetworkSim: traffic must be set");
+  OTIS_REQUIRE(routes_->node_count() == network_.node_count(),
+               "OpsNetworkSim: routes were compiled for another network");
+  validate_config();
+  // The event-queue engine still routes through callbacks; serve them
+  // from the baked tables.
+  routing_.next_coupler = routes_->next_coupler_fn();
+  routing_.relay_on = routes_->relay_fn();
+  coupler_success_.assign(
+      static_cast<std::size_t>(network_.hypergraph().hyperarc_count()), 0);
+}
+
+OpsNetworkSim::OpsNetworkSim(const hypergraph::StackGraph& network,
+                             routing::CompiledRoutes routes,
+                             std::unique_ptr<TrafficGenerator> traffic,
+                             SimConfig config)
+    : OpsNetworkSim(network,
+                    std::make_shared<const routing::CompiledRoutes>(
+                        std::move(routes)),
+                    std::move(traffic), config) {}
+
+// NOTE: the event-queue engine below is deliberately kept as the seed
+// wrote it -- std::find scans, per-coupler scratch allocation, routing
+// callbacks per hop. It is the reference implementation the phased
+// engines are bit-compared against, and the baseline the slots/sec
+// benchmarks measure their speedup from. Do not "optimize" it; speed
+// work belongs in phased_engine.cpp.
 void OpsNetworkSim::enqueue(Packet packet, hypergraph::Node at) {
   const auto& hg = network_.hypergraph();
   const hypergraph::HyperarcId coupler =
@@ -108,8 +171,8 @@ void OpsNetworkSim::slot() {
     }
     // Up to `wavelengths` contenders succeed per coupler-slot (the paper's
     // single-wavelength couplers are W = 1).
-    const std::size_t capacity = static_cast<std::size_t>(
-        std::max<std::int64_t>(1, config_.wavelengths));
+    const std::size_t capacity =
+        static_cast<std::size_t>(config_.wavelengths);
     std::vector<std::size_t> winners;
     switch (config_.arbitration) {
       case Arbitration::kTokenRoundRobin: {
@@ -201,7 +264,16 @@ void OpsNetworkSim::slot() {
   }
 }
 
-RunMetrics OpsNetworkSim::run() {
+RunMetrics OpsNetworkSim::run_event_queue() {
+  // VOQs and tokens are this engine's private state; the phased engines
+  // keep their own flat ring buffers, so allocate only when actually
+  // running on the event queue.
+  const auto& hg = network_.hypergraph();
+  voq_.resize(static_cast<std::size_t>(hg.node_count()));
+  for (hypergraph::Node v = 0; v < hg.node_count(); ++v) {
+    voq_[static_cast<std::size_t>(v)].resize(hg.out_hyperarcs(v).size());
+  }
+  token_.assign(static_cast<std::size_t>(hg.hyperarc_count()), 0);
   metrics_ = RunMetrics{};
   metrics_.slots = config_.measure_slots;
   queue_.schedule_at(0, [this] { slot(); });
@@ -218,6 +290,15 @@ RunMetrics OpsNetworkSim::run() {
                      1'000'000);
   }
   metrics_.backlog = inflight_;
+  return metrics_;
+}
+
+RunMetrics OpsNetworkSim::run() {
+  if (config_.engine == Engine::kEventQueue) {
+    return run_event_queue();
+  }
+  PhasedEngine engine(network_, *routes_, *traffic_, config_);
+  metrics_ = engine.run(coupler_success_);
   return metrics_;
 }
 

@@ -17,10 +17,22 @@
 ///    [11]: token round-robin, random winner, or oblivious (collision
 ///    destroys all packets in that coupler-slot; senders retry).
 ///
-/// The simulator runs on the generic EventQueue (one event per slot) and
-/// works for *any* stack-graph network: POPS, stack-Kautz and
-/// stack-Imase-Itoh differ only in the StackGraph and the routing
-/// callbacks handed in.
+/// Three execution engines share this model:
+///  - kEventQueue: the original per-slot-event loop on the generic
+///    EventQueue; kept as the reference implementation and as the seam
+///    for asynchronous extensions (tuning latencies, propagation skew);
+///  - kPhased: a direct three-phase slot loop (generate / arbitrate /
+///    receive) over flat ring-buffer VOQs and CompiledRoutes tables.
+///    Bit-identical to kEventQueue for every seed, several times faster;
+///  - kSharded: the phased loop with couplers and nodes partitioned
+///    across worker threads, phases separated by barriers, and RNG
+///    drawn from per-node / per-coupler streams so the result is
+///    bit-identical for EVERY thread count (though, by design, a
+///    different -- equally valid -- universe than the serial engines).
+///
+/// The simulator works for *any* stack-graph network: POPS, stack-Kautz
+/// and stack-Imase-Itoh differ only in the StackGraph and the routing
+/// handed in.
 
 #include <cstdint>
 #include <deque>
@@ -30,6 +42,7 @@
 
 #include "core/rng.hpp"
 #include "hypergraph/stack_graph.hpp"
+#include "routing/compiled_routes.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 #include "sim/traffic.hpp"
@@ -45,6 +58,15 @@ enum class Arbitration {
 
 [[nodiscard]] const char* arbitration_name(Arbitration policy);
 
+/// Execution engines (see file comment).
+enum class Engine {
+  kEventQueue,  ///< reference event-driven loop (async-extension seam)
+  kPhased,      ///< direct three-phase slot loop; == kEventQueue bit-for-bit
+  kSharded,     ///< phased loop over N worker threads; thread-count invariant
+};
+
+[[nodiscard]] const char* engine_name(Engine engine);
+
 /// A packet in flight.
 struct Packet {
   std::int64_t id = 0;
@@ -56,6 +78,8 @@ struct Packet {
 
 /// Routing callbacks: which coupler a node uses for a destination, and
 /// which member of the coupler's target set relays the packet onward.
+/// The phased engines bake these into CompiledRoutes once at
+/// construction; only the event-queue engine calls them per packet.
 struct RoutingHooks {
   /// next_coupler(current, destination) -> coupler id.
   std::function<hypergraph::HyperarcId(hypergraph::Node, hypergraph::Node)>
@@ -69,22 +93,41 @@ struct RoutingHooks {
 /// Simulator configuration.
 struct SimConfig {
   Arbitration arbitration = Arbitration::kTokenRoundRobin;
-  std::int64_t warmup_slots = 200;     ///< excluded from metrics
-  std::int64_t measure_slots = 2000;   ///< measured window
-  std::int64_t queue_capacity = 0;     ///< 0 = unbounded VOQs
+  std::int64_t warmup_slots = 200;     ///< excluded from metrics; >= 0
+  std::int64_t measure_slots = 2000;   ///< measured window; > 0
+  std::int64_t queue_capacity = 0;     ///< 0 = unbounded VOQs; >= 0
   std::uint64_t seed = 1;
   bool drain = false;  ///< keep running (no new traffic) until empty
   /// Wavelengths per coupler (WDM extension; the paper's couplers are
   /// single-wavelength, its "further research" direction): up to this
   /// many senders succeed per coupler-slot. Must be >= 1.
   std::int64_t wavelengths = 1;
+  /// Execution engine. kPhased is the default: same results as the
+  /// legacy event queue, several times faster.
+  Engine engine = Engine::kPhased;
+  /// Worker threads for kSharded (<= 0 means hardware concurrency).
+  /// Ignored by the serial engines. Results never depend on this value.
+  int threads = 1;
 };
 
 /// The slot-synchronous multi-OPS network simulator.
 class OpsNetworkSim {
  public:
   /// `network` must outlive the simulator. Traffic generator is owned.
+  /// The hooks are baked into CompiledRoutes at construction unless the
+  /// engine is kEventQueue.
   OpsNetworkSim(const hypergraph::StackGraph& network, RoutingHooks routing,
+                std::unique_ptr<TrafficGenerator> traffic, SimConfig config);
+
+  /// Same, with pre-compiled routes (share one table across many trials
+  /// of a sweep instead of re-baking per simulator).
+  OpsNetworkSim(const hypergraph::StackGraph& network,
+                std::shared_ptr<const routing::CompiledRoutes> routes,
+                std::unique_ptr<TrafficGenerator> traffic, SimConfig config);
+
+  /// Convenience: compiled routes by value.
+  OpsNetworkSim(const hypergraph::StackGraph& network,
+                routing::CompiledRoutes routes,
                 std::unique_ptr<TrafficGenerator> traffic, SimConfig config);
 
   /// Runs warmup + measurement (+ optional drain); returns the metrics of
@@ -98,21 +141,23 @@ class OpsNetworkSim {
   }
 
  private:
+  void validate_config() const;
+  RunMetrics run_event_queue();
   void slot();
   void enqueue(Packet packet, hypergraph::Node at);
 
   const hypergraph::StackGraph& network_;
   RoutingHooks routing_;
+  std::shared_ptr<const routing::CompiledRoutes> routes_;
   std::unique_ptr<TrafficGenerator> traffic_;
   SimConfig config_;
   core::Rng rng_;
   EventQueue queue_;
 
   /// Virtual output queues: per node, per out-coupler slot (indexed by
-  /// position of the coupler in out_hyperarcs(node)).
+  /// position of the coupler in out_hyperarcs(node)). Event-queue engine
+  /// only; the phased engines use flat ring buffers internally.
   std::vector<std::vector<std::deque<Packet>>> voq_;
-  /// Position of each coupler in its sources' out-coupler lists:
-  /// voq_slot_[node][coupler-position] mirrors out_hyperarcs order.
   std::vector<std::int64_t> token_;  ///< per coupler, round-robin cursor
   std::vector<std::int64_t> coupler_success_;
   RunMetrics metrics_;

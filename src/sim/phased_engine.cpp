@@ -1,0 +1,423 @@
+#include "sim/phased_engine.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+#include <utility>
+
+#include "core/error.hpp"
+#include "sim/arbitration.hpp"
+
+namespace otis::sim {
+namespace {
+
+/// Legacy per-run stream tag (must match the event-queue engine).
+constexpr std::uint64_t kRunStream = 0x0715;
+/// Sharded-mode stream tags. Randomness is drawn per node (generation)
+/// and per coupler (arbitration) so that work partitioning can never
+/// influence the outcome; the tags keep the stream families disjoint
+/// from each other and from kRunStream.
+constexpr std::uint64_t kNodeStreamBase = 0x4F50534E4F444500ULL;
+constexpr std::uint64_t kCouplerStreamBase = 0x4F5053435E504C00ULL;
+
+/// Ceiling-free contiguous partition of [0, count) into `parts` ranges.
+std::pair<std::int64_t, std::int64_t> partition(std::int64_t count, int part,
+                                                int parts) {
+  const std::int64_t lo = count * part / parts;
+  const std::int64_t hi = count * (part + 1) / parts;
+  return {lo, hi};
+}
+
+}  // namespace
+
+PhasedEngine::PhasedEngine(const hypergraph::StackGraph& network,
+                           const routing::CompiledRoutes& routes,
+                           TrafficGenerator& traffic, const SimConfig& config)
+    : network_(network),
+      routes_(routes),
+      traffic_(traffic),
+      config_(config) {
+  const auto& hg = network_.hypergraph();
+  nodes_ = hg.node_count();
+  couplers_ = hg.hyperarc_count();
+  voq_base_.resize(static_cast<std::size_t>(nodes_) + 1);
+  voq_base_[0] = 0;
+  for (hypergraph::Node v = 0; v < nodes_; ++v) {
+    voq_base_[static_cast<std::size_t>(v) + 1] =
+        voq_base_[static_cast<std::size_t>(v)] + hg.out_degree(v);
+  }
+  voq_.resize(static_cast<std::size_t>(voq_base_.back()));
+  token_.assign(static_cast<std::size_t>(couplers_), 0);
+}
+
+RunMetrics PhasedEngine::run(std::vector<std::int64_t>& coupler_success) {
+  coupler_success.assign(static_cast<std::size_t>(couplers_), 0);
+  if (config_.engine == Engine::kSharded) {
+    return run_sharded(coupler_success);
+  }
+  return run_serial(coupler_success);
+}
+
+RunMetrics PhasedEngine::run_serial(std::vector<std::int64_t>& coupler_success) {
+  const auto& hg = network_.hypergraph();
+  core::Rng rng = core::Rng::stream(config_.seed, kRunStream);
+  RunMetrics metrics;
+  metrics.slots = config_.measure_slots;
+
+  const SimTime horizon = config_.warmup_slots + config_.measure_slots;
+  const SimTime drain_bound = horizon + 1'000'000;
+  std::int64_t inflight = 0;
+  std::int64_t next_packet_id = 0;
+
+  // Hoisted scratch: one allocation per run, not per coupler-slot.
+  std::vector<std::size_t> contenders;
+  std::vector<std::size_t> winners;
+  std::vector<char> is_contender;
+  struct Delivery {
+    Packet packet;
+    hypergraph::HyperarcId coupler;
+  };
+  std::vector<Delivery> deliveries;
+  const std::size_t capacity = static_cast<std::size_t>(config_.wavelengths);
+
+  const auto enqueue = [&](Packet packet, hypergraph::Node at,
+                           bool measuring) {
+    const std::int32_t slot = routes_.next_slot(at, packet.destination);
+    auto& queue = voq_[static_cast<std::size_t>(
+        voq_base_[static_cast<std::size_t>(at)] + slot)];
+    if (config_.queue_capacity > 0 &&
+        static_cast<std::int64_t>(queue.size()) >= config_.queue_capacity) {
+      if (measuring) {
+        ++metrics.dropped_packets;
+      }
+      --inflight;
+      return;
+    }
+    queue.push_back(std::move(packet));
+  };
+
+  for (SimTime now = 0;;) {
+    const bool measuring = now >= config_.warmup_slots && now < horizon;
+
+    // Phase 1: traffic generation (stops at the horizon; drain only).
+    if (now < horizon) {
+      for (hypergraph::Node v = 0; v < nodes_; ++v) {
+        const TrafficDemand demand = traffic_.demand(v, rng);
+        if (!demand.has_packet || demand.destination == v) {
+          continue;
+        }
+        if (measuring) {
+          ++metrics.offered_packets;
+        }
+        ++inflight;
+        enqueue(Packet{next_packet_id++, v, demand.destination, now, 0}, v,
+                measuring);
+      }
+    }
+
+    // Phase 2: per-coupler arbitration over the flattened feeds.
+    deliveries.clear();
+    for (hypergraph::HyperarcId h = 0; h < couplers_; ++h) {
+      const hypergraph::CouplerFeed feed = hg.coupler_feed(h);
+      const std::size_t feed_count = static_cast<std::size_t>(feed.count);
+      if (is_contender.size() < feed_count) {
+        is_contender.resize(feed_count, 0);
+      }
+      contenders.clear();
+      for (std::size_t si = 0; si < feed_count; ++si) {
+        if (!voq_[static_cast<std::size_t>(
+                      voq_base_[static_cast<std::size_t>(feed.source[si])] +
+                      feed.slot[si])]
+                 .empty()) {
+          contenders.push_back(si);
+          is_contender[si] = 1;
+        }
+      }
+      if (contenders.empty()) {
+        continue;
+      }
+      const bool collided = detail::pick_winners(
+          config_.arbitration, capacity, feed_count, contenders, is_contender,
+          token_[static_cast<std::size_t>(h)], rng, winners);
+      for (std::size_t si : contenders) {
+        is_contender[si] = 0;
+      }
+      if (collided && measuring) {
+        ++metrics.collisions;
+      }
+      for (std::size_t si : winners) {
+        auto& queue = voq_[static_cast<std::size_t>(
+            voq_base_[static_cast<std::size_t>(feed.source[si])] +
+            feed.slot[si])];
+        Packet packet = std::move(queue.front());
+        queue.pop_front();
+        ++packet.hops;
+        if (measuring) {
+          ++metrics.coupler_transmissions;
+          ++coupler_success[static_cast<std::size_t>(h)];
+        }
+        deliveries.push_back(Delivery{std::move(packet), h});
+      }
+    }
+
+    // Phase 3: receivers pick winners off their couplers.
+    for (Delivery& d : deliveries) {
+      const hypergraph::Node relay =
+          routes_.relay(d.coupler, d.packet.destination);
+      if (relay == d.packet.destination) {
+        if (measuring) {
+          ++metrics.delivered_packets;
+          if (d.packet.created >= config_.warmup_slots) {
+            metrics.latency.record(now - d.packet.created + 1);
+          }
+        }
+        --inflight;
+      } else {
+        enqueue(std::move(d.packet), relay, measuring);
+      }
+    }
+
+    const bool more_traffic = now + 1 < horizon;
+    const bool keep_draining = config_.drain && inflight > 0;
+    if (!(more_traffic || keep_draining)) {
+      break;
+    }
+    ++now;
+    if (now > drain_bound) {
+      break;
+    }
+  }
+
+  metrics.backlog = inflight;
+  return metrics;
+}
+
+RunMetrics PhasedEngine::run_sharded(
+    std::vector<std::int64_t>& coupler_success) {
+  const auto& hg = network_.hypergraph();
+  int threads = config_.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (threads <= 0) {
+    threads = 1;
+  }
+  threads = static_cast<int>(std::min<std::int64_t>(
+      threads, std::max<std::int64_t>(1, std::max(nodes_, couplers_))));
+
+  // Per-unit RNG streams: the partition can never influence the draw.
+  std::vector<core::Rng> gen_rng;
+  gen_rng.reserve(static_cast<std::size_t>(nodes_));
+  for (hypergraph::Node v = 0; v < nodes_; ++v) {
+    gen_rng.push_back(core::Rng::stream(
+        config_.seed, kNodeStreamBase + static_cast<std::uint64_t>(v)));
+  }
+  std::vector<core::Rng> arb_rng;
+  arb_rng.reserve(static_cast<std::size_t>(couplers_));
+  for (hypergraph::HyperarcId h = 0; h < couplers_; ++h) {
+    arb_rng.push_back(core::Rng::stream(
+        config_.seed, kCouplerStreamBase + static_cast<std::uint64_t>(h)));
+  }
+
+  /// Deliveries of the current slot, per coupler, in winner order; hop
+  /// counter already bumped. Written by the coupler's owner in phase 2,
+  /// read by every worker in phase 3.
+  std::vector<std::vector<Packet>> deliveries(
+      static_cast<std::size_t>(couplers_));
+
+  struct Shard {
+    std::int64_t node_begin = 0, node_end = 0;
+    std::int64_t coupler_begin = 0, coupler_end = 0;
+    std::int64_t offered = 0, delivered = 0, dropped = 0;
+    std::int64_t transmissions = 0, collisions = 0;
+    std::int64_t inflight_delta = 0;
+    LatencyStats latency;
+    std::vector<std::size_t> contenders, winners;
+    std::vector<char> is_contender;
+  };
+  std::vector<Shard> shards(static_cast<std::size_t>(threads));
+  for (int w = 0; w < threads; ++w) {
+    auto [nb, ne] = partition(nodes_, w, threads);
+    auto [cb, ce] = partition(couplers_, w, threads);
+    shards[static_cast<std::size_t>(w)].node_begin = nb;
+    shards[static_cast<std::size_t>(w)].node_end = ne;
+    shards[static_cast<std::size_t>(w)].coupler_begin = cb;
+    shards[static_cast<std::size_t>(w)].coupler_end = ce;
+  }
+
+  const SimTime horizon = config_.warmup_slots + config_.measure_slots;
+  const SimTime drain_bound = horizon + 1'000'000;
+  const std::size_t capacity = static_cast<std::size_t>(config_.wavelengths);
+
+  // Slot state shared across workers; mutated only by the slot barrier's
+  // completion step, which runs while every worker is blocked.
+  SimTime now = 0;
+  std::int64_t inflight = 0;
+  bool running = true;
+
+  const auto on_slot_end = [&]() noexcept {
+    for (Shard& shard : shards) {
+      inflight += shard.inflight_delta;
+      shard.inflight_delta = 0;
+    }
+    const bool more_traffic = now + 1 < horizon;
+    const bool keep_draining = config_.drain && inflight > 0;
+    if (!(more_traffic || keep_draining)) {
+      running = false;
+      return;
+    }
+    ++now;
+    if (now > drain_bound) {
+      running = false;
+    }
+  };
+  std::barrier<> phase_barrier(threads);
+  std::barrier<decltype(on_slot_end)> slot_barrier(threads, on_slot_end);
+
+  const auto worker = [&](int w) {
+    Shard& shard = shards[static_cast<std::size_t>(w)];
+    const auto enqueue = [&](const Packet& packet, hypergraph::Node at,
+                             bool measuring) {
+      const std::int32_t slot = routes_.next_slot(at, packet.destination);
+      auto& queue = voq_[static_cast<std::size_t>(
+          voq_base_[static_cast<std::size_t>(at)] + slot)];
+      if (config_.queue_capacity > 0 &&
+          static_cast<std::int64_t>(queue.size()) >= config_.queue_capacity) {
+        if (measuring) {
+          ++shard.dropped;
+        }
+        --shard.inflight_delta;
+        return;
+      }
+      queue.push_back(packet);
+    };
+
+    while (true) {
+      const bool measuring = now >= config_.warmup_slots && now < horizon;
+
+      // Phase 1: generation over the shard's nodes.
+      if (now < horizon) {
+        for (hypergraph::Node v = shard.node_begin; v < shard.node_end; ++v) {
+          const TrafficDemand demand =
+              traffic_.demand(v, gen_rng[static_cast<std::size_t>(v)]);
+          if (!demand.has_packet || demand.destination == v) {
+            continue;
+          }
+          if (measuring) {
+            ++shard.offered;
+          }
+          ++shard.inflight_delta;
+          // Deterministic id without a shared counter.
+          enqueue(Packet{now * nodes_ + v, v, demand.destination, now, 0}, v,
+                  measuring);
+        }
+      }
+      phase_barrier.arrive_and_wait();
+
+      // Phase 2: arbitration over the shard's couplers.
+      for (hypergraph::HyperarcId h = shard.coupler_begin;
+           h < shard.coupler_end; ++h) {
+        auto& out = deliveries[static_cast<std::size_t>(h)];
+        out.clear();
+        const hypergraph::CouplerFeed feed = hg.coupler_feed(h);
+        const std::size_t feed_count = static_cast<std::size_t>(feed.count);
+        if (shard.is_contender.size() < feed_count) {
+          shard.is_contender.resize(feed_count, 0);
+        }
+        shard.contenders.clear();
+        for (std::size_t si = 0; si < feed_count; ++si) {
+          if (!voq_[static_cast<std::size_t>(
+                        voq_base_[static_cast<std::size_t>(feed.source[si])] +
+                        feed.slot[si])]
+                   .empty()) {
+            shard.contenders.push_back(si);
+            shard.is_contender[si] = 1;
+          }
+        }
+        if (shard.contenders.empty()) {
+          continue;
+        }
+        const bool collided = detail::pick_winners(
+            config_.arbitration, capacity, feed_count, shard.contenders,
+            shard.is_contender, token_[static_cast<std::size_t>(h)],
+            arb_rng[static_cast<std::size_t>(h)], shard.winners);
+        for (std::size_t si : shard.contenders) {
+          shard.is_contender[si] = 0;
+        }
+        if (collided && measuring) {
+          ++shard.collisions;
+        }
+        for (std::size_t si : shard.winners) {
+          auto& queue = voq_[static_cast<std::size_t>(
+              voq_base_[static_cast<std::size_t>(feed.source[si])] +
+              feed.slot[si])];
+          Packet packet = std::move(queue.front());
+          queue.pop_front();
+          ++packet.hops;
+          if (measuring) {
+            ++shard.transmissions;
+            ++coupler_success[static_cast<std::size_t>(h)];
+          }
+          out.push_back(packet);
+        }
+      }
+      phase_barrier.arrive_and_wait();
+
+      // Phase 3: every worker scans all deliveries in coupler order and
+      // consumes the ones whose relay it owns, so the push order at each
+      // node is canonical regardless of the partition.
+      for (hypergraph::HyperarcId h = 0; h < couplers_; ++h) {
+        for (const Packet& packet : deliveries[static_cast<std::size_t>(h)]) {
+          const hypergraph::Node relay =
+              routes_.relay(h, packet.destination);
+          if (relay < shard.node_begin || relay >= shard.node_end) {
+            continue;
+          }
+          if (relay == packet.destination) {
+            if (measuring) {
+              ++shard.delivered;
+              if (packet.created >= config_.warmup_slots) {
+                shard.latency.record(now - packet.created + 1);
+              }
+            }
+            --shard.inflight_delta;
+          } else {
+            enqueue(packet, relay, measuring);
+          }
+        }
+      }
+      slot_barrier.arrive_and_wait();
+      if (!running) {
+        break;
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      pool.emplace_back(worker, w);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  RunMetrics metrics;
+  metrics.slots = config_.measure_slots;
+  for (Shard& shard : shards) {
+    metrics.offered_packets += shard.offered;
+    metrics.delivered_packets += shard.delivered;
+    metrics.dropped_packets += shard.dropped;
+    metrics.coupler_transmissions += shard.transmissions;
+    metrics.collisions += shard.collisions;
+    metrics.latency.merge(shard.latency);
+  }
+  metrics.backlog = inflight;
+  return metrics;
+}
+
+}  // namespace otis::sim

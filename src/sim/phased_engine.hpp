@@ -1,0 +1,66 @@
+#pragma once
+/// \file phased_engine.hpp
+/// Direct three-phase slot engines behind OpsNetworkSim.
+///
+/// One simulated slot is three phases over flat state:
+///   1. generate  -- every node asks its traffic source for a packet and
+///                   pushes it onto the VOQ chosen by CompiledRoutes;
+///   2. arbitrate -- every coupler scans its flattened (source, voq-slot)
+///                   feed, picks winners (sim/arbitration.hpp) and pops
+///                   them off their ring buffers;
+///   3. receive   -- every winner is consumed by its relay: counted as
+///                   delivered at the destination or re-enqueued onward.
+///
+/// Serial mode iterates nodes then couplers in id order drawing from the
+/// single legacy RNG stream, which makes it bit-identical to the
+/// event-queue engine for every seed. Sharded mode partitions nodes and
+/// couplers across worker threads with barrier-synced phases; all
+/// randomness comes from per-node (generation) and per-coupler
+/// (arbitration) streams, so the outcome is a pure function of the seed
+/// -- identical for every thread count and every partition.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "routing/compiled_routes.hpp"
+#include "sim/metrics.hpp"
+#include "sim/ops_network.hpp"
+#include "sim/ring_buffer.hpp"
+#include "sim/traffic.hpp"
+
+namespace otis::sim {
+
+/// Internal engine used by OpsNetworkSim for Engine::kPhased and
+/// Engine::kSharded. Single-run object: construct, run() once.
+class PhasedEngine {
+ public:
+  /// All references must outlive the engine. `config` must be validated
+  /// by the caller (OpsNetworkSim does).
+  PhasedEngine(const hypergraph::StackGraph& network,
+               const routing::CompiledRoutes& routes,
+               TrafficGenerator& traffic, const SimConfig& config);
+
+  /// Runs the configured window; returns measurement-window metrics and
+  /// fills per-coupler success counts (sized to the coupler count).
+  RunMetrics run(std::vector<std::int64_t>& coupler_success);
+
+ private:
+  RunMetrics run_serial(std::vector<std::int64_t>& coupler_success);
+  RunMetrics run_sharded(std::vector<std::int64_t>& coupler_success);
+
+  const hypergraph::StackGraph& network_;
+  const routing::CompiledRoutes& routes_;
+  TrafficGenerator& traffic_;
+  const SimConfig& config_;
+
+  std::int64_t nodes_ = 0;
+  std::int64_t couplers_ = 0;
+  /// Flat VOQ pool: node v's queues are voq_[voq_base_[v] + slot].
+  std::vector<std::int64_t> voq_base_;
+  std::vector<RingBuffer<Packet>> voq_;
+  std::vector<std::int64_t> token_;
+};
+
+}  // namespace otis::sim

@@ -1,0 +1,58 @@
+#pragma once
+/// \file ring_buffer.hpp
+/// Flat FIFO ring buffer used for the phased engine's virtual output
+/// queues. std::deque allocates per block and chases pointers; the VOQs
+/// of a slot-synchronous simulator are touched millions of times per
+/// run, so they live in one contiguous power-of-two-sized array with
+/// head/size cursors. Capacity grows on demand (unbounded queues); a
+/// simulator-enforced cap simply stops push_back calls earlier.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace otis::sim {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void push_back(T value) {
+    if (size_ == buffer_.size()) {
+      grow();
+    }
+    buffer_[(head_ + size_) & mask_] = std::move(value);
+    ++size_;
+  }
+
+  [[nodiscard]] T& front() noexcept { return buffer_[head_]; }
+  [[nodiscard]] const T& front() const noexcept { return buffer_[head_]; }
+
+  void pop_front() noexcept {
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+ private:
+  void grow() {
+    const std::size_t capacity = buffer_.empty() ? 8 : buffer_.size() * 2;
+    std::vector<T> next(capacity);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buffer_[(head_ + i) & mask_]);
+    }
+    buffer_ = std::move(next);
+    head_ = 0;
+    mask_ = capacity - 1;
+  }
+
+  std::vector<T> buffer_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace otis::sim

@@ -15,6 +15,7 @@
 #include "hypergraph/stack_kautz.hpp"
 #include "optics/trace.hpp"
 #include "otis/imase_itoh_realization.hpp"
+#include "routing/compiled_routes.hpp"
 #include "routing/imase_itoh_routing.hpp"
 #include "routing/kautz_routing.hpp"
 #include "routing/stack_routing.hpp"
@@ -107,20 +108,12 @@ TEST(Integration, SimulatedHopsMatchRouterDistances) {
   // delivered latency is at least the router distance (queueing can only
   // add slots, and at load 0.005 it rarely does).
   hypergraph::StackKautz sk(2, 2, 2);
-  routing::StackKautzRouter router(sk);
-  sim::RoutingHooks hooks;
-  hooks.next_coupler = [&](hypergraph::Node c, hypergraph::Node d) {
-    return router.next_coupler(c, d);
-  };
-  hooks.relay_on = [&](hypergraph::HyperarcId h, hypergraph::Node d) {
-    return router.relay_on(h, d);
-  };
   sim::SimConfig config;
   config.warmup_slots = 0;
   config.measure_slots = 6000;
   config.seed = 42;
   sim::OpsNetworkSim sim_instance(
-      sk.stack(), hooks,
+      sk.stack(), routing::compile_stack_kautz_routes(sk),
       std::make_unique<sim::UniformTraffic>(sk.processor_count(), 0.005),
       config);
   sim::RunMetrics m = sim_instance.run();

@@ -9,6 +9,7 @@
 #include "core/error.hpp"
 #include "hypergraph/pops.hpp"
 #include "hypergraph/stack_kautz.hpp"
+#include "routing/compiled_routes.hpp"
 #include "routing/stack_routing.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/experiment.hpp"
@@ -187,27 +188,19 @@ TEST(Traffic, SaturationAlwaysHasPacket) {
   EXPECT_TRUE(traffic.is_saturating());
 }
 
-/// Helper: build a simulator over POPS(t, g) with uniform traffic.
+/// Helper: build a simulator over POPS(t, g) with uniform traffic on the
+/// default (phased) engine via compiled routes.
 RunMetrics run_pops(std::int64_t t, std::int64_t g, double load,
                     Arbitration arb, std::uint64_t seed,
                     std::int64_t measure = 1500) {
   hypergraph::Pops pops(t, g);
-  routing::PopsRouter router(pops);
-  RoutingHooks hooks;
-  hooks.next_coupler = [&](hypergraph::Node c, hypergraph::Node d) {
-    return router.next_coupler(c, d);
-  };
-  hooks.relay_on = [](hypergraph::HyperarcId, hypergraph::Node d) {
-    return d;  // single-hop: destination always hears the coupler
-  };
   SimConfig config;
   config.arbitration = arb;
   config.warmup_slots = 100;
   config.measure_slots = measure;
   config.seed = seed;
   config.drain = false;
-  OpsNetworkSim sim(pops.stack(),
-                    hooks,
+  OpsNetworkSim sim(pops.stack(), routing::compile_pops_routes(pops),
                     std::make_unique<UniformTraffic>(pops.processor_count(),
                                                      load),
                     config);
