@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collectives/pops_collectives.cpp" "CMakeFiles/otisnet.dir/src/collectives/pops_collectives.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/collectives/pops_collectives.cpp.o.d"
+  "/root/repo/src/collectives/schedule.cpp" "CMakeFiles/otisnet.dir/src/collectives/schedule.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/collectives/schedule.cpp.o.d"
+  "/root/repo/src/collectives/stack_kautz_collectives.cpp" "CMakeFiles/otisnet.dir/src/collectives/stack_kautz_collectives.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/collectives/stack_kautz_collectives.cpp.o.d"
+  "/root/repo/src/core/args.cpp" "CMakeFiles/otisnet.dir/src/core/args.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/core/args.cpp.o.d"
+  "/root/repo/src/core/csv.cpp" "CMakeFiles/otisnet.dir/src/core/csv.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/core/csv.cpp.o.d"
+  "/root/repo/src/core/error.cpp" "CMakeFiles/otisnet.dir/src/core/error.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/core/error.cpp.o.d"
+  "/root/repo/src/core/log.cpp" "CMakeFiles/otisnet.dir/src/core/log.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/core/log.cpp.o.d"
+  "/root/repo/src/core/mathutil.cpp" "CMakeFiles/otisnet.dir/src/core/mathutil.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/core/mathutil.cpp.o.d"
+  "/root/repo/src/core/rng.cpp" "CMakeFiles/otisnet.dir/src/core/rng.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/core/rng.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "CMakeFiles/otisnet.dir/src/core/table.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/core/table.cpp.o.d"
+  "/root/repo/src/designs/baselines.cpp" "CMakeFiles/otisnet.dir/src/designs/baselines.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/designs/baselines.cpp.o.d"
+  "/root/repo/src/designs/design.cpp" "CMakeFiles/otisnet.dir/src/designs/design.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/designs/design.cpp.o.d"
+  "/root/repo/src/designs/group_block.cpp" "CMakeFiles/otisnet.dir/src/designs/group_block.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/designs/group_block.cpp.o.d"
+  "/root/repo/src/designs/imase_itoh_design.cpp" "CMakeFiles/otisnet.dir/src/designs/imase_itoh_design.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/designs/imase_itoh_design.cpp.o.d"
+  "/root/repo/src/designs/pops_design.cpp" "CMakeFiles/otisnet.dir/src/designs/pops_design.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/designs/pops_design.cpp.o.d"
+  "/root/repo/src/designs/stacked_design.cpp" "CMakeFiles/otisnet.dir/src/designs/stacked_design.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/designs/stacked_design.cpp.o.d"
+  "/root/repo/src/designs/verify.cpp" "CMakeFiles/otisnet.dir/src/designs/verify.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/designs/verify.cpp.o.d"
+  "/root/repo/src/graph/algorithms.cpp" "CMakeFiles/otisnet.dir/src/graph/algorithms.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "CMakeFiles/otisnet.dir/src/graph/digraph.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/graph/digraph.cpp.o.d"
+  "/root/repo/src/graph/isomorphism.cpp" "CMakeFiles/otisnet.dir/src/graph/isomorphism.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/graph/isomorphism.cpp.o.d"
+  "/root/repo/src/graph/line_digraph.cpp" "CMakeFiles/otisnet.dir/src/graph/line_digraph.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/graph/line_digraph.cpp.o.d"
+  "/root/repo/src/hypergraph/hypergraph.cpp" "CMakeFiles/otisnet.dir/src/hypergraph/hypergraph.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/hypergraph/hypergraph.cpp.o.d"
+  "/root/repo/src/hypergraph/pops.cpp" "CMakeFiles/otisnet.dir/src/hypergraph/pops.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/hypergraph/pops.cpp.o.d"
+  "/root/repo/src/hypergraph/stack_graph.cpp" "CMakeFiles/otisnet.dir/src/hypergraph/stack_graph.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/hypergraph/stack_graph.cpp.o.d"
+  "/root/repo/src/hypergraph/stack_imase_itoh.cpp" "CMakeFiles/otisnet.dir/src/hypergraph/stack_imase_itoh.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/hypergraph/stack_imase_itoh.cpp.o.d"
+  "/root/repo/src/hypergraph/stack_kautz.cpp" "CMakeFiles/otisnet.dir/src/hypergraph/stack_kautz.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/hypergraph/stack_kautz.cpp.o.d"
+  "/root/repo/src/optics/netlist.cpp" "CMakeFiles/otisnet.dir/src/optics/netlist.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/optics/netlist.cpp.o.d"
+  "/root/repo/src/optics/power.cpp" "CMakeFiles/otisnet.dir/src/optics/power.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/optics/power.cpp.o.d"
+  "/root/repo/src/optics/trace.cpp" "CMakeFiles/otisnet.dir/src/optics/trace.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/optics/trace.cpp.o.d"
+  "/root/repo/src/otis/geometry.cpp" "CMakeFiles/otisnet.dir/src/otis/geometry.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/otis/geometry.cpp.o.d"
+  "/root/repo/src/otis/imase_itoh_realization.cpp" "CMakeFiles/otisnet.dir/src/otis/imase_itoh_realization.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/otis/imase_itoh_realization.cpp.o.d"
+  "/root/repo/src/otis/otis.cpp" "CMakeFiles/otisnet.dir/src/otis/otis.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/otis/otis.cpp.o.d"
+  "/root/repo/src/routing/compiled_routes.cpp" "CMakeFiles/otisnet.dir/src/routing/compiled_routes.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/routing/compiled_routes.cpp.o.d"
+  "/root/repo/src/routing/fault_tolerant.cpp" "CMakeFiles/otisnet.dir/src/routing/fault_tolerant.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/routing/fault_tolerant.cpp.o.d"
+  "/root/repo/src/routing/generic_stack_routing.cpp" "CMakeFiles/otisnet.dir/src/routing/generic_stack_routing.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/routing/generic_stack_routing.cpp.o.d"
+  "/root/repo/src/routing/imase_itoh_routing.cpp" "CMakeFiles/otisnet.dir/src/routing/imase_itoh_routing.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/routing/imase_itoh_routing.cpp.o.d"
+  "/root/repo/src/routing/kautz_routing.cpp" "CMakeFiles/otisnet.dir/src/routing/kautz_routing.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/routing/kautz_routing.cpp.o.d"
+  "/root/repo/src/routing/stack_routing.cpp" "CMakeFiles/otisnet.dir/src/routing/stack_routing.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/routing/stack_routing.cpp.o.d"
+  "/root/repo/src/routing/table_router.cpp" "CMakeFiles/otisnet.dir/src/routing/table_router.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/routing/table_router.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "CMakeFiles/otisnet.dir/src/sim/event_queue.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "CMakeFiles/otisnet.dir/src/sim/experiment.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "CMakeFiles/otisnet.dir/src/sim/metrics.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/ops_network.cpp" "CMakeFiles/otisnet.dir/src/sim/ops_network.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/sim/ops_network.cpp.o.d"
+  "/root/repo/src/sim/phased_engine.cpp" "CMakeFiles/otisnet.dir/src/sim/phased_engine.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/sim/phased_engine.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "CMakeFiles/otisnet.dir/src/sim/traffic.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/sim/traffic.cpp.o.d"
+  "/root/repo/src/topology/complete.cpp" "CMakeFiles/otisnet.dir/src/topology/complete.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/topology/complete.cpp.o.d"
+  "/root/repo/src/topology/debruijn.cpp" "CMakeFiles/otisnet.dir/src/topology/debruijn.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/topology/debruijn.cpp.o.d"
+  "/root/repo/src/topology/imase_itoh.cpp" "CMakeFiles/otisnet.dir/src/topology/imase_itoh.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/topology/imase_itoh.cpp.o.d"
+  "/root/repo/src/topology/kautz.cpp" "CMakeFiles/otisnet.dir/src/topology/kautz.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/topology/kautz.cpp.o.d"
+  "/root/repo/src/topology/otis_swap.cpp" "CMakeFiles/otisnet.dir/src/topology/otis_swap.cpp.o" "gcc" "CMakeFiles/otisnet.dir/src/topology/otis_swap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hypergraph.dir/tests/test_hypergraph.cpp.o"
+  "CMakeFiles/test_hypergraph.dir/tests/test_hypergraph.cpp.o.d"
+  "test_hypergraph"
+  "test_hypergraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hypergraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

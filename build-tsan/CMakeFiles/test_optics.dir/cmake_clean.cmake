@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optics.dir/tests/test_optics.cpp.o"
+  "CMakeFiles/test_optics.dir/tests/test_optics.cpp.o.d"
+  "test_optics"
+  "test_optics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_otis.dir/tests/test_otis.cpp.o"
+  "CMakeFiles/test_otis.dir/tests/test_otis.cpp.o.d"
+  "test_otis"
+  "test_otis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_otis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-tsan
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_collectives "/root/repo/build-tsan/test_collectives")
+set_tests_properties(test_collectives PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build-tsan/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_designs "/root/repo/build-tsan/test_designs")
+set_tests_properties(test_designs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_engine_equivalence "/root/repo/build-tsan/test_engine_equivalence")
+set_tests_properties(test_engine_equivalence PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_geometry "/root/repo/build-tsan/test_geometry")
+set_tests_properties(test_geometry PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_graph "/root/repo/build-tsan/test_graph")
+set_tests_properties(test_graph PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_hypergraph "/root/repo/build-tsan/test_hypergraph")
+set_tests_properties(test_hypergraph PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build-tsan/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_optics "/root/repo/build-tsan/test_optics")
+set_tests_properties(test_optics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_otis "/root/repo/build-tsan/test_otis")
+set_tests_properties(test_otis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_routing "/root/repo/build-tsan/test_routing")
+set_tests_properties(test_routing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build-tsan/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_table_routing "/root/repo/build-tsan/test_table_routing")
+set_tests_properties(test_table_routing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_topology "/root/repo/build-tsan/test_topology")
+set_tests_properties(test_topology PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/CMakeLists.txt;0;")
