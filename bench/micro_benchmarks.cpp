@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/args.hpp"
 #include "core/table.hpp"
 #include "designs/builders.hpp"
 #include "designs/verify.hpp"
@@ -137,9 +138,10 @@ SimBenchResult run_sim_bench(const SimBenchCase& c,
   return r;
 }
 
-void write_bench_json(const std::vector<SimBenchResult>& results,
+void write_bench_json(const std::string& path,
+                      const std::vector<SimBenchResult>& results,
                       double sk_speedup, bool pass) {
-  std::ofstream out("BENCH_sim.json");
+  std::ofstream out(path);
   out << "{\n"
       << "  \"benchmark\": \"ops_network_slot_engine\",\n"
       << "  \"slots_per_run\": " << kSimSlots << ",\n"
@@ -165,7 +167,14 @@ void write_bench_json(const std::vector<SimBenchResult>& results,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --out moves BENCH_sim.json (CI writes into its artifact dir, laptops
+  // keep the default); --threads sizes the sharded engine datapoint.
+  const otis::core::Args args(argc, argv, {"out", "threads"});
+  const std::string out_path = args.get("out", "BENCH_sim.json");
+  const int sharded_threads =
+      static_cast<int>(args.get_int("threads", 2));
+
   // ---------------------------------------------- classic micro section
   std::cout << "[micro] library hot paths (best of " << kReps << ")\n\n";
   otis::core::Table table({"benchmark", "iters", "ns/op"});
@@ -318,7 +327,7 @@ int main() {
   {
     SimBenchResult r =
         run_sim_bench(cases[0], otis::sim::Arbitration::kTokenRoundRobin,
-                      otis::sim::Engine::kSharded, 2);
+                      otis::sim::Engine::kSharded, sharded_threads);
     sim_table.add(r.topology, r.arbitration, r.engine,
                   static_cast<std::int64_t>(r.slots_per_sec),
                   static_cast<std::int64_t>(r.packets_per_sec));
@@ -330,10 +339,10 @@ int main() {
       sk_token_event_queue > 0.0 ? sk_token_phased / sk_token_event_queue
                                  : 0.0;
   const bool pass = speedup >= 3.0;
-  write_bench_json(results, speedup, pass);
+  write_bench_json(out_path, results, speedup, pass);
   std::cout << "\nphased vs event-queue on SK(4,3,2)/token: "
             << otis::core::format_double(speedup, 2)
             << "x (acceptance >= 3x: " << (pass ? "PASS" : "FAIL")
-            << ")\nresults written to BENCH_sim.json\n";
+            << ")\nresults written to " << out_path << "\n";
   return pass ? 0 : 1;
 }

@@ -4,6 +4,10 @@
 // no measured tables; this regenerates the comparison its Sec. 1
 // positioning implies).
 //
+// Driven through the campaign subsystem: one declarative grid (2
+// topologies x 7 loads x 5 seeds), one compiled routing table per
+// topology, seeds folded into mean +/- stddev by the aggregate sink.
+//
 // Expected shape: POPS (single-hop, 144 couplers) saturates at higher
 // per-node throughput; stack-Kautz (48 couplers, diameter 2) delivers
 // lower latency-at-low-load than its hop count suggests only if load is
@@ -12,72 +16,56 @@
 
 #include <iostream>
 #include <memory>
+#include <vector>
 
+#include "campaign/runner.hpp"
 #include "core/csv.hpp"
 #include "core/table.hpp"
-#include "hypergraph/pops.hpp"
-#include "hypergraph/stack_kautz.hpp"
-#include "routing/compiled_routes.hpp"
-#include "sim/experiment.hpp"
-#include "sim/ops_network.hpp"
 
 namespace {
 
-using otis::sim::Arbitration;
-using otis::sim::RunMetrics;
-using otis::sim::SimConfig;
+using otis::campaign::AggregateSink;
+using otis::sim::SweepPoint;
 
-// Both topologies and their compiled routing tables are immutable: built
-// once here and shared read-only by the sweep's trial threads.
-struct SharedNetworks {
-  SharedNetworks()
-      : sk(6, 3, 2),
-        pops(6, 12),
-        sk_routes(std::make_shared<const otis::routing::CompiledRoutes>(
-            otis::routing::compile_stack_kautz_routes(sk))),
-        pops_routes(std::make_shared<const otis::routing::CompiledRoutes>(
-            otis::routing::compile_pops_routes(pops))) {}
-  otis::hypergraph::StackKautz sk;
-  otis::hypergraph::Pops pops;
-  std::shared_ptr<const otis::routing::CompiledRoutes> sk_routes;
-  std::shared_ptr<const otis::routing::CompiledRoutes> pops_routes;
-};
-
-SimConfig sweep_config(std::uint64_t seed) {
-  SimConfig config;
-  config.warmup_slots = 300;
-  config.measure_slots = 1500;
-  config.seed = seed;
-  return config;
+/// Groups of one topology in load order (the campaign expands loads in
+/// spec order, so filtering preserves it).
+std::vector<SweepPoint> points_of(const AggregateSink& aggregate,
+                                  const std::string& topology) {
+  std::vector<SweepPoint> points;
+  for (const AggregateSink::Group& group : aggregate.groups()) {
+    if (group.topology == topology) {
+      points.push_back(group.point);
+    }
+  }
+  return points;
 }
 
 }  // namespace
 
 int main() {
   std::cout << "[Perf F1] SK(6,3,2) vs POPS(6,12), N = 72, uniform "
-               "traffic, token arbitration, 5 seeds\n\n";
+               "traffic, token arbitration, 5 seeds (campaign API)\n\n";
   const std::vector<double> loads{0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9};
-  const std::vector<std::uint64_t> seeds{1, 2, 3, 4, 5};
 
-  const SharedNetworks nets;
-  auto run_sk = [&nets](double load, std::uint64_t seed) {
-    otis::sim::OpsNetworkSim sim(
-        nets.sk.stack(), nets.sk_routes,
-        std::make_unique<otis::sim::UniformTraffic>(72, load),
-        sweep_config(seed));
-    return sim.run();
-  };
-  auto run_pops = [&nets](double load, std::uint64_t seed) {
-    otis::sim::OpsNetworkSim sim(
-        nets.pops.stack(), nets.pops_routes,
-        std::make_unique<otis::sim::UniformTraffic>(72, load),
-        sweep_config(seed));
-    return sim.run();
-  };
+  otis::campaign::CampaignSpec spec;
+  spec.name = "perf1-throughput-latency";
+  spec.topologies = {otis::campaign::TopologySpec::stack_kautz(6, 3, 2),
+                     otis::campaign::TopologySpec::pops(6, 12)};
+  spec.loads = loads;
+  spec.seeds = {1, 2, 3, 4, 5};
+  spec.warmup_slots = 300;
+  spec.measure_slots = 1500;
 
-  auto sk_points = otis::sim::run_load_sweep(run_sk, loads, 72, 48, seeds);
-  auto pops_points =
-      otis::sim::run_load_sweep(run_pops, loads, 72, 144, seeds);
+  auto aggregate = std::make_shared<AggregateSink>();
+  otis::campaign::CampaignRunner runner(spec);
+  runner.add_sink(aggregate);
+  otis::campaign::CampaignOptions options;
+  options.threads = 0;  // all cores; output is thread-count invariant
+  runner.run(options);
+
+  const std::vector<SweepPoint> sk_points = points_of(*aggregate, "SK(6,3,2)");
+  const std::vector<SweepPoint> pops_points =
+      points_of(*aggregate, "POPS(6,12)");
 
   otis::core::Table table({"load", "SK thr", "SK lat", "SK p95",
                            "SK util", "POPS thr", "POPS lat", "POPS p95",
@@ -92,22 +80,27 @@ int main() {
   }
   table.print(std::cout);
 
-  // Emit the series as CSV for replotting.
+  // Emit the series as CSV for replotting (now with across-seed stddev).
   {
     otis::core::CsvWriter csv(
         "perf1_throughput_latency.csv",
-        {"load", "network", "throughput_per_node", "mean_latency",
-         "p95_latency", "coupler_utilization", "delivered_fraction"});
+        {"load", "network", "throughput_per_node", "throughput_stddev",
+         "mean_latency", "mean_latency_stddev", "p95_latency",
+         "coupler_utilization", "delivered_fraction"});
     for (std::size_t i = 0; i < loads.size(); ++i) {
       csv.write_row({otis::core::format_double(loads[i], 3), "SK(6,3,2)",
                      otis::core::format_double(sk_points[i].throughput_per_node, 4),
+                     otis::core::format_double(sk_points[i].throughput_stddev, 4),
                      otis::core::format_double(sk_points[i].mean_latency, 3),
+                     otis::core::format_double(sk_points[i].mean_latency_stddev, 3),
                      otis::core::format_double(sk_points[i].p95_latency, 1),
                      otis::core::format_double(sk_points[i].coupler_utilization, 4),
                      otis::core::format_double(sk_points[i].delivered_fraction, 4)});
       csv.write_row({otis::core::format_double(loads[i], 3), "POPS(6,12)",
                      otis::core::format_double(pops_points[i].throughput_per_node, 4),
+                     otis::core::format_double(pops_points[i].throughput_stddev, 4),
                      otis::core::format_double(pops_points[i].mean_latency, 3),
+                     otis::core::format_double(pops_points[i].mean_latency_stddev, 3),
                      otis::core::format_double(pops_points[i].p95_latency, 1),
                      otis::core::format_double(pops_points[i].coupler_utilization, 4),
                      otis::core::format_double(pops_points[i].delivered_fraction, 4)});

@@ -5,6 +5,9 @@
 // throughput per node, aggregate throughput, max path loss, and power
 // feasibility under the nominal budget.
 //
+// The six SK(s,3,2) instances are one campaign grid over the topology
+// axis (saturation traffic, one compiled routing table per instance).
+//
 // Expected shape: aggregate saturation throughput is bounded by the
 // coupler pool (48 couplers, ~1.9 mean hops), so per-node throughput
 // falls roughly as 1/s while N rises as s; loss rises logarithmically
@@ -12,55 +15,56 @@
 
 #include <iostream>
 #include <memory>
+#include <vector>
 
+#include "campaign/runner.hpp"
 #include "core/table.hpp"
 #include "designs/builders.hpp"
 #include "designs/verify.hpp"
-#include "hypergraph/stack_kautz.hpp"
 #include "optics/power.hpp"
-#include "routing/compiled_routes.hpp"
-#include "sim/ops_network.hpp"
-
-namespace {
-
-double saturation_throughput(std::int64_t s, std::uint64_t seed) {
-  otis::hypergraph::StackKautz sk(s, 3, 2);
-  otis::sim::SimConfig config;
-  config.warmup_slots = 200;
-  config.measure_slots = 800;
-  config.seed = seed;
-  otis::sim::OpsNetworkSim sim(
-      sk.stack(), otis::routing::compile_stack_kautz_routes(sk),
-      std::make_unique<otis::sim::SaturationTraffic>(sk.processor_count()),
-      config);
-  return sim.run().throughput_per_node(sk.processor_count());
-}
-
-}  // namespace
 
 int main() {
-  std::cout << "[Perf F5] stacking-factor ablation on SK(s,3,2)\n\n";
+  std::cout << "[Perf F5] stacking-factor ablation on SK(s,3,2) "
+               "(campaign API)\n\n";
+  const std::vector<std::int64_t> stackings{1, 2, 4, 6, 8, 12};
+
+  otis::campaign::CampaignSpec spec;
+  spec.name = "perf5-stacking-sweep";
+  for (std::int64_t s : stackings) {
+    spec.topologies.push_back(
+        otis::campaign::TopologySpec::stack_kautz(s, 3, 2));
+  }
+  spec.traffic = otis::campaign::TrafficKind::kSaturation;
+  spec.loads = {1.0};
+  spec.seeds = {7};
+  spec.warmup_slots = 200;
+  spec.measure_slots = 800;
+
+  auto aggregate = std::make_shared<otis::campaign::AggregateSink>();
+  otis::campaign::CampaignRunner runner(spec);
+  runner.add_sink(aggregate);
+  otis::campaign::CampaignOptions options;
+  options.threads = 0;
+  runner.run(options);
+
   otis::optics::LossModel model;
   otis::optics::PowerBudget budget;  // nominal
 
   otis::core::Table table({"s", "N", "couplers", "sat thr/node",
                            "sat aggregate", "max loss dB", "budget ok"});
-  double previous_aggregate = 0.0;
   bool ok = true;
   std::vector<double> per_node;
-  for (std::int64_t s : {1, 2, 4, 6, 8, 12}) {
-    otis::hypergraph::StackKautz sk(s, 3, 2);
-    const double thr = saturation_throughput(s, 7);
-    const double aggregate =
-        thr * static_cast<double>(sk.processor_count());
-    const double loss =
-        otis::optics::canonical_hop_loss_db(model, s);
-    table.add(s, sk.processor_count(), sk.coupler_count(), thr, aggregate,
+  for (std::size_t i = 0; i < stackings.size(); ++i) {
+    const std::int64_t s = stackings[i];
+    const otis::campaign::AggregateSink::Group& group =
+        aggregate->groups()[i];
+    const double thr = group.point.throughput_per_node;
+    const double total = thr * static_cast<double>(group.nodes);
+    const double loss = otis::optics::canonical_hop_loss_db(model, s);
+    table.add(s, group.nodes, group.couplers, thr, total,
               otis::core::format_double(loss, 2), budget.feasible(loss));
     per_node.push_back(thr);
-    previous_aggregate = aggregate;
   }
-  (void)previous_aggregate;
   table.print(std::cout);
 
   // Shape: per-node throughput decreases in s (same coupler pool shared

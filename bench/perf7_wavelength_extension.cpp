@@ -6,50 +6,56 @@
 // throughput should scale with min(W, contention) and then flatten once
 // the couplers stop being the bottleneck (receiver/relay limits take
 // over).
+//
+// The W axis is a campaign wavelengths sweep on one topology -- the
+// routing table is compiled once and shared across all W cells (the
+// full-scale version of this grid is specs/wdm_sweep.json).
 
 #include <iostream>
 #include <memory>
+#include <vector>
 
+#include "campaign/runner.hpp"
 #include "core/table.hpp"
-#include "hypergraph/stack_kautz.hpp"
-#include "routing/compiled_routes.hpp"
-#include "sim/ops_network.hpp"
-
-namespace {
-
-otis::sim::RunMetrics run_with_wavelengths(std::int64_t wavelengths,
-                                           std::uint64_t seed) {
-  otis::hypergraph::StackKautz sk(6, 3, 2);
-  otis::sim::SimConfig config;
-  config.warmup_slots = 200;
-  config.measure_slots = 1000;
-  config.seed = seed;
-  config.wavelengths = wavelengths;
-  otis::sim::OpsNetworkSim sim(
-      sk.stack(), otis::routing::compile_stack_kautz_routes(sk),
-      std::make_unique<otis::sim::SaturationTraffic>(sk.processor_count()),
-      config);
-  return sim.run();
-}
-
-}  // namespace
 
 int main() {
   std::cout << "[Perf F7] WDM extension: wavelengths per coupler on "
-               "saturated SK(6,3,2)\n\n";
+               "saturated SK(6,3,2) (campaign API)\n\n";
+  const std::vector<std::int64_t> wavelengths{1, 2, 3, 4, 6};
+
+  otis::campaign::CampaignSpec spec;
+  spec.name = "perf7-wdm-extension";
+  spec.topologies = {otis::campaign::TopologySpec::stack_kautz(6, 3, 2)};
+  spec.traffic = otis::campaign::TrafficKind::kSaturation;
+  spec.loads = {1.0};
+  spec.wavelengths = wavelengths;
+  spec.seeds = {31};
+  spec.warmup_slots = 200;
+  spec.measure_slots = 1000;
+
+  auto aggregate = std::make_shared<otis::campaign::AggregateSink>();
+  otis::campaign::CampaignRunner runner(spec);
+  runner.add_sink(aggregate);
+  otis::campaign::CampaignOptions options;
+  options.threads = 0;
+  runner.run(options);
+
   otis::core::Table table({"W", "sat thr/node", "aggregate pkt/slot",
                            "coupler tx/slot", "speedup vs W=1"});
   double base = 0.0;
   std::vector<double> throughputs;
-  for (std::int64_t w : {1, 2, 3, 4, 6}) {
-    otis::sim::RunMetrics m = run_with_wavelengths(w, 31);
-    const double thr = m.throughput_per_node(72);
-    if (w == 1) {
+  for (std::size_t i = 0; i < wavelengths.size(); ++i) {
+    const otis::campaign::AggregateSink::Group& group =
+        aggregate->groups()[i];
+    const double thr = group.point.throughput_per_node;
+    if (wavelengths[i] == 1) {
       base = thr;
     }
     throughputs.push_back(thr);
-    table.add(w, thr, thr * 72.0,
-              static_cast<double>(m.coupler_transmissions) / 1000.0,
+    table.add(wavelengths[i], thr,
+              thr * static_cast<double>(group.nodes),
+              group.point.coupler_utilization *
+                  static_cast<double>(group.couplers),
               base > 0 ? thr / base : 0.0);
   }
   table.print(std::cout);

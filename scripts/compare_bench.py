@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_sim.json files and warn on perf regressions.
+
+Usage: compare_bench.py PREVIOUS.json CURRENT.json [--threshold 0.20]
+
+Matches results on (topology, arbitration, engine) and reports the
+slots/sec ratio current/previous. Rows slower than the threshold emit a
+GitHub Actions ::warning:: annotation. The script never fails the build
+(shared CI runners are noisy; the trajectory is informative, the gate is
+micro_benchmarks' own >=3x acceptance bar) -- exit status is 0 unless
+the *current* file is missing/unreadable.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    return {
+        (r["topology"], r["arbitration"], r["engine"]): r
+        for r in doc.get("results", [])
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("previous")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative slowdown that triggers a warning")
+    args = parser.parse_args()
+
+    try:
+        current = load_results(args.current)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"compare_bench: cannot read current results: {exc}")
+        return 1
+
+    try:
+        previous = load_results(args.previous)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"compare_bench: no previous results ({exc}); "
+              "nothing to compare -- first run on this branch?")
+        return 0
+
+    header = f"{'topology':<12} {'arb':<7} {'engine':<12} " \
+             f"{'prev slots/s':>13} {'cur slots/s':>13} {'ratio':>7}"
+    print(header)
+    print("-" * len(header))
+    regressions = []
+    for key in sorted(current):
+        cur = current[key]
+        prev = previous.get(key)
+        if prev is None or not prev.get("slots_per_sec"):
+            print(f"{key[0]:<12} {key[1]:<7} {key[2]:<12} "
+                  f"{'(new)':>13} {cur['slots_per_sec']:>13} {'-':>7}")
+            continue
+        ratio = cur["slots_per_sec"] / prev["slots_per_sec"]
+        print(f"{key[0]:<12} {key[1]:<7} {key[2]:<12} "
+              f"{prev['slots_per_sec']:>13} {cur['slots_per_sec']:>13} "
+              f"{ratio:>7.2f}")
+        if ratio < 1.0 - args.threshold:
+            regressions.append((key, ratio))
+
+    for (topology, arbitration, engine), ratio in regressions:
+        print(f"::warning title=Perf regression::{topology}/{arbitration}/"
+              f"{engine} slots/sec at {ratio:.2f}x of previous run "
+              f"(threshold {1.0 - args.threshold:.2f}x)")
+    if not regressions:
+        print(f"\nno regression beyond {args.threshold:.0%} threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

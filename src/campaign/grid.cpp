@@ -1,0 +1,61 @@
+#include "campaign/grid.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "core/error.hpp"
+#include "core/table.hpp"
+
+namespace otis::campaign {
+
+std::string cell_id(const TopologySpec& topology,
+                    sim::Arbitration arbitration, TrafficKind traffic,
+                    double load, std::int64_t wavelengths,
+                    std::uint64_t seed) {
+  std::ostringstream os;
+  os << topology.label() << "|" << sim::arbitration_name(arbitration) << "|"
+     << traffic_kind_name(traffic) << "|load="
+     << core::format_double(load, 6) << "|w=" << wavelengths
+     << "|seed=" << seed;
+  return os.str();
+}
+
+std::vector<CampaignCell> expand_grid(const CampaignSpec& spec) {
+  spec.validate();
+  std::vector<CampaignCell> cells;
+  cells.reserve(static_cast<std::size_t>(spec.cell_count()));
+  std::int64_t index = 0;
+  for (std::size_t t = 0; t < spec.topologies.size(); ++t) {
+    for (sim::Arbitration arbitration : spec.arbitrations) {
+      for (double load : spec.loads) {
+        for (std::int64_t w : spec.wavelengths) {
+          for (std::uint64_t seed : spec.seeds) {
+            CampaignCell cell;
+            cell.index = index++;
+            cell.id = cell_id(spec.topologies[t], arbitration, spec.traffic,
+                              load, w, seed);
+            cell.topology = t;
+            cell.arbitration = arbitration;
+            cell.load = load;
+            cell.wavelengths = w;
+            cell.seed = seed;
+            cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+  // IDs are what the manifest keys on; a collision (e.g. loads closer
+  // than the ID's 6-decimal formatting, or a repeated axis value) would
+  // make resume silently drop cells, so refuse the grid instead.
+  std::unordered_set<std::string> ids;
+  ids.reserve(cells.size());
+  for (const CampaignCell& cell : cells) {
+    OTIS_REQUIRE(ids.insert(cell.id).second,
+                 "expand_grid: duplicate cell ID " + cell.id +
+                     " (axis values too close or repeated)");
+  }
+  return cells;
+}
+
+}  // namespace otis::campaign

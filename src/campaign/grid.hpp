@@ -1,0 +1,45 @@
+#pragma once
+/// \file grid.hpp
+/// Expansion of a CampaignSpec into its concrete cells.
+///
+/// Cells are enumerated in a fixed nesting order -- topology, then
+/// arbitration, then load, then wavelengths, then seed (innermost) -- and
+/// each carries a canonical string ID derived from its parameters alone.
+/// The ID, not the linear index, is what the manifest records, so a
+/// finished cell stays recognized even if later spec edits append axis
+/// values. Sinks emit in expansion order regardless of which worker
+/// finished first, which is what makes campaign output bit-identical
+/// across thread counts.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+
+namespace otis::campaign {
+
+/// One (topology, arbitration, load, wavelengths, seed) grid point.
+struct CampaignCell {
+  std::int64_t index = 0;      ///< position in expansion order
+  std::string id;              ///< canonical ID, see cell_id()
+  std::size_t topology = 0;    ///< index into CampaignSpec::topologies
+  sim::Arbitration arbitration = sim::Arbitration::kTokenRoundRobin;
+  double load = 0.0;
+  std::int64_t wavelengths = 1;
+  std::uint64_t seed = 1;
+};
+
+/// Canonical cell ID:
+///   "<topology>|<arbitration>|<traffic>|load=<l>|w=<W>|seed=<s>"
+/// with the load fixed to 4 decimals so the ID is reproducible.
+[[nodiscard]] std::string cell_id(const TopologySpec& topology,
+                                  sim::Arbitration arbitration,
+                                  TrafficKind traffic, double load,
+                                  std::int64_t wavelengths,
+                                  std::uint64_t seed);
+
+/// Expands the validated spec into cells (spec.cell_count() of them).
+[[nodiscard]] std::vector<CampaignCell> expand_grid(const CampaignSpec& spec);
+
+}  // namespace otis::campaign

@@ -1,0 +1,299 @@
+#include "campaign/runner.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+#include "campaign/manifest.hpp"
+#include "core/error.hpp"
+#include "sim/ops_network.hpp"
+#include "sim/traffic.hpp"
+
+namespace otis::campaign {
+
+// ----------------------------------------------------- WorkStealingPool
+
+WorkStealingPool::WorkStealingPool(int threads) {
+  int count = threads;
+  if (count <= 0) {
+    count = static_cast<int>(std::thread::hardware_concurrency());
+    if (count <= 0) {
+      count = 1;
+    }
+  }
+  queues_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back(
+        [this, i] { worker_main(static_cast<std::size_t>(i)); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+bool WorkStealingPool::try_acquire(std::size_t self, std::size_t& item) {
+  {
+    Queue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.items.empty()) {
+      item = own.items.front();
+      own.items.pop_front();
+      return true;
+    }
+  }
+  // Steal from the back of the victim with work, scanning round-robin
+  // from our right-hand neighbour.
+  for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
+    Queue& victim = *queues_[(self + offset) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.items.empty()) {
+      item = victim.items.back();
+      victim.items.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkStealingPool::worker_main(std::size_t self) {
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // job_ != nullptr keeps late wakers out of a batch that already
+      // finished (run() clears the pointer before returning).
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (shutdown_) {
+        return;
+      }
+      seen_epoch = epoch_;
+      job = job_;
+      ++active_;
+    }
+    std::size_t item = 0;
+    while (try_acquire(self, item)) {
+      std::exception_ptr error;
+      try {
+        (*job)(item);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) {
+        first_error_ = error;
+      }
+      --remaining_;
+    }
+    // run() returns only once every worker that entered the batch has
+    // also left it, so `job` can never dangle into the next batch.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--active_ == 0 && remaining_ == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkStealingPool::run(std::size_t count,
+                           const std::function<void(std::size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    OTIS_REQUIRE(job_ == nullptr, "WorkStealingPool: run() is not reentrant");
+    // Contiguous blocks: worker w owns items [w*len, (w+1)*len). Early
+    // cells land on low workers, which keeps the runner's ordered emit
+    // buffer shallow.
+    const std::size_t workers = queues_.size();
+    const std::size_t base = count / workers;
+    const std::size_t extra = count % workers;
+    std::size_t next = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t len = base + (w < extra ? 1 : 0);
+      for (std::size_t i = 0; i < len; ++i) {
+        queues_[w]->items.push_back(next++);
+      }
+    }
+    job_ = &fn;
+    remaining_ = count;
+    first_error_ = nullptr;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0 && active_ == 0; });
+    job_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+// ------------------------------------------------------- CampaignRunner
+
+namespace {
+
+CellResult simulate_cell(const CampaignSpec& spec,
+                         const CompiledTopology& topology,
+                         const CampaignCell& cell) {
+  sim::SimConfig config;
+  config.arbitration = cell.arbitration;
+  config.warmup_slots = spec.warmup_slots;
+  config.measure_slots = spec.measure_slots;
+  config.queue_capacity = spec.queue_capacity;
+  config.seed = cell.seed;
+  config.wavelengths = cell.wavelengths;
+  config.engine = spec.engine;
+  config.threads = spec.engine_threads;
+
+  std::unique_ptr<sim::TrafficGenerator> traffic;
+  if (spec.traffic == TrafficKind::kSaturation) {
+    traffic =
+        std::make_unique<sim::SaturationTraffic>(topology.processor_count());
+  } else {
+    traffic = std::make_unique<sim::UniformTraffic>(
+        topology.processor_count(), cell.load);
+  }
+
+  sim::OpsNetworkSim sim(topology.stack(), topology.routes(),
+                         std::move(traffic), config);
+  CellResult result;
+  result.cell = cell;
+  result.topology_label = topology.label();
+  result.traffic = spec.traffic;
+  result.nodes = topology.processor_count();
+  result.couplers = topology.coupler_count();
+  result.metrics = sim.run();
+  return result;
+}
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(CampaignSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+}
+
+void CampaignRunner::add_sink(std::shared_ptr<ResultSink> sink) {
+  OTIS_REQUIRE(sink != nullptr, "CampaignRunner: sink must be set");
+  extra_sinks_.push_back(std::move(sink));
+}
+
+CampaignReport CampaignRunner::run(const CampaignOptions& options) {
+  const auto start_time = std::chrono::steady_clock::now();
+  CampaignReport report;
+
+  const std::vector<CampaignCell> cells = expand_grid(spec_);
+  report.total_cells = static_cast<std::int64_t>(cells.size());
+
+  // Output files + manifest-based skip set.
+  std::vector<std::shared_ptr<ResultSink>> sinks = extra_sinks_;
+  std::unique_ptr<Manifest> manifest;
+  std::unordered_set<std::string> completed;
+  if (!options.out_dir.empty()) {
+    std::filesystem::create_directories(options.out_dir);
+    const std::filesystem::path dir(options.out_dir);
+    if (options.resume) {
+      completed = Manifest::load((dir / kManifestFile).string());
+    }
+    if (options.write_jsonl) {
+      sinks.push_back(std::make_shared<JsonlSink>(
+          (dir / kJsonlFile).string(), options.resume));
+    }
+    if (options.write_csv) {
+      sinks.push_back(std::make_shared<CsvSink>((dir / kCsvFile).string(),
+                                                options.resume));
+    }
+    manifest =
+        std::make_unique<Manifest>((dir / kManifestFile).string(),
+                                   options.resume);
+  }
+
+  std::vector<const CampaignCell*> pending;
+  pending.reserve(cells.size());
+  for (const CampaignCell& cell : cells) {
+    if (completed.count(cell.id) > 0) {
+      ++report.skipped_cells;
+    } else {
+      pending.push_back(&cell);
+    }
+  }
+
+  // One compile per distinct topology that still has pending work; all
+  // of a topology's cells share the same immutable tables.
+  std::map<std::size_t, std::shared_ptr<const CompiledTopology>> topologies;
+  for (const CampaignCell* cell : pending) {
+    auto [it, inserted] = topologies.try_emplace(cell->topology, nullptr);
+    if (inserted) {
+      it->second = CompiledTopology::build(spec_.topologies[cell->topology]);
+      ++report.topologies_compiled;
+    }
+  }
+
+  // Reorder buffer: workers finish in steal order, sinks consume in
+  // expansion order. A cell becomes durable (manifest line) only after
+  // its rows reached every sink.
+  std::mutex emit_mutex;
+  std::map<std::size_t, CellResult> ready;
+  std::size_t next_emit = 0;
+  auto emit_ready = [&]() {
+    while (!ready.empty() && ready.begin()->first == next_emit) {
+      const CellResult& result = ready.begin()->second;
+      for (const std::shared_ptr<ResultSink>& sink : sinks) {
+        sink->consume(result);
+      }
+      if (manifest != nullptr) {
+        for (const std::shared_ptr<ResultSink>& sink : sinks) {
+          sink->flush();
+        }
+        manifest->record(result.cell.id);
+      }
+      ready.erase(ready.begin());
+      ++next_emit;
+    }
+  };
+
+  WorkStealingPool pool(options.threads);
+  pool.run(pending.size(), [&](std::size_t i) {
+    const CampaignCell& cell = *pending[i];
+    CellResult result =
+        simulate_cell(spec_, *topologies.at(cell.topology), cell);
+    std::lock_guard<std::mutex> lock(emit_mutex);
+    ready.emplace(i, std::move(result));
+    emit_ready();
+  });
+  OTIS_ASSERT(ready.empty() && next_emit == pending.size(),
+              "CampaignRunner: reorder buffer drained");
+
+  for (const std::shared_ptr<ResultSink>& sink : sinks) {
+    sink->close();
+  }
+  report.completed_cells = static_cast<std::int64_t>(pending.size());
+  report.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time)
+          .count();
+  return report;
+}
+
+}  // namespace otis::campaign

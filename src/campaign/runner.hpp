@@ -1,0 +1,129 @@
+#pragma once
+/// \file runner.hpp
+/// Campaign execution: grid fan-out over a persistent work-stealing pool.
+///
+/// The runner expands the spec, drops cells already recorded in the
+/// output manifest (--resume), compiles each distinct topology exactly
+/// once (shared via shared_ptr across all its cells), and fans the
+/// pending cells out over a WorkStealingPool. Workers simulate cells in
+/// whatever order stealing yields; an ordered emit buffer then releases
+/// finished cells to the sinks strictly in expansion order, so the
+/// streamed JSONL/CSV bytes are identical for every --threads value
+/// (per-cell seeding keeps each simulation independent of scheduling).
+/// A cell's manifest line is written only after its rows are flushed to
+/// every file sink, so resume never loses a cell. The ordering gives
+/// at-least-once semantics: a crash in the narrow window between a
+/// row's flush and its manifest line re-simulates that cell on resume
+/// and appends its (deterministically identical) rows a second time —
+/// the manifest, not the row streams, is the source of truth for
+/// completion.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/grid.hpp"
+#include "campaign/sink.hpp"
+#include "campaign/spec.hpp"
+
+namespace otis::campaign {
+
+/// A pool of worker threads with per-worker deques and work stealing.
+/// Threads start once and persist across run() calls (a campaign is one
+/// call today, but the pool is reusable by design); each run() scatters
+/// item indices into contiguous per-worker blocks, workers drain their
+/// own block front-to-back and steal from the back of victims' deques
+/// when empty.
+class WorkStealingPool {
+ public:
+  /// `threads` <= 0 means hardware concurrency.
+  explicit WorkStealingPool(int threads);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  [[nodiscard]] int thread_count() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Runs fn(i) for every i in [0, count); returns when all completed.
+  /// fn must be thread-safe across distinct items. Exceptions thrown by
+  /// fn are captured and the first one is rethrown after the batch.
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::size_t> items;
+  };
+
+  void worker_main(std::size_t self);
+  bool try_acquire(std::size_t self, std::size_t& item);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  std::size_t remaining_ = 0;  ///< items of the current batch not yet done
+  std::size_t active_ = 0;     ///< workers currently inside the batch
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+};
+
+/// How to execute a campaign (as opposed to *what* to run, the spec).
+struct CampaignOptions {
+  int threads = 1;       ///< worker pool size; <= 0 = hardware concurrency
+  std::string out_dir;   ///< when set: results.jsonl/results.csv/manifest.txt
+  bool resume = false;   ///< skip cells listed in the manifest, append files
+  bool write_jsonl = true;  ///< emit out_dir/results.jsonl
+  bool write_csv = true;    ///< emit out_dir/results.csv
+};
+
+/// What one run() did.
+struct CampaignReport {
+  std::int64_t total_cells = 0;        ///< grid size
+  std::int64_t completed_cells = 0;    ///< simulated this invocation
+  std::int64_t skipped_cells = 0;      ///< already in the manifest
+  std::int64_t topologies_compiled = 0;  ///< CompiledRoutes built this run
+  double elapsed_seconds = 0.0;
+};
+
+/// Executes CampaignSpecs. Attach extra sinks (e.g. AggregateSink)
+/// before run(); file sinks for out_dir are managed internally.
+class CampaignRunner {
+ public:
+  /// Output file names inside CampaignOptions::out_dir.
+  static constexpr const char* kJsonlFile = "results.jsonl";
+  static constexpr const char* kCsvFile = "results.csv";
+  static constexpr const char* kManifestFile = "manifest.txt";
+
+  explicit CampaignRunner(CampaignSpec spec);
+
+  [[nodiscard]] const CampaignSpec& spec() const noexcept { return spec_; }
+
+  /// Registers a sink that receives every cell result in expansion
+  /// order (in addition to the out_dir file sinks).
+  void add_sink(std::shared_ptr<ResultSink> sink);
+
+  /// Expands, skips, compiles, simulates, streams. May be called again
+  /// (e.g. to re-drive the same spec at different options); sinks added
+  /// via add_sink stay attached.
+  CampaignReport run(const CampaignOptions& options = {});
+
+ private:
+  CampaignSpec spec_;
+  std::vector<std::shared_ptr<ResultSink>> extra_sinks_;
+};
+
+}  // namespace otis::campaign

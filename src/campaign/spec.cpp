@@ -1,0 +1,305 @@
+#include "campaign/spec.hpp"
+
+#include <atomic>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/json.hpp"
+#include "hypergraph/pops.hpp"
+#include "hypergraph/stack_imase_itoh.hpp"
+#include "hypergraph/stack_kautz.hpp"
+
+namespace otis::campaign {
+
+namespace {
+
+std::atomic<std::int64_t> g_compile_count{0};
+
+sim::Arbitration parse_arbitration(const std::string& name) {
+  if (name == "token") {
+    return sim::Arbitration::kTokenRoundRobin;
+  }
+  if (name == "random") {
+    return sim::Arbitration::kRandomWinner;
+  }
+  if (name == "aloha") {
+    return sim::Arbitration::kSlottedAloha;
+  }
+  throw core::Error("CampaignSpec: unknown arbitration \"" + name +
+                    "\" (expected token|random|aloha)");
+}
+
+sim::Engine parse_engine(const std::string& name) {
+  if (name == "event-queue") {
+    return sim::Engine::kEventQueue;
+  }
+  if (name == "phased") {
+    return sim::Engine::kPhased;
+  }
+  if (name == "sharded") {
+    return sim::Engine::kSharded;
+  }
+  throw core::Error("CampaignSpec: unknown engine \"" + name +
+                    "\" (expected event-queue|phased|sharded)");
+}
+
+TrafficKind parse_traffic(const std::string& name) {
+  if (name == "uniform") {
+    return TrafficKind::kUniform;
+  }
+  if (name == "saturation") {
+    return TrafficKind::kSaturation;
+  }
+  throw core::Error("CampaignSpec: unknown traffic \"" + name +
+                    "\" (expected uniform|saturation)");
+}
+
+/// Misspelled keys must fail loudly (the Args parser sets the repo-wide
+/// precedent): a silently-defaulted "seed"/"seeds" typo would archive a
+/// statistically wrong grid.
+void reject_unknown_keys(const core::Json& object,
+                         const std::vector<std::string>& known,
+                         const std::string& where) {
+  for (const core::Json::Member& member : object.members()) {
+    bool ok = false;
+    for (const std::string& key : known) {
+      if (member.first == key) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      throw core::Error("CampaignSpec: unknown key \"" + member.first +
+                        "\" in " + where);
+    }
+  }
+}
+
+TopologySpec parse_topology(const core::Json& node) {
+  const std::string kind = node.at("kind").as_string();
+  if (kind == "stack_kautz") {
+    reject_unknown_keys(node, {"kind", "s", "d", "k"}, "stack_kautz");
+    return TopologySpec::stack_kautz(node.at("s").as_int(),
+                                     node.at("d").as_int(),
+                                     node.at("k").as_int());
+  }
+  if (kind == "pops") {
+    reject_unknown_keys(node, {"kind", "t", "g"}, "pops");
+    return TopologySpec::pops(node.at("t").as_int(), node.at("g").as_int());
+  }
+  if (kind == "stack_imase_itoh") {
+    reject_unknown_keys(node, {"kind", "s", "d", "n"}, "stack_imase_itoh");
+    return TopologySpec::stack_imase_itoh(node.at("s").as_int(),
+                                          node.at("d").as_int(),
+                                          node.at("n").as_int());
+  }
+  throw core::Error("CampaignSpec: unknown topology kind \"" + kind +
+                    "\" (expected stack_kautz|pops|stack_imase_itoh)");
+}
+
+}  // namespace
+
+TopologySpec TopologySpec::stack_kautz(std::int64_t s, std::int64_t d,
+                                       std::int64_t k) {
+  TopologySpec spec;
+  spec.kind = Kind::kStackKautz;
+  spec.stacking = s;
+  spec.degree = d;
+  spec.order = k;
+  return spec;
+}
+
+TopologySpec TopologySpec::pops(std::int64_t t, std::int64_t g) {
+  TopologySpec spec;
+  spec.kind = Kind::kPops;
+  spec.stacking = t;
+  spec.degree = 0;
+  spec.order = g;
+  return spec;
+}
+
+TopologySpec TopologySpec::stack_imase_itoh(std::int64_t s, std::int64_t d,
+                                            std::int64_t n) {
+  TopologySpec spec;
+  spec.kind = Kind::kStackImaseItoh;
+  spec.stacking = s;
+  spec.degree = d;
+  spec.order = n;
+  return spec;
+}
+
+std::string TopologySpec::label() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kStackKautz:
+      os << "SK(" << stacking << "," << degree << "," << order << ")";
+      break;
+    case Kind::kPops:
+      os << "POPS(" << stacking << "," << order << ")";
+      break;
+    case Kind::kStackImaseItoh:
+      os << "SII(" << stacking << "," << degree << "," << order << ")";
+      break;
+  }
+  return os.str();
+}
+
+std::shared_ptr<const CompiledTopology> CompiledTopology::build(
+    const TopologySpec& spec) {
+  auto topo = std::shared_ptr<CompiledTopology>(new CompiledTopology());
+  topo->spec_ = spec;
+  topo->label_ = spec.label();
+  switch (spec.kind) {
+    case TopologySpec::Kind::kStackKautz: {
+      auto network = std::make_shared<hypergraph::StackKautz>(
+          spec.stacking, static_cast<int>(spec.degree),
+          static_cast<int>(spec.order));
+      topo->stack_ = &network->stack();
+      topo->processors_ = network->processor_count();
+      topo->couplers_ = network->coupler_count();
+      topo->routes_ = std::make_shared<const routing::CompiledRoutes>(
+          routing::compile_stack_kautz_routes(*network));
+      topo->owner_ = std::move(network);
+      break;
+    }
+    case TopologySpec::Kind::kPops: {
+      auto network =
+          std::make_shared<hypergraph::Pops>(spec.stacking, spec.order);
+      topo->stack_ = &network->stack();
+      topo->processors_ = network->processor_count();
+      topo->couplers_ = network->coupler_count();
+      topo->routes_ = std::make_shared<const routing::CompiledRoutes>(
+          routing::compile_pops_routes(*network));
+      topo->owner_ = std::move(network);
+      break;
+    }
+    case TopologySpec::Kind::kStackImaseItoh: {
+      auto network = std::make_shared<hypergraph::StackImaseItoh>(
+          spec.stacking, static_cast<int>(spec.degree), spec.order);
+      topo->stack_ = &network->stack();
+      topo->processors_ = network->processor_count();
+      topo->couplers_ = network->coupler_count();
+      topo->routes_ = std::make_shared<const routing::CompiledRoutes>(
+          routing::compile_stack_imase_itoh_routes(*network));
+      topo->owner_ = std::move(network);
+      break;
+    }
+  }
+  g_compile_count.fetch_add(1, std::memory_order_relaxed);
+  return topo;
+}
+
+std::int64_t topology_compile_count() noexcept {
+  return g_compile_count.load(std::memory_order_relaxed);
+}
+
+void reset_topology_compile_count() noexcept {
+  g_compile_count.store(0, std::memory_order_relaxed);
+}
+
+const char* traffic_kind_name(TrafficKind kind) {
+  switch (kind) {
+    case TrafficKind::kUniform:
+      return "uniform";
+    case TrafficKind::kSaturation:
+      return "saturation";
+  }
+  return "?";
+}
+
+std::int64_t CampaignSpec::cell_count() const noexcept {
+  return static_cast<std::int64_t>(topologies.size()) *
+         static_cast<std::int64_t>(arbitrations.size()) *
+         static_cast<std::int64_t>(loads.size()) *
+         static_cast<std::int64_t>(wavelengths.size()) *
+         static_cast<std::int64_t>(seeds.size());
+}
+
+void CampaignSpec::validate() const {
+  OTIS_REQUIRE(!topologies.empty(), "CampaignSpec: topologies must be set");
+  OTIS_REQUIRE(!arbitrations.empty(),
+               "CampaignSpec: arbitrations must be non-empty");
+  OTIS_REQUIRE(!loads.empty(), "CampaignSpec: loads must be non-empty");
+  OTIS_REQUIRE(!wavelengths.empty(),
+               "CampaignSpec: wavelengths must be non-empty");
+  OTIS_REQUIRE(!seeds.empty(), "CampaignSpec: seeds must be non-empty");
+  for (double load : loads) {
+    OTIS_REQUIRE(load >= 0.0 && load <= 1.0,
+                 "CampaignSpec: loads must lie in [0, 1]");
+  }
+  for (std::int64_t w : wavelengths) {
+    OTIS_REQUIRE(w >= 1, "CampaignSpec: wavelengths must be >= 1");
+  }
+  OTIS_REQUIRE(warmup_slots >= 0, "CampaignSpec: warmup_slots must be >= 0");
+  OTIS_REQUIRE(measure_slots > 0, "CampaignSpec: measure_slots must be > 0");
+  OTIS_REQUIRE(queue_capacity >= 0,
+               "CampaignSpec: queue_capacity must be >= 0");
+}
+
+namespace {
+
+CampaignSpec spec_from_json(const core::Json& root) {
+  OTIS_REQUIRE(root.is_object(), "CampaignSpec: top level must be an object");
+  reject_unknown_keys(root,
+                      {"name", "topologies", "arbitrations", "traffic",
+                       "loads", "wavelengths", "seeds", "warmup_slots",
+                       "measure_slots", "queue_capacity", "engine",
+                       "engine_threads"},
+                      "campaign spec");
+
+  CampaignSpec spec;
+  spec.name = root.string_or("name", spec.name);
+
+  for (const core::Json& node : root.at("topologies").items()) {
+    spec.topologies.push_back(parse_topology(node));
+  }
+  if (const core::Json* arbs = root.find("arbitrations")) {
+    spec.arbitrations.clear();
+    for (const core::Json& node : arbs->items()) {
+      spec.arbitrations.push_back(parse_arbitration(node.as_string()));
+    }
+  }
+  spec.traffic = parse_traffic(
+      root.string_or("traffic", traffic_kind_name(spec.traffic)));
+  if (const core::Json* loads = root.find("loads")) {
+    spec.loads.clear();
+    for (const core::Json& node : loads->items()) {
+      spec.loads.push_back(node.as_number());
+    }
+  }
+  if (const core::Json* wavelengths = root.find("wavelengths")) {
+    spec.wavelengths.clear();
+    for (const core::Json& node : wavelengths->items()) {
+      spec.wavelengths.push_back(node.as_int());
+    }
+  }
+  if (const core::Json* seeds = root.find("seeds")) {
+    spec.seeds.clear();
+    for (const core::Json& node : seeds->items()) {
+      const std::int64_t seed = node.as_int();
+      OTIS_REQUIRE(seed >= 0, "CampaignSpec: seeds must be >= 0");
+      spec.seeds.push_back(static_cast<std::uint64_t>(seed));
+    }
+  }
+  spec.warmup_slots = root.int_or("warmup_slots", spec.warmup_slots);
+  spec.measure_slots = root.int_or("measure_slots", spec.measure_slots);
+  spec.queue_capacity = root.int_or("queue_capacity", spec.queue_capacity);
+  spec.engine = parse_engine(root.string_or("engine", "phased"));
+  spec.engine_threads = static_cast<int>(
+      root.int_or("engine_threads", spec.engine_threads));
+
+  spec.validate();
+  return spec;
+}
+
+}  // namespace
+
+CampaignSpec parse_campaign_spec(const std::string& json_text) {
+  return spec_from_json(core::Json::parse(json_text));
+}
+
+CampaignSpec load_campaign_spec(const std::string& path) {
+  return spec_from_json(core::Json::parse_file(path));
+}
+
+}  // namespace otis::campaign

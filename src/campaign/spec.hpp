@@ -1,0 +1,157 @@
+#pragma once
+/// \file spec.hpp
+/// Declarative experiment-campaign specifications.
+///
+/// The paper's results are grids of simulation cells -- topology x
+/// arbitration x load x wavelengths x seed. A CampaignSpec names every
+/// axis of one grid declaratively (in code or as a JSON file, see
+/// parse_campaign_spec); the grid/runner layers expand and execute it.
+///
+/// TopologySpec is the bridge between the declarative world and the
+/// concrete network classes: CompiledTopology::build constructs the
+/// hypergraph (StackKautz / Pops / StackImaseItoh) and bakes its routing
+/// into one CompiledRoutes, which the runner shares via shared_ptr across
+/// every cell of that topology -- the one-compile-per-topology contract
+/// the ROADMAP's batch-experiment item asks for. Builds are counted by a
+/// process-wide counter so tests can assert that contract.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hypergraph/stack_graph.hpp"
+#include "routing/compiled_routes.hpp"
+#include "sim/ops_network.hpp"
+
+namespace otis::campaign {
+
+/// One topology axis value: which network family plus its parameters.
+struct TopologySpec {
+  enum class Kind {
+    kStackKautz,      ///< SK(s, d, k)
+    kPops,            ///< POPS(t, g)
+    kStackImaseItoh,  ///< SII(s, d, n)
+  };
+
+  Kind kind = Kind::kStackKautz;
+  std::int64_t stacking = 1;  ///< s (SK/SII) or group size t (POPS)
+  std::int64_t degree = 0;    ///< d (SK/SII); unused for POPS
+  std::int64_t order = 0;     ///< diameter k (SK), group count g/n (POPS/SII)
+
+  [[nodiscard]] static TopologySpec stack_kautz(std::int64_t s, std::int64_t d,
+                                                std::int64_t k);
+  [[nodiscard]] static TopologySpec pops(std::int64_t t, std::int64_t g);
+  [[nodiscard]] static TopologySpec stack_imase_itoh(std::int64_t s,
+                                                     std::int64_t d,
+                                                     std::int64_t n);
+
+  /// Canonical label, e.g. "SK(4,3,2)", "POPS(6,12)", "SII(4,2,12)".
+  /// Doubles as the topology part of cell IDs, so it must stay stable.
+  [[nodiscard]] std::string label() const;
+
+  [[nodiscard]] bool operator==(const TopologySpec& other) const noexcept {
+    return kind == other.kind && stacking == other.stacking &&
+           degree == other.degree && order == other.order;
+  }
+};
+
+/// A topology built and routed once, shared read-only by many cells.
+class CompiledTopology {
+ public:
+  /// Constructs the network and compiles its routing tables (exactly one
+  /// CompiledRoutes::compile per call; bumps topology_compile_count()).
+  [[nodiscard]] static std::shared_ptr<const CompiledTopology> build(
+      const TopologySpec& spec);
+
+  [[nodiscard]] const TopologySpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+  [[nodiscard]] const hypergraph::StackGraph& stack() const noexcept {
+    return *stack_;
+  }
+  [[nodiscard]] const std::shared_ptr<const routing::CompiledRoutes>& routes()
+      const noexcept {
+    return routes_;
+  }
+  [[nodiscard]] std::int64_t processor_count() const noexcept {
+    return processors_;
+  }
+  [[nodiscard]] std::int64_t coupler_count() const noexcept {
+    return couplers_;
+  }
+
+ private:
+  CompiledTopology() = default;
+
+  TopologySpec spec_;
+  std::string label_;
+  std::shared_ptr<const void> owner_;  ///< keeps the network object alive
+  const hypergraph::StackGraph* stack_ = nullptr;
+  std::shared_ptr<const routing::CompiledRoutes> routes_;
+  std::int64_t processors_ = 0;
+  std::int64_t couplers_ = 0;
+};
+
+/// Process-wide count of CompiledTopology::build calls (== routing-table
+/// compiles). Tests reset it, run a campaign, and assert one per topology.
+[[nodiscard]] std::int64_t topology_compile_count() noexcept;
+void reset_topology_compile_count() noexcept;
+
+/// Traffic families a campaign can drive (see sim/traffic.hpp).
+enum class TrafficKind {
+  kUniform,     ///< Bernoulli(load), uniform destinations
+  kSaturation,  ///< always-backlogged; the load axis is ignored
+};
+
+[[nodiscard]] const char* traffic_kind_name(TrafficKind kind);
+
+/// The declarative experiment grid. Cells = topologies x arbitrations x
+/// loads x wavelengths x seeds, every combination simulated once.
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::vector<TopologySpec> topologies;
+  std::vector<sim::Arbitration> arbitrations{
+      sim::Arbitration::kTokenRoundRobin};
+  TrafficKind traffic = TrafficKind::kUniform;
+  std::vector<double> loads{0.5};
+  std::vector<std::int64_t> wavelengths{1};
+  std::vector<std::uint64_t> seeds{1};
+
+  /// Per-cell simulator window (see SimConfig).
+  std::int64_t warmup_slots = 200;
+  std::int64_t measure_slots = 1000;
+  std::int64_t queue_capacity = 0;
+
+  /// Engine every cell runs on; engine_threads feeds SimConfig.threads
+  /// for kSharded cells (results are thread-count invariant by design).
+  sim::Engine engine = sim::Engine::kPhased;
+  int engine_threads = 1;
+
+  /// Total cell count of the expanded grid.
+  [[nodiscard]] std::int64_t cell_count() const noexcept;
+
+  /// Throws core::Error when any axis is empty or a window is invalid.
+  void validate() const;
+};
+
+/// Parses a spec from its JSON form. Schema (README "Running campaigns"):
+/// {
+///   "name": "paper-grid",
+///   "topologies": [{"kind": "stack_kautz", "s": 4, "d": 3, "k": 2},
+///                  {"kind": "pops", "t": 6, "g": 12},
+///                  {"kind": "stack_imase_itoh", "s": 4, "d": 2, "n": 12}],
+///   "arbitrations": ["token", "random", "aloha"],
+///   "traffic": "uniform",
+///   "loads": [0.1, 0.5, 0.9],
+///   "wavelengths": [1, 2, 4],
+///   "seeds": [1, 2, 3],
+///   "warmup_slots": 200, "measure_slots": 1000, "queue_capacity": 0,
+///   "engine": "phased", "engine_threads": 1
+/// }
+/// Every field except "topologies" has the CampaignSpec default.
+[[nodiscard]] CampaignSpec parse_campaign_spec(const std::string& json_text);
+
+/// parse_campaign_spec over the contents of `path`.
+[[nodiscard]] CampaignSpec load_campaign_spec(const std::string& path);
+
+}  // namespace otis::campaign

@@ -1,0 +1,361 @@
+// Tests for the campaign subsystem: grid expansion, spec parsing, the
+// one-compile-per-topology contract, thread-count invariance of the
+// emitted JSONL/CSV streams, and resume-from-manifest. The big spec used
+// below is the ISSUE acceptance grid -- >= 100 cells across SK(4,3,2),
+// POPS(6,12) and SII(4,2,12) -- with a short measurement window so the
+// whole file stays fast.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/grid.hpp"
+#include "campaign/manifest.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/sink.hpp"
+#include "campaign/spec.hpp"
+#include "core/error.hpp"
+#include "core/json.hpp"
+
+namespace {
+
+using namespace otis;
+using campaign::CampaignOptions;
+using campaign::CampaignRunner;
+using campaign::CampaignSpec;
+using campaign::TopologySpec;
+
+/// The ISSUE acceptance grid: 3 topologies x 1 arbitration x 5 loads x
+/// 2 wavelengths x 4 seeds = 120 cells, tiny windows.
+CampaignSpec acceptance_spec() {
+  CampaignSpec spec;
+  spec.name = "acceptance";
+  spec.topologies = {TopologySpec::stack_kautz(4, 3, 2),
+                     TopologySpec::pops(6, 12),
+                     TopologySpec::stack_imase_itoh(4, 2, 12)};
+  spec.loads = {0.1, 0.3, 0.5, 0.7, 0.9};
+  spec.wavelengths = {1, 2};
+  spec.seeds = {1, 2, 3, 4};
+  spec.warmup_slots = 10;
+  spec.measure_slots = 40;
+  return spec;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Fresh scratch directory under the build tree's temp space.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag)
+      : path_(std::filesystem::temp_directory_path() /
+              ("otis_campaign_" + tag + "_" +
+               std::to_string(::getpid()))) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST(CampaignGrid, ExpansionCountsAndOrder) {
+  const CampaignSpec spec = acceptance_spec();
+  EXPECT_EQ(spec.cell_count(), 3 * 5 * 2 * 4);
+
+  const std::vector<campaign::CampaignCell> cells =
+      campaign::expand_grid(spec);
+  ASSERT_EQ(cells.size(), 120u);
+
+  std::set<std::string> ids;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, static_cast<std::int64_t>(i));
+    ids.insert(cells[i].id);
+  }
+  EXPECT_EQ(ids.size(), cells.size()) << "cell IDs must be unique";
+
+  // Nesting order: seeds innermost, then wavelengths, loads, topology.
+  EXPECT_EQ(cells[0].seed, 1u);
+  EXPECT_EQ(cells[1].seed, 2u);
+  EXPECT_EQ(cells[0].wavelengths, 1);
+  EXPECT_EQ(cells[4].wavelengths, 2);
+  EXPECT_DOUBLE_EQ(cells[0].load, 0.1);
+  EXPECT_DOUBLE_EQ(cells[8].load, 0.3);
+  EXPECT_EQ(cells[0].topology, 0u);
+  EXPECT_EQ(cells[40].topology, 1u);
+  EXPECT_EQ(cells[80].topology, 2u);
+
+  EXPECT_EQ(cells[0].id,
+            "SK(4,3,2)|token|uniform|load=0.100000|w=1|seed=1");
+
+  // Axis values that collide in the ID's 6-decimal load form are
+  // refused (a silent collision would make resume drop cells).
+  CampaignSpec colliding = spec;
+  colliding.loads = {0.1, 0.1000000001};
+  EXPECT_THROW(campaign::expand_grid(colliding), core::Error);
+}
+
+TEST(CampaignSpecJson, ParsesFullSchema) {
+  const std::string json = R"({
+    "name": "parse-test",
+    "topologies": [
+      {"kind": "stack_kautz", "s": 6, "d": 3, "k": 2},
+      {"kind": "pops", "t": 6, "g": 12},
+      {"kind": "stack_imase_itoh", "s": 4, "d": 2, "n": 12}
+    ],
+    "arbitrations": ["token", "random", "aloha"],
+    "traffic": "saturation",
+    "loads": [1.0],
+    "wavelengths": [1, 4],
+    "seeds": [7, 8],
+    "warmup_slots": 50,
+    "measure_slots": 200,
+    "queue_capacity": 16,
+    "engine": "sharded",
+    "engine_threads": 2
+  })";
+  const CampaignSpec spec = campaign::parse_campaign_spec(json);
+  EXPECT_EQ(spec.name, "parse-test");
+  ASSERT_EQ(spec.topologies.size(), 3u);
+  EXPECT_EQ(spec.topologies[0].label(), "SK(6,3,2)");
+  EXPECT_EQ(spec.topologies[1].label(), "POPS(6,12)");
+  EXPECT_EQ(spec.topologies[2].label(), "SII(4,2,12)");
+  EXPECT_EQ(spec.arbitrations.size(), 3u);
+  EXPECT_EQ(spec.traffic, campaign::TrafficKind::kSaturation);
+  EXPECT_EQ(spec.wavelengths, (std::vector<std::int64_t>{1, 4}));
+  EXPECT_EQ(spec.seeds, (std::vector<std::uint64_t>{7, 8}));
+  EXPECT_EQ(spec.warmup_slots, 50);
+  EXPECT_EQ(spec.measure_slots, 200);
+  EXPECT_EQ(spec.queue_capacity, 16);
+  EXPECT_EQ(spec.engine, sim::Engine::kSharded);
+  EXPECT_EQ(spec.engine_threads, 2);
+  EXPECT_EQ(spec.cell_count(), 3 * 3 * 1 * 2 * 2);
+}
+
+TEST(CampaignSpecJson, DefaultsAndErrors) {
+  const CampaignSpec spec = campaign::parse_campaign_spec(
+      R"({"topologies": [{"kind": "pops", "t": 2, "g": 3}]})");
+  EXPECT_EQ(spec.arbitrations.size(), 1u);
+  EXPECT_EQ(spec.traffic, campaign::TrafficKind::kUniform);
+  EXPECT_EQ(spec.engine, sim::Engine::kPhased);
+
+  EXPECT_THROW(campaign::parse_campaign_spec("{}"), core::Error);
+  EXPECT_THROW(campaign::parse_campaign_spec(
+                   R"({"topologies": [{"kind": "ring", "n": 4}]})"),
+               core::Error);
+  EXPECT_THROW(
+      campaign::parse_campaign_spec(
+          R"({"topologies": [{"kind": "pops", "t": 2, "g": 3}],
+              "arbitrations": ["coin-flip"]})"),
+      core::Error);
+  EXPECT_THROW(
+      campaign::parse_campaign_spec(
+          R"({"topologies": [{"kind": "pops", "t": 2, "g": 3}],
+              "loads": []})"),
+      core::Error);
+  // Misspelled keys fail loudly instead of silently running defaults.
+  EXPECT_THROW(
+      campaign::parse_campaign_spec(
+          R"({"topologies": [{"kind": "pops", "t": 2, "g": 3}],
+              "measure_slot": 100000})"),
+      core::Error);
+  EXPECT_THROW(
+      campaign::parse_campaign_spec(
+          R"({"topologies": [{"kind": "pops", "t": 2, "g": 3, "s": 4}]})"),
+      core::Error);
+}
+
+TEST(CampaignRunnerTest, OneCompilePerTopology) {
+  CampaignSpec spec = acceptance_spec();
+  campaign::reset_topology_compile_count();
+
+  auto aggregate = std::make_shared<campaign::AggregateSink>();
+  CampaignRunner runner(spec);
+  runner.add_sink(aggregate);
+  CampaignOptions options;
+  options.threads = 4;
+  const campaign::CampaignReport report = runner.run(options);
+
+  EXPECT_EQ(report.total_cells, 120);
+  EXPECT_EQ(report.completed_cells, 120);
+  EXPECT_EQ(report.skipped_cells, 0);
+  EXPECT_EQ(report.topologies_compiled, 3);
+  EXPECT_EQ(campaign::topology_compile_count(), 3)
+      << "120 cells over 3 topologies must compile exactly 3 route tables";
+
+  // 3 topologies x 5 loads x 2 wavelengths groups, each folding 4 seeds.
+  EXPECT_EQ(aggregate->groups().size(), 30u);
+  for (const campaign::AggregateSink::Group& group : aggregate->groups()) {
+    EXPECT_EQ(group.point.trials, 4);
+    EXPECT_GE(group.point.throughput_stddev, 0.0);
+  }
+}
+
+TEST(CampaignRunnerTest, JsonlBitIdenticalAcrossThreadCounts) {
+  const CampaignSpec spec = acceptance_spec();
+  ScratchDir dir1("t1");
+  ScratchDir dir8("t8");
+
+  CampaignOptions options1;
+  options1.threads = 1;
+  options1.out_dir = dir1.path().string();
+  CampaignRunner(spec).run(options1);
+
+  CampaignOptions options8;
+  options8.threads = 8;
+  options8.out_dir = dir8.path().string();
+  CampaignRunner(spec).run(options8);
+
+  const std::string jsonl1 =
+      read_file(dir1.path() / CampaignRunner::kJsonlFile);
+  const std::string jsonl8 =
+      read_file(dir8.path() / CampaignRunner::kJsonlFile);
+  ASSERT_FALSE(jsonl1.empty());
+  EXPECT_EQ(jsonl1, jsonl8) << "JSONL must be bit-identical for any "
+                               "--threads value";
+  EXPECT_EQ(read_file(dir1.path() / CampaignRunner::kCsvFile),
+            read_file(dir8.path() / CampaignRunner::kCsvFile));
+
+  // Every line is valid JSON with the cell's ID first.
+  std::istringstream lines(jsonl1);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    const core::Json row = core::Json::parse(line);
+    EXPECT_TRUE(row.is_object());
+    EXPECT_FALSE(row.at("cell_id").as_string().empty());
+    ++count;
+  }
+  EXPECT_EQ(count, 120u);
+}
+
+TEST(CampaignRunnerTest, ResumeSkipsCompletedCells) {
+  const CampaignSpec spec = acceptance_spec();
+
+  // Reference: one uninterrupted run.
+  ScratchDir full("full");
+  CampaignOptions full_options;
+  full_options.threads = 4;
+  full_options.out_dir = full.path().string();
+  CampaignRunner(spec).run(full_options);
+  const std::string full_jsonl =
+      read_file(full.path() / CampaignRunner::kJsonlFile);
+  const std::string full_manifest =
+      read_file(full.path() / CampaignRunner::kManifestFile);
+
+  // Simulated interrupt: keep the first 30 cells' rows + manifest lines.
+  ScratchDir part("part");
+  constexpr std::size_t kDone = 30;
+  auto truncate_lines = [](const std::string& text, std::size_t lines) {
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < lines && pos != std::string::npos; ++i) {
+      pos = text.find('\n', pos);
+      if (pos != std::string::npos) {
+        ++pos;
+      }
+    }
+    return text.substr(0, pos);
+  };
+  std::ofstream(part.path() / CampaignRunner::kJsonlFile)
+      << truncate_lines(full_jsonl, kDone);
+  std::ofstream(part.path() / CampaignRunner::kManifestFile)
+      << truncate_lines(full_manifest, kDone);
+  // CSV: header + first kDone rows.
+  std::ofstream(part.path() / CampaignRunner::kCsvFile) << truncate_lines(
+      read_file(full.path() / CampaignRunner::kCsvFile), kDone + 1);
+
+  campaign::reset_topology_compile_count();
+  CampaignOptions resume_options;
+  resume_options.threads = 4;
+  resume_options.out_dir = part.path().string();
+  resume_options.resume = true;
+  const campaign::CampaignReport report =
+      CampaignRunner(spec).run(resume_options);
+
+  EXPECT_EQ(report.skipped_cells, static_cast<std::int64_t>(kDone));
+  EXPECT_EQ(report.completed_cells,
+            static_cast<std::int64_t>(120 - kDone));
+  // 30 done cells cover only the first topology's first 30 of 40 cells,
+  // so all 3 topologies still have pending work.
+  EXPECT_EQ(campaign::topology_compile_count(), 3);
+
+  // After resume the output files equal the uninterrupted run's, byte
+  // for byte.
+  EXPECT_EQ(read_file(part.path() / CampaignRunner::kJsonlFile),
+            full_jsonl);
+  EXPECT_EQ(read_file(part.path() / CampaignRunner::kManifestFile),
+            full_manifest);
+  EXPECT_EQ(read_file(part.path() / CampaignRunner::kCsvFile),
+            read_file(full.path() / CampaignRunner::kCsvFile));
+
+  // Resuming a finished campaign is a no-op.
+  const campaign::CampaignReport again =
+      CampaignRunner(spec).run(resume_options);
+  EXPECT_EQ(again.skipped_cells, 120);
+  EXPECT_EQ(again.completed_cells, 0);
+  EXPECT_EQ(read_file(part.path() / CampaignRunner::kJsonlFile),
+            full_jsonl);
+}
+
+TEST(CampaignRunnerTest, ManifestSurvivesSpecGrowth) {
+  // IDs are parameter-derived, so enlarging an axis only runs new cells.
+  CampaignSpec small;
+  small.topologies = {TopologySpec::pops(3, 4)};
+  small.loads = {0.2};
+  small.seeds = {1, 2};
+  small.warmup_slots = 5;
+  small.measure_slots = 20;
+
+  ScratchDir dir("grow");
+  CampaignOptions options;
+  options.out_dir = dir.path().string();
+  CampaignRunner(small).run(options);
+
+  CampaignSpec grown = small;
+  grown.seeds = {1, 2, 3};
+  options.resume = true;
+  const campaign::CampaignReport report = CampaignRunner(grown).run(options);
+  EXPECT_EQ(report.skipped_cells, 2);
+  EXPECT_EQ(report.completed_cells, 1);
+}
+
+TEST(WorkStealingPool, RunsEveryItemOnceAndPropagatesErrors) {
+  campaign::WorkStealingPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) {
+    h = 0;
+  }
+  pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+  // Reusable across batches (persistent threads).
+  pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 2);
+  }
+  EXPECT_THROW(pool.run(8,
+                        [](std::size_t i) {
+                          if (i == 5) {
+                            throw core::Error("boom");
+                          }
+                        }),
+               core::Error);
+}
+
+}  // namespace

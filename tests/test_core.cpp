@@ -11,6 +11,7 @@
 #include "core/args.hpp"
 #include "core/csv.hpp"
 #include "core/error.hpp"
+#include "core/json.hpp"
 #include "core/mathutil.hpp"
 #include "core/rng.hpp"
 #include "core/table.hpp"
@@ -277,6 +278,57 @@ TEST(Args, NonNumericValueThrows) {
   const char* argv[] = {"prog", "--n=abc"};
   Args args(2, argv);
   EXPECT_THROW((void)args.get_int("n", 0), Error);
+}
+
+TEST(Json, ParsesNestedDocument) {
+  const Json doc = Json::parse(R"({
+    "name": "grid é\n",
+    "count": 42,
+    "ratio": -1.5e2,
+    "on": true,
+    "off": false,
+    "nothing": null,
+    "list": [1, [2, 3], {"k": "v"}]
+  })");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("name").as_string(), "grid \xC3\xA9\n");
+  EXPECT_EQ(doc.at("count").as_int(), 42);
+  EXPECT_DOUBLE_EQ(doc.at("ratio").as_number(), -150.0);
+  EXPECT_TRUE(doc.at("on").as_bool());
+  EXPECT_FALSE(doc.at("off").as_bool());
+  EXPECT_TRUE(doc.at("nothing").is_null());
+  const auto& list = doc.at("list").items();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[1].items()[1].as_int(), 3);
+  EXPECT_EQ(list[2].at("k").as_string(), "v");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_EQ(doc.int_or("missing", 7), 7);
+  EXPECT_EQ(doc.string_or("name", "x"), "grid \xC3\xA9\n");
+}
+
+TEST(Json, SurrogatePairsDecodeToUtf8) {
+  EXPECT_EQ(Json::parse(R"("\uD83D\uDE00")").as_string(),
+            "\xF0\x9F\x98\x80");  // U+1F600 via a surrogate pair
+  EXPECT_EQ(Json::parse(R"("\u00e9A")").as_string(),
+            "\xC3\xA9"
+            "A");
+  EXPECT_THROW(Json::parse(R"("\uD83D")"), Error);   // lone high
+  EXPECT_THROW(Json::parse(R"("\uDE00")"), Error);   // lone low
+  EXPECT_THROW(Json::parse(R"("\uD83DA")"), Error);  // broken pair
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), Error);
+  EXPECT_THROW(Json::parse("{"), Error);
+  EXPECT_THROW(Json::parse("{\"a\": 1,}"), Error);
+  EXPECT_THROW(Json::parse("[1 2]"), Error);
+  EXPECT_THROW(Json::parse("tru"), Error);
+  EXPECT_THROW(Json::parse("\"unterminated"), Error);
+  EXPECT_THROW(Json::parse("1.5 extra"), Error);
+  EXPECT_THROW(Json::parse("01a"), Error);
+  // Type errors surface as core::Error, and as_int rejects fractions.
+  EXPECT_THROW((void)Json::parse("[]").as_bool(), Error);
+  EXPECT_THROW((void)Json::parse("1.25").as_int(), Error);
 }
 
 }  // namespace

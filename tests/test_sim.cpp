@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 #include "core/error.hpp"
@@ -397,6 +398,56 @@ TEST(Experiment, LoadSweepAggregatesAndIsMonotoneAtLowLoad) {
 TEST(Experiment, RequiresSeeds) {
   TrialFactory factory = [](double, std::uint64_t) { return RunMetrics{}; };
   EXPECT_THROW(run_load_sweep(factory, {0.1}, 8, 4, {}), core::Error);
+}
+
+TEST(Experiment, SweepPointMergeMatchesDirectMoments) {
+  // Three single-trial points with throughputs {1, 2, 6}: mean 3,
+  // population variance ((4 + 1 + 9) / 3) = 14/3.
+  SweepPoint a;
+  a.load = 0.5;
+  a.throughput_per_node = 1.0;
+  a.trials = 1;
+  SweepPoint b = a;
+  b.throughput_per_node = 2.0;
+  SweepPoint c = a;
+  c.throughput_per_node = 6.0;
+
+  SweepPoint left_fold = a;
+  left_fold.merge(b);
+  left_fold.merge(c);
+  EXPECT_EQ(left_fold.trials, 3);
+  EXPECT_NEAR(left_fold.throughput_per_node, 3.0, 1e-12);
+  EXPECT_NEAR(left_fold.throughput_stddev, std::sqrt(14.0 / 3.0), 1e-9);
+
+  // Trial-count-weighted: merging (a+b) into c equals any other order.
+  SweepPoint pair = a;
+  pair.merge(b);
+  SweepPoint right_fold = c;
+  right_fold.merge(pair);
+  EXPECT_NEAR(right_fold.throughput_per_node, left_fold.throughput_per_node,
+              1e-12);
+  EXPECT_NEAR(right_fold.throughput_stddev, left_fold.throughput_stddev,
+              1e-9);
+
+  // Merging into an empty point copies the other side.
+  SweepPoint empty;
+  empty.merge(left_fold);
+  EXPECT_EQ(empty.trials, 3);
+  EXPECT_NEAR(empty.throughput_stddev, left_fold.throughput_stddev, 1e-12);
+}
+
+TEST(Experiment, LoadSweepReportsStddevAcrossSeeds) {
+  TrialFactory factory = [](double load, std::uint64_t seed) {
+    return run_pops(4, 2, load, Arbitration::kTokenRoundRobin, seed, 800);
+  };
+  auto points = run_load_sweep(factory, {0.3}, 8, 4, {1, 2, 3, 4}, 2);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].trials, 4);
+  // Different seeds give different trials, so the spread is positive and
+  // small relative to the mean at a stable operating point.
+  EXPECT_GT(points[0].throughput_stddev, 0.0);
+  EXPECT_LT(points[0].throughput_stddev, points[0].throughput_per_node);
+  EXPECT_GE(points[0].mean_latency_stddev, 0.0);
 }
 
 }  // namespace
