@@ -2,6 +2,7 @@
 //
 //   campaign_runner --spec specs/paper_grid.json --out out/paper --threads 8
 //   campaign_runner --spec specs/paper_grid.json --out out/paper --resume
+//   campaign_runner --spec specs/wdm_scale.json --out out/s0 --shard 0/4
 //
 // Expands topologies x arbitrations x loads x wavelengths x seeds into
 // cells, compiles one routing table per topology, fans cells out over a
@@ -14,10 +15,13 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <tuple>
+#include <utility>
 
 #include "campaign/manifest.hpp"
 #include "campaign/runner.hpp"
 #include "core/args.hpp"
+#include "core/error.hpp"
 #include "core/json.hpp"
 #include "core/table.hpp"
 
@@ -30,9 +34,10 @@ namespace {
 /// (they belong to cells that will be re-simulated), and each manifest
 /// ID folds at most once. Folded values carry the JSONL's fixed
 /// 6-decimal rounding, so a resumed aggregate matches an uninterrupted
-/// run's to ~1e-6 per metric rather than bit-exactly.
+/// run's to ~1e-6 per metric rather than bit-exactly. Because traffic
+/// and routes are per-row fields, this also refolds a directory merged
+/// from several --shard runs into the full-grid aggregate.
 void refold_completed_cells(const std::string& out_dir,
-                            otis::campaign::TrafficKind traffic,
                             otis::campaign::AggregateSink& aggregate) {
   namespace fs = std::filesystem;
   const fs::path dir(out_dir);
@@ -65,20 +70,56 @@ void refold_completed_cells(const std::string& out_dir,
             : 0.0;
     trial.trials = 1;
     aggregate.fold(row.at("topology").as_string(),
-                   row.at("arbitration").as_string(), traffic, trial.load,
-                   row.at("wavelengths").as_int(), row.at("nodes").as_int(),
-                   couplers, trial);
+                   row.at("arbitration").as_string(),
+                   otis::campaign::parse_traffic_kind(
+                       row.at("traffic").as_string()),
+                   trial.load, row.at("wavelengths").as_int(),
+                   otis::campaign::parse_route_table(
+                       row.string_or("routes", "auto")),
+                   row.at("nodes").as_int(), couplers, trial);
   }
 }
 
 void print_usage(std::ostream& os) {
   os << "usage: campaign_runner --spec FILE.json [--out DIR] [--threads N]\n"
-     << "                       [--resume] [--no-jsonl] [--no-csv]\n"
+     << "                       [--resume] [--shard I/N] [--no-jsonl]\n"
+     << "                       [--no-csv]\n"
      << "  --spec     campaign spec file (see README 'Running campaigns')\n"
      << "  --out      output directory for results.jsonl, results.csv,\n"
      << "             manifest.txt and aggregate.csv\n"
      << "  --threads  worker pool size (default 1; <= 0 = all cores)\n"
-     << "  --resume   skip cells already in DIR/manifest.txt, append files\n";
+     << "  --resume   skip cells already in DIR/manifest.txt, append files\n"
+     << "  --shard    run only every N-th cell starting at I (0 <= I < N):\n"
+     << "             a deterministic split of one campaign across\n"
+     << "             machines; concatenate the shards' results.jsonl and\n"
+     << "             manifest.txt to refold the full grid (composes with\n"
+     << "             --resume)\n";
+}
+
+/// Parses "I/N" into (shard_index, shard_count). Strict: both parts
+/// must be pure decimal numbers -- a typo'd shard spec must fail, not
+/// run a plausible-looking subset of the grid on the wrong machine.
+std::pair<int, int> parse_shard(const std::string& text) {
+  const auto parse_part = [&](const std::string& part) {
+    if (part.empty() || part.size() > 9 ||
+        part.find_first_not_of("0123456789") != std::string::npos) {
+      throw otis::core::Error("--shard expects I/N with "
+                              "decimal I and N, got \"" +
+                              text + "\"");
+    }
+    return std::stoi(part);
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) {
+    throw otis::core::Error("--shard expects I/N, got \"" +
+                            text + "\"");
+  }
+  const int index = parse_part(text.substr(0, slash));
+  const int count = parse_part(text.substr(slash + 1));
+  if (count < 1 || index >= count) {
+    throw otis::core::Error("--shard needs 0 <= I < N");
+  }
+  return {index, count};
 }
 
 }  // namespace
@@ -87,7 +128,8 @@ int main(int argc, char** argv) {
   try {
     const otis::core::Args args(
         argc, argv,
-        {"spec", "out", "threads", "resume", "no-jsonl", "no-csv", "help"});
+        {"spec", "out", "threads", "resume", "shard", "no-jsonl", "no-csv",
+         "help"});
     if (args.has("help")) {
       print_usage(std::cout);
       return 0;
@@ -107,28 +149,36 @@ int main(int argc, char** argv) {
     options.resume = args.has("resume");
     options.write_jsonl = !args.has("no-jsonl");
     options.write_csv = !args.has("no-csv");
+    if (args.has("shard")) {
+      std::tie(options.shard_index, options.shard_count) =
+          parse_shard(args.get("shard", ""));
+    }
 
     std::cout << "[campaign] " << spec.name << ": " << spec.cell_count()
               << " cells (" << spec.topologies.size() << " topologies x "
               << spec.arbitrations.size() << " arbitrations x "
-              << spec.loads.size() << " loads x " << spec.wavelengths.size()
-              << " wavelengths x " << spec.seeds.size() << " seeds), "
-              << otis::campaign::traffic_kind_name(spec.traffic)
-              << " traffic, engine " << otis::sim::engine_name(spec.engine)
-              << "\n";
+              << spec.traffics.size() << " traffics x " << spec.loads.size()
+              << " loads x " << spec.wavelengths.size() << " wavelengths x "
+              << spec.route_tables.size() << " route tables x "
+              << spec.seeds.size() << " seeds), engine "
+              << otis::sim::engine_name(spec.engine) << "\n";
+    if (options.shard_count > 1) {
+      std::cout << "[campaign] shard " << options.shard_index << "/"
+                << options.shard_count << "\n";
+    }
 
     auto aggregate = std::make_shared<otis::campaign::AggregateSink>();
     otis::campaign::CampaignRunner runner(std::move(spec));
     runner.add_sink(aggregate);
     if (options.resume && !options.out_dir.empty()) {
-      refold_completed_cells(options.out_dir, runner.spec().traffic,
-                             *aggregate);
+      refold_completed_cells(options.out_dir, *aggregate);
     }
     const otis::campaign::CampaignReport report = runner.run(options);
 
     std::cout << "[campaign] completed " << report.completed_cells << "/"
               << report.total_cells << " cells ("
-              << report.skipped_cells << " resumed from manifest), "
+              << report.skipped_cells << " resumed from manifest, "
+              << report.out_of_shard_cells << " left to other shards), "
               << report.topologies_compiled
               << " routing tables compiled, "
               << otis::core::format_double(report.elapsed_seconds, 2)

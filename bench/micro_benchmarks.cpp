@@ -4,10 +4,15 @@
 // headline -- the simulator's slot rate per engine.
 //
 // The simulator section times every (topology, arbitration) pair on the
-// legacy event-queue engine and on the phased engine (plus a sharded
-// run), prints slots/sec, and writes the results to BENCH_sim.json so
-// future PRs have a machine-readable perf trajectory. Exit status checks
-// the acceptance bar: phased >= 3x event-queue slots/sec on SK(4,3,2).
+// legacy event-queue engine and on the phased engine with dense and
+// with compressed routing tables (plus a sharded run), prints slots/sec
+// AND the bytes each route table occupies, and writes the results to
+// BENCH_sim.json so future PRs have a machine-readable perf trajectory
+// in both dimensions. A route-table memory section sizes dense vs
+// compressed tables per topology -- including a >= 10^4-processor
+// stack-Kautz whose dense table is only ever computed arithmetically.
+// Exit status checks the acceptance bar: phased >= 3x event-queue
+// slots/sec on SK(4,3,2).
 //
 // Self-contained chrono harness (no external benchmark dependency): each
 // measurement is the best of `kReps` runs, which is the right estimator
@@ -34,6 +39,7 @@
 #include "hypergraph/stack_kautz.hpp"
 #include "otis/imase_itoh_realization.hpp"
 #include "routing/compiled_routes.hpp"
+#include "routing/compressed_routes.hpp"
 #include "routing/generic_stack_routing.hpp"
 #include "routing/imase_itoh_routing.hpp"
 #include "routing/kautz_routing.hpp"
@@ -83,6 +89,10 @@ struct SimBenchCase {
   otis::sim::RoutingHooks hooks;
   /// The compiled tables driving the phased/sharded engines.
   std::shared_ptr<const otis::routing::CompiledRoutes> routes;
+  /// The group-factored tables (bit-identical results, O(G^2) memory).
+  std::shared_ptr<const otis::routing::CompressedRoutes> compressed;
+  /// Rebuilds the compressed table from scratch, for compile timing.
+  std::function<std::size_t()> recompile;
   std::int64_t nodes;
 };
 
@@ -93,6 +103,7 @@ struct SimBenchResult {
   std::int64_t slots;
   double slots_per_sec;
   double packets_per_sec;
+  std::int64_t route_table_bytes;  ///< 0 for the hook-routed baseline
 };
 
 constexpr std::int64_t kSimSlots = 2000;
@@ -100,7 +111,8 @@ constexpr double kSimLoad = 0.3;
 
 SimBenchResult run_sim_bench(const SimBenchCase& c,
                              otis::sim::Arbitration arb,
-                             otis::sim::Engine engine, int threads) {
+                             otis::sim::Engine engine, int threads,
+                             bool compressed_routes = false) {
   otis::sim::RunMetrics metrics;
   const double seconds = time_best([&] {
     otis::sim::SimConfig config;
@@ -118,6 +130,10 @@ SimBenchResult run_sim_bench(const SimBenchCase& c,
       otis::sim::OpsNetworkSim sim(*c.stack, c.hooks, std::move(traffic),
                                    config);
       metrics = sim.run();
+    } else if (compressed_routes) {
+      otis::sim::OpsNetworkSim sim(*c.stack, c.compressed,
+                                   std::move(traffic), config);
+      metrics = sim.run();
     } else {
       otis::sim::OpsNetworkSim sim(*c.stack, c.routes, std::move(traffic),
                                    config);
@@ -131,15 +147,36 @@ SimBenchResult run_sim_bench(const SimBenchCase& c,
   if (engine == otis::sim::Engine::kSharded) {
     r.engine += "(" + std::to_string(threads) + ")";
   }
+  if (compressed_routes) {
+    r.engine += "+cr";
+  }
   r.slots = kSimSlots;
   r.slots_per_sec = static_cast<double>(kSimSlots) / seconds;
   r.packets_per_sec =
       static_cast<double>(metrics.delivered_packets) / seconds;
+  r.route_table_bytes =
+      engine == otis::sim::Engine::kEventQueue
+          ? 0
+          : static_cast<std::int64_t>(compressed_routes
+                                          ? c.compressed->memory_bytes()
+                                          : c.routes->memory_bytes());
   return r;
 }
 
+/// One row of the route-table memory model: measured or (for instances
+/// whose dense table should never be allocated) computed dense bytes
+/// next to the compressed table's real footprint.
+struct RouteTableRow {
+  std::string topology;
+  std::int64_t nodes;
+  std::int64_t dense_bytes;
+  std::int64_t compressed_bytes;
+  double compile_seconds;  ///< compressed-table compile time
+};
+
 void write_bench_json(const std::string& path,
                       const std::vector<SimBenchResult>& results,
+                      const std::vector<RouteTableRow>& tables,
                       double sk_speedup, bool pass) {
   std::ofstream out(path);
   out << "{\n"
@@ -155,7 +192,26 @@ void write_bench_json(const std::string& path,
                r.slots_per_sec)
         << ", \"packets_per_sec\": " << static_cast<std::int64_t>(
                r.packets_per_sec)
+        << ", \"route_table_bytes\": " << r.route_table_bytes
         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"route_tables\": [\n";
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    const RouteTableRow& t = tables[i];
+    out << "    {\"topology\": \"" << t.topology << "\", \"nodes\": "
+        << t.nodes << ", \"dense_bytes\": " << t.dense_bytes
+        << ", \"compressed_bytes\": " << t.compressed_bytes
+        << ", \"compression_ratio\": "
+        << otis::core::format_double(
+               t.compressed_bytes > 0
+                   ? static_cast<double>(t.dense_bytes) /
+                         static_cast<double>(t.compressed_bytes)
+                   : 0.0,
+               1)
+        << ", \"compile_seconds\": "
+        << otis::core::format_double(t.compile_seconds, 4) << "}"
+        << (i + 1 < tables.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
       << "  \"acceptance\": {\"topology\": \"SK(4,3,2)\", \"arbitration\": "
@@ -284,14 +340,31 @@ int main(int argc, char** argv) {
       {"SK(4,3,2)", &sk.stack(), sk_hooks,
        std::make_shared<const otis::routing::CompiledRoutes>(
            otis::routing::compile_stack_kautz_routes(sk)),
+       std::make_shared<const otis::routing::CompressedRoutes>(
+           otis::routing::compress_stack_kautz_routes(sk)),
+       [&sk] {
+         return otis::routing::compress_stack_kautz_routes(sk)
+             .memory_bytes();
+       },
        sk.processor_count()},
       {"POPS(6,12)", &pops.stack(), pops_hooks,
        std::make_shared<const otis::routing::CompiledRoutes>(
            otis::routing::compile_pops_routes(pops)),
+       std::make_shared<const otis::routing::CompressedRoutes>(
+           otis::routing::compress_pops_routes(pops)),
+       [&pops] {
+         return otis::routing::compress_pops_routes(pops).memory_bytes();
+       },
        pops.processor_count()},
       {"SII(4,2,12)", &sii.stack(), sii_hooks,
        std::make_shared<const otis::routing::CompiledRoutes>(
            otis::routing::compile_stack_imase_itoh_routes(sii)),
+       std::make_shared<const otis::routing::CompressedRoutes>(
+           otis::routing::compress_stack_imase_itoh_routes(sii)),
+       [&sii] {
+         return otis::routing::compress_stack_imase_itoh_routes(sii)
+             .memory_bytes();
+       },
        sii.processor_count()},
   };
   const otis::sim::Arbitration policies[] = {
@@ -300,8 +373,15 @@ int main(int argc, char** argv) {
       otis::sim::Arbitration::kSlottedAloha};
 
   std::vector<SimBenchResult> results;
-  otis::core::Table sim_table(
-      {"topology", "arbitration", "engine", "slots/s", "pkts/s"});
+  otis::core::Table sim_table({"topology", "arbitration", "engine",
+                               "slots/s", "pkts/s", "table bytes"});
+  const auto record = [&](SimBenchResult r) {
+    sim_table.add(r.topology, r.arbitration, r.engine,
+                  static_cast<std::int64_t>(r.slots_per_sec),
+                  static_cast<std::int64_t>(r.packets_per_sec),
+                  r.route_table_bytes);
+    results.push_back(std::move(r));
+  };
   double sk_token_event_queue = 0.0;
   double sk_token_phased = 0.0;
   for (const SimBenchCase& c : cases) {
@@ -315,31 +395,72 @@ int main(int argc, char** argv) {
                                                     : sk_token_phased) =
               r.slots_per_sec;
         }
-        sim_table.add(r.topology, r.arbitration, r.engine,
-                      static_cast<std::int64_t>(r.slots_per_sec),
-                      static_cast<std::int64_t>(r.packets_per_sec));
-        results.push_back(std::move(r));
+        record(std::move(r));
       }
+      // The dense-vs-compressed datapoint: same engine, same results,
+      // O(G^2) instead of O(N^2) table bytes.
+      record(run_sim_bench(c, arb, otis::sim::Engine::kPhased, 1,
+                           /*compressed_routes=*/true));
     }
   }
   // One sharded datapoint (thread-count invariant by construction; on a
   // single-core container this mostly measures barrier overhead).
-  {
-    SimBenchResult r =
-        run_sim_bench(cases[0], otis::sim::Arbitration::kTokenRoundRobin,
-                      otis::sim::Engine::kSharded, sharded_threads);
-    sim_table.add(r.topology, r.arbitration, r.engine,
-                  static_cast<std::int64_t>(r.slots_per_sec),
-                  static_cast<std::int64_t>(r.packets_per_sec));
-    results.push_back(std::move(r));
-  }
+  record(run_sim_bench(cases[0], otis::sim::Arbitration::kTokenRoundRobin,
+                       otis::sim::Engine::kSharded, sharded_threads));
   sim_table.print(std::cout);
+
+  // ------------------------------------------- route-table memory model
+  std::cout << "\n[routes] table memory, dense vs group-compressed\n\n";
+  std::vector<RouteTableRow> route_tables;
+  for (const SimBenchCase& c : cases) {
+    RouteTableRow row;
+    row.topology = c.topology;
+    row.nodes = c.nodes;
+    row.dense_bytes = static_cast<std::int64_t>(c.routes->memory_bytes());
+    row.compressed_bytes =
+        static_cast<std::int64_t>(c.compressed->memory_bytes());
+    row.compile_seconds = time_best([&] {
+      volatile std::size_t bytes = c.recompile();
+      (void)bytes;
+    });
+    route_tables.push_back(std::move(row));
+  }
+  {
+    // The scale-up datapoint: SK(10,10,3) has N = 11000 processors; its
+    // dense table (~1.5 GB) is computed arithmetically, never allocated.
+    otis::hypergraph::StackKautz big(10, 10, 3);
+    RouteTableRow row;
+    row.topology = "SK(10,10,3)";
+    row.nodes = big.processor_count();
+    row.dense_bytes =
+        static_cast<std::int64_t>(otis::routing::CompiledRoutes::dense_bytes(
+            big.processor_count(), big.coupler_count()));
+    std::int64_t bytes = 0;
+    row.compile_seconds = time_best([&] {
+      bytes = static_cast<std::int64_t>(
+          otis::routing::compress_stack_kautz_routes(big).memory_bytes());
+    });
+    row.compressed_bytes = bytes;
+    route_tables.push_back(std::move(row));
+  }
+  otis::core::Table routes_table({"topology", "nodes", "dense B",
+                                  "compressed B", "ratio", "compile ms"});
+  for (const RouteTableRow& t : route_tables) {
+    routes_table.add(
+        t.topology, t.nodes, t.dense_bytes, t.compressed_bytes,
+        otis::core::format_double(
+            static_cast<double>(t.dense_bytes) /
+                static_cast<double>(t.compressed_bytes),
+            1),
+        otis::core::format_double(t.compile_seconds * 1e3, 2));
+  }
+  routes_table.print(std::cout);
 
   const double speedup =
       sk_token_event_queue > 0.0 ? sk_token_phased / sk_token_event_queue
                                  : 0.0;
   const bool pass = speedup >= 3.0;
-  write_bench_json(out_path, results, speedup, pass);
+  write_bench_json(out_path, results, route_tables, speedup, pass);
   std::cout << "\nphased vs event-queue on SK(4,3,2)/token: "
             << otis::core::format_double(speedup, 2)
             << "x (acceptance >= 3x: " << (pass ? "PASS" : "FAIL")

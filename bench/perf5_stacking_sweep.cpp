@@ -34,7 +34,7 @@ int main() {
     spec.topologies.push_back(
         otis::campaign::TopologySpec::stack_kautz(s, 3, 2));
   }
-  spec.traffic = otis::campaign::TrafficKind::kSaturation;
+  spec.traffics = {otis::campaign::TrafficKind::kSaturation};
   spec.loads = {1.0};
   spec.seeds = {7};
   spec.warmup_slots = 200;

@@ -26,7 +26,7 @@ int main() {
   otis::campaign::CampaignSpec spec;
   spec.name = "perf7-wdm-extension";
   spec.topologies = {otis::campaign::TopologySpec::stack_kautz(6, 3, 2)};
-  spec.traffic = otis::campaign::TrafficKind::kSaturation;
+  spec.traffics = {otis::campaign::TrafficKind::kSaturation};
   spec.loads = {1.0};
   spec.wavelengths = wavelengths;
   spec.seeds = {31};

@@ -69,7 +69,23 @@ def main():
         print(f"::warning title=Perf regression::{topology}/{arbitration}/"
               f"{engine} slots/sec at {ratio:.2f}x of previous run "
               f"(threshold {1.0 - args.threshold:.2f}x)")
-    if not regressions:
+
+    # Memory dimension: route-table bytes are deterministic per
+    # (topology, engine), so ANY growth is a real regression, not noise.
+    memory_regressions = []
+    for key in sorted(current):
+        cur_bytes = current[key].get("route_table_bytes")
+        prev = previous.get(key)
+        prev_bytes = prev.get("route_table_bytes") if prev else None
+        if cur_bytes and prev_bytes and cur_bytes > prev_bytes:
+            memory_regressions.append((key, prev_bytes, cur_bytes))
+    for (topology, arbitration, engine), prev_bytes, cur_bytes in \
+            memory_regressions:
+        print(f"::warning title=Route-table memory regression::{topology}/"
+              f"{arbitration}/{engine} route tables grew from {prev_bytes} "
+              f"to {cur_bytes} bytes")
+
+    if not regressions and not memory_regressions:
         print(f"\nno regression beyond {args.threshold:.0%} threshold")
     return 0
 

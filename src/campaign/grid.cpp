@@ -11,12 +11,12 @@ namespace otis::campaign {
 std::string cell_id(const TopologySpec& topology,
                     sim::Arbitration arbitration, TrafficKind traffic,
                     double load, std::int64_t wavelengths,
-                    std::uint64_t seed) {
+                    sim::RouteTable routes, std::uint64_t seed) {
   std::ostringstream os;
   os << topology.label() << "|" << sim::arbitration_name(arbitration) << "|"
      << traffic_kind_name(traffic) << "|load="
      << core::format_double(load, 6) << "|w=" << wavelengths
-     << "|seed=" << seed;
+     << "|routes=" << sim::route_table_name(routes) << "|seed=" << seed;
   return os.str();
 }
 
@@ -26,20 +26,49 @@ std::vector<CampaignCell> expand_grid(const CampaignSpec& spec) {
   cells.reserve(static_cast<std::size_t>(spec.cell_count()));
   std::int64_t index = 0;
   for (std::size_t t = 0; t < spec.topologies.size(); ++t) {
+    // Execution knobs are per topology: spec defaults, then every
+    // matching override layered in order (later entries win per field).
+    // A pinned route table replaces the whole routes axis for that
+    // topology -- its cells collapse to the one pinned value.
+    sim::Engine engine = spec.engine;
+    int engine_threads = spec.engine_threads;
+    std::vector<sim::RouteTable> route_axis = spec.route_tables;
+    for (const CellOverride& override : spec.overrides) {
+      if (override.topology != spec.topologies[t].label()) {
+        continue;
+      }
+      if (override.engine) {
+        engine = *override.engine;
+      }
+      if (override.engine_threads) {
+        engine_threads = *override.engine_threads;
+      }
+      if (override.route_table) {
+        route_axis.assign(1, *override.route_table);
+      }
+    }
     for (sim::Arbitration arbitration : spec.arbitrations) {
-      for (double load : spec.loads) {
-        for (std::int64_t w : spec.wavelengths) {
-          for (std::uint64_t seed : spec.seeds) {
-            CampaignCell cell;
-            cell.index = index++;
-            cell.id = cell_id(spec.topologies[t], arbitration, spec.traffic,
-                              load, w, seed);
-            cell.topology = t;
-            cell.arbitration = arbitration;
-            cell.load = load;
-            cell.wavelengths = w;
-            cell.seed = seed;
-            cells.push_back(std::move(cell));
+      for (TrafficKind traffic : spec.traffics) {
+        for (double load : spec.loads) {
+          for (std::int64_t w : spec.wavelengths) {
+            for (sim::RouteTable routes : route_axis) {
+              for (std::uint64_t seed : spec.seeds) {
+                CampaignCell cell;
+                cell.index = index++;
+                cell.id = cell_id(spec.topologies[t], arbitration, traffic,
+                                  load, w, routes, seed);
+                cell.topology = t;
+                cell.arbitration = arbitration;
+                cell.traffic = traffic;
+                cell.load = load;
+                cell.wavelengths = w;
+                cell.routes = routes;
+                cell.seed = seed;
+                cell.engine = engine;
+                cell.engine_threads = engine_threads;
+                cells.push_back(std::move(cell));
+              }
+            }
           }
         }
       }

@@ -154,6 +154,29 @@ void WorkStealingPool::run(std::size_t count,
 
 namespace {
 
+std::unique_ptr<sim::TrafficGenerator> make_traffic(const CampaignSpec& spec,
+                                                    const CampaignCell& cell,
+                                                    std::int64_t nodes) {
+  switch (cell.traffic) {
+    case TrafficKind::kSaturation:
+      return std::make_unique<sim::SaturationTraffic>(nodes);
+    case TrafficKind::kHotspot:
+      return std::make_unique<sim::HotspotTraffic>(
+          nodes, cell.load, spec.hotspot_node, spec.hotspot_fraction);
+    case TrafficKind::kPermutation:
+      // The permutation is drawn from the cell seed, so each seed axis
+      // value is an independent partner assignment.
+      return std::make_unique<sim::PermutationTraffic>(nodes, cell.load,
+                                                       cell.seed);
+    case TrafficKind::kBursty:
+      return std::make_unique<sim::BurstyTraffic>(
+          nodes, cell.load, spec.bursty_enter_on, spec.bursty_exit_on);
+    case TrafficKind::kUniform:
+      break;
+  }
+  return std::make_unique<sim::UniformTraffic>(nodes, cell.load);
+}
+
 CellResult simulate_cell(const CampaignSpec& spec,
                          const CompiledTopology& topology,
                          const CampaignCell& cell) {
@@ -164,27 +187,28 @@ CellResult simulate_cell(const CampaignSpec& spec,
   config.queue_capacity = spec.queue_capacity;
   config.seed = cell.seed;
   config.wavelengths = cell.wavelengths;
-  config.engine = spec.engine;
-  config.threads = spec.engine_threads;
+  config.engine = cell.engine;
+  config.threads = cell.engine_threads;
 
-  std::unique_ptr<sim::TrafficGenerator> traffic;
-  if (spec.traffic == TrafficKind::kSaturation) {
-    traffic =
-        std::make_unique<sim::SaturationTraffic>(topology.processor_count());
-  } else {
-    traffic = std::make_unique<sim::UniformTraffic>(
-        topology.processor_count(), cell.load);
-  }
+  std::unique_ptr<sim::TrafficGenerator> traffic =
+      make_traffic(spec, cell, topology.processor_count());
 
-  sim::OpsNetworkSim sim(topology.stack(), topology.routes(),
-                         std::move(traffic), config);
   CellResult result;
   result.cell = cell;
   result.topology_label = topology.label();
-  result.traffic = spec.traffic;
+  result.traffic = cell.traffic;
   result.nodes = topology.processor_count();
   result.couplers = topology.coupler_count();
-  result.metrics = sim.run();
+  if (sim::resolve_route_table(cell.routes, topology.processor_count()) ==
+      sim::RouteTable::kCompressed) {
+    sim::OpsNetworkSim sim(topology.stack(), topology.compressed_routes(),
+                           std::move(traffic), config);
+    result.metrics = sim.run();
+  } else {
+    sim::OpsNetworkSim sim(topology.stack(), topology.routes(),
+                           std::move(traffic), config);
+    result.metrics = sim.run();
+  }
   return result;
 }
 
@@ -229,25 +253,46 @@ CampaignReport CampaignRunner::run(const CampaignOptions& options) {
                                    options.resume);
   }
 
+  OTIS_REQUIRE(options.shard_count >= 1 && options.shard_index >= 0 &&
+                   options.shard_index < options.shard_count,
+               "CampaignRunner: shard must be i/n with 0 <= i < n");
+
   std::vector<const CampaignCell*> pending;
   pending.reserve(cells.size());
   for (const CampaignCell& cell : cells) {
-    if (completed.count(cell.id) > 0) {
+    // Shard split first (a pure function of the spec), manifest skip
+    // second, so --shard composes with --resume: a shard resumed against
+    // its own (or a merged) manifest re-runs only its missing cells.
+    if (cell.index % options.shard_count != options.shard_index) {
+      ++report.out_of_shard_cells;
+    } else if (completed.count(cell.id) > 0) {
       ++report.skipped_cells;
     } else {
       pending.push_back(&cell);
     }
   }
 
-  // One compile per distinct topology that still has pending work; all
-  // of a topology's cells share the same immutable tables.
-  std::map<std::size_t, std::shared_ptr<const CompiledTopology>> topologies;
+  // One build per distinct topology that still has pending work; all of
+  // a topology's cells share the same immutable tables. Only the table
+  // representations its cells resolve to are compiled -- a compressed-
+  // only topology never materializes the O(N^2) dense table.
+  struct TableNeeds {
+    bool dense = false;
+    bool compressed = false;
+  };
+  std::map<std::size_t, TableNeeds> needs;
   for (const CampaignCell* cell : pending) {
-    auto [it, inserted] = topologies.try_emplace(cell->topology, nullptr);
-    if (inserted) {
-      it->second = CompiledTopology::build(spec_.topologies[cell->topology]);
-      ++report.topologies_compiled;
-    }
+    TableNeeds& need = needs[cell->topology];
+    const sim::RouteTable resolved = sim::resolve_route_table(
+        cell->routes, spec_.topologies[cell->topology].processor_count());
+    (resolved == sim::RouteTable::kCompressed ? need.compressed
+                                              : need.dense) = true;
+  }
+  std::map<std::size_t, std::shared_ptr<const CompiledTopology>> topologies;
+  for (const auto& [index, need] : needs) {
+    topologies[index] = CompiledTopology::build(spec_.topologies[index],
+                                                need.dense, need.compressed);
+    ++report.topologies_compiled;
   }
 
   // Reorder buffer: workers finish in steal order, sinks consume in

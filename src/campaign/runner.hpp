@@ -88,6 +88,15 @@ struct CampaignOptions {
   bool resume = false;   ///< skip cells listed in the manifest, append files
   bool write_jsonl = true;  ///< emit out_dir/results.jsonl
   bool write_csv = true;    ///< emit out_dir/results.csv
+  /// Deterministic cross-machine split: this invocation runs only cells
+  /// with expansion index == shard_index (mod shard_count). The split
+  /// depends on the spec alone (never on manifests), so n machines
+  /// running shards 0/n .. (n-1)/n cover the grid exactly once;
+  /// concatenating their results.jsonl and manifest.txt into one
+  /// directory yields a full-grid output a --resume run recognizes as
+  /// complete (and refolds into the full aggregate).
+  int shard_index = 0;
+  int shard_count = 1;
 };
 
 /// What one run() did.
@@ -95,7 +104,8 @@ struct CampaignReport {
   std::int64_t total_cells = 0;        ///< grid size
   std::int64_t completed_cells = 0;    ///< simulated this invocation
   std::int64_t skipped_cells = 0;      ///< already in the manifest
-  std::int64_t topologies_compiled = 0;  ///< CompiledRoutes built this run
+  std::int64_t out_of_shard_cells = 0;  ///< left to other shards
+  std::int64_t topologies_compiled = 0;  ///< routing-table sets built
   double elapsed_seconds = 0.0;
 };
 

@@ -52,6 +52,7 @@ void JsonlSink::consume(const CellResult& r) {
        << ", \"traffic\": \"" << traffic_kind_name(r.traffic) << "\""
        << ", \"load\": " << num(r.cell.load)
        << ", \"wavelengths\": " << r.cell.wavelengths
+       << ", \"routes\": \"" << sim::route_table_name(r.cell.routes) << "\""
        << ", \"seed\": " << r.cell.seed << ", \"nodes\": " << r.nodes
        << ", \"couplers\": " << r.couplers << ", \"slots\": " << m.slots
        << ", \"offered\": " << m.offered_packets
@@ -80,10 +81,11 @@ const std::vector<std::string>& CsvSink::columns() {
   static const std::vector<std::string> kColumns = {
       "cell_id",       "topology",    "arbitration",
       "traffic",       "load",        "wavelengths",
-      "seed",          "nodes",       "couplers",
-      "slots",         "offered",     "delivered",
-      "dropped",       "collisions",  "coupler_transmissions",
-      "backlog",       "throughput_per_node", "mean_latency",
+      "routes",        "seed",        "nodes",
+      "couplers",      "slots",       "offered",
+      "delivered",     "dropped",     "collisions",
+      "coupler_transmissions",        "backlog",
+      "throughput_per_node",          "mean_latency",
       "p95_latency",   "max_latency", "coupler_utilization",
       "delivered_fraction"};
   return kColumns;
@@ -111,7 +113,8 @@ void CsvSink::consume(const CellResult& r) {
   out_ << quoted(r.cell.id) << "," << quoted(r.topology_label) << ","
        << sim::arbitration_name(r.cell.arbitration) << ","
        << traffic_kind_name(r.traffic) << "," << num(r.cell.load) << ","
-       << r.cell.wavelengths << "," << r.cell.seed << "," << r.nodes << ","
+       << r.cell.wavelengths << "," << sim::route_table_name(r.cell.routes)
+       << "," << r.cell.seed << "," << r.nodes << ","
        << r.couplers << "," << m.slots << "," << m.offered_packets << ","
        << m.delivered_packets << "," << m.dropped_packets << ","
        << m.collisions << "," << m.coupler_transmissions << "," << m.backlog
@@ -130,7 +133,8 @@ void CsvSink::flush() { out_.flush(); }
 
 void AggregateSink::consume(const CellResult& r) {
   fold(r.topology_label, sim::arbitration_name(r.cell.arbitration),
-       r.traffic, r.cell.load, r.cell.wavelengths, r.nodes, r.couplers,
+       r.traffic, r.cell.load, r.cell.wavelengths, r.cell.routes, r.nodes,
+       r.couplers,
        sim::SweepPoint::from_trial(r.metrics, r.cell.load, r.nodes,
                                    r.couplers));
 }
@@ -138,7 +142,8 @@ void AggregateSink::consume(const CellResult& r) {
 void AggregateSink::fold(const std::string& topology,
                          const std::string& arbitration, TrafficKind traffic,
                          double load, std::int64_t wavelengths,
-                         std::int64_t nodes, std::int64_t couplers,
+                         sim::RouteTable routes, std::int64_t nodes,
+                         std::int64_t couplers,
                          const sim::SweepPoint& trial) {
   // Loads are matched through their emitted 6-decimal form, not exact
   // double equality: resumed trials arrive round-tripped through the
@@ -146,7 +151,8 @@ void AggregateSink::fold(const std::string& topology,
   const std::string load_key = num(load);
   for (Group& group : groups_) {
     if (group.topology == topology && group.arbitration == arbitration &&
-        num(group.load) == load_key && group.wavelengths == wavelengths) {
+        group.traffic == traffic && num(group.load) == load_key &&
+        group.wavelengths == wavelengths && group.routes == routes) {
       group.point.merge(trial);
       return;
     }
@@ -157,6 +163,7 @@ void AggregateSink::fold(const std::string& topology,
   group.traffic = traffic;
   group.load = load;
   group.wavelengths = wavelengths;
+  group.routes = routes;
   group.nodes = nodes;
   group.couplers = couplers;
   group.point = trial;
@@ -166,7 +173,7 @@ void AggregateSink::fold(const std::string& topology,
 void AggregateSink::write_csv(const std::string& path) const {
   std::ofstream out(path, std::ios::out | std::ios::trunc);
   OTIS_REQUIRE(out.good(), "AggregateSink: cannot open " + path);
-  out << "topology,arbitration,traffic,load,wavelengths,trials,"
+  out << "topology,arbitration,traffic,load,wavelengths,routes,trials,"
          "throughput_per_node,throughput_stddev,mean_latency,"
          "mean_latency_stddev,p95_latency,p95_latency_stddev,"
          "coupler_utilization,coupler_utilization_stddev,collision_rate,"
@@ -176,7 +183,8 @@ void AggregateSink::write_csv(const std::string& path) const {
     const sim::SweepPoint& p = g.point;
     out << quoted(g.topology) << "," << g.arbitration << ","
         << traffic_kind_name(g.traffic) << "," << num(g.load) << ","
-        << g.wavelengths << "," << p.trials << ","
+        << g.wavelengths << "," << sim::route_table_name(g.routes) << ","
+        << p.trials << ","
         << num(p.throughput_per_node) << "," << num(p.throughput_stddev)
         << "," << num(p.mean_latency) << "," << num(p.mean_latency_stddev)
         << "," << num(p.p95_latency) << "," << num(p.p95_latency_stddev)

@@ -78,9 +78,9 @@ class CsvSink : public ResultSink {
 };
 
 /// Folds the seed axis: one sim::SweepPoint per distinct
-/// (topology, arbitration, load, wavelengths) combination, merged with
-/// trial-count weighting (mean + stddev per metric). Groups appear in
-/// first-cell order.
+/// (topology, arbitration, traffic, load, wavelengths, routes)
+/// combination, merged with trial-count weighting (mean + stddev per
+/// metric). Groups appear in first-cell order.
 class AggregateSink : public ResultSink {
  public:
   struct Group {
@@ -89,6 +89,7 @@ class AggregateSink : public ResultSink {
     TrafficKind traffic = TrafficKind::kUniform;
     double load = 0.0;
     std::int64_t wavelengths = 1;
+    sim::RouteTable routes = sim::RouteTable::kAuto;
     std::int64_t nodes = 0;
     std::int64_t couplers = 0;
     sim::SweepPoint point;
@@ -102,7 +103,7 @@ class AggregateSink : public ResultSink {
   /// aggregate covers the whole grid, not just this invocation's cells.
   void fold(const std::string& topology, const std::string& arbitration,
             TrafficKind traffic, double load, std::int64_t wavelengths,
-            std::int64_t nodes, std::int64_t couplers,
+            sim::RouteTable routes, std::int64_t nodes, std::int64_t couplers,
             const sim::SweepPoint& trial);
 
   [[nodiscard]] const std::vector<Group>& groups() const noexcept {

@@ -43,17 +43,6 @@ sim::Engine parse_engine(const std::string& name) {
                     "\" (expected event-queue|phased|sharded)");
 }
 
-TrafficKind parse_traffic(const std::string& name) {
-  if (name == "uniform") {
-    return TrafficKind::kUniform;
-  }
-  if (name == "saturation") {
-    return TrafficKind::kSaturation;
-  }
-  throw core::Error("CampaignSpec: unknown traffic \"" + name +
-                    "\" (expected uniform|saturation)");
-}
-
 /// Misspelled keys must fail loudly (the Args parser sets the repo-wide
 /// precedent): a silently-defaulted "seed"/"seeds" typo would archive a
 /// statistically wrong grid.
@@ -128,6 +117,24 @@ TopologySpec TopologySpec::stack_imase_itoh(std::int64_t s, std::int64_t d,
   return spec;
 }
 
+std::int64_t TopologySpec::processor_count() const {
+  switch (kind) {
+    case Kind::kStackKautz: {
+      // N = s * d^(k-1) * (d+1), the Kautz order times the stacking.
+      std::int64_t groups = degree + 1;
+      for (std::int64_t i = 1; i < order; ++i) {
+        groups *= degree;
+      }
+      return stacking * groups;
+    }
+    case Kind::kPops:
+      return stacking * order;
+    case Kind::kStackImaseItoh:
+      return stacking * order;
+  }
+  return 0;
+}
+
 std::string TopologySpec::label() const {
   std::ostringstream os;
   switch (kind) {
@@ -145,7 +152,10 @@ std::string TopologySpec::label() const {
 }
 
 std::shared_ptr<const CompiledTopology> CompiledTopology::build(
-    const TopologySpec& spec) {
+    const TopologySpec& spec, bool want_dense, bool want_compressed) {
+  OTIS_REQUIRE(want_dense || want_compressed,
+               "CompiledTopology: at least one table representation must "
+               "be requested");
   auto topo = std::shared_ptr<CompiledTopology>(new CompiledTopology());
   topo->spec_ = spec;
   topo->label_ = spec.label();
@@ -157,8 +167,15 @@ std::shared_ptr<const CompiledTopology> CompiledTopology::build(
       topo->stack_ = &network->stack();
       topo->processors_ = network->processor_count();
       topo->couplers_ = network->coupler_count();
-      topo->routes_ = std::make_shared<const routing::CompiledRoutes>(
-          routing::compile_stack_kautz_routes(*network));
+      if (want_dense) {
+        topo->routes_ = std::make_shared<const routing::CompiledRoutes>(
+            routing::compile_stack_kautz_routes(*network));
+      }
+      if (want_compressed) {
+        topo->compressed_routes_ =
+            std::make_shared<const routing::CompressedRoutes>(
+                routing::compress_stack_kautz_routes(*network));
+      }
       topo->owner_ = std::move(network);
       break;
     }
@@ -168,8 +185,15 @@ std::shared_ptr<const CompiledTopology> CompiledTopology::build(
       topo->stack_ = &network->stack();
       topo->processors_ = network->processor_count();
       topo->couplers_ = network->coupler_count();
-      topo->routes_ = std::make_shared<const routing::CompiledRoutes>(
-          routing::compile_pops_routes(*network));
+      if (want_dense) {
+        topo->routes_ = std::make_shared<const routing::CompiledRoutes>(
+            routing::compile_pops_routes(*network));
+      }
+      if (want_compressed) {
+        topo->compressed_routes_ =
+            std::make_shared<const routing::CompressedRoutes>(
+                routing::compress_pops_routes(*network));
+      }
       topo->owner_ = std::move(network);
       break;
     }
@@ -179,8 +203,15 @@ std::shared_ptr<const CompiledTopology> CompiledTopology::build(
       topo->stack_ = &network->stack();
       topo->processors_ = network->processor_count();
       topo->couplers_ = network->coupler_count();
-      topo->routes_ = std::make_shared<const routing::CompiledRoutes>(
-          routing::compile_stack_imase_itoh_routes(*network));
+      if (want_dense) {
+        topo->routes_ = std::make_shared<const routing::CompiledRoutes>(
+            routing::compile_stack_imase_itoh_routes(*network));
+      }
+      if (want_compressed) {
+        topo->compressed_routes_ =
+            std::make_shared<const routing::CompressedRoutes>(
+                routing::compress_stack_imase_itoh_routes(*network));
+      }
       topo->owner_ = std::move(network);
       break;
     }
@@ -203,22 +234,71 @@ const char* traffic_kind_name(TrafficKind kind) {
       return "uniform";
     case TrafficKind::kSaturation:
       return "saturation";
+    case TrafficKind::kHotspot:
+      return "hotspot";
+    case TrafficKind::kPermutation:
+      return "permutation";
+    case TrafficKind::kBursty:
+      return "bursty";
   }
   return "?";
 }
 
-std::int64_t CampaignSpec::cell_count() const noexcept {
-  return static_cast<std::int64_t>(topologies.size()) *
-         static_cast<std::int64_t>(arbitrations.size()) *
-         static_cast<std::int64_t>(loads.size()) *
-         static_cast<std::int64_t>(wavelengths.size()) *
-         static_cast<std::int64_t>(seeds.size());
+TrafficKind parse_traffic_kind(const std::string& name) {
+  for (TrafficKind kind :
+       {TrafficKind::kUniform, TrafficKind::kSaturation, TrafficKind::kHotspot,
+        TrafficKind::kPermutation, TrafficKind::kBursty}) {
+    if (name == traffic_kind_name(kind)) {
+      return kind;
+    }
+  }
+  throw core::Error(
+      "CampaignSpec: unknown traffic \"" + name +
+      "\" (expected uniform|saturation|hotspot|permutation|bursty)");
+}
+
+sim::RouteTable parse_route_table(const std::string& name) {
+  for (sim::RouteTable table : {sim::RouteTable::kDense,
+                                sim::RouteTable::kCompressed,
+                                sim::RouteTable::kAuto}) {
+    if (name == sim::route_table_name(table)) {
+      return table;
+    }
+  }
+  throw core::Error("CampaignSpec: unknown route table \"" + name +
+                    "\" (expected dense|compressed|auto)");
+}
+
+std::int64_t CampaignSpec::cell_count() const {
+  const std::int64_t per_routes_value =
+      static_cast<std::int64_t>(arbitrations.size()) *
+      static_cast<std::int64_t>(traffics.size()) *
+      static_cast<std::int64_t>(loads.size()) *
+      static_cast<std::int64_t>(wavelengths.size()) *
+      static_cast<std::int64_t>(seeds.size());
+  std::int64_t total = 0;
+  for (const TopologySpec& topology : topologies) {
+    // An override that pins the route table collapses that topology's
+    // routes axis to one value (see expand_grid).
+    std::int64_t routes_values =
+        static_cast<std::int64_t>(route_tables.size());
+    for (const CellOverride& override : overrides) {
+      if (override.route_table && override.topology == topology.label()) {
+        routes_values = 1;
+      }
+    }
+    total += per_routes_value * routes_values;
+  }
+  return total;
 }
 
 void CampaignSpec::validate() const {
   OTIS_REQUIRE(!topologies.empty(), "CampaignSpec: topologies must be set");
   OTIS_REQUIRE(!arbitrations.empty(),
                "CampaignSpec: arbitrations must be non-empty");
+  OTIS_REQUIRE(!traffics.empty(), "CampaignSpec: traffic must be non-empty");
+  OTIS_REQUIRE(!route_tables.empty(),
+               "CampaignSpec: routes must be non-empty");
   OTIS_REQUIRE(!loads.empty(), "CampaignSpec: loads must be non-empty");
   OTIS_REQUIRE(!wavelengths.empty(),
                "CampaignSpec: wavelengths must be non-empty");
@@ -234,6 +314,25 @@ void CampaignSpec::validate() const {
   OTIS_REQUIRE(measure_slots > 0, "CampaignSpec: measure_slots must be > 0");
   OTIS_REQUIRE(queue_capacity >= 0,
                "CampaignSpec: queue_capacity must be >= 0");
+  OTIS_REQUIRE(hotspot_node >= 0, "CampaignSpec: hotspot_node must be >= 0");
+  OTIS_REQUIRE(hotspot_fraction >= 0.0 && hotspot_fraction <= 1.0,
+               "CampaignSpec: hotspot_fraction must lie in [0, 1]");
+  OTIS_REQUIRE(bursty_enter_on > 0.0 && bursty_enter_on <= 1.0,
+               "CampaignSpec: bursty_enter_on must lie in (0, 1]");
+  OTIS_REQUIRE(bursty_exit_on > 0.0 && bursty_exit_on <= 1.0,
+               "CampaignSpec: bursty_exit_on must lie in (0, 1]");
+  for (const CellOverride& override : overrides) {
+    bool matched = false;
+    for (const TopologySpec& topology : topologies) {
+      if (topology.label() == override.topology) {
+        matched = true;
+        break;
+      }
+    }
+    OTIS_REQUIRE(matched, "CampaignSpec: override topology \"" +
+                              override.topology +
+                              "\" names no topology in the grid");
+  }
 }
 
 namespace {
@@ -242,9 +341,11 @@ CampaignSpec spec_from_json(const core::Json& root) {
   OTIS_REQUIRE(root.is_object(), "CampaignSpec: top level must be an object");
   reject_unknown_keys(root,
                       {"name", "topologies", "arbitrations", "traffic",
-                       "loads", "wavelengths", "seeds", "warmup_slots",
-                       "measure_slots", "queue_capacity", "engine",
-                       "engine_threads"},
+                       "loads", "wavelengths", "routes", "seeds",
+                       "hotspot_node", "hotspot_fraction", "bursty_enter_on",
+                       "bursty_exit_on", "warmup_slots", "measure_slots",
+                       "queue_capacity", "engine", "engine_threads",
+                       "overrides"},
                       "campaign spec");
 
   CampaignSpec spec;
@@ -259,8 +360,25 @@ CampaignSpec spec_from_json(const core::Json& root) {
       spec.arbitrations.push_back(parse_arbitration(node.as_string()));
     }
   }
-  spec.traffic = parse_traffic(
-      root.string_or("traffic", traffic_kind_name(spec.traffic)));
+  // Axes that accept one string as well as an array ("traffic"'s
+  // single-string form is the pre-axis schema).
+  const auto string_or_array_axis = [&root](const std::string& key,
+                                            auto& axis, auto parse_item) {
+    const core::Json* node = root.find(key);
+    if (node == nullptr) {
+      return;
+    }
+    axis.clear();
+    if (node->is_string()) {
+      axis.push_back(parse_item(node->as_string()));
+      return;
+    }
+    for (const core::Json& item : node->items()) {
+      axis.push_back(parse_item(item.as_string()));
+    }
+  };
+  string_or_array_axis("traffic", spec.traffics, parse_traffic_kind);
+  string_or_array_axis("routes", spec.route_tables, parse_route_table);
   if (const core::Json* loads = root.find("loads")) {
     spec.loads.clear();
     for (const core::Json& node : loads->items()) {
@@ -281,12 +399,37 @@ CampaignSpec spec_from_json(const core::Json& root) {
       spec.seeds.push_back(static_cast<std::uint64_t>(seed));
     }
   }
+  spec.hotspot_node = root.int_or("hotspot_node", spec.hotspot_node);
+  spec.hotspot_fraction =
+      root.number_or("hotspot_fraction", spec.hotspot_fraction);
+  spec.bursty_enter_on =
+      root.number_or("bursty_enter_on", spec.bursty_enter_on);
+  spec.bursty_exit_on = root.number_or("bursty_exit_on", spec.bursty_exit_on);
   spec.warmup_slots = root.int_or("warmup_slots", spec.warmup_slots);
   spec.measure_slots = root.int_or("measure_slots", spec.measure_slots);
   spec.queue_capacity = root.int_or("queue_capacity", spec.queue_capacity);
   spec.engine = parse_engine(root.string_or("engine", "phased"));
   spec.engine_threads = static_cast<int>(
       root.int_or("engine_threads", spec.engine_threads));
+  if (const core::Json* overrides = root.find("overrides")) {
+    for (const core::Json& node : overrides->items()) {
+      reject_unknown_keys(node,
+                          {"topology", "engine", "engine_threads", "routes"},
+                          "override");
+      CellOverride override;
+      override.topology = node.at("topology").as_string();
+      if (const core::Json* engine = node.find("engine")) {
+        override.engine = parse_engine(engine->as_string());
+      }
+      if (const core::Json* threads = node.find("engine_threads")) {
+        override.engine_threads = static_cast<int>(threads->as_int());
+      }
+      if (const core::Json* routes = node.find("routes")) {
+        override.route_table = parse_route_table(routes->as_string());
+      }
+      spec.overrides.push_back(std::move(override));
+    }
+  }
 
   spec.validate();
   return spec;

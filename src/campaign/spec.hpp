@@ -17,11 +17,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "hypergraph/stack_graph.hpp"
 #include "routing/compiled_routes.hpp"
+#include "routing/compressed_routes.hpp"
 #include "sim/ops_network.hpp"
 
 namespace otis::campaign {
@@ -50,6 +52,11 @@ struct TopologySpec {
   /// Doubles as the topology part of cell IDs, so it must stay stable.
   [[nodiscard]] std::string label() const;
 
+  /// Processor count N by arithmetic alone -- SK: s*d^(k-1)*(d+1),
+  /// POPS: t*g, SII: s*n -- so RouteTable::kAuto can resolve before the
+  /// (possibly huge) network is ever built.
+  [[nodiscard]] std::int64_t processor_count() const;
+
   [[nodiscard]] bool operator==(const TopologySpec& other) const noexcept {
     return kind == other.kind && stacking == other.stacking &&
            degree == other.degree && order == other.order;
@@ -59,19 +66,29 @@ struct TopologySpec {
 /// A topology built and routed once, shared read-only by many cells.
 class CompiledTopology {
  public:
-  /// Constructs the network and compiles its routing tables (exactly one
-  /// CompiledRoutes::compile per call; bumps topology_compile_count()).
+  /// Constructs the network and compiles the requested routing-table
+  /// representations -- at most one compile per representation per call;
+  /// bumps topology_compile_count() once per call. At large N request
+  /// only the compressed table: the dense one is O(N^2) and is never
+  /// materialized unless asked for.
   [[nodiscard]] static std::shared_ptr<const CompiledTopology> build(
-      const TopologySpec& spec);
+      const TopologySpec& spec, bool want_dense = true,
+      bool want_compressed = false);
 
   [[nodiscard]] const TopologySpec& spec() const noexcept { return spec_; }
   [[nodiscard]] const std::string& label() const noexcept { return label_; }
   [[nodiscard]] const hypergraph::StackGraph& stack() const noexcept {
     return *stack_;
   }
+  /// Dense tables; null unless requested at build().
   [[nodiscard]] const std::shared_ptr<const routing::CompiledRoutes>& routes()
       const noexcept {
     return routes_;
+  }
+  /// Group-factored tables; null unless requested at build().
+  [[nodiscard]] const std::shared_ptr<const routing::CompressedRoutes>&
+  compressed_routes() const noexcept {
+    return compressed_routes_;
   }
   [[nodiscard]] std::int64_t processor_count() const noexcept {
     return processors_;
@@ -88,6 +105,7 @@ class CompiledTopology {
   std::shared_ptr<const void> owner_;  ///< keeps the network object alive
   const hypergraph::StackGraph* stack_ = nullptr;
   std::shared_ptr<const routing::CompiledRoutes> routes_;
+  std::shared_ptr<const routing::CompressedRoutes> compressed_routes_;
   std::int64_t processors_ = 0;
   std::int64_t couplers_ = 0;
 };
@@ -99,23 +117,59 @@ void reset_topology_compile_count() noexcept;
 
 /// Traffic families a campaign can drive (see sim/traffic.hpp).
 enum class TrafficKind {
-  kUniform,     ///< Bernoulli(load), uniform destinations
-  kSaturation,  ///< always-backlogged; the load axis is ignored
+  kUniform,      ///< Bernoulli(load), uniform destinations
+  kSaturation,   ///< always-backlogged; the load axis is ignored
+  kHotspot,      ///< Bernoulli(load), a fraction aimed at one hot node
+  kPermutation,  ///< Bernoulli(load) to a fixed seed-drawn permutation
+  kBursty,       ///< on/off Markov arrivals; the load axis is the peak
 };
 
 [[nodiscard]] const char* traffic_kind_name(TrafficKind kind);
+/// Inverse of traffic_kind_name; throws core::Error on unknown names.
+[[nodiscard]] TrafficKind parse_traffic_kind(const std::string& name);
+
+/// Inverse of sim::route_table_name; throws core::Error on unknown names.
+[[nodiscard]] sim::RouteTable parse_route_table(const std::string& name);
+
+/// Per-cell execution override, matched by topology label. Overrides
+/// change *how* matched cells run (engine, threads, routing-table
+/// representation), never *what* they simulate -- route-table choice and
+/// engine threads are result-invariant, but note that phased and sharded
+/// engines are distinct (equally valid) random universes, exactly as
+/// with the spec-level engine field. Matching overrides layer in order
+/// (later entries win per field); a pinned route_table collapses the
+/// topology's routes axis to that one value.
+struct CellOverride {
+  std::string topology;  ///< TopologySpec::label() to match, e.g. "SK(6,3,2)"
+  std::optional<sim::Engine> engine;
+  std::optional<int> engine_threads;
+  std::optional<sim::RouteTable> route_table;
+};
 
 /// The declarative experiment grid. Cells = topologies x arbitrations x
-/// loads x wavelengths x seeds, every combination simulated once.
+/// traffics x loads x wavelengths x route tables x seeds, every
+/// combination simulated once.
 struct CampaignSpec {
   std::string name = "campaign";
   std::vector<TopologySpec> topologies;
   std::vector<sim::Arbitration> arbitrations{
       sim::Arbitration::kTokenRoundRobin};
-  TrafficKind traffic = TrafficKind::kUniform;
+  std::vector<TrafficKind> traffics{TrafficKind::kUniform};
   std::vector<double> loads{0.5};
   std::vector<std::int64_t> wavelengths{1};
+  /// Routing-table axis: result-invariant by construction (compressed
+  /// tables answer every query identically), so listing more than one
+  /// value is for memory/speed comparison, not for new physics.
+  std::vector<sim::RouteTable> route_tables{sim::RouteTable::kAuto};
   std::vector<std::uint64_t> seeds{1};
+
+  /// Hotspot traffic shape (kHotspot cells only).
+  std::int64_t hotspot_node = 0;
+  double hotspot_fraction = 0.2;
+  /// Bursty traffic shape (kBursty cells only): ON entry/exit
+  /// probabilities per slot; mean burst = 1/exit, mean idle = 1/enter.
+  double bursty_enter_on = 0.05;
+  double bursty_exit_on = 0.2;
 
   /// Per-cell simulator window (see SimConfig).
   std::int64_t warmup_slots = 200;
@@ -127,10 +181,15 @@ struct CampaignSpec {
   sim::Engine engine = sim::Engine::kPhased;
   int engine_threads = 1;
 
-  /// Total cell count of the expanded grid.
-  [[nodiscard]] std::int64_t cell_count() const noexcept;
+  /// Per-topology execution overrides applied during grid expansion.
+  std::vector<CellOverride> overrides;
 
-  /// Throws core::Error when any axis is empty or a window is invalid.
+  /// Total cell count of the expanded grid (overrides that pin a route
+  /// table collapse that topology's routes axis to one value).
+  [[nodiscard]] std::int64_t cell_count() const;
+
+  /// Throws core::Error when any axis is empty, a window is invalid, or
+  /// an override names no topology in the grid.
   void validate() const;
 };
 
@@ -141,14 +200,21 @@ struct CampaignSpec {
 ///                  {"kind": "pops", "t": 6, "g": 12},
 ///                  {"kind": "stack_imase_itoh", "s": 4, "d": 2, "n": 12}],
 ///   "arbitrations": ["token", "random", "aloha"],
-///   "traffic": "uniform",
+///   "traffic": ["uniform", "hotspot", "bursty"],
 ///   "loads": [0.1, 0.5, 0.9],
 ///   "wavelengths": [1, 2, 4],
+///   "routes": ["auto"],
 ///   "seeds": [1, 2, 3],
+///   "hotspot_node": 0, "hotspot_fraction": 0.2,
+///   "bursty_enter_on": 0.05, "bursty_exit_on": 0.2,
 ///   "warmup_slots": 200, "measure_slots": 1000, "queue_capacity": 0,
-///   "engine": "phased", "engine_threads": 1
+///   "engine": "phased", "engine_threads": 1,
+///   "overrides": [{"topology": "SK(4,3,2)", "engine": "sharded",
+///                  "engine_threads": 4, "routes": "compressed"}]
 /// }
 /// Every field except "topologies" has the CampaignSpec default.
+/// "traffic" and "routes" accept a single string as well as an array
+/// (the single-string "traffic" form is the pre-axis schema).
 [[nodiscard]] CampaignSpec parse_campaign_spec(const std::string& json_text);
 
 /// parse_campaign_spec over the contents of `path`.

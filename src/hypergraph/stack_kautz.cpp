@@ -1,7 +1,7 @@
 #include "hypergraph/stack_kautz.hpp"
 
 #include "core/error.hpp"
-#include "topology/imase_itoh.hpp"
+#include "core/mathutil.hpp"
 
 namespace otis::hypergraph {
 
@@ -33,11 +33,15 @@ HyperarcId StackKautz::coupler_between(graph::Vertex x,
   if (x == x_next) {
     return loop_coupler(x);
   }
-  topology::ImaseItoh ii(kautz_.degree(), kautz_.order());
-  int alpha = ii.alpha_of_arc(x, x_next);
-  OTIS_REQUIRE(alpha != 0,
+  // Imase-Itoh arc label, arithmetically: x_next = (-d*x - alpha) mod n.
+  // (This is on the routing hot path -- compiled-table bakes call it once
+  // per (group, group) pair -- so no ImaseItoh object is constructed.)
+  const std::int64_t d = kautz_.degree();
+  const std::int64_t alpha =
+      core::floor_mod(-d * x - x_next, kautz_.order());
+  OTIS_REQUIRE(alpha >= 1 && alpha <= d,
                "StackKautz::coupler_between: groups are not adjacent");
-  return arc_coupler(x, alpha);
+  return arc_coupler(x, static_cast<int>(alpha));
 }
 
 }  // namespace otis::hypergraph

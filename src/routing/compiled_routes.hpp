@@ -11,8 +11,11 @@
 ///   - relay(coupler, dest)     : the node that picks the packet up.
 /// After baking, a hop is two array loads -- no virtual dispatch, no
 /// std::function, no std::find. Memory is O(N^2 + H*N) int32 entries,
-/// fine for paper-scale networks (N up to a few thousand); beyond that a
-/// compressed per-group table would be the next step (see ROADMAP).
+/// fine for paper-scale networks (N up to a few thousand); beyond that
+/// use the group-factored CompressedRoutes (compressed_routes.hpp),
+/// which stores the same decisions in O(G^2 + H) and is bit-identical
+/// in simulation. Both tables model the RouteView concept
+/// (route_view.hpp) the phased engines are templated over.
 ///
 /// Adapters cover every router shipped by the library: the Kautz label
 /// router (via StackKautzRouter), the Imase-Itoh arithmetic router (via
@@ -75,6 +78,22 @@ class CompiledRoutes {
     return relay_[static_cast<std::size_t>(coupler) *
                       static_cast<std::size_t>(nodes_) +
                   static_cast<std::size_t>(dest)];
+  }
+
+  /// Bytes held by the baked tables (the O(N^2 + H*N) footprint).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return (next_coupler_.size() + next_slot_.size() + relay_.size()) *
+           sizeof(std::int32_t);
+  }
+
+  /// What a dense table for `nodes` nodes and `couplers` couplers would
+  /// occupy, without building it -- for memory-model reporting at sizes
+  /// where the dense table cannot (or should not) be allocated.
+  [[nodiscard]] static std::size_t dense_bytes(std::int64_t nodes,
+                                               std::int64_t couplers) noexcept {
+    const std::size_t n = static_cast<std::size_t>(nodes);
+    const std::size_t h = static_cast<std::size_t>(couplers);
+    return (n * n * 2 + h * n) * sizeof(std::int32_t);
   }
 
   /// The baked tables re-exposed as callbacks, for code that still wants

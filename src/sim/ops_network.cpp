@@ -32,6 +32,18 @@ const char* engine_name(Engine engine) {
   return "?";
 }
 
+const char* route_table_name(RouteTable table) {
+  switch (table) {
+    case RouteTable::kDense:
+      return "dense";
+    case RouteTable::kCompressed:
+      return "compressed";
+    case RouteTable::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
 void OpsNetworkSim::validate_config() const {
   OTIS_REQUIRE(config_.wavelengths >= 1,
                "OpsNetworkSim: wavelengths must be >= 1");
@@ -57,9 +69,28 @@ OpsNetworkSim::OpsNetworkSim(const hypergraph::StackGraph& network,
   OTIS_REQUIRE(traffic_ != nullptr, "OpsNetworkSim: traffic must be set");
   validate_config();
   if (config_.engine != Engine::kEventQueue) {
-    routes_ = std::make_shared<const routing::CompiledRoutes>(
-        routing::CompiledRoutes::compile(network_, routing_.next_coupler,
-                                         routing_.relay_on));
+    if (resolve_route_table(config_.route_table, network_.node_count()) ==
+        RouteTable::kCompressed) {
+      try {
+        compressed_routes_ =
+            std::make_shared<const routing::CompressedRoutes>(
+                routing::CompressedRoutes::compile(
+                    network_, routing_.next_coupler, routing_.relay_on));
+      } catch (const core::Error&) {
+        // kAuto must never change which hook routers are accepted: a
+        // router that is not group-factored simply keeps its dense
+        // tables. An explicit kCompressed request still surfaces the
+        // compile error.
+        if (config_.route_table != RouteTable::kAuto) {
+          throw;
+        }
+      }
+    }
+    if (compressed_routes_ == nullptr) {
+      routes_ = std::make_shared<const routing::CompiledRoutes>(
+          routing::CompiledRoutes::compile(network_, routing_.next_coupler,
+                                           routing_.relay_on));
+    }
   }
   coupler_success_.assign(
       static_cast<std::size_t>(network_.hypergraph().hyperarc_count()), 0);
@@ -93,6 +124,36 @@ OpsNetworkSim::OpsNetworkSim(const hypergraph::StackGraph& network,
                              SimConfig config)
     : OpsNetworkSim(network,
                     std::make_shared<const routing::CompiledRoutes>(
+                        std::move(routes)),
+                    std::move(traffic), config) {}
+
+OpsNetworkSim::OpsNetworkSim(
+    const hypergraph::StackGraph& network,
+    std::shared_ptr<const routing::CompressedRoutes> routes,
+    std::unique_ptr<TrafficGenerator> traffic, SimConfig config)
+    : network_(network),
+      compressed_routes_(std::move(routes)),
+      traffic_(std::move(traffic)),
+      config_(config),
+      rng_(core::Rng::stream(config.seed, 0x0715)) {
+  OTIS_REQUIRE(compressed_routes_ != nullptr,
+               "OpsNetworkSim: routes must be set");
+  OTIS_REQUIRE(traffic_ != nullptr, "OpsNetworkSim: traffic must be set");
+  OTIS_REQUIRE(compressed_routes_->node_count() == network_.node_count(),
+               "OpsNetworkSim: routes were compiled for another network");
+  validate_config();
+  routing_.next_coupler = compressed_routes_->next_coupler_fn();
+  routing_.relay_on = compressed_routes_->relay_fn();
+  coupler_success_.assign(
+      static_cast<std::size_t>(network_.hypergraph().hyperarc_count()), 0);
+}
+
+OpsNetworkSim::OpsNetworkSim(const hypergraph::StackGraph& network,
+                             routing::CompressedRoutes routes,
+                             std::unique_ptr<TrafficGenerator> traffic,
+                             SimConfig config)
+    : OpsNetworkSim(network,
+                    std::make_shared<const routing::CompressedRoutes>(
                         std::move(routes)),
                     std::move(traffic), config) {}
 
@@ -297,8 +358,15 @@ RunMetrics OpsNetworkSim::run() {
   if (config_.engine == Engine::kEventQueue) {
     return run_event_queue();
   }
-  PhasedEngine engine(network_, *routes_, *traffic_, config_);
-  metrics_ = engine.run(coupler_success_);
+  if (compressed_routes_ != nullptr) {
+    PhasedEngineT<routing::CompressedRoutes> engine(
+        network_, *compressed_routes_, *traffic_, config_);
+    metrics_ = engine.run(coupler_success_);
+  } else {
+    PhasedEngineT<routing::CompiledRoutes> engine(network_, *routes_,
+                                                  *traffic_, config_);
+    metrics_ = engine.run(coupler_success_);
+  }
   return metrics_;
 }
 

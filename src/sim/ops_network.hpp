@@ -43,6 +43,7 @@
 #include "core/rng.hpp"
 #include "hypergraph/stack_graph.hpp"
 #include "routing/compiled_routes.hpp"
+#include "routing/compressed_routes.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 #include "sim/traffic.hpp"
@@ -66,6 +67,35 @@ enum class Engine {
 };
 
 [[nodiscard]] const char* engine_name(Engine engine);
+
+/// Which routing-table representation the phased engines run on. Both
+/// answer every route query identically (CompressedRoutes verifies that
+/// at compile time), so the choice never changes results -- only memory:
+/// dense is O(N^2 + H*N), compressed is O(G^2 + H).
+enum class RouteTable {
+  kDense,       ///< dense CompiledRoutes tables
+  kCompressed,  ///< group-factored CompressedRoutes tables
+  kAuto,        ///< compressed at/above kAutoRouteTableNodes, else dense
+};
+
+[[nodiscard]] const char* route_table_name(RouteTable table);
+
+/// Node count at which RouteTable::kAuto flips from dense to compressed
+/// tables. Below it the dense table is at most ~32 MiB and its
+/// branch-free relay lookup is marginally cheaper; above it the O(N^2)
+/// footprint starts to dominate the simulation's memory.
+inline constexpr std::int64_t kAutoRouteTableNodes = 2048;
+
+/// kAuto resolved against a concrete node count (kDense/kCompressed pass
+/// through).
+[[nodiscard]] constexpr RouteTable resolve_route_table(
+    RouteTable table, std::int64_t nodes) noexcept {
+  if (table == RouteTable::kAuto) {
+    return nodes >= kAutoRouteTableNodes ? RouteTable::kCompressed
+                                         : RouteTable::kDense;
+  }
+  return table;
+}
 
 /// A packet in flight.
 struct Packet {
@@ -108,14 +138,23 @@ struct SimConfig {
   /// Worker threads for kSharded (<= 0 means hardware concurrency).
   /// Ignored by the serial engines. Results never depend on this value.
   int threads = 1;
+  /// Routing-table representation for simulators constructed from
+  /// RoutingHooks (pre-compiled tables pick their own representation).
+  /// Results never depend on this value; see RouteTable. kAuto falls
+  /// back to dense tables when the hooks are not group-factored, so it
+  /// accepts every router kDense does; only an explicit kCompressed
+  /// requires factoredness (and throws otherwise).
+  RouteTable route_table = RouteTable::kAuto;
 };
 
 /// The slot-synchronous multi-OPS network simulator.
 class OpsNetworkSim {
  public:
   /// `network` must outlive the simulator. Traffic generator is owned.
-  /// The hooks are baked into CompiledRoutes at construction unless the
-  /// engine is kEventQueue.
+  /// The hooks are baked into a routing table at construction unless the
+  /// engine is kEventQueue; `config.route_table` picks dense
+  /// CompiledRoutes or group-factored CompressedRoutes (kAuto decides by
+  /// node count).
   OpsNetworkSim(const hypergraph::StackGraph& network, RoutingHooks routing,
                 std::unique_ptr<TrafficGenerator> traffic, SimConfig config);
 
@@ -128,6 +167,17 @@ class OpsNetworkSim {
   /// Convenience: compiled routes by value.
   OpsNetworkSim(const hypergraph::StackGraph& network,
                 routing::CompiledRoutes routes,
+                std::unique_ptr<TrafficGenerator> traffic, SimConfig config);
+
+  /// Same, with a pre-compiled group-factored table (the O(G^2 + H)
+  /// representation; share it across trials exactly like dense tables).
+  OpsNetworkSim(const hypergraph::StackGraph& network,
+                std::shared_ptr<const routing::CompressedRoutes> routes,
+                std::unique_ptr<TrafficGenerator> traffic, SimConfig config);
+
+  /// Convenience: compressed routes by value.
+  OpsNetworkSim(const hypergraph::StackGraph& network,
+                routing::CompressedRoutes routes,
                 std::unique_ptr<TrafficGenerator> traffic, SimConfig config);
 
   /// Runs warmup + measurement (+ optional drain); returns the metrics of
@@ -148,7 +198,11 @@ class OpsNetworkSim {
 
   const hypergraph::StackGraph& network_;
   RoutingHooks routing_;
+  /// Exactly one of these is set for the phased engines; the event-queue
+  /// engine routes through routing_ (served from whichever table exists
+  /// when the simulator was built from one).
   std::shared_ptr<const routing::CompiledRoutes> routes_;
+  std::shared_ptr<const routing::CompressedRoutes> compressed_routes_;
   std::unique_ptr<TrafficGenerator> traffic_;
   SimConfig config_;
   core::Rng rng_;

@@ -30,9 +30,11 @@ std::pair<std::int64_t, std::int64_t> partition(std::int64_t count, int part,
 
 }  // namespace
 
-PhasedEngine::PhasedEngine(const hypergraph::StackGraph& network,
-                           const routing::CompiledRoutes& routes,
-                           TrafficGenerator& traffic, const SimConfig& config)
+template <routing::RouteView Routes>
+PhasedEngineT<Routes>::PhasedEngineT(const hypergraph::StackGraph& network,
+                                     const Routes& routes,
+                                     TrafficGenerator& traffic,
+                                     const SimConfig& config)
     : network_(network),
       routes_(routes),
       traffic_(traffic),
@@ -50,7 +52,9 @@ PhasedEngine::PhasedEngine(const hypergraph::StackGraph& network,
   token_.assign(static_cast<std::size_t>(couplers_), 0);
 }
 
-RunMetrics PhasedEngine::run(std::vector<std::int64_t>& coupler_success) {
+template <routing::RouteView Routes>
+RunMetrics PhasedEngineT<Routes>::run(
+    std::vector<std::int64_t>& coupler_success) {
   coupler_success.assign(static_cast<std::size_t>(couplers_), 0);
   if (config_.engine == Engine::kSharded) {
     return run_sharded(coupler_success);
@@ -58,7 +62,9 @@ RunMetrics PhasedEngine::run(std::vector<std::int64_t>& coupler_success) {
   return run_serial(coupler_success);
 }
 
-RunMetrics PhasedEngine::run_serial(std::vector<std::int64_t>& coupler_success) {
+template <routing::RouteView Routes>
+RunMetrics PhasedEngineT<Routes>::run_serial(
+    std::vector<std::int64_t>& coupler_success) {
   const auto& hg = network_.hypergraph();
   core::Rng rng = core::Rng::stream(config_.seed, kRunStream);
   RunMetrics metrics;
@@ -192,7 +198,8 @@ RunMetrics PhasedEngine::run_serial(std::vector<std::int64_t>& coupler_success) 
   return metrics;
 }
 
-RunMetrics PhasedEngine::run_sharded(
+template <routing::RouteView Routes>
+RunMetrics PhasedEngineT<Routes>::run_sharded(
     std::vector<std::int64_t>& coupler_success) {
   const auto& hg = network_.hypergraph();
   int threads = config_.threads;
@@ -419,5 +426,8 @@ RunMetrics PhasedEngine::run_sharded(
   metrics.backlog = inflight;
   return metrics;
 }
+
+template class PhasedEngineT<routing::CompiledRoutes>;
+template class PhasedEngineT<routing::CompressedRoutes>;
 
 }  // namespace otis::sim

@@ -4,12 +4,19 @@
 ///
 /// One simulated slot is three phases over flat state:
 ///   1. generate  -- every node asks its traffic source for a packet and
-///                   pushes it onto the VOQ chosen by CompiledRoutes;
+///                   pushes it onto the VOQ chosen by the route view;
 ///   2. arbitrate -- every coupler scans its flattened (source, voq-slot)
 ///                   feed, picks winners (sim/arbitration.hpp) and pops
 ///                   them off their ring buffers;
 ///   3. receive   -- every winner is consumed by its relay: counted as
 ///                   delivered at the destination or re-enqueued onward.
+///
+/// The engine is templated over the RouteView (route_view.hpp): the
+/// dense CompiledRoutes and the group-factored CompressedRoutes compile
+/// into the same loop with no virtual dispatch, so a hop stays two
+/// array loads (+ the group/copy arithmetic for compressed tables).
+/// Because both views answer every query identically, the two
+/// instantiations are bit-identical for every seed and thread count.
 ///
 /// Serial mode iterates nodes then couplers in id order drawing from the
 /// single legacy RNG stream, which makes it bit-identical to the
@@ -25,6 +32,8 @@
 
 #include "core/rng.hpp"
 #include "routing/compiled_routes.hpp"
+#include "routing/compressed_routes.hpp"
+#include "routing/route_view.hpp"
 #include "sim/metrics.hpp"
 #include "sim/ops_network.hpp"
 #include "sim/ring_buffer.hpp"
@@ -34,13 +43,13 @@ namespace otis::sim {
 
 /// Internal engine used by OpsNetworkSim for Engine::kPhased and
 /// Engine::kSharded. Single-run object: construct, run() once.
-class PhasedEngine {
+template <routing::RouteView Routes>
+class PhasedEngineT {
  public:
   /// All references must outlive the engine. `config` must be validated
   /// by the caller (OpsNetworkSim does).
-  PhasedEngine(const hypergraph::StackGraph& network,
-               const routing::CompiledRoutes& routes,
-               TrafficGenerator& traffic, const SimConfig& config);
+  PhasedEngineT(const hypergraph::StackGraph& network, const Routes& routes,
+                TrafficGenerator& traffic, const SimConfig& config);
 
   /// Runs the configured window; returns measurement-window metrics and
   /// fills per-coupler success counts (sized to the coupler count).
@@ -51,7 +60,7 @@ class PhasedEngine {
   RunMetrics run_sharded(std::vector<std::int64_t>& coupler_success);
 
   const hypergraph::StackGraph& network_;
-  const routing::CompiledRoutes& routes_;
+  const Routes& routes_;
   TrafficGenerator& traffic_;
   const SimConfig& config_;
 
@@ -62,5 +71,11 @@ class PhasedEngine {
   std::vector<RingBuffer<Packet>> voq_;
   std::vector<std::int64_t> token_;
 };
+
+/// The dense-table instantiation, the default engine.
+using PhasedEngine = PhasedEngineT<routing::CompiledRoutes>;
+
+extern template class PhasedEngineT<routing::CompiledRoutes>;
+extern template class PhasedEngineT<routing::CompressedRoutes>;
 
 }  // namespace otis::sim

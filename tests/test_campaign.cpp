@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -101,7 +102,7 @@ TEST(CampaignGrid, ExpansionCountsAndOrder) {
   EXPECT_EQ(cells[80].topology, 2u);
 
   EXPECT_EQ(cells[0].id,
-            "SK(4,3,2)|token|uniform|load=0.100000|w=1|seed=1");
+            "SK(4,3,2)|token|uniform|load=0.100000|w=1|routes=auto|seed=1");
 
   // Axis values that collide in the ID's 6-decimal load form are
   // refused (a silent collision would make resume drop cells).
@@ -136,7 +137,9 @@ TEST(CampaignSpecJson, ParsesFullSchema) {
   EXPECT_EQ(spec.topologies[1].label(), "POPS(6,12)");
   EXPECT_EQ(spec.topologies[2].label(), "SII(4,2,12)");
   EXPECT_EQ(spec.arbitrations.size(), 3u);
-  EXPECT_EQ(spec.traffic, campaign::TrafficKind::kSaturation);
+  EXPECT_EQ(spec.traffics,
+            (std::vector<campaign::TrafficKind>{
+                campaign::TrafficKind::kSaturation}));
   EXPECT_EQ(spec.wavelengths, (std::vector<std::int64_t>{1, 4}));
   EXPECT_EQ(spec.seeds, (std::vector<std::uint64_t>{7, 8}));
   EXPECT_EQ(spec.warmup_slots, 50);
@@ -151,7 +154,11 @@ TEST(CampaignSpecJson, DefaultsAndErrors) {
   const CampaignSpec spec = campaign::parse_campaign_spec(
       R"({"topologies": [{"kind": "pops", "t": 2, "g": 3}]})");
   EXPECT_EQ(spec.arbitrations.size(), 1u);
-  EXPECT_EQ(spec.traffic, campaign::TrafficKind::kUniform);
+  EXPECT_EQ(spec.traffics,
+            (std::vector<campaign::TrafficKind>{
+                campaign::TrafficKind::kUniform}));
+  EXPECT_EQ(spec.route_tables,
+            (std::vector<sim::RouteTable>{sim::RouteTable::kAuto}));
   EXPECT_EQ(spec.engine, sim::Engine::kPhased);
 
   EXPECT_THROW(campaign::parse_campaign_spec("{}"), core::Error);
@@ -332,6 +339,338 @@ TEST(CampaignRunnerTest, ManifestSurvivesSpecGrowth) {
   const campaign::CampaignReport report = CampaignRunner(grown).run(options);
   EXPECT_EQ(report.skipped_cells, 2);
   EXPECT_EQ(report.completed_cells, 1);
+}
+
+TEST(CampaignGrid, TrafficAndRoutesAxesExpand) {
+  CampaignSpec spec;
+  spec.topologies = {TopologySpec::pops(3, 4)};
+  spec.traffics = {campaign::TrafficKind::kUniform,
+                   campaign::TrafficKind::kHotspot,
+                   campaign::TrafficKind::kPermutation,
+                   campaign::TrafficKind::kBursty};
+  spec.route_tables = {sim::RouteTable::kDense, sim::RouteTable::kCompressed};
+  spec.loads = {0.3};
+  spec.seeds = {1, 2};
+  EXPECT_EQ(spec.cell_count(), 4 * 2 * 2);
+
+  const std::vector<campaign::CampaignCell> cells =
+      campaign::expand_grid(spec);
+  ASSERT_EQ(cells.size(), 16u);
+  // Nesting: traffic above load/wavelengths, routes above seed.
+  EXPECT_EQ(cells[0].traffic, campaign::TrafficKind::kUniform);
+  EXPECT_EQ(cells[4].traffic, campaign::TrafficKind::kHotspot);
+  EXPECT_EQ(cells[0].routes, sim::RouteTable::kDense);
+  EXPECT_EQ(cells[2].routes, sim::RouteTable::kCompressed);
+  EXPECT_EQ(cells[1].seed, 2u);
+  EXPECT_EQ(cells[0].id,
+            "POPS(3,4)|token|uniform|load=0.300000|w=1|routes=dense|seed=1");
+  EXPECT_EQ(
+      cells[6].id,
+      "POPS(3,4)|token|hotspot|load=0.300000|w=1|routes=compressed|seed=1");
+}
+
+TEST(CampaignGrid, TopologySpecProcessorCountMatchesNetworks) {
+  EXPECT_EQ(TopologySpec::stack_kautz(4, 3, 2).processor_count(), 48);
+  EXPECT_EQ(TopologySpec::stack_kautz(6, 3, 2).processor_count(), 72);
+  EXPECT_EQ(TopologySpec::stack_kautz(10, 10, 3).processor_count(), 11000);
+  EXPECT_EQ(TopologySpec::pops(6, 12).processor_count(), 72);
+  EXPECT_EQ(TopologySpec::stack_imase_itoh(4, 2, 12).processor_count(), 48);
+}
+
+TEST(CampaignGrid, OverridesResolveExecutionKnobs) {
+  CampaignSpec spec;
+  spec.topologies = {TopologySpec::pops(3, 4),
+                     TopologySpec::stack_kautz(4, 3, 2)};
+  spec.seeds = {1};
+  campaign::CellOverride override;
+  override.topology = "SK(4,3,2)";
+  override.engine = sim::Engine::kSharded;
+  override.engine_threads = 4;
+  override.route_table = sim::RouteTable::kCompressed;
+  spec.overrides = {override};
+
+  const std::vector<campaign::CampaignCell> cells =
+      campaign::expand_grid(spec);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].engine, sim::Engine::kPhased);
+  EXPECT_EQ(cells[0].routes, sim::RouteTable::kAuto);
+  EXPECT_EQ(cells[1].engine, sim::Engine::kSharded);
+  EXPECT_EQ(cells[1].engine_threads, 4);
+  EXPECT_EQ(cells[1].routes, sim::RouteTable::kCompressed);
+  EXPECT_EQ(
+      cells[1].id,
+      "SK(4,3,2)|token|uniform|load=0.500000|w=1|routes=compressed|seed=1");
+
+  // Several overrides for one topology layer in order, later wins.
+  campaign::CellOverride second;
+  second.topology = "SK(4,3,2)";
+  second.engine_threads = 8;
+  spec.overrides.push_back(second);
+  EXPECT_EQ(campaign::expand_grid(spec)[1].engine_threads, 8);
+  EXPECT_EQ(campaign::expand_grid(spec)[1].engine, sim::Engine::kSharded);
+  spec.overrides.pop_back();
+
+  // A pinned route table collapses that topology's routes axis: the
+  // dense-vs-compressed comparison grid plus one pinned topology works.
+  spec.route_tables = {sim::RouteTable::kDense, sim::RouteTable::kCompressed};
+  EXPECT_EQ(spec.cell_count(), 2 + 1);
+  const std::vector<campaign::CampaignCell> pinned =
+      campaign::expand_grid(spec);
+  ASSERT_EQ(pinned.size(), 3u);
+  EXPECT_EQ(pinned[0].routes, sim::RouteTable::kDense);
+  EXPECT_EQ(pinned[1].routes, sim::RouteTable::kCompressed);
+  EXPECT_EQ(pinned[2].routes, sim::RouteTable::kCompressed);
+  spec.route_tables = {sim::RouteTable::kAuto};
+
+  // Overrides must name a topology that exists in the grid.
+  spec.overrides[0].topology = "SK(9,9,9)";
+  EXPECT_THROW(campaign::expand_grid(spec), core::Error);
+}
+
+TEST(CampaignSpecJson, ParsesTrafficRoutesAxesAndOverrides) {
+  const CampaignSpec spec = campaign::parse_campaign_spec(R"json({
+    "topologies": [{"kind": "pops", "t": 2, "g": 3},
+                   {"kind": "stack_kautz", "s": 4, "d": 3, "k": 2}],
+    "traffic": ["uniform", "hotspot", "bursty"],
+    "routes": ["dense", "compressed"],
+    "hotspot_node": 1, "hotspot_fraction": 0.5,
+    "bursty_enter_on": 0.1, "bursty_exit_on": 0.4,
+    "overrides": [{"topology": "SK(4,3,2)", "engine": "sharded",
+                   "engine_threads": 2, "routes": "compressed"}]
+  })json");
+  EXPECT_EQ(spec.traffics,
+            (std::vector<campaign::TrafficKind>{
+                campaign::TrafficKind::kUniform,
+                campaign::TrafficKind::kHotspot,
+                campaign::TrafficKind::kBursty}));
+  EXPECT_EQ(spec.route_tables,
+            (std::vector<sim::RouteTable>{sim::RouteTable::kDense,
+                                          sim::RouteTable::kCompressed}));
+  EXPECT_EQ(spec.hotspot_node, 1);
+  EXPECT_DOUBLE_EQ(spec.hotspot_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(spec.bursty_enter_on, 0.1);
+  EXPECT_DOUBLE_EQ(spec.bursty_exit_on, 0.4);
+  ASSERT_EQ(spec.overrides.size(), 1u);
+  EXPECT_EQ(spec.overrides[0].topology, "SK(4,3,2)");
+  EXPECT_EQ(spec.overrides[0].engine, sim::Engine::kSharded);
+  EXPECT_EQ(spec.overrides[0].engine_threads, 2);
+  EXPECT_EQ(spec.overrides[0].route_table, sim::RouteTable::kCompressed);
+
+  EXPECT_THROW(campaign::parse_campaign_spec(
+                   R"({"topologies": [{"kind": "pops", "t": 2, "g": 3}],
+                       "traffic": ["poisson"]})"),
+               core::Error);
+  EXPECT_THROW(campaign::parse_campaign_spec(
+                   R"({"topologies": [{"kind": "pops", "t": 2, "g": 3}],
+                       "routes": ["sparse"]})"),
+               core::Error);
+  EXPECT_THROW(campaign::parse_campaign_spec(
+                   R"json({"topologies": [{"kind": "pops", "t": 2, "g": 3}],
+                       "overrides": [{"topology": "POPS(2,3)",
+                                      "route": "dense"}]})json"),
+               core::Error);
+}
+
+TEST(CampaignRunnerTest, TrafficAxisFlowsThroughToRows) {
+  CampaignSpec spec;
+  spec.name = "traffic-axis";
+  spec.topologies = {TopologySpec::stack_kautz(4, 3, 2)};
+  spec.traffics = {campaign::TrafficKind::kUniform,
+                   campaign::TrafficKind::kHotspot,
+                   campaign::TrafficKind::kPermutation,
+                   campaign::TrafficKind::kBursty};
+  spec.loads = {0.4};
+  spec.seeds = {1, 2};
+  spec.warmup_slots = 10;
+  spec.measure_slots = 60;
+
+  ScratchDir dir("traffic");
+  CampaignOptions options;
+  options.threads = 4;
+  options.out_dir = dir.path().string();
+  auto aggregate = std::make_shared<campaign::AggregateSink>();
+  CampaignRunner runner(spec);
+  runner.add_sink(aggregate);
+  runner.run(options);
+
+  // One aggregate group per traffic family (the seed axis folds), so
+  // the sink must key on traffic, not only on (load, wavelengths).
+  ASSERT_EQ(aggregate->groups().size(), 4u);
+
+  std::map<std::string, int> by_traffic;
+  std::istringstream lines(read_file(dir.path() / CampaignRunner::kJsonlFile));
+  std::string line;
+  while (std::getline(lines, line)) {
+    const core::Json row = core::Json::parse(line);
+    ++by_traffic[row.at("traffic").as_string()];
+    EXPECT_EQ(row.at("routes").as_string(), "auto");
+    // Each family must actually move packets in this tiny window.
+    EXPECT_GT(row.at("delivered").as_int(), 0);
+  }
+  EXPECT_EQ(by_traffic["uniform"], 2);
+  EXPECT_EQ(by_traffic["hotspot"], 2);
+  EXPECT_EQ(by_traffic["permutation"], 2);
+  EXPECT_EQ(by_traffic["bursty"], 2);
+}
+
+TEST(CampaignRunnerTest, DenseAndCompressedCellsProduceIdenticalMetrics) {
+  CampaignSpec spec;
+  spec.name = "routes-parity";
+  spec.topologies = {TopologySpec::stack_kautz(4, 3, 2),
+                     TopologySpec::pops(6, 12),
+                     TopologySpec::stack_imase_itoh(4, 2, 12)};
+  spec.route_tables = {sim::RouteTable::kDense, sim::RouteTable::kCompressed};
+  spec.loads = {0.5};
+  spec.seeds = {3};
+  spec.warmup_slots = 10;
+  spec.measure_slots = 80;
+
+  ScratchDir dir("routesparity");
+  CampaignOptions options;
+  options.threads = 2;
+  options.out_dir = dir.path().string();
+  campaign::reset_topology_compile_count();
+  const campaign::CampaignReport report = CampaignRunner(spec).run(options);
+  EXPECT_EQ(report.completed_cells, 6);
+  // Both representations of a topology come from ONE build call.
+  EXPECT_EQ(campaign::topology_compile_count(), 3);
+
+  // Per topology, the dense and compressed rows must agree on every
+  // metric -- only cell_id and the routes field may differ.
+  std::map<std::string, std::string> stripped;
+  std::istringstream lines(read_file(dir.path() / CampaignRunner::kJsonlFile));
+  std::string line;
+  int rows = 0;
+  while (std::getline(lines, line)) {
+    ++rows;
+    const core::Json row = core::Json::parse(line);
+    const std::string topology = row.at("topology").as_string();
+    std::ostringstream metrics;
+    metrics << row.at("offered").as_int() << "/"
+            << row.at("delivered").as_int() << "/"
+            << row.at("collisions").as_int() << "/"
+            << row.at("coupler_transmissions").as_int() << "/"
+            << row.at("backlog").as_int() << "/"
+            << row.at("mean_latency").as_number() << "/"
+            << row.at("p95_latency").as_number();
+    auto [it, inserted] = stripped.try_emplace(topology, metrics.str());
+    if (!inserted) {
+      EXPECT_EQ(it->second, metrics.str())
+          << topology << ": dense and compressed rows must be identical";
+    }
+  }
+  EXPECT_EQ(rows, 6);
+}
+
+TEST(CampaignRunnerTest, ShardsPartitionTheGridAndMergeToFullOutputs) {
+  const CampaignSpec spec = acceptance_spec();
+
+  ScratchDir full("shardfull");
+  CampaignOptions full_options;
+  full_options.threads = 4;
+  full_options.out_dir = full.path().string();
+  CampaignRunner(spec).run(full_options);
+
+  // Three machines, deterministic split: every cell exactly once.
+  constexpr int kShards = 3;
+  std::vector<std::unique_ptr<ScratchDir>> dirs;
+  std::multiset<std::string> shard_jsonl_lines;
+  std::string merged_manifest;
+  std::string merged_jsonl;
+  std::int64_t completed_total = 0;
+  for (int i = 0; i < kShards; ++i) {
+    dirs.push_back(
+        std::make_unique<ScratchDir>("shard" + std::to_string(i)));
+    CampaignOptions options;
+    options.threads = 2;
+    options.out_dir = dirs.back()->path().string();
+    options.shard_index = i;
+    options.shard_count = kShards;
+    const campaign::CampaignReport report = CampaignRunner(spec).run(options);
+    EXPECT_EQ(report.total_cells, 120);
+    EXPECT_EQ(report.completed_cells + report.out_of_shard_cells, 120);
+    completed_total += report.completed_cells;
+    const std::string jsonl =
+        read_file(dirs.back()->path() / CampaignRunner::kJsonlFile);
+    merged_jsonl += jsonl;
+    merged_manifest +=
+        read_file(dirs.back()->path() / CampaignRunner::kManifestFile);
+    std::istringstream lines(jsonl);
+    std::string line;
+    while (std::getline(lines, line)) {
+      shard_jsonl_lines.insert(line);
+    }
+  }
+  EXPECT_EQ(completed_total, 120);
+
+  // The shards' rows are exactly the full run's rows (order aside).
+  std::multiset<std::string> full_lines;
+  {
+    std::istringstream lines(
+        read_file(full.path() / CampaignRunner::kJsonlFile));
+    std::string line;
+    while (std::getline(lines, line)) {
+      full_lines.insert(line);
+    }
+  }
+  EXPECT_EQ(shard_jsonl_lines, full_lines);
+
+  // Concatenating shard outputs yields a directory --resume recognizes
+  // as a complete campaign: nothing left to simulate.
+  ScratchDir merged("shardmerged");
+  std::ofstream(merged.path() / CampaignRunner::kJsonlFile) << merged_jsonl;
+  std::ofstream(merged.path() / CampaignRunner::kManifestFile)
+      << merged_manifest;
+  CampaignOptions resume_options;
+  resume_options.out_dir = merged.path().string();
+  resume_options.resume = true;
+  resume_options.write_csv = false;
+  const campaign::CampaignReport resumed =
+      CampaignRunner(spec).run(resume_options);
+  EXPECT_EQ(resumed.skipped_cells, 120);
+  EXPECT_EQ(resumed.completed_cells, 0);
+
+  // --resume composes with --shard: a shard resumed against the merged
+  // manifest has no pending work either.
+  resume_options.shard_index = 1;
+  resume_options.shard_count = kShards;
+  const campaign::CampaignReport shard_resumed =
+      CampaignRunner(spec).run(resume_options);
+  EXPECT_EQ(shard_resumed.completed_cells, 0);
+  EXPECT_EQ(shard_resumed.skipped_cells, 40);
+  EXPECT_EQ(shard_resumed.out_of_shard_cells, 80);
+}
+
+TEST(CampaignRunnerTest, LargeCompressedWdmCellRunsEndToEnd) {
+  // The wdm_scale shape at test size: a >= 10^4-processor stack-Kautz
+  // cell on the sharded engine with compressed routes, end to end
+  // through spec -> grid -> runner -> sinks. The dense table (~1.5 GB)
+  // is never materialized.
+  CampaignSpec spec;
+  spec.name = "wdm-scale-cell";
+  spec.topologies = {TopologySpec::stack_kautz(10, 10, 3)};
+  spec.traffics = {campaign::TrafficKind::kUniform};
+  spec.loads = {0.5};
+  spec.wavelengths = {4};
+  spec.route_tables = {sim::RouteTable::kCompressed};
+  spec.seeds = {1};
+  spec.warmup_slots = 5;
+  spec.measure_slots = 30;
+  spec.engine = sim::Engine::kSharded;
+  spec.engine_threads = 2;
+
+  ScratchDir dir("wdmscale");
+  CampaignOptions options;
+  options.out_dir = dir.path().string();
+  const campaign::CampaignReport report = CampaignRunner(spec).run(options);
+  EXPECT_EQ(report.completed_cells, 1);
+
+  const std::string jsonl =
+      read_file(dir.path() / CampaignRunner::kJsonlFile);
+  const core::Json row = core::Json::parse(jsonl);
+  EXPECT_EQ(row.at("nodes").as_int(), 11000);
+  EXPECT_EQ(row.at("routes").as_string(), "compressed");
+  EXPECT_GT(row.at("delivered").as_int(), 0);
 }
 
 TEST(WorkStealingPool, RunsEveryItemOnceAndPropagatesErrors) {
