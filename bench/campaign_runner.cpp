@@ -69,13 +69,16 @@ void refold_completed_cells(const std::string& out_dir,
                    static_cast<double>(slots))
             : 0.0;
     trial.trials = 1;
+    // Traffic/timing are folded by their row labels verbatim -- the
+    // labels carry the shape/skew parameters, so swept entries land in
+    // distinct groups without re-parsing.
     aggregate.fold(row.at("topology").as_string(),
                    row.at("arbitration").as_string(),
-                   otis::campaign::parse_traffic_kind(
-                       row.at("traffic").as_string()),
-                   trial.load, row.at("wavelengths").as_int(),
+                   row.at("traffic").as_string(), trial.load,
+                   row.at("wavelengths").as_int(),
                    otis::campaign::parse_route_table(
                        row.string_or("routes", "auto")),
+                   row.string_or("timing", "none"),
                    row.at("nodes").as_int(), couplers, trial);
   }
 }
@@ -160,6 +163,7 @@ int main(int argc, char** argv) {
               << spec.traffics.size() << " traffics x " << spec.loads.size()
               << " loads x " << spec.wavelengths.size() << " wavelengths x "
               << spec.route_tables.size() << " route tables x "
+              << spec.timings.size() << " timings x "
               << spec.seeds.size() << " seeds), engine "
               << otis::sim::engine_name(spec.engine) << "\n";
     if (options.shard_count > 1) {

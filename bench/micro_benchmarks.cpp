@@ -4,15 +4,18 @@
 // headline -- the simulator's slot rate per engine.
 //
 // The simulator section times every (topology, arbitration) pair on the
-// legacy event-queue engine and on the phased engine with dense and
-// with compressed routing tables (plus a sharded run), prints slots/sec
-// AND the bytes each route table occupies, and writes the results to
-// BENCH_sim.json so future PRs have a machine-readable perf trajectory
-// in both dimensions. A route-table memory section sizes dense vs
-// compressed tables per topology -- including a >= 10^4-processor
-// stack-Kautz whose dense table is only ever computed arithmetically.
-// Exit status checks the acceptance bar: phased >= 3x event-queue
-// slots/sec on SK(4,3,2).
+// legacy event-queue engine, on the phased engine with dense and with
+// compressed routing tables, and on the async engine in its slot-aligned
+// limit (plus a sharded run), prints slots/sec AND the bytes each route
+// table occupies, and writes the results to BENCH_sim.json so future PRs
+// have a machine-readable perf trajectory in both dimensions. A
+// route-table memory section sizes dense vs compressed tables per
+// topology -- including a >= 10^4-processor stack-Kautz whose dense
+// table is only ever computed arithmetically. An event-queue section
+// races the calendar queue against std::priority_queue on a 10^6-event
+// hold workload. Exit status checks the acceptance bars: phased >= 3x
+// event-queue slots/sec on SK(4,3,2), calendar >= 2x priority-queue
+// event rate at 10^6 pending events.
 //
 // Self-contained chrono harness (no external benchmark dependency): each
 // measurement is the best of `kReps` runs, which is the right estimator
@@ -25,10 +28,12 @@
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <queue>
 #include <string>
 #include <vector>
 
 #include "core/args.hpp"
+#include "core/rng.hpp"
 #include "core/table.hpp"
 #include "designs/builders.hpp"
 #include "designs/verify.hpp"
@@ -44,6 +49,7 @@
 #include "routing/imase_itoh_routing.hpp"
 #include "routing/kautz_routing.hpp"
 #include "routing/stack_routing.hpp"
+#include "sim/calendar_queue.hpp"
 #include "sim/ops_network.hpp"
 #include "topology/imase_itoh.hpp"
 #include "topology/kautz.hpp"
@@ -174,9 +180,103 @@ struct RouteTableRow {
   double compile_seconds;  ///< compressed-table compile time
 };
 
+// -------------------------------------------- event-queue hold model
+
+/// One pending-event-set datapoint: events/sec on the classic hold
+/// workload (pop the minimum, push a replacement a random span ahead)
+/// with `pending` events resident -- Brown's benchmark for calendar
+/// queues, and exactly the async engine's steady state.
+struct QueueBenchResult {
+  std::string queue;
+  std::int64_t pending;
+  double events_per_sec;
+};
+
+constexpr std::int64_t kQueuePending = 1'000'000;
+constexpr std::int64_t kQueueHoldOps = 2'000'000;
+/// Replacement spans are uniform over ~10^4 slots, so events spread over
+/// many calendar days (the async engine's propagation horizon is a few
+/// slots; this is the harder, more scattered case).
+constexpr std::int64_t kQueueSpanSlots = 10'000;
+
+/// Best-of-kReps hold rate: `prefill(queue)` runs untimed (building the
+/// resident set is setup, not the steady state), the hold loop is timed.
+template <class Queue, class Prefill, class HoldOp>
+double hold_events_per_sec(Prefill prefill, HoldOp hold_op) {
+  double best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Queue queue;
+    otis::core::Rng rng(7);
+    prefill(queue, rng);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::int64_t i = 0; i < kQueueHoldOps; ++i) {
+      hold_op(queue, rng);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double>(stop - start).count());
+  }
+  return static_cast<double>(kQueueHoldOps) / best;
+}
+
+otis::sim::SimTime random_span(otis::core::Rng& rng) {
+  return static_cast<otis::sim::SimTime>(
+      rng.uniform(kQueueSpanSlots * otis::sim::kTicksPerSlot));
+}
+
+QueueBenchResult bench_calendar_queue() {
+  using Queue = otis::sim::CalendarQueue<std::int64_t>;
+  const double rate = hold_events_per_sec<Queue>(
+      [](Queue& queue, otis::core::Rng& rng) {
+        for (std::int64_t i = 0; i < kQueuePending; ++i) {
+          queue.push(random_span(rng), i);
+        }
+      },
+      [](Queue& queue, otis::core::Rng& rng) {
+        const auto entry = queue.pop();
+        queue.push(entry.time + 1 + random_span(rng), entry.payload);
+      });
+  return {"calendar", kQueuePending, rate};
+}
+
+QueueBenchResult bench_priority_queue() {
+  struct Entry {
+    otis::sim::SimTime time;
+    std::uint64_t seq;
+    std::int64_t payload;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+  struct Queue {
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    std::uint64_t seq = 0;
+  };
+  const double rate = hold_events_per_sec<Queue>(
+      [](Queue& queue, otis::core::Rng& rng) {
+        for (std::int64_t i = 0; i < kQueuePending; ++i) {
+          queue.heap.push(Entry{random_span(rng), queue.seq++, i});
+        }
+      },
+      [](Queue& queue, otis::core::Rng& rng) {
+        const Entry entry = queue.heap.top();
+        queue.heap.pop();
+        queue.heap.push(Entry{entry.time + 1 + random_span(rng),
+                              queue.seq++, entry.payload});
+      });
+  return {"priority", kQueuePending, rate};
+}
+
 void write_bench_json(const std::string& path,
                       const std::vector<SimBenchResult>& results,
                       const std::vector<RouteTableRow>& tables,
+                      const std::vector<QueueBenchResult>& queues,
+                      double queue_speedup, bool queue_pass,
                       double sk_speedup, bool pass) {
   std::ofstream out(path);
   out << "{\n"
@@ -214,10 +314,22 @@ void write_bench_json(const std::string& path,
         << (i + 1 < tables.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
+      << "  \"event_queues\": [\n";
+  for (std::size_t i = 0; i < queues.size(); ++i) {
+    const QueueBenchResult& q = queues[i];
+    out << "    {\"queue\": \"" << q.queue << "\", \"pending\": "
+        << q.pending << ", \"events_per_sec\": "
+        << static_cast<std::int64_t>(q.events_per_sec) << "}"
+        << (i + 1 < queues.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
       << "  \"acceptance\": {\"topology\": \"SK(4,3,2)\", \"arbitration\": "
          "\"token\", \"required_speedup\": 3.0, \"measured_speedup\": "
       << otis::core::format_double(sk_speedup, 2)
-      << ", \"pass\": " << (pass ? "true" : "false") << "}\n"
+      << ", \"pass\": " << (pass ? "true" : "false")
+      << ", \"queue_required_speedup\": 2.0, \"queue_measured_speedup\": "
+      << otis::core::format_double(queue_speedup, 2)
+      << ", \"queue_pass\": " << (queue_pass ? "true" : "false") << "}\n"
       << "}\n";
 }
 
@@ -386,11 +498,16 @@ int main(int argc, char** argv) {
   double sk_token_phased = 0.0;
   for (const SimBenchCase& c : cases) {
     for (otis::sim::Arbitration arb : policies) {
+      // The async engine runs its slot-aligned limit here: same results
+      // as phased (bit-for-bit), so the row isolates the calendar-queue
+      // engine's overhead against the direct slot loop.
       for (otis::sim::Engine engine : {otis::sim::Engine::kEventQueue,
-                                       otis::sim::Engine::kPhased}) {
+                                       otis::sim::Engine::kPhased,
+                                       otis::sim::Engine::kAsync}) {
         SimBenchResult r = run_sim_bench(c, arb, engine, 1);
         if (c.topology == "SK(4,3,2)" &&
-            arb == otis::sim::Arbitration::kTokenRoundRobin) {
+            arb == otis::sim::Arbitration::kTokenRoundRobin &&
+            engine != otis::sim::Engine::kAsync) {
           (engine == otis::sim::Engine::kEventQueue ? sk_token_event_queue
                                                     : sk_token_phased) =
               r.slots_per_sec;
@@ -456,14 +573,36 @@ int main(int argc, char** argv) {
   }
   routes_table.print(std::cout);
 
+  // ---------------------------------------- pending-event-set showdown
+  std::cout << "\n[queues] calendar vs priority queue, hold model, "
+            << kQueuePending << " pending events (best of " << kReps
+            << ")\n\n";
+  const std::vector<QueueBenchResult> queues = {bench_calendar_queue(),
+                                                bench_priority_queue()};
+  otis::core::Table queue_table({"queue", "pending", "events/s"});
+  for (const QueueBenchResult& q : queues) {
+    queue_table.add(q.queue, q.pending,
+                    static_cast<std::int64_t>(q.events_per_sec));
+  }
+  queue_table.print(std::cout);
+  const double queue_speedup =
+      queues[1].events_per_sec > 0.0
+          ? queues[0].events_per_sec / queues[1].events_per_sec
+          : 0.0;
+  const bool queue_pass = queue_speedup >= 2.0;
+
   const double speedup =
       sk_token_event_queue > 0.0 ? sk_token_phased / sk_token_event_queue
                                  : 0.0;
   const bool pass = speedup >= 3.0;
-  write_bench_json(out_path, results, route_tables, speedup, pass);
+  write_bench_json(out_path, results, route_tables, queues, queue_speedup,
+                   queue_pass, speedup, pass);
   std::cout << "\nphased vs event-queue on SK(4,3,2)/token: "
             << otis::core::format_double(speedup, 2)
             << "x (acceptance >= 3x: " << (pass ? "PASS" : "FAIL")
+            << ")\ncalendar vs priority queue at " << kQueuePending
+            << " pending: " << otis::core::format_double(queue_speedup, 2)
+            << "x (acceptance >= 2x: " << (queue_pass ? "PASS" : "FAIL")
             << ")\nresults written to " << out_path << "\n";
-  return pass ? 0 : 1;
+  return pass && queue_pass ? 0 : 1;
 }

@@ -1,0 +1,113 @@
+// Perf F8 (async timing extension): how much of the paper's
+// slot-synchronous throughput survives realistic hardware skew? The
+// paper assumes statically-tuned transmitters and equal fiber lengths
+// (Sec. 2.2); this bench sweeps transmitter tuning latency (and one
+// per-level propagation-skew profile) on the async calendar-queue
+// engine and prints throughput/latency-vs-skew curves next to the
+// slot-aligned baseline -- the full-scale grid is specs/async_skew.json.
+//
+// The timing axis is a campaign sweep on the paper's SK(4,3,2): the
+// routing table is compiled once and shared across every skew cell, and
+// the "none" row doubles as the parity anchor (the async engine is
+// bit-identical to the phased engine there, so the curve starts exactly
+// at the paper's operating point).
+//
+// Headline shape: *stacking hides tuning dead time*. A coupler is fed
+// by s VOQs, so round-robin arbitration covers a transmitter's re-tune
+// gap as long as tuning <= (s-1) slots -- the throughput curve stays
+// flat while latency creeps up, then drops sharply once tuning exceeds
+// what the coupler's other feeds can cover (s = 4 here: the knee is at
+// 4 slots of tuning).
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "core/table.hpp"
+#include "sim/timing_model.hpp"
+
+int main() {
+  std::cout << "[Perf F8] async skew: tuning latency / propagation skew "
+               "vs slotted throughput on SK(4,3,2) (campaign API)\n\n";
+
+  const std::vector<otis::sim::SimTime> tuning_sweep{256, 512, 1024, 2048,
+                                                     4096};
+  otis::campaign::CampaignSpec spec;
+  spec.name = "perf8-async-skew";
+  spec.topologies = {otis::campaign::TopologySpec::stack_kautz(4, 3, 2)};
+  spec.loads = {0.6};
+  spec.seeds = {31, 32, 33};
+  spec.warmup_slots = 200;
+  spec.measure_slots = 1000;
+  spec.engine = otis::sim::Engine::kAsync;
+
+  spec.timings.clear();
+  spec.timings.push_back(otis::sim::TimingConfig{});  // slot-aligned anchor
+  for (otis::sim::SimTime tuning : tuning_sweep) {
+    otis::sim::TimingConfig config;
+    config.profile = otis::sim::SkewProfile::kConstant;
+    config.tuning_ticks = tuning;
+    config.propagation_ticks = 128;
+    spec.timings.push_back(config);
+  }
+  {
+    otis::sim::TimingConfig leveled;
+    leveled.profile = otis::sim::SkewProfile::kPerLevel;
+    leveled.tuning_ticks = 256;
+    leveled.propagation_ticks = 64;
+    leveled.level_skew_ticks = 256;
+    spec.timings.push_back(leveled);
+  }
+
+  auto aggregate = std::make_shared<otis::campaign::AggregateSink>();
+  otis::campaign::CampaignRunner runner(spec);
+  runner.add_sink(aggregate);
+  otis::campaign::CampaignOptions options;
+  options.threads = 0;
+  runner.run(options);
+
+  otis::core::Table table({"timing", "tuning slots", "thr/node", "thr sd",
+                           "latency", "p95", "vs aligned"});
+  double aligned = 0.0;
+  std::vector<double> throughputs;
+  // Groups appear in timing-axis order (the only swept axis above seeds).
+  for (std::size_t i = 0; i < aggregate->groups().size(); ++i) {
+    const otis::campaign::AggregateSink::Group& group =
+        aggregate->groups()[i];
+    const double thr = group.point.throughput_per_node;
+    if (group.timing == "none") {
+      aligned = thr;
+    }
+    throughputs.push_back(thr);
+    table.add(group.timing,
+              otis::core::format_double(
+                  static_cast<double>(spec.timings[i].tuning_ticks) /
+                      static_cast<double>(otis::sim::kTicksPerSlot),
+                  2),
+              otis::core::format_double(thr, 4),
+              otis::core::format_double(group.point.throughput_stddev, 4),
+              otis::core::format_double(group.point.mean_latency, 2),
+              otis::core::format_double(group.point.p95_latency, 1),
+              otis::core::format_double(aligned > 0 ? thr / aligned : 0.0,
+                                        3));
+  }
+  table.print(std::cout);
+
+  // Shapes: the slot-aligned row is the ceiling; throughput degrades
+  // monotonically (within noise) as tuning latency grows, and latency
+  // grows with it. A modest quarter-slot tuning must cost well under
+  // half the throughput -- the paper's operating point is robust.
+  bool ok = aligned > 0.0;
+  for (std::size_t i = 1; i + 1 < throughputs.size(); ++i) {
+    ok = ok && throughputs[i] <= aligned + 0.01;
+  }
+  // tuning = 256 ticks = 1/4 slot: degradation bounded.
+  ok = ok && throughputs.size() > 1 && throughputs[1] > 0.5 * aligned;
+  // tuning = 4096 ticks = 4 slots: must hurt visibly.
+  ok = ok && throughputs[tuning_sweep.size()] < throughputs[1];
+  std::cout << "\naligned row is the ceiling, quarter-slot tuning keeps "
+               ">50% throughput, multi-slot tuning visibly degrades: "
+            << (ok ? "yes" : "NO") << "\n";
+  return ok ? 0 : 1;
+}

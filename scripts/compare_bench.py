@@ -16,9 +16,12 @@ import json
 import sys
 
 
-def load_results(path):
+def load_doc(path):
     with open(path, "r", encoding="utf-8") as fh:
-        doc = json.load(fh)
+        return json.load(fh)
+
+
+def results_by_key(doc):
     return {
         (r["topology"], r["arbitration"], r["engine"]): r
         for r in doc.get("results", [])
@@ -34,13 +37,15 @@ def main():
     args = parser.parse_args()
 
     try:
-        current = load_results(args.current)
+        current_doc = load_doc(args.current)
+        current = results_by_key(current_doc)
     except (OSError, ValueError, KeyError) as exc:
         print(f"compare_bench: cannot read current results: {exc}")
         return 1
 
     try:
-        previous = load_results(args.previous)
+        previous_doc = load_doc(args.previous)
+        previous = results_by_key(previous_doc)
     except (OSError, ValueError, KeyError) as exc:
         print(f"compare_bench: no previous results ({exc}); "
               "nothing to compare -- first run on this branch?")
@@ -85,7 +90,29 @@ def main():
               f"{arbitration}/{engine} route tables grew from {prev_bytes} "
               f"to {cur_bytes} bytes")
 
-    if not regressions and not memory_regressions:
+    # Event-queue dimension: calendar vs priority hold rates (rows keyed
+    # by queue name; absent in pre-async-layer baselines). A malformed
+    # row (missing "queue") should surface, not silence the comparison.
+    queue_regressions = []
+    cur_queues = {q["queue"]: q
+                  for q in current_doc.get("event_queues", [])}
+    prev_queues = {q["queue"]: q
+                   for q in previous_doc.get("event_queues", [])}
+    for name in sorted(cur_queues):
+        cur_rate = cur_queues[name].get("events_per_sec")
+        prev_rate = prev_queues.get(name, {}).get("events_per_sec")
+        if not cur_rate or not prev_rate:
+            continue
+        ratio = cur_rate / prev_rate
+        print(f"event queue {name:<10} {prev_rate:>13} {cur_rate:>13} "
+              f"{ratio:>7.2f}")
+        if ratio < 1.0 - args.threshold:
+            queue_regressions.append((name, ratio))
+    for name, ratio in queue_regressions:
+        print(f"::warning title=Event-rate regression::{name} queue "
+              f"events/sec at {ratio:.2f}x of previous run")
+
+    if not regressions and not memory_regressions and not queue_regressions:
         print(f"\nno regression beyond {args.threshold:.0%} threshold")
     return 0
 

@@ -19,32 +19,39 @@
 
 namespace otis::campaign {
 
-/// One (topology, arbitration, traffic, load, wavelengths, routes, seed)
-/// grid point, plus the execution knobs resolved from the spec defaults
-/// and any matching CellOverride (engine / engine_threads are *how*, not
-/// *what*, and stay out of the ID like the spec-level engine does).
+/// One (topology, arbitration, traffic, load, wavelengths, routes,
+/// timing, seed) grid point, plus the execution knobs resolved from the
+/// spec defaults and any matching CellOverride (engine / engine_threads
+/// are *how*, not *what*, and stay out of the ID like the spec-level
+/// engine does -- except that non-slot-aligned timing forces the async
+/// engine, the only engine that can honour it).
 struct CampaignCell {
   std::int64_t index = 0;      ///< position in expansion order
   std::string id;              ///< canonical ID, see cell_id()
   std::size_t topology = 0;    ///< index into CampaignSpec::topologies
   sim::Arbitration arbitration = sim::Arbitration::kTokenRoundRobin;
-  TrafficKind traffic = TrafficKind::kUniform;
+  TrafficSpec traffic;
   double load = 0.0;
   std::int64_t wavelengths = 1;
   sim::RouteTable routes = sim::RouteTable::kAuto;
+  sim::TimingConfig timing;
   std::uint64_t seed = 1;
   sim::Engine engine = sim::Engine::kPhased;  ///< resolved execution engine
   int engine_threads = 1;                     ///< threads for kSharded cells
 };
 
 /// Canonical cell ID:
-///   "<topology>|<arbitration>|<traffic>|load=<l>|w=<W>|routes=<r>|seed=<s>"
-/// with the load fixed to 6 decimals so the ID is reproducible.
+///   "<topology>|<arbitration>|<traffic>|load=<l>|w=<W>|routes=<r>|"
+///   "timing=<t>|seed=<s>"
+/// with the load fixed to 6 decimals so the ID is reproducible; traffic
+/// and timing use their canonical labels (shape values included).
 [[nodiscard]] std::string cell_id(const TopologySpec& topology,
                                   sim::Arbitration arbitration,
-                                  TrafficKind traffic, double load,
+                                  const TrafficSpec& traffic, double load,
                                   std::int64_t wavelengths,
-                                  sim::RouteTable routes, std::uint64_t seed);
+                                  sim::RouteTable routes,
+                                  const sim::TimingConfig& timing,
+                                  std::uint64_t seed);
 
 /// Expands the validated spec into cells (spec.cell_count() of them).
 [[nodiscard]] std::vector<CampaignCell> expand_grid(const CampaignSpec& spec);

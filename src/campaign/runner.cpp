@@ -154,15 +154,17 @@ void WorkStealingPool::run(std::size_t count,
 
 namespace {
 
-std::unique_ptr<sim::TrafficGenerator> make_traffic(const CampaignSpec& spec,
-                                                    const CampaignCell& cell,
+std::unique_ptr<sim::TrafficGenerator> make_traffic(const CampaignCell& cell,
                                                     std::int64_t nodes) {
-  switch (cell.traffic) {
+  // Shape values live on the cell's TrafficSpec (per axis entry), so a
+  // grid can sweep hotspot fractions or burst lengths.
+  const TrafficSpec& traffic = cell.traffic;
+  switch (traffic.kind) {
     case TrafficKind::kSaturation:
       return std::make_unique<sim::SaturationTraffic>(nodes);
     case TrafficKind::kHotspot:
       return std::make_unique<sim::HotspotTraffic>(
-          nodes, cell.load, spec.hotspot_node, spec.hotspot_fraction);
+          nodes, cell.load, traffic.hotspot_node, traffic.hotspot_fraction);
     case TrafficKind::kPermutation:
       // The permutation is drawn from the cell seed, so each seed axis
       // value is an independent partner assignment.
@@ -170,7 +172,7 @@ std::unique_ptr<sim::TrafficGenerator> make_traffic(const CampaignSpec& spec,
                                                        cell.seed);
     case TrafficKind::kBursty:
       return std::make_unique<sim::BurstyTraffic>(
-          nodes, cell.load, spec.bursty_enter_on, spec.bursty_exit_on);
+          nodes, cell.load, traffic.bursty_enter_on, traffic.bursty_exit_on);
     case TrafficKind::kUniform:
       break;
   }
@@ -189,14 +191,14 @@ CellResult simulate_cell(const CampaignSpec& spec,
   config.wavelengths = cell.wavelengths;
   config.engine = cell.engine;
   config.threads = cell.engine_threads;
+  config.timing = cell.timing;
 
   std::unique_ptr<sim::TrafficGenerator> traffic =
-      make_traffic(spec, cell, topology.processor_count());
+      make_traffic(cell, topology.processor_count());
 
   CellResult result;
   result.cell = cell;
   result.topology_label = topology.label();
-  result.traffic = cell.traffic;
   result.nodes = topology.processor_count();
   result.couplers = topology.coupler_count();
   if (sim::resolve_route_table(cell.routes, topology.processor_count()) ==

@@ -49,10 +49,11 @@ void JsonlSink::consume(const CellResult& r) {
        << ", \"topology\": \"" << r.topology_label << "\""
        << ", \"arbitration\": \""
        << sim::arbitration_name(r.cell.arbitration) << "\""
-       << ", \"traffic\": \"" << traffic_kind_name(r.traffic) << "\""
+       << ", \"traffic\": \"" << r.cell.traffic.label() << "\""
        << ", \"load\": " << num(r.cell.load)
        << ", \"wavelengths\": " << r.cell.wavelengths
        << ", \"routes\": \"" << sim::route_table_name(r.cell.routes) << "\""
+       << ", \"timing\": \"" << r.cell.timing.label() << "\""
        << ", \"seed\": " << r.cell.seed << ", \"nodes\": " << r.nodes
        << ", \"couplers\": " << r.couplers << ", \"slots\": " << m.slots
        << ", \"offered\": " << m.offered_packets
@@ -81,13 +82,13 @@ const std::vector<std::string>& CsvSink::columns() {
   static const std::vector<std::string> kColumns = {
       "cell_id",       "topology",    "arbitration",
       "traffic",       "load",        "wavelengths",
-      "routes",        "seed",        "nodes",
-      "couplers",      "slots",       "offered",
-      "delivered",     "dropped",     "collisions",
-      "coupler_transmissions",        "backlog",
-      "throughput_per_node",          "mean_latency",
-      "p95_latency",   "max_latency", "coupler_utilization",
-      "delivered_fraction"};
+      "routes",        "timing",      "seed",
+      "nodes",         "couplers",    "slots",
+      "offered",       "delivered",   "dropped",
+      "collisions",    "coupler_transmissions",
+      "backlog",       "throughput_per_node",
+      "mean_latency",  "p95_latency", "max_latency",
+      "coupler_utilization",          "delivered_fraction"};
   return kColumns;
 }
 
@@ -112,9 +113,10 @@ void CsvSink::consume(const CellResult& r) {
   const sim::RunMetrics& m = r.metrics;
   out_ << quoted(r.cell.id) << "," << quoted(r.topology_label) << ","
        << sim::arbitration_name(r.cell.arbitration) << ","
-       << traffic_kind_name(r.traffic) << "," << num(r.cell.load) << ","
+       << quoted(r.cell.traffic.label()) << "," << num(r.cell.load) << ","
        << r.cell.wavelengths << "," << sim::route_table_name(r.cell.routes)
-       << "," << r.cell.seed << "," << r.nodes << ","
+       << "," << quoted(r.cell.timing.label()) << "," << r.cell.seed << ","
+       << r.nodes << ","
        << r.couplers << "," << m.slots << "," << m.offered_packets << ","
        << m.delivered_packets << "," << m.dropped_packets << ","
        << m.collisions << "," << m.coupler_transmissions << "," << m.backlog
@@ -133,16 +135,17 @@ void CsvSink::flush() { out_.flush(); }
 
 void AggregateSink::consume(const CellResult& r) {
   fold(r.topology_label, sim::arbitration_name(r.cell.arbitration),
-       r.traffic, r.cell.load, r.cell.wavelengths, r.cell.routes, r.nodes,
-       r.couplers,
+       r.cell.traffic.label(), r.cell.load, r.cell.wavelengths,
+       r.cell.routes, r.cell.timing.label(), r.nodes, r.couplers,
        sim::SweepPoint::from_trial(r.metrics, r.cell.load, r.nodes,
                                    r.couplers));
 }
 
 void AggregateSink::fold(const std::string& topology,
-                         const std::string& arbitration, TrafficKind traffic,
-                         double load, std::int64_t wavelengths,
-                         sim::RouteTable routes, std::int64_t nodes,
+                         const std::string& arbitration,
+                         const std::string& traffic, double load,
+                         std::int64_t wavelengths, sim::RouteTable routes,
+                         const std::string& timing, std::int64_t nodes,
                          std::int64_t couplers,
                          const sim::SweepPoint& trial) {
   // Loads are matched through their emitted 6-decimal form, not exact
@@ -152,7 +155,8 @@ void AggregateSink::fold(const std::string& topology,
   for (Group& group : groups_) {
     if (group.topology == topology && group.arbitration == arbitration &&
         group.traffic == traffic && num(group.load) == load_key &&
-        group.wavelengths == wavelengths && group.routes == routes) {
+        group.wavelengths == wavelengths && group.routes == routes &&
+        group.timing == timing) {
       group.point.merge(trial);
       return;
     }
@@ -164,6 +168,7 @@ void AggregateSink::fold(const std::string& topology,
   group.load = load;
   group.wavelengths = wavelengths;
   group.routes = routes;
+  group.timing = timing;
   group.nodes = nodes;
   group.couplers = couplers;
   group.point = trial;
@@ -173,8 +178,8 @@ void AggregateSink::fold(const std::string& topology,
 void AggregateSink::write_csv(const std::string& path) const {
   std::ofstream out(path, std::ios::out | std::ios::trunc);
   OTIS_REQUIRE(out.good(), "AggregateSink: cannot open " + path);
-  out << "topology,arbitration,traffic,load,wavelengths,routes,trials,"
-         "throughput_per_node,throughput_stddev,mean_latency,"
+  out << "topology,arbitration,traffic,load,wavelengths,routes,timing,"
+         "trials,throughput_per_node,throughput_stddev,mean_latency,"
          "mean_latency_stddev,p95_latency,p95_latency_stddev,"
          "coupler_utilization,coupler_utilization_stddev,collision_rate,"
          "collision_rate_stddev,delivered_fraction,"
@@ -182,9 +187,9 @@ void AggregateSink::write_csv(const std::string& path) const {
   for (const Group& g : groups_) {
     const sim::SweepPoint& p = g.point;
     out << quoted(g.topology) << "," << g.arbitration << ","
-        << traffic_kind_name(g.traffic) << "," << num(g.load) << ","
+        << quoted(g.traffic) << "," << num(g.load) << ","
         << g.wavelengths << "," << sim::route_table_name(g.routes) << ","
-        << p.trials << ","
+        << quoted(g.timing) << "," << p.trials << ","
         << num(p.throughput_per_node) << "," << num(p.throughput_stddev)
         << "," << num(p.mean_latency) << "," << num(p.mean_latency_stddev)
         << "," << num(p.p95_latency) << "," << num(p.p95_latency_stddev)

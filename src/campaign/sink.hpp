@@ -28,10 +28,11 @@
 namespace otis::campaign {
 
 /// A finished cell plus the context needed to normalize its metrics.
+/// Traffic and timing travel inside `cell` (their labels carry the
+/// shape/skew parameters into the row streams).
 struct CellResult {
   CampaignCell cell;
   std::string topology_label;
-  TrafficKind traffic = TrafficKind::kUniform;
   std::int64_t nodes = 0;
   std::int64_t couplers = 0;
   sim::RunMetrics metrics;
@@ -78,18 +79,21 @@ class CsvSink : public ResultSink {
 };
 
 /// Folds the seed axis: one sim::SweepPoint per distinct
-/// (topology, arbitration, traffic, load, wavelengths, routes)
+/// (topology, arbitration, traffic, load, wavelengths, routes, timing)
 /// combination, merged with trial-count weighting (mean + stddev per
-/// metric). Groups appear in first-cell order.
+/// metric). Traffic and timing are keyed by their canonical labels --
+/// shape-swept entries land in distinct groups. Groups appear in
+/// first-cell order.
 class AggregateSink : public ResultSink {
  public:
   struct Group {
     std::string topology;
     std::string arbitration;
-    TrafficKind traffic = TrafficKind::kUniform;
+    std::string traffic;  ///< TrafficSpec::label()
     double load = 0.0;
     std::int64_t wavelengths = 1;
     sim::RouteTable routes = sim::RouteTable::kAuto;
+    std::string timing;  ///< TimingConfig::label()
     std::int64_t nodes = 0;
     std::int64_t couplers = 0;
     sim::SweepPoint point;
@@ -102,8 +106,9 @@ class AggregateSink : public ResultSink {
   /// rows come from results.jsonl, not from a fresh simulation) so the
   /// aggregate covers the whole grid, not just this invocation's cells.
   void fold(const std::string& topology, const std::string& arbitration,
-            TrafficKind traffic, double load, std::int64_t wavelengths,
-            sim::RouteTable routes, std::int64_t nodes, std::int64_t couplers,
+            const std::string& traffic, double load, std::int64_t wavelengths,
+            sim::RouteTable routes, const std::string& timing,
+            std::int64_t nodes, std::int64_t couplers,
             const sim::SweepPoint& trial);
 
   [[nodiscard]] const std::vector<Group>& groups() const noexcept {

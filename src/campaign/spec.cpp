@@ -2,9 +2,11 @@
 
 #include <atomic>
 #include <sstream>
+#include <type_traits>
 
 #include "core/error.hpp"
 #include "core/json.hpp"
+#include "core/table.hpp"
 #include "hypergraph/pops.hpp"
 #include "hypergraph/stack_imase_itoh.hpp"
 #include "hypergraph/stack_kautz.hpp"
@@ -39,8 +41,11 @@ sim::Engine parse_engine(const std::string& name) {
   if (name == "sharded") {
     return sim::Engine::kSharded;
   }
+  if (name == "async") {
+    return sim::Engine::kAsync;
+  }
   throw core::Error("CampaignSpec: unknown engine \"" + name +
-                    "\" (expected event-queue|phased|sharded)");
+                    "\" (expected event-queue|phased|sharded|async)");
 }
 
 /// Misspelled keys must fail loudly (the Args parser sets the repo-wide
@@ -257,6 +262,38 @@ TrafficKind parse_traffic_kind(const std::string& name) {
       "\" (expected uniform|saturation|hotspot|permutation|bursty)");
 }
 
+std::string TrafficSpec::label() const {
+  switch (kind) {
+    case TrafficKind::kHotspot: {
+      std::ostringstream os;
+      os << "hotspot(n" << hotspot_node << ",f"
+         << core::format_double(hotspot_fraction, 4) << ")";
+      return os.str();
+    }
+    case TrafficKind::kBursty: {
+      std::ostringstream os;
+      os << "bursty(on" << core::format_double(bursty_enter_on, 4) << ",off"
+         << core::format_double(bursty_exit_on, 4) << ")";
+      return os.str();
+    }
+    case TrafficKind::kUniform:
+    case TrafficKind::kSaturation:
+    case TrafficKind::kPermutation:
+      break;
+  }
+  return traffic_kind_name(kind);
+}
+
+void TrafficSpec::validate() const {
+  OTIS_REQUIRE(hotspot_node >= 0, "TrafficSpec: hotspot node must be >= 0");
+  OTIS_REQUIRE(hotspot_fraction >= 0.0 && hotspot_fraction <= 1.0,
+               "TrafficSpec: hotspot fraction must lie in [0, 1]");
+  OTIS_REQUIRE(bursty_enter_on > 0.0 && bursty_enter_on <= 1.0,
+               "TrafficSpec: bursty enter_on must lie in (0, 1]");
+  OTIS_REQUIRE(bursty_exit_on > 0.0 && bursty_exit_on <= 1.0,
+               "TrafficSpec: bursty exit_on must lie in (0, 1]");
+}
+
 sim::RouteTable parse_route_table(const std::string& name) {
   for (sim::RouteTable table : {sim::RouteTable::kDense,
                                 sim::RouteTable::kCompressed,
@@ -275,6 +312,7 @@ std::int64_t CampaignSpec::cell_count() const {
       static_cast<std::int64_t>(traffics.size()) *
       static_cast<std::int64_t>(loads.size()) *
       static_cast<std::int64_t>(wavelengths.size()) *
+      static_cast<std::int64_t>(timings.size()) *
       static_cast<std::int64_t>(seeds.size());
   std::int64_t total = 0;
   for (const TopologySpec& topology : topologies) {
@@ -321,6 +359,13 @@ void CampaignSpec::validate() const {
                "CampaignSpec: bursty_enter_on must lie in (0, 1]");
   OTIS_REQUIRE(bursty_exit_on > 0.0 && bursty_exit_on <= 1.0,
                "CampaignSpec: bursty_exit_on must lie in (0, 1]");
+  for (const TrafficSpec& traffic : traffics) {
+    traffic.validate();
+  }
+  OTIS_REQUIRE(!timings.empty(), "CampaignSpec: timings must be non-empty");
+  for (const sim::TimingConfig& timing : timings) {
+    timing.validate();
+  }
   for (const CellOverride& override : overrides) {
     bool matched = false;
     for (const TopologySpec& topology : topologies) {
@@ -337,11 +382,138 @@ void CampaignSpec::validate() const {
 
 namespace {
 
+/// A numeric field that is either one value or a sweep array; every
+/// value lands in `out`. Missing key -> `fallback` alone. Integral
+/// targets go through as_int so a fractional tick value fails loudly
+/// instead of truncating into a cell ID that was never simulated.
+template <typename T>
+std::vector<T> number_or_sweep(const core::Json& node, const std::string& key,
+                               T fallback) {
+  const auto value_of = [](const core::Json& item) {
+    if constexpr (std::is_integral_v<T>) {
+      return static_cast<T>(item.as_int());
+    } else {
+      return static_cast<T>(item.as_number());
+    }
+  };
+  std::vector<T> values;
+  const core::Json* field = node.find(key);
+  if (field == nullptr) {
+    values.push_back(fallback);
+  } else if (field->is_array()) {
+    for (const core::Json& item : field->items()) {
+      values.push_back(value_of(item));
+    }
+    OTIS_REQUIRE(!values.empty(),
+                 "CampaignSpec: sweep array \"" + key + "\" is empty");
+  } else {
+    values.push_back(value_of(*field));
+  }
+  return values;
+}
+
+/// One "traffic" entry: a plain family name (shapes from the spec-level
+/// defaults) or a structured object whose shape values may be sweep
+/// arrays -- each combination becomes its own axis entry.
+void parse_traffic_entry(const core::Json& node, const CampaignSpec& defaults,
+                         std::vector<TrafficSpec>& out) {
+  TrafficSpec base;
+  base.hotspot_node = defaults.hotspot_node;
+  base.hotspot_fraction = defaults.hotspot_fraction;
+  base.bursty_enter_on = defaults.bursty_enter_on;
+  base.bursty_exit_on = defaults.bursty_exit_on;
+  if (node.is_string()) {
+    base.kind = parse_traffic_kind(node.as_string());
+    out.push_back(base);
+    return;
+  }
+  OTIS_REQUIRE(node.is_object(),
+               "CampaignSpec: traffic entries must be names or objects");
+  base.kind = parse_traffic_kind(node.at("kind").as_string());
+  switch (base.kind) {
+    case TrafficKind::kHotspot: {
+      reject_unknown_keys(node, {"kind", "node", "fraction"},
+                          "hotspot traffic");
+      base.hotspot_node = node.int_or("node", base.hotspot_node);
+      for (double fraction : number_or_sweep<double>(
+               node, "fraction", base.hotspot_fraction)) {
+        TrafficSpec entry = base;
+        entry.hotspot_fraction = fraction;
+        out.push_back(entry);
+      }
+      return;
+    }
+    case TrafficKind::kBursty: {
+      reject_unknown_keys(node, {"kind", "enter_on", "exit_on"},
+                          "bursty traffic");
+      for (double enter : number_or_sweep<double>(node, "enter_on",
+                                                  base.bursty_enter_on)) {
+        for (double exit : number_or_sweep<double>(node, "exit_on",
+                                                   base.bursty_exit_on)) {
+          TrafficSpec entry = base;
+          entry.bursty_enter_on = enter;
+          entry.bursty_exit_on = exit;
+          out.push_back(entry);
+        }
+      }
+      return;
+    }
+    case TrafficKind::kUniform:
+    case TrafficKind::kSaturation:
+    case TrafficKind::kPermutation:
+      reject_unknown_keys(node, {"kind"}, "traffic");
+      out.push_back(base);
+      return;
+  }
+}
+
+sim::SkewProfile parse_skew_profile(const std::string& name) {
+  for (sim::SkewProfile profile :
+       {sim::SkewProfile::kNone, sim::SkewProfile::kConstant,
+        sim::SkewProfile::kPerLevel}) {
+    if (name == sim::skew_profile_name(profile)) {
+      return profile;
+    }
+  }
+  throw core::Error("CampaignSpec: unknown skew profile \"" + name +
+                    "\" (expected none|const|level)");
+}
+
+/// One "timings" entry: "none" or an object with tick-valued delays;
+/// "tuning" may be a sweep array (one axis entry per value).
+void parse_timing_entry(const core::Json& node,
+                        std::vector<sim::TimingConfig>& out) {
+  if (node.is_string()) {
+    OTIS_REQUIRE(node.as_string() == "none",
+                 "CampaignSpec: the only named timing is \"none\" (use an "
+                 "object for skewed profiles)");
+    out.push_back(sim::TimingConfig{});
+    return;
+  }
+  OTIS_REQUIRE(node.is_object(),
+               "CampaignSpec: timing entries must be \"none\" or objects");
+  reject_unknown_keys(
+      node, {"profile", "tuning", "propagation", "level_skew", "guard"},
+      "timing");
+  sim::TimingConfig base;
+  base.profile = parse_skew_profile(node.at("profile").as_string());
+  base.propagation_ticks = node.int_or("propagation", 0);
+  base.level_skew_ticks = node.int_or("level_skew", 0);
+  base.guard_ticks = node.int_or("guard", 0);
+  for (sim::SimTime tuning :
+       number_or_sweep<sim::SimTime>(node, "tuning", 0)) {
+    sim::TimingConfig entry = base;
+    entry.tuning_ticks = tuning;
+    entry.validate();
+    out.push_back(entry);
+  }
+}
+
 CampaignSpec spec_from_json(const core::Json& root) {
   OTIS_REQUIRE(root.is_object(), "CampaignSpec: top level must be an object");
   reject_unknown_keys(root,
                       {"name", "topologies", "arbitrations", "traffic",
-                       "loads", "wavelengths", "routes", "seeds",
+                       "loads", "wavelengths", "routes", "timings", "seeds",
                        "hotspot_node", "hotspot_fraction", "bursty_enter_on",
                        "bursty_exit_on", "warmup_slots", "measure_slots",
                        "queue_capacity", "engine", "engine_threads",
@@ -360,25 +532,44 @@ CampaignSpec spec_from_json(const core::Json& root) {
       spec.arbitrations.push_back(parse_arbitration(node.as_string()));
     }
   }
-  // Axes that accept one string as well as an array ("traffic"'s
-  // single-string form is the pre-axis schema).
-  const auto string_or_array_axis = [&root](const std::string& key,
-                                            auto& axis, auto parse_item) {
-    const core::Json* node = root.find(key);
-    if (node == nullptr) {
-      return;
+  // Spec-level shape defaults must exist before traffic entries parse:
+  // plain-string entries inherit them.
+  spec.hotspot_node = root.int_or("hotspot_node", spec.hotspot_node);
+  spec.hotspot_fraction =
+      root.number_or("hotspot_fraction", spec.hotspot_fraction);
+  spec.bursty_enter_on =
+      root.number_or("bursty_enter_on", spec.bursty_enter_on);
+  spec.bursty_exit_on = root.number_or("bursty_exit_on", spec.bursty_exit_on);
+
+  // "traffic" accepts one name, an array of names, and structured
+  // objects with per-entry (sweepable) shape values.
+  if (const core::Json* traffic = root.find("traffic")) {
+    spec.traffics.clear();
+    if (traffic->is_string()) {
+      parse_traffic_entry(*traffic, spec, spec.traffics);
+    } else {
+      for (const core::Json& node : traffic->items()) {
+        parse_traffic_entry(node, spec, spec.traffics);
+      }
     }
-    axis.clear();
-    if (node->is_string()) {
-      axis.push_back(parse_item(node->as_string()));
-      return;
+  }
+  if (const core::Json* timings = root.find("timings")) {
+    spec.timings.clear();
+    for (const core::Json& node : timings->items()) {
+      parse_timing_entry(node, spec.timings);
     }
-    for (const core::Json& item : node->items()) {
-      axis.push_back(parse_item(item.as_string()));
+  }
+  // "routes" accepts one string as well as an array.
+  if (const core::Json* routes = root.find("routes")) {
+    spec.route_tables.clear();
+    if (routes->is_string()) {
+      spec.route_tables.push_back(parse_route_table(routes->as_string()));
+    } else {
+      for (const core::Json& item : routes->items()) {
+        spec.route_tables.push_back(parse_route_table(item.as_string()));
+      }
     }
-  };
-  string_or_array_axis("traffic", spec.traffics, parse_traffic_kind);
-  string_or_array_axis("routes", spec.route_tables, parse_route_table);
+  }
   if (const core::Json* loads = root.find("loads")) {
     spec.loads.clear();
     for (const core::Json& node : loads->items()) {
@@ -399,12 +590,6 @@ CampaignSpec spec_from_json(const core::Json& root) {
       spec.seeds.push_back(static_cast<std::uint64_t>(seed));
     }
   }
-  spec.hotspot_node = root.int_or("hotspot_node", spec.hotspot_node);
-  spec.hotspot_fraction =
-      root.number_or("hotspot_fraction", spec.hotspot_fraction);
-  spec.bursty_enter_on =
-      root.number_or("bursty_enter_on", spec.bursty_enter_on);
-  spec.bursty_exit_on = root.number_or("bursty_exit_on", spec.bursty_exit_on);
   spec.warmup_slots = root.int_or("warmup_slots", spec.warmup_slots);
   spec.measure_slots = root.int_or("measure_slots", spec.measure_slots);
   spec.queue_capacity = root.int_or("queue_capacity", spec.queue_capacity);

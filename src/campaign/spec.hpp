@@ -128,6 +128,36 @@ enum class TrafficKind {
 /// Inverse of traffic_kind_name; throws core::Error on unknown names.
 [[nodiscard]] TrafficKind parse_traffic_kind(const std::string& name);
 
+/// One traffic axis value: a family plus its shape parameters. Shape
+/// values are per axis entry (not spec-level scalars), so one grid can
+/// sweep hotspot fractions or burst lengths side by side. Converts
+/// implicitly from TrafficKind with the default shape.
+struct TrafficSpec {
+  TrafficKind kind = TrafficKind::kUniform;
+  /// kHotspot shape.
+  std::int64_t hotspot_node = 0;
+  double hotspot_fraction = 0.2;
+  /// kBursty shape: ON entry/exit probabilities per slot; mean burst =
+  /// 1/exit, mean idle = 1/enter.
+  double bursty_enter_on = 0.05;
+  double bursty_exit_on = 0.2;
+
+  TrafficSpec() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): axis-literal ergonomics
+  TrafficSpec(TrafficKind k) : kind(k) {}
+
+  /// Canonical label: the plain family name for shape-free families,
+  /// the family plus its shape for hotspot/bursty -- e.g. "uniform",
+  /// "hotspot(n0,f0.2000)", "bursty(on0.0500,off0.2000)". Doubles as
+  /// the traffic part of cell IDs, so it must stay stable.
+  [[nodiscard]] std::string label() const;
+
+  /// Throws core::Error on out-of-range shape values.
+  void validate() const;
+
+  [[nodiscard]] bool operator==(const TrafficSpec&) const noexcept = default;
+};
+
 /// Inverse of sim::route_table_name; throws core::Error on unknown names.
 [[nodiscard]] sim::RouteTable parse_route_table(const std::string& name);
 
@@ -147,27 +177,32 @@ struct CellOverride {
 };
 
 /// The declarative experiment grid. Cells = topologies x arbitrations x
-/// traffics x loads x wavelengths x route tables x seeds, every
-/// combination simulated once.
+/// traffics x loads x wavelengths x route tables x timings x seeds,
+/// every combination simulated once.
 struct CampaignSpec {
   std::string name = "campaign";
   std::vector<TopologySpec> topologies;
   std::vector<sim::Arbitration> arbitrations{
       sim::Arbitration::kTokenRoundRobin};
-  std::vector<TrafficKind> traffics{TrafficKind::kUniform};
+  std::vector<TrafficSpec> traffics{TrafficSpec{}};
   std::vector<double> loads{0.5};
   std::vector<std::int64_t> wavelengths{1};
   /// Routing-table axis: result-invariant by construction (compressed
   /// tables answer every query identically), so listing more than one
   /// value is for memory/speed comparison, not for new physics.
   std::vector<sim::RouteTable> route_tables{sim::RouteTable::kAuto};
+  /// Timing axis: named skew profiles resolved to concrete tick values
+  /// (sim/timing_model.hpp). Cells whose timing is not slot-aligned run
+  /// on the async engine regardless of the `engine` field -- the
+  /// slotted engines cannot honour sub-slot skew.
+  std::vector<sim::TimingConfig> timings{sim::TimingConfig{}};
   std::vector<std::uint64_t> seeds{1};
 
-  /// Hotspot traffic shape (kHotspot cells only).
+  /// Default shapes applied to traffic entries given as plain strings
+  /// in the JSON form ("traffic": ["hotspot"]); structured entries
+  /// carry their own shape values.
   std::int64_t hotspot_node = 0;
   double hotspot_fraction = 0.2;
-  /// Bursty traffic shape (kBursty cells only): ON entry/exit
-  /// probabilities per slot; mean burst = 1/exit, mean idle = 1/enter.
   double bursty_enter_on = 0.05;
   double bursty_exit_on = 0.2;
 
@@ -200,10 +235,18 @@ struct CampaignSpec {
 ///                  {"kind": "pops", "t": 6, "g": 12},
 ///                  {"kind": "stack_imase_itoh", "s": 4, "d": 2, "n": 12}],
 ///   "arbitrations": ["token", "random", "aloha"],
-///   "traffic": ["uniform", "hotspot", "bursty"],
+///   "traffic": ["uniform",
+///               {"kind": "hotspot", "node": 0, "fraction": [0.1, 0.3]},
+///               {"kind": "bursty", "enter_on": 0.05,
+///                "exit_on": [0.1, 0.2]}],
 ///   "loads": [0.1, 0.5, 0.9],
 ///   "wavelengths": [1, 2, 4],
 ///   "routes": ["auto"],
+///   "timings": ["none",
+///               {"profile": "const", "tuning": [256, 512],
+///                "propagation": 128, "guard": 0},
+///               {"profile": "level", "tuning": 256, "propagation": 64,
+///                "level_skew": 128}],
 ///   "seeds": [1, 2, 3],
 ///   "hotspot_node": 0, "hotspot_fraction": 0.2,
 ///   "bursty_enter_on": 0.05, "bursty_exit_on": 0.2,
@@ -214,7 +257,12 @@ struct CampaignSpec {
 /// }
 /// Every field except "topologies" has the CampaignSpec default.
 /// "traffic" and "routes" accept a single string as well as an array
-/// (the single-string "traffic" form is the pre-axis schema).
+/// (the single-string "traffic" form is the pre-axis schema). Traffic
+/// entries may be structured objects carrying per-entry shape values; a
+/// shape value given as an array sweeps that parameter into one axis
+/// entry per value. Timing entries are "none" or an object whose
+/// delays are sub-slot ticks (sim::kTicksPerSlot per slot); "tuning"
+/// accepts an array to sweep the tuning latency.
 [[nodiscard]] CampaignSpec parse_campaign_spec(const std::string& json_text);
 
 /// parse_campaign_spec over the contents of `path`.

@@ -1,0 +1,238 @@
+#include "sim/async_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/error.hpp"
+#include "sim/arbitration.hpp"
+#include "sim/calendar_queue.hpp"
+
+namespace otis::sim {
+namespace {
+
+/// Same per-run stream as the serial engines: the zero-delay limit must
+/// consume the identical RNG sequence.
+constexpr std::uint64_t kRunStream = 0x0715;
+
+/// Slot-valued latency of a timed delivery: the number of whole slots
+/// the packet needed, rounding a partially-used slot up. In the
+/// zero-delay limit this equals the phased engine's (now - created + 1).
+std::int64_t latency_slots(SimTime delivered_tick, SimTime created_tick) {
+  return (delivered_tick - created_tick + kTicksPerSlot - 1) / kTicksPerSlot;
+}
+
+}  // namespace
+
+template <routing::RouteView Routes>
+AsyncEngineT<Routes>::AsyncEngineT(const hypergraph::StackGraph& network,
+                                   const Routes& routes,
+                                   TrafficGenerator& traffic,
+                                   const SimConfig& config,
+                                   const TimingModel& timing)
+    : network_(network),
+      routes_(routes),
+      traffic_(traffic),
+      config_(config),
+      timing_(timing) {
+  const auto& hg = network_.hypergraph();
+  nodes_ = hg.node_count();
+  couplers_ = hg.hyperarc_count();
+  OTIS_REQUIRE(timing_.coupler_count() == couplers_,
+               "AsyncEngine: timing model sized for another network");
+  voq_base_.resize(static_cast<std::size_t>(nodes_) + 1);
+  voq_base_[0] = 0;
+  for (hypergraph::Node v = 0; v < nodes_; ++v) {
+    voq_base_[static_cast<std::size_t>(v) + 1] =
+        voq_base_[static_cast<std::size_t>(v)] + hg.out_degree(v);
+  }
+  voq_.resize(static_cast<std::size_t>(voq_base_.back()));
+  retune_.assign(voq_.size(), 0);
+  token_.assign(static_cast<std::size_t>(couplers_), 0);
+}
+
+template <routing::RouteView Routes>
+RunMetrics AsyncEngineT<Routes>::run(
+    std::vector<std::int64_t>& coupler_success) {
+  const auto& hg = network_.hypergraph();
+  coupler_success.assign(static_cast<std::size_t>(couplers_), 0);
+  core::Rng rng = core::Rng::stream(config_.seed, kRunStream);
+  RunMetrics metrics;
+  metrics.slots = config_.measure_slots;
+
+  const SimTime horizon = config_.warmup_slots + config_.measure_slots;
+  const SimTime drain_bound = horizon + 1'000'000;
+  const SimTime warmup_tick = ticks_from_slots(config_.warmup_slots);
+  const SimTime guard = timing_.guard();
+  std::int64_t inflight = 0;
+  std::int64_t next_packet_id = 0;
+
+  /// An in-flight transmission: coupler -> receivers, landing at the
+  /// event's calendar time. `measuring` is the transmission slot's flag
+  /// (the phased engine accounts deliveries in the slot that carried
+  /// them, so the async engine must too).
+  struct Arrival {
+    Packet packet;
+    hypergraph::HyperarcId coupler = 0;
+    bool measuring = false;
+  };
+  CalendarQueue<Arrival> propagations;
+
+  // Hoisted scratch, as in the phased engine.
+  std::vector<std::size_t> contenders;
+  std::vector<std::size_t> winners;
+  std::vector<char> is_contender;
+  const std::size_t capacity = static_cast<std::size_t>(config_.wavelengths);
+
+  /// Queues `packet` at `at`; `tick` is when it landed there (its
+  /// transmitter is tuned `tuning` ticks later). Mirrors the phased
+  /// engine's enqueue, including drop accounting.
+  const auto enqueue = [&](Packet packet, hypergraph::Node at, SimTime tick,
+                           bool measuring) {
+    const hypergraph::HyperarcId next =
+        routes_.next_coupler(at, packet.destination);
+    const std::int32_t slot = routes_.next_slot(at, packet.destination);
+    auto& queue = voq_[static_cast<std::size_t>(
+        voq_base_[static_cast<std::size_t>(at)] + slot)];
+    if (config_.queue_capacity > 0 &&
+        static_cast<std::int64_t>(queue.size()) >= config_.queue_capacity) {
+      if (measuring) {
+        ++metrics.dropped_packets;
+      }
+      --inflight;
+      return;
+    }
+    queue.push_back(TimedPacket{std::move(packet), tick + timing_.tuning(next)});
+  };
+
+  /// Receive step of one landed transmission.
+  const auto receive = [&](Arrival&& arrival, SimTime tick) {
+    const hypergraph::Node relay =
+        routes_.relay(arrival.coupler, arrival.packet.destination);
+    if (relay == arrival.packet.destination) {
+      if (arrival.measuring) {
+        ++metrics.delivered_packets;
+        if (arrival.packet.created >= warmup_tick) {
+          metrics.latency.record(
+              latency_slots(tick, arrival.packet.created));
+        }
+      }
+      --inflight;
+    } else {
+      enqueue(std::move(arrival.packet), relay, tick, arrival.measuring);
+    }
+  };
+
+  for (SimTime now = 0;;) {
+    const SimTime slot_tick = ticks_from_slots(now);
+    const bool measuring = now >= config_.warmup_slots && now < horizon;
+
+    // Receive every transmission that landed by this slot boundary --
+    // the phased engine's phase 3 runs before the next slot's phase 1,
+    // so arrivals at exactly the boundary precede this slot's work.
+    while (!propagations.empty() && propagations.peek().time <= slot_tick) {
+      auto event = propagations.pop();
+      receive(std::move(event.payload), event.time);
+    }
+
+    // Generate (stops at the horizon; drain only afterwards).
+    if (now < horizon) {
+      for (hypergraph::Node v = 0; v < nodes_; ++v) {
+        const TrafficDemand demand = traffic_.demand(v, rng);
+        if (!demand.has_packet || demand.destination == v) {
+          continue;
+        }
+        if (measuring) {
+          ++metrics.offered_packets;
+        }
+        ++inflight;
+        enqueue(Packet{next_packet_id++, v, demand.destination, slot_tick, 0},
+                v, slot_tick, measuring);
+      }
+    }
+
+    // Arbitrate: per-coupler winner selection over the flattened feeds,
+    // restricted to head packets whose transmitter tuned in time.
+    for (hypergraph::HyperarcId h = 0; h < couplers_; ++h) {
+      const hypergraph::CouplerFeed feed = hg.coupler_feed(h);
+      const std::size_t feed_count = static_cast<std::size_t>(feed.count);
+      if (is_contender.size() < feed_count) {
+        is_contender.resize(feed_count, 0);
+      }
+      contenders.clear();
+      for (std::size_t si = 0; si < feed_count; ++si) {
+        const std::size_t qi = static_cast<std::size_t>(
+            voq_base_[static_cast<std::size_t>(feed.source[si])] +
+            feed.slot[si]);
+        const auto& queue = voq_[qi];
+        if (queue.empty()) {
+          continue;
+        }
+        // Head eligible iff its own tuning finished AND the transmitter
+        // re-tuned since the queue's previous transmission, both guard
+        // ticks before the boundary.
+        const SimTime gate = std::max(queue.front().ready, retune_[qi]);
+        if (gate + guard <= slot_tick) {
+          contenders.push_back(si);
+          is_contender[si] = 1;
+        }
+      }
+      if (contenders.empty()) {
+        continue;
+      }
+      const bool collided = detail::pick_winners(
+          config_.arbitration, capacity, feed_count, contenders, is_contender,
+          token_[static_cast<std::size_t>(h)], rng, winners);
+      for (std::size_t si : contenders) {
+        is_contender[si] = 0;
+      }
+      if (collided && measuring) {
+        ++metrics.collisions;
+      }
+      for (std::size_t si : winners) {
+        const std::size_t qi = static_cast<std::size_t>(
+            voq_base_[static_cast<std::size_t>(feed.source[si])] +
+            feed.slot[si]);
+        auto& queue = voq_[qi];
+        Packet packet = std::move(queue.front().packet);
+        queue.pop_front();
+        // Transmitter dead time: busy through this slot, then re-tunes.
+        retune_[qi] = slot_tick + kTicksPerSlot + timing_.tuning(h);
+        ++packet.hops;
+        if (measuring) {
+          ++metrics.coupler_transmissions;
+          ++coupler_success[static_cast<std::size_t>(h)];
+        }
+        // Propagate: the transmission occupies slot `now` and lands
+        // prop(h) ticks after the next boundary.
+        propagations.push(
+            slot_tick + kTicksPerSlot + timing_.propagation(h),
+            Arrival{std::move(packet), h, measuring});
+      }
+    }
+
+    const bool more_traffic = now + 1 < horizon;
+    const bool keep_draining = config_.drain && inflight > 0;
+    if (!(more_traffic || keep_draining)) {
+      break;
+    }
+    ++now;
+    if (now > drain_bound) {
+      break;
+    }
+  }
+
+  // Transmissions of the final slot are still in flight; land them (the
+  // phased engine's last phase 3 does the same work inside the slot).
+  while (!propagations.empty()) {
+    auto event = propagations.pop();
+    receive(std::move(event.payload), event.time);
+  }
+
+  metrics.backlog = inflight;
+  return metrics;
+}
+
+template class AsyncEngineT<routing::CompiledRoutes>;
+template class AsyncEngineT<routing::CompressedRoutes>;
+
+}  // namespace otis::sim

@@ -1,0 +1,97 @@
+#pragma once
+/// \file async_engine.hpp
+/// Asynchronous timed-event engine behind Engine::kAsync.
+///
+/// The phased engines treat a slot as indivisible; this engine runs the
+/// same generate / tune / arbitrate / propagate / receive cycle as timed
+/// events over sub-slot ticks (kTicksPerSlot per slot), honouring a
+/// TimingModel:
+///
+///   generate   -- a node's packet enters its VOQ at the slot boundary;
+///   tune       -- the packet becomes *eligible* once its transmitter
+///                 has tuned: ready = arrival + tuning(coupler); the
+///                 transmitter also re-tunes after each transmission
+///                 (dead time), so a VOQ that sent in slot t is next
+///                 eligible at (t+1)*slot + tuning -- under backlog the
+///                 tuning latency throttles the per-transmitter service
+///                 rate, though a coupler's other feeds can cover the
+///                 gap (stacking hides tuning dead time);
+///   arbitrate  -- couplers still arbitrate at slot boundaries (the OPS
+///                 hardware is slotted), but only over head packets that
+///                 were ready guard ticks before the boundary;
+///   propagate  -- a winner of slot t reaches its receivers at
+///                 (t+1) * kTicksPerSlot + propagation(coupler), a
+///                 calendar-queue event (bucket width = one slot);
+///   receive    -- the arrival event delivers the packet or re-enqueues
+///                 it at the relay, where the tune step repeats.
+///
+/// In the slot-aligned limit (every delay zero) each step degenerates to
+/// its phased counterpart at the same boundary in the same order, with
+/// the same single RNG stream consumed identically -- so the engine is
+/// bit-identical to PhasedEngineT for every seed, topology, arbitration
+/// policy and route-table representation (tests/test_async_engine.cpp).
+/// With nonzero skew the run remains a pure function of the seed and the
+/// timing model.
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/stack_graph.hpp"
+#include "routing/compiled_routes.hpp"
+#include "routing/compressed_routes.hpp"
+#include "routing/route_view.hpp"
+#include "sim/metrics.hpp"
+#include "sim/ops_network.hpp"
+#include "sim/ring_buffer.hpp"
+#include "sim/timing_model.hpp"
+#include "sim/traffic.hpp"
+
+namespace otis::sim {
+
+/// Internal engine used by OpsNetworkSim for Engine::kAsync.
+/// Single-run object: construct, run() once.
+template <routing::RouteView Routes>
+class AsyncEngineT {
+ public:
+  /// All references must outlive the engine. `config` must be validated
+  /// by the caller (OpsNetworkSim does); `timing` must be sized for
+  /// `network`.
+  AsyncEngineT(const hypergraph::StackGraph& network, const Routes& routes,
+               TrafficGenerator& traffic, const SimConfig& config,
+               const TimingModel& timing);
+
+  /// Runs the configured window; returns measurement-window metrics and
+  /// fills per-coupler success counts (sized to the coupler count).
+  RunMetrics run(std::vector<std::int64_t>& coupler_success);
+
+ private:
+  /// A queued packet plus the tick its transmitter finishes tuning.
+  struct TimedPacket {
+    Packet packet;
+    SimTime ready = 0;
+  };
+
+  const hypergraph::StackGraph& network_;
+  const Routes& routes_;
+  TrafficGenerator& traffic_;
+  const SimConfig& config_;
+  const TimingModel& timing_;
+
+  std::int64_t nodes_ = 0;
+  std::int64_t couplers_ = 0;
+  /// Flat VOQ pool: node v's queues are voq_[voq_base_[v] + slot].
+  std::vector<std::int64_t> voq_base_;
+  std::vector<RingBuffer<TimedPacket>> voq_;
+  /// Per-VOQ transmitter re-tune gate: earliest tick the queue's next
+  /// head may transmit after the previous transmission.
+  std::vector<SimTime> retune_;
+  std::vector<std::int64_t> token_;
+};
+
+/// The dense-table instantiation.
+using AsyncEngine = AsyncEngineT<routing::CompiledRoutes>;
+
+extern template class AsyncEngineT<routing::CompiledRoutes>;
+extern template class AsyncEngineT<routing::CompressedRoutes>;
+
+}  // namespace otis::sim

@@ -1,5 +1,7 @@
 #include "sim/event_queue.hpp"
 
+#include <limits>
+
 #include "core/error.hpp"
 
 namespace otis::sim {
@@ -14,7 +16,7 @@ void EventQueue::schedule_in(SimTime delay, Action action) {
   schedule_at(now_ + delay, std::move(action));
 }
 
-std::int64_t EventQueue::run_until(SimTime until) {
+std::int64_t EventQueue::drain(SimTime until) {
   std::int64_t executed = 0;
   while (!events_.empty() && events_.top().time <= until) {
     // priority_queue::top is const; move via const_cast is UB, so copy
@@ -25,6 +27,11 @@ std::int64_t EventQueue::run_until(SimTime until) {
     entry.action();
     ++executed;
   }
+  return executed;
+}
+
+std::int64_t EventQueue::run_until(SimTime until) {
+  const std::int64_t executed = drain(until);
   if (now_ < until) {
     now_ = until;
   }
@@ -32,15 +39,7 @@ std::int64_t EventQueue::run_until(SimTime until) {
 }
 
 std::int64_t EventQueue::run_all() {
-  std::int64_t executed = 0;
-  while (!events_.empty()) {
-    Entry entry{events_.top().time, events_.top().seq, events_.top().action};
-    events_.pop();
-    now_ = entry.time;
-    entry.action();
-    ++executed;
-  }
-  return executed;
+  return drain(std::numeric_limits<SimTime>::max());
 }
 
 }  // namespace otis::sim

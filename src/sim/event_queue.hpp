@@ -8,6 +8,11 @@
 /// latencies, unequal propagation delays) slot in without rework.
 /// Events at equal times fire in schedule order (stable FIFO tie-break),
 /// which keeps runs bit-reproducible.
+///
+/// This priority-queue implementation backs the seed-faithful
+/// Engine::kEventQueue loop (a tests-only fixture since the async layer
+/// landed); the asynchronous extensions themselves run on its O(1)
+/// calendar-queue rewrite, calendar_queue.hpp.
 
 #include <cstdint>
 #include <functional>
@@ -16,8 +21,27 @@
 
 namespace otis::sim {
 
-/// Simulation clock type: abstract time units (slots for the OPS model).
+/// Simulation clock type: abstract time units. The slot-aligned engines
+/// count whole slots (1 unit = 1 slot); the asynchronous timing layer
+/// counts fixed-point sub-slot *ticks* (1 slot = kTicksPerSlot units),
+/// which is what lets tuning latencies and propagation skew smaller than
+/// a slot stay exact integers. Both interpretations share this type --
+/// an engine picks one and sticks to it.
 using SimTime = std::int64_t;
+
+/// Fixed-point sub-slot resolution: 1 slot = 2^kSubSlotBits ticks.
+inline constexpr int kSubSlotBits = 10;
+inline constexpr SimTime kTicksPerSlot = SimTime{1} << kSubSlotBits;
+
+/// Whole slots -> ticks (the async engines' native unit).
+[[nodiscard]] constexpr SimTime ticks_from_slots(SimTime slots) noexcept {
+  return slots * kTicksPerSlot;
+}
+
+/// Tick -> the slot it falls in (floor).
+[[nodiscard]] constexpr SimTime slot_of_tick(SimTime tick) noexcept {
+  return tick >> kSubSlotBits;
+}
 
 /// A deterministic discrete-event engine.
 class EventQueue {
@@ -42,13 +66,19 @@ class EventQueue {
   }
 
   /// Runs events until the queue drains or the next event is later than
-  /// `until`. Returns the number of events executed.
+  /// `until`, then advances the clock to `until`. Returns the number of
+  /// events executed.
   std::int64_t run_until(SimTime until);
 
-  /// Runs everything (use with care: actions may self-perpetuate).
+  /// Runs everything (use with care: actions may self-perpetuate). The
+  /// clock ends at the last executed event's time.
   std::int64_t run_all();
 
  private:
+  /// Shared body of run_until/run_all: executes events with time <=
+  /// `until` in (time, seq) order, advancing the clock to each.
+  std::int64_t drain(SimTime until);
+
   struct Entry {
     SimTime time;
     std::uint64_t seq;  // FIFO tie-break

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/error.hpp"
+#include "sim/async_engine.hpp"
 #include "sim/phased_engine.hpp"
 
 namespace otis::sim {
@@ -28,6 +29,8 @@ const char* engine_name(Engine engine) {
       return "phased";
     case Engine::kSharded:
       return "sharded";
+    case Engine::kAsync:
+      return "async";
   }
   return "?";
 }
@@ -53,6 +56,11 @@ void OpsNetworkSim::validate_config() const {
                "OpsNetworkSim: warmup_slots must be >= 0");
   OTIS_REQUIRE(config_.queue_capacity >= 0,
                "OpsNetworkSim: queue_capacity must be >= 0");
+  config_.timing.validate();
+  OTIS_REQUIRE(config_.engine == Engine::kAsync ||
+                   config_.timing.is_slot_aligned(),
+               "OpsNetworkSim: timing delays require Engine::kAsync (the "
+               "slotted engines cannot honour sub-slot skew)");
 }
 
 OpsNetworkSim::OpsNetworkSim(const hypergraph::StackGraph& network,
@@ -354,9 +362,40 @@ RunMetrics OpsNetworkSim::run_event_queue() {
   return metrics_;
 }
 
+void OpsNetworkSim::set_timing_model(
+    std::shared_ptr<const TimingModel> timing) {
+  OTIS_REQUIRE(timing != nullptr, "OpsNetworkSim: timing must be set");
+  // Same refuse-don't-ignore contract as SimConfig::timing: a model
+  // injected under a slotted engine would be silently dropped.
+  OTIS_REQUIRE(config_.engine == Engine::kAsync,
+               "OpsNetworkSim: timing models require Engine::kAsync");
+  OTIS_REQUIRE(timing->coupler_count() ==
+                   network_.hypergraph().hyperarc_count(),
+               "OpsNetworkSim: timing model sized for another network");
+  timing_model_ = std::move(timing);
+}
+
 RunMetrics OpsNetworkSim::run() {
   if (config_.engine == Engine::kEventQueue) {
     return run_event_queue();
+  }
+  if (config_.engine == Engine::kAsync) {
+    std::shared_ptr<const TimingModel> timing = timing_model_;
+    if (timing == nullptr) {
+      timing = std::make_shared<const TimingModel>(
+          TimingModel::compile(network_, config_.timing));
+    }
+    if (compressed_routes_ != nullptr) {
+      AsyncEngineT<routing::CompressedRoutes> engine(
+          network_, *compressed_routes_, *traffic_, config_, *timing);
+      metrics_ = engine.run(coupler_success_);
+    } else {
+      AsyncEngineT<routing::CompiledRoutes> engine(network_, *routes_,
+                                                   *traffic_, config_,
+                                                   *timing);
+      metrics_ = engine.run(coupler_success_);
+    }
+    return metrics_;
   }
   if (compressed_routes_ != nullptr) {
     PhasedEngineT<routing::CompressedRoutes> engine(

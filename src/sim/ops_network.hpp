@@ -17,10 +17,10 @@
 ///    [11]: token round-robin, random winner, or oblivious (collision
 ///    destroys all packets in that coupler-slot; senders retry).
 ///
-/// Three execution engines share this model:
+/// Four execution engines share this model:
 ///  - kEventQueue: the original per-slot-event loop on the generic
-///    EventQueue; kept as the reference implementation and as the seam
-///    for asynchronous extensions (tuning latencies, propagation skew);
+///    EventQueue; kept as the seed-faithful reference implementation
+///    (tests-only fixture since the async layer landed);
 ///  - kPhased: a direct three-phase slot loop (generate / arbitrate /
 ///    receive) over flat ring-buffer VOQs and CompiledRoutes tables.
 ///    Bit-identical to kEventQueue for every seed, several times faster;
@@ -28,7 +28,12 @@
 ///    across worker threads, phases separated by barriers, and RNG
 ///    drawn from per-node / per-coupler streams so the result is
 ///    bit-identical for EVERY thread count (though, by design, a
-///    different -- equally valid -- universe than the serial engines).
+///    different -- equally valid -- universe than the serial engines);
+///  - kAsync: the calendar-queue timed-event engine (async_engine.hpp)
+///    honouring SimConfig::timing -- transmitter tuning latencies,
+///    per-coupler propagation skew, slot guard bands in sub-slot ticks.
+///    Bit-identical to kPhased when the timing model is slot-aligned
+///    (every delay zero).
 ///
 /// The simulator works for *any* stack-graph network: POPS, stack-Kautz
 /// and stack-Imase-Itoh differ only in the StackGraph and the routing
@@ -46,6 +51,7 @@
 #include "routing/compressed_routes.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
+#include "sim/timing_model.hpp"
 #include "sim/traffic.hpp"
 
 namespace otis::sim {
@@ -61,9 +67,10 @@ enum class Arbitration {
 
 /// Execution engines (see file comment).
 enum class Engine {
-  kEventQueue,  ///< reference event-driven loop (async-extension seam)
+  kEventQueue,  ///< seed-faithful event-driven loop (tests-only fixture)
   kPhased,      ///< direct three-phase slot loop; == kEventQueue bit-for-bit
   kSharded,     ///< phased loop over N worker threads; thread-count invariant
+  kAsync,       ///< calendar-queue timed events; == kPhased when slot-aligned
 };
 
 [[nodiscard]] const char* engine_name(Engine engine);
@@ -145,6 +152,11 @@ struct SimConfig {
   /// accepts every router kDense does; only an explicit kCompressed
   /// requires factoredness (and throws otherwise).
   RouteTable route_table = RouteTable::kAuto;
+  /// Sub-slot timing (tuning latencies, propagation skew, guard bands;
+  /// timing_model.hpp). Non-slot-aligned configs require Engine::kAsync
+  /// -- the slotted engines cannot honour them and refuse rather than
+  /// silently ignoring the skew.
+  TimingConfig timing;
 };
 
 /// The slot-synchronous multi-OPS network simulator.
@@ -180,6 +192,12 @@ class OpsNetworkSim {
                 routing::CompressedRoutes routes,
                 std::unique_ptr<TrafficGenerator> traffic, SimConfig config);
 
+  /// Overrides the timing model compiled from SimConfig::timing for
+  /// Engine::kAsync runs -- the hook for trace-derived models
+  /// (TimingModel::from_trace), which need an optical design the config
+  /// cannot name declaratively. Must match the network's coupler count.
+  void set_timing_model(std::shared_ptr<const TimingModel> timing);
+
   /// Runs warmup + measurement (+ optional drain); returns the metrics of
   /// the measurement window.
   RunMetrics run();
@@ -203,6 +221,7 @@ class OpsNetworkSim {
   /// when the simulator was built from one).
   std::shared_ptr<const routing::CompiledRoutes> routes_;
   std::shared_ptr<const routing::CompressedRoutes> compressed_routes_;
+  std::shared_ptr<const TimingModel> timing_model_;  ///< kAsync override
   std::unique_ptr<TrafficGenerator> traffic_;
   SimConfig config_;
   core::Rng rng_;

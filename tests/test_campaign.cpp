@@ -102,7 +102,7 @@ TEST(CampaignGrid, ExpansionCountsAndOrder) {
   EXPECT_EQ(cells[80].topology, 2u);
 
   EXPECT_EQ(cells[0].id,
-            "SK(4,3,2)|token|uniform|load=0.100000|w=1|routes=auto|seed=1");
+            "SK(4,3,2)|token|uniform|load=0.100000|w=1|routes=auto|timing=none|seed=1");
 
   // Axis values that collide in the ID's 6-decimal load form are
   // refused (a silent collision would make resume drop cells).
@@ -138,7 +138,7 @@ TEST(CampaignSpecJson, ParsesFullSchema) {
   EXPECT_EQ(spec.topologies[2].label(), "SII(4,2,12)");
   EXPECT_EQ(spec.arbitrations.size(), 3u);
   EXPECT_EQ(spec.traffics,
-            (std::vector<campaign::TrafficKind>{
+            (std::vector<campaign::TrafficSpec>{
                 campaign::TrafficKind::kSaturation}));
   EXPECT_EQ(spec.wavelengths, (std::vector<std::int64_t>{1, 4}));
   EXPECT_EQ(spec.seeds, (std::vector<std::uint64_t>{7, 8}));
@@ -155,7 +155,7 @@ TEST(CampaignSpecJson, DefaultsAndErrors) {
       R"({"topologies": [{"kind": "pops", "t": 2, "g": 3}]})");
   EXPECT_EQ(spec.arbitrations.size(), 1u);
   EXPECT_EQ(spec.traffics,
-            (std::vector<campaign::TrafficKind>{
+            (std::vector<campaign::TrafficSpec>{
                 campaign::TrafficKind::kUniform}));
   EXPECT_EQ(spec.route_tables,
             (std::vector<sim::RouteTable>{sim::RouteTable::kAuto}));
@@ -357,16 +357,16 @@ TEST(CampaignGrid, TrafficAndRoutesAxesExpand) {
       campaign::expand_grid(spec);
   ASSERT_EQ(cells.size(), 16u);
   // Nesting: traffic above load/wavelengths, routes above seed.
-  EXPECT_EQ(cells[0].traffic, campaign::TrafficKind::kUniform);
-  EXPECT_EQ(cells[4].traffic, campaign::TrafficKind::kHotspot);
+  EXPECT_EQ(cells[0].traffic.kind, campaign::TrafficKind::kUniform);
+  EXPECT_EQ(cells[4].traffic.kind, campaign::TrafficKind::kHotspot);
   EXPECT_EQ(cells[0].routes, sim::RouteTable::kDense);
   EXPECT_EQ(cells[2].routes, sim::RouteTable::kCompressed);
   EXPECT_EQ(cells[1].seed, 2u);
   EXPECT_EQ(cells[0].id,
-            "POPS(3,4)|token|uniform|load=0.300000|w=1|routes=dense|seed=1");
-  EXPECT_EQ(
-      cells[6].id,
-      "POPS(3,4)|token|hotspot|load=0.300000|w=1|routes=compressed|seed=1");
+            "POPS(3,4)|token|uniform|load=0.300000|w=1|routes=dense|timing=none|seed=1");
+  EXPECT_EQ(cells[6].id,
+            "POPS(3,4)|token|hotspot(n0,f0.2000)|load=0.300000|w=1|"
+            "routes=compressed|timing=none|seed=1");
 }
 
 TEST(CampaignGrid, TopologySpecProcessorCountMatchesNetworks) {
@@ -397,9 +397,9 @@ TEST(CampaignGrid, OverridesResolveExecutionKnobs) {
   EXPECT_EQ(cells[1].engine, sim::Engine::kSharded);
   EXPECT_EQ(cells[1].engine_threads, 4);
   EXPECT_EQ(cells[1].routes, sim::RouteTable::kCompressed);
-  EXPECT_EQ(
-      cells[1].id,
-      "SK(4,3,2)|token|uniform|load=0.500000|w=1|routes=compressed|seed=1");
+  EXPECT_EQ(cells[1].id,
+            "SK(4,3,2)|token|uniform|load=0.500000|w=1|routes=compressed|"
+            "timing=none|seed=1");
 
   // Several overrides for one topology layer in order, later wins.
   campaign::CellOverride second;
@@ -438,11 +438,17 @@ TEST(CampaignSpecJson, ParsesTrafficRoutesAxesAndOverrides) {
     "overrides": [{"topology": "SK(4,3,2)", "engine": "sharded",
                    "engine_threads": 2, "routes": "compressed"}]
   })json");
-  EXPECT_EQ(spec.traffics,
-            (std::vector<campaign::TrafficKind>{
-                campaign::TrafficKind::kUniform,
-                campaign::TrafficKind::kHotspot,
-                campaign::TrafficKind::kBursty}));
+  ASSERT_EQ(spec.traffics.size(), 3u);
+  EXPECT_EQ(spec.traffics[0].kind, campaign::TrafficKind::kUniform);
+  EXPECT_EQ(spec.traffics[1].kind, campaign::TrafficKind::kHotspot);
+  // Plain-string entries inherit the spec-level shape defaults.
+  EXPECT_EQ(spec.traffics[1].hotspot_node, 1);
+  EXPECT_DOUBLE_EQ(spec.traffics[1].hotspot_fraction, 0.5);
+  EXPECT_EQ(spec.traffics[1].label(), "hotspot(n1,f0.5000)");
+  EXPECT_EQ(spec.traffics[2].kind, campaign::TrafficKind::kBursty);
+  EXPECT_DOUBLE_EQ(spec.traffics[2].bursty_enter_on, 0.1);
+  EXPECT_DOUBLE_EQ(spec.traffics[2].bursty_exit_on, 0.4);
+  EXPECT_EQ(spec.traffics[2].label(), "bursty(on0.1000,off0.4000)");
   EXPECT_EQ(spec.route_tables,
             (std::vector<sim::RouteTable>{sim::RouteTable::kDense,
                                           sim::RouteTable::kCompressed}));
@@ -508,9 +514,10 @@ TEST(CampaignRunnerTest, TrafficAxisFlowsThroughToRows) {
     EXPECT_GT(row.at("delivered").as_int(), 0);
   }
   EXPECT_EQ(by_traffic["uniform"], 2);
-  EXPECT_EQ(by_traffic["hotspot"], 2);
+  // Shaped families carry their parameters in the row label.
+  EXPECT_EQ(by_traffic["hotspot(n0,f0.2000)"], 2);
   EXPECT_EQ(by_traffic["permutation"], 2);
-  EXPECT_EQ(by_traffic["bursty"], 2);
+  EXPECT_EQ(by_traffic["bursty(on0.0500,off0.2000)"], 2);
 }
 
 TEST(CampaignRunnerTest, DenseAndCompressedCellsProduceIdenticalMetrics) {
@@ -671,6 +678,139 @@ TEST(CampaignRunnerTest, LargeCompressedWdmCellRunsEndToEnd) {
   EXPECT_EQ(row.at("nodes").as_int(), 11000);
   EXPECT_EQ(row.at("routes").as_string(), "compressed");
   EXPECT_GT(row.at("delivered").as_int(), 0);
+}
+
+TEST(CampaignSpecJson, ParsesShapeSweepsAndTimingAxis) {
+  const CampaignSpec spec = campaign::parse_campaign_spec(R"json({
+    "topologies": [{"kind": "pops", "t": 2, "g": 3}],
+    "traffic": ["uniform",
+                {"kind": "hotspot", "node": 2, "fraction": [0.1, 0.3]},
+                {"kind": "bursty", "enter_on": 0.05, "exit_on": [0.1, 0.2]}],
+    "timings": ["none",
+                {"profile": "const", "tuning": [256, 512],
+                 "propagation": 128},
+                {"profile": "level", "propagation": 64, "level_skew": 32,
+                 "guard": 16}]
+  })json");
+  // Sweep arrays expand into one axis entry per value.
+  ASSERT_EQ(spec.traffics.size(), 5u);
+  EXPECT_EQ(spec.traffics[1].label(), "hotspot(n2,f0.1000)");
+  EXPECT_EQ(spec.traffics[2].label(), "hotspot(n2,f0.3000)");
+  EXPECT_EQ(spec.traffics[3].label(), "bursty(on0.0500,off0.1000)");
+  EXPECT_EQ(spec.traffics[4].label(), "bursty(on0.0500,off0.2000)");
+  ASSERT_EQ(spec.timings.size(), 4u);
+  EXPECT_EQ(spec.timings[0].label(), "none");
+  EXPECT_EQ(spec.timings[1].label(), "const(t256,p128,g0)");
+  EXPECT_EQ(spec.timings[2].label(), "const(t512,p128,g0)");
+  EXPECT_EQ(spec.timings[3].label(), "level(t0,p64,l32,g16)");
+  EXPECT_EQ(spec.cell_count(), 5 * 4);
+
+  // Non-slot-aligned cells run on the async engine; aligned cells keep
+  // the spec engine. The timing label is part of the cell ID.
+  const std::vector<campaign::CampaignCell> cells =
+      campaign::expand_grid(spec);
+  ASSERT_EQ(cells.size(), 20u);
+  EXPECT_EQ(cells[0].engine, sim::Engine::kPhased);
+  EXPECT_EQ(cells[1].engine, sim::Engine::kAsync);
+  EXPECT_EQ(cells[1].id,
+            "POPS(2,3)|token|uniform|load=0.500000|w=1|routes=auto|"
+            "timing=const(t256,p128,g0)|seed=1");
+
+  EXPECT_THROW(campaign::parse_campaign_spec(
+                   R"json({"topologies": [{"kind": "pops", "t": 2, "g": 3}],
+                       "timings": ["fast"]})json"),
+               core::Error);
+  EXPECT_THROW(campaign::parse_campaign_spec(
+                   R"json({"topologies": [{"kind": "pops", "t": 2, "g": 3}],
+                       "timings": [{"profile": "warp"}]})json"),
+               core::Error);
+  // Fractional ticks must fail loudly, not truncate into a cell ID
+  // that was never simulated.
+  EXPECT_THROW(campaign::parse_campaign_spec(
+                   R"json({"topologies": [{"kind": "pops", "t": 2, "g": 3}],
+                       "timings": [{"profile": "const",
+                                    "tuning": [256.5]}]})json"),
+               core::Error);
+  EXPECT_THROW(campaign::parse_campaign_spec(
+                   R"json({"topologies": [{"kind": "pops", "t": 2, "g": 3}],
+                       "traffic": [{"kind": "hotspot", "fracton": 0.2}]})json"),
+               core::Error);
+}
+
+TEST(CampaignRunnerTest, ShapeSweepsProduceDistinctGroups) {
+  // Two hotspot fractions in one grid: distinct cells, distinct
+  // aggregate groups, and the hotter fraction concentrates traffic.
+  CampaignSpec spec;
+  spec.name = "shape-sweep";
+  spec.topologies = {TopologySpec::pops(6, 4)};
+  campaign::TrafficSpec mild(campaign::TrafficKind::kHotspot);
+  mild.hotspot_fraction = 0.1;
+  campaign::TrafficSpec hot = mild;
+  hot.hotspot_fraction = 0.9;
+  spec.traffics = {mild, hot};
+  spec.loads = {0.5};
+  spec.seeds = {1, 2};
+  spec.warmup_slots = 10;
+  spec.measure_slots = 200;
+
+  auto aggregate = std::make_shared<campaign::AggregateSink>();
+  CampaignRunner runner(spec);
+  runner.add_sink(aggregate);
+  runner.run({});
+  ASSERT_EQ(aggregate->groups().size(), 2u);
+  EXPECT_EQ(aggregate->groups()[0].traffic, "hotspot(n0,f0.1000)");
+  EXPECT_EQ(aggregate->groups()[1].traffic, "hotspot(n0,f0.9000)");
+  // Funnelling 90% of traffic into one node must hurt throughput.
+  EXPECT_LT(aggregate->groups()[1].point.throughput_per_node,
+            aggregate->groups()[0].point.throughput_per_node);
+}
+
+TEST(CampaignRunnerTest, TimingAxisFlowsThroughToRowsAndAggregate) {
+  CampaignSpec spec;
+  spec.name = "timing-axis";
+  spec.topologies = {TopologySpec::stack_kautz(4, 3, 2)};
+  sim::TimingConfig skewed;
+  skewed.profile = sim::SkewProfile::kConstant;
+  skewed.tuning_ticks = 3 * sim::kTicksPerSlot;
+  spec.timings = {sim::TimingConfig{}, skewed};
+  spec.loads = {0.3};
+  spec.seeds = {1, 2};
+  spec.warmup_slots = 10;
+  spec.measure_slots = 200;
+
+  ScratchDir dir("timing");
+  CampaignOptions options;
+  options.threads = 2;
+  options.out_dir = dir.path().string();
+  auto aggregate = std::make_shared<campaign::AggregateSink>();
+  CampaignRunner runner(spec);
+  runner.add_sink(aggregate);
+  runner.run(options);
+
+  std::map<std::string, double> latency_by_timing;
+  std::istringstream lines(
+      read_file(dir.path() / CampaignRunner::kJsonlFile));
+  std::string line;
+  int rows = 0;
+  while (std::getline(lines, line)) {
+    ++rows;
+    const core::Json row = core::Json::parse(line);
+    latency_by_timing[row.at("timing").as_string()] =
+        row.at("mean_latency").as_number();
+    EXPECT_NE(row.at("cell_id").as_string().find("|timing="),
+              std::string::npos);
+  }
+  EXPECT_EQ(rows, 4);
+  ASSERT_EQ(latency_by_timing.count("none"), 1u);
+  ASSERT_EQ(latency_by_timing.count("const(t3072,p0,g0)"), 1u);
+  // Three slots of tuning per hop must show up in the latency.
+  EXPECT_GT(latency_by_timing["const(t3072,p0,g0)"],
+            latency_by_timing["none"] + 2.0);
+
+  // The aggregate keys on timing: one group per axis value.
+  ASSERT_EQ(aggregate->groups().size(), 2u);
+  EXPECT_EQ(aggregate->groups()[0].timing, "none");
+  EXPECT_EQ(aggregate->groups()[1].timing, "const(t3072,p0,g0)");
 }
 
 TEST(WorkStealingPool, RunsEveryItemOnceAndPropagatesErrors) {

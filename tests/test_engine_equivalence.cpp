@@ -171,6 +171,45 @@ TEST(EngineEquivalence, ShardedIsBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(EngineEquivalence, DrainBitParityAcrossAllEnginesAndThreadCounts) {
+  // drain = true keeps every engine running past the traffic horizon
+  // until the network empties. The three serial universes (event-queue,
+  // phased, async-with-zero-delays) must agree bit-for-bit on the
+  // drained run -- including with finite queues and WDM -- and the
+  // sharded universe must be identical for every thread count.
+  for (Arbitration arb : kAllPolicies) {
+    for (std::int64_t queue_capacity : {std::int64_t{0}, std::int64_t{3}}) {
+      for (std::int64_t wavelengths : {std::int64_t{1}, std::int64_t{2}}) {
+        SCOPED_TRACE(std::string(arbitration_name(arb)) + "/cap=" +
+                     std::to_string(queue_capacity) + "/w=" +
+                     std::to_string(wavelengths));
+        const RunMetrics legacy =
+            run_sk(Engine::kEventQueue, arb, 57, 1, queue_capacity,
+                   wavelengths, /*drain=*/true);
+        const RunMetrics phased = run_sk(Engine::kPhased, arb, 57, 1,
+                                         queue_capacity, wavelengths, true);
+        const RunMetrics async = run_sk(Engine::kAsync, arb, 57, 1,
+                                        queue_capacity, wavelengths, true);
+        expect_identical(legacy, phased);
+        expect_identical(legacy, async);
+        EXPECT_EQ(phased.backlog, 0) << "drain must empty the network";
+
+        const RunMetrics sharded_one =
+            run_sk(Engine::kSharded, arb, 57, 1, queue_capacity,
+                   wavelengths, true);
+        for (int threads : {2, 3, 5, 8}) {
+          SCOPED_TRACE(threads);
+          const RunMetrics sharded_many =
+              run_sk(Engine::kSharded, arb, 57, threads, queue_capacity,
+                     wavelengths, true);
+          expect_identical(sharded_one, sharded_many);
+        }
+        EXPECT_EQ(sharded_one.backlog, 0);
+      }
+    }
+  }
+}
+
 TEST(EngineEquivalence, ShardedDrainTerminatesAndIsThreadCountInvariant) {
   // Drain keeps the barrier loop alive past the traffic horizon until
   // the folded in-flight count hits zero; the backlog must come out

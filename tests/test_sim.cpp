@@ -74,6 +74,38 @@ TEST(EventQueue, RejectsPastScheduling) {
   EXPECT_THROW(q.schedule_at(1, [] {}), core::Error);
 }
 
+TEST(EventQueue, RejectsPastSchedulingFromInsideAnAction) {
+  // The clock advances as events execute: an action scheduling before
+  // its own firing time must be refused, not silently reordered.
+  EventQueue q;
+  bool threw = false;
+  q.schedule_at(7, [&] {
+    try {
+      q.schedule_at(6, [] {});
+    } catch (const core::Error&) {
+      threw = true;
+    }
+    q.schedule_at(7, [] {});  // equal to now() is fine (FIFO after us)
+  });
+  q.run_all();
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(q.now(), 7);
+}
+
+TEST(EventQueue, RejectsNegativeDelayAndKeepsClockSemantics) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_in(-1, [] {}), core::Error);
+  // run_until advances the clock to the bound even with nothing left;
+  // run_all leaves it at the last executed event.
+  q.schedule_at(2, [] {});
+  EXPECT_EQ(q.run_until(10), 1);
+  EXPECT_EQ(q.now(), 10);
+  q.schedule_at(12, [] {});
+  EXPECT_EQ(q.run_all(), 1);
+  EXPECT_EQ(q.now(), 12);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(LatencyStats, MeanMaxPercentile) {
   LatencyStats stats;
   for (std::int64_t v : {1, 2, 3, 4, 100}) {
