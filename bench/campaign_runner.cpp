@@ -16,6 +16,7 @@
 #include <fstream>
 #include <iostream>
 #include <tuple>
+#include <unordered_set>
 #include <utility>
 
 #include "campaign/manifest.hpp"
@@ -68,10 +69,11 @@ void refold_completed_cells(const std::string& out_dir,
                   (static_cast<double>(couplers) *
                    static_cast<double>(slots))
             : 0.0;
+    trial.makespan = row.number_or("makespan", 0.0);
     trial.trials = 1;
-    // Traffic/timing are folded by their row labels verbatim -- the
-    // labels carry the shape/skew parameters, so swept entries land in
-    // distinct groups without re-parsing.
+    // Traffic/timing/workload are folded by their row labels verbatim
+    // -- the labels carry the shape/skew parameters, so swept entries
+    // land in distinct groups without re-parsing.
     aggregate.fold(row.at("topology").as_string(),
                    row.at("arbitration").as_string(),
                    row.at("traffic").as_string(), trial.load,
@@ -79,6 +81,7 @@ void refold_completed_cells(const std::string& out_dir,
                    otis::campaign::parse_route_table(
                        row.string_or("routes", "auto")),
                    row.string_or("timing", "none"),
+                   row.string_or("workload", "none"),
                    row.at("nodes").as_int(), couplers, trial);
   }
 }
@@ -86,7 +89,7 @@ void refold_completed_cells(const std::string& out_dir,
 void print_usage(std::ostream& os) {
   os << "usage: campaign_runner --spec FILE.json [--out DIR] [--threads N]\n"
      << "                       [--resume] [--shard I/N] [--no-jsonl]\n"
-     << "                       [--no-csv]\n"
+     << "                       [--no-csv] [--list-cells]\n"
      << "  --spec     campaign spec file (see README 'Running campaigns')\n"
      << "  --out      output directory for results.jsonl, results.csv,\n"
      << "             manifest.txt and aggregate.csv\n"
@@ -96,7 +99,54 @@ void print_usage(std::ostream& os) {
      << "             a deterministic split of one campaign across\n"
      << "             machines; concatenate the shards' results.jsonl and\n"
      << "             manifest.txt to refold the full grid (composes with\n"
-     << "             --resume)\n";
+     << "             --resume)\n"
+     << "  --list-cells  dry run: print every cell's expansion index, ID\n"
+     << "             and status (pending / done per the manifest / other\n"
+     << "             shard) without simulating anything -- for planning\n"
+     << "             sharded and resumed runs\n";
+}
+
+/// The --list-cells dry run: the exact expansion, shard split and
+/// manifest skip set a real run would use, as a printout.
+int list_cells(const otis::campaign::CampaignSpec& spec,
+               const otis::campaign::CampaignOptions& options) {
+  const std::vector<otis::campaign::CampaignCell> cells =
+      otis::campaign::expand_grid(spec);
+  std::unordered_set<std::string> completed;
+  if (options.resume && !options.out_dir.empty()) {
+    completed = otis::campaign::Manifest::load(
+        (std::filesystem::path(options.out_dir) /
+         otis::campaign::CampaignRunner::kManifestFile)
+            .string());
+  }
+  std::int64_t pending = 0, done = 0, other_shard = 0;
+  for (const otis::campaign::CampaignCell& cell : cells) {
+    const char* status = "pending";
+    if (cell.index % options.shard_count != options.shard_index) {
+      status = "other-shard";
+      ++other_shard;
+    } else if (completed.count(cell.id) > 0) {
+      status = "done";
+      ++done;
+    } else {
+      ++pending;
+    }
+    std::cout << cell.index << "\t" << status << "\t"
+              << otis::sim::engine_name(cell.engine) << "\t" << cell.id
+              << "\n";
+  }
+  std::cout << "[campaign] " << spec.name << ": " << cells.size()
+            << " cells, " << pending << " pending";
+  if (options.shard_count > 1) {
+    std::cout << " in shard " << options.shard_index << "/"
+              << options.shard_count << " (" << other_shard
+              << " left to other shards)";
+  }
+  if (options.resume) {
+    std::cout << ", " << done << " done per manifest";
+  }
+  std::cout << " -- dry run, nothing simulated\n";
+  return 0;
 }
 
 /// Parses "I/N" into (shard_index, shard_count). Strict: both parts
@@ -132,7 +182,7 @@ int main(int argc, char** argv) {
     const otis::core::Args args(
         argc, argv,
         {"spec", "out", "threads", "resume", "shard", "no-jsonl", "no-csv",
-         "help"});
+         "list-cells", "help"});
     if (args.has("help")) {
       print_usage(std::cout);
       return 0;
@@ -156,6 +206,9 @@ int main(int argc, char** argv) {
       std::tie(options.shard_index, options.shard_count) =
           parse_shard(args.get("shard", ""));
     }
+    if (args.has("list-cells")) {
+      return list_cells(spec, options);
+    }
 
     std::cout << "[campaign] " << spec.name << ": " << spec.cell_count()
               << " cells (" << spec.topologies.size() << " topologies x "
@@ -164,6 +217,7 @@ int main(int argc, char** argv) {
               << " loads x " << spec.wavelengths.size() << " wavelengths x "
               << spec.route_tables.size() << " route tables x "
               << spec.timings.size() << " timings x "
+              << spec.workloads.size() << " workloads x "
               << spec.seeds.size() << " seeds), engine "
               << otis::sim::engine_name(spec.engine) << "\n";
     if (options.shard_count > 1) {

@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "collectives/pops_collectives.hpp"
+#include "collectives/stack_kautz_collectives.hpp"
 #include "core/args.hpp"
 #include "core/rng.hpp"
 #include "core/table.hpp"
@@ -53,6 +55,7 @@
 #include "sim/ops_network.hpp"
 #include "topology/imase_itoh.hpp"
 #include "topology/kautz.hpp"
+#include "workload/schedule_workload.hpp"
 
 namespace {
 
@@ -182,6 +185,37 @@ struct RouteTableRow {
 
 // -------------------------------------------- event-queue hold model
 
+/// One collectives makespan datapoint: the simulated completion time of
+/// a compiled schedule workload on the phased engine (token, W = 1, no
+/// background load). Deterministic per topology, so compare_bench.py
+/// treats ANY growth against the previous run as a regression.
+struct CollectiveBenchRow {
+  std::string topology;
+  std::string operation;
+  std::int64_t makespan_slots;
+  std::int64_t analytic_slots;
+};
+
+CollectiveBenchRow run_collective_bench(
+    const std::string& topology, const std::string& operation,
+    const otis::hypergraph::StackGraph& stack,
+    std::shared_ptr<const otis::routing::CompiledRoutes> routes,
+    const otis::collectives::SlotSchedule& schedule) {
+  std::shared_ptr<otis::workload::Workload> load =
+      otis::workload::schedule_workload(stack, schedule);
+  otis::sim::SimConfig config;
+  config.warmup_slots = 0;
+  config.measure_slots = 1;  // ignored: workload runs go to completion
+  config.workload = load;
+  otis::sim::OpsNetworkSim sim(
+      stack, std::move(routes),
+      std::make_unique<otis::sim::UniformTraffic>(stack.node_count(), 0.0),
+      config);
+  const otis::sim::RunMetrics metrics = sim.run();
+  return CollectiveBenchRow{topology, operation, metrics.makespan_slots,
+                            schedule.slot_count()};
+}
+
 /// One pending-event-set datapoint: events/sec on the classic hold
 /// workload (pop the minimum, push a replacement a random span ahead)
 /// with `pending` events resident -- Brown's benchmark for calendar
@@ -276,6 +310,7 @@ void write_bench_json(const std::string& path,
                       const std::vector<SimBenchResult>& results,
                       const std::vector<RouteTableRow>& tables,
                       const std::vector<QueueBenchResult>& queues,
+                      const std::vector<CollectiveBenchRow>& collectives,
                       double queue_speedup, bool queue_pass,
                       double sk_speedup, bool pass) {
   std::ofstream out(path);
@@ -321,6 +356,15 @@ void write_bench_json(const std::string& path,
         << q.pending << ", \"events_per_sec\": "
         << static_cast<std::int64_t>(q.events_per_sec) << "}"
         << (i + 1 < queues.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"collectives\": [\n";
+  for (std::size_t i = 0; i < collectives.size(); ++i) {
+    const CollectiveBenchRow& c = collectives[i];
+    out << "    {\"topology\": \"" << c.topology << "\", \"operation\": \""
+        << c.operation << "\", \"makespan_slots\": " << c.makespan_slots
+        << ", \"analytic_slots\": " << c.analytic_slots << "}"
+        << (i + 1 < collectives.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
       << "  \"acceptance\": {\"topology\": \"SK(4,3,2)\", \"arbitration\": "
@@ -585,6 +629,32 @@ int main(int argc, char** argv) {
                     static_cast<std::int64_t>(q.events_per_sec));
   }
   queue_table.print(std::cout);
+
+  // ----------------------------------------- collectives makespans
+  std::cout << "\n[collectives] simulated makespans of the compiled "
+               "schedule workloads (phased, token, W = 1)\n\n";
+  const std::vector<CollectiveBenchRow> collectives = {
+      run_collective_bench("SK(4,3,2)", "one-to-all", sk.stack(),
+                           cases[0].routes,
+                           otis::collectives::stack_kautz_one_to_all(sk, 0)),
+      run_collective_bench("SK(4,3,2)", "gossip", sk.stack(),
+                           cases[0].routes,
+                           otis::collectives::stack_kautz_gossip(sk)),
+      run_collective_bench("POPS(6,12)", "one-to-all", pops.stack(),
+                           cases[1].routes,
+                           otis::collectives::pops_one_to_all(pops, 0)),
+      run_collective_bench("POPS(6,12)", "gossip", pops.stack(),
+                           cases[1].routes,
+                           otis::collectives::pops_gossip(pops)),
+  };
+  otis::core::Table collectives_table(
+      {"topology", "operation", "makespan", "analytic"});
+  for (const CollectiveBenchRow& c : collectives) {
+    collectives_table.add(c.topology, c.operation, c.makespan_slots,
+                          c.analytic_slots);
+  }
+  collectives_table.print(std::cout);
+
   const double queue_speedup =
       queues[1].events_per_sec > 0.0
           ? queues[0].events_per_sec / queues[1].events_per_sec
@@ -595,8 +665,8 @@ int main(int argc, char** argv) {
       sk_token_event_queue > 0.0 ? sk_token_phased / sk_token_event_queue
                                  : 0.0;
   const bool pass = speedup >= 3.0;
-  write_bench_json(out_path, results, route_tables, queues, queue_speedup,
-                   queue_pass, speedup, pass);
+  write_bench_json(out_path, results, route_tables, queues, collectives,
+                   queue_speedup, queue_pass, speedup, pass);
   std::cout << "\nphased vs event-queue on SK(4,3,2)/token: "
             << otis::core::format_double(speedup, 2)
             << "x (acceptance >= 3x: " << (pass ? "PASS" : "FAIL")

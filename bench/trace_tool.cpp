@@ -1,0 +1,237 @@
+// Trace record / replay driver (workload subsystem).
+//
+//   trace_tool record    --out FILE [--format binary|jsonl] [--slots N]
+//                        [--load L] [--seed S]
+//   trace_tool replay    --trace FILE [--engine phased|sharded|async]
+//                        [--threads N] [--routes dense|compressed]
+//   trace_tool roundtrip --out FILE [--slots N] [--load L] [--seed S]
+//
+// record runs uniform traffic on SK(4,3,2) (phased engine) with a
+// TraceRecorder attached and writes the canonical (slot, src, dst)
+// trace. replay drives the trace back through any engine and prints a
+// metrics digest. roundtrip is the CI check: record once, round-trip
+// the trace through BOTH serializations, replay it on every engine x
+// route table x thread count {1,2,3,5,8}, and fail unless every digest
+// is bit-identical -- the workload determinism contract, end to end.
+
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/args.hpp"
+#include "core/error.hpp"
+#include "hypergraph/stack_kautz.hpp"
+#include "routing/compiled_routes.hpp"
+#include "routing/compressed_routes.hpp"
+#include "sim/ops_network.hpp"
+#include "sim/traffic.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+/// The fixed record/replay network: the paper's SK(4,3,2), 48
+/// processors -- big enough for multi-hop relaying, small enough that a
+/// roundtrip is a sub-second CI step.
+struct Bench {
+  otis::hypergraph::StackKautz network{4, 3, 2};
+  std::shared_ptr<const otis::routing::CompiledRoutes> dense =
+      std::make_shared<const otis::routing::CompiledRoutes>(
+          otis::routing::compile_stack_kautz_routes(network));
+  std::shared_ptr<const otis::routing::CompressedRoutes> compressed =
+      std::make_shared<const otis::routing::CompressedRoutes>(
+          otis::routing::compress_stack_kautz_routes(network));
+};
+
+otis::workload::Trace record_trace(Bench& bench, std::int64_t slots,
+                                   double load, std::uint64_t seed) {
+  auto recorder = std::make_shared<otis::workload::TraceRecorder>(
+      bench.network.processor_count());
+  otis::sim::SimConfig config;
+  config.warmup_slots = 0;
+  config.measure_slots = slots;
+  config.seed = seed;
+  config.recorder = recorder;
+  otis::sim::OpsNetworkSim sim(
+      bench.network.stack(), bench.dense,
+      std::make_unique<otis::sim::UniformTraffic>(
+          bench.network.processor_count(), load),
+      config);
+  sim.run();
+  return recorder->trace();
+}
+
+std::string replay_digest(Bench& bench, const otis::workload::Trace& trace,
+                          otis::sim::Engine engine, int threads,
+                          bool compressed_routes) {
+  otis::sim::SimConfig config;
+  config.warmup_slots = 0;
+  config.measure_slots = 1;  // ignored: workload runs go to completion
+  config.engine = engine;
+  config.threads = threads;
+  config.workload = std::make_shared<otis::workload::TraceWorkload>(trace);
+  auto traffic = std::make_unique<otis::sim::UniformTraffic>(
+      bench.network.processor_count(), 0.0);
+  otis::sim::RunMetrics metrics;
+  if (compressed_routes) {
+    otis::sim::OpsNetworkSim sim(bench.network.stack(), bench.compressed,
+                                 std::move(traffic), config);
+    metrics = sim.run();
+  } else {
+    otis::sim::OpsNetworkSim sim(bench.network.stack(), bench.dense,
+                                 std::move(traffic), config);
+    metrics = sim.run();
+  }
+  std::ostringstream digest;
+  digest << "offered=" << metrics.offered_packets
+         << " delivered=" << metrics.delivered_packets
+         << " transmissions=" << metrics.coupler_transmissions
+         << " collisions=" << metrics.collisions
+         << " backlog=" << metrics.backlog << " slots=" << metrics.slots
+         << " makespan=" << metrics.makespan_slots
+         << " latency_n=" << metrics.latency.count()
+         << " latency_mean=" << metrics.latency.mean()
+         << " latency_max=" << metrics.latency.max()
+         << " latency_p95=" << metrics.latency.percentile(0.95);
+  return digest.str();
+}
+
+int roundtrip(Bench& bench, const std::string& out, std::int64_t slots,
+              double load, std::uint64_t seed) {
+  const otis::workload::Trace recorded =
+      record_trace(bench, slots, load, seed);
+  std::cout << "[trace] recorded " << recorded.entries.size()
+            << " packets over " << slots << " slots (SK(4,3,2), load "
+            << load << ", seed " << seed << ")\n";
+
+  // Serialization round-trip: binary and JSONL must both reproduce the
+  // trace exactly.
+  recorded.save_binary(out);
+  const otis::workload::Trace from_binary = otis::workload::Trace::load(out);
+  const std::string jsonl_path = out + ".jsonl";
+  recorded.save_jsonl(jsonl_path);
+  const otis::workload::Trace from_jsonl =
+      otis::workload::Trace::load(jsonl_path);
+  if (!(from_binary == recorded) || !(from_jsonl == recorded)) {
+    std::cerr << "[trace] FAIL: serialization round-trip mismatch\n";
+    return 1;
+  }
+  std::cout << "[trace] binary + jsonl serialization round-trips exact\n";
+
+  // Replay parity: every engine, route table and thread count must
+  // produce the identical digest.
+  std::string reference;
+  bool ok = true;
+  const auto check = [&](const char* label, const std::string& digest) {
+    if (reference.empty()) {
+      reference = digest;
+      std::cout << "[trace] " << label << ": " << digest << "\n";
+      return;
+    }
+    const bool same = digest == reference;
+    ok = ok && same;
+    std::cout << "[trace] " << label << ": "
+              << (same ? "identical" : "MISMATCH: " + digest) << "\n";
+  };
+  for (const bool compressed : {false, true}) {
+    const char* routes = compressed ? "compressed" : "dense";
+    check(("phased/" + std::string(routes)).c_str(),
+          replay_digest(bench, from_binary, otis::sim::Engine::kPhased, 1,
+                        compressed));
+    check(("async/" + std::string(routes)).c_str(),
+          replay_digest(bench, from_binary, otis::sim::Engine::kAsync, 1,
+                        compressed));
+    for (const int threads : {1, 2, 3, 5, 8}) {
+      check(("sharded-" + std::to_string(threads) + "/" + routes).c_str(),
+            replay_digest(bench, from_binary, otis::sim::Engine::kSharded,
+                          threads, compressed));
+    }
+  }
+  std::cout << "[trace] record -> replay bit-parity across engines, route "
+               "tables and thread counts: "
+            << (ok ? "PASS" : "FAIL") << "\n";
+  return ok ? 0 : 1;
+}
+
+void print_usage(std::ostream& os) {
+  os << "usage: trace_tool record    --out FILE [--format binary|jsonl]\n"
+     << "                            [--slots N] [--load L] [--seed S]\n"
+     << "       trace_tool replay    --trace FILE [--engine E]\n"
+     << "                            [--threads N] [--routes R]\n"
+     << "       trace_tool roundtrip --out FILE [--slots N] [--load L]\n"
+     << "                            [--seed S]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const otis::core::Args args(argc, argv,
+                                {"out", "trace", "format", "slots", "load",
+                                 "seed", "engine", "threads", "routes",
+                                 "help"});
+    if (args.has("help") || args.positional().empty()) {
+      print_usage(args.has("help") ? std::cout : std::cerr);
+      return args.has("help") ? 0 : 2;
+    }
+    const std::string command = args.positional().front();
+    const std::int64_t slots = args.get_int("slots", 200);
+    const double load = args.get_double("load", 0.4);
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.get_int("seed", 7));
+    Bench bench;
+
+    if (command == "record") {
+      const std::string out = args.get("out", "");
+      OTIS_REQUIRE(!out.empty(), "trace_tool record: --out is required");
+      const otis::workload::Trace trace =
+          record_trace(bench, slots, load, seed);
+      const std::string format = args.get("format", "binary");
+      if (format == "jsonl") {
+        trace.save_jsonl(out);
+      } else {
+        OTIS_REQUIRE(format == "binary",
+                     "trace_tool record: --format must be binary|jsonl");
+        trace.save_binary(out);
+      }
+      std::cout << "[trace] wrote " << trace.entries.size()
+                << " packets to " << out << " (" << format << ")\n";
+      return 0;
+    }
+    if (command == "replay") {
+      const std::string path = args.get("trace", "");
+      OTIS_REQUIRE(!path.empty(), "trace_tool replay: --trace is required");
+      const std::string engine_name = args.get("engine", "phased");
+      otis::sim::Engine engine = otis::sim::Engine::kPhased;
+      if (engine_name == "sharded") {
+        engine = otis::sim::Engine::kSharded;
+      } else if (engine_name == "async") {
+        engine = otis::sim::Engine::kAsync;
+      } else {
+        OTIS_REQUIRE(engine_name == "phased",
+                     "trace_tool replay: --engine must be "
+                     "phased|sharded|async");
+      }
+      const std::string routes = args.get("routes", "dense");
+      OTIS_REQUIRE(routes == "dense" || routes == "compressed",
+                   "trace_tool replay: --routes must be dense|compressed");
+      const otis::workload::Trace trace = otis::workload::Trace::load(path);
+      std::cout << replay_digest(bench, trace, engine,
+                                 static_cast<int>(args.get_int("threads", 1)),
+                                 routes == "compressed")
+                << "\n";
+      return 0;
+    }
+    if (command == "roundtrip") {
+      const std::string out = args.get("out", "");
+      OTIS_REQUIRE(!out.empty(), "trace_tool roundtrip: --out is required");
+      return roundtrip(bench, out, slots, load, seed);
+    }
+    print_usage(std::cerr);
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "trace_tool: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -112,7 +112,31 @@ def main():
         print(f"::warning title=Event-rate regression::{name} queue "
               f"events/sec at {ratio:.2f}x of previous run")
 
-    if not regressions and not memory_regressions and not queue_regressions:
+    # Collectives dimension: simulated makespans of the compiled schedule
+    # workloads are deterministic per (topology, operation), so ANY growth
+    # against the previous run is a real scheduling/engine regression,
+    # not noise (rows absent in pre-workload-subsystem baselines).
+    makespan_regressions = []
+    cur_coll = {(c["topology"], c["operation"]): c
+                for c in current_doc.get("collectives", [])}
+    prev_coll = {(c["topology"], c["operation"]): c
+                 for c in previous_doc.get("collectives", [])}
+    for key in sorted(cur_coll):
+        cur_slots = cur_coll[key].get("makespan_slots")
+        prev_slots = prev_coll.get(key, {}).get("makespan_slots")
+        if cur_slots is None or prev_slots is None:
+            continue
+        print(f"collective {key[0]:<12} {key[1]:<12} "
+              f"{prev_slots:>6} -> {cur_slots:>6} slots")
+        if cur_slots > prev_slots:
+            makespan_regressions.append((key, prev_slots, cur_slots))
+    for (topology, operation), prev_slots, cur_slots in makespan_regressions:
+        print(f"::warning title=Makespan regression::{topology}/{operation} "
+              f"simulated makespan grew from {prev_slots} to {cur_slots} "
+              f"slots")
+
+    if not regressions and not memory_regressions and not queue_regressions \
+            and not makespan_regressions:
         print(f"\nno regression beyond {args.threshold:.0%} threshold")
     return 0
 

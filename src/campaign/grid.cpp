@@ -12,13 +12,14 @@ std::string cell_id(const TopologySpec& topology,
                     sim::Arbitration arbitration, const TrafficSpec& traffic,
                     double load, std::int64_t wavelengths,
                     sim::RouteTable routes, const sim::TimingConfig& timing,
-                    std::uint64_t seed) {
+                    const WorkloadSpec& workload, std::uint64_t seed) {
   std::ostringstream os;
   os << topology.label() << "|" << sim::arbitration_name(arbitration) << "|"
      << traffic.label() << "|load="
      << core::format_double(load, 6) << "|w=" << wavelengths
      << "|routes=" << sim::route_table_name(routes)
-     << "|timing=" << timing.label() << "|seed=" << seed;
+     << "|timing=" << timing.label()
+     << "|workload=" << workload.label() << "|seed=" << seed;
   return os.str();
 }
 
@@ -55,26 +56,31 @@ std::vector<CampaignCell> expand_grid(const CampaignSpec& spec) {
           for (std::int64_t w : spec.wavelengths) {
             for (sim::RouteTable routes : route_axis) {
               for (const sim::TimingConfig& timing : spec.timings) {
-                for (std::uint64_t seed : spec.seeds) {
-                  CampaignCell cell;
-                  cell.index = index++;
-                  cell.id = cell_id(spec.topologies[t], arbitration, traffic,
-                                    load, w, routes, timing, seed);
-                  cell.topology = t;
-                  cell.arbitration = arbitration;
-                  cell.traffic = traffic;
-                  cell.load = load;
-                  cell.wavelengths = w;
-                  cell.routes = routes;
-                  cell.timing = timing;
-                  cell.seed = seed;
-                  // Sub-slot skew needs timed events: such cells run on
-                  // the async engine whatever the spec-level engine is.
-                  cell.engine = timing.is_slot_aligned()
-                                    ? engine
-                                    : sim::Engine::kAsync;
-                  cell.engine_threads = engine_threads;
-                  cells.push_back(std::move(cell));
+                for (const WorkloadSpec& workload : spec.workloads) {
+                  for (std::uint64_t seed : spec.seeds) {
+                    CampaignCell cell;
+                    cell.index = index++;
+                    cell.id =
+                        cell_id(spec.topologies[t], arbitration, traffic,
+                                load, w, routes, timing, workload, seed);
+                    cell.topology = t;
+                    cell.arbitration = arbitration;
+                    cell.traffic = traffic;
+                    cell.load = load;
+                    cell.wavelengths = w;
+                    cell.routes = routes;
+                    cell.timing = timing;
+                    cell.workload = workload;
+                    cell.seed = seed;
+                    // Sub-slot skew needs timed events: such cells run
+                    // on the async engine whatever the spec-level
+                    // engine is.
+                    cell.engine = timing.is_slot_aligned()
+                                      ? engine
+                                      : sim::Engine::kAsync;
+                    cell.engine_threads = engine_threads;
+                    cells.push_back(std::move(cell));
+                  }
                 }
               }
             }

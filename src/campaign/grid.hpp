@@ -3,7 +3,8 @@
 /// Expansion of a CampaignSpec into its concrete cells.
 ///
 /// Cells are enumerated in a fixed nesting order -- topology, then
-/// arbitration, then load, then wavelengths, then seed (innermost) -- and
+/// arbitration, traffic, load, wavelengths, routes, timing, workload,
+/// then seed (innermost) -- and
 /// each carries a canonical string ID derived from its parameters alone.
 /// The ID, not the linear index, is what the manifest records, so a
 /// finished cell stays recognized even if later spec edits append axis
@@ -20,11 +21,11 @@
 namespace otis::campaign {
 
 /// One (topology, arbitration, traffic, load, wavelengths, routes,
-/// timing, seed) grid point, plus the execution knobs resolved from the
-/// spec defaults and any matching CellOverride (engine / engine_threads
-/// are *how*, not *what*, and stay out of the ID like the spec-level
-/// engine does -- except that non-slot-aligned timing forces the async
-/// engine, the only engine that can honour it).
+/// timing, workload, seed) grid point, plus the execution knobs
+/// resolved from the spec defaults and any matching CellOverride
+/// (engine / engine_threads are *how*, not *what*, and stay out of the
+/// ID like the spec-level engine does -- except that non-slot-aligned
+/// timing forces the async engine, the only engine that can honour it).
 struct CampaignCell {
   std::int64_t index = 0;      ///< position in expansion order
   std::string id;              ///< canonical ID, see cell_id()
@@ -35,6 +36,7 @@ struct CampaignCell {
   std::int64_t wavelengths = 1;
   sim::RouteTable routes = sim::RouteTable::kAuto;
   sim::TimingConfig timing;
+  WorkloadSpec workload;       ///< closed-loop driver; kNone = open loop
   std::uint64_t seed = 1;
   sim::Engine engine = sim::Engine::kPhased;  ///< resolved execution engine
   int engine_threads = 1;                     ///< threads for kSharded cells
@@ -42,15 +44,17 @@ struct CampaignCell {
 
 /// Canonical cell ID:
 ///   "<topology>|<arbitration>|<traffic>|load=<l>|w=<W>|routes=<r>|"
-///   "timing=<t>|seed=<s>"
-/// with the load fixed to 6 decimals so the ID is reproducible; traffic
-/// and timing use their canonical labels (shape values included).
+///   "timing=<t>|workload=<wl>|seed=<s>"
+/// with the load fixed to 6 decimals so the ID is reproducible;
+/// traffic, timing and workload use their canonical labels (shape
+/// values included).
 [[nodiscard]] std::string cell_id(const TopologySpec& topology,
                                   sim::Arbitration arbitration,
                                   const TrafficSpec& traffic, double load,
                                   std::int64_t wavelengths,
                                   sim::RouteTable routes,
                                   const sim::TimingConfig& timing,
+                                  const WorkloadSpec& workload,
                                   std::uint64_t seed);
 
 /// Expands the validated spec into cells (spec.cell_count() of them).

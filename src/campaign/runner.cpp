@@ -10,6 +10,9 @@
 #include "core/error.hpp"
 #include "sim/ops_network.hpp"
 #include "sim/traffic.hpp"
+#include "workload/kernels.hpp"
+#include "workload/schedule_workload.hpp"
+#include "workload/trace.hpp"
 
 namespace otis::campaign {
 
@@ -179,6 +182,44 @@ std::unique_ptr<sim::TrafficGenerator> make_traffic(const CampaignCell& cell,
   return std::make_unique<sim::UniformTraffic>(nodes, cell.load);
 }
 
+/// Builds the cell's closed-loop driver (null for open-loop cells).
+/// Workloads are stateful single-run objects, so every cell gets its
+/// own instance; schedule kinds compile the topology's analytic
+/// schedule, trace kinds load the file per cell (cheap next to the
+/// simulation itself).
+std::shared_ptr<workload::Workload> make_workload(
+    const CampaignCell& cell, const CompiledTopology& topology) {
+  const WorkloadSpec& spec = cell.workload;
+  const std::int64_t nodes = topology.processor_count();
+  switch (spec.kind) {
+    case WorkloadKind::kNone:
+      return nullptr;
+    case WorkloadKind::kOneToAll:
+      return workload::schedule_workload(
+          topology.stack(),
+          topology.collective_schedule(/*gossip=*/false, spec.root));
+    case WorkloadKind::kGossip:
+      return workload::schedule_workload(
+          topology.stack(),
+          topology.collective_schedule(/*gossip=*/true, 0));
+    case WorkloadKind::kBsp:
+      return workload::bsp_exchange(nodes, spec.phases, spec.shift);
+    case WorkloadKind::kReduce:
+      return workload::reduce_tree(nodes, spec.arity, spec.root);
+    case WorkloadKind::kGather:
+      return workload::gather_incast(nodes, spec.root);
+    case WorkloadKind::kTrace: {
+      auto trace = workload::Trace::load(spec.trace_file);
+      OTIS_REQUIRE(trace.nodes == nodes,
+                   "campaign: trace " + spec.trace_file + " was recorded on " +
+                       std::to_string(trace.nodes) + " nodes, cell runs " +
+                       std::to_string(nodes));
+      return std::make_shared<workload::TraceWorkload>(std::move(trace));
+    }
+  }
+  return nullptr;
+}
+
 CellResult simulate_cell(const CampaignSpec& spec,
                          const CompiledTopology& topology,
                          const CampaignCell& cell) {
@@ -192,6 +233,7 @@ CellResult simulate_cell(const CampaignSpec& spec,
   config.engine = cell.engine;
   config.threads = cell.engine_threads;
   config.timing = cell.timing;
+  config.workload = make_workload(cell, topology);
 
   std::unique_ptr<sim::TrafficGenerator> traffic =
       make_traffic(cell, topology.processor_count());

@@ -54,6 +54,7 @@ void JsonlSink::consume(const CellResult& r) {
        << ", \"wavelengths\": " << r.cell.wavelengths
        << ", \"routes\": \"" << sim::route_table_name(r.cell.routes) << "\""
        << ", \"timing\": \"" << r.cell.timing.label() << "\""
+       << ", \"workload\": \"" << r.cell.workload.label() << "\""
        << ", \"seed\": " << r.cell.seed << ", \"nodes\": " << r.nodes
        << ", \"couplers\": " << r.couplers << ", \"slots\": " << m.slots
        << ", \"offered\": " << m.offered_packets
@@ -73,7 +74,7 @@ void JsonlSink::consume(const CellResult& r) {
                   ? static_cast<double>(m.delivered_packets) /
                         static_cast<double>(m.offered_packets)
                   : 0.0)
-       << "}\n";
+       << ", \"makespan\": " << m.makespan_slots << "}\n";
 }
 
 void JsonlSink::flush() { out_.flush(); }
@@ -82,13 +83,14 @@ const std::vector<std::string>& CsvSink::columns() {
   static const std::vector<std::string> kColumns = {
       "cell_id",       "topology",    "arbitration",
       "traffic",       "load",        "wavelengths",
-      "routes",        "timing",      "seed",
-      "nodes",         "couplers",    "slots",
-      "offered",       "delivered",   "dropped",
-      "collisions",    "coupler_transmissions",
+      "routes",        "timing",      "workload",
+      "seed",          "nodes",       "couplers",
+      "slots",         "offered",     "delivered",
+      "dropped",       "collisions",  "coupler_transmissions",
       "backlog",       "throughput_per_node",
       "mean_latency",  "p95_latency", "max_latency",
-      "coupler_utilization",          "delivered_fraction"};
+      "coupler_utilization",          "delivered_fraction",
+      "makespan"};
   return kColumns;
 }
 
@@ -115,7 +117,8 @@ void CsvSink::consume(const CellResult& r) {
        << sim::arbitration_name(r.cell.arbitration) << ","
        << quoted(r.cell.traffic.label()) << "," << num(r.cell.load) << ","
        << r.cell.wavelengths << "," << sim::route_table_name(r.cell.routes)
-       << "," << quoted(r.cell.timing.label()) << "," << r.cell.seed << ","
+       << "," << quoted(r.cell.timing.label()) << ","
+       << quoted(r.cell.workload.label()) << "," << r.cell.seed << ","
        << r.nodes << ","
        << r.couplers << "," << m.slots << "," << m.offered_packets << ","
        << m.delivered_packets << "," << m.dropped_packets << ","
@@ -128,7 +131,7 @@ void CsvSink::consume(const CellResult& r) {
                   ? static_cast<double>(m.delivered_packets) /
                         static_cast<double>(m.offered_packets)
                   : 0.0)
-       << "\n";
+       << "," << m.makespan_slots << "\n";
 }
 
 void CsvSink::flush() { out_.flush(); }
@@ -136,7 +139,8 @@ void CsvSink::flush() { out_.flush(); }
 void AggregateSink::consume(const CellResult& r) {
   fold(r.topology_label, sim::arbitration_name(r.cell.arbitration),
        r.cell.traffic.label(), r.cell.load, r.cell.wavelengths,
-       r.cell.routes, r.cell.timing.label(), r.nodes, r.couplers,
+       r.cell.routes, r.cell.timing.label(), r.cell.workload.label(),
+       r.nodes, r.couplers,
        sim::SweepPoint::from_trial(r.metrics, r.cell.load, r.nodes,
                                    r.couplers));
 }
@@ -145,7 +149,8 @@ void AggregateSink::fold(const std::string& topology,
                          const std::string& arbitration,
                          const std::string& traffic, double load,
                          std::int64_t wavelengths, sim::RouteTable routes,
-                         const std::string& timing, std::int64_t nodes,
+                         const std::string& timing,
+                         const std::string& workload, std::int64_t nodes,
                          std::int64_t couplers,
                          const sim::SweepPoint& trial) {
   // Loads are matched through their emitted 6-decimal form, not exact
@@ -156,7 +161,7 @@ void AggregateSink::fold(const std::string& topology,
     if (group.topology == topology && group.arbitration == arbitration &&
         group.traffic == traffic && num(group.load) == load_key &&
         group.wavelengths == wavelengths && group.routes == routes &&
-        group.timing == timing) {
+        group.timing == timing && group.workload == workload) {
       group.point.merge(trial);
       return;
     }
@@ -169,6 +174,7 @@ void AggregateSink::fold(const std::string& topology,
   group.wavelengths = wavelengths;
   group.routes = routes;
   group.timing = timing;
+  group.workload = workload;
   group.nodes = nodes;
   group.couplers = couplers;
   group.point = trial;
@@ -179,17 +185,18 @@ void AggregateSink::write_csv(const std::string& path) const {
   std::ofstream out(path, std::ios::out | std::ios::trunc);
   OTIS_REQUIRE(out.good(), "AggregateSink: cannot open " + path);
   out << "topology,arbitration,traffic,load,wavelengths,routes,timing,"
-         "trials,throughput_per_node,throughput_stddev,mean_latency,"
-         "mean_latency_stddev,p95_latency,p95_latency_stddev,"
+         "workload,trials,throughput_per_node,throughput_stddev,"
+         "mean_latency,mean_latency_stddev,p95_latency,p95_latency_stddev,"
          "coupler_utilization,coupler_utilization_stddev,collision_rate,"
          "collision_rate_stddev,delivered_fraction,"
-         "delivered_fraction_stddev\n";
+         "delivered_fraction_stddev,makespan,makespan_stddev\n";
   for (const Group& g : groups_) {
     const sim::SweepPoint& p = g.point;
     out << quoted(g.topology) << "," << g.arbitration << ","
         << quoted(g.traffic) << "," << num(g.load) << ","
         << g.wavelengths << "," << sim::route_table_name(g.routes) << ","
-        << quoted(g.timing) << "," << p.trials << ","
+        << quoted(g.timing) << "," << quoted(g.workload) << ","
+        << p.trials << ","
         << num(p.throughput_per_node) << "," << num(p.throughput_stddev)
         << "," << num(p.mean_latency) << "," << num(p.mean_latency_stddev)
         << "," << num(p.p95_latency) << "," << num(p.p95_latency_stddev)
@@ -197,7 +204,8 @@ void AggregateSink::write_csv(const std::string& path) const {
         << num(p.coupler_utilization_stddev) << "," << num(p.collision_rate)
         << "," << num(p.collision_rate_stddev) << ","
         << num(p.delivered_fraction) << ","
-        << num(p.delivered_fraction_stddev) << "\n";
+        << num(p.delivered_fraction_stddev) << "," << num(p.makespan) << ","
+        << num(p.makespan_stddev) << "\n";
   }
 }
 

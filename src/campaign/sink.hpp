@@ -79,11 +79,11 @@ class CsvSink : public ResultSink {
 };
 
 /// Folds the seed axis: one sim::SweepPoint per distinct
-/// (topology, arbitration, traffic, load, wavelengths, routes, timing)
-/// combination, merged with trial-count weighting (mean + stddev per
-/// metric). Traffic and timing are keyed by their canonical labels --
-/// shape-swept entries land in distinct groups. Groups appear in
-/// first-cell order.
+/// (topology, arbitration, traffic, load, wavelengths, routes, timing,
+/// workload) combination, merged with trial-count weighting (mean +
+/// stddev per metric). Traffic, timing and workload are keyed by their
+/// canonical labels -- shape-swept entries land in distinct groups.
+/// Groups appear in first-cell order.
 class AggregateSink : public ResultSink {
  public:
   struct Group {
@@ -93,7 +93,8 @@ class AggregateSink : public ResultSink {
     double load = 0.0;
     std::int64_t wavelengths = 1;
     sim::RouteTable routes = sim::RouteTable::kAuto;
-    std::string timing;  ///< TimingConfig::label()
+    std::string timing;    ///< TimingConfig::label()
+    std::string workload;  ///< WorkloadSpec::label()
     std::int64_t nodes = 0;
     std::int64_t couplers = 0;
     sim::SweepPoint point;
@@ -108,8 +109,8 @@ class AggregateSink : public ResultSink {
   void fold(const std::string& topology, const std::string& arbitration,
             const std::string& traffic, double load, std::int64_t wavelengths,
             sim::RouteTable routes, const std::string& timing,
-            std::int64_t nodes, std::int64_t couplers,
-            const sim::SweepPoint& trial);
+            const std::string& workload, std::int64_t nodes,
+            std::int64_t couplers, const sim::SweepPoint& trial);
 
   [[nodiscard]] const std::vector<Group>& groups() const noexcept {
     return groups_;

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <type_traits>
 
+#include "collectives/pops_collectives.hpp"
+#include "collectives/stack_kautz_collectives.hpp"
 #include "core/error.hpp"
 #include "core/json.hpp"
 #include "core/table.hpp"
@@ -172,6 +174,11 @@ std::shared_ptr<const CompiledTopology> CompiledTopology::build(
       topo->stack_ = &network->stack();
       topo->processors_ = network->processor_count();
       topo->couplers_ = network->coupler_count();
+      topo->schedule_builder_ = [network](bool gossip,
+                                          hypergraph::Node root) {
+        return gossip ? collectives::stack_kautz_gossip(*network)
+                      : collectives::stack_kautz_one_to_all(*network, root);
+      };
       if (want_dense) {
         topo->routes_ = std::make_shared<const routing::CompiledRoutes>(
             routing::compile_stack_kautz_routes(*network));
@@ -190,6 +197,11 @@ std::shared_ptr<const CompiledTopology> CompiledTopology::build(
       topo->stack_ = &network->stack();
       topo->processors_ = network->processor_count();
       topo->couplers_ = network->coupler_count();
+      topo->schedule_builder_ = [network](bool gossip,
+                                          hypergraph::Node root) {
+        return gossip ? collectives::pops_gossip(*network)
+                      : collectives::pops_one_to_all(*network, root);
+      };
       if (want_dense) {
         topo->routes_ = std::make_shared<const routing::CompiledRoutes>(
             routing::compile_pops_routes(*network));
@@ -223,6 +235,17 @@ std::shared_ptr<const CompiledTopology> CompiledTopology::build(
   }
   g_compile_count.fetch_add(1, std::memory_order_relaxed);
   return topo;
+}
+
+collectives::SlotSchedule CompiledTopology::collective_schedule(
+    bool gossip, hypergraph::Node root) const {
+  OTIS_REQUIRE(schedule_builder_ != nullptr,
+               "CompiledTopology: " + label_ +
+                   " has no analytic collective schedules (one_to_all/"
+                   "gossip workloads need POPS or stack-Kautz)");
+  OTIS_REQUIRE(root >= 0 && root < processors_,
+               "CompiledTopology: schedule root out of range");
+  return schedule_builder_(gossip, root);
 }
 
 std::int64_t topology_compile_count() noexcept {
@@ -294,6 +317,83 @@ void TrafficSpec::validate() const {
                "TrafficSpec: bursty exit_on must lie in (0, 1]");
 }
 
+const char* workload_kind_name(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kNone:
+      return "none";
+    case WorkloadKind::kOneToAll:
+      return "one_to_all";
+    case WorkloadKind::kGossip:
+      return "gossip";
+    case WorkloadKind::kBsp:
+      return "bsp";
+    case WorkloadKind::kReduce:
+      return "reduce";
+    case WorkloadKind::kGather:
+      return "gather";
+    case WorkloadKind::kTrace:
+      return "trace";
+  }
+  return "?";
+}
+
+WorkloadKind parse_workload_kind(const std::string& name) {
+  for (WorkloadKind kind :
+       {WorkloadKind::kNone, WorkloadKind::kOneToAll, WorkloadKind::kGossip,
+        WorkloadKind::kBsp, WorkloadKind::kReduce, WorkloadKind::kGather,
+        WorkloadKind::kTrace}) {
+    if (name == workload_kind_name(kind)) {
+      return kind;
+    }
+  }
+  throw core::Error(
+      "CampaignSpec: unknown workload \"" + name +
+      "\" (expected none|one_to_all|gossip|bsp|reduce|gather|trace)");
+}
+
+std::string WorkloadSpec::label() const {
+  std::ostringstream os;
+  switch (kind) {
+    case WorkloadKind::kNone:
+    case WorkloadKind::kGossip:
+      return workload_kind_name(kind);
+    case WorkloadKind::kOneToAll:
+      os << "one_to_all(r" << root << ")";
+      return os.str();
+    case WorkloadKind::kBsp:
+      os << "bsp(p" << phases << ",s" << shift << ")";
+      return os.str();
+    case WorkloadKind::kReduce:
+      os << "reduce(r" << root << ",a" << arity << ")";
+      return os.str();
+    case WorkloadKind::kGather:
+      os << "gather(r" << root << ")";
+      return os.str();
+    case WorkloadKind::kTrace: {
+      // Basename only: the ID must not change when the campaign's
+      // working directory does.
+      const std::size_t sep = trace_file.find_last_of("/\\");
+      os << "trace("
+         << (sep == std::string::npos ? trace_file
+                                      : trace_file.substr(sep + 1))
+         << ")";
+      return os.str();
+    }
+  }
+  return workload_kind_name(kind);
+}
+
+void WorkloadSpec::validate() const {
+  OTIS_REQUIRE(root >= 0, "WorkloadSpec: root must be >= 0");
+  OTIS_REQUIRE(phases >= 1, "WorkloadSpec: phases must be >= 1");
+  OTIS_REQUIRE(shift >= 1, "WorkloadSpec: shift must be >= 1");
+  OTIS_REQUIRE(arity >= 2, "WorkloadSpec: arity must be >= 2");
+  if (kind == WorkloadKind::kTrace) {
+    OTIS_REQUIRE(!trace_file.empty(),
+                 "WorkloadSpec: trace workloads need a file");
+  }
+}
+
 sim::RouteTable parse_route_table(const std::string& name) {
   for (sim::RouteTable table : {sim::RouteTable::kDense,
                                 sim::RouteTable::kCompressed,
@@ -313,6 +413,7 @@ std::int64_t CampaignSpec::cell_count() const {
       static_cast<std::int64_t>(loads.size()) *
       static_cast<std::int64_t>(wavelengths.size()) *
       static_cast<std::int64_t>(timings.size()) *
+      static_cast<std::int64_t>(workloads.size()) *
       static_cast<std::int64_t>(seeds.size());
   std::int64_t total = 0;
   for (const TopologySpec& topology : topologies) {
@@ -365,6 +466,54 @@ void CampaignSpec::validate() const {
   OTIS_REQUIRE(!timings.empty(), "CampaignSpec: timings must be non-empty");
   for (const sim::TimingConfig& timing : timings) {
     timing.validate();
+  }
+  OTIS_REQUIRE(!workloads.empty(),
+               "CampaignSpec: workloads must be non-empty");
+  for (const WorkloadSpec& load : workloads) {
+    load.validate();
+    // Schedule kinds exist only for POPS / stack-Kautz; the grid is a
+    // full cross product, so any other topology would fail mid-run --
+    // refuse the spec up front instead.
+    if (load.kind == WorkloadKind::kOneToAll ||
+        load.kind == WorkloadKind::kGossip) {
+      for (const TopologySpec& topology : topologies) {
+        OTIS_REQUIRE(topology.kind != TopologySpec::Kind::kStackImaseItoh,
+                     "CampaignSpec: workload \"" + load.label() +
+                         "\" needs analytic schedules, which " +
+                         topology.label() +
+                         " (stack-Imase-Itoh) does not have");
+      }
+    }
+    // Closed-loop runs need unbounded VOQs and delivery feedback,
+    // which the tests-only event-queue fixture does not implement
+    // (see SimConfig::workload) -- refuse up front, not mid-run.
+    if (load.kind != WorkloadKind::kNone) {
+      OTIS_REQUIRE(queue_capacity == 0,
+                   "CampaignSpec: workload cells require queue_capacity 0");
+      OTIS_REQUIRE(engine != sim::Engine::kEventQueue,
+                   "CampaignSpec: workload cells cannot run on the "
+                   "event-queue engine (use phased/sharded/async)");
+      for (const CellOverride& override : overrides) {
+        OTIS_REQUIRE(override.engine != sim::Engine::kEventQueue,
+                     "CampaignSpec: override pins \"" + override.topology +
+                         "\" to the event-queue engine, which cannot run "
+                         "the grid's workload cells");
+      }
+    }
+    // The grid is a full cross product, so a root must be a valid node
+    // of EVERY topology -- otherwise the campaign would abort mid-run
+    // (processor_count() is pure arithmetic, so this costs nothing).
+    if (load.kind == WorkloadKind::kOneToAll ||
+        load.kind == WorkloadKind::kReduce ||
+        load.kind == WorkloadKind::kGather) {
+      for (const TopologySpec& topology : topologies) {
+        OTIS_REQUIRE(load.root < topology.processor_count(),
+                     "CampaignSpec: workload \"" + load.label() +
+                         "\" root is out of range for " + topology.label() +
+                         " (" + std::to_string(topology.processor_count()) +
+                         " processors)");
+      }
+    }
   }
   for (const CellOverride& override : overrides) {
     bool matched = false;
@@ -509,12 +658,73 @@ void parse_timing_entry(const core::Json& node,
   }
 }
 
+/// One "workloads" entry: a plain kind name or a structured object;
+/// "phases" (bsp) and "arity" (reduce) may be sweep arrays.
+void parse_workload_entry(const core::Json& node,
+                          std::vector<WorkloadSpec>& out) {
+  WorkloadSpec base;
+  if (node.is_string()) {
+    base.kind = parse_workload_kind(node.as_string());
+    out.push_back(base);
+    return;
+  }
+  OTIS_REQUIRE(node.is_object(),
+               "CampaignSpec: workload entries must be names or objects");
+  base.kind = parse_workload_kind(node.at("kind").as_string());
+  switch (base.kind) {
+    case WorkloadKind::kNone:
+    case WorkloadKind::kGossip:
+      reject_unknown_keys(node, {"kind"}, "workload");
+      out.push_back(base);
+      return;
+    case WorkloadKind::kOneToAll:
+      reject_unknown_keys(node, {"kind", "root"}, "one_to_all workload");
+      base.root = node.int_or("root", base.root);
+      out.push_back(base);
+      return;
+    case WorkloadKind::kBsp: {
+      reject_unknown_keys(node, {"kind", "phases", "shift"}, "bsp workload");
+      base.shift = node.int_or("shift", base.shift);
+      for (std::int64_t phases :
+           number_or_sweep<std::int64_t>(node, "phases", base.phases)) {
+        WorkloadSpec entry = base;
+        entry.phases = phases;
+        out.push_back(entry);
+      }
+      return;
+    }
+    case WorkloadKind::kReduce: {
+      reject_unknown_keys(node, {"kind", "root", "arity"},
+                          "reduce workload");
+      base.root = node.int_or("root", base.root);
+      for (std::int64_t arity :
+           number_or_sweep<std::int64_t>(node, "arity", base.arity)) {
+        WorkloadSpec entry = base;
+        entry.arity = arity;
+        out.push_back(entry);
+      }
+      return;
+    }
+    case WorkloadKind::kGather:
+      reject_unknown_keys(node, {"kind", "root"}, "gather workload");
+      base.root = node.int_or("root", base.root);
+      out.push_back(base);
+      return;
+    case WorkloadKind::kTrace:
+      reject_unknown_keys(node, {"kind", "file"}, "trace workload");
+      base.trace_file = node.at("file").as_string();
+      out.push_back(base);
+      return;
+  }
+}
+
 CampaignSpec spec_from_json(const core::Json& root) {
   OTIS_REQUIRE(root.is_object(), "CampaignSpec: top level must be an object");
   reject_unknown_keys(root,
                       {"name", "topologies", "arbitrations", "traffic",
-                       "loads", "wavelengths", "routes", "timings", "seeds",
-                       "hotspot_node", "hotspot_fraction", "bursty_enter_on",
+                       "loads", "wavelengths", "routes", "timings",
+                       "workloads", "seeds", "hotspot_node",
+                       "hotspot_fraction", "bursty_enter_on",
                        "bursty_exit_on", "warmup_slots", "measure_slots",
                        "queue_capacity", "engine", "engine_threads",
                        "overrides"},
@@ -557,6 +767,17 @@ CampaignSpec spec_from_json(const core::Json& root) {
     spec.timings.clear();
     for (const core::Json& node : timings->items()) {
       parse_timing_entry(node, spec.timings);
+    }
+  }
+  // "workloads" accepts one entry as well as an array, like "traffic".
+  if (const core::Json* workloads = root.find("workloads")) {
+    spec.workloads.clear();
+    if (workloads->is_string()) {
+      parse_workload_entry(*workloads, spec.workloads);
+    } else {
+      for (const core::Json& node : workloads->items()) {
+        parse_workload_entry(node, spec.workloads);
+      }
     }
   }
   // "routes" accepts one string as well as an array.

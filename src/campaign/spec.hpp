@@ -16,11 +16,13 @@
 /// process-wide counter so tests can assert that contract.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "collectives/schedule.hpp"
 #include "hypergraph/stack_graph.hpp"
 #include "routing/compiled_routes.hpp"
 #include "routing/compressed_routes.hpp"
@@ -97,6 +99,17 @@ class CompiledTopology {
     return couplers_;
   }
 
+  /// True when this topology ships analytic collective schedules
+  /// (POPS and stack-Kautz; stack-Imase-Itoh has none yet).
+  [[nodiscard]] bool has_collective_schedules() const noexcept {
+    return static_cast<bool>(schedule_builder_);
+  }
+  /// The analytic slot schedule for a gossip (all-to-all) or, when
+  /// `gossip` is false, a one-to-all broadcast from `root`. Throws
+  /// core::Error when has_collective_schedules() is false.
+  [[nodiscard]] collectives::SlotSchedule collective_schedule(
+      bool gossip, hypergraph::Node root) const;
+
  private:
   CompiledTopology() = default;
 
@@ -106,6 +119,10 @@ class CompiledTopology {
   const hypergraph::StackGraph* stack_ = nullptr;
   std::shared_ptr<const routing::CompiledRoutes> routes_;
   std::shared_ptr<const routing::CompressedRoutes> compressed_routes_;
+  /// Typed access to the network for schedule generation without
+  /// widening owner_ beyond void (null for families without schedules).
+  std::function<collectives::SlotSchedule(bool gossip, hypergraph::Node root)>
+      schedule_builder_;
   std::int64_t processors_ = 0;
   std::int64_t couplers_ = 0;
 };
@@ -161,6 +178,53 @@ struct TrafficSpec {
 /// Inverse of sim::route_table_name; throws core::Error on unknown names.
 [[nodiscard]] sim::RouteTable parse_route_table(const std::string& name);
 
+/// Workload families a campaign can drive (closed-loop; see
+/// workload/workload.hpp). kNone keeps the cell open-loop -- the
+/// classic fixed-window run. Every other kind switches the cell to
+/// run-to-completion with a makespan metric; the traffic axis then
+/// provides *background* load alongside the workload (use loads [0.0]
+/// for uncontended collectives).
+enum class WorkloadKind {
+  kNone,      ///< open loop (traffic axis only)
+  kOneToAll,  ///< compiled broadcast schedule (POPS / stack-Kautz)
+  kGossip,    ///< compiled all-to-all gossip schedule (POPS / stack-Kautz)
+  kBsp,       ///< bulk-synchronous phase exchange (any topology)
+  kReduce,    ///< arity-ary combining tree (any topology)
+  kGather,    ///< incast: everyone sends to the root (any topology)
+  kTrace,     ///< replay a recorded packet trace file (any topology)
+};
+
+[[nodiscard]] const char* workload_kind_name(WorkloadKind kind);
+/// Inverse of workload_kind_name; throws core::Error on unknown names.
+[[nodiscard]] WorkloadKind parse_workload_kind(const std::string& name);
+
+/// One workload axis value: a family plus its shape parameters.
+struct WorkloadSpec {
+  WorkloadKind kind = WorkloadKind::kNone;
+  std::int64_t root = 0;      ///< one_to_all / reduce / gather
+  std::int64_t phases = 4;    ///< bsp
+  std::int64_t shift = 1;     ///< bsp
+  std::int64_t arity = 2;     ///< reduce
+  std::string trace_file;     ///< trace: path to a Trace::load-able file
+
+  WorkloadSpec() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): axis-literal ergonomics
+  WorkloadSpec(WorkloadKind k) : kind(k) {}
+
+  /// Canonical label, e.g. "none", "one_to_all(r0)", "gossip",
+  /// "bsp(p4,s1)", "reduce(r0,a2)", "gather(r0)",
+  /// "trace(file.trace)" (basename only, so IDs survive directory
+  /// moves). Doubles as the workload part of cell IDs, so it must stay
+  /// stable.
+  [[nodiscard]] std::string label() const;
+
+  /// Throws core::Error on out-of-range shape values (kTrace requires a
+  /// non-empty file).
+  void validate() const;
+
+  [[nodiscard]] bool operator==(const WorkloadSpec&) const noexcept = default;
+};
+
 /// Per-cell execution override, matched by topology label. Overrides
 /// change *how* matched cells run (engine, threads, routing-table
 /// representation), never *what* they simulate -- route-table choice and
@@ -177,14 +241,19 @@ struct CellOverride {
 };
 
 /// The declarative experiment grid. Cells = topologies x arbitrations x
-/// traffics x loads x wavelengths x route tables x timings x seeds,
-/// every combination simulated once.
+/// traffics x loads x wavelengths x route tables x timings x workloads
+/// x seeds, every combination simulated once.
 struct CampaignSpec {
   std::string name = "campaign";
   std::vector<TopologySpec> topologies;
   std::vector<sim::Arbitration> arbitrations{
       sim::Arbitration::kTokenRoundRobin};
   std::vector<TrafficSpec> traffics{TrafficSpec{}};
+  /// Workload axis: kNone cells run the classic open-loop window; other
+  /// kinds run closed-loop to completion (makespan column). Schedule
+  /// kinds (one_to_all/gossip) require every topology in the grid to be
+  /// POPS or stack-Kautz -- validate() rejects the mix early.
+  std::vector<WorkloadSpec> workloads{WorkloadSpec{}};
   std::vector<double> loads{0.5};
   std::vector<std::int64_t> wavelengths{1};
   /// Routing-table axis: result-invariant by construction (compressed
@@ -247,6 +316,13 @@ struct CampaignSpec {
 ///                "propagation": 128, "guard": 0},
 ///               {"profile": "level", "tuning": 256, "propagation": 64,
 ///                "level_skew": 128}],
+///   "workloads": ["none",
+///                 {"kind": "one_to_all", "root": 0},
+///                 "gossip",
+///                 {"kind": "bsp", "phases": [2, 4], "shift": 1},
+///                 {"kind": "reduce", "root": 0, "arity": 2},
+///                 {"kind": "gather", "root": 0},
+///                 {"kind": "trace", "file": "uniform.trace"}],
 ///   "seeds": [1, 2, 3],
 ///   "hotspot_node": 0, "hotspot_fraction": 0.2,
 ///   "bursty_enter_on": 0.05, "bursty_exit_on": 0.2,
@@ -262,7 +338,9 @@ struct CampaignSpec {
 /// shape value given as an array sweeps that parameter into one axis
 /// entry per value. Timing entries are "none" or an object whose
 /// delays are sub-slot ticks (sim::kTicksPerSlot per slot); "tuning"
-/// accepts an array to sweep the tuning latency.
+/// accepts an array to sweep the tuning latency. Workload entries are
+/// plain kind names or structured objects; "phases" (bsp) and "arity"
+/// (reduce) accept sweep arrays.
 [[nodiscard]] CampaignSpec parse_campaign_spec(const std::string& json_text);
 
 /// parse_campaign_spec over the contents of `path`.

@@ -53,6 +53,9 @@ AsyncEngineT<Routes>::AsyncEngineT(const hypergraph::StackGraph& network,
 template <routing::RouteView Routes>
 RunMetrics AsyncEngineT<Routes>::run(
     std::vector<std::int64_t>& coupler_success) {
+  if (config_.workload != nullptr) {
+    return run_workload(coupler_success);
+  }
   const auto& hg = network_.hypergraph();
   coupler_success.assign(static_cast<std::size_t>(couplers_), 0);
   core::Rng rng = core::Rng::stream(config_.seed, kRunStream);
@@ -141,6 +144,9 @@ RunMetrics AsyncEngineT<Routes>::run(
         if (!demand.has_packet || demand.destination == v) {
           continue;
         }
+        if (config_.recorder != nullptr) {
+          config_.recorder->record(now, v, demand.destination);
+        }
         if (measuring) {
           ++metrics.offered_packets;
         }
@@ -228,6 +234,181 @@ RunMetrics AsyncEngineT<Routes>::run(
     receive(std::move(event.payload), event.time);
   }
 
+  metrics.backlog = inflight;
+  return metrics;
+}
+
+template <routing::RouteView Routes>
+RunMetrics AsyncEngineT<Routes>::run_workload(
+    std::vector<std::int64_t>& coupler_success) {
+  const auto& hg = network_.hypergraph();
+  coupler_success.assign(static_cast<std::size_t>(couplers_), 0);
+  workload::Workload& load = *config_.workload;
+  load.reset();
+
+  // Workload RNG contract (shared with the phased engines): generation
+  // from per-node streams, arbitration from per-coupler streams.
+  std::vector<core::Rng> gen_rng = detail::node_streams(config_.seed, nodes_);
+  std::vector<core::Rng> arb_rng =
+      detail::coupler_streams(config_.seed, couplers_);
+
+  RunMetrics metrics;
+  const std::int64_t background_base = load.packet_count();
+  // Shared with the phased engines; skew can only defer deliveries by
+  // bounded sub-slot amounts, so no extra headroom needed.
+  const SimTime bound = detail::workload_slot_bound(load);
+  const SimTime guard = timing_.guard();
+  std::int64_t inflight = 0;
+  SimTime makespan_tick = 0;
+
+  struct Arrival {
+    Packet packet;
+    hypergraph::HyperarcId coupler = 0;
+  };
+  CalendarQueue<Arrival> propagations;
+
+  std::vector<std::size_t> contenders;
+  std::vector<std::size_t> winners;
+  std::vector<char> is_contender;
+  std::vector<workload::WorkloadPacket> inject;
+  const std::size_t capacity = static_cast<std::size_t>(config_.wavelengths);
+
+  // queue_capacity is 0 in workload mode (validated): never drops.
+  const auto enqueue = [&](Packet packet, hypergraph::Node at,
+                           SimTime tick) {
+    const hypergraph::HyperarcId next =
+        routes_.next_coupler(at, packet.destination);
+    const std::int32_t slot = routes_.next_slot(at, packet.destination);
+    voq_[static_cast<std::size_t>(voq_base_[static_cast<std::size_t>(at)] +
+                                  slot)]
+        .push_back(TimedPacket{std::move(packet), tick + timing_.tuning(next)});
+  };
+
+  const auto receive = [&](Arrival&& arrival, SimTime tick) {
+    const hypergraph::Node relay =
+        routes_.relay(arrival.coupler, arrival.packet.destination);
+    if (relay == arrival.packet.destination) {
+      ++metrics.delivered_packets;
+      metrics.latency.record(latency_slots(tick, arrival.packet.created));
+      if (arrival.packet.id < background_base) {
+        load.delivered(arrival.packet.id);
+        makespan_tick = std::max(makespan_tick, tick);
+      }
+      --inflight;
+    } else {
+      enqueue(std::move(arrival.packet), relay, tick);
+    }
+  };
+
+  SimTime now = 0;
+  for (;;) {
+    const SimTime slot_tick = ticks_from_slots(now);
+
+    // Receive everything that landed by this boundary; all of a
+    // boundary's deliveries reach the workload before the poll below
+    // (order within the boundary is irrelevant by the poll contract).
+    while (!propagations.empty() && propagations.peek().time <= slot_tick) {
+      auto event = propagations.pop();
+      receive(std::move(event.payload), event.time);
+    }
+    const bool load_done = load.done();
+    if (load_done && inflight == 0) {
+      break;
+    }
+    if (now > bound) {
+      // The phased engines count the bound-hit boundary as a slot
+      // (they break after ++now); do the same so slots/backlog agree
+      // across engines even for runs the bound cuts off.
+      ++now;
+      break;
+    }
+
+    // Inject the packets that became eligible, then background traffic
+    // (same per-node VOQ push order as the phased engines).
+    if (!load_done) {
+      inject.clear();
+      load.poll(now, inject);
+      for (const workload::WorkloadPacket& packet : inject) {
+        ++metrics.offered_packets;
+        ++inflight;
+        enqueue(Packet{packet.id, packet.source, packet.destination,
+                       slot_tick, 0},
+                packet.source, slot_tick);
+      }
+      for (hypergraph::Node v = 0; v < nodes_; ++v) {
+        const TrafficDemand demand =
+            traffic_.demand(v, gen_rng[static_cast<std::size_t>(v)]);
+        if (!demand.has_packet || demand.destination == v) {
+          continue;
+        }
+        if (config_.recorder != nullptr) {
+          config_.recorder->record(now, v, demand.destination);
+        }
+        ++metrics.offered_packets;
+        ++inflight;
+        enqueue(Packet{background_base + now * nodes_ + v, v,
+                       demand.destination, slot_tick, 0},
+                v, slot_tick);
+      }
+    }
+
+    // Arbitrate over eligibility-gated heads, per-coupler streams.
+    for (hypergraph::HyperarcId h = 0; h < couplers_; ++h) {
+      const hypergraph::CouplerFeed feed = hg.coupler_feed(h);
+      const std::size_t feed_count = static_cast<std::size_t>(feed.count);
+      if (is_contender.size() < feed_count) {
+        is_contender.resize(feed_count, 0);
+      }
+      contenders.clear();
+      for (std::size_t si = 0; si < feed_count; ++si) {
+        const std::size_t qi = static_cast<std::size_t>(
+            voq_base_[static_cast<std::size_t>(feed.source[si])] +
+            feed.slot[si]);
+        const auto& queue = voq_[qi];
+        if (queue.empty()) {
+          continue;
+        }
+        const SimTime gate = std::max(queue.front().ready, retune_[qi]);
+        if (gate + guard <= slot_tick) {
+          contenders.push_back(si);
+          is_contender[si] = 1;
+        }
+      }
+      if (contenders.empty()) {
+        continue;
+      }
+      const bool collided = detail::pick_winners(
+          config_.arbitration, capacity, feed_count, contenders, is_contender,
+          token_[static_cast<std::size_t>(h)],
+          arb_rng[static_cast<std::size_t>(h)], winners);
+      for (std::size_t si : contenders) {
+        is_contender[si] = 0;
+      }
+      if (collided) {
+        ++metrics.collisions;
+      }
+      for (std::size_t si : winners) {
+        const std::size_t qi = static_cast<std::size_t>(
+            voq_base_[static_cast<std::size_t>(feed.source[si])] +
+            feed.slot[si]);
+        auto& queue = voq_[qi];
+        Packet packet = std::move(queue.front().packet);
+        queue.pop_front();
+        retune_[qi] = slot_tick + kTicksPerSlot + timing_.tuning(h);
+        ++packet.hops;
+        ++metrics.coupler_transmissions;
+        ++coupler_success[static_cast<std::size_t>(h)];
+        propagations.push(slot_tick + kTicksPerSlot + timing_.propagation(h),
+                          Arrival{std::move(packet), h});
+      }
+    }
+
+    ++now;
+  }
+
+  metrics.slots = now;
+  metrics.makespan_slots =
+      (makespan_tick + kTicksPerSlot - 1) / kTicksPerSlot;
   metrics.backlog = inflight;
   return metrics;
 }

@@ -62,9 +62,17 @@ class AsyncEngineT {
 
   /// Runs the configured window; returns measurement-window metrics and
   /// fills per-coupler success counts (sized to the coupler count).
+  /// When SimConfig::workload is set the run is closed-loop instead:
+  /// run-to-completion with delivery feedback and makespan (see
+  /// phased_engine.hpp) -- deliveries land per the timing model, so a
+  /// skewed workload run shows how tuning/propagation stretch a
+  /// collective's critical path. In the slot-aligned limit workload
+  /// runs are bit-identical to the phased engines (which share the
+  /// per-node/per-coupler workload RNG streams).
   RunMetrics run(std::vector<std::int64_t>& coupler_success);
 
  private:
+  RunMetrics run_workload(std::vector<std::int64_t>& coupler_success);
   /// A queued packet plus the tick its transmitter finishes tuning.
   struct TimedPacket {
     Packet packet;

@@ -53,6 +53,7 @@ SweepPoint SweepPoint::from_trial(const RunMetrics& metrics, double load,
           ? static_cast<double>(metrics.delivered_packets) /
                 static_cast<double>(metrics.offered_packets)
           : 0.0;
+  point.makespan = static_cast<double>(metrics.makespan_slots);
   point.trials = 1;
   return point;
 }
@@ -81,6 +82,8 @@ void SweepPoint::merge(const SweepPoint& other) {
   merge_moments(delivered_fraction, delivered_fraction_stddev, trials,
                 other.delivered_fraction, other.delivered_fraction_stddev,
                 other.trials);
+  merge_moments(makespan, makespan_stddev, trials, other.makespan,
+                other.makespan_stddev, other.trials);
   trials += other.trials;
 }
 

@@ -27,6 +27,8 @@ struct SweepPoint {
   double coupler_utilization = 0.0;  ///< successful coupler-slots fraction
   double collision_rate = 0.0;       ///< collisions / coupler / slot
   double delivered_fraction = 0.0;   ///< delivered / offered
+  double makespan = 0.0;             ///< workload completion slots (0 =
+                                     ///< open loop; see RunMetrics)
   /// Population stddev of the metric above it across trials (0 for a
   /// single trial).
   double throughput_stddev = 0.0;
@@ -35,6 +37,7 @@ struct SweepPoint {
   double coupler_utilization_stddev = 0.0;
   double collision_rate_stddev = 0.0;
   double delivered_fraction_stddev = 0.0;
+  double makespan_stddev = 0.0;
   std::int64_t trials = 0;
 
   /// A single-trial point (stddevs 0) from one run's metrics; the

@@ -40,6 +40,10 @@ struct RunMetrics {
   std::int64_t collisions = 0;        ///< slot-couplers lost to contention
   std::int64_t dropped_packets = 0;   ///< lost to finite queues (if any)
   std::int64_t backlog = 0;           ///< packets still queued at the end
+  /// Closed-loop (workload-driven) runs only: slots from the start of
+  /// the run to the last workload delivery, the simulated completion
+  /// time of the collective/kernel/trace. 0 for open-loop runs.
+  std::int64_t makespan_slots = 0;
   LatencyStats latency;
 
   /// Delivered packets per processor per slot.

@@ -61,6 +61,24 @@ void OpsNetworkSim::validate_config() const {
                    config_.timing.is_slot_aligned(),
                "OpsNetworkSim: timing delays require Engine::kAsync (the "
                "slotted engines cannot honour sub-slot skew)");
+  if (config_.workload != nullptr) {
+    OTIS_REQUIRE(config_.engine != Engine::kEventQueue,
+                 "OpsNetworkSim: workloads need delivery feedback, which "
+                 "the tests-only event-queue fixture does not implement "
+                 "(use phased/sharded/async)");
+    OTIS_REQUIRE(config_.queue_capacity == 0,
+                 "OpsNetworkSim: workloads require unbounded VOQs (a "
+                 "dropped dependency would stall its dependents forever)");
+    OTIS_REQUIRE(config_.workload->node_count() == network_.node_count(),
+                 "OpsNetworkSim: workload built for another node count");
+  }
+  if (config_.recorder != nullptr) {
+    OTIS_REQUIRE(config_.engine != Engine::kEventQueue,
+                 "OpsNetworkSim: trace recording is implemented by the "
+                 "phased/sharded/async engines only");
+    OTIS_REQUIRE(config_.recorder->node_count() == network_.node_count(),
+                 "OpsNetworkSim: recorder built for another node count");
+  }
 }
 
 OpsNetworkSim::OpsNetworkSim(const hypergraph::StackGraph& network,

@@ -53,8 +53,60 @@
 #include "sim/metrics.hpp"
 #include "sim/timing_model.hpp"
 #include "sim/traffic.hpp"
+#include "workload/trace.hpp"
+#include "workload/workload.hpp"
 
 namespace otis::sim {
+
+namespace detail {
+/// RNG stream tags for the per-unit streams. The sharded engine always
+/// draws generation randomness from per-node streams and arbitration
+/// randomness from per-coupler streams (so work partitioning cannot
+/// influence the outcome); in workload (closed-loop) mode EVERY engine
+/// does, which is what makes workload-driven runs bit-identical across
+/// engines as well as thread counts. The values keep the families
+/// disjoint from each other and from the serial engines' 0x0715 run
+/// stream.
+inline constexpr std::uint64_t kNodeStreamBase = 0x4F50534E4F444500ULL;
+inline constexpr std::uint64_t kCouplerStreamBase = 0x4F5053435E504C00ULL;
+
+/// The per-node generation streams for one run. Every engine that
+/// draws per-unit randomness MUST build its streams through these two
+/// helpers -- a second hand-rolled copy that drifted would silently
+/// break the cross-engine/thread-count parity guarantees.
+inline std::vector<core::Rng> node_streams(std::uint64_t seed,
+                                           std::int64_t nodes) {
+  std::vector<core::Rng> streams;
+  streams.reserve(static_cast<std::size_t>(nodes));
+  for (std::int64_t v = 0; v < nodes; ++v) {
+    streams.push_back(core::Rng::stream(
+        seed, kNodeStreamBase + static_cast<std::uint64_t>(v)));
+  }
+  return streams;
+}
+
+/// The per-coupler arbitration streams for one run.
+inline std::vector<core::Rng> coupler_streams(std::uint64_t seed,
+                                              std::int64_t couplers) {
+  std::vector<core::Rng> streams;
+  streams.reserve(static_cast<std::size_t>(couplers));
+  for (std::int64_t h = 0; h < couplers; ++h) {
+    streams.push_back(core::Rng::stream(
+        seed, kCouplerStreamBase + static_cast<std::uint64_t>(h)));
+  }
+  return streams;
+}
+
+/// Slot bound on closed-loop runs, shared by every engine (the engines
+/// must cut a stuck run off at the SAME slot or their reported
+/// slots/backlog would diverge): a workload that has not completed and
+/// drained by then (dependency livelock under aloha, or a trace whose
+/// generation slots run away) ends the run with a backlog instead of
+/// spinning forever.
+inline SimTime workload_slot_bound(const workload::Workload& load) {
+  return 1'000'000 + 64 * load.packet_count();
+}
+}  // namespace detail
 
 /// Coupler-contention resolution policies.
 enum class Arbitration {
@@ -157,6 +209,26 @@ struct SimConfig {
   /// -- the slotted engines cannot honour them and refuse rather than
   /// silently ignoring the skew.
   TimingConfig timing;
+  /// Closed-loop workload (workload/workload.hpp). When set the run is
+  /// driven to completion instead of a fixed measure window:
+  /// warmup_slots/measure_slots are ignored, every slot is measured,
+  /// the engine injects the workload's packets as their dependencies
+  /// deliver, and RunMetrics::makespan_slots reports the completion
+  /// time. The traffic generator keeps running as *background* load
+  /// alongside the workload until it completes (hand in load 0 for an
+  /// uncontended run). Workload runs draw generation randomness from
+  /// per-node streams and arbitration randomness from per-coupler
+  /// streams on every engine, so the result is bit-identical across
+  /// phased/sharded/async engines, route tables and thread counts.
+  /// Requires unbounded VOQs (queue_capacity 0: a dropped dependency
+  /// would stall its dependents forever) and a non-event-queue engine.
+  std::shared_ptr<workload::Workload> workload;
+  /// Optional generation capture: every open-loop packet the engines
+  /// generate is recorded as a (slot, source, destination) trace entry
+  /// for bit-identical replay (workload/trace.hpp). Supported by the
+  /// phased, sharded and async engines (not the tests-only event-queue
+  /// fixture).
+  std::shared_ptr<workload::TraceRecorder> recorder;
 };
 
 /// The slot-synchronous multi-OPS network simulator.

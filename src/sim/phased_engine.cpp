@@ -13,12 +13,12 @@ namespace {
 
 /// Legacy per-run stream tag (must match the event-queue engine).
 constexpr std::uint64_t kRunStream = 0x0715;
-/// Sharded-mode stream tags. Randomness is drawn per node (generation)
-/// and per coupler (arbitration) so that work partitioning can never
-/// influence the outcome; the tags keep the stream families disjoint
-/// from each other and from kRunStream.
-constexpr std::uint64_t kNodeStreamBase = 0x4F50534E4F444500ULL;
-constexpr std::uint64_t kCouplerStreamBase = 0x4F5053435E504C00ULL;
+/// Sharded/workload per-unit streams and the closed-loop slot bound
+/// are shared with the async engine (ops_network.hpp detail) so
+/// workload runs agree across engines.
+using detail::coupler_streams;
+using detail::node_streams;
+using detail::workload_slot_bound;
 
 /// Ceiling-free contiguous partition of [0, count) into `parts` ranges.
 std::pair<std::int64_t, std::int64_t> partition(std::int64_t count, int part,
@@ -56,6 +56,11 @@ template <routing::RouteView Routes>
 RunMetrics PhasedEngineT<Routes>::run(
     std::vector<std::int64_t>& coupler_success) {
   coupler_success.assign(static_cast<std::size_t>(couplers_), 0);
+  if (config_.workload != nullptr) {
+    return config_.engine == Engine::kSharded
+               ? run_workload_sharded(coupler_success)
+               : run_workload_serial(coupler_success);
+  }
   if (config_.engine == Engine::kSharded) {
     return run_sharded(coupler_success);
   }
@@ -111,6 +116,9 @@ RunMetrics PhasedEngineT<Routes>::run_serial(
         const TrafficDemand demand = traffic_.demand(v, rng);
         if (!demand.has_packet || demand.destination == v) {
           continue;
+        }
+        if (config_.recorder != nullptr) {
+          config_.recorder->record(now, v, demand.destination);
         }
         if (measuring) {
           ++metrics.offered_packets;
@@ -213,18 +221,8 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
       threads, std::max<std::int64_t>(1, std::max(nodes_, couplers_))));
 
   // Per-unit RNG streams: the partition can never influence the draw.
-  std::vector<core::Rng> gen_rng;
-  gen_rng.reserve(static_cast<std::size_t>(nodes_));
-  for (hypergraph::Node v = 0; v < nodes_; ++v) {
-    gen_rng.push_back(core::Rng::stream(
-        config_.seed, kNodeStreamBase + static_cast<std::uint64_t>(v)));
-  }
-  std::vector<core::Rng> arb_rng;
-  arb_rng.reserve(static_cast<std::size_t>(couplers_));
-  for (hypergraph::HyperarcId h = 0; h < couplers_; ++h) {
-    arb_rng.push_back(core::Rng::stream(
-        config_.seed, kCouplerStreamBase + static_cast<std::uint64_t>(h)));
-  }
+  std::vector<core::Rng> gen_rng = node_streams(config_.seed, nodes_);
+  std::vector<core::Rng> arb_rng = coupler_streams(config_.seed, couplers_);
 
   /// Deliveries of the current slot, per coupler, in winner order; hop
   /// counter already bumped. Written by the coupler's owner in phase 2,
@@ -309,6 +307,9 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
               traffic_.demand(v, gen_rng[static_cast<std::size_t>(v)]);
           if (!demand.has_packet || demand.destination == v) {
             continue;
+          }
+          if (config_.recorder != nullptr) {
+            config_.recorder->record(now, v, demand.destination);
           }
           if (measuring) {
             ++shard.offered;
@@ -419,6 +420,398 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
     metrics.offered_packets += shard.offered;
     metrics.delivered_packets += shard.delivered;
     metrics.dropped_packets += shard.dropped;
+    metrics.coupler_transmissions += shard.transmissions;
+    metrics.collisions += shard.collisions;
+    metrics.latency.merge(shard.latency);
+  }
+  metrics.backlog = inflight;
+  return metrics;
+}
+
+template <routing::RouteView Routes>
+RunMetrics PhasedEngineT<Routes>::run_workload_serial(
+    std::vector<std::int64_t>& coupler_success) {
+  const auto& hg = network_.hypergraph();
+  workload::Workload& load = *config_.workload;
+  load.reset();
+
+  // Workload contract: per-node generation streams and per-coupler
+  // arbitration streams on EVERY engine, so the run is one universe
+  // across phased/sharded/async (see ops_network.hpp detail tags).
+  std::vector<core::Rng> gen_rng = node_streams(config_.seed, nodes_);
+  std::vector<core::Rng> arb_rng = coupler_streams(config_.seed, couplers_);
+
+  RunMetrics metrics;
+  const std::int64_t background_base = load.packet_count();
+  const SimTime bound = workload_slot_bound(load);
+  std::int64_t inflight = 0;
+  bool load_done = false;  ///< as of the end of the previous slot
+
+  std::vector<std::size_t> contenders;
+  std::vector<std::size_t> winners;
+  std::vector<char> is_contender;
+  struct Delivery {
+    Packet packet;
+    hypergraph::HyperarcId coupler;
+  };
+  std::vector<Delivery> deliveries;
+  std::vector<workload::WorkloadPacket> inject;
+  std::vector<std::int64_t> delivered_ids;
+  const std::size_t capacity = static_cast<std::size_t>(config_.wavelengths);
+
+  // queue_capacity is 0 in workload mode (validated), so enqueue never
+  // drops.
+  const auto enqueue = [&](Packet packet, hypergraph::Node at) {
+    const std::int32_t slot = routes_.next_slot(at, packet.destination);
+    voq_[static_cast<std::size_t>(voq_base_[static_cast<std::size_t>(at)] +
+                                  slot)]
+        .push_back(std::move(packet));
+  };
+
+  load.poll(0, inject);
+  SimTime now = 0;
+  for (;;) {
+    // Phase 1a: inject the packets that became eligible, in the
+    // workload's (id-sorted) order.
+    for (const workload::WorkloadPacket& packet : inject) {
+      ++metrics.offered_packets;
+      ++inflight;
+      enqueue(Packet{packet.id, packet.source, packet.destination, now, 0},
+              packet.source);
+    }
+    inject.clear();
+    // Phase 1b: open-loop background traffic until the workload is
+    // complete (load 0 generators never fire).
+    if (!load_done) {
+      for (hypergraph::Node v = 0; v < nodes_; ++v) {
+        const TrafficDemand demand =
+            traffic_.demand(v, gen_rng[static_cast<std::size_t>(v)]);
+        if (!demand.has_packet || demand.destination == v) {
+          continue;
+        }
+        if (config_.recorder != nullptr) {
+          config_.recorder->record(now, v, demand.destination);
+        }
+        ++metrics.offered_packets;
+        ++inflight;
+        enqueue(Packet{background_base + now * nodes_ + v, v,
+                       demand.destination, now, 0},
+                v);
+      }
+    }
+
+    // Phase 2: arbitration, drawing from the coupler's own stream.
+    deliveries.clear();
+    for (hypergraph::HyperarcId h = 0; h < couplers_; ++h) {
+      const hypergraph::CouplerFeed feed = hg.coupler_feed(h);
+      const std::size_t feed_count = static_cast<std::size_t>(feed.count);
+      if (is_contender.size() < feed_count) {
+        is_contender.resize(feed_count, 0);
+      }
+      contenders.clear();
+      for (std::size_t si = 0; si < feed_count; ++si) {
+        if (!voq_[static_cast<std::size_t>(
+                      voq_base_[static_cast<std::size_t>(feed.source[si])] +
+                      feed.slot[si])]
+                 .empty()) {
+          contenders.push_back(si);
+          is_contender[si] = 1;
+        }
+      }
+      if (contenders.empty()) {
+        continue;
+      }
+      const bool collided = detail::pick_winners(
+          config_.arbitration, capacity, feed_count, contenders, is_contender,
+          token_[static_cast<std::size_t>(h)],
+          arb_rng[static_cast<std::size_t>(h)], winners);
+      for (std::size_t si : contenders) {
+        is_contender[si] = 0;
+      }
+      if (collided) {
+        ++metrics.collisions;
+      }
+      for (std::size_t si : winners) {
+        auto& queue = voq_[static_cast<std::size_t>(
+            voq_base_[static_cast<std::size_t>(feed.source[si])] +
+            feed.slot[si])];
+        Packet packet = std::move(queue.front());
+        queue.pop_front();
+        ++packet.hops;
+        ++metrics.coupler_transmissions;
+        ++coupler_success[static_cast<std::size_t>(h)];
+        deliveries.push_back(Delivery{std::move(packet), h});
+      }
+    }
+
+    // Phase 3: consume winners; workload deliveries feed back.
+    delivered_ids.clear();
+    for (Delivery& d : deliveries) {
+      const hypergraph::Node relay =
+          routes_.relay(d.coupler, d.packet.destination);
+      if (relay == d.packet.destination) {
+        ++metrics.delivered_packets;
+        metrics.latency.record(now - d.packet.created + 1);
+        if (d.packet.id < background_base) {
+          delivered_ids.push_back(d.packet.id);
+        }
+        --inflight;
+      } else {
+        enqueue(std::move(d.packet), relay);
+      }
+    }
+    for (std::int64_t id : delivered_ids) {
+      load.delivered(id);
+    }
+    if (!delivered_ids.empty()) {
+      metrics.makespan_slots = now + 1;
+    }
+    load_done = load.done();
+
+    if (load_done && inflight == 0) {
+      break;
+    }
+    ++now;
+    if (now > bound) {
+      break;
+    }
+    if (!load_done) {
+      load.poll(now, inject);
+    }
+  }
+
+  metrics.slots = now + 1;
+  metrics.backlog = inflight;
+  return metrics;
+}
+
+template <routing::RouteView Routes>
+RunMetrics PhasedEngineT<Routes>::run_workload_sharded(
+    std::vector<std::int64_t>& coupler_success) {
+  const auto& hg = network_.hypergraph();
+  workload::Workload& load = *config_.workload;
+  load.reset();
+
+  int threads = config_.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (threads <= 0) {
+    threads = 1;
+  }
+  threads = static_cast<int>(std::min<std::int64_t>(
+      threads, std::max<std::int64_t>(1, std::max(nodes_, couplers_))));
+
+  std::vector<core::Rng> gen_rng = node_streams(config_.seed, nodes_);
+  std::vector<core::Rng> arb_rng = coupler_streams(config_.seed, couplers_);
+
+  std::vector<std::vector<Packet>> deliveries(
+      static_cast<std::size_t>(couplers_));
+
+  struct Shard {
+    std::int64_t node_begin = 0, node_end = 0;
+    std::int64_t coupler_begin = 0, coupler_end = 0;
+    std::int64_t offered = 0, delivered = 0;
+    std::int64_t transmissions = 0, collisions = 0;
+    std::int64_t inflight_delta = 0;
+    LatencyStats latency;
+    std::vector<std::int64_t> delivered_ids;  ///< workload ids this slot
+    std::vector<std::size_t> contenders, winners;
+    std::vector<char> is_contender;
+  };
+  std::vector<Shard> shards(static_cast<std::size_t>(threads));
+  for (int w = 0; w < threads; ++w) {
+    auto [nb, ne] = partition(nodes_, w, threads);
+    auto [cb, ce] = partition(couplers_, w, threads);
+    shards[static_cast<std::size_t>(w)].node_begin = nb;
+    shards[static_cast<std::size_t>(w)].node_end = ne;
+    shards[static_cast<std::size_t>(w)].coupler_begin = cb;
+    shards[static_cast<std::size_t>(w)].coupler_end = ce;
+  }
+
+  const std::int64_t background_base = load.packet_count();
+  const SimTime bound = workload_slot_bound(load);
+  const std::size_t capacity = static_cast<std::size_t>(config_.wavelengths);
+
+  // Slot state shared across workers; mutated only in the slot
+  // barrier's completion step (every worker is blocked then). `inject`
+  // is read-only during phases.
+  SimTime now = 0;
+  std::int64_t inflight = 0;
+  std::int64_t makespan = 0;
+  bool load_done = false;
+  bool running = true;
+  std::vector<workload::WorkloadPacket> inject;
+  load.poll(0, inject);
+
+  const auto on_slot_end = [&]() noexcept {
+    bool delivered_any = false;
+    for (Shard& shard : shards) {
+      inflight += shard.inflight_delta;
+      shard.inflight_delta = 0;
+      // Feed order across shards is arbitrary but irrelevant: poll()
+      // depends only on the delivered SET (workload contract).
+      for (std::int64_t id : shard.delivered_ids) {
+        load.delivered(id);
+        delivered_any = true;
+      }
+      shard.delivered_ids.clear();
+    }
+    if (delivered_any) {
+      makespan = now + 1;
+    }
+    load_done = load.done();
+    inject.clear();
+    if (load_done && inflight == 0) {
+      running = false;
+      return;
+    }
+    ++now;
+    if (now > bound) {
+      running = false;
+      return;
+    }
+    if (!load_done) {
+      load.poll(now, inject);
+    }
+  };
+  std::barrier<> phase_barrier(threads);
+  std::barrier<decltype(on_slot_end)> slot_barrier(threads, on_slot_end);
+
+  const auto worker = [&](int w) {
+    Shard& shard = shards[static_cast<std::size_t>(w)];
+    const auto enqueue = [&](const Packet& packet, hypergraph::Node at) {
+      const std::int32_t slot = routes_.next_slot(at, packet.destination);
+      voq_[static_cast<std::size_t>(voq_base_[static_cast<std::size_t>(at)] +
+                                    slot)]
+          .push_back(packet);
+    };
+
+    while (true) {
+      // Phase 1a: the shard's slice of the eligible injections.
+      for (const workload::WorkloadPacket& packet : inject) {
+        if (packet.source < shard.node_begin ||
+            packet.source >= shard.node_end) {
+          continue;
+        }
+        ++shard.offered;
+        ++shard.inflight_delta;
+        enqueue(Packet{packet.id, packet.source, packet.destination, now, 0},
+                packet.source);
+      }
+      // Phase 1b: background traffic over the shard's nodes.
+      if (!load_done) {
+        for (hypergraph::Node v = shard.node_begin; v < shard.node_end; ++v) {
+          const TrafficDemand demand =
+              traffic_.demand(v, gen_rng[static_cast<std::size_t>(v)]);
+          if (!demand.has_packet || demand.destination == v) {
+            continue;
+          }
+          if (config_.recorder != nullptr) {
+            config_.recorder->record(now, v, demand.destination);
+          }
+          ++shard.offered;
+          ++shard.inflight_delta;
+          enqueue(Packet{background_base + now * nodes_ + v, v,
+                         demand.destination, now, 0},
+                  v);
+        }
+      }
+      phase_barrier.arrive_and_wait();
+
+      // Phase 2: arbitration over the shard's couplers.
+      for (hypergraph::HyperarcId h = shard.coupler_begin;
+           h < shard.coupler_end; ++h) {
+        auto& out = deliveries[static_cast<std::size_t>(h)];
+        out.clear();
+        const hypergraph::CouplerFeed feed = hg.coupler_feed(h);
+        const std::size_t feed_count = static_cast<std::size_t>(feed.count);
+        if (shard.is_contender.size() < feed_count) {
+          shard.is_contender.resize(feed_count, 0);
+        }
+        shard.contenders.clear();
+        for (std::size_t si = 0; si < feed_count; ++si) {
+          if (!voq_[static_cast<std::size_t>(
+                        voq_base_[static_cast<std::size_t>(feed.source[si])] +
+                        feed.slot[si])]
+                   .empty()) {
+            shard.contenders.push_back(si);
+            shard.is_contender[si] = 1;
+          }
+        }
+        if (shard.contenders.empty()) {
+          continue;
+        }
+        const bool collided = detail::pick_winners(
+            config_.arbitration, capacity, feed_count, shard.contenders,
+            shard.is_contender, token_[static_cast<std::size_t>(h)],
+            arb_rng[static_cast<std::size_t>(h)], shard.winners);
+        for (std::size_t si : shard.contenders) {
+          shard.is_contender[si] = 0;
+        }
+        if (collided) {
+          ++shard.collisions;
+        }
+        for (std::size_t si : shard.winners) {
+          auto& queue = voq_[static_cast<std::size_t>(
+              voq_base_[static_cast<std::size_t>(feed.source[si])] +
+              feed.slot[si])];
+          Packet packet = std::move(queue.front());
+          queue.pop_front();
+          ++packet.hops;
+          ++shard.transmissions;
+          ++coupler_success[static_cast<std::size_t>(h)];
+          out.push_back(packet);
+        }
+      }
+      phase_barrier.arrive_and_wait();
+
+      // Phase 3: consume the deliveries whose relay this shard owns.
+      for (hypergraph::HyperarcId h = 0; h < couplers_; ++h) {
+        for (const Packet& packet : deliveries[static_cast<std::size_t>(h)]) {
+          const hypergraph::Node relay =
+              routes_.relay(h, packet.destination);
+          if (relay < shard.node_begin || relay >= shard.node_end) {
+            continue;
+          }
+          if (relay == packet.destination) {
+            ++shard.delivered;
+            shard.latency.record(now - packet.created + 1);
+            if (packet.id < background_base) {
+              shard.delivered_ids.push_back(packet.id);
+            }
+            --shard.inflight_delta;
+          } else {
+            enqueue(packet, relay);
+          }
+        }
+      }
+      slot_barrier.arrive_and_wait();
+      if (!running) {
+        break;
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      pool.emplace_back(worker, w);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  RunMetrics metrics;
+  metrics.slots = now + 1;
+  metrics.makespan_slots = makespan;
+  for (Shard& shard : shards) {
+    metrics.offered_packets += shard.offered;
+    metrics.delivered_packets += shard.delivered;
     metrics.coupler_transmissions += shard.transmissions;
     metrics.collisions += shard.collisions;
     metrics.latency.merge(shard.latency);

@@ -25,6 +25,15 @@
 /// randomness comes from per-node (generation) and per-coupler
 /// (arbitration) streams, so the outcome is a pure function of the seed
 /// -- identical for every thread count and every partition.
+///
+/// Workload (closed-loop) mode -- SimConfig::workload set -- replaces
+/// the fixed measure window with run-to-completion: phase 1 injects the
+/// packets the workload reports eligible (plus open-loop background
+/// traffic until the workload completes), phase 3 feeds deliveries back
+/// to the workload, and the loop ends when every workload packet has
+/// been delivered and the network drained. BOTH serial and sharded
+/// workload runs use the per-node/per-coupler streams, so workload
+/// results are bit-identical across engines as well as thread counts.
 
 #include <cstdint>
 #include <memory>
@@ -58,6 +67,8 @@ class PhasedEngineT {
  private:
   RunMetrics run_serial(std::vector<std::int64_t>& coupler_success);
   RunMetrics run_sharded(std::vector<std::int64_t>& coupler_success);
+  RunMetrics run_workload_serial(std::vector<std::int64_t>& coupler_success);
+  RunMetrics run_workload_sharded(std::vector<std::int64_t>& coupler_success);
 
   const hypergraph::StackGraph& network_;
   const Routes& routes_;

@@ -1,0 +1,85 @@
+#include "workload/kernels.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace otis::workload {
+
+std::unique_ptr<Workload> bsp_exchange(std::int64_t nodes,
+                                       std::int64_t phases,
+                                       std::int64_t shift) {
+  OTIS_REQUIRE(nodes >= 2, "bsp_exchange: need at least two nodes");
+  OTIS_REQUIRE(phases >= 1, "bsp_exchange: phases must be >= 1");
+  OTIS_REQUIRE(shift >= 1, "bsp_exchange: shift must be >= 1");
+  std::vector<std::vector<WorkloadPacket>> waves;
+  waves.reserve(static_cast<std::size_t>(phases));
+  for (std::int64_t p = 0; p < phases; ++p) {
+    // Nonzero offset mod nodes for every phase, cycling through the
+    // nodes-1 possible partners as p grows.
+    const std::int64_t offset = ((p * shift) % (nodes - 1)) + 1;
+    std::vector<WorkloadPacket> wave;
+    wave.reserve(static_cast<std::size_t>(nodes));
+    for (std::int64_t v = 0; v < nodes; ++v) {
+      wave.push_back(WorkloadPacket{0, v, (v + offset) % nodes});
+    }
+    waves.push_back(std::move(wave));
+  }
+  return std::make_unique<WaveWorkload>(nodes, std::move(waves));
+}
+
+std::unique_ptr<Workload> reduce_tree(std::int64_t nodes, std::int64_t arity,
+                                      hypergraph::Node root) {
+  OTIS_REQUIRE(nodes >= 2, "reduce_tree: need at least two nodes");
+  OTIS_REQUIRE(arity >= 2, "reduce_tree: arity must be >= 2");
+  OTIS_REQUIRE(root >= 0 && root < nodes, "reduce_tree: root out of range");
+  // Heap-shaped tree over logical ranks 0..nodes-1 (rank 0 = root);
+  // rank r's parent is (r-1)/arity. Ranks map to node ids by swapping
+  // rank 0 with the requested root.
+  const auto node_of = [&](std::int64_t rank) -> hypergraph::Node {
+    if (rank == 0) {
+      return root;
+    }
+    if (rank == root) {
+      return 0;
+    }
+    return rank;
+  };
+  // Packet i belongs to rank i+1 (every rank but the root sends one).
+  std::vector<WorkloadPacket> packets;
+  std::vector<std::vector<std::int64_t>> deps;
+  packets.reserve(static_cast<std::size_t>(nodes - 1));
+  deps.reserve(static_cast<std::size_t>(nodes - 1));
+  for (std::int64_t rank = 1; rank < nodes; ++rank) {
+    const std::int64_t parent = (rank - 1) / arity;
+    packets.push_back(WorkloadPacket{0, node_of(rank), node_of(parent)});
+    std::vector<std::int64_t> packet_deps;
+    for (std::int64_t child = rank * arity + 1;
+         child <= rank * arity + arity && child < nodes; ++child) {
+      packet_deps.push_back(child - 1);
+    }
+    deps.push_back(std::move(packet_deps));
+  }
+  return std::make_unique<DagWorkload>(nodes, std::move(packets),
+                                       std::move(deps));
+}
+
+std::unique_ptr<Workload> gather_incast(std::int64_t nodes,
+                                        hypergraph::Node root) {
+  OTIS_REQUIRE(nodes >= 2, "gather_incast: need at least two nodes");
+  OTIS_REQUIRE(root >= 0 && root < nodes,
+               "gather_incast: root out of range");
+  std::vector<WorkloadPacket> packets;
+  packets.reserve(static_cast<std::size_t>(nodes - 1));
+  for (std::int64_t v = 0; v < nodes; ++v) {
+    if (v != root) {
+      packets.push_back(WorkloadPacket{0, v, root});
+    }
+  }
+  std::vector<std::vector<std::int64_t>> deps(packets.size());
+  return std::make_unique<DagWorkload>(nodes, std::move(packets),
+                                       std::move(deps));
+}
+
+}  // namespace otis::workload

@@ -1,0 +1,42 @@
+#pragma once
+/// \file kernels.hpp
+/// Synthetic dependency kernels: the classic communication skeletons of
+/// bulk-synchronous and tree-structured parallel programs, expressed as
+/// closed-loop Workloads. Unlike the open-loop TrafficGenerators these
+/// carry real data dependencies, so queueing delay on one packet stalls
+/// every packet downstream of it -- the effect collective-latency
+/// analyses care about and slot-count arithmetic cannot capture.
+
+#include <cstdint>
+#include <memory>
+
+#include "hypergraph/hypergraph.hpp"
+#include "workload/workload.hpp"
+
+namespace otis::workload {
+
+/// Bulk-synchronous phase exchange: in phase p every node v sends one
+/// packet to (v + shift_p) mod nodes with shift_p = ((p * shift)
+/// mod (nodes - 1)) + 1, and phase p+1 starts only once phase p is
+/// fully delivered (a global barrier). `phases` >= 1, `shift` >= 1,
+/// `nodes` >= 2.
+[[nodiscard]] std::unique_ptr<Workload> bsp_exchange(std::int64_t nodes,
+                                                     std::int64_t phases,
+                                                     std::int64_t shift = 1);
+
+/// Reduce over an `arity`-ary combining tree rooted at `root`: every
+/// non-root node sends one packet to its tree parent, eligible only
+/// after the packets of all its own children arrived (its partial
+/// result is complete). Leaves fire immediately; the makespan is at
+/// least the tree depth.
+[[nodiscard]] std::unique_ptr<Workload> reduce_tree(std::int64_t nodes,
+                                                    std::int64_t arity = 2,
+                                                    hypergraph::Node root = 0);
+
+/// Personalized gather: every node sends its own packet directly to
+/// `root`, all eligible at slot 0 -- a pure incast that stresses the
+/// root's in-couplers with no dependency structure at all.
+[[nodiscard]] std::unique_ptr<Workload> gather_incast(
+    std::int64_t nodes, hypergraph::Node root = 0);
+
+}  // namespace otis::workload

@@ -1,0 +1,46 @@
+#include "workload/schedule_workload.hpp"
+
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace otis::workload {
+
+std::unique_ptr<Workload> schedule_workload(
+    const hypergraph::StackGraph& network,
+    const collectives::SlotSchedule& schedule) {
+  const std::string diagnostic =
+      collectives::validate_schedule(network, schedule);
+  OTIS_REQUIRE(diagnostic.empty(),
+               "schedule_workload: invalid schedule: " + diagnostic);
+  const auto& hg = network.hypergraph();
+  std::vector<std::vector<WorkloadPacket>> waves;
+  waves.reserve(schedule.slots.size());
+  for (const auto& slot : schedule.slots) {
+    std::vector<WorkloadPacket> wave;
+    wave.reserve(slot.size());
+    for (const collectives::Transmission& tx : slot) {
+      // Representative target: the lowest-id receiver that is not the
+      // sender itself (loop couplers list the sender among their
+      // targets). Deterministic, so the compiled workload -- and with
+      // it every downstream simulation -- is a pure function of the
+      // schedule.
+      hypergraph::Node destination = -1;
+      for (hypergraph::Node target : hg.hyperarc(tx.coupler).targets) {
+        if (target != tx.sender &&
+            (destination == -1 || target < destination)) {
+          destination = target;
+        }
+      }
+      OTIS_REQUIRE(destination != -1,
+                   "schedule_workload: coupler " +
+                       std::to_string(tx.coupler) +
+                       " has no target other than its sender");
+      wave.push_back(WorkloadPacket{0, tx.sender, destination});
+    }
+    waves.push_back(std::move(wave));
+  }
+  return std::make_unique<WaveWorkload>(hg.node_count(), std::move(waves));
+}
+
+}  // namespace otis::workload

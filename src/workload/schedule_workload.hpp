@@ -1,0 +1,42 @@
+#pragma once
+/// \file schedule_workload.hpp
+/// Compiles a collectives::SlotSchedule into a closed-loop Workload so
+/// the analytically-derived schedules (POPS / stack-Kautz one-to-all,
+/// all-to-all gossip) finally execute under real arbitration, queueing
+/// and timing skew.
+///
+/// Mapping: each scheduled Transmission (sender, coupler) becomes one
+/// unicast packet from the sender to a deterministic representative
+/// target of that coupler (the lowest-id target != sender). Slot t of
+/// the schedule becomes dependency wave t: its packets are eligible
+/// only once every wave t-1 packet has been delivered -- the
+/// bulk-synchronous reading of the slot structure, in which a slot's
+/// transmissions may only rely on data that earlier slots delivered.
+///
+/// The simulated makespan of the compiled workload is therefore lower-
+/// bounded by the schedule's slot count, with equality exactly when the
+/// network serves every wave in one slot: single wavelength, no timing
+/// skew, no competing traffic, and a conflict-free schedule (each wave
+/// puts at most one contender on any coupler -- which
+/// validate_schedule guarantees for the shipped schedules because
+/// shortest-path routing sends each packet over its scheduled coupler).
+/// Arbitration pressure, WDM sharing, background load or skew push the
+/// makespan above the bound; the gap is the price of real contention
+/// the slot-count analysis cannot see.
+
+#include <memory>
+
+#include "collectives/schedule.hpp"
+#include "hypergraph/stack_graph.hpp"
+#include "workload/workload.hpp"
+
+namespace otis::workload {
+
+/// Compiles `schedule` against `network` (throws core::Error when the
+/// schedule fails validate_schedule or a coupler has no target other
+/// than its sender).
+[[nodiscard]] std::unique_ptr<Workload> schedule_workload(
+    const hypergraph::StackGraph& network,
+    const collectives::SlotSchedule& schedule);
+
+}  // namespace otis::workload

@@ -1,0 +1,149 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace otis::workload {
+
+DagWorkload::DagWorkload(std::int64_t node_count,
+                         std::vector<WorkloadPacket> packets,
+                         std::vector<std::vector<std::int64_t>> deps)
+    : node_count_(node_count),
+      packets_(std::move(packets)),
+      deps_(std::move(deps)) {
+  OTIS_REQUIRE(node_count_ >= 1, "DagWorkload: need at least one node");
+  OTIS_REQUIRE(deps_.size() == packets_.size(),
+               "DagWorkload: one dependency list per packet");
+  const std::int64_t n = packet_count();
+  dependents_.resize(packets_.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    WorkloadPacket& packet = packets_[static_cast<std::size_t>(i)];
+    packet.id = i;
+    OTIS_REQUIRE(packet.source >= 0 && packet.source < node_count_ &&
+                     packet.destination >= 0 &&
+                     packet.destination < node_count_,
+                 "DagWorkload: packet endpoint out of range");
+    OTIS_REQUIRE(packet.source != packet.destination,
+                 "DagWorkload: packet source equals destination");
+    for (std::int64_t dep : deps_[static_cast<std::size_t>(i)]) {
+      OTIS_REQUIRE(dep >= 0 && dep < n && dep != i,
+                   "DagWorkload: dependency out of range");
+      dependents_[static_cast<std::size_t>(dep)].push_back(i);
+    }
+  }
+  // Kahn pass: if the indegree peeling cannot reach every packet the
+  // dependency structure is cyclic and the run would never terminate.
+  std::vector<std::int64_t> missing(packets_.size());
+  std::vector<std::int64_t> frontier;
+  for (std::int64_t i = 0; i < n; ++i) {
+    missing[static_cast<std::size_t>(i)] =
+        static_cast<std::int64_t>(deps_[static_cast<std::size_t>(i)].size());
+    if (missing[static_cast<std::size_t>(i)] == 0) {
+      frontier.push_back(i);
+    }
+  }
+  std::int64_t reached = 0;
+  while (!frontier.empty()) {
+    const std::int64_t i = frontier.back();
+    frontier.pop_back();
+    ++reached;
+    for (std::int64_t dependent : dependents_[static_cast<std::size_t>(i)]) {
+      if (--missing[static_cast<std::size_t>(dependent)] == 0) {
+        frontier.push_back(dependent);
+      }
+    }
+  }
+  OTIS_REQUIRE(reached == n, "DagWorkload: dependency cycle detected");
+  reset();
+}
+
+void DagWorkload::reset() {
+  missing_.resize(packets_.size());
+  for (std::size_t i = 0; i < packets_.size(); ++i) {
+    missing_[i] = static_cast<std::int64_t>(deps_[i].size());
+  }
+  ready_.clear();
+  for (std::int64_t i = 0; i < packet_count(); ++i) {
+    if (missing_[static_cast<std::size_t>(i)] == 0) {
+      ready_.push_back(i);
+    }
+  }
+  delivered_count_ = 0;
+}
+
+void DagWorkload::poll(std::int64_t /*slot*/,
+                       std::vector<WorkloadPacket>& out) {
+  if (ready_.empty()) {
+    return;
+  }
+  // Sorted emission makes the injection order a pure function of the
+  // delivered SET, not of the order delivered() calls arrived in.
+  std::sort(ready_.begin(), ready_.end());
+  for (std::int64_t id : ready_) {
+    out.push_back(packets_[static_cast<std::size_t>(id)]);
+  }
+  ready_.clear();
+}
+
+void DagWorkload::delivered(std::int64_t id) {
+  OTIS_REQUIRE(id >= 0 && id < packet_count(),
+               "DagWorkload: delivered id out of range");
+  ++delivered_count_;
+  for (std::int64_t dependent : dependents_[static_cast<std::size_t>(id)]) {
+    if (--missing_[static_cast<std::size_t>(dependent)] == 0) {
+      ready_.push_back(dependent);
+    }
+  }
+}
+
+WaveWorkload::WaveWorkload(std::int64_t node_count,
+                           std::vector<std::vector<WorkloadPacket>> waves)
+    : node_count_(node_count), waves_(std::move(waves)) {
+  OTIS_REQUIRE(node_count_ >= 1, "WaveWorkload: need at least one node");
+  std::int64_t id = 0;
+  for (auto& wave : waves_) {
+    OTIS_REQUIRE(!wave.empty(),
+                 "WaveWorkload: empty wave would stall the barrier chain");
+    for (WorkloadPacket& packet : wave) {
+      packet.id = id++;
+      OTIS_REQUIRE(packet.source >= 0 && packet.source < node_count_ &&
+                       packet.destination >= 0 &&
+                       packet.destination < node_count_,
+                   "WaveWorkload: packet endpoint out of range");
+      OTIS_REQUIRE(packet.source != packet.destination,
+                   "WaveWorkload: packet source equals destination");
+    }
+  }
+  total_ = id;
+  reset();
+}
+
+void WaveWorkload::reset() {
+  next_wave_ = 0;
+  wave_remaining_ = 0;
+  delivered_count_ = 0;
+}
+
+void WaveWorkload::poll(std::int64_t /*slot*/,
+                        std::vector<WorkloadPacket>& out) {
+  if (wave_remaining_ > 0 || next_wave_ >= waves_.size()) {
+    return;
+  }
+  // Ids are assigned in (wave, position) order, so wave emission is
+  // sorted by construction.
+  const std::vector<WorkloadPacket>& wave = waves_[next_wave_];
+  out.insert(out.end(), wave.begin(), wave.end());
+  wave_remaining_ = static_cast<std::int64_t>(wave.size());
+  ++next_wave_;
+}
+
+void WaveWorkload::delivered(std::int64_t id) {
+  OTIS_REQUIRE(id >= 0 && id < total_,
+               "WaveWorkload: delivered id out of range");
+  ++delivered_count_;
+  --wave_remaining_;
+}
+
+}  // namespace otis::workload

@@ -1,0 +1,158 @@
+#pragma once
+/// \file workload.hpp
+/// Closed-loop workloads for the OPS network simulator.
+///
+/// The TrafficGenerators (sim/traffic.hpp) are open loop: every slot
+/// each node may offer a fresh packet, independent of what the network
+/// delivered. Real parallel programs are not like that -- a collective
+/// step cannot start before the data it combines has arrived. This
+/// layer models that feedback: a Workload is a set of packets, each
+/// eligible for injection only once its predecessors have been
+/// *delivered*, and the engines run it to completion (no fixed
+/// measure-slots window) reporting the makespan.
+///
+/// Contract the engines rely on for cross-engine bit-parity:
+///  - packet ids are dense 0..packet_count()-1 and unique;
+///  - poll(slot) appends the packets that become eligible at `slot`,
+///    sorted by id, and is a pure function of (slot, the SET of ids
+///    reported delivered so far) -- never of delivery order. The
+///    engines feed all of a slot's deliveries before the next poll but
+///    in engine-specific order, so order-sensitivity would break the
+///    bit-identical-across-engines guarantee;
+///  - delivered(id) is called at most once per id;
+///  - done() is true once every packet has been delivered;
+///  - reset() restores the initial state so one object can drive
+///    several runs.
+///
+/// Implementations here:
+///  - DagWorkload: explicit dependency lists (a packet is eligible when
+///    all its predecessor packets are delivered), cycle-checked;
+///  - WaveWorkload: bulk-synchronous wave barriers (wave w is eligible
+///    when every packet of waves < w is delivered) -- the shape of
+///    compiled collective schedules and BSP phase exchanges, without
+///    materializing the quadratic wave-to-wave edge set.
+///
+/// Builders for concrete workloads live next door: schedule_workload
+/// (collectives::SlotSchedule -> WaveWorkload), kernels (BSP exchange,
+/// reduce/gather trees), trace (TraceWorkload replay).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace otis::workload {
+
+/// One unit of closed-loop traffic: a unicast packet plus its identity
+/// in the workload's dependency structure.
+struct WorkloadPacket {
+  std::int64_t id = 0;  ///< dense 0..packet_count()-1
+  hypergraph::Node source = 0;
+  hypergraph::Node destination = 0;
+
+  friend bool operator==(const WorkloadPacket&,
+                         const WorkloadPacket&) = default;
+};
+
+/// Closed-loop packet source driven by the engines (see file comment
+/// for the determinism contract).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Total packets this workload will inject.
+  [[nodiscard]] virtual std::int64_t packet_count() const = 0;
+  /// Node count the sources/destinations were built against (validated
+  /// against the simulated network).
+  [[nodiscard]] virtual std::int64_t node_count() const = 0;
+
+  /// Restores the initial (nothing injected, nothing delivered) state.
+  virtual void reset() = 0;
+
+  /// Appends every packet that becomes eligible at `slot`, sorted by
+  /// id. Called once per slot with strictly increasing slot values;
+  /// each packet is emitted exactly once per run.
+  virtual void poll(std::int64_t slot, std::vector<WorkloadPacket>& out) = 0;
+
+  /// Reports that packet `id` reached its destination.
+  virtual void delivered(std::int64_t id) = 0;
+
+  /// True once every packet has been delivered.
+  [[nodiscard]] virtual bool done() const = 0;
+};
+
+/// Generic dependency-DAG workload: packet i is eligible once every
+/// packet in deps[i] has been delivered (deps may be empty -- such
+/// packets are eligible at slot 0). The constructor rejects cyclic or
+/// out-of-range dependency structures.
+class DagWorkload : public Workload {
+ public:
+  /// `packets[i].id` is forced to i (ids are positional). `deps[i]`
+  /// lists the packet indices packet i waits for.
+  DagWorkload(std::int64_t node_count, std::vector<WorkloadPacket> packets,
+              std::vector<std::vector<std::int64_t>> deps);
+
+  [[nodiscard]] std::int64_t packet_count() const override {
+    return static_cast<std::int64_t>(packets_.size());
+  }
+  [[nodiscard]] std::int64_t node_count() const override {
+    return node_count_;
+  }
+  void reset() override;
+  void poll(std::int64_t slot, std::vector<WorkloadPacket>& out) override;
+  void delivered(std::int64_t id) override;
+  [[nodiscard]] bool done() const override {
+    return delivered_count_ == packet_count();
+  }
+
+ private:
+  std::int64_t node_count_ = 0;
+  std::vector<WorkloadPacket> packets_;
+  std::vector<std::vector<std::int64_t>> deps_;
+  std::vector<std::vector<std::int64_t>> dependents_;
+
+  std::vector<std::int64_t> missing_;  ///< undelivered deps per packet
+  std::vector<std::int64_t> ready_;    ///< eligible, not yet emitted
+  std::int64_t delivered_count_ = 0;
+};
+
+/// Bulk-synchronous wave workload: all packets of wave 0 are eligible
+/// at slot 0; wave w becomes eligible once every packet of wave w-1 is
+/// delivered (waves < w-1 are delivered by induction). Empty waves are
+/// rejected -- they would stall the barrier chain forever.
+class WaveWorkload : public Workload {
+ public:
+  /// `waves[w]` lists wave w's packets; ids are assigned 0..n-1 in
+  /// (wave, position) order.
+  WaveWorkload(std::int64_t node_count,
+               std::vector<std::vector<WorkloadPacket>> waves);
+
+  [[nodiscard]] std::int64_t packet_count() const override {
+    return total_;
+  }
+  [[nodiscard]] std::int64_t node_count() const override {
+    return node_count_;
+  }
+  [[nodiscard]] std::int64_t wave_count() const noexcept {
+    return static_cast<std::int64_t>(waves_.size());
+  }
+  void reset() override;
+  void poll(std::int64_t slot, std::vector<WorkloadPacket>& out) override;
+  void delivered(std::int64_t id) override;
+  [[nodiscard]] bool done() const override {
+    return delivered_count_ == total_;
+  }
+
+ private:
+  std::int64_t node_count_ = 0;
+  std::vector<std::vector<WorkloadPacket>> waves_;
+  std::int64_t total_ = 0;
+
+  std::size_t next_wave_ = 0;          ///< first wave not yet emitted
+  std::int64_t wave_remaining_ = 0;    ///< undelivered packets of the
+                                       ///< last emitted wave
+  std::int64_t delivered_count_ = 0;
+};
+
+}  // namespace otis::workload

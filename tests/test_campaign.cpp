@@ -26,6 +26,7 @@
 #include "campaign/spec.hpp"
 #include "core/error.hpp"
 #include "core/json.hpp"
+#include "workload/trace.hpp"
 
 namespace {
 
@@ -102,7 +103,8 @@ TEST(CampaignGrid, ExpansionCountsAndOrder) {
   EXPECT_EQ(cells[80].topology, 2u);
 
   EXPECT_EQ(cells[0].id,
-            "SK(4,3,2)|token|uniform|load=0.100000|w=1|routes=auto|timing=none|seed=1");
+            "SK(4,3,2)|token|uniform|load=0.100000|w=1|routes=auto|timing=none|"
+            "workload=none|seed=1");
 
   // Axis values that collide in the ID's 6-decimal load form are
   // refused (a silent collision would make resume drop cells).
@@ -363,10 +365,11 @@ TEST(CampaignGrid, TrafficAndRoutesAxesExpand) {
   EXPECT_EQ(cells[2].routes, sim::RouteTable::kCompressed);
   EXPECT_EQ(cells[1].seed, 2u);
   EXPECT_EQ(cells[0].id,
-            "POPS(3,4)|token|uniform|load=0.300000|w=1|routes=dense|timing=none|seed=1");
+            "POPS(3,4)|token|uniform|load=0.300000|w=1|routes=dense|timing=none|"
+            "workload=none|seed=1");
   EXPECT_EQ(cells[6].id,
             "POPS(3,4)|token|hotspot(n0,f0.2000)|load=0.300000|w=1|"
-            "routes=compressed|timing=none|seed=1");
+            "routes=compressed|timing=none|workload=none|seed=1");
 }
 
 TEST(CampaignGrid, TopologySpecProcessorCountMatchesNetworks) {
@@ -399,7 +402,7 @@ TEST(CampaignGrid, OverridesResolveExecutionKnobs) {
   EXPECT_EQ(cells[1].routes, sim::RouteTable::kCompressed);
   EXPECT_EQ(cells[1].id,
             "SK(4,3,2)|token|uniform|load=0.500000|w=1|routes=compressed|"
-            "timing=none|seed=1");
+            "timing=none|workload=none|seed=1");
 
   // Several overrides for one topology layer in order, later wins.
   campaign::CellOverride second;
@@ -714,7 +717,7 @@ TEST(CampaignSpecJson, ParsesShapeSweepsAndTimingAxis) {
   EXPECT_EQ(cells[1].engine, sim::Engine::kAsync);
   EXPECT_EQ(cells[1].id,
             "POPS(2,3)|token|uniform|load=0.500000|w=1|routes=auto|"
-            "timing=const(t256,p128,g0)|seed=1");
+            "timing=const(t256,p128,g0)|workload=none|seed=1");
 
   EXPECT_THROW(campaign::parse_campaign_spec(
                    R"json({"topologies": [{"kind": "pops", "t": 2, "g": 3}],
@@ -835,6 +838,221 @@ TEST(WorkStealingPool, RunsEveryItemOnceAndPropagatesErrors) {
                           }
                         }),
                core::Error);
+}
+
+// ------------------------------------------------------- workload axis
+
+TEST(CampaignWorkloadTest, WorkloadAxisExpandsAndCarriesLabels) {
+  CampaignSpec spec;
+  spec.topologies = {TopologySpec::pops(4, 6)};
+  spec.loads = {0.0};
+  spec.seeds = {1};
+  spec.workloads = {campaign::WorkloadSpec{},
+                    campaign::WorkloadSpec{campaign::WorkloadKind::kGossip}};
+  EXPECT_EQ(spec.cell_count(), 2);
+  const std::vector<campaign::CampaignCell> cells =
+      campaign::expand_grid(spec);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].id,
+            "POPS(4,6)|token|uniform|load=0.000000|w=1|routes=auto|"
+            "timing=none|workload=none|seed=1");
+  EXPECT_EQ(cells[1].id,
+            "POPS(4,6)|token|uniform|load=0.000000|w=1|routes=auto|"
+            "timing=none|workload=gossip|seed=1");
+
+  // Labels carry the shape parameters.
+  campaign::WorkloadSpec bsp{campaign::WorkloadKind::kBsp};
+  bsp.phases = 3;
+  bsp.shift = 2;
+  EXPECT_EQ(bsp.label(), "bsp(p3,s2)");
+  campaign::WorkloadSpec reduce{campaign::WorkloadKind::kReduce};
+  reduce.root = 4;
+  reduce.arity = 3;
+  EXPECT_EQ(reduce.label(), "reduce(r4,a3)");
+  campaign::WorkloadSpec trace{campaign::WorkloadKind::kTrace};
+  trace.trace_file = "/some/dir/uniform.trace";
+  EXPECT_EQ(trace.label(), "trace(uniform.trace)");
+}
+
+TEST(CampaignWorkloadTest, ParsesWorkloadsJsonAndRejectsBadSpecs) {
+  const CampaignSpec spec = campaign::parse_campaign_spec(R"json({
+    "topologies": [{"kind": "pops", "t": 4, "g": 6}],
+    "loads": [0.0],
+    "workloads": ["none", {"kind": "one_to_all", "root": 2}, "gossip",
+                  {"kind": "bsp", "phases": [2, 4]},
+                  {"kind": "reduce", "arity": 3},
+                  {"kind": "gather", "root": 1},
+                  {"kind": "trace", "file": "t.trace"}]
+  })json");
+  ASSERT_EQ(spec.workloads.size(), 8u);  // bsp sweeps into 2 entries
+  EXPECT_EQ(spec.workloads[1].label(), "one_to_all(r2)");
+  EXPECT_EQ(spec.workloads[3].label(), "bsp(p2,s1)");
+  EXPECT_EQ(spec.workloads[4].label(), "bsp(p4,s1)");
+  EXPECT_EQ(spec.workloads[5].label(), "reduce(r0,a3)");
+  EXPECT_EQ(spec.workloads[7].trace_file, "t.trace");
+
+  // Unknown kinds and keys fail loudly.
+  EXPECT_THROW(campaign::parse_campaign_spec(R"json({
+    "topologies": [{"kind": "pops", "t": 4, "g": 6}],
+    "workloads": ["alltoall"]})json"),
+               core::Error);
+  EXPECT_THROW(campaign::parse_campaign_spec(R"json({
+    "topologies": [{"kind": "pops", "t": 4, "g": 6}],
+    "workloads": [{"kind": "bsp", "root": 3}]})json"),
+               core::Error);
+  // Trace workloads need a file.
+  EXPECT_THROW(campaign::parse_campaign_spec(R"json({
+    "topologies": [{"kind": "pops", "t": 4, "g": 6}],
+    "workloads": [{"kind": "trace"}]})json"),
+               core::Error);
+  // Schedule kernels cannot run on stack-Imase-Itoh topologies.
+  EXPECT_THROW(campaign::parse_campaign_spec(R"json({
+    "topologies": [{"kind": "stack_imase_itoh", "s": 4, "d": 2, "n": 12}],
+    "workloads": ["gossip"]})json"),
+               core::Error);
+  // Closed-loop cells need unbounded VOQs.
+  EXPECT_THROW(campaign::parse_campaign_spec(R"json({
+    "topologies": [{"kind": "pops", "t": 4, "g": 6}],
+    "queue_capacity": 16, "workloads": ["gossip"]})json"),
+               core::Error);
+  // A root must be a valid node of every topology in the grid (the
+  // cross product would otherwise abort mid-run).
+  EXPECT_THROW(campaign::parse_campaign_spec(R"json({
+    "topologies": [{"kind": "pops", "t": 4, "g": 6}],
+    "workloads": [{"kind": "gather", "root": 64}]})json"),
+               core::Error);
+  // The tests-only event-queue fixture has no delivery feedback: a
+  // workload grid pinned to it (spec-level or via override) is refused.
+  EXPECT_THROW(campaign::parse_campaign_spec(R"json({
+    "topologies": [{"kind": "pops", "t": 4, "g": 6}],
+    "engine": "event-queue", "workloads": ["gossip"]})json"),
+               core::Error);
+  EXPECT_THROW(campaign::parse_campaign_spec(R"json({
+    "topologies": [{"kind": "pops", "t": 4, "g": 6}],
+    "workloads": ["gossip"],
+    "overrides": [{"topology": "POPS(4,6)", "engine": "event-queue"}]})json"),
+               core::Error);
+}
+
+TEST(CampaignWorkloadTest, WorkloadCellsRunToCompletionWithMakespan) {
+  CampaignSpec spec;
+  spec.name = "workload-cells";
+  spec.topologies = {TopologySpec::pops(6, 12),
+                     TopologySpec::stack_kautz(4, 3, 2)};
+  spec.loads = {0.0};
+  spec.seeds = {1};
+  spec.warmup_slots = 5;   // ignored by workload cells
+  spec.measure_slots = 50;
+  spec.workloads = {
+      campaign::WorkloadSpec{campaign::WorkloadKind::kOneToAll},
+      campaign::WorkloadSpec{campaign::WorkloadKind::kGossip},
+      campaign::WorkloadSpec{campaign::WorkloadKind::kGather}};
+
+  ScratchDir dir("workload-cells");
+  CampaignOptions options;
+  options.threads = 2;
+  options.out_dir = dir.path().string();
+  auto aggregate = std::make_shared<campaign::AggregateSink>();
+  CampaignRunner runner(spec);
+  runner.add_sink(aggregate);
+  runner.run(options);
+
+  // Uncontended schedule cells hit the analytic bounds exactly:
+  // POPS(6,12) broadcasts in 1 and gossips in t = 6; SK(4,3,2)
+  // broadcasts in k = 2 and gossips in s + k = 6.
+  std::map<std::string, std::map<std::string, std::int64_t>> makespans;
+  std::istringstream lines(
+      read_file(dir.path() / CampaignRunner::kJsonlFile));
+  std::string line;
+  int rows = 0;
+  while (std::getline(lines, line)) {
+    ++rows;
+    const core::Json row = core::Json::parse(line);
+    makespans[row.at("topology").as_string()]
+             [row.at("workload").as_string()] =
+        row.at("makespan").as_int();
+    EXPECT_DOUBLE_EQ(row.at("delivered_fraction").as_number(), 1.0);
+    EXPECT_EQ(row.at("backlog").as_int(), 0);
+  }
+  EXPECT_EQ(rows, 6);
+  EXPECT_EQ(makespans["POPS(6,12)"]["one_to_all(r0)"], 1);
+  EXPECT_EQ(makespans["POPS(6,12)"]["gossip"], 6);
+  EXPECT_EQ(makespans["SK(4,3,2)"]["one_to_all(r0)"], 2);
+  EXPECT_EQ(makespans["SK(4,3,2)"]["gossip"], 6);
+  EXPECT_GT(makespans["POPS(6,12)"]["gather(r0)"], 1);
+
+  // The aggregate keys on workload and carries the makespan.
+  ASSERT_EQ(aggregate->groups().size(), 6u);
+  EXPECT_EQ(aggregate->groups()[0].workload, "one_to_all(r0)");
+  EXPECT_DOUBLE_EQ(aggregate->groups()[0].point.makespan, 1.0);
+
+  // The CSV carries the workload and makespan columns.
+  const std::string csv = read_file(dir.path() / CampaignRunner::kCsvFile);
+  EXPECT_NE(csv.find(",workload,"), std::string::npos);
+  EXPECT_NE(csv.find(",makespan"), std::string::npos);
+  EXPECT_NE(csv.find("\"gossip\""), std::string::npos);
+}
+
+TEST(CampaignWorkloadTest, TraceFileCellsReplayEndToEnd) {
+  // Record a tiny synthetic trace, point a campaign cell at the file.
+  workload::Trace trace;
+  trace.nodes = 24;  // POPS(4,6)
+  trace.entries = {{0, 0, 7}, {0, 3, 12}, {1, 5, 2}, {4, 23, 11}};
+  ScratchDir dir("trace-cell");
+  const std::string trace_path = (dir.path() / "tiny.trace").string();
+  trace.save_binary(trace_path);
+
+  CampaignSpec spec;
+  spec.topologies = {TopologySpec::pops(4, 6)};
+  spec.loads = {0.0};
+  spec.seeds = {1};
+  campaign::WorkloadSpec entry{campaign::WorkloadKind::kTrace};
+  entry.trace_file = trace_path;
+  spec.workloads = {entry};
+
+  auto aggregate = std::make_shared<campaign::AggregateSink>();
+  CampaignRunner runner(spec);
+  runner.add_sink(aggregate);
+  runner.run(CampaignOptions{});
+  ASSERT_EQ(aggregate->groups().size(), 1u);
+  EXPECT_EQ(aggregate->groups()[0].workload, "trace(tiny.trace)");
+  EXPECT_DOUBLE_EQ(aggregate->groups()[0].point.delivered_fraction, 1.0);
+  EXPECT_GE(aggregate->groups()[0].point.makespan, 5.0);
+
+  // A trace recorded on the wrong node count is refused.
+  CampaignSpec wrong = spec;
+  wrong.topologies = {TopologySpec::pops(6, 12)};
+  CampaignRunner bad(wrong);
+  EXPECT_THROW(bad.run(CampaignOptions{}), core::Error);
+}
+
+TEST(CampaignWorkloadTest, WorkloadCellsAreThreadCountInvariant) {
+  CampaignSpec spec;
+  spec.name = "workload-invariance";
+  spec.topologies = {TopologySpec::stack_kautz(4, 3, 2)};
+  spec.arbitrations = {sim::Arbitration::kTokenRoundRobin,
+                       sim::Arbitration::kRandomWinner};
+  spec.loads = {0.3};  // background traffic beside the collective
+  spec.seeds = {1, 2};
+  spec.workloads = {
+      campaign::WorkloadSpec{campaign::WorkloadKind::kGossip}};
+
+  std::string reference;
+  for (const int threads : {1, 3}) {
+    ScratchDir dir("wl-threads-" + std::to_string(threads));
+    CampaignOptions options;
+    options.threads = threads;
+    options.out_dir = dir.path().string();
+    CampaignRunner runner(spec);
+    runner.run(options);
+    const std::string jsonl =
+        read_file(dir.path() / CampaignRunner::kJsonlFile);
+    if (reference.empty()) {
+      reference = jsonl;
+    } else {
+      EXPECT_EQ(reference, jsonl);
+    }
+  }
 }
 
 }  // namespace
