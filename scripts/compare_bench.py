@@ -1,13 +1,21 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_sim.json files and warn on perf regressions.
+"""Compare two BENCH_sim.json files; warn on regressions, enforce bars.
 
 Usage: compare_bench.py PREVIOUS.json CURRENT.json [--threshold 0.20]
 
 Matches results on (topology, arbitration, engine) and reports the
 slots/sec ratio current/previous. Rows slower than the threshold emit a
-GitHub Actions ::warning:: annotation. The script never fails the build
-(shared CI runners are noisy; the trajectory is informative, the gate is
-micro_benchmarks' own >=3x acceptance bar) -- exit status is 0 unless
+GitHub Actions ::warning:: annotation, as do route-table byte growth,
+event-queue hold-rate slowdowns, collective-makespan growth, and
+per-phase ns/slot growth from the phase_breakdown section. Cross-run
+wall-clock comparisons stay warnings (shared CI runners are noisy; the
+trajectory is informative).
+
+The acceptance section of the CURRENT file IS enforced: if
+micro_benchmarks recorded pass=false (phased >= 6x event-queue) or
+queue_pass=false (calendar >= 3x priority queue) -- both judged on the
+best of paired back-to-back rounds, so a slow runner cannot flip them
+-- the script emits ::error:: and exits 1. Exit status is also 1 when
 the *current* file is missing/unreadable.
 """
 
@@ -26,6 +34,33 @@ def results_by_key(doc):
         (r["topology"], r["arbitration"], r["engine"]): r
         for r in doc.get("results", [])
     }
+
+
+def enforce_acceptance(current_doc):
+    """Fail (return 1) when the current run's recorded bars are false."""
+    acceptance = current_doc.get("acceptance", {})
+    if not acceptance:
+        return 0
+    speedup = acceptance.get("measured_speedup")
+    required = acceptance.get("required_speedup")
+    print(f"\nacceptance: phased vs event-queue "
+          f"{speedup}x (required {required}x), "
+          f"calendar vs priority "
+          f"{acceptance.get('queue_measured_speedup')}x "
+          f"(required {acceptance.get('queue_required_speedup')}x)")
+    failed = False
+    if acceptance.get("pass") is False:
+        print(f"::error title=Engine speedup bar failed::phased engine "
+              f"at {speedup}x of the event-queue baseline, below the "
+              f"required {required}x")
+        failed = True
+    if acceptance.get("queue_pass") is False:
+        print(f"::error title=Queue speedup bar failed::calendar queue "
+              f"at {acceptance.get('queue_measured_speedup')}x of the "
+              f"priority-queue baseline, below the required "
+              f"{acceptance.get('queue_required_speedup')}x")
+        failed = True
+    return 1 if failed else 0
 
 
 def main():
@@ -49,7 +84,7 @@ def main():
     except (OSError, ValueError, KeyError) as exc:
         print(f"compare_bench: no previous results ({exc}); "
               "nothing to compare -- first run on this branch?")
-        return 0
+        return enforce_acceptance(current_doc)
 
     header = f"{'topology':<12} {'arb':<7} {'engine':<12} " \
              f"{'prev slots/s':>13} {'cur slots/s':>13} {'ratio':>7}"
@@ -135,10 +170,46 @@ def main():
               f"simulated makespan grew from {prev_slots} to {cur_slots} "
               f"slots")
 
+    # Phase dimension: the serial phased engine's per-phase ns/slot
+    # (generate / arbitrate / receive / total, keyed by topology).
+    # Wall-clock like the slots/sec rows, so growth beyond the threshold
+    # warns; a regressing phase points straight at its hot functions
+    # (the hot_functions section names them). Absent in pre-breakdown
+    # baselines.
+    phase_regressions = []
+    phase_fields = ("generate_ns_per_slot", "arbitrate_ns_per_slot",
+                    "receive_ns_per_slot", "total_ns_per_slot")
+    cur_phases = {p["topology"]: p
+                  for p in current_doc.get("phase_breakdown", [])}
+    prev_phases = {p["topology"]: p
+                   for p in previous_doc.get("phase_breakdown", [])}
+    for topology in sorted(cur_phases):
+        if topology not in prev_phases:
+            continue
+        for field in phase_fields:
+            cur_ns = cur_phases[topology].get(field)
+            prev_ns = prev_phases[topology].get(field)
+            if not cur_ns or not prev_ns:
+                continue
+            ratio = cur_ns / prev_ns
+            phase = field.removesuffix("_ns_per_slot")
+            print(f"phase {topology:<12} {phase:<10} {prev_ns:>9.1f} "
+                  f"{cur_ns:>9.1f} ns/slot {ratio:>7.2f}")
+            if ratio > 1.0 + args.threshold:
+                phase_regressions.append((topology, phase, ratio))
+    for topology, phase, ratio in phase_regressions:
+        print(f"::warning title=Phase regression::{topology} {phase} phase "
+              f"at {ratio:.2f}x the previous run's ns/slot "
+              f"(threshold {1.0 + args.threshold:.2f}x)")
+
     if not regressions and not memory_regressions and not queue_regressions \
-            and not makespan_regressions:
+            and not makespan_regressions and not phase_regressions:
         print(f"\nno regression beyond {args.threshold:.0%} threshold")
-    return 0
+
+    # The enforced bars: micro_benchmarks already measured these on
+    # paired rounds and recorded the verdicts; a false here fails the
+    # build even if the benchmark step's exit status was swallowed.
+    return enforce_acceptance(current_doc)
 
 
 if __name__ == "__main__":

@@ -6,14 +6,6 @@
 
 namespace otis::core {
 
-namespace {
-
-inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
-
 std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   state += 0x9e3779b97f4a7c15ULL;
   std::uint64_t z = state;
@@ -37,62 +29,6 @@ Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_id) noexcept {
   std::uint64_t sm = seed;
   std::uint64_t mixed = splitmix64(sm) ^ (stream_id * 0xda942042e4dd58b5ULL);
   return Rng(mixed);
-}
-
-Rng::result_type Rng::operator()() noexcept {
-  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-std::uint64_t Rng::uniform(std::uint64_t bound) noexcept {
-  // Lemire 2019: unbiased bounded integers without division in the common
-  // path. bound == 0 is treated as "any 64-bit value".
-  if (bound == 0) {
-    return (*this)();
-  }
-  std::uint64_t x = (*this)();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  std::uint64_t low = static_cast<std::uint64_t>(m);
-  if (low < bound) {
-    const std::uint64_t threshold = -bound % bound;
-    while (low < threshold) {
-      x = (*this)();
-      m = static_cast<__uint128_t>(x) * bound;
-      low = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
-std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
-  if (lo >= hi) {
-    return lo;
-  }
-  const std::uint64_t span =
-      static_cast<std::uint64_t>(hi - lo) + 1;  // may wrap to 0 == full range
-  return lo + static_cast<std::int64_t>(uniform(span));
-}
-
-double Rng::uniform_real() noexcept {
-  // 53 random mantissa bits -> [0, 1) with full double resolution.
-  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::bernoulli(double p) noexcept {
-  if (p <= 0.0) {
-    return false;
-  }
-  if (p >= 1.0) {
-    return true;
-  }
-  return uniform_real() < p;
 }
 
 std::vector<std::size_t> Rng::permutation(std::size_t n) {

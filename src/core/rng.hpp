@@ -33,22 +33,68 @@ class Rng {
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept { return ~0ULL; }
 
-  /// Next raw 64-bit value.
-  result_type operator()() noexcept;
+  /// Next raw 64-bit value. Inline (with the bounded helpers below):
+  /// these are the innermost draws of every simulation hot loop, and an
+  /// out-of-line call per draw costs more than the xoshiro step itself.
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl_(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl_(state_[3], 45);
+    return result;
+  }
 
   /// Uniform integer in [0, bound). `bound` must be positive. Uses
-  /// Lemire's multiply-shift rejection method (unbiased).
-  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound) noexcept;
+  /// Lemire's multiply-shift rejection method (unbiased); bound == 0 is
+  /// treated as "any 64-bit value".
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound) noexcept {
+    if (bound == 0) {
+      return (*this)();
+    }
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in [lo, hi] inclusive.
   [[nodiscard]] std::int64_t uniform_int(std::int64_t lo,
-                                         std::int64_t hi) noexcept;
+                                         std::int64_t hi) noexcept {
+    if (lo >= hi) {
+      return lo;
+    }
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;  // may wrap: 0 == full range
+    return lo + static_cast<std::int64_t>(uniform(span));
+  }
 
-  /// Uniform double in [0, 1).
-  [[nodiscard]] double uniform_real() noexcept;
+  /// Uniform double in [0, 1): 53 random mantissa bits.
+  [[nodiscard]] double uniform_real() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
 
   /// Bernoulli trial with success probability `p` (clamped to [0,1]).
-  [[nodiscard]] bool bernoulli(double p) noexcept;
+  [[nodiscard]] bool bernoulli(double p) noexcept {
+    if (p <= 0.0) {
+      return false;
+    }
+    if (p >= 1.0) {
+      return true;
+    }
+    return uniform_real() < p;
+  }
 
   /// Fisher-Yates shuffle.
   template <typename T>
@@ -67,6 +113,10 @@ class Rng {
       std::size_t n, std::size_t k);
 
  private:
+  static std::uint64_t rotl_(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> state_;
 };
 

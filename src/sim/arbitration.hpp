@@ -1,71 +1,190 @@
 #pragma once
 /// \file arbitration.hpp
-/// Per-coupler winner selection for the phased and sharded engines.
+/// Per-coupler winner selection for the phased and async engines, over
+/// the coupler's request-mask words (occupancy.hpp).
 ///
 /// This is a faithful restatement of the event-queue engine's inline
 /// arbitration (ops_network.cpp slot()), including the exact RNG
-/// consumption order. The event-queue copy is deliberately left as the
+/// consumption order. The event-queue copy is deliberately kept as the
 /// seed wrote it -- it is the reference implementation and benchmark
 /// baseline -- so any change here MUST be mirrored there (or rejected);
 /// tests/test_engine_equivalence.cpp enforces the bit-for-bit agreement
-/// and will fail on divergence.
+/// and will fail on divergence. (The token cursor's wrap-on-compare --
+/// replacing the per-step remainder -- is mirrored there per this
+/// contract; it visits the identical position sequence.)
+///
+/// The mask form replaces the seed's contender-list/byte-mask scan:
+///  - token round-robin is a rotate-and-count-trailing-zeros scan over
+///    the request words starting at the cursor, with no per-step `%`
+///    (the cursor wraps on compare after the last position);
+///  - random winner builds its ascending contender list from the mask
+///    words (same list the byte scan produced) and runs the identical
+///    partial Fisher-Yates over it;
+///  - slotted aloha draws one Bernoulli per set bit in ascending
+///    position order, exactly as the list walk did.
+/// Every policy therefore consumes the same RNG draws in the same order
+/// as the seed and elects the same winners in the same order.
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
+#include "core/error.hpp"
 #include "core/rng.hpp"
 #include "sim/ops_network.hpp"
 
 namespace otis::sim::detail {
 
+/// Fast path for the ubiquitous single-wavelength token case (the
+/// paper's couplers): the first requesting position at or after the
+/// cursor, wrapping, with the cursor advanced just past the winner.
+/// Elects the identical winner and leaves the identical cursor as
+/// pick_winners(kTokenRoundRobin, capacity = 1, ...) and, like it,
+/// consumes no RNG -- but skips the winners vector and the capacity
+/// loop entirely. At least one request bit must be set.
+[[nodiscard]] inline std::size_t pick_single_token(
+    std::size_t source_count, const std::uint64_t* request,
+    std::size_t words, std::int64_t& token) {
+  const std::size_t start = static_cast<std::size_t>(token);
+  const std::size_t start_word = start >> 6;
+  std::size_t wi = start_word;
+  std::uint64_t word = request[wi] & (~std::uint64_t{0} << (start & 63));
+  for (;;) {
+    if (word != 0) {
+      const std::size_t si =
+          (wi << 6) + static_cast<std::size_t>(std::countr_zero(word));
+      token =
+          si + 1 == source_count ? 0 : static_cast<std::int64_t>(si + 1);
+      return si;
+    }
+    ++wi;
+    if (wi >= words) {
+      break;
+    }
+    word = request[wi];
+  }
+  for (wi = 0; wi <= start_word; ++wi) {
+    word = request[wi];
+    if (wi == start_word) {
+      const std::size_t cut = start & 63;
+      word &= cut == 0 ? 0 : ~std::uint64_t{0} >> (64 - cut);
+    }
+    if (word != 0) {
+      const std::size_t si =
+          (wi << 6) + static_cast<std::size_t>(std::countr_zero(word));
+      token =
+          si + 1 == source_count ? 0 : static_cast<std::int64_t>(si + 1);
+      return si;
+    }
+  }
+  OTIS_ASSERT(false, "pick_single_token: no request bit set");
+  return static_cast<std::size_t>(-1);
+}
+
 /// Picks the winners of one coupler-slot.
 ///
-/// `contenders` holds the positions (ascending) in the coupler's source
-/// list whose VOQ toward this coupler is non-empty; it may be permuted
-/// in place. `is_contender` is a mask over source positions consistent
-/// with `contenders` (used by the token scan). `token` is the coupler's
-/// round-robin cursor, advanced on each win. Winners are appended to
-/// `winners` (cleared first) in transmission order. Returns true when a
-/// slotted-aloha collision destroyed every transmission of this slot.
+/// `request` points at the coupler's `words` request-mask words: bit si
+/// is set iff feed position si contends (its VOQ toward this coupler is
+/// non-empty and, for the async engine, eligible). No bits at or above
+/// `source_count` may be set. `token` is the coupler's round-robin
+/// cursor, advanced just past each winner. `scratch` is caller-owned
+/// scratch (kRandomWinner builds its contender list there). Winners are
+/// appended to `winners` (cleared first) in transmission order. Returns
+/// true when a slotted-aloha collision destroyed every transmission of
+/// this coupler-slot.
 inline bool pick_winners(Arbitration policy, std::size_t capacity,
                          std::size_t source_count,
-                         std::vector<std::size_t>& contenders,
-                         const std::vector<char>& is_contender,
+                         const std::uint64_t* request, std::size_t words,
                          std::int64_t& token, core::Rng& rng,
-                         std::vector<std::size_t>& winners) {
+                         std::vector<std::size_t>& winners,
+                         std::vector<std::size_t>& scratch) {
   winners.clear();
   switch (policy) {
     case Arbitration::kTokenRoundRobin: {
-      // Scan sources starting at the token cursor; the first `capacity`
-      // contenders win and the token moves just past the last winner.
+      // Scan positions [start, source_count) then the wrapped prefix
+      // [0, start); the first `capacity` set bits win and the token
+      // moves just past the last winner, wrapping on compare.
       const std::size_t start = static_cast<std::size_t>(token);
-      for (std::size_t step = 0;
-           step < source_count && winners.size() < capacity; ++step) {
-        const std::size_t si = (start + step) % source_count;
-        if (is_contender[si]) {
+      std::size_t wi = start >> 6;
+      std::uint64_t word =
+          request[wi] & (~std::uint64_t{0} << (start & 63));
+      for (;;) {
+        while (word != 0) {
+          const std::size_t si =
+              (wi << 6) +
+              static_cast<std::size_t>(std::countr_zero(word));
+          word &= word - 1;
           winners.push_back(si);
-          token = static_cast<std::int64_t>((si + 1) % source_count);
+          token = si + 1 == source_count
+                      ? 0
+                      : static_cast<std::int64_t>(si + 1);
+          if (winners.size() == capacity) {
+            return false;
+          }
+        }
+        ++wi;
+        if (wi >= words) {
+          break;
+        }
+        word = request[wi];
+      }
+      const std::size_t start_word = start >> 6;
+      for (wi = 0; wi <= start_word; ++wi) {
+        word = request[wi];
+        if (wi == start_word) {
+          const std::size_t cut = start & 63;
+          word &= cut == 0 ? 0 : ~std::uint64_t{0} >> (64 - cut);
+        }
+        while (word != 0) {
+          const std::size_t si =
+              (wi << 6) +
+              static_cast<std::size_t>(std::countr_zero(word));
+          word &= word - 1;
+          winners.push_back(si);
+          token = si + 1 == source_count
+                      ? 0
+                      : static_cast<std::int64_t>(si + 1);
+          if (winners.size() == capacity) {
+            return false;
+          }
         }
       }
       return false;
     }
     case Arbitration::kRandomWinner: {
-      // Partial Fisher-Yates over the contender list.
+      // Partial Fisher-Yates over the ascending contender list.
+      scratch.clear();
+      for (std::size_t wi = 0; wi < words; ++wi) {
+        std::uint64_t word = request[wi];
+        while (word != 0) {
+          scratch.push_back(
+              (wi << 6) +
+              static_cast<std::size_t>(std::countr_zero(word)));
+          word &= word - 1;
+        }
+      }
       for (std::size_t i = 0;
-           i < contenders.size() && winners.size() < capacity; ++i) {
+           i < scratch.size() && winners.size() < capacity; ++i) {
         const std::size_t j =
-            i + static_cast<std::size_t>(rng.uniform(contenders.size() - i));
-        std::swap(contenders[i], contenders[j]);
-        winners.push_back(contenders[i]);
+            i + static_cast<std::size_t>(rng.uniform(scratch.size() - i));
+        std::swap(scratch[i], scratch[j]);
+        winners.push_back(scratch[i]);
       }
       return false;
     }
     case Arbitration::kSlottedAloha: {
       // Every contender independently transmits with probability 1/2; at
       // most `capacity` simultaneous transmitters succeed, more collide.
-      for (std::size_t si : contenders) {
-        if (rng.bernoulli(0.5)) {
-          winners.push_back(si);
+      for (std::size_t wi = 0; wi < words; ++wi) {
+        std::uint64_t word = request[wi];
+        while (word != 0) {
+          const std::size_t si =
+              (wi << 6) +
+              static_cast<std::size_t>(std::countr_zero(word));
+          word &= word - 1;
+          if (rng.bernoulli(0.5)) {
+            winners.push_back(si);
+          }
         }
       }
       if (winners.size() > capacity) {

@@ -1,6 +1,7 @@
 #include "sim/async_engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "core/error.hpp"
@@ -45,9 +46,22 @@ AsyncEngineT<Routes>::AsyncEngineT(const hypergraph::StackGraph& network,
     voq_base_[static_cast<std::size_t>(v) + 1] =
         voq_base_[static_cast<std::size_t>(v)] + hg.out_degree(v);
   }
-  voq_.resize(static_cast<std::size_t>(voq_base_.back()));
-  retune_.assign(voq_.size(), 0);
+  feed_.build(hg, voq_base_);
+  retune_.assign(static_cast<std::size_t>(voq_base_.back()), 0);
   token_.assign(static_cast<std::size_t>(couplers_), 0);
+}
+
+template <routing::RouteView Routes>
+bool AsyncEngineT<Routes>::gates_open() const {
+  if (timing_.guard() != 0) {
+    return false;
+  }
+  for (hypergraph::HyperarcId h = 0; h < couplers_; ++h) {
+    if (timing_.tuning(h) != 0) {
+      return false;
+    }
+  }
+  return true;
 }
 
 template <routing::RouteView Routes>
@@ -56,7 +70,6 @@ RunMetrics AsyncEngineT<Routes>::run(
   if (config_.workload != nullptr) {
     return run_workload(coupler_success);
   }
-  const auto& hg = network_.hypergraph();
   coupler_success.assign(static_cast<std::size_t>(couplers_), 0);
   core::Rng rng = core::Rng::stream(config_.seed, kRunStream);
   RunMetrics metrics;
@@ -66,62 +79,80 @@ RunMetrics AsyncEngineT<Routes>::run(
   const SimTime drain_bound = horizon + 1'000'000;
   const SimTime warmup_tick = ticks_from_slots(config_.warmup_slots);
   const SimTime guard = timing_.guard();
+  const bool open = gates_open();
   std::int64_t inflight = 0;
   std::int64_t next_packet_id = 0;
+
+  TimedVoqArena voq;
+  voq.init(static_cast<std::size_t>(voq_base_.back()));
+  detail::OccupancyMasks masks;
+  masks.init(feed_);
 
   /// An in-flight transmission: coupler -> receivers, landing at the
   /// event's calendar time. `measuring` is the transmission slot's flag
   /// (the phased engine accounts deliveries in the slot that carried
   /// them, so the async engine must too).
   struct Arrival {
-    Packet packet;
+    VoqEntry entry;
     hypergraph::HyperarcId coupler = 0;
     bool measuring = false;
   };
   CalendarQueue<Arrival> propagations;
 
   // Hoisted scratch, as in the phased engine.
-  std::vector<std::size_t> contenders;
   std::vector<std::size_t> winners;
-  std::vector<char> is_contender;
+  std::vector<std::size_t> scratch;
+  std::vector<std::uint64_t> eligible(
+      open ? 0 : static_cast<std::size_t>(feed_.mask_base.back()), 0);
+  std::vector<SenderDemand> senders(static_cast<std::size_t>(nodes_));
   const std::size_t capacity = static_cast<std::size_t>(config_.wavelengths);
+  const std::int64_t queue_cap = config_.queue_capacity;
+  const Arbitration policy = config_.arbitration;
 
-  /// Queues `packet` at `at`; `tick` is when it landed there (its
+  /// Queues `entry` at `at`; `tick` is when it landed there (its
   /// transmitter is tuned `tuning` ticks later). Mirrors the phased
-  /// engine's enqueue, including drop accounting.
-  const auto enqueue = [&](Packet packet, hypergraph::Node at, SimTime tick,
-                           bool measuring) {
-    const hypergraph::HyperarcId next =
-        routes_.next_coupler(at, packet.destination);
-    const std::int32_t slot = routes_.next_slot(at, packet.destination);
-    auto& queue = voq_[static_cast<std::size_t>(
-        voq_base_[static_cast<std::size_t>(at)] + slot)];
-    if (config_.queue_capacity > 0 &&
-        static_cast<std::int64_t>(queue.size()) >= config_.queue_capacity) {
+  /// engine's enqueue, including drop accounting. On the gates-open
+  /// fast path ready is never read, so the next-coupler lookup that
+  /// only feeds the tuning latency is skipped.
+  const auto enqueue = [&](const VoqEntry& entry, hypergraph::Node at,
+                           SimTime tick, bool measuring) {
+    const std::int32_t slot = routes_.next_slot(at, entry.destination);
+    const std::size_t qi = static_cast<std::size_t>(
+        voq_base_[static_cast<std::size_t>(at)] + slot);
+    const std::size_t size = voq.size(qi);
+    if (queue_cap > 0 && static_cast<std::int64_t>(size) >= queue_cap) {
       if (measuring) {
         ++metrics.dropped_packets;
       }
       --inflight;
       return;
     }
-    queue.push_back(TimedPacket{std::move(packet), tick + timing_.tuning(next)});
+    SimTime ready = tick;
+    if (!open) {
+      ready = tick +
+              timing_.tuning(routes_.next_coupler(at, entry.destination));
+    }
+    voq.push(qi, TimedVoqEntry{entry.id, entry.destination, entry.created,
+                               entry.hops, ready});
+    if (size == 0) {
+      masks.mark_nonempty(feed_, qi);
+    }
   };
 
   /// Receive step of one landed transmission.
-  const auto receive = [&](Arrival&& arrival, SimTime tick) {
+  const auto receive = [&](const Arrival& arrival, SimTime tick) {
     const hypergraph::Node relay =
-        routes_.relay(arrival.coupler, arrival.packet.destination);
-    if (relay == arrival.packet.destination) {
+        routes_.relay(arrival.coupler, arrival.entry.destination);
+    if (relay == arrival.entry.destination) {
       if (arrival.measuring) {
         ++metrics.delivered_packets;
-        if (arrival.packet.created >= warmup_tick) {
-          metrics.latency.record(
-              latency_slots(tick, arrival.packet.created));
+        if (arrival.entry.created >= warmup_tick) {
+          metrics.latency.record(latency_slots(tick, arrival.entry.created));
         }
       }
       --inflight;
     } else {
-      enqueue(std::move(arrival.packet), relay, tick, arrival.measuring);
+      enqueue(arrival.entry, relay, tick, arrival.measuring);
     }
   };
 
@@ -134,85 +165,109 @@ RunMetrics AsyncEngineT<Routes>::run(
     // so arrivals at exactly the boundary precede this slot's work.
     while (!propagations.empty() && propagations.peek().time <= slot_tick) {
       auto event = propagations.pop();
-      receive(std::move(event.payload), event.time);
+      receive(event.payload, event.time);
     }
 
-    // Generate (stops at the horizon; drain only afterwards).
+    // Generate (stops at the horizon; drain only afterwards). Compact
+    // batch: only the slot's actual senders come back.
     if (now < horizon) {
-      for (hypergraph::Node v = 0; v < nodes_; ++v) {
-        const TrafficDemand demand = traffic_.demand(v, rng);
-        if (!demand.has_packet || demand.destination == v) {
-          continue;
-        }
+      const std::size_t sender_count =
+          traffic_.demand_batch_senders(0, nodes_, rng, senders.data());
+      if (measuring) {
+        metrics.offered_packets += static_cast<std::int64_t>(sender_count);
+      }
+      inflight += static_cast<std::int64_t>(sender_count);
+      for (std::size_t i = 0; i < sender_count; ++i) {
+        const SenderDemand d = senders[i];
         if (config_.recorder != nullptr) {
-          config_.recorder->record(now, v, demand.destination);
+          config_.recorder->record(now, d.source, d.destination);
         }
-        if (measuring) {
-          ++metrics.offered_packets;
-        }
-        ++inflight;
-        enqueue(Packet{next_packet_id++, v, demand.destination, slot_tick, 0},
-                v, slot_tick, measuring);
+        enqueue(VoqEntry{next_packet_id++, d.destination, slot_tick, 0},
+                d.source, slot_tick, measuring);
       }
     }
 
-    // Arbitrate: per-coupler winner selection over the flattened feeds,
-    // restricted to head packets whose transmitter tuned in time.
-    for (hypergraph::HyperarcId h = 0; h < couplers_; ++h) {
-      const hypergraph::CouplerFeed feed = hg.coupler_feed(h);
-      const std::size_t feed_count = static_cast<std::size_t>(feed.count);
-      if (is_contender.size() < feed_count) {
-        is_contender.resize(feed_count, 0);
-      }
-      contenders.clear();
-      for (std::size_t si = 0; si < feed_count; ++si) {
-        const std::size_t qi = static_cast<std::size_t>(
-            voq_base_[static_cast<std::size_t>(feed.source[si])] +
-            feed.slot[si]);
-        const auto& queue = voq_[qi];
-        if (queue.empty()) {
-          continue;
+    // Arbitrate: winner selection over the occupied couplers,
+    // restricted to head packets whose transmitter tuned in time (the
+    // gates-open fast path arbitrates the occupancy words directly).
+    for (std::size_t aw = 0; aw < masks.active.size(); ++aw) {
+      std::uint64_t aword = masks.active[aw];
+      while (aword != 0) {
+        const std::size_t h =
+            (aw << 6) + static_cast<std::size_t>(std::countr_zero(aword));
+        aword &= aword - 1;
+        const std::size_t fb = static_cast<std::size_t>(feed_.feed_base[h]);
+        const std::size_t source_count =
+            static_cast<std::size_t>(feed_.feed_base[h + 1]) - fb;
+        const std::size_t mb = static_cast<std::size_t>(feed_.mask_base[h]);
+        const std::size_t words =
+            static_cast<std::size_t>(feed_.mask_base[h + 1]) - mb;
+        const std::uint64_t* request = masks.request.data() + mb;
+        if (!open) {
+          // Head eligible iff its own tuning finished AND the
+          // transmitter re-tuned since the queue's previous
+          // transmission, both guard ticks before the boundary.
+          std::uint64_t any = 0;
+          for (std::size_t wi = 0; wi < words; ++wi) {
+            std::uint64_t bits = request[wi];
+            std::uint64_t elig = 0;
+            while (bits != 0) {
+              const std::size_t si =
+                  (wi << 6) +
+                  static_cast<std::size_t>(std::countr_zero(bits));
+              const std::uint64_t bit = bits & (~bits + 1);
+              bits &= bits - 1;
+              const std::size_t qi =
+                  static_cast<std::size_t>(feed_.feed_qi[fb + si]);
+              const SimTime gate =
+                  std::max(voq.front_ready(qi), retune_[qi]);
+              if (gate + guard <= slot_tick) {
+                elig |= bit;
+              }
+            }
+            eligible[mb + wi] = elig;
+            any |= elig;
+          }
+          if (any == 0) {
+            continue;
+          }
+          request = eligible.data() + mb;
         }
-        // Head eligible iff its own tuning finished AND the transmitter
-        // re-tuned since the queue's previous transmission, both guard
-        // ticks before the boundary.
-        const SimTime gate = std::max(queue.front().ready, retune_[qi]);
-        if (gate + guard <= slot_tick) {
-          contenders.push_back(si);
-          is_contender[si] = 1;
+        const bool collided =
+            detail::pick_winners(policy, capacity, source_count, request,
+                                 words, token_[h], rng, winners, scratch);
+        if (collided && measuring) {
+          ++metrics.collisions;
         }
-      }
-      if (contenders.empty()) {
-        continue;
-      }
-      const bool collided = detail::pick_winners(
-          config_.arbitration, capacity, feed_count, contenders, is_contender,
-          token_[static_cast<std::size_t>(h)], rng, winners);
-      for (std::size_t si : contenders) {
-        is_contender[si] = 0;
-      }
-      if (collided && measuring) {
-        ++metrics.collisions;
-      }
-      for (std::size_t si : winners) {
-        const std::size_t qi = static_cast<std::size_t>(
-            voq_base_[static_cast<std::size_t>(feed.source[si])] +
-            feed.slot[si]);
-        auto& queue = voq_[qi];
-        Packet packet = std::move(queue.front().packet);
-        queue.pop_front();
-        // Transmitter dead time: busy through this slot, then re-tunes.
-        retune_[qi] = slot_tick + kTicksPerSlot + timing_.tuning(h);
-        ++packet.hops;
-        if (measuring) {
-          ++metrics.coupler_transmissions;
-          ++coupler_success[static_cast<std::size_t>(h)];
+        for (std::size_t si : winners) {
+          const std::size_t qi =
+              static_cast<std::size_t>(feed_.feed_qi[fb + si]);
+          TimedVoqEntry entry = voq.pop_front(qi);
+          if (voq.empty(qi)) {
+            masks.mark_empty(feed_, qi);
+          }
+          if (!open) {
+            // Transmitter dead time: busy through this slot, re-tunes
+            // after. (With gates open the re-tune lands exactly on the
+            // next boundary and can never block, so it is not tracked.)
+            retune_[qi] = slot_tick + kTicksPerSlot +
+                          timing_.tuning(
+                              static_cast<hypergraph::HyperarcId>(h));
+          }
+          ++entry.hops;
+          if (measuring) {
+            ++metrics.coupler_transmissions;
+            ++coupler_success[h];
+          }
+          // Propagate: the transmission occupies slot `now` and lands
+          // prop(h) ticks after the next boundary.
+          propagations.push(
+              slot_tick + kTicksPerSlot +
+                  timing_.propagation(static_cast<hypergraph::HyperarcId>(h)),
+              Arrival{VoqEntry{entry.id, entry.destination, entry.created,
+                               entry.hops},
+                      static_cast<hypergraph::HyperarcId>(h), measuring});
         }
-        // Propagate: the transmission occupies slot `now` and lands
-        // prop(h) ticks after the next boundary.
-        propagations.push(
-            slot_tick + kTicksPerSlot + timing_.propagation(h),
-            Arrival{std::move(packet), h, measuring});
       }
     }
 
@@ -231,7 +286,7 @@ RunMetrics AsyncEngineT<Routes>::run(
   // phased engine's last phase 3 does the same work inside the slot).
   while (!propagations.empty()) {
     auto event = propagations.pop();
-    receive(std::move(event.payload), event.time);
+    receive(event.payload, event.time);
   }
 
   metrics.backlog = inflight;
@@ -241,7 +296,6 @@ RunMetrics AsyncEngineT<Routes>::run(
 template <routing::RouteView Routes>
 RunMetrics AsyncEngineT<Routes>::run_workload(
     std::vector<std::int64_t>& coupler_success) {
-  const auto& hg = network_.hypergraph();
   coupler_success.assign(static_cast<std::size_t>(couplers_), 0);
   workload::Workload& load = *config_.workload;
   load.reset();
@@ -258,45 +312,62 @@ RunMetrics AsyncEngineT<Routes>::run_workload(
   // bounded sub-slot amounts, so no extra headroom needed.
   const SimTime bound = detail::workload_slot_bound(load);
   const SimTime guard = timing_.guard();
+  const bool open = gates_open();
   std::int64_t inflight = 0;
   SimTime makespan_tick = 0;
 
+  TimedVoqArena voq;
+  voq.init(static_cast<std::size_t>(voq_base_.back()));
+  detail::OccupancyMasks masks;
+  masks.init(feed_);
+
   struct Arrival {
-    Packet packet;
+    VoqEntry entry;
     hypergraph::HyperarcId coupler = 0;
   };
   CalendarQueue<Arrival> propagations;
 
-  std::vector<std::size_t> contenders;
   std::vector<std::size_t> winners;
-  std::vector<char> is_contender;
+  std::vector<std::size_t> scratch;
+  std::vector<std::uint64_t> eligible(
+      open ? 0 : static_cast<std::size_t>(feed_.mask_base.back()), 0);
+  std::vector<SenderDemand> senders(static_cast<std::size_t>(nodes_));
   std::vector<workload::WorkloadPacket> inject;
   const std::size_t capacity = static_cast<std::size_t>(config_.wavelengths);
+  const Arbitration policy = config_.arbitration;
 
   // queue_capacity is 0 in workload mode (validated): never drops.
-  const auto enqueue = [&](Packet packet, hypergraph::Node at,
+  const auto enqueue = [&](const VoqEntry& entry, hypergraph::Node at,
                            SimTime tick) {
-    const hypergraph::HyperarcId next =
-        routes_.next_coupler(at, packet.destination);
-    const std::int32_t slot = routes_.next_slot(at, packet.destination);
-    voq_[static_cast<std::size_t>(voq_base_[static_cast<std::size_t>(at)] +
-                                  slot)]
-        .push_back(TimedPacket{std::move(packet), tick + timing_.tuning(next)});
+    const std::int32_t slot = routes_.next_slot(at, entry.destination);
+    const std::size_t qi = static_cast<std::size_t>(
+        voq_base_[static_cast<std::size_t>(at)] + slot);
+    const std::size_t size = voq.size(qi);
+    SimTime ready = tick;
+    if (!open) {
+      ready = tick +
+              timing_.tuning(routes_.next_coupler(at, entry.destination));
+    }
+    voq.push(qi, TimedVoqEntry{entry.id, entry.destination, entry.created,
+                               entry.hops, ready});
+    if (size == 0) {
+      masks.mark_nonempty(feed_, qi);
+    }
   };
 
-  const auto receive = [&](Arrival&& arrival, SimTime tick) {
+  const auto receive = [&](const Arrival& arrival, SimTime tick) {
     const hypergraph::Node relay =
-        routes_.relay(arrival.coupler, arrival.packet.destination);
-    if (relay == arrival.packet.destination) {
+        routes_.relay(arrival.coupler, arrival.entry.destination);
+    if (relay == arrival.entry.destination) {
       ++metrics.delivered_packets;
-      metrics.latency.record(latency_slots(tick, arrival.packet.created));
-      if (arrival.packet.id < background_base) {
-        load.delivered(arrival.packet.id);
+      metrics.latency.record(latency_slots(tick, arrival.entry.created));
+      if (arrival.entry.id < background_base) {
+        load.delivered(arrival.entry.id);
         makespan_tick = std::max(makespan_tick, tick);
       }
       --inflight;
     } else {
-      enqueue(std::move(arrival.packet), relay, tick);
+      enqueue(arrival.entry, relay, tick);
     }
   };
 
@@ -309,7 +380,7 @@ RunMetrics AsyncEngineT<Routes>::run_workload(
     // (order within the boundary is irrelevant by the poll contract).
     while (!propagations.empty() && propagations.peek().time <= slot_tick) {
       auto event = propagations.pop();
-      receive(std::move(event.payload), event.time);
+      receive(event.payload, event.time);
     }
     const bool load_done = load.done();
     if (load_done && inflight == 0) {
@@ -331,75 +402,93 @@ RunMetrics AsyncEngineT<Routes>::run_workload(
       for (const workload::WorkloadPacket& packet : inject) {
         ++metrics.offered_packets;
         ++inflight;
-        enqueue(Packet{packet.id, packet.source, packet.destination,
-                       slot_tick, 0},
+        enqueue(VoqEntry{packet.id, packet.destination, slot_tick, 0},
                 packet.source, slot_tick);
       }
-      for (hypergraph::Node v = 0; v < nodes_; ++v) {
-        const TrafficDemand demand =
-            traffic_.demand(v, gen_rng[static_cast<std::size_t>(v)]);
-        if (!demand.has_packet || demand.destination == v) {
-          continue;
-        }
+      const std::size_t sender_count = traffic_.demand_batch_senders_streams(
+          0, nodes_, gen_rng.data(), senders.data());
+      metrics.offered_packets += static_cast<std::int64_t>(sender_count);
+      inflight += static_cast<std::int64_t>(sender_count);
+      for (std::size_t i = 0; i < sender_count; ++i) {
+        const SenderDemand d = senders[i];
         if (config_.recorder != nullptr) {
-          config_.recorder->record(now, v, demand.destination);
+          config_.recorder->record(now, d.source, d.destination);
         }
-        ++metrics.offered_packets;
-        ++inflight;
-        enqueue(Packet{background_base + now * nodes_ + v, v,
-                       demand.destination, slot_tick, 0},
-                v, slot_tick);
+        enqueue(VoqEntry{background_base + now * nodes_ + d.source,
+                         d.destination, slot_tick, 0},
+                d.source, slot_tick);
       }
     }
 
     // Arbitrate over eligibility-gated heads, per-coupler streams.
-    for (hypergraph::HyperarcId h = 0; h < couplers_; ++h) {
-      const hypergraph::CouplerFeed feed = hg.coupler_feed(h);
-      const std::size_t feed_count = static_cast<std::size_t>(feed.count);
-      if (is_contender.size() < feed_count) {
-        is_contender.resize(feed_count, 0);
-      }
-      contenders.clear();
-      for (std::size_t si = 0; si < feed_count; ++si) {
-        const std::size_t qi = static_cast<std::size_t>(
-            voq_base_[static_cast<std::size_t>(feed.source[si])] +
-            feed.slot[si]);
-        const auto& queue = voq_[qi];
-        if (queue.empty()) {
-          continue;
+    for (std::size_t aw = 0; aw < masks.active.size(); ++aw) {
+      std::uint64_t aword = masks.active[aw];
+      while (aword != 0) {
+        const std::size_t h =
+            (aw << 6) + static_cast<std::size_t>(std::countr_zero(aword));
+        aword &= aword - 1;
+        const std::size_t fb = static_cast<std::size_t>(feed_.feed_base[h]);
+        const std::size_t source_count =
+            static_cast<std::size_t>(feed_.feed_base[h + 1]) - fb;
+        const std::size_t mb = static_cast<std::size_t>(feed_.mask_base[h]);
+        const std::size_t words =
+            static_cast<std::size_t>(feed_.mask_base[h + 1]) - mb;
+        const std::uint64_t* request = masks.request.data() + mb;
+        if (!open) {
+          std::uint64_t any = 0;
+          for (std::size_t wi = 0; wi < words; ++wi) {
+            std::uint64_t bits = request[wi];
+            std::uint64_t elig = 0;
+            while (bits != 0) {
+              const std::size_t si =
+                  (wi << 6) +
+                  static_cast<std::size_t>(std::countr_zero(bits));
+              const std::uint64_t bit = bits & (~bits + 1);
+              bits &= bits - 1;
+              const std::size_t qi =
+                  static_cast<std::size_t>(feed_.feed_qi[fb + si]);
+              const SimTime gate =
+                  std::max(voq.front_ready(qi), retune_[qi]);
+              if (gate + guard <= slot_tick) {
+                elig |= bit;
+              }
+            }
+            eligible[mb + wi] = elig;
+            any |= elig;
+          }
+          if (any == 0) {
+            continue;
+          }
+          request = eligible.data() + mb;
         }
-        const SimTime gate = std::max(queue.front().ready, retune_[qi]);
-        if (gate + guard <= slot_tick) {
-          contenders.push_back(si);
-          is_contender[si] = 1;
+        const bool collided = detail::pick_winners(
+            policy, capacity, source_count, request, words, token_[h],
+            arb_rng[h], winners, scratch);
+        if (collided) {
+          ++metrics.collisions;
         }
-      }
-      if (contenders.empty()) {
-        continue;
-      }
-      const bool collided = detail::pick_winners(
-          config_.arbitration, capacity, feed_count, contenders, is_contender,
-          token_[static_cast<std::size_t>(h)],
-          arb_rng[static_cast<std::size_t>(h)], winners);
-      for (std::size_t si : contenders) {
-        is_contender[si] = 0;
-      }
-      if (collided) {
-        ++metrics.collisions;
-      }
-      for (std::size_t si : winners) {
-        const std::size_t qi = static_cast<std::size_t>(
-            voq_base_[static_cast<std::size_t>(feed.source[si])] +
-            feed.slot[si]);
-        auto& queue = voq_[qi];
-        Packet packet = std::move(queue.front().packet);
-        queue.pop_front();
-        retune_[qi] = slot_tick + kTicksPerSlot + timing_.tuning(h);
-        ++packet.hops;
-        ++metrics.coupler_transmissions;
-        ++coupler_success[static_cast<std::size_t>(h)];
-        propagations.push(slot_tick + kTicksPerSlot + timing_.propagation(h),
-                          Arrival{std::move(packet), h});
+        for (std::size_t si : winners) {
+          const std::size_t qi =
+              static_cast<std::size_t>(feed_.feed_qi[fb + si]);
+          TimedVoqEntry entry = voq.pop_front(qi);
+          if (voq.empty(qi)) {
+            masks.mark_empty(feed_, qi);
+          }
+          if (!open) {
+            retune_[qi] = slot_tick + kTicksPerSlot +
+                          timing_.tuning(
+                              static_cast<hypergraph::HyperarcId>(h));
+          }
+          ++entry.hops;
+          ++metrics.coupler_transmissions;
+          ++coupler_success[h];
+          propagations.push(
+              slot_tick + kTicksPerSlot +
+                  timing_.propagation(static_cast<hypergraph::HyperarcId>(h)),
+              Arrival{VoqEntry{entry.id, entry.destination, entry.created,
+                               entry.hops},
+                      static_cast<hypergraph::HyperarcId>(h)});
+        }
       }
     }
 

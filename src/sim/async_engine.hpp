@@ -25,6 +25,16 @@
 ///   receive    -- the arrival event delivers the packet or re-enqueues
 ///                 it at the relay, where the tune step repeats.
 ///
+/// VOQs live in the timed structure-of-arrays arena (voq_arena.hpp) with
+/// the phased engines' occupancy bitmasks (occupancy.hpp), so arbitration
+/// scans only couplers with queued packets. When every tuning latency and
+/// the guard are zero the eligibility gate provably always passes
+/// (ready and retune never exceed the arbitrating boundary), so the
+/// engine skips the gate reads -- and the per-transmission retune
+/// bookkeeping -- outright and arbitrates straight off the occupancy
+/// masks; otherwise it screens the occupancy bits through the gate into
+/// a per-coupler eligibility mask.
+///
 /// In the slot-aligned limit (every delay zero) each step degenerates to
 /// its phased counterpart at the same boundary in the same order, with
 /// the same single RNG stream consumed identically -- so the engine is
@@ -41,10 +51,11 @@
 #include "routing/compressed_routes.hpp"
 #include "routing/route_view.hpp"
 #include "sim/metrics.hpp"
+#include "sim/occupancy.hpp"
 #include "sim/ops_network.hpp"
-#include "sim/ring_buffer.hpp"
 #include "sim/timing_model.hpp"
 #include "sim/traffic.hpp"
+#include "sim/voq_arena.hpp"
 
 namespace otis::sim {
 
@@ -73,11 +84,10 @@ class AsyncEngineT {
 
  private:
   RunMetrics run_workload(std::vector<std::int64_t>& coupler_success);
-  /// A queued packet plus the tick its transmitter finishes tuning.
-  struct TimedPacket {
-    Packet packet;
-    SimTime ready = 0;
-  };
+  /// True when no tuning latency and no guard band exist: the
+  /// eligibility gate cannot fail, so occupancy alone decides
+  /// contention (see file comment).
+  [[nodiscard]] bool gates_open() const;
 
   const hypergraph::StackGraph& network_;
   const Routes& routes_;
@@ -87,9 +97,10 @@ class AsyncEngineT {
 
   std::int64_t nodes_ = 0;
   std::int64_t couplers_ = 0;
-  /// Flat VOQ pool: node v's queues are voq_[voq_base_[v] + slot].
+  /// Flat VOQ index space: node v's queues are voq_base_[v] + slot.
   std::vector<std::int64_t> voq_base_;
-  std::vector<RingBuffer<TimedPacket>> voq_;
+  /// Feed -> VOQ map and request-mask geometry (immutable per network).
+  detail::FeedIndex feed_;
   /// Per-VOQ transmitter re-tune gate: earliest tick the queue's next
   /// head may transmit after the previous transmission.
   std::vector<SimTime> retune_;

@@ -1,28 +1,51 @@
 #pragma once
 /// \file calendar_queue.hpp
 /// Calendar queue: the O(1)-amortized rewrite of the EventQueue's
-/// pending-event set (Brown 1988).
+/// pending-event set (Brown 1988), stored structure-of-arrays.
 ///
 /// std::priority_queue pays O(log n) pointer-hopping comparisons per
 /// operation; with ~10^6 in-flight propagation events that log factor
 /// (and its cache misses) dominates an async simulation. A calendar
 /// queue hashes events by time into an array of day buckets -- here the
-/// bucket width is one slot (kTicksPerSlot ticks), the natural unit of
-/// a slotted OPS network -- so scheduling is an O(1) append into the
-/// right bucket and popping walks the calendar day by day.
+/// bucket width starts at one slot (kTicksPerSlot ticks), the natural
+/// unit of a slotted OPS network -- so scheduling is an O(1) append
+/// into the right bucket and popping walks the calendar day by day.
 ///
-/// Buckets are *lazily sorted*: pushes append unsorted, and a bucket is
-/// sorted descending by (time, seq) once, when its day first drains --
-/// after which every pop is a pop_back. The (time, seq) order preserves
-/// the EventQueue's FIFO tie-break exactly, keeping async runs
-/// bit-reproducible. This is O(1) amortized per event as long as a
-/// day's events arrive before that day starts draining, which is how
-/// both the async engine (propagations always land in a later slot)
-/// and the classic hold workload behave; interleaved same-day pushes
-/// merely re-sort and stay correct. The calendar doubles its year
-/// length when occupancy passes two events per day (capped -- beyond
-/// the event horizon more days cannot thin the buckets), and events
-/// beyond the current year wait in their bucket for a later cycle.
+/// Storage is a flat slab, not a vector of vectors: every bucket owns
+/// kSlots fixed entry slots inside one contiguous array, with per-bucket
+/// fill counts and dirty flags in byte-sized side arrays small enough to
+/// live in L2. A push is then one write into the slab plus one hot
+/// counter update -- a single cold cache line -- where a per-bucket
+/// std::vector costs two dependent misses (header, then heap block) and
+/// a malloc each time a day's vector first fills. The rare bucket that
+/// overflows its kSlots spills into a single shared binary min-heap;
+/// peek/pop compare the calendar's head with the heap's root, so
+/// correctness never depends on the spill staying small (a pathological
+/// all-same-day flood just degrades to the heap's O(log n)).
+///
+/// Bucket segments are *lazily sorted*: pushes append unsorted, and a
+/// segment is sorted descending by (time, seq) once, when its day first
+/// drains -- after which every pop is a decrement. The (time, seq)
+/// order preserves the EventQueue's FIFO tie-break exactly, keeping
+/// async runs bit-reproducible.
+///
+/// The calendar rescales itself (a variant of Brown's rule) against the
+/// days the events actually span: when the pending count outgrows the
+/// occupied span, it either doubles the year length (more buckets, when
+/// the span already fills the year) or halves the bucket width (finer
+/// days, when the span is shorter than the year), down to one-tick
+/// days. Both track the *event horizon* -- the latest time ever pushed
+/// -- because days beyond the horizon cannot thin any bucket. Each
+/// rebuild at least doubles the effective day count, so total rebuild
+/// work is a geometric series bounded by the event span; pop order is a
+/// pure function of (time, seq), so rescaling never changes it. The
+/// occupancy target (kTargetOccupancy per day) is set well under kSlots
+/// so spills stay exponentially rare in steady state.
+///
+/// find_min() results are memoized: peek() caches the minimum bucket
+/// and pop() keeps the cache while the next entry stays in the current
+/// day, so the peek-then-pop cycle of the async engine costs one
+/// calendar walk, not two.
 ///
 /// The payload is a template parameter: the AsyncEngine stores plain
 /// structs (no per-event std::function allocation), the benchmarks
@@ -54,7 +77,9 @@ class CalendarQueue {
   /// two (bucket lookup is a shift and a mask, no division).
   explicit CalendarQueue(SimTime bucket_width = kTicksPerSlot,
                          std::size_t initial_buckets = 64)
-      : buckets_(initial_buckets) {
+      : slab_(initial_buckets * kSlots),
+        counts_(initial_buckets, 0),
+        dirty_(initial_buckets, 0) {
     OTIS_REQUIRE(bucket_width > 0 &&
                      (bucket_width & (bucket_width - 1)) == 0,
                  "CalendarQueue: bucket width must be a power of two");
@@ -74,12 +99,11 @@ class CalendarQueue {
   /// Schedules `payload` at absolute time `at` (>= now()).
   void push(SimTime at, Payload payload) {
     OTIS_REQUIRE(at >= now_, "CalendarQueue: cannot schedule in the past");
-    if (count_ >= 2 * buckets_.size() && buckets_.size() < kMaxBuckets) {
-      resize(buckets_.size() * 2);
+    if (at > horizon_) {
+      horizon_ = at;
     }
-    Bucket& bucket = buckets_[bucket_of(at)];
-    bucket.entries.push_back(Entry{at, next_seq_++, std::move(payload)});
-    bucket.sorted = false;
+    maybe_rescale();
+    raw_push(at, next_seq_++, std::move(payload));
     ++count_;
   }
 
@@ -87,105 +111,231 @@ class CalendarQueue {
   /// be non-empty.
   [[nodiscard]] const Entry& peek() {
     OTIS_ASSERT(count_ > 0, "CalendarQueue: peek on empty queue");
-    return find_min()->entries.back();
+    const Entry* top = slab_min();
+    if (!overflow_.empty() &&
+        (top == nullptr || earlier(overflow_.front(), *top))) {
+      return overflow_.front();
+    }
+    return *top;
   }
 
   /// Removes and returns the earliest (time, seq) entry. The queue must
   /// be non-empty.
   Entry pop() {
     OTIS_ASSERT(count_ > 0, "CalendarQueue: pop on empty queue");
-    Bucket& bucket = *find_min();
-    Entry top = std::move(bucket.entries.back());
-    bucket.entries.pop_back();
+    const Entry* top = slab_min();
+    if (!overflow_.empty() &&
+        (top == nullptr || earlier(overflow_.front(), *top))) {
+      // The spilled entry wins; the cached slab minimum stays valid.
+      std::pop_heap(overflow_.begin(), overflow_.end(), later);
+      Entry result = std::move(overflow_.back());
+      overflow_.pop_back();
+      --count_;
+      now_ = result.time;
+      return result;
+    }
+    const std::size_t b = static_cast<std::size_t>(cached_bucket_);
+    Entry result = std::move(slab_[b * kSlots + counts_[b] - 1]);
+    --counts_[b];
     --count_;
-    now_ = top.time;
-    return top;
+    now_ = result.time;
+    // The bucket stays the slab minimum while its next entry is still
+    // inside the just-popped day (every other bucket's entries lie in
+    // later days); otherwise the next peek walks the calendar again.
+    const std::size_t day = static_cast<std::size_t>(now_) >> width_shift_;
+    if (counts_[b] == 0 ||
+        slab_[b * kSlots + counts_[b] - 1].time >=
+            static_cast<SimTime>((day + 1) << width_shift_)) {
+      cached_bucket_ = -1;
+    }
+    return result;
   }
 
  private:
-  struct Bucket {
-    std::vector<Entry> entries;
-    /// Descending by (time, seq): the earliest entry is entries.back().
-    bool sorted = false;
-  };
+  /// Fixed entry slots per bucket in the slab. The rescale rule keeps
+  /// steady-state occupancy near kTargetOccupancy, so a Poisson day
+  /// exceeds kSlots with vanishing probability.
+  static constexpr std::size_t kSlots = 16;
+  static constexpr std::size_t kTargetOccupancy = 8;
+  /// Practical ceiling on the year length: the slab is
+  /// kSlots * sizeof(Entry) bytes per day.
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 17;
 
-  /// Practical ceiling on the year length: past the event horizon,
-  /// extra days cannot thin any bucket (occupancy per day is set by the
-  /// event span, not the calendar size).
-  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 16;
-
-  static void sort_descending(Bucket& bucket) {
-    std::sort(bucket.entries.begin(), bucket.entries.end(),
-              [](const Entry& a, const Entry& b) {
-                return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-              });
-    bucket.sorted = true;
+  [[nodiscard]] static bool earlier(const Entry& a, const Entry& b) noexcept {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  }
+  /// std::push_heap comparator: a min-heap on (time, seq).
+  static bool later(const Entry& a, const Entry& b) noexcept {
+    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
   }
 
-  /// Bucket whose back() is the global minimum; requires count_ > 0.
-  /// Sorts the bucket it settles on (lazily, once per day in steady
-  /// state).
-  [[nodiscard]] Bucket* find_min() {
-    // Walk the calendar from today: a bucket's earliest entry belongs
-    // to the current day iff its time falls before that day's end, in
-    // which case it is the global minimum (earlier days were empty and
-    // other buckets' entries lie in later days).
-    std::size_t day = static_cast<std::size_t>(now_) >> width_shift_;
-    for (std::size_t step = 0; step < buckets_.size(); ++step, ++day) {
-      Bucket& bucket = buckets_[day & (buckets_.size() - 1)];
-      if (bucket.entries.empty()) {
-        continue;
-      }
-      if (!bucket.sorted) {
-        sort_descending(bucket);
-      }
-      if (bucket.entries.back().time <
-          static_cast<SimTime>((day + 1) << width_shift_)) {
-        return &bucket;
+  [[nodiscard]] std::size_t bucket_of(SimTime at) const noexcept {
+    return (static_cast<std::size_t>(at) >> width_shift_) &
+           (counts_.size() - 1);
+  }
+
+  /// Sorts bucket `b`'s slab segment descending by (time, seq): the
+  /// earliest entry ends at the segment's back.
+  void sort_segment(std::size_t b) {
+    Entry* begin = slab_.data() + b * kSlots;
+    std::sort(begin, begin + counts_[b],
+              [](const Entry& x, const Entry& y) { return later(x, y); });
+    dirty_[b] = 0;
+  }
+
+  /// Places an entry without bumping count_ / seq (shared by push and
+  /// rebuild): into bucket `b`'s slab segment, or the overflow heap
+  /// when the segment is full.
+  void raw_push(SimTime at, std::uint64_t seq, Payload payload) {
+    const std::size_t b = bucket_of(at);
+    if (counts_[b] == kSlots) {
+      overflow_.push_back(Entry{at, seq, std::move(payload)});
+      std::push_heap(overflow_.begin(), overflow_.end(), later);
+      return;
+    }
+    // The cache survives a push that cannot displace the cached
+    // minimum: same bucket (its minimum only improves, and the dirty
+    // flag forces a re-sort) or a time at or after the segment's last
+    // entry (which is >= the bucket minimum; seq breaks ties in the
+    // cached entry's favour).
+    if (cached_bucket_ >= 0) {
+      const std::size_t c = static_cast<std::size_t>(cached_bucket_);
+      if (b != c && at < slab_[c * kSlots + counts_[c] - 1].time) {
+        cached_bucket_ = -1;
       }
     }
-    // Sparse tail: every event lives more than a year ahead. Find the
-    // bucket holding the global minimum directly.
-    Bucket* best = nullptr;
-    for (Bucket& bucket : buckets_) {
-      if (bucket.entries.empty()) {
+    slab_[b * kSlots + counts_[b]] = Entry{at, seq, std::move(payload)};
+    ++counts_[b];
+    dirty_[b] = 1;
+  }
+
+  /// The slab's earliest entry (null iff every pending entry spilled).
+  /// Leaves cached_bucket_ on that entry's bucket, sorted.
+  [[nodiscard]] const Entry* slab_min() {
+    if (cached_bucket_ >= 0) {
+      const std::size_t b = static_cast<std::size_t>(cached_bucket_);
+      if (dirty_[b] != 0) {
+        // A push landed in the cached bucket since the last walk; the
+        // minimum is still here but may no longer sit at the back.
+        sort_segment(b);
+      }
+      return &slab_[b * kSlots + counts_[b] - 1];
+    }
+    if (count_ == overflow_.size()) {
+      return nullptr;
+    }
+    cached_bucket_ = find_min_bucket();
+    const std::size_t b = static_cast<std::size_t>(cached_bucket_);
+    return &slab_[b * kSlots + counts_[b] - 1];
+  }
+
+  /// Bucket whose segment back is the slab-wide minimum; requires a
+  /// non-empty slab. Sorts the bucket it settles on (lazily, once per
+  /// day in steady state).
+  [[nodiscard]] std::int64_t find_min_bucket() {
+    // Walk the calendar from today: a bucket's earliest entry belongs
+    // to the current day iff its time falls before that day's end, in
+    // which case it is the slab minimum (earlier days were empty and
+    // other buckets' entries lie in later days). The walk reads only
+    // the byte-sized count array, so empty days cost ~a cycle each.
+    const std::size_t buckets = counts_.size();
+    std::size_t day = static_cast<std::size_t>(now_) >> width_shift_;
+    for (std::size_t step = 0; step < buckets; ++step, ++day) {
+      const std::size_t b = day & (buckets - 1);
+      if (counts_[b] == 0) {
         continue;
       }
-      if (!bucket.sorted) {
-        sort_descending(bucket);
+      if (dirty_[b] != 0) {
+        sort_segment(b);
       }
-      if (best == nullptr ||
-          earlier(bucket.entries.back(), best->entries.back())) {
-        best = &bucket;
+      if (slab_[b * kSlots + counts_[b] - 1].time <
+          static_cast<SimTime>((day + 1) << width_shift_)) {
+        return static_cast<std::int64_t>(b);
+      }
+    }
+    // Sparse tail: every slab entry lives more than a year ahead. Find
+    // the bucket holding the slab minimum directly.
+    std::int64_t best = -1;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      if (counts_[b] == 0) {
+        continue;
+      }
+      if (dirty_[b] != 0) {
+        sort_segment(b);
+      }
+      if (best < 0 ||
+          earlier(slab_[b * kSlots + counts_[b] - 1],
+                  slab_[static_cast<std::size_t>(best) * kSlots +
+                        counts_[static_cast<std::size_t>(best)] - 1])) {
+        best = static_cast<std::int64_t>(b);
       }
     }
     return best;
   }
 
-  [[nodiscard]] static bool earlier(const Entry& a, const Entry& b) noexcept {
-    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
-  }
-
-  [[nodiscard]] std::size_t bucket_of(SimTime at) const noexcept {
-    return (static_cast<std::size_t>(at) >> width_shift_) &
-           (buckets_.size() - 1);
-  }
-
-  void resize(std::size_t new_size) {
-    std::vector<Bucket> old = std::move(buckets_);
-    buckets_.assign(new_size, {});
-    for (Bucket& bucket : old) {
-      for (Entry& entry : bucket.entries) {
-        buckets_[bucket_of(entry.time)].entries.push_back(std::move(entry));
+  /// Brown's occupancy rule, against the days the events actually span
+  /// (now .. horizon): once the pending count passes kTargetOccupancy
+  /// events per *effective* day, grow the year if the span already
+  /// fills it, else sharpen the days. Either step doubles the effective
+  /// day count, so the occupancy check fails geometrically rarely; when
+  /// neither step is possible (one-tick days spanning a full maximal
+  /// year) the check degrades to this cheap early-out.
+  void maybe_rescale() {
+    const std::size_t span_days =
+        (static_cast<std::size_t>(horizon_) >> width_shift_) -
+        (static_cast<std::size_t>(now_) >> width_shift_) + 1;
+    if (count_ < kTargetOccupancy * std::min(span_days, counts_.size())) {
+      return;
+    }
+    if (span_days >= counts_.size()) {
+      if (counts_.size() < kMaxBuckets) {
+        rebuild(counts_.size() * 2, width_shift_);
       }
+    } else if (width_shift_ > 0) {
+      rebuild(counts_.size(), width_shift_ - 1);
+    }
+  }
+
+  /// Redistributes every entry -- slab and spilled alike -- into a
+  /// fresh slab with `new_size` buckets of width 2^new_shift. Spilled
+  /// entries usually re-enter the (now roomier) slab.
+  void rebuild(std::size_t new_size, int new_shift) {
+    std::vector<Entry> old_slab = std::move(slab_);
+    std::vector<std::uint8_t> old_counts = std::move(counts_);
+    std::vector<Entry> old_overflow = std::move(overflow_);
+    slab_.assign(new_size * kSlots, Entry{});
+    counts_.assign(new_size, 0);
+    dirty_.assign(new_size, 0);
+    overflow_.clear();
+    width_shift_ = new_shift;
+    cached_bucket_ = -1;
+    for (std::size_t b = 0; b < old_counts.size(); ++b) {
+      for (std::size_t i = 0; i < old_counts[b]; ++i) {
+        Entry& entry = old_slab[b * kSlots + i];
+        raw_push(entry.time, entry.seq, std::move(entry.payload));
+      }
+    }
+    for (Entry& entry : old_overflow) {
+      raw_push(entry.time, entry.seq, std::move(entry.payload));
     }
   }
 
   int width_shift_ = 0;
-  std::vector<Bucket> buckets_;
+  /// Bucket b's entries live in slab_[b * kSlots + i), i < counts_[b],
+  /// unordered while dirty_[b], else sorted descending by (time, seq).
+  std::vector<Entry> slab_;
+  std::vector<std::uint8_t> counts_;
+  std::vector<std::uint8_t> dirty_;
+  /// Entries whose bucket segment was full: a binary min-heap on
+  /// (time, seq), compared against the slab head on every peek/pop.
+  std::vector<Entry> overflow_;
   std::size_t count_ = 0;
   SimTime now_ = 0;
+  SimTime horizon_ = 0;  ///< latest time ever pushed
   std::uint64_t next_seq_ = 0;
+  /// Bucket whose segment back is the slab-wide minimum, or -1. The
+  /// segment may have gone dirty since caching; peek/pop re-sort it.
+  std::int64_t cached_bucket_ = -1;
 };
 
 }  // namespace otis::sim

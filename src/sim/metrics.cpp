@@ -4,11 +4,6 @@
 
 namespace otis::sim {
 
-void LatencyStats::record(std::int64_t latency_slots) {
-  samples_.push_back(latency_slots);
-  sorted_ = false;
-}
-
 void LatencyStats::merge(const LatencyStats& other) {
   samples_.insert(samples_.end(), other.samples_.begin(),
                   other.samples_.end());

@@ -10,7 +10,11 @@ namespace otis::sim {
 /// Online latency statistics with full-sample percentiles.
 class LatencyStats {
  public:
-  void record(std::int64_t latency_slots);
+  /// Inline: called once per delivered packet in every engine hot loop.
+  void record(std::int64_t latency_slots) {
+    samples_.push_back(latency_slots);
+    sorted_ = false;
+  }
 
   /// Appends all of `other`'s samples (used to fold per-shard stats).
   /// Every statistic below depends only on the sample multiset -- the

@@ -188,7 +188,10 @@ OpsNetworkSim::OpsNetworkSim(const hypergraph::StackGraph& network,
 // callbacks per hop. It is the reference implementation the phased
 // engines are bit-compared against, and the baseline the slots/sec
 // benchmarks measure their speedup from. Do not "optimize" it; speed
-// work belongs in phased_engine.cpp.
+// work belongs in phased_engine.cpp. (Sole exception, per the
+// arbitration.hpp contract: the token round-robin cursor below wraps
+// on compare instead of taking a per-step remainder, mirroring the
+// mask arbitration; it visits the identical position sequence.)
 void OpsNetworkSim::enqueue(Packet packet, hypergraph::Node at) {
   const auto& hg = network_.hypergraph();
   const hypergraph::HyperarcId coupler =
@@ -265,16 +268,20 @@ void OpsNetworkSim::slot() {
       case Arbitration::kTokenRoundRobin: {
         // Scan sources starting at the token cursor; the first W
         // contenders win and the token moves just past the last winner.
-        const std::int64_t start = token_[static_cast<std::size_t>(h)];
+        std::size_t si =
+            static_cast<std::size_t>(token_[static_cast<std::size_t>(h)]);
         for (std::size_t step = 0;
              step < sources.size() && winners.size() < capacity; ++step) {
-          const std::size_t si =
-              (static_cast<std::size_t>(start) + step) % sources.size();
           if (std::find(contenders.begin(), contenders.end(), si) !=
               contenders.end()) {
             winners.push_back(si);
             token_[static_cast<std::size_t>(h)] =
-                static_cast<std::int64_t>((si + 1) % sources.size());
+                si + 1 == sources.size() ? 0
+                                         : static_cast<std::int64_t>(si + 1);
+          }
+          ++si;
+          if (si == sources.size()) {
+            si = 0;
           }
         }
         break;

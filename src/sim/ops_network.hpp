@@ -22,8 +22,9 @@
 ///    EventQueue; kept as the seed-faithful reference implementation
 ///    (tests-only fixture since the async layer landed);
 ///  - kPhased: a direct three-phase slot loop (generate / arbitrate /
-///    receive) over flat ring-buffer VOQs and CompiledRoutes tables.
-///    Bit-identical to kEventQueue for every seed, several times faster;
+///    receive) over a structure-of-arrays VOQ arena with per-coupler
+///    occupancy bitmasks and CompiledRoutes tables. Bit-identical to
+///    kEventQueue for every seed, several times faster;
 ///  - kSharded: the phased loop with couplers and nodes partitioned
 ///    across worker threads, phases separated by barriers, and RNG
 ///    drawn from per-node / per-coupler streams so the result is
@@ -156,6 +157,17 @@ inline constexpr std::int64_t kAutoRouteTableNodes = 2048;
   return table;
 }
 
+/// Wall-time attribution of the slot loop's three phases, filled by the
+/// serial phased engine when SimConfig::phase_breakdown points at one
+/// (micro_benchmarks --phase-breakdown). Other engines ignore it -- the
+/// serial loop is the one whose speedup the acceptance bar measures.
+struct PhaseBreakdown {
+  std::int64_t slots = 0;  ///< slot iterations attributed below
+  double generate_seconds = 0.0;
+  double arbitrate_seconds = 0.0;
+  double receive_seconds = 0.0;
+};
+
 /// A packet in flight.
 struct Packet {
   std::int64_t id = 0;
@@ -229,6 +241,9 @@ struct SimConfig {
   /// phased, sharded and async engines (not the tests-only event-queue
   /// fixture).
   std::shared_ptr<workload::TraceRecorder> recorder;
+  /// Optional per-phase timing sink (must outlive the run). Honoured by
+  /// serial Engine::kPhased runs only; see PhaseBreakdown.
+  PhaseBreakdown* phase_breakdown = nullptr;
 };
 
 /// The slot-synchronous multi-OPS network simulator.
@@ -301,7 +316,7 @@ class OpsNetworkSim {
 
   /// Virtual output queues: per node, per out-coupler slot (indexed by
   /// position of the coupler in out_hyperarcs(node)). Event-queue engine
-  /// only; the phased engines use flat ring buffers internally.
+  /// only; the phased engines use a SoA arena (voq_arena.hpp) internally.
   std::vector<std::vector<std::deque<Packet>>> voq_;
   std::vector<std::int64_t> token_;  ///< per coupler, round-robin cursor
   std::vector<std::int64_t> coupler_success_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <barrier>
+#include <bit>
+#include <chrono>
 #include <thread>
 #include <utility>
 
@@ -28,6 +30,16 @@ std::pair<std::int64_t, std::int64_t> partition(std::int64_t count, int part,
   return {lo, hi};
 }
 
+/// Widest request mask of any coupler, in words (per-shard scratch size).
+std::size_t max_mask_words(const detail::FeedIndex& fi) {
+  std::size_t widest = 1;
+  for (std::size_t h = 0; h < fi.coupler_count(); ++h) {
+    widest = std::max(widest, static_cast<std::size_t>(fi.mask_base[h + 1] -
+                                                       fi.mask_base[h]));
+  }
+  return widest;
+}
+
 }  // namespace
 
 template <routing::RouteView Routes>
@@ -48,7 +60,7 @@ PhasedEngineT<Routes>::PhasedEngineT(const hypergraph::StackGraph& network,
     voq_base_[static_cast<std::size_t>(v) + 1] =
         voq_base_[static_cast<std::size_t>(v)] + hg.out_degree(v);
   }
-  voq_.resize(static_cast<std::size_t>(voq_base_.back()));
+  feed_.build(hg, voq_base_);
   token_.assign(static_cast<std::size_t>(couplers_), 0);
 }
 
@@ -70,7 +82,6 @@ RunMetrics PhasedEngineT<Routes>::run(
 template <routing::RouteView Routes>
 RunMetrics PhasedEngineT<Routes>::run_serial(
     std::vector<std::int64_t>& coupler_success) {
-  const auto& hg = network_.hypergraph();
   core::Rng rng = core::Rng::stream(config_.seed, kRunStream);
   RunMetrics metrics;
   metrics.slots = config_.measure_slots;
@@ -80,115 +91,157 @@ RunMetrics PhasedEngineT<Routes>::run_serial(
   std::int64_t inflight = 0;
   std::int64_t next_packet_id = 0;
 
-  // Hoisted scratch: one allocation per run, not per coupler-slot.
-  std::vector<std::size_t> contenders;
-  std::vector<std::size_t> winners;
-  std::vector<char> is_contender;
-  struct Delivery {
-    Packet packet;
-    hypergraph::HyperarcId coupler;
-  };
-  std::vector<Delivery> deliveries;
-  const std::size_t capacity = static_cast<std::size_t>(config_.wavelengths);
+  VoqArena voq;
+  voq.init(static_cast<std::size_t>(voq_base_.back()));
+  detail::OccupancyMasks masks;
+  masks.init(feed_);
 
-  const auto enqueue = [&](Packet packet, hypergraph::Node at,
+  // Hoisted scratch: one allocation per run, not per coupler-slot.
+  std::vector<std::size_t> winners;
+  std::vector<std::size_t> scratch;
+  std::vector<SenderDemand> senders(static_cast<std::size_t>(nodes_));
+  /// Transmissions whose receiver relays them onward. Packets that
+  /// reached their destination are counted inline during arbitration
+  /// (metric updates cannot disturb same-slot winner selection); only
+  /// relays defer to phase 3, because their enqueues would make queues
+  /// non-empty for couplers arbitrated later in the same slot.
+  struct Relay {
+    VoqEntry entry;
+    hypergraph::Node node;
+  };
+  std::vector<Relay> relays;
+  const std::size_t capacity = static_cast<std::size_t>(config_.wavelengths);
+  const std::int64_t queue_cap = config_.queue_capacity;
+  const Arbitration policy = config_.arbitration;
+  const bool single_token =
+      policy == Arbitration::kTokenRoundRobin && capacity == 1;
+  PhaseBreakdown* breakdown = config_.phase_breakdown;
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point t0, t1, t2;
+
+  const auto enqueue = [&](const VoqEntry& entry, hypergraph::Node at,
                            bool measuring) {
-    const std::int32_t slot = routes_.next_slot(at, packet.destination);
-    auto& queue = voq_[static_cast<std::size_t>(
-        voq_base_[static_cast<std::size_t>(at)] + slot)];
-    if (config_.queue_capacity > 0 &&
-        static_cast<std::int64_t>(queue.size()) >= config_.queue_capacity) {
+    const std::int32_t slot = routes_.next_slot(at, entry.destination);
+    const std::size_t qi = static_cast<std::size_t>(
+        voq_base_[static_cast<std::size_t>(at)] + slot);
+    const std::size_t size = voq.size(qi);
+    if (queue_cap > 0 && static_cast<std::int64_t>(size) >= queue_cap) {
       if (measuring) {
         ++metrics.dropped_packets;
       }
       --inflight;
       return;
     }
-    queue.push_back(std::move(packet));
+    voq.push(qi, entry);
+    if (size == 0) {
+      masks.mark_nonempty(feed_, qi);
+    }
   };
 
   for (SimTime now = 0;;) {
     const bool measuring = now >= config_.warmup_slots && now < horizon;
+    if (breakdown != nullptr) {
+      t0 = Clock::now();
+    }
 
     // Phase 1: traffic generation (stops at the horizon; drain only).
+    // The compact batch hands back just the ~load*N senders, so the
+    // enqueue loop runs over actual packets with no idle-node branch.
     if (now < horizon) {
-      for (hypergraph::Node v = 0; v < nodes_; ++v) {
-        const TrafficDemand demand = traffic_.demand(v, rng);
-        if (!demand.has_packet || demand.destination == v) {
-          continue;
-        }
+      const std::size_t sender_count =
+          traffic_.demand_batch_senders(0, nodes_, rng, senders.data());
+      if (measuring) {
+        metrics.offered_packets += static_cast<std::int64_t>(sender_count);
+      }
+      inflight += static_cast<std::int64_t>(sender_count);
+      for (std::size_t i = 0; i < sender_count; ++i) {
+        const SenderDemand d = senders[i];
         if (config_.recorder != nullptr) {
-          config_.recorder->record(now, v, demand.destination);
+          config_.recorder->record(now, d.source, d.destination);
         }
-        if (measuring) {
-          ++metrics.offered_packets;
-        }
-        ++inflight;
-        enqueue(Packet{next_packet_id++, v, demand.destination, now, 0}, v,
+        enqueue(VoqEntry{next_packet_id++, d.destination, now, 0}, d.source,
                 measuring);
       }
     }
-
-    // Phase 2: per-coupler arbitration over the flattened feeds.
-    deliveries.clear();
-    for (hypergraph::HyperarcId h = 0; h < couplers_; ++h) {
-      const hypergraph::CouplerFeed feed = hg.coupler_feed(h);
-      const std::size_t feed_count = static_cast<std::size_t>(feed.count);
-      if (is_contender.size() < feed_count) {
-        is_contender.resize(feed_count, 0);
-      }
-      contenders.clear();
-      for (std::size_t si = 0; si < feed_count; ++si) {
-        if (!voq_[static_cast<std::size_t>(
-                      voq_base_[static_cast<std::size_t>(feed.source[si])] +
-                      feed.slot[si])]
-                 .empty()) {
-          contenders.push_back(si);
-          is_contender[si] = 1;
-        }
-      }
-      if (contenders.empty()) {
-        continue;
-      }
-      const bool collided = detail::pick_winners(
-          config_.arbitration, capacity, feed_count, contenders, is_contender,
-          token_[static_cast<std::size_t>(h)], rng, winners);
-      for (std::size_t si : contenders) {
-        is_contender[si] = 0;
-      }
-      if (collided && measuring) {
-        ++metrics.collisions;
-      }
-      for (std::size_t si : winners) {
-        auto& queue = voq_[static_cast<std::size_t>(
-            voq_base_[static_cast<std::size_t>(feed.source[si])] +
-            feed.slot[si])];
-        Packet packet = std::move(queue.front());
-        queue.pop_front();
-        ++packet.hops;
-        if (measuring) {
-          ++metrics.coupler_transmissions;
-          ++coupler_success[static_cast<std::size_t>(h)];
-        }
-        deliveries.push_back(Delivery{std::move(packet), h});
-      }
+    if (breakdown != nullptr) {
+      t1 = Clock::now();
     }
 
-    // Phase 3: receivers pick winners off their couplers.
-    for (Delivery& d : deliveries) {
-      const hypergraph::Node relay =
-          routes_.relay(d.coupler, d.packet.destination);
-      if (relay == d.packet.destination) {
-        if (measuring) {
-          ++metrics.delivered_packets;
-          if (d.packet.created >= config_.warmup_slots) {
-            metrics.latency.record(now - d.packet.created + 1);
+    // Phase 2: arbitration over the couplers with any non-empty feed,
+    // found by scanning the occupancy summary bitmap. Final deliveries
+    // complete inline; relays defer (see `relays`).
+    relays.clear();
+    for (std::size_t aw = 0; aw < masks.active.size(); ++aw) {
+      std::uint64_t aword = masks.active[aw];
+      while (aword != 0) {
+        const std::size_t h =
+            (aw << 6) + static_cast<std::size_t>(std::countr_zero(aword));
+        aword &= aword - 1;
+        const std::size_t fb = static_cast<std::size_t>(feed_.feed_base[h]);
+        const std::size_t source_count =
+            static_cast<std::size_t>(feed_.feed_base[h + 1]) - fb;
+        const std::size_t mb = static_cast<std::size_t>(feed_.mask_base[h]);
+        const std::size_t words =
+            static_cast<std::size_t>(feed_.mask_base[h + 1]) - mb;
+        const auto transmit = [&](std::size_t si) {
+          const std::size_t qi =
+              static_cast<std::size_t>(feed_.feed_qi[fb + si]);
+          VoqEntry entry = voq.pop_front(qi);
+          if (voq.empty(qi)) {
+            masks.mark_empty(feed_, qi);
           }
+          ++entry.hops;
+          if (measuring) {
+            ++metrics.coupler_transmissions;
+            ++coupler_success[h];
+          }
+          const hypergraph::Node relay = routes_.relay(
+              static_cast<hypergraph::HyperarcId>(h), entry.destination);
+          if (relay == entry.destination) {
+            if (measuring) {
+              ++metrics.delivered_packets;
+              if (entry.created >= config_.warmup_slots) {
+                metrics.latency.record(now - entry.created + 1);
+              }
+            }
+            --inflight;
+          } else {
+            relays.push_back(Relay{entry, relay});
+          }
+        };
+        if (single_token) {
+          transmit(detail::pick_single_token(
+              source_count, masks.request.data() + mb, words, token_[h]));
+          continue;
         }
-        --inflight;
-      } else {
-        enqueue(std::move(d.packet), relay, measuring);
+        const bool collided = detail::pick_winners(
+            policy, capacity, source_count, masks.request.data() + mb, words,
+            token_[h], rng, winners, scratch);
+        if (collided && measuring) {
+          ++metrics.collisions;
+        }
+        for (std::size_t si : winners) {
+          transmit(si);
+        }
       }
+    }
+    if (breakdown != nullptr) {
+      t2 = Clock::now();
+    }
+
+    // Phase 3: relayed packets re-queue at their next hop.
+    for (const Relay& r : relays) {
+      enqueue(r.entry, r.node, measuring);
+    }
+    if (breakdown != nullptr) {
+      const Clock::time_point t3 = Clock::now();
+      breakdown->generate_seconds +=
+          std::chrono::duration<double>(t1 - t0).count();
+      breakdown->arbitrate_seconds +=
+          std::chrono::duration<double>(t2 - t1).count();
+      breakdown->receive_seconds +=
+          std::chrono::duration<double>(t3 - t2).count();
+      ++breakdown->slots;
     }
 
     const bool more_traffic = now + 1 < horizon;
@@ -209,7 +262,6 @@ RunMetrics PhasedEngineT<Routes>::run_serial(
 template <routing::RouteView Routes>
 RunMetrics PhasedEngineT<Routes>::run_sharded(
     std::vector<std::int64_t>& coupler_success) {
-  const auto& hg = network_.hypergraph();
   int threads = config_.threads;
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -227,8 +279,16 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
   /// Deliveries of the current slot, per coupler, in winner order; hop
   /// counter already bumped. Written by the coupler's owner in phase 2,
   /// read by every worker in phase 3.
-  std::vector<std::vector<Packet>> deliveries(
+  std::vector<std::vector<VoqEntry>> deliveries(
       static_cast<std::size_t>(couplers_));
+  /// Compact senders of the current slot; disjoint slices per shard
+  /// (shard w writes at its node_begin offset).
+  std::vector<SenderDemand> senders(static_cast<std::size_t>(nodes_));
+
+  VoqArena voq;
+  voq.init(static_cast<std::size_t>(voq_base_.back()),
+           static_cast<std::size_t>(threads));
+  const std::size_t req_words = max_mask_words(feed_);
 
   struct Shard {
     std::int64_t node_begin = 0, node_end = 0;
@@ -237,22 +297,33 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
     std::int64_t transmissions = 0, collisions = 0;
     std::int64_t inflight_delta = 0;
     LatencyStats latency;
-    std::vector<std::size_t> contenders, winners;
-    std::vector<char> is_contender;
+    std::vector<std::size_t> winners, scratch;
+    std::vector<std::uint64_t> request;  ///< local per-coupler rebuild
   };
   std::vector<Shard> shards(static_cast<std::size_t>(threads));
   for (int w = 0; w < threads; ++w) {
     auto [nb, ne] = partition(nodes_, w, threads);
     auto [cb, ce] = partition(couplers_, w, threads);
-    shards[static_cast<std::size_t>(w)].node_begin = nb;
-    shards[static_cast<std::size_t>(w)].node_end = ne;
-    shards[static_cast<std::size_t>(w)].coupler_begin = cb;
-    shards[static_cast<std::size_t>(w)].coupler_end = ce;
+    Shard& shard = shards[static_cast<std::size_t>(w)];
+    shard.node_begin = nb;
+    shard.node_end = ne;
+    shard.coupler_begin = cb;
+    shard.coupler_end = ce;
+    shard.request.assign(req_words, 0);
+    // Every queue of the shard's nodes pushes from this shard only (its
+    // own phase-1/3 enqueues), so growth stays inside the shard's pool.
+    for (std::int64_t qi = voq_base_[static_cast<std::size_t>(nb)];
+         qi < voq_base_[static_cast<std::size_t>(ne)]; ++qi) {
+      voq.set_pool(static_cast<std::size_t>(qi),
+                   static_cast<std::uint32_t>(w));
+    }
   }
 
   const SimTime horizon = config_.warmup_slots + config_.measure_slots;
   const SimTime drain_bound = horizon + 1'000'000;
   const std::size_t capacity = static_cast<std::size_t>(config_.wavelengths);
+  const std::int64_t queue_cap = config_.queue_capacity;
+  const Arbitration policy = config_.arbitration;
 
   // Slot state shared across workers; mutated only by the slot barrier's
   // completion step, which runs while every worker is blocked.
@@ -281,92 +352,97 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
 
   const auto worker = [&](int w) {
     Shard& shard = shards[static_cast<std::size_t>(w)];
-    const auto enqueue = [&](const Packet& packet, hypergraph::Node at,
+    const auto enqueue = [&](const VoqEntry& entry, hypergraph::Node at,
                              bool measuring) {
-      const std::int32_t slot = routes_.next_slot(at, packet.destination);
-      auto& queue = voq_[static_cast<std::size_t>(
-          voq_base_[static_cast<std::size_t>(at)] + slot)];
-      if (config_.queue_capacity > 0 &&
-          static_cast<std::int64_t>(queue.size()) >= config_.queue_capacity) {
+      const std::int32_t slot = routes_.next_slot(at, entry.destination);
+      const std::size_t qi = static_cast<std::size_t>(
+          voq_base_[static_cast<std::size_t>(at)] + slot);
+      if (queue_cap > 0 &&
+          static_cast<std::int64_t>(voq.size(qi)) >= queue_cap) {
         if (measuring) {
           ++shard.dropped;
         }
         --shard.inflight_delta;
         return;
       }
-      queue.push_back(packet);
+      voq.push(qi, entry);
     };
 
     while (true) {
       const bool measuring = now >= config_.warmup_slots && now < horizon;
 
-      // Phase 1: generation over the shard's nodes.
+      // Phase 1: generation over the shard's nodes (compact batch into
+      // the shard's slice of `senders`).
       if (now < horizon) {
-        for (hypergraph::Node v = shard.node_begin; v < shard.node_end; ++v) {
-          const TrafficDemand demand =
-              traffic_.demand(v, gen_rng[static_cast<std::size_t>(v)]);
-          if (!demand.has_packet || demand.destination == v) {
-            continue;
-          }
+        const std::size_t sender_count = traffic_.demand_batch_senders_streams(
+            shard.node_begin, shard.node_end, gen_rng.data(),
+            senders.data() + shard.node_begin);
+        if (measuring) {
+          shard.offered += static_cast<std::int64_t>(sender_count);
+        }
+        shard.inflight_delta += static_cast<std::int64_t>(sender_count);
+        for (std::size_t i = 0; i < sender_count; ++i) {
+          const SenderDemand d =
+              senders[static_cast<std::size_t>(shard.node_begin) + i];
           if (config_.recorder != nullptr) {
-            config_.recorder->record(now, v, demand.destination);
+            config_.recorder->record(now, d.source, d.destination);
           }
-          if (measuring) {
-            ++shard.offered;
-          }
-          ++shard.inflight_delta;
           // Deterministic id without a shared counter.
-          enqueue(Packet{now * nodes_ + v, v, demand.destination, now, 0}, v,
-                  measuring);
+          enqueue(VoqEntry{now * nodes_ + d.source, d.destination, now, 0},
+                  d.source, measuring);
         }
       }
       phase_barrier.arrive_and_wait();
 
-      // Phase 2: arbitration over the shard's couplers.
+      // Phase 2: arbitration over the shard's couplers. The request
+      // words are rebuilt locally from the arena (no shared masks, no
+      // atomics); a word build is a dense len_ scan per feed position.
       for (hypergraph::HyperarcId h = shard.coupler_begin;
            h < shard.coupler_end; ++h) {
         auto& out = deliveries[static_cast<std::size_t>(h)];
         out.clear();
-        const hypergraph::CouplerFeed feed = hg.coupler_feed(h);
-        const std::size_t feed_count = static_cast<std::size_t>(feed.count);
-        if (shard.is_contender.size() < feed_count) {
-          shard.is_contender.resize(feed_count, 0);
+        const std::size_t fb =
+            static_cast<std::size_t>(feed_.feed_base[static_cast<std::size_t>(h)]);
+        const std::size_t source_count =
+            static_cast<std::size_t>(
+                feed_.feed_base[static_cast<std::size_t>(h) + 1]) -
+            fb;
+        const std::size_t words = (source_count + 63) / 64;
+        std::uint64_t any = 0;
+        for (std::size_t wi = 0; wi < words; ++wi) {
+          shard.request[wi] = 0;
         }
-        shard.contenders.clear();
-        for (std::size_t si = 0; si < feed_count; ++si) {
-          if (!voq_[static_cast<std::size_t>(
-                        voq_base_[static_cast<std::size_t>(feed.source[si])] +
-                        feed.slot[si])]
-                   .empty()) {
-            shard.contenders.push_back(si);
-            shard.is_contender[si] = 1;
+        for (std::size_t si = 0; si < source_count; ++si) {
+          const std::size_t qi =
+              static_cast<std::size_t>(feed_.feed_qi[fb + si]);
+          if (!voq.empty(qi)) {
+            shard.request[si >> 6] |= std::uint64_t{1} << (si & 63);
           }
         }
-        if (shard.contenders.empty()) {
+        for (std::size_t wi = 0; wi < words; ++wi) {
+          any |= shard.request[wi];
+        }
+        if (any == 0) {
           continue;
         }
         const bool collided = detail::pick_winners(
-            config_.arbitration, capacity, feed_count, shard.contenders,
-            shard.is_contender, token_[static_cast<std::size_t>(h)],
-            arb_rng[static_cast<std::size_t>(h)], shard.winners);
-        for (std::size_t si : shard.contenders) {
-          shard.is_contender[si] = 0;
-        }
+            policy, capacity, source_count, shard.request.data(), words,
+            token_[static_cast<std::size_t>(h)],
+            arb_rng[static_cast<std::size_t>(h)], shard.winners,
+            shard.scratch);
         if (collided && measuring) {
           ++shard.collisions;
         }
         for (std::size_t si : shard.winners) {
-          auto& queue = voq_[static_cast<std::size_t>(
-              voq_base_[static_cast<std::size_t>(feed.source[si])] +
-              feed.slot[si])];
-          Packet packet = std::move(queue.front());
-          queue.pop_front();
-          ++packet.hops;
+          const std::size_t qi =
+              static_cast<std::size_t>(feed_.feed_qi[fb + si]);
+          VoqEntry entry = voq.pop_front(qi);
+          ++entry.hops;
           if (measuring) {
             ++shard.transmissions;
             ++coupler_success[static_cast<std::size_t>(h)];
           }
-          out.push_back(packet);
+          out.push_back(entry);
         }
       }
       phase_barrier.arrive_and_wait();
@@ -375,22 +451,22 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
       // consumes the ones whose relay it owns, so the push order at each
       // node is canonical regardless of the partition.
       for (hypergraph::HyperarcId h = 0; h < couplers_; ++h) {
-        for (const Packet& packet : deliveries[static_cast<std::size_t>(h)]) {
-          const hypergraph::Node relay =
-              routes_.relay(h, packet.destination);
+        for (const VoqEntry& entry :
+             deliveries[static_cast<std::size_t>(h)]) {
+          const hypergraph::Node relay = routes_.relay(h, entry.destination);
           if (relay < shard.node_begin || relay >= shard.node_end) {
             continue;
           }
-          if (relay == packet.destination) {
+          if (relay == entry.destination) {
             if (measuring) {
               ++shard.delivered;
-              if (packet.created >= config_.warmup_slots) {
-                shard.latency.record(now - packet.created + 1);
+              if (entry.created >= config_.warmup_slots) {
+                shard.latency.record(now - entry.created + 1);
               }
             }
             --shard.inflight_delta;
           } else {
-            enqueue(packet, relay, measuring);
+            enqueue(entry, relay, measuring);
           }
         }
       }
@@ -431,7 +507,6 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
 template <routing::RouteView Routes>
 RunMetrics PhasedEngineT<Routes>::run_workload_serial(
     std::vector<std::int64_t>& coupler_success) {
-  const auto& hg = network_.hypergraph();
   workload::Workload& load = *config_.workload;
   load.reset();
 
@@ -447,25 +522,35 @@ RunMetrics PhasedEngineT<Routes>::run_workload_serial(
   std::int64_t inflight = 0;
   bool load_done = false;  ///< as of the end of the previous slot
 
-  std::vector<std::size_t> contenders;
+  VoqArena voq;
+  voq.init(static_cast<std::size_t>(voq_base_.back()));
+  detail::OccupancyMasks masks;
+  masks.init(feed_);
+
   std::vector<std::size_t> winners;
-  std::vector<char> is_contender;
+  std::vector<std::size_t> scratch;
+  std::vector<SenderDemand> senders(static_cast<std::size_t>(nodes_));
   struct Delivery {
-    Packet packet;
+    VoqEntry entry;
     hypergraph::HyperarcId coupler;
   };
   std::vector<Delivery> deliveries;
   std::vector<workload::WorkloadPacket> inject;
   std::vector<std::int64_t> delivered_ids;
   const std::size_t capacity = static_cast<std::size_t>(config_.wavelengths);
+  const Arbitration policy = config_.arbitration;
 
   // queue_capacity is 0 in workload mode (validated), so enqueue never
   // drops.
-  const auto enqueue = [&](Packet packet, hypergraph::Node at) {
-    const std::int32_t slot = routes_.next_slot(at, packet.destination);
-    voq_[static_cast<std::size_t>(voq_base_[static_cast<std::size_t>(at)] +
-                                  slot)]
-        .push_back(std::move(packet));
+  const auto enqueue = [&](const VoqEntry& entry, hypergraph::Node at) {
+    const std::int32_t slot = routes_.next_slot(at, entry.destination);
+    const std::size_t qi = static_cast<std::size_t>(
+        voq_base_[static_cast<std::size_t>(at)] + slot);
+    const std::size_t size = voq.size(qi);
+    voq.push(qi, entry);
+    if (size == 0) {
+      masks.mark_nonempty(feed_, qi);
+    }
   };
 
   load.poll(0, inject);
@@ -476,71 +561,60 @@ RunMetrics PhasedEngineT<Routes>::run_workload_serial(
     for (const workload::WorkloadPacket& packet : inject) {
       ++metrics.offered_packets;
       ++inflight;
-      enqueue(Packet{packet.id, packet.source, packet.destination, now, 0},
-              packet.source);
+      enqueue(VoqEntry{packet.id, packet.destination, now, 0}, packet.source);
     }
     inject.clear();
     // Phase 1b: open-loop background traffic until the workload is
     // complete (load 0 generators never fire).
     if (!load_done) {
-      for (hypergraph::Node v = 0; v < nodes_; ++v) {
-        const TrafficDemand demand =
-            traffic_.demand(v, gen_rng[static_cast<std::size_t>(v)]);
-        if (!demand.has_packet || demand.destination == v) {
-          continue;
-        }
+      const std::size_t sender_count = traffic_.demand_batch_senders_streams(
+          0, nodes_, gen_rng.data(), senders.data());
+      metrics.offered_packets += static_cast<std::int64_t>(sender_count);
+      inflight += static_cast<std::int64_t>(sender_count);
+      for (std::size_t i = 0; i < sender_count; ++i) {
+        const SenderDemand d = senders[i];
         if (config_.recorder != nullptr) {
-          config_.recorder->record(now, v, demand.destination);
+          config_.recorder->record(now, d.source, d.destination);
         }
-        ++metrics.offered_packets;
-        ++inflight;
-        enqueue(Packet{background_base + now * nodes_ + v, v,
-                       demand.destination, now, 0},
-                v);
+        enqueue(VoqEntry{background_base + now * nodes_ + d.source,
+                         d.destination, now, 0},
+                d.source);
       }
     }
 
     // Phase 2: arbitration, drawing from the coupler's own stream.
     deliveries.clear();
-    for (hypergraph::HyperarcId h = 0; h < couplers_; ++h) {
-      const hypergraph::CouplerFeed feed = hg.coupler_feed(h);
-      const std::size_t feed_count = static_cast<std::size_t>(feed.count);
-      if (is_contender.size() < feed_count) {
-        is_contender.resize(feed_count, 0);
-      }
-      contenders.clear();
-      for (std::size_t si = 0; si < feed_count; ++si) {
-        if (!voq_[static_cast<std::size_t>(
-                      voq_base_[static_cast<std::size_t>(feed.source[si])] +
-                      feed.slot[si])]
-                 .empty()) {
-          contenders.push_back(si);
-          is_contender[si] = 1;
+    for (std::size_t aw = 0; aw < masks.active.size(); ++aw) {
+      std::uint64_t aword = masks.active[aw];
+      while (aword != 0) {
+        const std::size_t h =
+            (aw << 6) + static_cast<std::size_t>(std::countr_zero(aword));
+        aword &= aword - 1;
+        const std::size_t fb = static_cast<std::size_t>(feed_.feed_base[h]);
+        const std::size_t source_count =
+            static_cast<std::size_t>(feed_.feed_base[h + 1]) - fb;
+        const std::size_t mb = static_cast<std::size_t>(feed_.mask_base[h]);
+        const std::size_t words =
+            static_cast<std::size_t>(feed_.mask_base[h + 1]) - mb;
+        const bool collided = detail::pick_winners(
+            policy, capacity, source_count, masks.request.data() + mb, words,
+            token_[h], arb_rng[h], winners, scratch);
+        if (collided) {
+          ++metrics.collisions;
         }
-      }
-      if (contenders.empty()) {
-        continue;
-      }
-      const bool collided = detail::pick_winners(
-          config_.arbitration, capacity, feed_count, contenders, is_contender,
-          token_[static_cast<std::size_t>(h)],
-          arb_rng[static_cast<std::size_t>(h)], winners);
-      for (std::size_t si : contenders) {
-        is_contender[si] = 0;
-      }
-      if (collided) {
-        ++metrics.collisions;
-      }
-      for (std::size_t si : winners) {
-        auto& queue = voq_[static_cast<std::size_t>(
-            voq_base_[static_cast<std::size_t>(feed.source[si])] +
-            feed.slot[si])];
-        Packet packet = std::move(queue.front());
-        queue.pop_front();
-        ++packet.hops;
-        ++metrics.coupler_transmissions;
-        ++coupler_success[static_cast<std::size_t>(h)];
-        deliveries.push_back(Delivery{std::move(packet), h});
+        for (std::size_t si : winners) {
+          const std::size_t qi =
+              static_cast<std::size_t>(feed_.feed_qi[fb + si]);
+          VoqEntry entry = voq.pop_front(qi);
+          if (voq.empty(qi)) {
+            masks.mark_empty(feed_, qi);
+          }
+          ++entry.hops;
+          ++metrics.coupler_transmissions;
+          ++coupler_success[h];
+          deliveries.push_back(
+              Delivery{entry, static_cast<hypergraph::HyperarcId>(h)});
+        }
       }
     }
 
@@ -548,16 +622,16 @@ RunMetrics PhasedEngineT<Routes>::run_workload_serial(
     delivered_ids.clear();
     for (Delivery& d : deliveries) {
       const hypergraph::Node relay =
-          routes_.relay(d.coupler, d.packet.destination);
-      if (relay == d.packet.destination) {
+          routes_.relay(d.coupler, d.entry.destination);
+      if (relay == d.entry.destination) {
         ++metrics.delivered_packets;
-        metrics.latency.record(now - d.packet.created + 1);
-        if (d.packet.id < background_base) {
-          delivered_ids.push_back(d.packet.id);
+        metrics.latency.record(now - d.entry.created + 1);
+        if (d.entry.id < background_base) {
+          delivered_ids.push_back(d.entry.id);
         }
         --inflight;
       } else {
-        enqueue(std::move(d.packet), relay);
+        enqueue(d.entry, relay);
       }
     }
     for (std::int64_t id : delivered_ids) {
@@ -588,7 +662,6 @@ RunMetrics PhasedEngineT<Routes>::run_workload_serial(
 template <routing::RouteView Routes>
 RunMetrics PhasedEngineT<Routes>::run_workload_sharded(
     std::vector<std::int64_t>& coupler_success) {
-  const auto& hg = network_.hypergraph();
   workload::Workload& load = *config_.workload;
   load.reset();
 
@@ -605,8 +678,15 @@ RunMetrics PhasedEngineT<Routes>::run_workload_sharded(
   std::vector<core::Rng> gen_rng = node_streams(config_.seed, nodes_);
   std::vector<core::Rng> arb_rng = coupler_streams(config_.seed, couplers_);
 
-  std::vector<std::vector<Packet>> deliveries(
+  std::vector<std::vector<VoqEntry>> deliveries(
       static_cast<std::size_t>(couplers_));
+  /// Compact senders; disjoint per-shard slices at node_begin offsets.
+  std::vector<SenderDemand> senders(static_cast<std::size_t>(nodes_));
+
+  VoqArena voq;
+  voq.init(static_cast<std::size_t>(voq_base_.back()),
+           static_cast<std::size_t>(threads));
+  const std::size_t req_words = max_mask_words(feed_);
 
   struct Shard {
     std::int64_t node_begin = 0, node_end = 0;
@@ -616,22 +696,30 @@ RunMetrics PhasedEngineT<Routes>::run_workload_sharded(
     std::int64_t inflight_delta = 0;
     LatencyStats latency;
     std::vector<std::int64_t> delivered_ids;  ///< workload ids this slot
-    std::vector<std::size_t> contenders, winners;
-    std::vector<char> is_contender;
+    std::vector<std::size_t> winners, scratch;
+    std::vector<std::uint64_t> request;
   };
   std::vector<Shard> shards(static_cast<std::size_t>(threads));
   for (int w = 0; w < threads; ++w) {
     auto [nb, ne] = partition(nodes_, w, threads);
     auto [cb, ce] = partition(couplers_, w, threads);
-    shards[static_cast<std::size_t>(w)].node_begin = nb;
-    shards[static_cast<std::size_t>(w)].node_end = ne;
-    shards[static_cast<std::size_t>(w)].coupler_begin = cb;
-    shards[static_cast<std::size_t>(w)].coupler_end = ce;
+    Shard& shard = shards[static_cast<std::size_t>(w)];
+    shard.node_begin = nb;
+    shard.node_end = ne;
+    shard.coupler_begin = cb;
+    shard.coupler_end = ce;
+    shard.request.assign(req_words, 0);
+    for (std::int64_t qi = voq_base_[static_cast<std::size_t>(nb)];
+         qi < voq_base_[static_cast<std::size_t>(ne)]; ++qi) {
+      voq.set_pool(static_cast<std::size_t>(qi),
+                   static_cast<std::uint32_t>(w));
+    }
   }
 
   const std::int64_t background_base = load.packet_count();
   const SimTime bound = workload_slot_bound(load);
   const std::size_t capacity = static_cast<std::size_t>(config_.wavelengths);
+  const Arbitration policy = config_.arbitration;
 
   // Slot state shared across workers; mutated only in the slot
   // barrier's completion step (every worker is blocked then). `inject`
@@ -680,11 +768,11 @@ RunMetrics PhasedEngineT<Routes>::run_workload_sharded(
 
   const auto worker = [&](int w) {
     Shard& shard = shards[static_cast<std::size_t>(w)];
-    const auto enqueue = [&](const Packet& packet, hypergraph::Node at) {
-      const std::int32_t slot = routes_.next_slot(at, packet.destination);
-      voq_[static_cast<std::size_t>(voq_base_[static_cast<std::size_t>(at)] +
-                                    slot)]
-          .push_back(packet);
+    const auto enqueue = [&](const VoqEntry& entry, hypergraph::Node at) {
+      const std::int32_t slot = routes_.next_slot(at, entry.destination);
+      voq.push(static_cast<std::size_t>(
+                   voq_base_[static_cast<std::size_t>(at)] + slot),
+               entry);
     };
 
     while (true) {
@@ -696,93 +784,98 @@ RunMetrics PhasedEngineT<Routes>::run_workload_sharded(
         }
         ++shard.offered;
         ++shard.inflight_delta;
-        enqueue(Packet{packet.id, packet.source, packet.destination, now, 0},
+        enqueue(VoqEntry{packet.id, packet.destination, now, 0},
                 packet.source);
       }
-      // Phase 1b: background traffic over the shard's nodes.
+      // Phase 1b: background traffic over the shard's nodes (compact
+      // batch into the shard's slice of `senders`).
       if (!load_done) {
-        for (hypergraph::Node v = shard.node_begin; v < shard.node_end; ++v) {
-          const TrafficDemand demand =
-              traffic_.demand(v, gen_rng[static_cast<std::size_t>(v)]);
-          if (!demand.has_packet || demand.destination == v) {
-            continue;
-          }
+        const std::size_t sender_count =
+            traffic_.demand_batch_senders_streams(
+                shard.node_begin, shard.node_end, gen_rng.data(),
+                senders.data() + shard.node_begin);
+        shard.offered += static_cast<std::int64_t>(sender_count);
+        shard.inflight_delta += static_cast<std::int64_t>(sender_count);
+        for (std::size_t i = 0; i < sender_count; ++i) {
+          const SenderDemand d =
+              senders[static_cast<std::size_t>(shard.node_begin) + i];
           if (config_.recorder != nullptr) {
-            config_.recorder->record(now, v, demand.destination);
+            config_.recorder->record(now, d.source, d.destination);
           }
-          ++shard.offered;
-          ++shard.inflight_delta;
-          enqueue(Packet{background_base + now * nodes_ + v, v,
-                         demand.destination, now, 0},
-                  v);
+          enqueue(VoqEntry{background_base + now * nodes_ + d.source,
+                           d.destination, now, 0},
+                  d.source);
         }
       }
       phase_barrier.arrive_and_wait();
 
-      // Phase 2: arbitration over the shard's couplers.
+      // Phase 2: arbitration over the shard's couplers (local request
+      // rebuild, as in the open-loop sharded mode).
       for (hypergraph::HyperarcId h = shard.coupler_begin;
            h < shard.coupler_end; ++h) {
         auto& out = deliveries[static_cast<std::size_t>(h)];
         out.clear();
-        const hypergraph::CouplerFeed feed = hg.coupler_feed(h);
-        const std::size_t feed_count = static_cast<std::size_t>(feed.count);
-        if (shard.is_contender.size() < feed_count) {
-          shard.is_contender.resize(feed_count, 0);
+        const std::size_t fb = static_cast<std::size_t>(
+            feed_.feed_base[static_cast<std::size_t>(h)]);
+        const std::size_t source_count =
+            static_cast<std::size_t>(
+                feed_.feed_base[static_cast<std::size_t>(h) + 1]) -
+            fb;
+        const std::size_t words = (source_count + 63) / 64;
+        std::uint64_t any = 0;
+        for (std::size_t wi = 0; wi < words; ++wi) {
+          shard.request[wi] = 0;
         }
-        shard.contenders.clear();
-        for (std::size_t si = 0; si < feed_count; ++si) {
-          if (!voq_[static_cast<std::size_t>(
-                        voq_base_[static_cast<std::size_t>(feed.source[si])] +
-                        feed.slot[si])]
-                   .empty()) {
-            shard.contenders.push_back(si);
-            shard.is_contender[si] = 1;
+        for (std::size_t si = 0; si < source_count; ++si) {
+          const std::size_t qi =
+              static_cast<std::size_t>(feed_.feed_qi[fb + si]);
+          if (!voq.empty(qi)) {
+            shard.request[si >> 6] |= std::uint64_t{1} << (si & 63);
           }
         }
-        if (shard.contenders.empty()) {
+        for (std::size_t wi = 0; wi < words; ++wi) {
+          any |= shard.request[wi];
+        }
+        if (any == 0) {
           continue;
         }
         const bool collided = detail::pick_winners(
-            config_.arbitration, capacity, feed_count, shard.contenders,
-            shard.is_contender, token_[static_cast<std::size_t>(h)],
-            arb_rng[static_cast<std::size_t>(h)], shard.winners);
-        for (std::size_t si : shard.contenders) {
-          shard.is_contender[si] = 0;
-        }
+            policy, capacity, source_count, shard.request.data(), words,
+            token_[static_cast<std::size_t>(h)],
+            arb_rng[static_cast<std::size_t>(h)], shard.winners,
+            shard.scratch);
         if (collided) {
           ++shard.collisions;
         }
         for (std::size_t si : shard.winners) {
-          auto& queue = voq_[static_cast<std::size_t>(
-              voq_base_[static_cast<std::size_t>(feed.source[si])] +
-              feed.slot[si])];
-          Packet packet = std::move(queue.front());
-          queue.pop_front();
-          ++packet.hops;
+          const std::size_t qi =
+              static_cast<std::size_t>(feed_.feed_qi[fb + si]);
+          VoqEntry entry = voq.pop_front(qi);
+          ++entry.hops;
           ++shard.transmissions;
           ++coupler_success[static_cast<std::size_t>(h)];
-          out.push_back(packet);
+          out.push_back(entry);
         }
       }
       phase_barrier.arrive_and_wait();
 
       // Phase 3: consume the deliveries whose relay this shard owns.
       for (hypergraph::HyperarcId h = 0; h < couplers_; ++h) {
-        for (const Packet& packet : deliveries[static_cast<std::size_t>(h)]) {
-          const hypergraph::Node relay =
-              routes_.relay(h, packet.destination);
+        for (const VoqEntry& entry :
+             deliveries[static_cast<std::size_t>(h)]) {
+          const hypergraph::Node relay = routes_.relay(h, entry.destination);
           if (relay < shard.node_begin || relay >= shard.node_end) {
             continue;
           }
-          if (relay == packet.destination) {
+          if (relay == entry.destination) {
             ++shard.delivered;
-            shard.latency.record(now - packet.created + 1);
-            if (packet.id < background_base) {
-              shard.delivered_ids.push_back(packet.id);
+            shard.latency.record(now - entry.created + 1);
+            if (entry.id < background_base) {
+              shard.delivered_ids.push_back(entry.id);
             }
             --shard.inflight_delta;
           } else {
-            enqueue(packet, relay);
+            enqueue(entry, relay);
           }
         }
       }

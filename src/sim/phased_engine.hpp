@@ -3,13 +3,24 @@
 /// Direct three-phase slot engines behind OpsNetworkSim.
 ///
 /// One simulated slot is three phases over flat state:
-///   1. generate  -- every node asks its traffic source for a packet and
-///                   pushes it onto the VOQ chosen by the route view;
-///   2. arbitrate -- every coupler scans its flattened (source, voq-slot)
-///                   feed, picks winners (sim/arbitration.hpp) and pops
-///                   them off their ring buffers;
+///   1. generate  -- one batched traffic call fills the per-node demand
+///                   scratch (traffic.hpp demand_batch: same draw
+///                   sequence as per-node calls, one virtual dispatch
+///                   per slot) and every firing node pushes onto the
+///                   VOQ chosen by the route view;
+///   2. arbitrate -- couplers with any non-empty feed (found by a
+///                   count-trailing-zeros scan over the occupancy
+///                   summary bitmap) pick winners straight off their
+///                   request-mask words (sim/arbitration.hpp) and pop
+///                   them from the SoA VOQ arena;
 ///   3. receive   -- every winner is consumed by its relay: counted as
 ///                   delivered at the destination or re-enqueued onward.
+///
+/// VOQs live in a structure-of-arrays arena (voq_arena.hpp): one
+/// contiguous array per packet field plus flat head/size cursors, so
+/// the loops touch dense cache lines instead of chasing per-queue ring
+/// buffers. Per-coupler occupancy bitmasks (occupancy.hpp), maintained
+/// on VOQ push/pop, let arbitration skip empty couplers outright.
 ///
 /// The engine is templated over the RouteView (route_view.hpp): the
 /// dense CompiledRoutes and the group-factored CompressedRoutes compile
@@ -24,7 +35,10 @@
 /// couplers across worker threads with barrier-synced phases; all
 /// randomness comes from per-node (generation) and per-coupler
 /// (arbitration) streams, so the outcome is a pure function of the seed
-/// -- identical for every thread count and every partition.
+/// -- identical for every thread count and every partition. (Sharded
+/// workers rebuild request words locally instead of sharing the
+/// occupancy masks -- no atomics on the hot path -- and each shard owns
+/// its own arena pool so pushes never race on a growing allocation.)
 ///
 /// Workload (closed-loop) mode -- SimConfig::workload set -- replaces
 /// the fixed measure window with run-to-completion: phase 1 injects the
@@ -44,9 +58,10 @@
 #include "routing/compressed_routes.hpp"
 #include "routing/route_view.hpp"
 #include "sim/metrics.hpp"
+#include "sim/occupancy.hpp"
 #include "sim/ops_network.hpp"
-#include "sim/ring_buffer.hpp"
 #include "sim/traffic.hpp"
+#include "sim/voq_arena.hpp"
 
 namespace otis::sim {
 
@@ -77,9 +92,10 @@ class PhasedEngineT {
 
   std::int64_t nodes_ = 0;
   std::int64_t couplers_ = 0;
-  /// Flat VOQ pool: node v's queues are voq_[voq_base_[v] + slot].
+  /// Flat VOQ index space: node v's queues are voq_base_[v] + slot.
   std::vector<std::int64_t> voq_base_;
-  std::vector<RingBuffer<Packet>> voq_;
+  /// Feed -> VOQ map and request-mask geometry (immutable per network).
+  detail::FeedIndex feed_;
   std::vector<std::int64_t> token_;
 };
 

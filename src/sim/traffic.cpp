@@ -1,10 +1,28 @@
 #include "sim/traffic.hpp"
 
+#include <cmath>
+
 #include "core/error.hpp"
 
 namespace otis::sim {
 
 namespace {
+
+/// Integer-threshold form of Rng::bernoulli(p) for p in (0, 1): draws
+/// the same single 64-bit value and makes the identical decision.
+/// bernoulli compares (x >> 11) * 2^-53 < p, which for the 53-bit
+/// integer k = x >> 11 is exactly k < ceil(p * 2^53) (the product is a
+/// real scaled by a power of two, so the double holds it exactly) --
+/// the per-trial int-to-double conversion and float compare become one
+/// integer compare in the batch loops.
+struct BernoulliThreshold {
+  explicit BernoulliThreshold(double p)
+      : threshold(static_cast<std::uint64_t>(std::ceil(p * 0x1.0p53))) {}
+  [[nodiscard]] bool draw(core::Rng& rng) const noexcept {
+    return (rng() >> 11) < threshold;
+  }
+  std::uint64_t threshold;
+};
 
 std::int64_t uniform_other(std::int64_t node, std::int64_t nodes,
                            core::Rng& rng) {
@@ -20,7 +38,137 @@ std::int64_t uniform_other(std::int64_t node, std::int64_t nodes,
   return dest;
 }
 
+/// The batch loops of the built-in (final) generators: `gen` is a
+/// concrete reference, so the demand() calls devirtualize and inline --
+/// one virtual dispatch per slot instead of one per node. The draw
+/// order is the defining loop of the demand_batch contract verbatim.
+template <class Gen>
+void batch_single(Gen& gen, std::int64_t node_begin, std::int64_t node_end,
+                  core::Rng& rng, TrafficDemand* out) {
+  for (std::int64_t v = node_begin; v < node_end; ++v) {
+    out[v] = gen.demand(v, rng);
+  }
+}
+
+template <class Gen>
+void batch_streams(Gen& gen, std::int64_t node_begin, std::int64_t node_end,
+                   core::Rng* rngs, TrafficDemand* out) {
+  for (std::int64_t v = node_begin; v < node_end; ++v) {
+    out[v] = gen.demand(v, rngs[v]);
+  }
+}
+
+/// Compact-batch loops: the demand_batch loops with the engines'
+/// sender filter fused in, so the per-node "idle this slot" branch is
+/// taken once here instead of again over the dense array.
+template <class Gen>
+std::size_t senders_single(Gen& gen, std::int64_t node_begin,
+                           std::int64_t node_end, core::Rng& rng,
+                           SenderDemand* out) {
+  std::size_t count = 0;
+  for (std::int64_t v = node_begin; v < node_end; ++v) {
+    const TrafficDemand d = gen.demand(v, rng);
+    if (d.has_packet && d.destination != v) {
+      out[count++] = SenderDemand{v, d.destination};
+    }
+  }
+  return count;
+}
+
+template <class Gen>
+std::size_t senders_streams(Gen& gen, std::int64_t node_begin,
+                            std::int64_t node_end, core::Rng* rngs,
+                            SenderDemand* out) {
+  std::size_t count = 0;
+  for (std::int64_t v = node_begin; v < node_end; ++v) {
+    const TrafficDemand d = gen.demand(v, rngs[v]);
+    if (d.has_packet && d.destination != v) {
+      out[count++] = SenderDemand{v, d.destination};
+    }
+  }
+  return count;
+}
+
+/// UniformTraffic's compact batch: its demand() loop with the arrival
+/// gate in threshold form. The load <= 0 / >= 1 arms reproduce
+/// bernoulli()'s no-draw shortcuts; `rng_of(v)` selects the shared or
+/// per-node stream.
+template <class RngOf>
+std::size_t uniform_senders(std::int64_t nodes, double load,
+                            std::int64_t node_begin, std::int64_t node_end,
+                            RngOf rng_of, SenderDemand* out) {
+  std::size_t count = 0;
+  if (load <= 0.0) {
+    return 0;
+  }
+  if (load >= 1.0) {
+    for (std::int64_t v = node_begin; v < node_end; ++v) {
+      const std::int64_t dest = uniform_other(v, nodes, rng_of(v));
+      if (dest != v) {
+        out[count++] = SenderDemand{v, dest};
+      }
+    }
+    return count;
+  }
+  const BernoulliThreshold gate(load);
+  for (std::int64_t v = node_begin; v < node_end; ++v) {
+    core::Rng& rng = rng_of(v);
+    if (!gate.draw(rng)) {
+      continue;
+    }
+    const std::int64_t dest = uniform_other(v, nodes, rng);
+    if (dest != v) {
+      out[count++] = SenderDemand{v, dest};
+    }
+  }
+  return count;
+}
+
 }  // namespace
+
+void TrafficGenerator::demand_batch(std::int64_t node_begin,
+                                    std::int64_t node_end, core::Rng& rng,
+                                    TrafficDemand* out) {
+  for (std::int64_t v = node_begin; v < node_end; ++v) {
+    out[v] = demand(v, rng);
+  }
+}
+
+void TrafficGenerator::demand_batch_streams(std::int64_t node_begin,
+                                            std::int64_t node_end,
+                                            core::Rng* rngs,
+                                            TrafficDemand* out) {
+  for (std::int64_t v = node_begin; v < node_end; ++v) {
+    out[v] = demand(v, rngs[v]);
+  }
+}
+
+std::size_t TrafficGenerator::demand_batch_senders(std::int64_t node_begin,
+                                                   std::int64_t node_end,
+                                                   core::Rng& rng,
+                                                   SenderDemand* out) {
+  std::size_t count = 0;
+  for (std::int64_t v = node_begin; v < node_end; ++v) {
+    const TrafficDemand d = demand(v, rng);
+    if (d.has_packet && d.destination != v) {
+      out[count++] = SenderDemand{v, d.destination};
+    }
+  }
+  return count;
+}
+
+std::size_t TrafficGenerator::demand_batch_senders_streams(
+    std::int64_t node_begin, std::int64_t node_end, core::Rng* rngs,
+    SenderDemand* out) {
+  std::size_t count = 0;
+  for (std::int64_t v = node_begin; v < node_end; ++v) {
+    const TrafficDemand d = demand(v, rngs[v]);
+    if (d.has_packet && d.destination != v) {
+      out[count++] = SenderDemand{v, d.destination};
+    }
+  }
+  return count;
+}
 
 UniformTraffic::UniformTraffic(std::int64_t nodes, double load)
     : nodes_(nodes), load_(load) {
@@ -34,6 +182,34 @@ TrafficDemand UniformTraffic::demand(std::int64_t node, core::Rng& rng) {
     return {};
   }
   return TrafficDemand{true, uniform_other(node, nodes_, rng)};
+}
+
+void UniformTraffic::demand_batch(std::int64_t node_begin, std::int64_t node_end,
+                                  core::Rng& rng, TrafficDemand* out) {
+  batch_single(*this, node_begin, node_end, rng, out);
+}
+
+void UniformTraffic::demand_batch_streams(std::int64_t node_begin,
+                                          std::int64_t node_end, core::Rng* rngs,
+                                          TrafficDemand* out) {
+  batch_streams(*this, node_begin, node_end, rngs, out);
+}
+
+std::size_t UniformTraffic::demand_batch_senders(std::int64_t node_begin,
+                                                 std::int64_t node_end,
+                                                 core::Rng& rng,
+                                                 SenderDemand* out) {
+  return uniform_senders(
+      nodes_, load_, node_begin, node_end,
+      [&rng](std::int64_t) -> core::Rng& { return rng; }, out);
+}
+
+std::size_t UniformTraffic::demand_batch_senders_streams(
+    std::int64_t node_begin, std::int64_t node_end, core::Rng* rngs,
+    SenderDemand* out) {
+  return uniform_senders(
+      nodes_, load_, node_begin, node_end,
+      [rngs](std::int64_t v) -> core::Rng& { return rngs[v]; }, out);
 }
 
 HotspotTraffic::HotspotTraffic(std::int64_t nodes, double load,
@@ -59,6 +235,30 @@ TrafficDemand HotspotTraffic::demand(std::int64_t node, core::Rng& rng) {
   return TrafficDemand{true, uniform_other(node, nodes_, rng)};
 }
 
+void HotspotTraffic::demand_batch(std::int64_t node_begin, std::int64_t node_end,
+                                  core::Rng& rng, TrafficDemand* out) {
+  batch_single(*this, node_begin, node_end, rng, out);
+}
+
+void HotspotTraffic::demand_batch_streams(std::int64_t node_begin,
+                                          std::int64_t node_end, core::Rng* rngs,
+                                          TrafficDemand* out) {
+  batch_streams(*this, node_begin, node_end, rngs, out);
+}
+
+std::size_t HotspotTraffic::demand_batch_senders(std::int64_t node_begin,
+                                                 std::int64_t node_end,
+                                                 core::Rng& rng,
+                                                 SenderDemand* out) {
+  return senders_single(*this, node_begin, node_end, rng, out);
+}
+
+std::size_t HotspotTraffic::demand_batch_senders_streams(
+    std::int64_t node_begin, std::int64_t node_end, core::Rng* rngs,
+    SenderDemand* out) {
+  return senders_streams(*this, node_begin, node_end, rngs, out);
+}
+
 PermutationTraffic::PermutationTraffic(std::int64_t nodes, double load,
                                        std::uint64_t seed)
     : load_(load) {
@@ -82,6 +282,30 @@ TrafficDemand PermutationTraffic::demand(std::int64_t node, core::Rng& rng) {
     return {};
   }
   return TrafficDemand{true, partner_[static_cast<std::size_t>(node)]};
+}
+
+void PermutationTraffic::demand_batch(std::int64_t node_begin, std::int64_t node_end,
+                                      core::Rng& rng, TrafficDemand* out) {
+  batch_single(*this, node_begin, node_end, rng, out);
+}
+
+void PermutationTraffic::demand_batch_streams(std::int64_t node_begin,
+                                              std::int64_t node_end, core::Rng* rngs,
+                                              TrafficDemand* out) {
+  batch_streams(*this, node_begin, node_end, rngs, out);
+}
+
+std::size_t PermutationTraffic::demand_batch_senders(std::int64_t node_begin,
+                                                     std::int64_t node_end,
+                                                     core::Rng& rng,
+                                                     SenderDemand* out) {
+  return senders_single(*this, node_begin, node_end, rng, out);
+}
+
+std::size_t PermutationTraffic::demand_batch_senders_streams(
+    std::int64_t node_begin, std::int64_t node_end, core::Rng* rngs,
+    SenderDemand* out) {
+  return senders_streams(*this, node_begin, node_end, rngs, out);
 }
 
 BurstyTraffic::BurstyTraffic(std::int64_t nodes, double peak_load,
@@ -120,12 +344,60 @@ TrafficDemand BurstyTraffic::demand(std::int64_t node, core::Rng& rng) {
   return TrafficDemand{true, uniform_other(node, nodes_, rng)};
 }
 
+void BurstyTraffic::demand_batch(std::int64_t node_begin, std::int64_t node_end,
+                                 core::Rng& rng, TrafficDemand* out) {
+  batch_single(*this, node_begin, node_end, rng, out);
+}
+
+void BurstyTraffic::demand_batch_streams(std::int64_t node_begin,
+                                         std::int64_t node_end, core::Rng* rngs,
+                                         TrafficDemand* out) {
+  batch_streams(*this, node_begin, node_end, rngs, out);
+}
+
+std::size_t BurstyTraffic::demand_batch_senders(std::int64_t node_begin,
+                                                std::int64_t node_end,
+                                                core::Rng& rng,
+                                                SenderDemand* out) {
+  return senders_single(*this, node_begin, node_end, rng, out);
+}
+
+std::size_t BurstyTraffic::demand_batch_senders_streams(
+    std::int64_t node_begin, std::int64_t node_end, core::Rng* rngs,
+    SenderDemand* out) {
+  return senders_streams(*this, node_begin, node_end, rngs, out);
+}
+
 SaturationTraffic::SaturationTraffic(std::int64_t nodes) : nodes_(nodes) {
   OTIS_REQUIRE(nodes >= 1, "SaturationTraffic: need at least one node");
 }
 
 TrafficDemand SaturationTraffic::demand(std::int64_t node, core::Rng& rng) {
   return TrafficDemand{true, uniform_other(node, nodes_, rng)};
+}
+
+void SaturationTraffic::demand_batch(std::int64_t node_begin, std::int64_t node_end,
+                                     core::Rng& rng, TrafficDemand* out) {
+  batch_single(*this, node_begin, node_end, rng, out);
+}
+
+void SaturationTraffic::demand_batch_streams(std::int64_t node_begin,
+                                             std::int64_t node_end, core::Rng* rngs,
+                                             TrafficDemand* out) {
+  batch_streams(*this, node_begin, node_end, rngs, out);
+}
+
+std::size_t SaturationTraffic::demand_batch_senders(std::int64_t node_begin,
+                                                    std::int64_t node_end,
+                                                    core::Rng& rng,
+                                                    SenderDemand* out) {
+  return senders_single(*this, node_begin, node_end, rng, out);
+}
+
+std::size_t SaturationTraffic::demand_batch_senders_streams(
+    std::int64_t node_begin, std::int64_t node_end, core::Rng* rngs,
+    SenderDemand* out) {
+  return senders_streams(*this, node_begin, node_end, rngs, out);
 }
 
 }  // namespace otis::sim

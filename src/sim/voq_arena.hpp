@@ -1,0 +1,196 @@
+#pragma once
+/// \file voq_arena.hpp
+/// Structure-of-arrays arena backing the slot engines' virtual output
+/// queues (replaces the per-queue RingBuffer<Packet> vector).
+///
+/// The phased/async hot loops touch thousands of VOQs per slot but only
+/// ever read one field at a time (a head destination for routing, a head
+/// ready-tick for the async gate, a size for the capacity check). An
+/// array-of-structs layout drags the whole Packet through the cache for
+/// each of those reads; the arena instead keeps one contiguous array per
+/// entry field, plus a packed 24-byte header per queue (segment base,
+/// head, length, capacity, pool) so a push or pop touches exactly one
+/// header cache line instead of one per index array.
+///
+/// Queues own power-of-two segments of the pool. A full queue gets a
+/// fresh segment of twice the size at the pool end and abandons the old
+/// one; as with per-queue doubling vectors, abandoned space is bounded
+/// by the live capacity (geometric series), and indices -- not pointers
+/// -- reference entries, so growth never invalidates anything.
+///
+/// Sharded runs hand every shard its own pool (init(queues, shards) +
+/// set_pool): pushes -- the only operation that can grow a pool -- are
+/// always issued by the owning shard, while the barrier-separated
+/// arbitration phase only pops (head/size updates, no reallocation), so
+/// concurrent phases never race on a pool's backing vectors. Serial
+/// engines use a single pool and pay one extra (always-zero, cached)
+/// pool-id load per access.
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace otis::sim {
+
+/// One queued packet, minus the source node: once a packet sits in a
+/// VOQ its source is never read again (relays are resolved from the
+/// coupler), so the arena does not store it.
+struct VoqEntry {
+  std::int64_t id = 0;
+  std::int64_t destination = 0;
+  std::int64_t created = 0;  ///< slot (phased) or tick (async)
+  std::int32_t hops = 0;
+};
+
+/// VoqEntry plus the tick the transmitter finishes tuning (async
+/// engine's eligibility gate).
+struct TimedVoqEntry {
+  std::int64_t id = 0;
+  std::int64_t destination = 0;
+  std::int64_t created = 0;
+  std::int32_t hops = 0;
+  std::int64_t ready = 0;
+};
+
+template <bool Timed>
+class VoqArenaT {
+ public:
+  using Entry = std::conditional_t<Timed, TimedVoqEntry, VoqEntry>;
+
+  /// Initial per-queue segment capacity (matches the old RingBuffer).
+  static constexpr std::uint32_t kInitialCapacity = 8;
+
+  /// Re-initializes to `queue_count` empty queues spread over
+  /// `pool_count` independently growable pools. Every queue starts in
+  /// pool 0; sharded callers reassign with set_pool() before pushing.
+  void init(std::size_t queue_count, std::size_t pool_count = 1) {
+    pools_.clear();
+    pools_.resize(pool_count);
+    queues_.assign(queue_count, Header{});
+  }
+
+  void set_pool(std::size_t q, std::uint32_t pool) {
+    queues_[q].pool = pool;
+  }
+
+  [[nodiscard]] std::size_t queue_count() const noexcept {
+    return queues_.size();
+  }
+  [[nodiscard]] std::size_t size(std::size_t q) const noexcept {
+    return queues_[q].len;
+  }
+  [[nodiscard]] bool empty(std::size_t q) const noexcept {
+    return queues_[q].len == 0;
+  }
+
+  void push(std::size_t q, const Entry& e) {
+    Header& ref = queues_[q];
+    if (ref.len == ref.cap) {
+      grow(ref);
+    }
+    Pool& pool = pools_[ref.pool];
+    const std::size_t at =
+        ref.base + ((ref.head + ref.len) & (ref.cap - 1));
+    pool.id[at] = e.id;
+    pool.destination[at] = e.destination;
+    pool.created[at] = e.created;
+    pool.hops[at] = e.hops;
+    if constexpr (Timed) {
+      pool.ready[at] = e.ready;
+    }
+    ++ref.len;
+  }
+
+  /// Copy of the head entry; the queue must be non-empty.
+  [[nodiscard]] Entry front(std::size_t q) const {
+    const Header& ref = queues_[q];
+    const Pool& pool = pools_[ref.pool];
+    const std::size_t at = ref.base + ref.head;
+    Entry e;
+    e.id = pool.id[at];
+    e.destination = pool.destination[at];
+    e.created = pool.created[at];
+    e.hops = pool.hops[at];
+    if constexpr (Timed) {
+      e.ready = pool.ready[at];
+    }
+    return e;
+  }
+
+  /// Ready tick of the head entry without copying the rest (the async
+  /// eligibility gate reads only this field).
+  [[nodiscard]] std::int64_t front_ready(std::size_t q) const
+    requires Timed
+  {
+    const Header& ref = queues_[q];
+    return pools_[ref.pool].ready[ref.base + ref.head];
+  }
+
+  /// Removes and returns the head entry; the queue must be non-empty.
+  Entry pop_front(std::size_t q) {
+    Entry e = front(q);
+    Header& ref = queues_[q];
+    ref.head = (ref.head + 1) & (ref.cap - 1);
+    --ref.len;
+    return e;
+  }
+
+ private:
+  /// Per-queue metadata, packed so every queue operation touches one
+  /// header cache line (three headers per 64-byte line).
+  struct Header {
+    std::size_t base = 0;    ///< segment start in its pool
+    std::uint32_t head = 0;  ///< head offset (masked by cap - 1)
+    std::uint32_t len = 0;   ///< live entry count
+    std::uint32_t cap = 0;   ///< segment capacity (power of two)
+    std::uint32_t pool = 0;  ///< owning pool index
+  };
+
+  struct Pool {
+    std::vector<std::int64_t> id;
+    std::vector<std::int64_t> destination;
+    std::vector<std::int64_t> created;
+    std::vector<std::int32_t> hops;
+    std::vector<std::int64_t> ready;  ///< allocated only when Timed
+  };
+
+  void grow(Header& ref) {
+    Pool& pool = pools_[ref.pool];
+    const std::uint32_t old_cap = ref.cap;
+    const std::uint32_t new_cap =
+        old_cap == 0 ? kInitialCapacity : old_cap * 2;
+    const std::size_t nb = pool.id.size();
+    pool.id.resize(nb + new_cap);
+    pool.destination.resize(nb + new_cap);
+    pool.created.resize(nb + new_cap);
+    pool.hops.resize(nb + new_cap);
+    if constexpr (Timed) {
+      pool.ready.resize(nb + new_cap);
+    }
+    const std::size_t ob = ref.base;
+    for (std::uint32_t i = 0; i < ref.len; ++i) {
+      const std::size_t from = ob + ((ref.head + i) & (old_cap - 1));
+      pool.id[nb + i] = pool.id[from];
+      pool.destination[nb + i] = pool.destination[from];
+      pool.created[nb + i] = pool.created[from];
+      pool.hops[nb + i] = pool.hops[from];
+      if constexpr (Timed) {
+        pool.ready[nb + i] = pool.ready[from];
+      }
+    }
+    ref.base = nb;
+    ref.head = 0;
+    ref.cap = new_cap;
+  }
+
+  std::vector<Pool> pools_;
+  std::vector<Header> queues_;
+};
+
+/// The phased engines' arena.
+using VoqArena = VoqArenaT<false>;
+/// The async engine's arena (per-entry ready ticks).
+using TimedVoqArena = VoqArenaT<true>;
+
+}  // namespace otis::sim

@@ -16,6 +16,7 @@
 #include "hypergraph/stack_imase_itoh.hpp"
 #include "hypergraph/stack_kautz.hpp"
 #include "routing/compiled_routes.hpp"
+#include "routing/compressed_routes.hpp"
 #include "routing/generic_stack_routing.hpp"
 #include "routing/stack_routing.hpp"
 #include "sim/metrics.hpp"
@@ -205,6 +206,62 @@ TEST(EngineEquivalence, DrainBitParityAcrossAllEnginesAndThreadCounts) {
           expect_identical(sharded_one, sharded_many);
         }
         EXPECT_EQ(sharded_one.backlog, 0);
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, LargerStackKautzParityAcrossRoutesAndThreads) {
+  // SK(5,4,2): 160 processors, a size class above the other fixtures,
+  // so the compact-sender generation batches span multiple shards with
+  // ragged per-shard sender counts. One event-queue reference run
+  // (hook-routed) must be matched bit-for-bit by the phased engine on
+  // dense AND on group-compressed tables, by the async engine in its
+  // slot-aligned limit, and by the sharded engine at every thread
+  // count, on both route representations.
+  hypergraph::StackKautz sk(5, 4, 2);
+  routing::StackKautzRouter router(sk);
+  const auto dense = std::make_shared<const routing::CompiledRoutes>(
+      routing::compile_stack_kautz_routes(sk));
+  const auto compressed =
+      std::make_shared<const routing::CompressedRoutes>(
+          routing::compress_stack_kautz_routes(sk));
+  for (Arbitration arb : kAllPolicies) {
+    SCOPED_TRACE(arbitration_name(arb));
+    SimConfig config;
+    config.arbitration = arb;
+    config.warmup_slots = 30;
+    config.measure_slots = 250;
+    config.seed = 23;
+    auto run = [&](Engine engine, bool use_compressed, int threads) {
+      SimConfig c = config;
+      c.engine = engine;
+      c.threads = threads;
+      auto traffic =
+          std::make_unique<UniformTraffic>(sk.processor_count(), 0.4);
+      if (engine == Engine::kEventQueue) {
+        OpsNetworkSim sim(sk.stack(), stack_kautz_hooks(router),
+                          std::move(traffic), c);
+        return sim.run();
+      }
+      if (use_compressed) {
+        OpsNetworkSim sim(sk.stack(), compressed, std::move(traffic), c);
+        return sim.run();
+      }
+      OpsNetworkSim sim(sk.stack(), dense, std::move(traffic), c);
+      return sim.run();
+    };
+    const RunMetrics legacy = run(Engine::kEventQueue, false, 1);
+    for (bool use_compressed : {false, true}) {
+      SCOPED_TRACE(use_compressed ? "compressed" : "dense");
+      expect_identical(legacy, run(Engine::kPhased, use_compressed, 1));
+      expect_identical(legacy, run(Engine::kAsync, use_compressed, 1));
+      const RunMetrics sharded_one =
+          run(Engine::kSharded, use_compressed, 1);
+      for (int threads : {2, 3, 5, 8}) {
+        SCOPED_TRACE(threads);
+        expect_identical(sharded_one,
+                         run(Engine::kSharded, use_compressed, threads));
       }
     }
   }
