@@ -89,7 +89,7 @@ void refold_completed_cells(const std::string& out_dir,
 void print_usage(std::ostream& os) {
   os << "usage: campaign_runner --spec FILE.json [--out DIR] [--threads N]\n"
      << "                       [--resume] [--shard I/N] [--no-jsonl]\n"
-     << "                       [--no-csv] [--list-cells]\n"
+     << "                       [--no-csv] [--progress] [--list-cells]\n"
      << "  --spec     campaign spec file (see README 'Running campaigns')\n"
      << "  --out      output directory for results.jsonl, results.csv,\n"
      << "             manifest.txt and aggregate.csv\n"
@@ -100,9 +100,12 @@ void print_usage(std::ostream& os) {
      << "             machines; concatenate the shards' results.jsonl and\n"
      << "             manifest.txt to refold the full grid (composes with\n"
      << "             --resume)\n"
-     << "  --list-cells  dry run: print every cell's expansion index, ID\n"
-     << "             and status (pending / done per the manifest / other\n"
-     << "             shard) without simulating anything -- for planning\n"
+     << "  --progress heartbeat on stderr every ~2 s: cells done/total,\n"
+     << "             rate, ETA and busy workers\n"
+     << "  --list-cells  dry run: print every cell's expansion index,\n"
+     << "             status, engine, estimated weight (nodes x slots --\n"
+     << "             for balancing shards by work, not cell count) and\n"
+     << "             ID without simulating anything -- for planning\n"
      << "             sharded and resumed runs\n";
 }
 
@@ -120,7 +123,14 @@ int list_cells(const otis::campaign::CampaignSpec& spec,
             .string());
   }
   std::int64_t pending = 0, done = 0, other_shard = 0;
+  std::int64_t pending_weight = 0;
   for (const otis::campaign::CampaignCell& cell : cells) {
+    // Estimated cell weight: nodes x simulated slots, the slot loop's
+    // work bound up to the per-slot constant. Closed-loop (workload)
+    // cells run to completion, so their window is a lower bound.
+    const std::int64_t weight =
+        spec.topologies[cell.topology].processor_count() *
+        (spec.warmup_slots + spec.measure_slots);
     const char* status = "pending";
     if (cell.index % options.shard_count != options.shard_index) {
       status = "other-shard";
@@ -130,13 +140,15 @@ int list_cells(const otis::campaign::CampaignSpec& spec,
       ++done;
     } else {
       ++pending;
+      pending_weight += weight;
     }
     std::cout << cell.index << "\t" << status << "\t"
-              << otis::sim::engine_name(cell.engine) << "\t" << cell.id
-              << "\n";
+              << otis::sim::engine_name(cell.engine) << "\t" << weight
+              << "\t" << cell.id << "\n";
   }
   std::cout << "[campaign] " << spec.name << ": " << cells.size()
-            << " cells, " << pending << " pending";
+            << " cells, " << pending << " pending (weight "
+            << pending_weight << ")";
   if (options.shard_count > 1) {
     std::cout << " in shard " << options.shard_index << "/"
               << options.shard_count << " (" << other_shard
@@ -182,7 +194,7 @@ int main(int argc, char** argv) {
     const otis::core::Args args(
         argc, argv,
         {"spec", "out", "threads", "resume", "shard", "no-jsonl", "no-csv",
-         "list-cells", "help"});
+         "progress", "list-cells", "help"});
     if (args.has("help")) {
       print_usage(std::cout);
       return 0;
@@ -202,6 +214,7 @@ int main(int argc, char** argv) {
     options.resume = args.has("resume");
     options.write_jsonl = !args.has("no-jsonl");
     options.write_csv = !args.has("no-csv");
+    options.progress = args.has("progress");
     if (args.has("shard")) {
       std::tie(options.shard_index, options.shard_count) =
           parse_shard(args.get("shard", ""));

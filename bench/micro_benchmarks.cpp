@@ -51,6 +51,7 @@
 #include "core/args.hpp"
 #include "core/rng.hpp"
 #include "core/table.hpp"
+#include "obs/telemetry.hpp"
 #include "designs/builders.hpp"
 #include "designs/verify.hpp"
 #include "graph/algorithms.hpp"
@@ -163,6 +164,14 @@ constexpr HotPhase kHotFunctions[] = {
      "\"OccupancyMasks::mark_nonempty\", \"LatencyStats::record\""},
 };
 
+/// The telemetry overhead modes of the BENCH telemetry rows: no
+/// telemetry attached (the null-pointer fast path every production run
+/// takes by default), attached with an all-defaults config (pays only
+/// the per-slot pointer/period tests -- the enforced <= 2% bar), and
+/// sampling every 64 slots into a discarding writer (the amortized
+/// probe-fill cost, reported but not enforced).
+enum class TelemetryMode { kOff, kDisabled, kSampling };
+
 /// One timed simulator run: construction (route-table sharing, arena
 /// and feed-index setup) happens before the clock starts; only
 /// sim.run() is timed. Returns wall seconds.
@@ -170,7 +179,8 @@ double time_sim_run(const SimBenchCase& c, otis::sim::Arbitration arb,
                     otis::sim::Engine engine, int threads,
                     bool compressed_routes,
                     otis::sim::PhaseBreakdown* breakdown,
-                    otis::sim::RunMetrics* metrics_out = nullptr) {
+                    otis::sim::RunMetrics* metrics_out = nullptr,
+                    TelemetryMode telemetry = TelemetryMode::kOff) {
   otis::sim::SimConfig config;
   config.arbitration = arb;
   config.warmup_slots = 0;
@@ -180,6 +190,13 @@ double time_sim_run(const SimBenchCase& c, otis::sim::Arbitration arb,
   config.threads = threads;
   // Accumulates across reps; callers divide by the accumulated slots.
   config.phase_breakdown = breakdown;
+  if (telemetry == TelemetryMode::kDisabled) {
+    config.telemetry = otis::obs::Telemetry::create({});
+  } else if (telemetry == TelemetryMode::kSampling) {
+    otis::obs::TelemetryConfig tc;
+    tc.sample_period = 64;  // empty timeseries_path: rows counted, not written
+    config.telemetry = otis::obs::Telemetry::create(tc);
+  }
   auto traffic =
       std::make_unique<otis::sim::UniformTraffic>(c.nodes, kSimLoad);
   std::unique_ptr<otis::sim::OpsNetworkSim> sim;
@@ -291,6 +308,13 @@ struct QueueBenchResult {
   std::string queue;
   std::int64_t pending;
   double events_per_sec;
+};
+
+/// One telemetry-overhead datapoint: the phased SK(4,3,2)/token case
+/// with the obs layer in one of the TelemetryMode states.
+struct TelemetryBenchRow {
+  std::string mode;
+  double slots_per_sec;
 };
 
 constexpr std::int64_t kQueuePending = 1'000'000;
@@ -453,6 +477,9 @@ void write_bench_json(const std::string& path,
                       const std::vector<QueueBenchResult>& queues,
                       const std::vector<CollectiveBenchRow>& collectives,
                       const std::vector<PhaseRow>& phases,
+                      const std::vector<TelemetryBenchRow>& telemetry,
+                      const PairedSpeedup& telemetry_speedup,
+                      bool telemetry_pass,
                       const PairedSpeedup& queue_speedup, bool queue_pass,
                       const PairedSpeedup& sk_speedup, bool pass) {
   std::ofstream out(path);
@@ -508,8 +535,23 @@ void write_bench_json(const std::string& path,
         << ", \"analytic_slots\": " << c.analytic_slots << "}"
         << (i + 1 < collectives.size() ? "," : "") << "\n";
   }
+  out << "  ],\n"
+      << "  \"telemetry\": [\n";
+  for (std::size_t i = 0; i < telemetry.size(); ++i) {
+    const TelemetryBenchRow& t = telemetry[i];
+    out << "    {\"mode\": \"" << t.mode << "\", \"slots_per_sec\": "
+        << static_cast<std::int64_t>(t.slots_per_sec) << "}"
+        << (i + 1 < telemetry.size() ? "," : "") << "\n";
+  }
   out << "  ],\n";
   write_phase_sections(out, phases);
+  // telemetry_speedup.best is off/disabled time ratio >= 1 means free;
+  // overhead_pct = (1/best - 1) * 100 is the slowdown the disabled obs
+  // layer costs the hot path (the <= 2% bar from the PR contract).
+  const double telemetry_overhead_pct =
+      telemetry_speedup.best > 0.0
+          ? (1.0 / telemetry_speedup.best - 1.0) * 100.0
+          : 100.0;
   out << "  \"acceptance\": {\"topology\": \"SK(4,3,2)\", \"arbitration\": "
          "\"token\", \"statistic\": \"best_paired_round\", \"rounds\": "
       << kAcceptanceRounds
@@ -522,7 +564,12 @@ void write_bench_json(const std::string& path,
       << otis::core::format_double(queue_speedup.best, 2)
       << ", \"queue_median_speedup\": "
       << otis::core::format_double(queue_speedup.median, 2)
-      << ", \"queue_pass\": " << (queue_pass ? "true" : "false") << "}\n"
+      << ", \"queue_pass\": " << (queue_pass ? "true" : "false")
+      << ", \"telemetry_overhead_pct\": "
+      << otis::core::format_double(telemetry_overhead_pct, 2)
+      << ", \"telemetry_required_max_overhead_pct\": 2.0"
+      << ", \"telemetry_pass\": " << (telemetry_pass ? "true" : "false")
+      << "}\n"
       << "}\n";
 }
 
@@ -850,6 +897,53 @@ int main(int argc, char** argv) {
   }
   collectives_table.print(std::cout);
 
+  // --------------------------------------------- telemetry overhead
+  // The obs-layer cost ladder on the acceptance case. The enforced bar
+  // is the attached-but-disabled mode (pure branch cost); the sampling
+  // row reports the amortized probe-fill price for context.
+  std::cout << "\n[telemetry] obs-layer overhead on SK(4,3,2)/token, "
+               "phased serial (" << kAcceptanceRounds
+            << " paired rounds)\n\n";
+  double tel_off_best = 1e300;
+  double tel_disabled_best = 1e300;
+  const PairedSpeedup telemetry_speedup = paired_speedup(
+      kAcceptanceRounds,
+      [&] {
+        const double t = time_sim_run(
+            cases[0], otis::sim::Arbitration::kTokenRoundRobin,
+            otis::sim::Engine::kPhased, 1, false, nullptr, nullptr,
+            TelemetryMode::kDisabled);
+        tel_disabled_best = std::min(tel_disabled_best, t);
+        return t;
+      },
+      [&] {
+        const double t = time_sim_run(
+            cases[0], otis::sim::Arbitration::kTokenRoundRobin,
+            otis::sim::Engine::kPhased, 1, false, nullptr, nullptr,
+            TelemetryMode::kOff);
+        tel_off_best = std::min(tel_off_best, t);
+        return t;
+      });
+  double tel_sampling_best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    tel_sampling_best = std::min(
+        tel_sampling_best,
+        time_sim_run(cases[0], otis::sim::Arbitration::kTokenRoundRobin,
+                     otis::sim::Engine::kPhased, 1, false, nullptr, nullptr,
+                     TelemetryMode::kSampling));
+  }
+  const std::vector<TelemetryBenchRow> telemetry_rows = {
+      {"off", static_cast<double>(kSimSlots) / tel_off_best},
+      {"disabled", static_cast<double>(kSimSlots) / tel_disabled_best},
+      {"sampling_64", static_cast<double>(kSimSlots) / tel_sampling_best}};
+  otis::core::Table telemetry_table({"mode", "slots/s"});
+  for (const TelemetryBenchRow& t : telemetry_rows) {
+    telemetry_table.add(t.mode, static_cast<std::int64_t>(t.slots_per_sec));
+  }
+  telemetry_table.print(std::cout);
+  // best >= 0.98 <=> disabled costs at most ~2% over the null pointer.
+  const bool telemetry_pass = telemetry_speedup.best >= 0.98;
+
   const bool queue_pass = queue_speedup.best >= 3.0;
 
   // The enforced phased-vs-event-queue ratio: dedicated paired rounds
@@ -870,7 +964,8 @@ int main(int argc, char** argv) {
       });
   const bool pass = speedup.best >= 6.0;
   write_bench_json(out_path, results, route_tables, queues, collectives,
-                   phases, queue_speedup, queue_pass, speedup, pass);
+                   phases, telemetry_rows, telemetry_speedup, telemetry_pass,
+                   queue_speedup, queue_pass, speedup, pass);
   if (args.has("phases-out")) {
     const std::string phases_path =
         args.get("phases-out", "BENCH_phases.json");
@@ -888,6 +983,14 @@ int main(int argc, char** argv) {
             << "x, median "
             << otis::core::format_double(queue_speedup.median, 2)
             << "x (acceptance: best >= 3x: " << (queue_pass ? "PASS" : "FAIL")
+            << ")\ndisabled-telemetry overhead: "
+            << otis::core::format_double(
+                   telemetry_speedup.best > 0.0
+                       ? (1.0 / telemetry_speedup.best - 1.0) * 100.0
+                       : 100.0,
+                   2)
+            << "% (acceptance: <= 2%: "
+            << (telemetry_pass ? "PASS" : "FAIL")
             << ")\nresults written to " << out_path << "\n";
-  return pass && queue_pass ? 0 : 1;
+  return pass && queue_pass && telemetry_pass ? 0 : 1;
 }

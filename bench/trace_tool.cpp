@@ -5,6 +5,7 @@
 //   trace_tool replay    --trace FILE [--engine phased|sharded|async]
 //                        [--threads N] [--routes dense|compressed]
 //   trace_tool roundtrip --out FILE [--slots N] [--load L] [--seed S]
+//   trace_tool summary   --trace FILE
 //
 // record runs uniform traffic on SK(4,3,2) (phased engine) with a
 // TraceRecorder attached and writes the canonical (slot, src, dst)
@@ -13,6 +14,9 @@
 // the trace through BOTH serializations, replay it on every engine x
 // route table x thread count {1,2,3,5,8}, and fail unless every digest
 // is bit-identical -- the workload determinism contract, end to end.
+// summary prints the trace's shape without replaying it: slot span,
+// packet count, and the per-source packet-count histogram -- a fast
+// sanity check on recorded or hand-built traces before a long replay.
 
 #include <iostream>
 #include <memory>
@@ -20,8 +24,11 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "core/args.hpp"
 #include "core/error.hpp"
+#include "core/table.hpp"
 #include "hypergraph/stack_kautz.hpp"
 #include "routing/compiled_routes.hpp"
 #include "routing/compressed_routes.hpp"
@@ -154,13 +161,76 @@ int roundtrip(Bench& bench, const std::string& out, std::int64_t slots,
   return ok ? 0 : 1;
 }
 
+int summarize(const otis::workload::Trace& trace) {
+  std::int64_t first_slot = 0;
+  std::int64_t last_slot = 0;
+  if (!trace.entries.empty()) {
+    // Entries are canonical (sorted by slot), so the span is the ends.
+    first_slot = trace.entries.front().slot;
+    last_slot = trace.entries.back().slot;
+  }
+  const std::int64_t span =
+      trace.entries.empty() ? 0 : last_slot - first_slot + 1;
+  std::cout << "[trace] nodes " << trace.nodes << ", packets "
+            << trace.entries.size() << ", slots [" << first_slot << ", "
+            << last_slot << "] (span " << span << ")";
+  if (span > 0) {
+    std::cout << ", "
+              << static_cast<double>(trace.entries.size()) /
+                     static_cast<double>(span)
+              << " packets/slot";
+  }
+  std::cout << "\n\n";
+
+  std::vector<std::int64_t> per_source(
+      static_cast<std::size_t>(trace.nodes), 0);
+  for (const otis::workload::TraceEntry& e : trace.entries) {
+    ++per_source[static_cast<std::size_t>(e.source)];
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(per_source.begin(), per_source.end());
+  const std::int64_t max_count = per_source.empty() ? 0 : *max_it;
+
+  // Histogram of sources by packet count: doubling buckets from the
+  // busiest source down, so hot senders stand out at any trace scale.
+  std::vector<std::int64_t> bounds = {0, 1};
+  for (std::int64_t b = 2; b <= max_count; b *= 2) {
+    bounds.push_back(b);
+  }
+  otis::core::Table histogram({"packets", "sources"});
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const std::int64_t lo = bounds[i];
+    const std::int64_t hi =
+        i + 1 < bounds.size() ? bounds[i + 1] - 1 : max_count;
+    std::int64_t sources = 0;
+    for (const std::int64_t count : per_source) {
+      sources += count >= lo && count <= hi ? 1 : 0;
+    }
+    const std::string label = lo == hi
+                                  ? std::to_string(lo)
+                                  : std::to_string(lo) + "-" +
+                                        std::to_string(hi);
+    histogram.add(label, sources);
+  }
+  histogram.print(std::cout);
+  std::cout << "\nper-source packets: min " << (per_source.empty() ? 0 : *min_it)
+            << ", mean "
+            << (trace.nodes > 0
+                    ? static_cast<double>(trace.entries.size()) /
+                          static_cast<double>(trace.nodes)
+                    : 0.0)
+            << ", max " << max_count << "\n";
+  return 0;
+}
+
 void print_usage(std::ostream& os) {
   os << "usage: trace_tool record    --out FILE [--format binary|jsonl]\n"
      << "                            [--slots N] [--load L] [--seed S]\n"
      << "       trace_tool replay    --trace FILE [--engine E]\n"
      << "                            [--threads N] [--routes R]\n"
      << "       trace_tool roundtrip --out FILE [--slots N] [--load L]\n"
-     << "                            [--seed S]\n";
+     << "                            [--seed S]\n"
+     << "       trace_tool summary   --trace FILE\n";
 }
 
 }  // namespace
@@ -227,6 +297,11 @@ int main(int argc, char** argv) {
       const std::string out = args.get("out", "");
       OTIS_REQUIRE(!out.empty(), "trace_tool roundtrip: --out is required");
       return roundtrip(bench, out, slots, load, seed);
+    }
+    if (command == "summary") {
+      const std::string path = args.get("trace", "");
+      OTIS_REQUIRE(!path.empty(), "trace_tool summary: --trace is required");
+      return summarize(otis::workload::Trace::load(path));
     }
     print_usage(std::cerr);
     return 2;

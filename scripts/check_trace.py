@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-trace JSON file emitted by the obs layer.
+
+Usage: check_trace.py TRACE.json [--min-events N]
+
+Checks, in order:
+  1. the file parses as JSON and has a `traceEvents` array;
+  2. every event is a complete event ("ph": "X") with the required
+     fields (name, cat, ph, ts, dur, pid, tid), non-negative ts/dur,
+     and pid 0 (the repo's single-process track convention);
+  3. within each (pid, tid) track, spans strictly nest: sorted by
+     start time (longest first on ties), every span either follows the
+     previous ones or lies fully inside the innermost still-open span
+     -- partial overlap means an engine emitted a malformed span pair;
+  4. at least --min-events events are present (default 1), so an
+     accidentally-empty trace fails CI instead of passing vacuously.
+
+Exit status 0 on a valid trace, 1 otherwise, with one line per
+violation (capped) so the CI log points at the broken events.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_FIELDS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+MAX_REPORTED = 20
+
+
+def check_events(events, min_events):
+    errors = []
+
+    def report(message):
+        if len(errors) < MAX_REPORTED:
+            errors.append(message)
+
+    if len(events) < min_events:
+        report(f"expected at least {min_events} events, found {len(events)}")
+
+    tracks = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            report(f"event {i}: not an object")
+            continue
+        missing = [f for f in REQUIRED_FIELDS if f not in event]
+        if missing:
+            report(f"event {i}: missing fields {missing}")
+            continue
+        if event["ph"] != "X":
+            report(f"event {i} ({event['name']}): ph is {event['ph']!r}, "
+                   "expected complete event 'X'")
+        if event["pid"] != 0:
+            report(f"event {i} ({event['name']}): pid {event['pid']}, "
+                   "expected 0")
+        if event["ts"] < 0 or event["dur"] < 0:
+            report(f"event {i} ({event['name']}): negative ts/dur")
+            continue
+        tracks.setdefault((event["pid"], event["tid"]), []).append(event)
+
+    for (pid, tid), track in sorted(tracks.items()):
+        track.sort(key=lambda e: (e["ts"], -e["dur"]))
+        previous_ts = None
+        stack = []  # innermost-last open spans as (name, start, end)
+        for event in track:
+            ts, end = event["ts"], event["ts"] + event["dur"]
+            if previous_ts is not None and ts < previous_ts:
+                report(f"track {pid}/{tid}: timestamps not monotone at "
+                       f"{event['name']}")
+            previous_ts = ts
+            while stack and stack[-1][2] <= ts:
+                stack.pop()
+            if stack and end > stack[-1][2]:
+                report(f"track {pid}/{tid}: span {event['name']!r} "
+                       f"[{ts}, {end}) partially overlaps open span "
+                       f"{stack[-1][0]!r} [{stack[-1][1]}, {stack[-1][2]})")
+            stack.append((event["name"], ts, end))
+
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("trace")
+    parser.add_argument("--min-events", type=int, default=1)
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"check_trace: cannot parse {args.trace}: {exc}")
+        return 1
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        print(f"check_trace: {args.trace} has no traceEvents array")
+        return 1
+
+    errors = check_events(events, args.min_events)
+    if errors:
+        for message in errors:
+            print(f"check_trace: {message}")
+        print(f"check_trace: FAIL ({len(errors)} problem(s), "
+              f"{len(events)} events)")
+        return 1
+
+    tids = sorted({e["tid"] for e in events})
+    print(f"check_trace: OK -- {len(events)} events across "
+          f"{len(tids)} track(s) {tids}, spans nest strictly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,11 +12,13 @@ wall-clock comparisons stay warnings (shared CI runners are noisy; the
 trajectory is informative).
 
 The acceptance section of the CURRENT file IS enforced: if
-micro_benchmarks recorded pass=false (phased >= 6x event-queue) or
-queue_pass=false (calendar >= 3x priority queue) -- both judged on the
-best of paired back-to-back rounds, so a slow runner cannot flip them
--- the script emits ::error:: and exits 1. Exit status is also 1 when
-the *current* file is missing/unreadable.
+micro_benchmarks recorded pass=false (phased >= 6x event-queue),
+queue_pass=false (calendar >= 3x priority queue), or
+telemetry_pass=false (attached-but-disabled telemetry costs more than
+2% on the phased acceptance case) -- all judged on the best of paired
+back-to-back rounds, so a slow runner cannot flip them -- the script
+emits ::error:: and exits 1. Exit status is also 1 when the *current*
+file is missing/unreadable.
 """
 
 import argparse
@@ -59,6 +61,17 @@ def enforce_acceptance(current_doc):
               f"at {acceptance.get('queue_measured_speedup')}x of the "
               f"priority-queue baseline, below the required "
               f"{acceptance.get('queue_required_speedup')}x")
+        failed = True
+    if "telemetry_pass" in acceptance:
+        print(f"acceptance: disabled-telemetry overhead "
+              f"{acceptance.get('telemetry_overhead_pct')}% (max "
+              f"{acceptance.get('telemetry_required_max_overhead_pct')}%)")
+    if acceptance.get("telemetry_pass") is False:
+        print(f"::error title=Telemetry overhead bar failed::attached-but-"
+              f"disabled telemetry costs "
+              f"{acceptance.get('telemetry_overhead_pct')}% on the phased "
+              f"acceptance case, above the allowed "
+              f"{acceptance.get('telemetry_required_max_overhead_pct')}%")
         failed = True
     return 1 if failed else 0
 
@@ -170,6 +183,28 @@ def main():
               f"simulated makespan grew from {prev_slots} to {cur_slots} "
               f"slots")
 
+    # Telemetry dimension: the obs-layer cost ladder (off / disabled /
+    # sampling slots/sec on the phased acceptance case). Wall-clock, so
+    # regressions beyond the threshold warn; the enforced disabled-mode
+    # bar lives in the acceptance section below. Rows absent in
+    # pre-observability baselines.
+    telemetry_regressions = []
+    cur_tel = {t["mode"]: t for t in current_doc.get("telemetry", [])}
+    prev_tel = {t["mode"]: t for t in previous_doc.get("telemetry", [])}
+    for mode in sorted(cur_tel):
+        cur_rate = cur_tel[mode].get("slots_per_sec")
+        prev_rate = prev_tel.get(mode, {}).get("slots_per_sec")
+        if not cur_rate or not prev_rate:
+            continue
+        ratio = cur_rate / prev_rate
+        print(f"telemetry {mode:<12} {prev_rate:>13} {cur_rate:>13} "
+              f"{ratio:>7.2f}")
+        if ratio < 1.0 - args.threshold:
+            telemetry_regressions.append((mode, ratio))
+    for mode, ratio in telemetry_regressions:
+        print(f"::warning title=Telemetry-overhead regression::telemetry "
+              f"mode {mode} slots/sec at {ratio:.2f}x of previous run")
+
     # Phase dimension: the serial phased engine's per-phase ns/slot
     # (generate / arbitrate / receive / total, keyed by topology).
     # Wall-clock like the slots/sec rows, so growth beyond the threshold
@@ -203,7 +238,8 @@ def main():
               f"(threshold {1.0 + args.threshold:.2f}x)")
 
     if not regressions and not memory_regressions and not queue_regressions \
-            and not makespan_regressions and not phase_regressions:
+            and not makespan_regressions and not telemetry_regressions \
+            and not phase_regressions:
         print(f"\nno regression beyond {args.threshold:.0%} threshold")
 
     # The enforced bars: micro_benchmarks already measured these on

@@ -1,6 +1,8 @@
 #include "campaign/runner.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <map>
 #include <unordered_set>
@@ -8,6 +10,7 @@
 
 #include "campaign/manifest.hpp"
 #include "core/error.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/ops_network.hpp"
 #include "sim/traffic.hpp"
 #include "workload/kernels.hpp"
@@ -75,7 +78,7 @@ bool WorkStealingPool::try_acquire(std::size_t self, std::size_t& item) {
 void WorkStealingPool::worker_main(std::size_t self) {
   std::uint64_t seen_epoch = 0;
   while (true) {
-    const std::function<void(std::size_t)>* job = nullptr;
+    const std::function<void(std::size_t, std::size_t)>* job = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       // job_ != nullptr keeps late wakers out of a batch that already
@@ -94,7 +97,7 @@ void WorkStealingPool::worker_main(std::size_t self) {
     while (try_acquire(self, item)) {
       std::exception_ptr error;
       try {
-        (*job)(item);
+        (*job)(item, self);
       } catch (...) {
         error = std::current_exception();
       }
@@ -115,6 +118,13 @@ void WorkStealingPool::worker_main(std::size_t self) {
 
 void WorkStealingPool::run(std::size_t count,
                            const std::function<void(std::size_t)>& fn) {
+  run(count, std::function<void(std::size_t, std::size_t)>(
+                 [&fn](std::size_t item, std::size_t) { fn(item); }));
+}
+
+void WorkStealingPool::run(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
   if (count == 0) {
     return;
   }
@@ -220,9 +230,20 @@ std::shared_ptr<workload::Workload> make_workload(
   return nullptr;
 }
 
+/// Telemetry output paths resolve against out_dir (cwd when unset).
+std::string resolve_out_path(const std::string& out_dir,
+                             const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.is_absolute() || out_dir.empty()) {
+    return path;
+  }
+  return (std::filesystem::path(out_dir) / p).string();
+}
+
 CellResult simulate_cell(const CampaignSpec& spec,
                          const CompiledTopology& topology,
-                         const CampaignCell& cell) {
+                         const CampaignCell& cell,
+                         std::shared_ptr<obs::Telemetry> telemetry) {
   sim::SimConfig config;
   config.arbitration = cell.arbitration;
   config.warmup_slots = spec.warmup_slots;
@@ -234,6 +255,7 @@ CellResult simulate_cell(const CampaignSpec& spec,
   config.threads = cell.engine_threads;
   config.timing = cell.timing;
   config.workload = make_workload(cell, topology);
+  config.telemetry = std::move(telemetry);
 
   std::unique_ptr<sim::TrafficGenerator> traffic =
       make_traffic(cell, topology.processor_count());
@@ -297,6 +319,29 @@ CampaignReport CampaignRunner::run(const CampaignOptions& options) {
                                    options.resume);
   }
 
+  // Shared telemetry sinks: one timeseries writer and one trace sink
+  // for the whole campaign; every cell's rows and spans are tagged, so
+  // concurrent writers interleave without ambiguity.
+  const obs::TelemetryConfig& tcfg = spec_.telemetry;
+  std::shared_ptr<obs::TimeSeriesWriter> ts_writer;
+  std::shared_ptr<obs::ChromeTraceSink> trace_sink;
+  if (tcfg.sample_period > 0) {
+    ts_writer = std::make_shared<obs::TimeSeriesWriter>(
+        tcfg.timeseries_path.empty()
+            ? std::string()
+            : resolve_out_path(options.out_dir, tcfg.timeseries_path));
+  }
+  if (!tcfg.trace_path.empty()) {
+    trace_sink = std::make_shared<obs::ChromeTraceSink>(
+        resolve_out_path(options.out_dir, tcfg.trace_path));
+  }
+  obs::Span campaign_span;
+  if (trace_sink != nullptr) {
+    campaign_span =
+        obs::Span(trace_sink.get(), 0, "campaign " + spec_.name, "campaign",
+                  {{"cells", std::to_string(report.total_cells)}});
+  }
+
   OTIS_REQUIRE(options.shard_count >= 1 && options.shard_index >= 0 &&
                    options.shard_index < options.shard_count,
                "CampaignRunner: shard must be i/n with 0 <= i < n");
@@ -334,6 +379,12 @@ CampaignReport CampaignRunner::run(const CampaignOptions& options) {
   }
   std::map<std::size_t, std::shared_ptr<const CompiledTopology>> topologies;
   for (const auto& [index, need] : needs) {
+    obs::Span compile_span;
+    if (trace_sink != nullptr) {
+      compile_span = obs::Span(trace_sink.get(), 0,
+                               "compile " + spec_.topologies[index].label(),
+                               "compile");
+    }
     topologies[index] = CompiledTopology::build(spec_.topologies[index],
                                                 need.dense, need.compressed);
     ++report.topologies_compiled;
@@ -363,14 +414,93 @@ CampaignReport CampaignRunner::run(const CampaignOptions& options) {
   };
 
   WorkStealingPool pool(options.threads);
-  pool.run(pending.size(), [&](std::size_t i) {
-    const CampaignCell& cell = *pending[i];
-    CellResult result =
-        simulate_cell(spec_, *topologies.at(cell.topology), cell);
-    std::lock_guard<std::mutex> lock(emit_mutex);
-    ready.emplace(i, std::move(result));
-    emit_ready();
-  });
+
+  // --progress heartbeat: a detached-from-the-results stderr line every
+  // ~2 s while the grid runs. Counters are relaxed atomics -- they feed
+  // a human, not the simulation.
+  std::atomic<std::int64_t> cells_done{0};
+  std::atomic<int> busy_workers{0};
+  std::atomic<bool> progress_stop{false};
+  std::thread progress_thread;
+  if (options.progress) {
+    progress_thread = std::thread([&, total = pending.size()] {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto next = t0 + std::chrono::seconds(2);
+      while (!progress_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        const auto tick = std::chrono::steady_clock::now();
+        if (tick < next) {
+          continue;
+        }
+        next = tick + std::chrono::seconds(2);
+        const double elapsed = std::chrono::duration<double>(tick - t0).count();
+        const std::int64_t done = cells_done.load(std::memory_order_relaxed);
+        const double rate = elapsed > 0.0
+                                ? static_cast<double>(done) / elapsed
+                                : 0.0;
+        const double eta =
+            rate > 0.0 ? static_cast<double>(
+                             static_cast<std::int64_t>(total) - done) /
+                             rate
+                       : 0.0;
+        std::fprintf(stderr,
+                     "[campaign] %lld/%zu cells  %.2f cells/s  eta %.0f s  "
+                     "workers %d/%d busy\n",
+                     static_cast<long long>(done), total, rate, eta,
+                     busy_workers.load(std::memory_order_relaxed),
+                     pool.thread_count());
+      }
+    });
+  }
+
+  std::exception_ptr run_error;
+  try {
+    pool.run(pending.size(), [&](std::size_t i, std::size_t worker) {
+      const CampaignCell& cell = *pending[i];
+      busy_workers.fetch_add(1, std::memory_order_relaxed);
+      // Per-cell telemetry session over the shared sinks; the cell span
+      // sits on the worker's track (tid 1 + w) and encloses the
+      // engine's sim.run / window spans.
+      std::shared_ptr<obs::Telemetry> tel;
+      obs::Span cell_span;
+      if (ts_writer != nullptr || trace_sink != nullptr) {
+        const auto tid = static_cast<std::int32_t>(1 + worker);
+        tel = obs::Telemetry::attach(tcfg, ts_writer, trace_sink, cell.id,
+                                     tid);
+        if (trace_sink != nullptr) {
+          cell_span = obs::Span(trace_sink.get(), tid, cell.id, "cell");
+        }
+      }
+      CellResult result = simulate_cell(spec_, *topologies.at(cell.topology),
+                                        cell, std::move(tel));
+      cell_span.end();
+      busy_workers.fetch_sub(1, std::memory_order_relaxed);
+      cells_done.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(emit_mutex);
+      ready.emplace(i, std::move(result));
+      emit_ready();
+    });
+  } catch (...) {
+    run_error = std::current_exception();
+  }
+  progress_stop.store(true, std::memory_order_relaxed);
+  if (progress_thread.joinable()) {
+    progress_thread.join();
+    std::fprintf(stderr, "[campaign] %lld/%zu cells done\n",
+                 static_cast<long long>(
+                     cells_done.load(std::memory_order_relaxed)),
+                 pending.size());
+  }
+  campaign_span.end();
+  if (ts_writer != nullptr) {
+    ts_writer->close();
+  }
+  if (trace_sink != nullptr) {
+    trace_sink->close();
+  }
+  if (run_error) {
+    std::rethrow_exception(run_error);
+  }
   OTIS_ASSERT(ready.empty() && next_emit == pending.size(),
               "CampaignRunner: reorder buffer drained");
 

@@ -58,6 +58,12 @@ class WorkStealingPool {
   /// fn are captured and the first one is rethrown after the batch.
   void run(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  /// As above with the executing worker's index [0, thread_count())
+  /// passed as the second argument -- the stable per-thread identity
+  /// (steals included) that e.g. telemetry span tracks key off.
+  void run(std::size_t count,
+           const std::function<void(std::size_t, std::size_t)>& fn);
+
  private:
   struct Queue {
     std::mutex mutex;
@@ -73,7 +79,7 @@ class WorkStealingPool {
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
   std::uint64_t epoch_ = 0;
   std::size_t remaining_ = 0;  ///< items of the current batch not yet done
   std::size_t active_ = 0;     ///< workers currently inside the batch
@@ -97,6 +103,9 @@ struct CampaignOptions {
   /// complete (and refolds into the full aggregate).
   int shard_index = 0;
   int shard_count = 1;
+  /// Heartbeat on stderr every ~2 s: cells done/total, rate, ETA, and
+  /// busy workers. Diagnostics only -- never touches the result files.
+  bool progress = false;
 };
 
 /// What one run() did.

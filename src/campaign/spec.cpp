@@ -467,6 +467,10 @@ void CampaignSpec::validate() const {
   for (const sim::TimingConfig& timing : timings) {
     timing.validate();
   }
+  telemetry.validate();
+  OTIS_REQUIRE(!telemetry.enabled() || engine != sim::Engine::kEventQueue,
+               "CampaignSpec: telemetry needs the phased/sharded/async "
+               "engines (the event-queue fixture has no probes)");
   OTIS_REQUIRE(!workloads.empty(),
                "CampaignSpec: workloads must be non-empty");
   for (const WorkloadSpec& load : workloads) {
@@ -727,7 +731,7 @@ CampaignSpec spec_from_json(const core::Json& root) {
                        "hotspot_fraction", "bursty_enter_on",
                        "bursty_exit_on", "warmup_slots", "measure_slots",
                        "queue_capacity", "engine", "engine_threads",
-                       "overrides"},
+                       "telemetry", "overrides"},
                       "campaign spec");
 
   CampaignSpec spec;
@@ -817,6 +821,22 @@ CampaignSpec spec_from_json(const core::Json& root) {
   spec.engine = parse_engine(root.string_or("engine", "phased"));
   spec.engine_threads = static_cast<int>(
       root.int_or("engine_threads", spec.engine_threads));
+  if (const core::Json* telemetry = root.find("telemetry")) {
+    reject_unknown_keys(*telemetry,
+                        {"sample_period", "timeseries", "trace", "probes"},
+                        "telemetry");
+    spec.telemetry.sample_period =
+        telemetry->int_or("sample_period", spec.telemetry.sample_period);
+    spec.telemetry.timeseries_path =
+        telemetry->string_or("timeseries", spec.telemetry.timeseries_path);
+    spec.telemetry.trace_path =
+        telemetry->string_or("trace", spec.telemetry.trace_path);
+    if (const core::Json* probes = telemetry->find("probes")) {
+      for (const core::Json& node : probes->items()) {
+        spec.telemetry.probes.push_back(node.as_string());
+      }
+    }
+  }
   if (const core::Json* overrides = root.find("overrides")) {
     for (const core::Json& node : overrides->items()) {
       reject_unknown_keys(node,

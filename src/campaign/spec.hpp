@@ -285,6 +285,12 @@ struct CampaignSpec {
   sim::Engine engine = sim::Engine::kPhased;
   int engine_threads = 1;
 
+  /// Telemetry attached to every cell (all-defaults = off). Relative
+  /// output paths resolve against the runner's out_dir; the runner
+  /// shares one timeseries writer and one trace sink across all cells,
+  /// tagging rows/spans with the cell id.
+  obs::TelemetryConfig telemetry;
+
   /// Per-topology execution overrides applied during grid expansion.
   std::vector<CellOverride> overrides;
 
@@ -328,6 +334,9 @@ struct CampaignSpec {
 ///   "bursty_enter_on": 0.05, "bursty_exit_on": 0.2,
 ///   "warmup_slots": 200, "measure_slots": 1000, "queue_capacity": 0,
 ///   "engine": "phased", "engine_threads": 1,
+///   "telemetry": {"sample_period": 64, "timeseries": "timeseries.jsonl",
+///                 "trace": "campaign.trace.json",
+///                 "probes": ["delivered", "backlog"]},
 ///   "overrides": [{"topology": "SK(4,3,2)", "engine": "sharded",
 ///                  "engine_threads": 4, "routes": "compressed"}]
 /// }

@@ -1,0 +1,88 @@
+#include "obs/probe.hpp"
+
+#include "core/error.hpp"
+
+namespace otis::obs {
+
+ProbeId ProbeRegistry::register_probe(Meta meta) {
+  OTIS_REQUIRE(!meta.name.empty(), "ProbeRegistry: probe name must be set");
+  for (const Meta& existing : probes_) {
+    OTIS_REQUIRE(existing.name != meta.name,
+                 "ProbeRegistry: duplicate probe \"" + meta.name + "\"");
+  }
+  meta.slot = values_.size();
+  values_.resize(values_.size() + meta.slots, 0);
+  probes_.push_back(std::move(meta));
+  return static_cast<ProbeId>(probes_.size() - 1);
+}
+
+ProbeId ProbeRegistry::counter(const std::string& name) {
+  Meta meta;
+  meta.name = name;
+  meta.kind = ProbeKind::kCounter;
+  return register_probe(std::move(meta));
+}
+
+ProbeId ProbeRegistry::gauge(const std::string& name) {
+  Meta meta;
+  meta.name = name;
+  meta.kind = ProbeKind::kGauge;
+  return register_probe(std::move(meta));
+}
+
+ProbeId ProbeRegistry::histogram(const std::string& name,
+                                 std::vector<std::int64_t> upper_bounds) {
+  OTIS_REQUIRE(!upper_bounds.empty(),
+               "ProbeRegistry: histogram needs at least one bound");
+  for (std::size_t i = 1; i < upper_bounds.size(); ++i) {
+    OTIS_REQUIRE(upper_bounds[i - 1] < upper_bounds[i],
+                 "ProbeRegistry: histogram bounds must be increasing");
+  }
+  Meta meta;
+  meta.name = name;
+  meta.kind = ProbeKind::kHistogram;
+  meta.slots = upper_bounds.size() + 1;  // + overflow bucket
+  meta.bounds = std::move(upper_bounds);
+  return register_probe(std::move(meta));
+}
+
+void ProbeRegistry::observe(ProbeId id, std::int64_t value) {
+  const Meta& meta = probes_[id];
+  std::size_t bucket = meta.bounds.size();  // overflow by default
+  for (std::size_t i = 0; i < meta.bounds.size(); ++i) {
+    if (value <= meta.bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++values_[meta.slot + bucket];
+}
+
+void ProbeRegistry::clear_histogram(ProbeId id) {
+  const Meta& meta = probes_[id];
+  for (std::size_t i = 0; i < meta.slots; ++i) {
+    values_[meta.slot + i] = 0;
+  }
+}
+
+void ProbeRegistry::zero() {
+  values_.assign(values_.size(), 0);
+}
+
+ProbeRegistry ProbeRegistry::clone_schema() const {
+  ProbeRegistry clone;
+  clone.probes_ = probes_;
+  clone.values_.assign(values_.size(), 0);
+  return clone;
+}
+
+void ProbeRegistry::accumulate(const ProbeRegistry& shard) {
+  OTIS_REQUIRE(shard.values_.size() == values_.size() &&
+                   shard.probes_.size() == probes_.size(),
+               "ProbeRegistry: accumulate needs matching schemas");
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] += shard.values_[i];
+  }
+}
+
+}  // namespace otis::obs

@@ -1,0 +1,107 @@
+#pragma once
+/// \file probe.hpp
+/// Named counters, gauges, and fixed-bucket histograms for the
+/// telemetry layer.
+///
+/// A ProbeRegistry is a flat arena of int64 slots with a small schema
+/// (name + kind + bucket bounds) on the side, so the hot-path mutators
+/// (add/set/observe) are array writes with no hashing and no locks.
+/// Registration happens once at Telemetry construction; the engines
+/// then touch probes only through integer ids.
+///
+/// Thread-count invariance: the sharded engine gives every shard its
+/// own registry clone (clone_schema) and folds them into the run's main
+/// registry at a barrier with accumulate(), which is element-wise
+/// integer addition -- order-independent, so the merged values are
+/// identical for every shard partition. That requires every probe to be
+/// partition-additive: counters and histogram buckets sum naturally,
+/// and gauges are defined to sum as well (a shard gauges the part of
+/// the quantity it owns, e.g. the backlog of its node range).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace otis::obs {
+
+/// Index into a ProbeRegistry; stable for the registry's lifetime.
+using ProbeId = std::uint32_t;
+
+enum class ProbeKind : std::uint8_t {
+  kCounter,    ///< monotone total (samplers emit per-window deltas)
+  kGauge,      ///< instantaneous level (summed across shards)
+  kHistogram,  ///< fixed upper-bound buckets + one overflow bucket
+};
+
+class ProbeRegistry {
+ public:
+  /// Registers a probe; names should be short snake_case identifiers
+  /// (they become JSONL keys). Duplicate names are rejected.
+  ProbeId counter(const std::string& name);
+  ProbeId gauge(const std::string& name);
+  /// `upper_bounds` must be strictly increasing; bucket i counts values
+  /// <= upper_bounds[i], plus one implicit overflow bucket at the end.
+  ProbeId histogram(const std::string& name,
+                    std::vector<std::int64_t> upper_bounds);
+
+  // Hot-path mutators: plain array writes, no validation beyond debug
+  // asserts. `observe` does a linear bound scan (bucket counts are
+  // small and these run only at sampling boundaries).
+  void add(ProbeId id, std::int64_t delta) {
+    values_[probes_[id].slot] += delta;
+  }
+  void set(ProbeId id, std::int64_t value) {
+    values_[probes_[id].slot] = value;
+  }
+  void observe(ProbeId id, std::int64_t value);
+
+  /// Zeroes one histogram's buckets (samplers that rebuild a snapshot
+  /// histogram every window call this before re-observing).
+  void clear_histogram(ProbeId id);
+  /// Zeroes every value slot; the schema is untouched.
+  void zero();
+
+  /// Empty registry with this registry's schema (per-shard instances).
+  [[nodiscard]] ProbeRegistry clone_schema() const;
+  /// Element-wise adds `shard`'s values into this registry. Both must
+  /// share a schema (same registration sequence).
+  void accumulate(const ProbeRegistry& shard);
+
+  // Introspection (samplers, tests).
+  [[nodiscard]] std::size_t probe_count() const noexcept {
+    return probes_.size();
+  }
+  [[nodiscard]] const std::string& name(ProbeId id) const {
+    return probes_[id].name;
+  }
+  [[nodiscard]] ProbeKind kind(ProbeId id) const { return probes_[id].kind; }
+  /// Counter/gauge value (histograms: use bucket accessors).
+  [[nodiscard]] std::int64_t value(ProbeId id) const {
+    return values_[probes_[id].slot];
+  }
+  [[nodiscard]] std::size_t bucket_count(ProbeId id) const {
+    return probes_[id].slots;
+  }
+  [[nodiscard]] std::int64_t bucket(ProbeId id, std::size_t i) const {
+    return values_[probes_[id].slot + i];
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& bounds(ProbeId id) const {
+    return probes_[id].bounds;
+  }
+
+ private:
+  struct Meta {
+    std::string name;
+    ProbeKind kind = ProbeKind::kCounter;
+    std::size_t slot = 0;   ///< first value slot
+    std::size_t slots = 1;  ///< 1, or bucket count for histograms
+    std::vector<std::int64_t> bounds;
+  };
+
+  ProbeId register_probe(Meta meta);
+
+  std::vector<Meta> probes_;
+  std::vector<std::int64_t> values_;
+};
+
+}  // namespace otis::obs

@@ -74,6 +74,8 @@ RunMetrics AsyncEngineT<Routes>::run(
   core::Rng rng = core::Rng::stream(config_.seed, kRunStream);
   RunMetrics metrics;
   metrics.slots = config_.measure_slots;
+  metrics.latency.reserve(
+      std::min(config_.measure_slots * nodes_, kLatencyReserveCap));
 
   const SimTime horizon = config_.warmup_slots + config_.measure_slots;
   const SimTime drain_bound = horizon + 1'000'000;
@@ -108,6 +110,26 @@ RunMetrics AsyncEngineT<Routes>::run(
   const std::size_t capacity = static_cast<std::size_t>(config_.wavelengths);
   const std::int64_t queue_cap = config_.queue_capacity;
   const Arbitration policy = config_.arbitration;
+
+  // Telemetry (see phased run_serial): one pointer test per slot when
+  // detached, state reads only at sampling boundaries. The async
+  // engine additionally reports the calendar-queue pending count.
+  obs::Telemetry* const tel = config_.telemetry.get();
+  obs::WindowSpans windows;
+  SimTime tel_last = 0;
+  if (tel != nullptr && tel->trace_sink() != nullptr) {
+    windows = obs::WindowSpans(tel->trace_sink(), tel->tid(),
+                               config_.warmup_slots, horizon);
+  }
+  const auto fill_probes = [&]() {
+    detail::fill_metric_probes(*tel, metrics, inflight);
+    obs::ProbeRegistry& reg = tel->probes();
+    reg.set(tel->engine_probes().pending_events,
+            static_cast<std::int64_t>(propagations.pending()));
+    const obs::ProbeId hist = tel->engine_probes().occupancy;
+    reg.clear_histogram(hist);
+    detail::observe_occupancy(reg, hist, feed_, voq, 0, couplers_);
+  };
 
   /// Queues `entry` at `at`; `tick` is when it landed there (its
   /// transmitter is tuned `tuning` ticks later). Mirrors the phased
@@ -271,6 +293,15 @@ RunMetrics AsyncEngineT<Routes>::run(
       }
     }
 
+    if (tel != nullptr) {
+      windows.at_slot(now);
+      if (tel->due(now)) {
+        fill_probes();
+        tel->sample(now);
+      }
+      tel_last = now;
+    }
+
     const bool more_traffic = now + 1 < horizon;
     const bool keep_draining = config_.drain && inflight > 0;
     if (!(more_traffic || keep_draining)) {
@@ -290,6 +321,11 @@ RunMetrics AsyncEngineT<Routes>::run(
   }
 
   metrics.backlog = inflight;
+  if (tel != nullptr) {
+    windows.finish();
+    fill_probes();
+    tel->finish(tel_last);
+  }
   return metrics;
 }
 
@@ -335,6 +371,24 @@ RunMetrics AsyncEngineT<Routes>::run_workload(
   std::vector<workload::WorkloadPacket> inject;
   const std::size_t capacity = static_cast<std::size_t>(config_.wavelengths);
   const Arbitration policy = config_.arbitration;
+  metrics.latency.reserve(std::min(background_base, kLatencyReserveCap));
+
+  // Telemetry, as in the open-loop run above (no warmup window).
+  obs::Telemetry* const tel = config_.telemetry.get();
+  obs::WindowSpans windows;
+  SimTime tel_last = 0;
+  if (tel != nullptr && tel->trace_sink() != nullptr) {
+    windows = obs::WindowSpans(tel->trace_sink(), tel->tid(), 0, bound + 1);
+  }
+  const auto fill_probes = [&]() {
+    detail::fill_metric_probes(*tel, metrics, inflight);
+    obs::ProbeRegistry& reg = tel->probes();
+    reg.set(tel->engine_probes().pending_events,
+            static_cast<std::int64_t>(propagations.pending()));
+    const obs::ProbeId hist = tel->engine_probes().occupancy;
+    reg.clear_histogram(hist);
+    detail::observe_occupancy(reg, hist, feed_, voq, 0, couplers_);
+  };
 
   // queue_capacity is 0 in workload mode (validated): never drops.
   const auto enqueue = [&](const VoqEntry& entry, hypergraph::Node at,
@@ -492,6 +546,14 @@ RunMetrics AsyncEngineT<Routes>::run_workload(
       }
     }
 
+    if (tel != nullptr) {
+      windows.at_slot(now);
+      if (tel->due(now)) {
+        fill_probes();
+        tel->sample(now);
+      }
+      tel_last = now;
+    }
     ++now;
   }
 
@@ -499,6 +561,11 @@ RunMetrics AsyncEngineT<Routes>::run_workload(
   metrics.makespan_slots =
       (makespan_tick + kTicksPerSlot - 1) / kTicksPerSlot;
   metrics.backlog = inflight;
+  if (tel != nullptr) {
+    windows.finish();
+    fill_probes();
+    tel->finish(tel_last);
+  }
   return metrics;
 }
 

@@ -7,13 +7,37 @@
 
 namespace otis::sim {
 
+/// Cap on up-front LatencyStats reservations (8 MiB of samples). The
+/// engines reserve min(delivery bound, cap): the bound is measure_slots
+/// x nodes (or the workload's packet count), which over-states real
+/// delivery counts by 1/load or more, so the cap keeps huge cells from
+/// paying for memory they will never touch while still giving the
+/// common case a reallocation-free hot loop.
+inline constexpr std::int64_t kLatencyReserveCap = std::int64_t{1} << 20;
+
 /// Online latency statistics with full-sample percentiles.
+///
+/// Memory is O(delivered packets). For the roadmap's 10^6-node cells
+/// the full-sample vector stops being viable; the planned replacement
+/// is a fixed-bucket histogram sketch (HDR-style log-spaced buckets, or
+/// a t-digest) recorded in O(1) memory, with percentile() answered from
+/// the sketch -- the merge() contract (order-independent fold) already
+/// matches, so only this class changes, not the engines.
 class LatencyStats {
  public:
   /// Inline: called once per delivered packet in every engine hot loop.
   void record(std::int64_t latency_slots) {
     samples_.push_back(latency_slots);
     sorted_ = false;
+  }
+
+  /// Pre-sizes the sample buffer so the hot loop's record() never
+  /// reallocates mid-run; engines call this once with their delivery
+  /// bound clamped to kLatencyReserveCap.
+  void reserve(std::int64_t samples) {
+    if (samples > 0) {
+      samples_.reserve(static_cast<std::size_t>(samples));
+    }
   }
 
   /// Appends all of `other`'s samples (used to fold per-shard stats).

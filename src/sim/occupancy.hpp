@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "hypergraph/stack_graph.hpp"
+#include "obs/probe.hpp"
 
 namespace otis::sim::detail {
 
@@ -113,5 +114,27 @@ struct OccupancyMasks {
         ~(std::uint64_t{1} << (static_cast<std::uint64_t>(h) & 63));
   }
 };
+
+/// Telemetry helper shared by the phased and async engines: observes
+/// each coupler of [begin, end) into the occupancy histogram probe
+/// with the total queued packets across its feed VOQs. Runs only at
+/// sampling boundaries -- it walks every feed of the range.
+template <class Arena>
+void observe_occupancy(obs::ProbeRegistry& reg, obs::ProbeId hist,
+                       const FeedIndex& fi, const Arena& voq,
+                       std::int64_t begin, std::int64_t end) {
+  for (std::int64_t h = begin; h < end; ++h) {
+    const std::size_t fb =
+        static_cast<std::size_t>(fi.feed_base[static_cast<std::size_t>(h)]);
+    const std::size_t fe = static_cast<std::size_t>(
+        fi.feed_base[static_cast<std::size_t>(h) + 1]);
+    std::int64_t queued = 0;
+    for (std::size_t f = fb; f < fe; ++f) {
+      queued += static_cast<std::int64_t>(
+          voq.size(static_cast<std::size_t>(fi.feed_qi[f])));
+    }
+    reg.observe(hist, queued);
+  }
+}
 
 }  // namespace otis::sim::detail

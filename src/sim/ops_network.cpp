@@ -79,6 +79,10 @@ void OpsNetworkSim::validate_config() const {
     OTIS_REQUIRE(config_.recorder->node_count() == network_.node_count(),
                  "OpsNetworkSim: recorder built for another node count");
   }
+  OTIS_REQUIRE(config_.telemetry == nullptr ||
+                   config_.engine != Engine::kEventQueue,
+               "OpsNetworkSim: telemetry is implemented by the "
+               "phased/sharded/async engines only");
 }
 
 OpsNetworkSim::OpsNetworkSim(const hypergraph::StackGraph& network,
@@ -403,6 +407,20 @@ void OpsNetworkSim::set_timing_model(
 RunMetrics OpsNetworkSim::run() {
   if (config_.engine == Engine::kEventQueue) {
     return run_event_queue();
+  }
+  // One span covering the whole engine run; the engines nest their
+  // warmup/measure/drain window spans inside it on the same track.
+  obs::Span run_span;
+  if (config_.telemetry != nullptr &&
+      config_.telemetry->trace_sink() != nullptr) {
+    run_span = obs::Span(
+        config_.telemetry->trace_sink(), config_.telemetry->tid(), "sim.run",
+        "engine",
+        {{"engine", engine_name(config_.engine)},
+         {"arbitration", arbitration_name(config_.arbitration)},
+         {"nodes", std::to_string(network_.node_count())},
+         {"couplers",
+          std::to_string(network_.hypergraph().hyperarc_count())}});
   }
   if (config_.engine == Engine::kAsync) {
     std::shared_ptr<const TimingModel> timing = timing_model_;

@@ -48,6 +48,7 @@
 
 #include "core/rng.hpp"
 #include "hypergraph/stack_graph.hpp"
+#include "obs/telemetry.hpp"
 #include "routing/compiled_routes.hpp"
 #include "routing/compressed_routes.hpp"
 #include "sim/event_queue.hpp"
@@ -106,6 +107,22 @@ inline std::vector<core::Rng> coupler_streams(std::uint64_t seed,
 /// spinning forever.
 inline SimTime workload_slot_bound(const workload::Workload& load) {
   return 1'000'000 + 64 * load.packet_count();
+}
+
+/// Refreshes the engine-standard counter/gauge probes from a metrics
+/// snapshot (occupancy and pending_events are engine-specific; see
+/// detail::observe_occupancy in occupancy.hpp). Shared by the phased
+/// and async engines so probe values always mean the same thing.
+inline void fill_metric_probes(obs::Telemetry& tel, const RunMetrics& m,
+                               std::int64_t backlog) {
+  obs::ProbeRegistry& reg = tel.probes();
+  const obs::EngineProbes& ids = tel.engine_probes();
+  reg.set(ids.offered, m.offered_packets);
+  reg.set(ids.delivered, m.delivered_packets);
+  reg.set(ids.transmissions, m.coupler_transmissions);
+  reg.set(ids.collisions, m.collisions);
+  reg.set(ids.dropped, m.dropped_packets);
+  reg.set(ids.backlog, backlog);
 }
 }  // namespace detail
 
@@ -244,6 +261,16 @@ struct SimConfig {
   /// Optional per-phase timing sink (must outlive the run). Honoured by
   /// serial Engine::kPhased runs only; see PhaseBreakdown.
   PhaseBreakdown* phase_breakdown = nullptr;
+  /// Optional telemetry session (obs/telemetry.hpp): timeseries probe
+  /// sampling every sample_period slots plus warmup/measure/drain spans
+  /// in the Chrome trace. Null (the default) costs the engines one
+  /// pointer test per slot; sampling reads engine state only (no RNG,
+  /// no reordering), so attaching it never changes RunMetrics, and the
+  /// sharded engine's per-shard probe frames merge order-independently
+  /// at the slot barrier, keeping probe values and timeseries bytes
+  /// identical across thread counts. Supported by the phased, sharded
+  /// and async engines (not the tests-only event-queue fixture).
+  std::shared_ptr<obs::Telemetry> telemetry;
 };
 
 /// The slot-synchronous multi-OPS network simulator.

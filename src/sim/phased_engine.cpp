@@ -85,6 +85,8 @@ RunMetrics PhasedEngineT<Routes>::run_serial(
   core::Rng rng = core::Rng::stream(config_.seed, kRunStream);
   RunMetrics metrics;
   metrics.slots = config_.measure_slots;
+  metrics.latency.reserve(
+      std::min(config_.measure_slots * nodes_, kLatencyReserveCap));
 
   const SimTime horizon = config_.warmup_slots + config_.measure_slots;
   const SimTime drain_bound = horizon + 1'000'000;
@@ -118,6 +120,23 @@ RunMetrics PhasedEngineT<Routes>::run_serial(
   PhaseBreakdown* breakdown = config_.phase_breakdown;
   using Clock = std::chrono::steady_clock;
   Clock::time_point t0, t1, t2;
+
+  // Telemetry: one pointer test per slot when detached; sampling work
+  // only at tel->due() boundaries. State reads only -- never RNG.
+  obs::Telemetry* const tel = config_.telemetry.get();
+  obs::WindowSpans windows;
+  SimTime tel_last = 0;
+  if (tel != nullptr && tel->trace_sink() != nullptr) {
+    windows = obs::WindowSpans(tel->trace_sink(), tel->tid(),
+                               config_.warmup_slots, horizon);
+  }
+  const auto fill_probes = [&](const VoqArena& arena) {
+    detail::fill_metric_probes(*tel, metrics, inflight);
+    obs::ProbeRegistry& reg = tel->probes();
+    const obs::ProbeId hist = tel->engine_probes().occupancy;
+    reg.clear_histogram(hist);
+    detail::observe_occupancy(reg, hist, feed_, arena, 0, couplers_);
+  };
 
   const auto enqueue = [&](const VoqEntry& entry, hypergraph::Node at,
                            bool measuring) {
@@ -244,6 +263,15 @@ RunMetrics PhasedEngineT<Routes>::run_serial(
       ++breakdown->slots;
     }
 
+    if (tel != nullptr) {
+      windows.at_slot(now);
+      if (tel->due(now)) {
+        fill_probes(voq);
+        tel->sample(now);
+      }
+      tel_last = now;
+    }
+
     const bool more_traffic = now + 1 < horizon;
     const bool keep_draining = config_.drain && inflight > 0;
     if (!(more_traffic || keep_draining)) {
@@ -256,6 +284,11 @@ RunMetrics PhasedEngineT<Routes>::run_serial(
   }
 
   metrics.backlog = inflight;
+  if (tel != nullptr) {
+    windows.finish();
+    fill_probes(voq);
+    tel->finish(tel_last);
+  }
   return metrics;
 }
 
@@ -310,6 +343,8 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
     shard.coupler_begin = cb;
     shard.coupler_end = ce;
     shard.request.assign(req_words, 0);
+    shard.latency.reserve(
+        std::min(config_.measure_slots * (ne - nb), kLatencyReserveCap));
     // Every queue of the shard's nodes pushes from this shard only (its
     // own phase-1/3 enqueues), so growth stays inside the shard's pool.
     for (std::int64_t qi = voq_base_[static_cast<std::size_t>(nb)];
@@ -325,6 +360,25 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
   const std::int64_t queue_cap = config_.queue_capacity;
   const Arbitration policy = config_.arbitration;
 
+  // Telemetry: per-shard probe frames, folded with order-independent
+  // integer adds in the slot barrier's completion step -- the merged
+  // values are sums over ALL nodes/couplers, so they cannot depend on
+  // the partition (= thread count).
+  obs::Telemetry* const tel = config_.telemetry.get();
+  obs::WindowSpans windows;
+  SimTime tel_last = 0;
+  std::vector<obs::ProbeRegistry> frames;
+  if (tel != nullptr) {
+    if (tel->trace_sink() != nullptr) {
+      windows = obs::WindowSpans(tel->trace_sink(), tel->tid(),
+                                 config_.warmup_slots, horizon);
+    }
+    frames.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      frames.push_back(tel->probes().clone_schema());
+    }
+  }
+
   // Slot state shared across workers; mutated only by the slot barrier's
   // completion step, which runs while every worker is blocked.
   SimTime now = 0;
@@ -335,6 +389,20 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
     for (Shard& shard : shards) {
       inflight += shard.inflight_delta;
       shard.inflight_delta = 0;
+    }
+    if (tel != nullptr) {
+      windows.at_slot(now);
+      if (tel->due(now)) {
+        obs::ProbeRegistry& reg = tel->probes();
+        reg.zero();
+        for (const obs::ProbeRegistry& frame : frames) {
+          reg.accumulate(frame);
+        }
+        // Backlog is global state only the completion step knows.
+        reg.set(tel->engine_probes().backlog, inflight);
+        tel->sample(now);
+      }
+      tel_last = now;
     }
     const bool more_traffic = now + 1 < horizon;
     const bool keep_draining = config_.drain && inflight > 0;
@@ -470,6 +538,23 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
           }
         }
       }
+      if (tel != nullptr && tel->due(now)) {
+        // Sampling boundary: one extra barrier makes every shard's
+        // phase-3 pushes visible, then each worker snapshots its own
+        // counters and coupler range into its private frame. All
+        // workers agree on due(now) -- `now` is slot-barrier state.
+        phase_barrier.arrive_and_wait();
+        obs::ProbeRegistry& frame = frames[static_cast<std::size_t>(w)];
+        const obs::EngineProbes& ids = tel->engine_probes();
+        frame.zero();
+        frame.set(ids.offered, shard.offered);
+        frame.set(ids.delivered, shard.delivered);
+        frame.set(ids.transmissions, shard.transmissions);
+        frame.set(ids.collisions, shard.collisions);
+        frame.set(ids.dropped, shard.dropped);
+        detail::observe_occupancy(frame, ids.occupancy, feed_, voq,
+                                  shard.coupler_begin, shard.coupler_end);
+      }
       slot_barrier.arrive_and_wait();
       if (!running) {
         break;
@@ -501,6 +586,15 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
     metrics.latency.merge(shard.latency);
   }
   metrics.backlog = inflight;
+  if (tel != nullptr) {
+    windows.finish();
+    detail::fill_metric_probes(*tel, metrics, inflight);
+    obs::ProbeRegistry& reg = tel->probes();
+    const obs::ProbeId hist = tel->engine_probes().occupancy;
+    reg.clear_histogram(hist);
+    detail::observe_occupancy(reg, hist, feed_, voq, 0, couplers_);
+    tel->finish(tel_last);
+  }
   return metrics;
 }
 
@@ -539,6 +633,24 @@ RunMetrics PhasedEngineT<Routes>::run_workload_serial(
   std::vector<std::int64_t> delivered_ids;
   const std::size_t capacity = static_cast<std::size_t>(config_.wavelengths);
   const Arbitration policy = config_.arbitration;
+  metrics.latency.reserve(std::min(background_base, kLatencyReserveCap));
+
+  // Telemetry mirrors run_serial: one pointer test per slot when
+  // detached; closed-loop runs have no warmup, so the whole run is one
+  // "measure" window.
+  obs::Telemetry* const tel = config_.telemetry.get();
+  obs::WindowSpans windows;
+  SimTime tel_last = 0;
+  if (tel != nullptr && tel->trace_sink() != nullptr) {
+    windows = obs::WindowSpans(tel->trace_sink(), tel->tid(), 0, bound + 1);
+  }
+  const auto fill_probes = [&](const VoqArena& arena) {
+    detail::fill_metric_probes(*tel, metrics, inflight);
+    obs::ProbeRegistry& reg = tel->probes();
+    const obs::ProbeId hist = tel->engine_probes().occupancy;
+    reg.clear_histogram(hist);
+    detail::observe_occupancy(reg, hist, feed_, arena, 0, couplers_);
+  };
 
   // queue_capacity is 0 in workload mode (validated), so enqueue never
   // drops.
@@ -641,6 +753,14 @@ RunMetrics PhasedEngineT<Routes>::run_workload_serial(
       metrics.makespan_slots = now + 1;
     }
     load_done = load.done();
+    if (tel != nullptr) {
+      windows.at_slot(now);
+      if (tel->due(now)) {
+        fill_probes(voq);
+        tel->sample(now);
+      }
+      tel_last = now;
+    }
 
     if (load_done && inflight == 0) {
       break;
@@ -656,6 +776,11 @@ RunMetrics PhasedEngineT<Routes>::run_workload_serial(
 
   metrics.slots = now + 1;
   metrics.backlog = inflight;
+  if (tel != nullptr) {
+    windows.finish();
+    fill_probes(voq);
+    tel->finish(tel_last);
+  }
   return metrics;
 }
 
@@ -709,6 +834,8 @@ RunMetrics PhasedEngineT<Routes>::run_workload_sharded(
     shard.coupler_begin = cb;
     shard.coupler_end = ce;
     shard.request.assign(req_words, 0);
+    shard.latency.reserve(std::min(
+        load.packet_count() / threads + 1, kLatencyReserveCap));
     for (std::int64_t qi = voq_base_[static_cast<std::size_t>(nb)];
          qi < voq_base_[static_cast<std::size_t>(ne)]; ++qi) {
       voq.set_pool(static_cast<std::size_t>(qi),
@@ -720,6 +847,22 @@ RunMetrics PhasedEngineT<Routes>::run_workload_sharded(
   const SimTime bound = workload_slot_bound(load);
   const std::size_t capacity = static_cast<std::size_t>(config_.wavelengths);
   const Arbitration policy = config_.arbitration;
+
+  // Telemetry: per-shard frames merged in the completion step, exactly
+  // as in the open-loop sharded mode.
+  obs::Telemetry* const tel = config_.telemetry.get();
+  obs::WindowSpans windows;
+  SimTime tel_last = 0;
+  std::vector<obs::ProbeRegistry> frames;
+  if (tel != nullptr) {
+    if (tel->trace_sink() != nullptr) {
+      windows = obs::WindowSpans(tel->trace_sink(), tel->tid(), 0, bound + 1);
+    }
+    frames.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      frames.push_back(tel->probes().clone_schema());
+    }
+  }
 
   // Slot state shared across workers; mutated only in the slot
   // barrier's completion step (every worker is blocked then). `inject`
@@ -749,6 +892,19 @@ RunMetrics PhasedEngineT<Routes>::run_workload_sharded(
       makespan = now + 1;
     }
     load_done = load.done();
+    if (tel != nullptr) {
+      windows.at_slot(now);
+      if (tel->due(now)) {
+        obs::ProbeRegistry& reg = tel->probes();
+        reg.zero();
+        for (const obs::ProbeRegistry& frame : frames) {
+          reg.accumulate(frame);
+        }
+        reg.set(tel->engine_probes().backlog, inflight);
+        tel->sample(now);
+      }
+      tel_last = now;
+    }
     inject.clear();
     if (load_done && inflight == 0) {
       running = false;
@@ -879,6 +1035,21 @@ RunMetrics PhasedEngineT<Routes>::run_workload_sharded(
           }
         }
       }
+      if (tel != nullptr && tel->due(now)) {
+        // Sampling boundary: extra barrier for phase-3 visibility, then
+        // snapshot this shard's counters and coupler range (see the
+        // open-loop sharded mode).
+        phase_barrier.arrive_and_wait();
+        obs::ProbeRegistry& frame = frames[static_cast<std::size_t>(w)];
+        const obs::EngineProbes& ids = tel->engine_probes();
+        frame.zero();
+        frame.set(ids.offered, shard.offered);
+        frame.set(ids.delivered, shard.delivered);
+        frame.set(ids.transmissions, shard.transmissions);
+        frame.set(ids.collisions, shard.collisions);
+        detail::observe_occupancy(frame, ids.occupancy, feed_, voq,
+                                  shard.coupler_begin, shard.coupler_end);
+      }
       slot_barrier.arrive_and_wait();
       if (!running) {
         break;
@@ -910,6 +1081,15 @@ RunMetrics PhasedEngineT<Routes>::run_workload_sharded(
     metrics.latency.merge(shard.latency);
   }
   metrics.backlog = inflight;
+  if (tel != nullptr) {
+    windows.finish();
+    detail::fill_metric_probes(*tel, metrics, inflight);
+    obs::ProbeRegistry& reg = tel->probes();
+    const obs::ProbeId hist = tel->engine_probes().occupancy;
+    reg.clear_histogram(hist);
+    detail::observe_occupancy(reg, hist, feed_, voq, 0, couplers_);
+    tel->finish(tel_last);
+  }
   return metrics;
 }
 

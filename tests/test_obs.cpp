@@ -1,0 +1,377 @@
+// Tests for the obs telemetry subsystem:
+//  - ProbeRegistry arithmetic: histogram bucketing and the
+//    order-independent shard-merge (accumulate) contract;
+//  - attaching telemetry never changes RunMetrics: bit-parity against
+//    the untelemetered run on the phased, sharded, and async engines,
+//    with and without sampling, in windowed and workload modes;
+//  - thread-count invariance of the sampled artifacts: the sharded
+//    engine's timeseries JSONL is byte-identical and the merged probe
+//    values identical for every worker count;
+//  - probe totals equal the RunMetrics they mirror;
+//  - Chrome-trace output is well-formed JSON whose spans strictly nest
+//    per track (round-tripped through core::Json);
+//  - config validation: unknown probe names and the probe-less
+//    event-queue engine are rejected.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/json.hpp"
+#include "hypergraph/stack_kautz.hpp"
+#include "obs/probe.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace_sink.hpp"
+#include "routing/compiled_routes.hpp"
+#include "sim/metrics.hpp"
+#include "sim/ops_network.hpp"
+#include "sim/traffic.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace otis;
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Fresh scratch directory under the build tree's temp space.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag)
+      : path_(std::filesystem::temp_directory_path() /
+              ("otis_obs_" + tag + "_" + std::to_string(::getpid()))) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// Exact equality of every metric, including the latency distribution.
+void expect_identical(const sim::RunMetrics& a, const sim::RunMetrics& b) {
+  EXPECT_EQ(a.slots, b.slots);
+  EXPECT_EQ(a.offered_packets, b.offered_packets);
+  EXPECT_EQ(a.delivered_packets, b.delivered_packets);
+  EXPECT_EQ(a.coupler_transmissions, b.coupler_transmissions);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_EQ(a.dropped_packets, b.dropped_packets);
+  EXPECT_EQ(a.backlog, b.backlog);
+  EXPECT_EQ(a.latency.count(), b.latency.count());
+  EXPECT_DOUBLE_EQ(a.latency.mean(), b.latency.mean());
+  EXPECT_EQ(a.latency.max(), b.latency.max());
+  EXPECT_EQ(a.latency.percentile(0.95), b.latency.percentile(0.95));
+}
+
+constexpr std::int64_t kWarmup = 50;
+constexpr std::int64_t kMeasure = 400;
+
+/// One SK(4,3,2) run with an optional telemetry session attached.
+sim::RunMetrics run_sk(sim::Engine engine, int threads,
+                       std::shared_ptr<obs::Telemetry> telemetry,
+                       std::uint64_t seed = 42) {
+  hypergraph::StackKautz sk(4, 3, 2);
+  sim::SimConfig config;
+  config.warmup_slots = kWarmup;
+  config.measure_slots = kMeasure;
+  config.seed = seed;
+  config.engine = engine;
+  config.threads = threads;
+  config.telemetry = std::move(telemetry);
+  sim::OpsNetworkSim sim(
+      sk.stack(),
+      std::make_shared<const routing::CompiledRoutes>(
+          routing::compile_stack_kautz_routes(sk)),
+      std::make_unique<sim::UniformTraffic>(sk.processor_count(), 0.35),
+      config);
+  return sim.run();
+}
+
+/// A small recorded workload for run-to-completion parity checks.
+workload::Trace record_small_trace() {
+  hypergraph::StackKautz sk(4, 3, 2);
+  auto recorder =
+      std::make_shared<workload::TraceRecorder>(sk.processor_count());
+  sim::SimConfig config;
+  config.warmup_slots = 0;
+  config.measure_slots = 120;
+  config.seed = 7;
+  config.recorder = recorder;
+  sim::OpsNetworkSim sim(
+      sk.stack(),
+      std::make_shared<const routing::CompiledRoutes>(
+          routing::compile_stack_kautz_routes(sk)),
+      std::make_unique<sim::UniformTraffic>(sk.processor_count(), 0.4),
+      config);
+  sim.run();
+  return recorder->trace();
+}
+
+sim::RunMetrics run_workload(sim::Engine engine, int threads,
+                             const workload::Trace& trace,
+                             std::shared_ptr<obs::Telemetry> telemetry) {
+  hypergraph::StackKautz sk(4, 3, 2);
+  sim::SimConfig config;
+  config.warmup_slots = 0;
+  config.measure_slots = 1;  // ignored: workload runs go to completion
+  config.seed = 7;
+  config.engine = engine;
+  config.threads = threads;
+  config.workload = std::make_shared<workload::TraceWorkload>(trace);
+  config.telemetry = std::move(telemetry);
+  sim::OpsNetworkSim sim(
+      sk.stack(),
+      std::make_shared<const routing::CompiledRoutes>(
+          routing::compile_stack_kautz_routes(sk)),
+      std::make_unique<sim::UniformTraffic>(sk.processor_count(), 0.0),
+      config);
+  return sim.run();
+}
+
+obs::TelemetryConfig sampling_config(std::int64_t period,
+                                     std::string timeseries_path = "",
+                                     std::string trace_path = "") {
+  obs::TelemetryConfig config;
+  config.sample_period = period;
+  config.timeseries_path = std::move(timeseries_path);
+  config.trace_path = std::move(trace_path);
+  return config;
+}
+
+TEST(ProbeRegistry, HistogramBucketsFollowUpperBounds) {
+  obs::ProbeRegistry reg;
+  const obs::ProbeId hist = reg.histogram("occ", {0, 1, 4});
+  ASSERT_EQ(reg.bucket_count(hist), 4u);  // 3 bounds + overflow
+  reg.observe(hist, 0);   // <= 0 -> bucket 0
+  reg.observe(hist, 1);   // <= 1 -> bucket 1
+  reg.observe(hist, 2);   // <= 4 -> bucket 2
+  reg.observe(hist, 4);   // <= 4 -> bucket 2
+  reg.observe(hist, 5);   // overflow
+  reg.observe(hist, 99);  // overflow
+  EXPECT_EQ(reg.bucket(hist, 0), 1);
+  EXPECT_EQ(reg.bucket(hist, 1), 1);
+  EXPECT_EQ(reg.bucket(hist, 2), 2);
+  EXPECT_EQ(reg.bucket(hist, 3), 2);
+  reg.clear_histogram(hist);
+  for (std::size_t i = 0; i < reg.bucket_count(hist); ++i) {
+    EXPECT_EQ(reg.bucket(hist, i), 0);
+  }
+}
+
+TEST(ProbeRegistry, AccumulateIsOrderIndependent) {
+  // The sharded merge folds per-shard clones with element-wise adds;
+  // any fold order must give the same totals.
+  obs::ProbeRegistry reg;
+  const obs::ProbeId count = reg.counter("count");
+  const obs::ProbeId level = reg.gauge("level");
+  const obs::ProbeId hist = reg.histogram("hist", {1, 2});
+
+  std::vector<obs::ProbeRegistry> shards;
+  for (int s = 0; s < 3; ++s) {
+    shards.push_back(reg.clone_schema());
+    shards.back().add(count, 10 + s);
+    shards.back().set(level, s);
+    shards.back().observe(hist, s);
+  }
+  const auto fold = [&](const std::vector<int>& order) {
+    obs::ProbeRegistry merged = reg.clone_schema();
+    for (const int s : order) {
+      merged.accumulate(shards[static_cast<std::size_t>(s)]);
+    }
+    return merged;
+  };
+  const obs::ProbeRegistry forward = fold({0, 1, 2});
+  const obs::ProbeRegistry backward = fold({2, 1, 0});
+  EXPECT_EQ(forward.value(count), 33);
+  EXPECT_EQ(forward.value(level), 3);  // gauges sum across shards
+  for (obs::ProbeId id = 0; id < forward.probe_count(); ++id) {
+    if (forward.kind(id) == obs::ProbeKind::kHistogram) {
+      for (std::size_t i = 0; i < forward.bucket_count(id); ++i) {
+        EXPECT_EQ(forward.bucket(id, i), backward.bucket(id, i));
+      }
+    } else {
+      EXPECT_EQ(forward.value(id), backward.value(id));
+    }
+  }
+}
+
+TEST(TelemetryConfig, RejectsUnknownProbeNames) {
+  obs::TelemetryConfig config = sampling_config(16);
+  config.probes = {"delivered", "bogus_probe"};
+  EXPECT_THROW(obs::Telemetry::create(config), core::Error);
+}
+
+TEST(TelemetryConfig, EventQueueEngineRejectsTelemetry) {
+  // The seed fixture has no probe points; attaching telemetry to it
+  // must fail loudly rather than silently record nothing.
+  EXPECT_THROW(run_sk(sim::Engine::kEventQueue, 1,
+                      obs::Telemetry::create(sampling_config(16))),
+               core::Error);
+}
+
+TEST(Telemetry, AttachedButDisabledIsMetricsExact) {
+  const sim::RunMetrics off = run_sk(sim::Engine::kPhased, 1, nullptr);
+  const sim::RunMetrics on =
+      run_sk(sim::Engine::kPhased, 1, obs::Telemetry::create({}));
+  expect_identical(off, on);
+}
+
+TEST(Telemetry, SamplingPreservesMetricsAndMirrorsThemInProbes) {
+  const sim::RunMetrics off = run_sk(sim::Engine::kPhased, 1, nullptr);
+  const auto tel = obs::Telemetry::create(sampling_config(64));
+  const sim::RunMetrics on = run_sk(sim::Engine::kPhased, 1, tel);
+  expect_identical(off, on);
+
+  // End-of-run probe totals mirror the RunMetrics fields exactly.
+  const obs::EngineProbes& ids = tel->engine_probes();
+  const obs::ProbeRegistry& reg = tel->probes();
+  EXPECT_EQ(reg.value(ids.offered), on.offered_packets);
+  EXPECT_EQ(reg.value(ids.delivered), on.delivered_packets);
+  EXPECT_EQ(reg.value(ids.transmissions), on.coupler_transmissions);
+  EXPECT_EQ(reg.value(ids.collisions), on.collisions);
+  EXPECT_EQ(reg.value(ids.dropped), on.dropped_packets);
+  EXPECT_EQ(reg.value(ids.backlog), on.backlog);
+
+  // One schema header, one row per full period, and the final partial
+  // window.
+  const std::int64_t horizon = kWarmup + kMeasure;
+  const std::int64_t expected_rows =
+      1 + horizon / 64 + (horizon % 64 != 0 ? 1 : 0);
+  EXPECT_EQ(tel->rows_sampled(), expected_rows);
+}
+
+TEST(Telemetry, ShardedSamplingIsThreadCountInvariantToTheByte) {
+  ScratchDir scratch("sharded");
+  const sim::RunMetrics off = run_sk(sim::Engine::kSharded, 1, nullptr);
+
+  std::string reference_bytes;
+  std::vector<std::int64_t> reference_probes;
+  for (const int threads : {1, 2, 5, 8}) {
+    SCOPED_TRACE(threads);
+    const std::filesystem::path path =
+        scratch.path() / ("ts_" + std::to_string(threads) + ".jsonl");
+    const auto tel = obs::Telemetry::create(sampling_config(64, path));
+    const sim::RunMetrics on = run_sk(sim::Engine::kSharded, threads, tel);
+    expect_identical(off, on);
+
+    std::vector<std::int64_t> probes;
+    const obs::ProbeRegistry& reg = tel->probes();
+    for (obs::ProbeId id = 0; id < reg.probe_count(); ++id) {
+      if (reg.kind(id) == obs::ProbeKind::kHistogram) {
+        for (std::size_t i = 0; i < reg.bucket_count(id); ++i) {
+          probes.push_back(reg.bucket(id, i));
+        }
+      } else {
+        probes.push_back(reg.value(id));
+      }
+    }
+    tel->close();
+    const std::string bytes = read_file(path);
+    EXPECT_GT(bytes.size(), 0u);
+    if (reference_bytes.empty()) {
+      reference_bytes = bytes;
+      reference_probes = probes;
+    } else {
+      EXPECT_EQ(bytes, reference_bytes)
+          << "timeseries bytes must not depend on the worker count";
+      EXPECT_EQ(probes, reference_probes);
+    }
+  }
+}
+
+TEST(Telemetry, AsyncEngineSamplesWithoutChangingMetrics) {
+  const sim::RunMetrics off = run_sk(sim::Engine::kAsync, 1, nullptr);
+  const auto tel = obs::Telemetry::create(sampling_config(32));
+  const sim::RunMetrics on = run_sk(sim::Engine::kAsync, 1, tel);
+  expect_identical(off, on);
+  EXPECT_GT(tel->rows_sampled(), 0);
+  // The calendar queue drains before the run returns.
+  EXPECT_EQ(tel->probes().value(tel->engine_probes().pending_events), 0);
+}
+
+TEST(Telemetry, WorkloadRunsAreMetricsExactWithSampling) {
+  const workload::Trace trace = record_small_trace();
+  for (const sim::Engine engine :
+       {sim::Engine::kPhased, sim::Engine::kAsync}) {
+    SCOPED_TRACE(sim::engine_name(engine));
+    const sim::RunMetrics off = run_workload(engine, 1, trace, nullptr);
+    const sim::RunMetrics on = run_workload(
+        engine, 1, trace, obs::Telemetry::create(sampling_config(16)));
+    expect_identical(off, on);
+  }
+  const sim::RunMetrics one = run_workload(
+      sim::Engine::kSharded, 1, trace,
+      obs::Telemetry::create(sampling_config(16)));
+  for (const int threads : {2, 5, 8}) {
+    SCOPED_TRACE(threads);
+    const sim::RunMetrics many = run_workload(
+        sim::Engine::kSharded, threads, trace,
+        obs::Telemetry::create(sampling_config(16)));
+    expect_identical(one, many);
+  }
+}
+
+TEST(Telemetry, ChromeTraceIsWellFormedAndSpansNestPerTrack) {
+  ScratchDir scratch("trace");
+  const std::filesystem::path path = scratch.path() / "run.trace.json";
+  const auto tel =
+      obs::Telemetry::create(sampling_config(0, "", path.string()));
+  run_sk(sim::Engine::kPhased, 1, tel);
+  tel->close();
+
+  // Round-trip through the JSON parser: structure, required fields,
+  // and strict per-track nesting (events arrive sorted by start time).
+  const core::Json doc = core::Json::parse_file(path.string());
+  const std::vector<core::Json>& events = doc.at("traceEvents").items();
+  ASSERT_GE(events.size(), 3u);  // sim.run + warmup + measure
+  std::map<std::int64_t, std::vector<std::pair<std::int64_t, std::int64_t>>>
+      stacks;  // tid -> open [start, end) spans
+  std::vector<std::string> names;
+  for (const core::Json& event : events) {
+    EXPECT_EQ(event.at("ph").as_string(), "X");
+    EXPECT_EQ(event.at("pid").as_int(), 0);
+    const std::int64_t ts = event.at("ts").as_int();
+    const std::int64_t dur = event.at("dur").as_int();
+    EXPECT_GE(ts, 0);
+    EXPECT_GE(dur, 0);
+    names.push_back(event.at("name").as_string());
+    auto& stack = stacks[event.at("tid").as_int()];
+    while (!stack.empty() && stack.back().second <= ts) {
+      stack.pop_back();
+    }
+    if (!stack.empty()) {
+      // A span overlapping an open one must lie fully inside it.
+      EXPECT_GE(ts, stack.back().first);
+      EXPECT_LE(ts + dur, stack.back().second);
+    }
+    stack.emplace_back(ts, ts + dur);
+  }
+  const auto has = [&](const std::string& name) {
+    for (const std::string& n : names) {
+      if (n == name) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("sim.run"));
+  EXPECT_TRUE(has("warmup"));
+  EXPECT_TRUE(has("measure"));
+}
+
+}  // namespace
