@@ -103,10 +103,25 @@ void print_usage(std::ostream& os) {
      << "  --progress heartbeat on stderr every ~2 s: cells done/total,\n"
      << "             rate, ETA and busy workers\n"
      << "  --list-cells  dry run: print every cell's expansion index,\n"
-     << "             status, engine, estimated weight (nodes x slots --\n"
-     << "             for balancing shards by work, not cell count) and\n"
-     << "             ID without simulating anything -- for planning\n"
-     << "             sharded and resumed runs\n";
+     << "             status, engine, estimated weight (nodes x slots x\n"
+     << "             timing factor; skewed cells weigh 2.5-3x their\n"
+     << "             slot-aligned twins -- for balancing shards by\n"
+     << "             work, not cell count) and ID without simulating\n"
+     << "             anything -- for planning sharded and resumed runs\n";
+}
+
+/// Per-slot cost multiplier of the cell's timing profile. Skewed cells
+/// run the calendar-queue async loop, whose per-event pops, eligibility
+/// gates and tick arithmetic cost roughly 2.5x a phased slot; per-level
+/// skew spreads the delays further (wider windows, longer in-flight
+/// tails), so it carries another half step. Slot-aligned cells -- kNone
+/// or a skew profile with every tick zero -- stay on the phased-loop
+/// baseline of 1.
+double timing_weight_factor(const otis::sim::TimingConfig& timing) {
+  if (timing.is_slot_aligned()) {
+    return 1.0;
+  }
+  return timing.profile == otis::sim::SkewProfile::kPerLevel ? 3.0 : 2.5;
 }
 
 /// The --list-cells dry run: the exact expansion, shard split and
@@ -125,12 +140,17 @@ int list_cells(const otis::campaign::CampaignSpec& spec,
   std::int64_t pending = 0, done = 0, other_shard = 0;
   std::int64_t pending_weight = 0;
   for (const otis::campaign::CampaignCell& cell : cells) {
-    // Estimated cell weight: nodes x simulated slots, the slot loop's
-    // work bound up to the per-slot constant. Closed-loop (workload)
+    // Estimated cell weight: nodes x simulated slots x timing factor,
+    // the slot loop's work bound up to the per-slot constant. Skewed
+    // cells pay the async calendar-queue loop on top of the raw slot
+    // count (timing_weight_factor), so shards balanced by this weight
+    // no longer under-provision the async cells. Closed-loop (workload)
     // cells run to completion, so their window is a lower bound.
-    const std::int64_t weight =
-        spec.topologies[cell.topology].processor_count() *
-        (spec.warmup_slots + spec.measure_slots);
+    const std::int64_t weight = static_cast<std::int64_t>(
+        static_cast<double>(
+            spec.topologies[cell.topology].processor_count() *
+            (spec.warmup_slots + spec.measure_slots)) *
+        timing_weight_factor(cell.timing));
     const char* status = "pending";
     if (cell.index % options.shard_count != options.shard_index) {
       status = "other-shard";

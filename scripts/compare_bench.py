@@ -13,12 +13,15 @@ trajectory is informative).
 
 The acceptance section of the CURRENT file IS enforced: if
 micro_benchmarks recorded pass=false (phased >= 6x event-queue),
-queue_pass=false (calendar >= 3x priority queue), or
+queue_pass=false (calendar >= 3x priority queue),
 telemetry_pass=false (attached-but-disabled telemetry costs more than
-2% on the phased acceptance case) -- all judged on the best of paired
-back-to-back rounds, so a slow runner cannot flip them -- the script
-emits ::error:: and exits 1. Exit status is also 1 when the *current*
-file is missing/unreadable.
+2% on the phased acceptance case), or async_parallel_pass=false
+(async-sharded >= 2.5x its own 1-thread run at 8 threads) -- all
+judged on the best of paired back-to-back rounds, so a slow runner
+cannot flip them -- the script emits ::error:: and exits 1. An
+async_parallel_pass of null means the host could not judge the
+8-thread bar (too few cores) and only warns. Exit status is also 1
+when the *current* file is missing/unreadable.
 """
 
 import argparse
@@ -73,6 +76,28 @@ def enforce_acceptance(current_doc):
               f"acceptance case, above the allowed "
               f"{acceptance.get('telemetry_required_max_overhead_pct')}%")
         failed = True
+    # The async-parallel scaling bar is tri-state: true/false when the
+    # host could judge the 8-thread requirement, null (None) with a skip
+    # reason when it could not. Only an explicit false fails the build;
+    # a skipped verdict stays a warning so laptop/CI runs on small
+    # machines don't block on a bar they cannot measure.
+    if "async_parallel_pass" in acceptance:
+        print(f"acceptance: async-sharded scaling "
+              f"{acceptance.get('async_parallel_measured_speedup')}x at "
+              f"{acceptance.get('async_parallel_threads')} threads "
+              f"(required {acceptance.get('async_parallel_required_speedup')}"
+              f"x at 8)")
+    if acceptance.get("async_parallel_pass") is False:
+        print(f"::error title=Async-parallel scaling bar failed::async-"
+              f"sharded engine at "
+              f"{acceptance.get('async_parallel_measured_speedup')}x of its "
+              f"1-thread run, below the required "
+              f"{acceptance.get('async_parallel_required_speedup')}x")
+        failed = True
+    elif ("async_parallel_pass" in acceptance
+          and acceptance.get("async_parallel_pass") is None):
+        print(f"::warning title=Async-parallel bar skipped::"
+              f"{acceptance.get('async_parallel_skip_reason')}")
     return 1 if failed else 0
 
 
@@ -205,6 +230,28 @@ def main():
         print(f"::warning title=Telemetry-overhead regression::telemetry "
               f"mode {mode} slots/sec at {ratio:.2f}x of previous run")
 
+    # Async-parallel dimension: the threads-vs-1 scaling of the sharded
+    # calendar-queue engine on the scale-up case. Only comparable when
+    # both runs used the same thread count (different hosts measure
+    # different bars); wall-clock, so a drop beyond the threshold warns.
+    # Absent in pre-parallel-async baselines.
+    async_regressions = []
+    cur_async = current_doc.get("async_parallel", {})
+    prev_async = previous_doc.get("async_parallel", {})
+    cur_scaling = cur_async.get("speedup_best")
+    prev_scaling = prev_async.get("speedup_best")
+    if cur_scaling and prev_scaling \
+            and cur_async.get("threads") == prev_async.get("threads"):
+        ratio = cur_scaling / prev_scaling
+        print(f"async-parallel scaling ({cur_async.get('threads')}T) "
+              f"{prev_scaling:>7.2f}x {cur_scaling:>7.2f}x {ratio:>7.2f}")
+        if ratio < 1.0 - args.threshold:
+            async_regressions.append(ratio)
+    for ratio in async_regressions:
+        print(f"::warning title=Async-parallel scaling regression::"
+              f"async-sharded threads-vs-1 speedup at {ratio:.2f}x of the "
+              f"previous run's")
+
     # Phase dimension: the serial phased engine's per-phase ns/slot
     # (generate / arbitrate / receive / total, keyed by topology).
     # Wall-clock like the slots/sec rows, so growth beyond the threshold
@@ -239,7 +286,7 @@ def main():
 
     if not regressions and not memory_regressions and not queue_regressions \
             and not makespan_regressions and not telemetry_regressions \
-            and not phase_regressions:
+            and not async_regressions and not phase_regressions:
         print(f"\nno regression beyond {args.threshold:.0%} threshold")
 
     # The enforced bars: micro_benchmarks already measured these on

@@ -73,11 +73,17 @@ std::vector<CampaignCell> expand_grid(const CampaignSpec& spec) {
                     cell.workload = workload;
                     cell.seed = seed;
                     // Sub-slot skew needs timed events: such cells run
-                    // on the async engine whatever the spec-level
-                    // engine is.
-                    cell.engine = timing.is_slot_aligned()
-                                      ? engine
-                                      : sim::Engine::kAsync;
+                    // on an async engine whatever the spec-level engine
+                    // is -- the parallel one when the spec asked for a
+                    // parallel engine, so skewed cells stop serializing
+                    // sharded campaigns.
+                    cell.engine =
+                        timing.is_slot_aligned()
+                            ? engine
+                            : (engine == sim::Engine::kSharded ||
+                                       engine == sim::Engine::kAsyncSharded
+                                   ? sim::Engine::kAsyncSharded
+                                   : sim::Engine::kAsync);
                     cell.engine_threads = engine_threads;
                     cells.push_back(std::move(cell));
                   }

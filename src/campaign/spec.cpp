@@ -46,8 +46,12 @@ sim::Engine parse_engine(const std::string& name) {
   if (name == "async") {
     return sim::Engine::kAsync;
   }
-  throw core::Error("CampaignSpec: unknown engine \"" + name +
-                    "\" (expected event-queue|phased|sharded|async)");
+  if (name == "async-sharded") {
+    return sim::Engine::kAsyncSharded;
+  }
+  throw core::Error(
+      "CampaignSpec: unknown engine \"" + name +
+      "\" (expected event-queue|phased|sharded|async|async-sharded)");
 }
 
 /// Misspelled keys must fail loudly (the Args parser sets the repo-wide

@@ -96,6 +96,22 @@ class Rng {
     return uniform_real() < p;
   }
 
+  /// Fills draws[i] = uniform(start_bound - i) for i in [0, count): the
+  /// descending-bound draw sequence of a partial Fisher-Yates, whose
+  /// bounds depend only on the list length -- never on the swaps -- so
+  /// the whole batch can be drawn ahead of the swap loop. Consumes
+  /// exactly the raw values the equivalent uniform() calls would, in
+  /// the same order (bit-identical sequences); batching keeps the
+  /// generator state in registers across the run of draws instead of
+  /// re-loading it between swap iterations. `start_bound` must be
+  /// >= count.
+  void uniform_descending(std::uint64_t start_bound, std::size_t count,
+                          std::uint64_t* draws) noexcept {
+    for (std::size_t i = 0; i < count; ++i) {
+      draws[i] = uniform(start_bound - static_cast<std::uint64_t>(i));
+    }
+  }
+
   /// Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& values) noexcept {

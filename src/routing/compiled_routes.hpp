@@ -80,6 +80,19 @@ class CompiledRoutes {
                   static_cast<std::size_t>(dest)];
   }
 
+  /// Hints the cache toward the relay entry of (coupler, dest). The
+  /// winner loops issue these for a whole batch of winners before
+  /// walking the deliveries: the dense relay row is H*N wide, so
+  /// consecutive winners' entries share no cache line and each lookup
+  /// is otherwise a cold miss.
+  void prefetch_relay(hypergraph::HyperarcId coupler,
+                      hypergraph::Node dest) const noexcept {
+    __builtin_prefetch(relay_.data() +
+                       static_cast<std::size_t>(coupler) *
+                           static_cast<std::size_t>(nodes_) +
+                       static_cast<std::size_t>(dest));
+  }
+
   /// Bytes held by the baked tables (the O(N^2 + H*N) footprint).
   [[nodiscard]] std::size_t memory_bytes() const noexcept {
     return (next_coupler_.size() + next_slot_.size() + relay_.size()) *

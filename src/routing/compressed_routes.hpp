@@ -102,6 +102,15 @@ class CompressedRoutes {
     return relay_base_[static_cast<std::size_t>(coupler)] + dest % s_;
   }
 
+  /// Hints the cache toward the relay base of `coupler` (the group
+  /// tables fit in cache, so only the per-coupler base can miss; the
+  /// destination term is pure arithmetic).
+  void prefetch_relay(hypergraph::HyperarcId coupler,
+                      hypergraph::Node /*dest*/) const noexcept {
+    __builtin_prefetch(relay_base_.data() +
+                       static_cast<std::size_t>(coupler));
+  }
+
   /// Bytes held by the baked tables (the O(G^2 + H) footprint).
   [[nodiscard]] std::size_t memory_bytes() const noexcept {
     return (group_next_coupler_.size() + group_next_slot_.size() +

@@ -34,6 +34,7 @@ concept RouteView =
       { view.next_slot(node, node) } noexcept
           -> std::convertible_to<std::int32_t>;
       { view.relay(h, node) } noexcept -> std::convertible_to<hypergraph::Node>;
+      { view.prefetch_relay(h, node) } noexcept;
       { view.node_count() } noexcept -> std::convertible_to<std::int64_t>;
       { view.coupler_count() } noexcept -> std::convertible_to<std::int64_t>;
       { view.memory_bytes() } noexcept -> std::convertible_to<std::size_t>;

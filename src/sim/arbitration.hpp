@@ -25,6 +25,7 @@
 /// Every policy therefore consumes the same RNG draws in the same order
 /// as the seed and elects the same winners in the same order.
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <vector>
@@ -163,12 +164,23 @@ inline bool pick_winners(Arbitration policy, std::size_t capacity,
           word &= word - 1;
         }
       }
-      for (std::size_t i = 0;
-           i < scratch.size() && winners.size() < capacity; ++i) {
-        const std::size_t j =
-            i + static_cast<std::size_t>(rng.uniform(scratch.size() - i));
-        std::swap(scratch[i], scratch[j]);
-        winners.push_back(scratch[i]);
+      // The draw bounds (n, n-1, ...) depend only on the contender
+      // count, never on the swap results, so the uniforms batch ahead
+      // of the swap loop -- draw-sequence identical to the interleaved
+      // uniform()-per-swap loop of the event-queue reference
+      // (test_engine_equivalence.cpp enforces the bit-parity).
+      constexpr std::size_t kDrawChunk = 32;
+      std::uint64_t draws[kDrawChunk];
+      const std::size_t take = std::min(capacity, scratch.size());
+      for (std::size_t base = 0; base < take; base += kDrawChunk) {
+        const std::size_t chunk = std::min(kDrawChunk, take - base);
+        rng.uniform_descending(scratch.size() - base, chunk, draws);
+        for (std::size_t c = 0; c < chunk; ++c) {
+          const std::size_t i = base + c;
+          const std::size_t j = i + static_cast<std::size_t>(draws[c]);
+          std::swap(scratch[i], scratch[j]);
+          winners.push_back(scratch[i]);
+        }
       }
       return false;
     }

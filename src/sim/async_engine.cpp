@@ -1,7 +1,9 @@
 #include "sim/async_engine.hpp"
 
 #include <algorithm>
+#include <barrier>
 #include <bit>
+#include <thread>
 #include <utility>
 
 #include "core/error.hpp"
@@ -15,11 +17,26 @@ namespace {
 /// consume the identical RNG sequence.
 constexpr std::uint64_t kRunStream = 0x0715;
 
+/// Ceiling on the conservative window width: bounds the per-shard
+/// telemetry frame storage and keeps termination/backlog checks (which
+/// only happen at window barriers) reasonably fresh under drain.
+constexpr SimTime kMaxLookaheadSlots = 32;
+
 /// Slot-valued latency of a timed delivery: the number of whole slots
 /// the packet needed, rounding a partially-used slot up. In the
 /// zero-delay limit this equals the phased engine's (now - created + 1).
 std::int64_t latency_slots(SimTime delivered_tick, SimTime created_tick) {
   return (delivered_tick - created_tick + kTicksPerSlot - 1) / kTicksPerSlot;
+}
+
+/// Widest request mask of any coupler, in words (per-shard scratch size).
+std::size_t max_mask_words(const detail::FeedIndex& fi) {
+  std::size_t widest = 1;
+  for (std::size_t h = 0; h < fi.coupler_count(); ++h) {
+    widest = std::max(widest, static_cast<std::size_t>(fi.mask_base[h + 1] -
+                                                       fi.mask_base[h]));
+  }
+  return widest;
 }
 
 }  // namespace
@@ -65,10 +82,125 @@ bool AsyncEngineT<Routes>::gates_open() const {
 }
 
 template <routing::RouteView Routes>
+int AsyncEngineT<Routes>::clamp_threads() const {
+  int threads = config_.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (threads <= 0) {
+    threads = 1;
+  }
+  return static_cast<int>(std::min<std::int64_t>(
+      threads, std::max<std::int64_t>(1, std::max(nodes_, couplers_))));
+}
+
+template <routing::RouteView Routes>
+SimTime AsyncEngineT<Routes>::lookahead_slots() const {
+  // A transmission in slot t lands no earlier than (t+1) * kTicksPerSlot
+  // + min_propagation, so it cannot reach another shard's receive step
+  // before slot t + 1 + floor(min_propagation / kTicksPerSlot). Tuning
+  // and guard delay *eligibility*, never a landing time, so they cannot
+  // widen the window.
+  return std::min<SimTime>(kMaxLookaheadSlots,
+                           1 + timing_.min_propagation() / kTicksPerSlot);
+}
+
+template <routing::RouteView Routes>
+typename AsyncEngineT<Routes>::ShardPlan AsyncEngineT<Routes>::plan_shards(
+    int threads) const {
+  ShardPlan plan;
+  plan.node_cut.assign(static_cast<std::size_t>(threads) + 1, 0);
+  plan.node_cut.back() = nodes_;
+  plan.couplers.resize(static_cast<std::size_t>(threads));
+
+  // Node of each VOQ, to read coupler feed spans off the FeedIndex.
+  std::vector<hypergraph::Node> node_of_queue(
+      static_cast<std::size_t>(voq_base_.back()));
+  for (hypergraph::Node v = 0; v < nodes_; ++v) {
+    for (std::int64_t qi = voq_base_[static_cast<std::size_t>(v)];
+         qi < voq_base_[static_cast<std::size_t>(v) + 1]; ++qi) {
+      node_of_queue[static_cast<std::size_t>(qi)] = v;
+    }
+  }
+
+  // A cut between nodes k-1 and k is feed-local iff no coupler's feed
+  // set spans it. Windows longer than one slot have a coupler's owner
+  // arbitrating over its feed VOQs mid-window, which is only safe when
+  // every one of those queues lives in the owner's shard -- so cuts
+  // inside a feed span are forbidden and the ideal balanced boundaries
+  // snap outward to the nearest legal position.
+  std::vector<std::uint8_t> allowed(static_cast<std::size_t>(nodes_) + 1, 1);
+  std::vector<hypergraph::Node> min_source(
+      static_cast<std::size_t>(couplers_), 0);
+  for (hypergraph::HyperarcId h = 0; h < couplers_; ++h) {
+    const std::size_t fb =
+        static_cast<std::size_t>(feed_.feed_base[static_cast<std::size_t>(h)]);
+    const std::size_t fe = static_cast<std::size_t>(
+        feed_.feed_base[static_cast<std::size_t>(h) + 1]);
+    if (fb == fe) {
+      continue;
+    }
+    hypergraph::Node lo = nodes_;
+    hypergraph::Node hi = 0;
+    for (std::size_t p = fb; p < fe; ++p) {
+      const hypergraph::Node v =
+          node_of_queue[static_cast<std::size_t>(feed_.feed_qi[p])];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    min_source[static_cast<std::size_t>(h)] = lo;
+    for (hypergraph::Node k = lo + 1; k <= hi; ++k) {
+      allowed[static_cast<std::size_t>(k)] = 0;
+    }
+  }
+
+  for (int w = 1; w < threads; ++w) {
+    const std::int64_t ideal = nodes_ * w / threads;
+    std::int64_t best = 0;
+    for (std::int64_t d = 0;; ++d) {
+      if (ideal - d >= 0 &&
+          allowed[static_cast<std::size_t>(ideal - d)] != 0) {
+        best = ideal - d;
+        break;
+      }
+      if (ideal + d <= nodes_ &&
+          allowed[static_cast<std::size_t>(ideal + d)] != 0) {
+        best = ideal + d;
+        break;
+      }
+    }
+    // Snapping keeps cuts monotone; coinciding cuts leave a shard empty
+    // (it still participates in the barriers).
+    plan.node_cut[static_cast<std::size_t>(w)] =
+        std::max(best, plan.node_cut[static_cast<std::size_t>(w) - 1]);
+  }
+  plan.node_owner.assign(static_cast<std::size_t>(nodes_), 0);
+  for (int w = 0; w < threads; ++w) {
+    for (std::int64_t v = plan.node_cut[static_cast<std::size_t>(w)];
+         v < plan.node_cut[static_cast<std::size_t>(w) + 1]; ++v) {
+      plan.node_owner[static_cast<std::size_t>(v)] =
+          static_cast<std::int32_t>(w);
+    }
+  }
+  for (hypergraph::HyperarcId h = 0; h < couplers_; ++h) {
+    plan.couplers[static_cast<std::size_t>(
+                      plan.node_owner[static_cast<std::size_t>(
+                          min_source[static_cast<std::size_t>(h)])])]
+        .push_back(h);
+  }
+  return plan;
+}
+
+template <routing::RouteView Routes>
 RunMetrics AsyncEngineT<Routes>::run(
     std::vector<std::int64_t>& coupler_success) {
   if (config_.workload != nullptr) {
-    return run_workload(coupler_success);
+    return config_.engine == Engine::kAsyncSharded
+               ? run_workload_sharded(coupler_success)
+               : run_workload(coupler_success);
+  }
+  if (config_.engine == Engine::kAsyncSharded) {
+    return run_sharded(coupler_success);
   }
   coupler_success.assign(static_cast<std::size_t>(couplers_), 0);
   core::Rng rng = core::Rng::stream(config_.seed, kRunStream);
@@ -564,6 +696,815 @@ RunMetrics AsyncEngineT<Routes>::run_workload(
   if (tel != nullptr) {
     windows.finish();
     fill_probes();
+    tel->finish(tel_last);
+  }
+  return metrics;
+}
+
+template <routing::RouteView Routes>
+RunMetrics AsyncEngineT<Routes>::run_sharded(
+    std::vector<std::int64_t>& coupler_success) {
+  const int threads = clamp_threads();
+  const ShardPlan plan = plan_shards(threads);
+  coupler_success.assign(static_cast<std::size_t>(couplers_), 0);
+
+  // Sharded stream universe (shared with the sharded phased engine):
+  // per-node generation streams, per-coupler arbitration streams, so
+  // the partition can never influence a draw. The serial async engine's
+  // single kRunStream interleaves draws across the whole network and
+  // cannot be split without replaying it, so the sharded open loop is a
+  // different -- equally valid -- universe; in the slot-aligned limit it
+  // is bit-identical to Engine::kSharded, and workload runs (below) are
+  // bit-identical to serial Engine::kAsync.
+  std::vector<core::Rng> gen_rng = detail::node_streams(config_.seed, nodes_);
+  std::vector<core::Rng> arb_rng =
+      detail::coupler_streams(config_.seed, couplers_);
+
+  RunMetrics metrics;
+  metrics.slots = config_.measure_slots;
+
+  const SimTime horizon = config_.warmup_slots + config_.measure_slots;
+  const SimTime drain_bound = horizon + 1'000'000;
+  const SimTime warmup_tick = ticks_from_slots(config_.warmup_slots);
+  const SimTime guard = timing_.guard();
+  const bool open = gates_open();
+  const SimTime lookahead = lookahead_slots();
+  const std::size_t capacity = static_cast<std::size_t>(config_.wavelengths);
+  const std::int64_t queue_cap = config_.queue_capacity;
+  const Arbitration policy = config_.arbitration;
+
+  TimedVoqArena voq;
+  voq.init(static_cast<std::size_t>(voq_base_.back()),
+           static_cast<std::size_t>(threads));
+
+  struct Arrival {
+    VoqEntry entry;
+    hypergraph::HyperarcId coupler = 0;
+    bool measuring = false;
+  };
+  /// A cross-shard arrival: the consumer replays the producer's
+  /// push_keyed at the window barrier, so the global (time, seq) pop
+  /// order is preserved across the handoff.
+  struct Mail {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    Arrival arrival;
+  };
+
+  struct Shard {
+    std::int64_t node_begin = 0, node_end = 0;
+    std::int64_t offered = 0, delivered = 0, dropped = 0;
+    std::int64_t transmissions = 0, collisions = 0;
+    std::int64_t inflight_delta = 0;  ///< since the last window fold
+    std::int64_t events_delta = 0;    ///< calendar pushes - pops, ditto
+    LatencyStats latency;
+    CalendarQueue<Arrival> calendar;
+    std::vector<std::vector<Mail>> outbox;  ///< per consumer shard
+    std::vector<std::size_t> winners, scratch;
+    std::vector<std::uint64_t> request;
+    /// Telemetry snapshots per window slot (cumulative deltas).
+    std::vector<std::int64_t> backlog_snap, events_snap;
+  };
+  std::vector<Shard> shards(static_cast<std::size_t>(threads));
+  const std::size_t req_words = max_mask_words(feed_);
+  for (int w = 0; w < threads; ++w) {
+    Shard& shard = shards[static_cast<std::size_t>(w)];
+    shard.node_begin = plan.node_cut[static_cast<std::size_t>(w)];
+    shard.node_end = plan.node_cut[static_cast<std::size_t>(w) + 1];
+    shard.outbox.resize(static_cast<std::size_t>(threads));
+    shard.request.assign(req_words, 0);
+    shard.backlog_snap.assign(static_cast<std::size_t>(lookahead), 0);
+    shard.events_snap.assign(static_cast<std::size_t>(lookahead), 0);
+    shard.latency.reserve(
+        std::min(config_.measure_slots * (shard.node_end - shard.node_begin),
+                 kLatencyReserveCap));
+    for (std::int64_t qi =
+             voq_base_[static_cast<std::size_t>(shard.node_begin)];
+         qi < voq_base_[static_cast<std::size_t>(shard.node_end)]; ++qi) {
+      voq.set_pool(static_cast<std::size_t>(qi),
+                   static_cast<std::uint32_t>(w));
+    }
+  }
+
+  std::vector<SenderDemand> senders(static_cast<std::size_t>(nodes_));
+
+  // Telemetry: per-shard frames for every slot of the window, folded in
+  // the window barrier's completion step in slot order -- probe values
+  // and timeseries bytes cannot depend on the partition. Backlog and
+  // calendar-pending are global gauges reconstructed from the window
+  // start value plus the shards' cumulative per-slot deltas.
+  obs::Telemetry* const tel = config_.telemetry.get();
+  obs::WindowSpans windows;
+  SimTime tel_last = 0;
+  std::vector<obs::ProbeRegistry> frames;
+  if (tel != nullptr) {
+    if (tel->trace_sink() != nullptr) {
+      windows = obs::WindowSpans(tel->trace_sink(), tel->tid(),
+                                 config_.warmup_slots, horizon);
+    }
+    if (tel->sampling()) {
+      frames.reserve(static_cast<std::size_t>(threads) *
+                     static_cast<std::size_t>(lookahead));
+      for (std::int64_t i = 0; i < threads * lookahead; ++i) {
+        frames.push_back(tel->probes().clone_schema());
+      }
+    }
+  }
+
+  // Window state shared across workers; mutated only by the window
+  // barrier's completion step, which runs while every worker is blocked.
+  SimTime win_begin = 0;
+  SimTime win_end = std::min(lookahead, horizon);
+  std::int64_t inflight = 0;
+  std::int64_t pending_total = 0;
+  bool running = true;
+
+  const auto on_window_end = [&]() noexcept {
+    // Drain the mailboxes while every worker is blocked: a worker-side
+    // drain would race with a producer that cleared the barrier first
+    // and is already appending next-window mail to the same outbox.
+    // Lookahead guarantees every mailed time is at or past the next
+    // window's boundary, so the drain order across producers is
+    // irrelevant -- pop order is a pure function of (time, seq).
+    for (Shard& producer : shards) {
+      for (int w = 0; w < threads; ++w) {
+        auto& box = producer.outbox[static_cast<std::size_t>(w)];
+        for (Mail& mail : box) {
+          shards[static_cast<std::size_t>(w)].calendar.push_keyed(
+              mail.time, mail.seq, std::move(mail.arrival));
+        }
+        box.clear();
+      }
+    }
+    if (tel != nullptr) {
+      for (SimTime s = win_begin; s < win_end; ++s) {
+        windows.at_slot(s);
+        if (tel->due(s)) {
+          const std::size_t k = static_cast<std::size_t>(s - win_begin);
+          obs::ProbeRegistry& reg = tel->probes();
+          reg.zero();
+          std::int64_t backlog = inflight;
+          std::int64_t pending = pending_total;
+          for (int w = 0; w < threads; ++w) {
+            reg.accumulate(frames[static_cast<std::size_t>(w) *
+                                      static_cast<std::size_t>(lookahead) +
+                                  k]);
+            backlog += shards[static_cast<std::size_t>(w)].backlog_snap[k];
+            pending += shards[static_cast<std::size_t>(w)].events_snap[k];
+          }
+          reg.set(tel->engine_probes().backlog, backlog);
+          reg.set(tel->engine_probes().pending_events, pending);
+          tel->sample(s);
+        }
+        tel_last = s;
+      }
+    }
+    for (Shard& shard : shards) {
+      inflight += shard.inflight_delta;
+      shard.inflight_delta = 0;
+      pending_total += shard.events_delta;
+      shard.events_delta = 0;
+    }
+    const bool more_traffic = win_end < horizon;
+    const bool keep_draining = config_.drain && inflight > 0;
+    if (!(more_traffic || keep_draining)) {
+      running = false;
+      return;
+    }
+    win_begin = win_end;
+    if (win_begin > drain_bound) {
+      running = false;
+      return;
+    }
+    win_end = std::min(win_begin + lookahead,
+                       win_begin < horizon ? horizon : drain_bound + 1);
+  };
+  std::barrier<decltype(on_window_end)> window_barrier(threads,
+                                                       on_window_end);
+
+  /// Queues `entry` at node `at` of `shard` (feed-local: `at` is owned
+  /// by `shard`). Mirrors the serial enqueue, with shard-local counters.
+  const auto enqueue = [&](Shard& shard, const VoqEntry& entry,
+                           hypergraph::Node at, SimTime tick,
+                           bool measuring) {
+    const std::int32_t slot = routes_.next_slot(at, entry.destination);
+    const std::size_t qi = static_cast<std::size_t>(
+        voq_base_[static_cast<std::size_t>(at)] + slot);
+    if (queue_cap > 0 &&
+        static_cast<std::int64_t>(voq.size(qi)) >= queue_cap) {
+      if (measuring) {
+        ++shard.dropped;
+      }
+      --shard.inflight_delta;
+      return;
+    }
+    SimTime ready = tick;
+    if (!open) {
+      ready = tick +
+              timing_.tuning(routes_.next_coupler(at, entry.destination));
+    }
+    voq.push(qi, TimedVoqEntry{entry.id, entry.destination, entry.created,
+                               entry.hops, ready});
+  };
+
+  const auto receive = [&](Shard& shard, const Arrival& arrival,
+                           SimTime tick) {
+    const hypergraph::Node relay =
+        routes_.relay(arrival.coupler, arrival.entry.destination);
+    if (relay == arrival.entry.destination) {
+      if (arrival.measuring) {
+        ++shard.delivered;
+        if (arrival.entry.created >= warmup_tick) {
+          shard.latency.record(latency_slots(tick, arrival.entry.created));
+        }
+      }
+      --shard.inflight_delta;
+    } else {
+      enqueue(shard, arrival.entry, relay, tick, arrival.measuring);
+    }
+  };
+
+  const auto worker = [&](int w) {
+    Shard& shard = shards[static_cast<std::size_t>(w)];
+    const auto& my_couplers = plan.couplers[static_cast<std::size_t>(w)];
+    while (true) {
+      // Cross-shard arrivals were already replayed onto this shard's
+      // calendar by the window barrier's completion step.
+      for (SimTime s = win_begin; s < win_end; ++s) {
+        const SimTime slot_tick = ticks_from_slots(s);
+        const bool measuring = s >= config_.warmup_slots && s < horizon;
+
+        while (!shard.calendar.empty() &&
+               shard.calendar.peek().time <= slot_tick) {
+          auto event = shard.calendar.pop();
+          --shard.events_delta;
+          receive(shard, event.payload, event.time);
+        }
+
+        if (s < horizon) {
+          const std::size_t sender_count =
+              traffic_.demand_batch_senders_streams(
+                  shard.node_begin, shard.node_end, gen_rng.data(),
+                  senders.data() + shard.node_begin);
+          if (measuring) {
+            shard.offered += static_cast<std::int64_t>(sender_count);
+          }
+          shard.inflight_delta += static_cast<std::int64_t>(sender_count);
+          for (std::size_t i = 0; i < sender_count; ++i) {
+            const SenderDemand d =
+                senders[static_cast<std::size_t>(shard.node_begin) + i];
+            if (config_.recorder != nullptr) {
+              config_.recorder->record(s, d.source, d.destination);
+            }
+            // Deterministic id without a shared counter (the sharded
+            // phased convention).
+            enqueue(shard,
+                    VoqEntry{s * nodes_ + d.source, d.destination,
+                             slot_tick, 0},
+                    d.source, slot_tick, measuring);
+          }
+        }
+
+        // Arbitrate the shard's couplers: the request words are rebuilt
+        // locally with the eligibility gate applied (occupied AND tuned
+        // guard ticks before the boundary) -- feed-locality makes every
+        // read shard-private.
+        for (const hypergraph::HyperarcId h : my_couplers) {
+          const std::size_t hs = static_cast<std::size_t>(h);
+          const std::size_t fb =
+              static_cast<std::size_t>(feed_.feed_base[hs]);
+          const std::size_t source_count =
+              static_cast<std::size_t>(feed_.feed_base[hs + 1]) - fb;
+          const std::size_t words = (source_count + 63) / 64;
+          std::uint64_t any = 0;
+          for (std::size_t wi = 0; wi < words; ++wi) {
+            shard.request[wi] = 0;
+          }
+          for (std::size_t si = 0; si < source_count; ++si) {
+            const std::size_t qi =
+                static_cast<std::size_t>(feed_.feed_qi[fb + si]);
+            if (voq.empty(qi)) {
+              continue;
+            }
+            if (!open) {
+              const SimTime gate =
+                  std::max(voq.front_ready(qi), retune_[qi]);
+              if (gate + guard > slot_tick) {
+                continue;
+              }
+            }
+            shard.request[si >> 6] |= std::uint64_t{1} << (si & 63);
+          }
+          for (std::size_t wi = 0; wi < words; ++wi) {
+            any |= shard.request[wi];
+          }
+          if (any == 0) {
+            continue;
+          }
+          const bool collided = detail::pick_winners(
+              policy, capacity, source_count, shard.request.data(), words,
+              token_[hs], arb_rng[hs], shard.winners, shard.scratch);
+          if (collided && measuring) {
+            ++shard.collisions;
+          }
+          const SimTime at =
+              slot_tick + kTicksPerSlot + timing_.propagation(h);
+          for (std::size_t idx = 0; idx < shard.winners.size(); ++idx) {
+            const std::size_t qi = static_cast<std::size_t>(
+                feed_.feed_qi[fb + shard.winners[idx]]);
+            TimedVoqEntry entry = voq.pop_front(qi);
+            if (!open) {
+              retune_[qi] = slot_tick + kTicksPerSlot + timing_.tuning(h);
+            }
+            ++entry.hops;
+            if (measuring) {
+              ++shard.transmissions;
+              ++coupler_success[hs];
+            }
+            // The global transmission order (slot, coupler, winner) is
+            // the sequence key: per-queue pop order then matches the
+            // serial engine's single auto-sequenced calendar exactly,
+            // whatever shard the event crosses into.
+            const std::uint64_t seq =
+                (static_cast<std::uint64_t>(s) *
+                     static_cast<std::uint64_t>(couplers_) +
+                 static_cast<std::uint64_t>(h)) *
+                    static_cast<std::uint64_t>(capacity) +
+                static_cast<std::uint64_t>(idx);
+            Arrival arrival{VoqEntry{entry.id, entry.destination,
+                                     entry.created, entry.hops},
+                            h, measuring};
+            ++shard.events_delta;
+            const hypergraph::Node relay =
+                routes_.relay(h, entry.destination);
+            if (relay != entry.destination &&
+                plan.node_owner[static_cast<std::size_t>(relay)] != w) {
+              shard
+                  .outbox[static_cast<std::size_t>(
+                      plan.node_owner[static_cast<std::size_t>(relay)])]
+                  .push_back(Mail{at, seq, std::move(arrival)});
+            } else {
+              // Final deliveries stay on the transmitter's calendar
+              // (only counters are touched at the landing).
+              shard.calendar.push_keyed(at, seq, std::move(arrival));
+            }
+          }
+        }
+
+        if (tel != nullptr && tel->due(s)) {
+          const std::size_t k = static_cast<std::size_t>(s - win_begin);
+          obs::ProbeRegistry& frame =
+              frames[static_cast<std::size_t>(w) *
+                         static_cast<std::size_t>(lookahead) +
+                     k];
+          const obs::EngineProbes& ids = tel->engine_probes();
+          frame.zero();
+          frame.set(ids.offered, shard.offered);
+          frame.set(ids.delivered, shard.delivered);
+          frame.set(ids.transmissions, shard.transmissions);
+          frame.set(ids.collisions, shard.collisions);
+          frame.set(ids.dropped, shard.dropped);
+          for (const hypergraph::HyperarcId h : my_couplers) {
+            detail::observe_occupancy(frame, ids.occupancy, feed_, voq, h,
+                                      h + 1);
+          }
+          shard.backlog_snap[k] = shard.inflight_delta;
+          shard.events_snap[k] = shard.events_delta;
+        }
+      }
+      window_barrier.arrive_and_wait();
+      if (!running) {
+        break;
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      pool.emplace_back(worker, w);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  // Land everything still in flight (the last window's barrier already
+  // drained every mailbox onto the calendars). A receive only counts a
+  // delivery or re-enqueues at a relay's VOQ -- it never schedules a
+  // new event -- so a full per-shard calendar drain empties the system.
+  // Per-queue order inside each shard still follows (time, seq); the
+  // cross-shard interleaving is irrelevant because a shard's flush
+  // touches only its own VOQs and counters.
+  for (int w = 0; w < threads; ++w) {
+    Shard& shard = shards[static_cast<std::size_t>(w)];
+    while (!shard.calendar.empty()) {
+      auto event = shard.calendar.pop();
+      receive(shard, event.payload, event.time);
+    }
+  }
+
+  for (Shard& shard : shards) {
+    metrics.offered_packets += shard.offered;
+    metrics.delivered_packets += shard.delivered;
+    metrics.dropped_packets += shard.dropped;
+    metrics.coupler_transmissions += shard.transmissions;
+    metrics.collisions += shard.collisions;
+    metrics.latency.merge(shard.latency);
+    inflight += shard.inflight_delta;
+  }
+  metrics.backlog = inflight;
+  if (tel != nullptr) {
+    windows.finish();
+    detail::fill_metric_probes(*tel, metrics, inflight);
+    obs::ProbeRegistry& reg = tel->probes();
+    reg.set(tel->engine_probes().pending_events, 0);
+    const obs::ProbeId hist = tel->engine_probes().occupancy;
+    reg.clear_histogram(hist);
+    detail::observe_occupancy(reg, hist, feed_, voq, 0, couplers_);
+    tel->finish(tel_last);
+  }
+  return metrics;
+}
+
+template <routing::RouteView Routes>
+RunMetrics AsyncEngineT<Routes>::run_workload_sharded(
+    std::vector<std::int64_t>& coupler_success) {
+  const int threads = clamp_threads();
+  const ShardPlan plan = plan_shards(threads);
+  coupler_success.assign(static_cast<std::size_t>(couplers_), 0);
+  workload::Workload& load = *config_.workload;
+  load.reset();
+
+  // Delivery feedback gates injection every slot, so the conservative
+  // window collapses to one slot: the cycle is two barriers per slot
+  // (receive+feed, then inject+arbitrate), bit-identical to the serial
+  // async workload loop -- same per-node/per-coupler streams, same ids,
+  // same (time, seq) receive order per queue.
+  std::vector<core::Rng> gen_rng = detail::node_streams(config_.seed, nodes_);
+  std::vector<core::Rng> arb_rng =
+      detail::coupler_streams(config_.seed, couplers_);
+
+  RunMetrics metrics;
+  const std::int64_t background_base = load.packet_count();
+  const SimTime bound = detail::workload_slot_bound(load);
+  const SimTime guard = timing_.guard();
+  const bool open = gates_open();
+  const std::size_t capacity = static_cast<std::size_t>(config_.wavelengths);
+  const Arbitration policy = config_.arbitration;
+
+  TimedVoqArena voq;
+  voq.init(static_cast<std::size_t>(voq_base_.back()),
+           static_cast<std::size_t>(threads));
+
+  struct Arrival {
+    VoqEntry entry;
+    hypergraph::HyperarcId coupler = 0;
+  };
+  struct Mail {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    Arrival arrival;
+  };
+
+  struct Shard {
+    std::int64_t node_begin = 0, node_end = 0;
+    std::int64_t offered = 0, delivered = 0;
+    std::int64_t transmissions = 0, collisions = 0;
+    std::int64_t inflight_delta = 0;
+    std::int64_t events_delta = 0;
+    SimTime makespan_tick = 0;
+    LatencyStats latency;
+    CalendarQueue<Arrival> calendar;
+    std::vector<std::int64_t> delivered_ids;  ///< workload ids this slot
+    std::vector<std::vector<Mail>> outbox;
+    std::vector<std::size_t> winners, scratch;
+    std::vector<std::uint64_t> request;
+  };
+  std::vector<Shard> shards(static_cast<std::size_t>(threads));
+  const std::size_t req_words = max_mask_words(feed_);
+  for (int w = 0; w < threads; ++w) {
+    Shard& shard = shards[static_cast<std::size_t>(w)];
+    shard.node_begin = plan.node_cut[static_cast<std::size_t>(w)];
+    shard.node_end = plan.node_cut[static_cast<std::size_t>(w) + 1];
+    shard.outbox.resize(static_cast<std::size_t>(threads));
+    shard.request.assign(req_words, 0);
+    shard.latency.reserve(
+        std::min(load.packet_count() / threads + 1, kLatencyReserveCap));
+    for (std::int64_t qi =
+             voq_base_[static_cast<std::size_t>(shard.node_begin)];
+         qi < voq_base_[static_cast<std::size_t>(shard.node_end)]; ++qi) {
+      voq.set_pool(static_cast<std::size_t>(qi),
+                   static_cast<std::uint32_t>(w));
+    }
+  }
+
+  std::vector<SenderDemand> senders(static_cast<std::size_t>(nodes_));
+
+  obs::Telemetry* const tel = config_.telemetry.get();
+  obs::WindowSpans windows;
+  SimTime tel_last = 0;
+  std::vector<obs::ProbeRegistry> frames;
+  if (tel != nullptr) {
+    if (tel->trace_sink() != nullptr) {
+      windows = obs::WindowSpans(tel->trace_sink(), tel->tid(), 0, bound + 1);
+    }
+    if (tel->sampling()) {
+      frames.reserve(static_cast<std::size_t>(threads));
+      for (int w = 0; w < threads; ++w) {
+        frames.push_back(tel->probes().clone_schema());
+      }
+    }
+  }
+
+  // Slot state shared across workers; mutated only in the barriers'
+  // completion steps. `inject` is read-only during phases.
+  SimTime now = 0;
+  std::int64_t inflight = 0;
+  std::int64_t pending_total = 0;
+  bool load_done = false;
+  bool running = true;
+  std::vector<workload::WorkloadPacket> inject;
+
+  // Receive barrier: fold the landings, feed the workload, and decide
+  // -- replicating the serial loop's exit order exactly (done+empty
+  // stops before the slot counts; a bound hit counts the boundary).
+  const auto on_receives_done = [&]() noexcept {
+    for (Shard& shard : shards) {
+      inflight += shard.inflight_delta;
+      shard.inflight_delta = 0;
+      pending_total += shard.events_delta;
+      shard.events_delta = 0;
+      // Feed order across shards is arbitrary but irrelevant: poll()
+      // depends only on the delivered SET (workload contract).
+      for (const std::int64_t id : shard.delivered_ids) {
+        load.delivered(id);
+      }
+      shard.delivered_ids.clear();
+    }
+    load_done = load.done();
+    if (load_done && inflight == 0) {
+      running = false;
+      return;
+    }
+    if (now > bound) {
+      ++now;
+      running = false;
+      return;
+    }
+    inject.clear();
+    if (!load_done) {
+      load.poll(now, inject);
+    }
+  };
+  const auto on_slot_end = [&]() noexcept {
+    for (Shard& shard : shards) {
+      inflight += shard.inflight_delta;
+      shard.inflight_delta = 0;
+      pending_total += shard.events_delta;
+      shard.events_delta = 0;
+    }
+    if (tel != nullptr) {
+      windows.at_slot(now);
+      if (tel->due(now)) {
+        obs::ProbeRegistry& reg = tel->probes();
+        reg.zero();
+        for (const obs::ProbeRegistry& frame : frames) {
+          reg.accumulate(frame);
+        }
+        reg.set(tel->engine_probes().backlog, inflight);
+        reg.set(tel->engine_probes().pending_events, pending_total);
+        tel->sample(now);
+      }
+      tel_last = now;
+    }
+    ++now;
+  };
+  std::barrier<decltype(on_receives_done)> receive_barrier(
+      threads, on_receives_done);
+  std::barrier<decltype(on_slot_end)> slot_barrier(threads, on_slot_end);
+
+  // queue_capacity is 0 in workload mode (validated): never drops.
+  const auto enqueue = [&](Shard& shard, const VoqEntry& entry,
+                           hypergraph::Node at, SimTime tick) {
+    const std::int32_t slot = routes_.next_slot(at, entry.destination);
+    const std::size_t qi = static_cast<std::size_t>(
+        voq_base_[static_cast<std::size_t>(at)] + slot);
+    SimTime ready = tick;
+    if (!open) {
+      ready = tick +
+              timing_.tuning(routes_.next_coupler(at, entry.destination));
+    }
+    voq.push(qi, TimedVoqEntry{entry.id, entry.destination, entry.created,
+                               entry.hops, ready});
+  };
+
+  const auto receive = [&](Shard& shard, const Arrival& arrival,
+                           SimTime tick) {
+    const hypergraph::Node relay =
+        routes_.relay(arrival.coupler, arrival.entry.destination);
+    if (relay == arrival.entry.destination) {
+      ++shard.delivered;
+      shard.latency.record(latency_slots(tick, arrival.entry.created));
+      if (arrival.entry.id < background_base) {
+        shard.delivered_ids.push_back(arrival.entry.id);
+        shard.makespan_tick = std::max(shard.makespan_tick, tick);
+      }
+      --shard.inflight_delta;
+    } else {
+      enqueue(shard, arrival.entry, relay, tick);
+    }
+  };
+
+  const auto worker = [&](int w) {
+    Shard& shard = shards[static_cast<std::size_t>(w)];
+    const auto& my_couplers = plan.couplers[static_cast<std::size_t>(w)];
+    while (true) {
+      const SimTime slot_tick = ticks_from_slots(now);
+
+      // Phase A: drain the mailboxes (written in the previous slot's
+      // phase B), then land everything due at this boundary.
+      for (int p = 0; p < threads; ++p) {
+        auto& box = shards[static_cast<std::size_t>(p)]
+                        .outbox[static_cast<std::size_t>(w)];
+        for (Mail& mail : box) {
+          shard.calendar.push_keyed(mail.time, mail.seq,
+                                    std::move(mail.arrival));
+        }
+        box.clear();
+      }
+      while (!shard.calendar.empty() &&
+             shard.calendar.peek().time <= slot_tick) {
+        auto event = shard.calendar.pop();
+        --shard.events_delta;
+        receive(shard, event.payload, event.time);
+      }
+      receive_barrier.arrive_and_wait();
+      if (!running) {
+        break;
+      }
+
+      // Phase B: inject the shard's slice of the eligible workload
+      // packets, then background traffic, then arbitrate.
+      for (const workload::WorkloadPacket& packet : inject) {
+        if (packet.source < shard.node_begin ||
+            packet.source >= shard.node_end) {
+          continue;
+        }
+        ++shard.offered;
+        ++shard.inflight_delta;
+        enqueue(shard, VoqEntry{packet.id, packet.destination, slot_tick, 0},
+                packet.source, slot_tick);
+      }
+      if (!load_done) {
+        const std::size_t sender_count =
+            traffic_.demand_batch_senders_streams(
+                shard.node_begin, shard.node_end, gen_rng.data(),
+                senders.data() + shard.node_begin);
+        shard.offered += static_cast<std::int64_t>(sender_count);
+        shard.inflight_delta += static_cast<std::int64_t>(sender_count);
+        for (std::size_t i = 0; i < sender_count; ++i) {
+          const SenderDemand d =
+              senders[static_cast<std::size_t>(shard.node_begin) + i];
+          if (config_.recorder != nullptr) {
+            config_.recorder->record(now, d.source, d.destination);
+          }
+          enqueue(shard,
+                  VoqEntry{background_base + now * nodes_ + d.source,
+                           d.destination, slot_tick, 0},
+                  d.source, slot_tick);
+        }
+      }
+
+      for (const hypergraph::HyperarcId h : my_couplers) {
+        const std::size_t hs = static_cast<std::size_t>(h);
+        const std::size_t fb = static_cast<std::size_t>(feed_.feed_base[hs]);
+        const std::size_t source_count =
+            static_cast<std::size_t>(feed_.feed_base[hs + 1]) - fb;
+        const std::size_t words = (source_count + 63) / 64;
+        std::uint64_t any = 0;
+        for (std::size_t wi = 0; wi < words; ++wi) {
+          shard.request[wi] = 0;
+        }
+        for (std::size_t si = 0; si < source_count; ++si) {
+          const std::size_t qi =
+              static_cast<std::size_t>(feed_.feed_qi[fb + si]);
+          if (voq.empty(qi)) {
+            continue;
+          }
+          if (!open) {
+            const SimTime gate = std::max(voq.front_ready(qi), retune_[qi]);
+            if (gate + guard > slot_tick) {
+              continue;
+            }
+          }
+          shard.request[si >> 6] |= std::uint64_t{1} << (si & 63);
+        }
+        for (std::size_t wi = 0; wi < words; ++wi) {
+          any |= shard.request[wi];
+        }
+        if (any == 0) {
+          continue;
+        }
+        const bool collided = detail::pick_winners(
+            policy, capacity, source_count, shard.request.data(), words,
+            token_[hs], arb_rng[hs], shard.winners, shard.scratch);
+        if (collided) {
+          ++shard.collisions;
+        }
+        const SimTime at = slot_tick + kTicksPerSlot + timing_.propagation(h);
+        for (std::size_t idx = 0; idx < shard.winners.size(); ++idx) {
+          const std::size_t qi = static_cast<std::size_t>(
+              feed_.feed_qi[fb + shard.winners[idx]]);
+          TimedVoqEntry entry = voq.pop_front(qi);
+          if (!open) {
+            retune_[qi] = slot_tick + kTicksPerSlot + timing_.tuning(h);
+          }
+          ++entry.hops;
+          ++shard.transmissions;
+          ++coupler_success[hs];
+          const std::uint64_t seq =
+              (static_cast<std::uint64_t>(now) *
+                   static_cast<std::uint64_t>(couplers_) +
+               static_cast<std::uint64_t>(h)) *
+                  static_cast<std::uint64_t>(capacity) +
+              static_cast<std::uint64_t>(idx);
+          Arrival arrival{
+              VoqEntry{entry.id, entry.destination, entry.created,
+                       entry.hops},
+              h};
+          ++shard.events_delta;
+          const hypergraph::Node relay = routes_.relay(h, entry.destination);
+          if (relay != entry.destination &&
+              plan.node_owner[static_cast<std::size_t>(relay)] != w) {
+            shard
+                .outbox[static_cast<std::size_t>(
+                    plan.node_owner[static_cast<std::size_t>(relay)])]
+                .push_back(Mail{at, seq, std::move(arrival)});
+          } else {
+            shard.calendar.push_keyed(at, seq, std::move(arrival));
+          }
+        }
+      }
+
+      if (tel != nullptr && tel->due(now)) {
+        // Feed-locality makes the snapshot shard-private, so no extra
+        // visibility barrier is needed (unlike the phased sharded mode,
+        // whose coupler feeds span other shards' nodes).
+        obs::ProbeRegistry& frame = frames[static_cast<std::size_t>(w)];
+        const obs::EngineProbes& ids = tel->engine_probes();
+        frame.zero();
+        frame.set(ids.offered, shard.offered);
+        frame.set(ids.delivered, shard.delivered);
+        frame.set(ids.transmissions, shard.transmissions);
+        frame.set(ids.collisions, shard.collisions);
+        for (const hypergraph::HyperarcId h : my_couplers) {
+          detail::observe_occupancy(frame, ids.occupancy, feed_, voq, h,
+                                    h + 1);
+        }
+      }
+      slot_barrier.arrive_and_wait();
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      pool.emplace_back(worker, w);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  // No final flush: the serial workload loop leaves undeliverable
+  // events pending too and reports them as backlog.
+  metrics.slots = now;
+  SimTime makespan_tick = 0;
+  for (Shard& shard : shards) {
+    metrics.offered_packets += shard.offered;
+    metrics.delivered_packets += shard.delivered;
+    metrics.coupler_transmissions += shard.transmissions;
+    metrics.collisions += shard.collisions;
+    metrics.latency.merge(shard.latency);
+    makespan_tick = std::max(makespan_tick, shard.makespan_tick);
+  }
+  metrics.makespan_slots = (makespan_tick + kTicksPerSlot - 1) / kTicksPerSlot;
+  metrics.backlog = inflight;
+  if (tel != nullptr) {
+    windows.finish();
+    detail::fill_metric_probes(*tel, metrics, inflight);
+    obs::ProbeRegistry& reg = tel->probes();
+    reg.set(tel->engine_probes().pending_events, pending_total);
+    const obs::ProbeId hist = tel->engine_probes().occupancy;
+    reg.clear_histogram(hist);
+    detail::observe_occupancy(reg, hist, feed_, voq, 0, couplers_);
     tel->finish(tel_last);
   }
   return metrics;

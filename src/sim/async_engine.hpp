@@ -42,6 +42,25 @@
 /// policy and route-table representation (tests/test_async_engine.cpp).
 /// With nonzero skew the run remains a pure function of the seed and the
 /// timing model.
+///
+/// Engine::kAsyncSharded runs the same timed cycle as a conservative
+/// parallel discrete-event simulation: nodes are partitioned into
+/// contiguous shard ranges whose cuts never split a coupler's feed set
+/// (so a coupler, its feed VOQs and its retune gates are all owned by
+/// one worker), each shard advances an independent CalendarQueue, and
+/// workers run freely inside windows of `lookahead` slots -- a
+/// transmission in slot t lands no earlier than (t+1) * kTicksPerSlot +
+/// min_propagation, so lookahead = 1 + floor(min_propagation /
+/// kTicksPerSlot) slots of any shard's future are unaffected by the
+/// others (the bounded-window barrier relaxation DARSIM documents for
+/// registered hardware). Cross-shard arrivals travel through per-pair
+/// mailboxes drained at the window barrier; every calendar push carries
+/// an explicit global sequence key ((slot * couplers + coupler) *
+/// wavelengths + winner), so per-queue pop order equals the serial
+/// engine's single-queue order and results are invariant across thread
+/// counts. Open-loop sharded runs draw from the per-node/per-coupler
+/// stream universe (== the sharded phased engine when slot-aligned);
+/// workload runs are bit-identical to serial Engine::kAsync.
 
 #include <cstdint>
 #include <vector>
@@ -84,10 +103,26 @@ class AsyncEngineT {
 
  private:
   RunMetrics run_workload(std::vector<std::int64_t>& coupler_success);
+  RunMetrics run_sharded(std::vector<std::int64_t>& coupler_success);
+  RunMetrics run_workload_sharded(std::vector<std::int64_t>& coupler_success);
   /// True when no tuning latency and no guard band exist: the
   /// eligibility gate cannot fail, so occupancy alone decides
   /// contention (see file comment).
   [[nodiscard]] bool gates_open() const;
+
+  /// Feed-local partition for Engine::kAsyncSharded: contiguous node
+  /// ranges whose cuts never split a coupler's feed set, and per-shard
+  /// coupler lists (ascending ids, possibly non-contiguous) owned by
+  /// the shard holding the coupler's feed nodes.
+  struct ShardPlan {
+    std::vector<std::int64_t> node_cut;   ///< threads + 1 cut positions
+    std::vector<std::int32_t> node_owner;  ///< node -> shard index
+    std::vector<std::vector<hypergraph::HyperarcId>> couplers;
+  };
+  [[nodiscard]] ShardPlan plan_shards(int threads) const;
+  [[nodiscard]] int clamp_threads() const;
+  /// Conservative window width in slots (>= 1; see file comment).
+  [[nodiscard]] SimTime lookahead_slots() const;
 
   const hypergraph::StackGraph& network_;
   const Routes& routes_;

@@ -31,6 +31,8 @@ const char* engine_name(Engine engine) {
       return "sharded";
     case Engine::kAsync:
       return "async";
+    case Engine::kAsyncSharded:
+      return "async-sharded";
   }
   return "?";
 }
@@ -58,9 +60,11 @@ void OpsNetworkSim::validate_config() const {
                "OpsNetworkSim: queue_capacity must be >= 0");
   config_.timing.validate();
   OTIS_REQUIRE(config_.engine == Engine::kAsync ||
+                   config_.engine == Engine::kAsyncSharded ||
                    config_.timing.is_slot_aligned(),
-               "OpsNetworkSim: timing delays require Engine::kAsync (the "
-               "slotted engines cannot honour sub-slot skew)");
+               "OpsNetworkSim: timing delays require Engine::kAsync or "
+               "Engine::kAsyncSharded (the slotted engines cannot honour "
+               "sub-slot skew)");
   if (config_.workload != nullptr) {
     OTIS_REQUIRE(config_.engine != Engine::kEventQueue,
                  "OpsNetworkSim: workloads need delivery feedback, which "
@@ -396,8 +400,10 @@ void OpsNetworkSim::set_timing_model(
   OTIS_REQUIRE(timing != nullptr, "OpsNetworkSim: timing must be set");
   // Same refuse-don't-ignore contract as SimConfig::timing: a model
   // injected under a slotted engine would be silently dropped.
-  OTIS_REQUIRE(config_.engine == Engine::kAsync,
-               "OpsNetworkSim: timing models require Engine::kAsync");
+  OTIS_REQUIRE(config_.engine == Engine::kAsync ||
+                   config_.engine == Engine::kAsyncSharded,
+               "OpsNetworkSim: timing models require Engine::kAsync or "
+               "Engine::kAsyncSharded");
   OTIS_REQUIRE(timing->coupler_count() ==
                    network_.hypergraph().hyperarc_count(),
                "OpsNetworkSim: timing model sized for another network");
@@ -422,7 +428,8 @@ RunMetrics OpsNetworkSim::run() {
          {"couplers",
           std::to_string(network_.hypergraph().hyperarc_count())}});
   }
-  if (config_.engine == Engine::kAsync) {
+  if (config_.engine == Engine::kAsync ||
+      config_.engine == Engine::kAsyncSharded) {
     std::shared_ptr<const TimingModel> timing = timing_model_;
     if (timing == nullptr) {
       timing = std::make_shared<const TimingModel>(

@@ -137,10 +137,12 @@ enum class Arbitration {
 
 /// Execution engines (see file comment).
 enum class Engine {
-  kEventQueue,  ///< seed-faithful event-driven loop (tests-only fixture)
-  kPhased,      ///< direct three-phase slot loop; == kEventQueue bit-for-bit
-  kSharded,     ///< phased loop over N worker threads; thread-count invariant
-  kAsync,       ///< calendar-queue timed events; == kPhased when slot-aligned
+  kEventQueue,    ///< seed-faithful event-driven loop (tests-only fixture)
+  kPhased,        ///< direct three-phase slot loop; == kEventQueue bit-for-bit
+  kSharded,       ///< phased loop over N worker threads; thread-count invariant
+  kAsync,         ///< calendar-queue timed events; == kPhased when slot-aligned
+  kAsyncSharded,  ///< conservative-PDES async over N workers; thread-count
+                  ///< invariant, == serial kAsync bit-for-bit in workload mode
 };
 
 [[nodiscard]] const char* engine_name(Engine engine);
@@ -223,8 +225,9 @@ struct SimConfig {
   /// Execution engine. kPhased is the default: same results as the
   /// legacy event queue, several times faster.
   Engine engine = Engine::kPhased;
-  /// Worker threads for kSharded (<= 0 means hardware concurrency).
-  /// Ignored by the serial engines. Results never depend on this value.
+  /// Worker threads for kSharded and kAsyncSharded (<= 0 means hardware
+  /// concurrency). Ignored by the serial engines. Results never depend
+  /// on this value.
   int threads = 1;
   /// Routing-table representation for simulators constructed from
   /// RoutingHooks (pre-compiled tables pick their own representation).
@@ -235,8 +238,8 @@ struct SimConfig {
   RouteTable route_table = RouteTable::kAuto;
   /// Sub-slot timing (tuning latencies, propagation skew, guard bands;
   /// timing_model.hpp). Non-slot-aligned configs require Engine::kAsync
-  /// -- the slotted engines cannot honour them and refuse rather than
-  /// silently ignoring the skew.
+  /// or Engine::kAsyncSharded -- the slotted engines cannot honour them
+  /// and refuse rather than silently ignoring the skew.
   TimingConfig timing;
   /// Closed-loop workload (workload/workload.hpp). When set the run is
   /// driven to completion instead of a fixed measure window:

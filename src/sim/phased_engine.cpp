@@ -30,6 +30,12 @@ std::pair<std::int64_t, std::int64_t> partition(std::int64_t count, int part,
   return {lo, hi};
 }
 
+/// How far ahead the phase-3 delivery walks prefetch relay entries.
+/// Deliveries for one coupler land on scattered relay-table rows, so a
+/// short look-ahead hides the load latency without thrashing the
+/// prefetch queue.
+constexpr std::size_t kRelayPrefetchAhead = 8;
+
 /// Widest request mask of any coupler, in words (per-shard scratch size).
 std::size_t max_mask_words(const detail::FeedIndex& fi) {
   std::size_t widest = 1;
@@ -238,6 +244,17 @@ RunMetrics PhasedEngineT<Routes>::run_serial(
             token_[h], rng, winners, scratch);
         if (collided && measuring) {
           ++metrics.collisions;
+        }
+        if (winners.size() > 1) {
+          // Warm the relay entries for the whole winner batch before the
+          // delivery walk: on dense tables consecutive winners' entries
+          // share no cache line, so each lookup is otherwise a cold miss.
+          for (std::size_t si : winners) {
+            const std::size_t qi =
+                static_cast<std::size_t>(feed_.feed_qi[fb + si]);
+            routes_.prefetch_relay(static_cast<hypergraph::HyperarcId>(h),
+                                   voq.front(qi).destination);
+          }
         }
         for (std::size_t si : winners) {
           transmit(si);
@@ -519,8 +536,13 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
       // consumes the ones whose relay it owns, so the push order at each
       // node is canonical regardless of the partition.
       for (hypergraph::HyperarcId h = 0; h < couplers_; ++h) {
-        for (const VoqEntry& entry :
-             deliveries[static_cast<std::size_t>(h)]) {
+        const auto& list = deliveries[static_cast<std::size_t>(h)];
+        for (std::size_t di = 0; di < list.size(); ++di) {
+          if (di + kRelayPrefetchAhead < list.size()) {
+            routes_.prefetch_relay(
+                h, list[di + kRelayPrefetchAhead].destination);
+          }
+          const VoqEntry& entry = list[di];
           const hypergraph::Node relay = routes_.relay(h, entry.destination);
           if (relay < shard.node_begin || relay >= shard.node_end) {
             continue;
@@ -732,7 +754,12 @@ RunMetrics PhasedEngineT<Routes>::run_workload_serial(
 
     // Phase 3: consume winners; workload deliveries feed back.
     delivered_ids.clear();
-    for (Delivery& d : deliveries) {
+    for (std::size_t di = 0; di < deliveries.size(); ++di) {
+      if (di + kRelayPrefetchAhead < deliveries.size()) {
+        const Delivery& ahead = deliveries[di + kRelayPrefetchAhead];
+        routes_.prefetch_relay(ahead.coupler, ahead.entry.destination);
+      }
+      Delivery& d = deliveries[di];
       const hypergraph::Node relay =
           routes_.relay(d.coupler, d.entry.destination);
       if (relay == d.entry.destination) {
@@ -1017,8 +1044,13 @@ RunMetrics PhasedEngineT<Routes>::run_workload_sharded(
 
       // Phase 3: consume the deliveries whose relay this shard owns.
       for (hypergraph::HyperarcId h = 0; h < couplers_; ++h) {
-        for (const VoqEntry& entry :
-             deliveries[static_cast<std::size_t>(h)]) {
+        const auto& list = deliveries[static_cast<std::size_t>(h)];
+        for (std::size_t di = 0; di < list.size(); ++di) {
+          if (di + kRelayPrefetchAhead < list.size()) {
+            routes_.prefetch_relay(
+                h, list[di + kRelayPrefetchAhead].destination);
+          }
+          const VoqEntry& entry = list[di];
           const hypergraph::Node relay = routes_.relay(h, entry.destination);
           if (relay < shard.node_begin || relay >= shard.node_end) {
             continue;

@@ -118,6 +118,11 @@ class TimingModel {
   [[nodiscard]] SimTime max_propagation() const noexcept {
     return max_propagation_;
   }
+  /// Smallest propagation delay of any coupler: the conservative-PDES
+  /// lookahead floor of the sharded async engine (0 on empty models).
+  [[nodiscard]] SimTime min_propagation() const noexcept {
+    return min_propagation_;
+  }
 
  private:
   TimingModel() = default;
@@ -127,6 +132,7 @@ class TimingModel {
   std::vector<SimTime> propagation_;
   SimTime guard_ = 0;
   SimTime max_propagation_ = 0;
+  SimTime min_propagation_ = 0;
   bool slot_aligned_ = true;
 };
 
