@@ -102,12 +102,20 @@ void print_usage(std::ostream& os) {
      << "             --resume)\n"
      << "  --progress heartbeat on stderr every ~2 s: cells done/total,\n"
      << "             rate, ETA and busy workers\n"
+     << "  --checkpoint-stop SLOT  drill (tests/CI): with the spec's\n"
+     << "             checkpoint_every set, stop every cell right after\n"
+     << "             its first checkpoint at a boundary >= SLOT, as if\n"
+     << "             the process died there; rerun with --resume to\n"
+     << "             finish the cells bit-identically\n"
      << "  --list-cells  dry run: print every cell's expansion index,\n"
      << "             status, engine, estimated weight (nodes x slots x\n"
-     << "             timing factor; skewed cells weigh 2.5-3x their\n"
-     << "             slot-aligned twins -- for balancing shards by\n"
-     << "             work, not cell count) and ID without simulating\n"
-     << "             anything -- for planning sharded and resumed runs\n";
+     << "             timing factor, skewed cells weighing 2.5-3x their\n"
+     << "             slot-aligned twins, plus the cell's amortized\n"
+     << "             share of its topology's route-compile cost --\n"
+     << "             O(G^2) compressed vs O(N^2) dense -- for\n"
+     << "             balancing shards by work, not cell count) and ID\n"
+     << "             without simulating anything -- for planning\n"
+     << "             sharded and resumed runs\n";
 }
 
 /// Per-slot cost multiplier of the cell's timing profile. Skewed cells
@@ -124,12 +132,33 @@ double timing_weight_factor(const otis::sim::TimingConfig& timing) {
   return timing.profile == otis::sim::SkewProfile::kPerLevel ? 3.0 : 2.5;
 }
 
+/// One topology's route-compile cost in router evaluations: O(G^2) for
+/// the group-factored table, O(N^2) for the dense one (the same
+/// quantities CompiledRoutes/CompressedRoutes::compile loop over). At
+/// SK(12,20,3) scale the dense/compressed gap is four orders of
+/// magnitude, which is exactly what shard planning must see.
+std::int64_t route_compile_cost(const otis::campaign::TopologySpec& topology,
+                                otis::sim::RouteTable routes) {
+  const std::int64_t nodes = topology.processor_count();
+  const std::int64_t groups = nodes / topology.stacking;
+  return otis::sim::resolve_route_table(routes, nodes) ==
+                 otis::sim::RouteTable::kCompressed
+             ? groups * groups
+             : nodes * nodes;
+}
+
 /// The --list-cells dry run: the exact expansion, shard split and
 /// manifest skip set a real run would use, as a printout.
 int list_cells(const otis::campaign::CampaignSpec& spec,
                const otis::campaign::CampaignOptions& options) {
   const std::vector<otis::campaign::CampaignCell> cells =
       otis::campaign::expand_grid(spec);
+  // The compile happens once per topology and its cells share it, so
+  // each cell's weight carries an amortized slice of that cost.
+  std::vector<std::int64_t> topology_cells(spec.topologies.size(), 0);
+  for (const otis::campaign::CampaignCell& cell : cells) {
+    ++topology_cells[cell.topology];
+  }
   std::unordered_set<std::string> completed;
   if (options.resume && !options.out_dir.empty()) {
     completed = otis::campaign::Manifest::load(
@@ -145,12 +174,18 @@ int list_cells(const otis::campaign::CampaignSpec& spec,
     // cells pay the async calendar-queue loop on top of the raw slot
     // count (timing_weight_factor), so shards balanced by this weight
     // no longer under-provision the async cells. Closed-loop (workload)
-    // cells run to completion, so their window is a lower bound.
-    const std::int64_t weight = static_cast<std::int64_t>(
-        static_cast<double>(
-            spec.topologies[cell.topology].processor_count() *
-            (spec.warmup_slots + spec.measure_slots)) *
-        timing_weight_factor(cell.timing));
+    // cells run to completion, so their window is a lower bound. On top
+    // comes the cell's amortized share of its topology's route-compile
+    // cost -- at large N a dense O(N^2) compile dwarfs the simulation
+    // window, and a shard holding one such cell must be charged for it.
+    const std::int64_t weight =
+        static_cast<std::int64_t>(
+            static_cast<double>(
+                spec.topologies[cell.topology].processor_count() *
+                (spec.warmup_slots + spec.measure_slots)) *
+            timing_weight_factor(cell.timing)) +
+        route_compile_cost(spec.topologies[cell.topology], cell.routes) /
+            topology_cells[cell.topology];
     const char* status = "pending";
     if (cell.index % options.shard_count != options.shard_index) {
       status = "other-shard";
@@ -214,7 +249,7 @@ int main(int argc, char** argv) {
     const otis::core::Args args(
         argc, argv,
         {"spec", "out", "threads", "resume", "shard", "no-jsonl", "no-csv",
-         "progress", "list-cells", "help"});
+         "progress", "checkpoint-stop", "list-cells", "help"});
     if (args.has("help")) {
       print_usage(std::cout);
       return 0;
@@ -235,6 +270,9 @@ int main(int argc, char** argv) {
     options.write_jsonl = !args.has("no-jsonl");
     options.write_csv = !args.has("no-csv");
     options.progress = args.has("progress");
+    if (args.has("checkpoint-stop")) {
+      options.checkpoint_stop = args.get_int("checkpoint-stop", -1);
+    }
     if (args.has("shard")) {
       std::tie(options.shard_index, options.shard_count) =
           parse_shard(args.get("shard", ""));
@@ -269,7 +307,12 @@ int main(int argc, char** argv) {
     std::cout << "[campaign] completed " << report.completed_cells << "/"
               << report.total_cells << " cells ("
               << report.skipped_cells << " resumed from manifest, "
-              << report.out_of_shard_cells << " left to other shards), "
+              << report.out_of_shard_cells << " left to other shards";
+    if (report.interrupted_cells > 0) {
+      std::cout << ", " << report.interrupted_cells
+                << " checkpointed and interrupted";
+    }
+    std::cout << "), "
               << report.topologies_compiled
               << " routing tables compiled, "
               << otis::core::format_double(report.elapsed_seconds, 2)

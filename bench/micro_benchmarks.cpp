@@ -43,6 +43,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -57,6 +58,7 @@
 #include "core/args.hpp"
 #include "core/rng.hpp"
 #include "core/table.hpp"
+#include "core/work_pool.hpp"
 #include "obs/telemetry.hpp"
 #include "designs/builders.hpp"
 #include "designs/verify.hpp"
@@ -487,6 +489,103 @@ struct AsyncParallelResult {
   bool skipped = false;      ///< bar not judged (host below 8 threads)
 };
 
+// ------------------------------------- parallel route compilation bar
+
+/// The enforced bar: compiling SK(10,10,3)'s compressed route tables
+/// over an 8-worker WorkStealingPool must beat the serial compile by
+/// >= 2.5x (paired rounds, best ratio). Same tri-state protocol as the
+/// async-parallel bar: on hosts with fewer than 8 hardware threads the
+/// measurement still runs at min(8, cores) and the verdict is null
+/// with a skip reason.
+constexpr double kRouteCompileRequiredSpeedup = 2.5;
+constexpr int kRouteCompileBarThreads = 8;
+
+/// The parallel route-compile datapoint written to BENCH_sim.json.
+struct RouteCompileResult {
+  int threads = 0;           ///< pool worker count actually used
+  int hardware_threads = 0;  ///< std::thread::hardware_concurrency()
+  PairedSpeedup speedup;     ///< pool-vs-serial paired ratio
+  bool skipped = false;      ///< bar not judged (host below 8 threads)
+};
+
+// ------------------------------------------ per-cell memory budget
+
+/// Peak-RSS growth allowed for compiling and running one sketch-mode
+/// scale-up cell (SK(10,10,3), 11000 processors, compressed routes,
+/// phased engine). The budget is sized so the normal cell -- a ~10 MB
+/// group-compressed table, the VOQ arena, and the fixed ~15 KiB
+/// latency sketch -- passes with headroom, while the two O(N)-scale
+/// accidents it guards against blow straight through it: a dense route
+/// table for this topology is ~1.5 GB, and full-sample latency storage
+/// grows by 8 bytes per delivered packet forever.
+constexpr std::int64_t kMemoryBudgetKiB = 192 * 1024;
+/// Measurement window of the memory cell (enough deliveries that
+/// full-sample storage would visibly move the high-water mark).
+constexpr std::int64_t kMemoryCellSlots = 200;
+
+/// Peak resident set from /proc/self/status in KiB: VmHWM when the
+/// kernel reports it, otherwise the current VmRSS (sandboxed kernels
+/// omit the high-water line; the probe reads while the cell's
+/// allocations are still live, so current RSS approximates the peak).
+/// Returns -1 when neither is available (non-Linux host): the memory
+/// verdict is then null, mirroring the thread-count skip protocol.
+std::int64_t read_vm_hwm_kib() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  std::int64_t rss = -1;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtoll(line.c_str() + 6, nullptr, 10);
+    }
+    if (line.rfind("VmRSS:", 0) == 0) {
+      rss = std::strtoll(line.c_str() + 6, nullptr, 10);
+    }
+  }
+  return rss;
+}
+
+/// The per-cell memory datapoint written to BENCH_sim.json. Measured
+/// first thing in main() so the process high-water mark reflects this
+/// cell and not an earlier benchmark's allocations.
+struct MemoryBenchResult {
+  std::int64_t rss_before_kib = -1;  ///< VmHWM before the cell
+  std::int64_t rss_peak_kib = -1;    ///< VmHWM after the cell
+  bool skipped = false;              ///< /proc/self/status unavailable
+  [[nodiscard]] std::int64_t delta_kib() const {
+    return rss_peak_kib - rss_before_kib;
+  }
+};
+
+/// Compiles compressed routes for SK(10,10,3) and runs one phased
+/// sketch-mode cell, bracketing the work with VmHWM reads.
+MemoryBenchResult memory_cell_once() {
+  MemoryBenchResult result;
+  result.rss_before_kib = read_vm_hwm_kib();
+  if (result.rss_before_kib < 0) {
+    result.skipped = true;
+    return result;
+  }
+  otis::hypergraph::StackKautz big(10, 10, 3);
+  const auto routes =
+      std::make_shared<const otis::routing::CompressedRoutes>(
+          otis::routing::compress_stack_kautz_routes(big));
+  otis::sim::SimConfig config;
+  config.arbitration = otis::sim::Arbitration::kTokenRoundRobin;
+  config.warmup_slots = 0;
+  config.measure_slots = kMemoryCellSlots;
+  config.seed = 7;
+  config.engine = otis::sim::Engine::kPhased;
+  config.latency_mode = otis::sim::LatencyMode::kSketch;
+  otis::sim::OpsNetworkSim sim(
+      big.stack(), routes,
+      std::make_unique<otis::sim::UniformTraffic>(big.processor_count(),
+                                                  kAsyncParallelLoad),
+      config);
+  sim.run();
+  result.rss_peak_kib = read_vm_hwm_kib();
+  return result;
+}
+
 /// The phase_breakdown and hot_functions JSON sections, shared between
 /// BENCH_sim.json and the standalone --phases-out artifact.
 void write_phase_sections(std::ostream& out,
@@ -543,6 +642,9 @@ void write_bench_json(const std::string& path,
                       const PairedSpeedup& queue_speedup, bool queue_pass,
                       const AsyncParallelResult& async_parallel,
                       bool async_parallel_pass,
+                      const RouteCompileResult& route_compile,
+                      bool route_compile_pass,
+                      const MemoryBenchResult& memory, bool memory_pass,
                       const PairedSpeedup& sk_speedup, bool pass) {
   std::ofstream out(path);
   out << "{\n"
@@ -617,7 +719,29 @@ void write_bench_json(const std::string& path,
       << otis::core::format_double(async_parallel.speedup.best, 2)
       << ", \"speedup_median\": "
       << otis::core::format_double(async_parallel.speedup.median, 2)
-      << "},\n";
+      << "},\n"
+      << "  \"route_compile\": {\"topology\": \"SK(10,10,3)\", "
+         "\"routes\": \"compressed\", \"threads\": "
+      << route_compile.threads
+      << ", \"hardware_threads\": " << route_compile.hardware_threads
+      << ", \"speedup_best\": "
+      << otis::core::format_double(route_compile.speedup.best, 2)
+      << ", \"speedup_median\": "
+      << otis::core::format_double(route_compile.speedup.median, 2)
+      << "},\n"
+      << "  \"memory\": {\"topology\": \"SK(10,10,3)\", \"engine\": "
+         "\"phased\", \"latency_stats\": \"sketch\", \"routes\": "
+         "\"compressed\", \"slots\": "
+      << kMemoryCellSlots;
+  if (memory.skipped) {
+    out << ", \"rss_before_kib\": null, \"rss_peak_kib\": null, "
+           "\"cell_kib\": null";
+  } else {
+    out << ", \"rss_before_kib\": " << memory.rss_before_kib
+        << ", \"rss_peak_kib\": " << memory.rss_peak_kib
+        << ", \"cell_kib\": " << memory.delta_kib();
+  }
+  out << ", \"budget_kib\": " << kMemoryBudgetKiB << "},\n";
   write_phase_sections(out, phases);
   // telemetry_speedup.best is off/disabled time ratio >= 1 means free;
   // overhead_pct = (1/best - 1) * 100 is the slowdown the disabled obs
@@ -663,6 +787,31 @@ void write_bench_json(const std::string& path,
     out << ", \"async_parallel_pass\": "
         << (async_parallel_pass ? "true" : "false");
   }
+  out << ", \"route_compile_required_speedup\": "
+      << otis::core::format_double(kRouteCompileRequiredSpeedup, 1)
+      << ", \"route_compile_measured_speedup\": "
+      << otis::core::format_double(route_compile.speedup.best, 2)
+      << ", \"route_compile_median_speedup\": "
+      << otis::core::format_double(route_compile.speedup.median, 2)
+      << ", \"route_compile_threads\": " << route_compile.threads;
+  if (route_compile.skipped) {
+    out << ", \"route_compile_pass\": null"
+        << ", \"route_compile_skip_reason\": \"hardware_threads "
+        << route_compile.hardware_threads << " < "
+        << kRouteCompileBarThreads
+        << "; the 8-thread scaling bar needs 8 cores\"";
+  } else {
+    out << ", \"route_compile_pass\": "
+        << (route_compile_pass ? "true" : "false");
+  }
+  out << ", \"memory_budget_kib\": " << kMemoryBudgetKiB;
+  if (memory.skipped) {
+    out << ", \"memory_cell_kib\": null, \"memory_pass\": null"
+        << ", \"memory_skip_reason\": \"/proc/self/status unavailable\"";
+  } else {
+    out << ", \"memory_cell_kib\": " << memory.delta_kib()
+        << ", \"memory_pass\": " << (memory_pass ? "true" : "false");
+  }
   out << "}\n"
       << "}\n";
 }
@@ -679,6 +828,25 @@ int main(int argc, char** argv) {
   const std::string out_path = args.get("out", "BENCH_sim.json");
   const int sharded_threads =
       static_cast<int>(args.get_int("threads", 2));
+
+  // -------------------------------------------- per-cell memory budget
+  // First section on purpose: VmHWM is a process-lifetime high-water
+  // mark, so the cell must run before any other benchmark inflates it.
+  std::cout << "[memory] peak RSS of one sketch-mode SK(10,10,3) cell "
+               "(compressed routes, phased, " << kMemoryCellSlots
+            << " slots)\n";
+  const MemoryBenchResult memory = memory_cell_once();
+  const bool memory_pass =
+      !memory.skipped && memory.delta_kib() <= kMemoryBudgetKiB;
+  if (memory.skipped) {
+    std::cout << "  /proc/self/status unavailable; verdict null\n\n";
+  } else {
+    std::cout << "  VmHWM " << memory.rss_before_kib << " -> "
+              << memory.rss_peak_kib << " KiB, cell cost "
+              << memory.delta_kib() << " KiB (budget "
+              << kMemoryBudgetKiB << " KiB: "
+              << (memory_pass ? "PASS" : "FAIL") << ")\n\n";
+  }
 
   // ---------------------------------------------- classic micro section
   std::cout << "[micro] library hot paths (best of " << kReps << ")\n\n";
@@ -1055,6 +1223,13 @@ int main(int argc, char** argv) {
                "const skew, " << async_parallel.threads
             << " threads vs 1 (" << kAcceptanceRounds
             << " paired rounds)\n";
+  RouteCompileResult route_compile;
+  route_compile.hardware_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+  route_compile.threads = std::min(
+      kRouteCompileBarThreads, std::max(1, route_compile.hardware_threads));
+  route_compile.skipped =
+      route_compile.hardware_threads < kRouteCompileBarThreads;
   {
     otis::hypergraph::StackKautz big(10, 10, 3);
     const auto big_routes =
@@ -1069,9 +1244,34 @@ int main(int argc, char** argv) {
         [&] {
           return async_parallel_seconds_once(big.stack(), big_routes, 1);
         });
+
+    // ----------------------------------- parallel route-compile scaling
+    // Pool-vs-serial paired speedup of the same topology's compressed
+    // route compile (the campaign's per-topology setup cost). Both
+    // sides produce bit-identical tables (test_parallel_compile); only
+    // the wall clock differs.
+    std::cout << "\n[route-compile] compressed SK(10,10,3) tables, "
+              << route_compile.threads << "-worker pool vs serial ("
+              << kAcceptanceRounds << " paired rounds)\n";
+    otis::core::WorkStealingPool compile_pool(route_compile.threads);
+    const auto compile_seconds_once =
+        [&](otis::core::WorkStealingPool* pool) {
+          const auto start = std::chrono::steady_clock::now();
+          volatile std::size_t bytes =
+              otis::routing::compress_stack_kautz_routes(big, pool)
+                  .memory_bytes();
+          (void)bytes;
+          const auto stop = std::chrono::steady_clock::now();
+          return std::chrono::duration<double>(stop - start).count();
+        };
+    route_compile.speedup = paired_speedup(
+        kAcceptanceRounds, [&] { return compile_seconds_once(&compile_pool); },
+        [&] { return compile_seconds_once(nullptr); });
   }
   const bool async_parallel_pass =
       async_parallel.speedup.best >= kAsyncParallelRequiredSpeedup;
+  const bool route_compile_pass =
+      route_compile.speedup.best >= kRouteCompileRequiredSpeedup;
 
   // The enforced phased-vs-event-queue ratio: dedicated paired rounds
   // on the acceptance case (SK(4,3,2), token), one full run per side
@@ -1093,7 +1293,8 @@ int main(int argc, char** argv) {
   write_bench_json(out_path, results, route_tables, queues, collectives,
                    phases, telemetry_rows, telemetry_speedup, telemetry_pass,
                    queue_speedup, queue_pass, async_parallel,
-                   async_parallel_pass, speedup, pass);
+                   async_parallel_pass, route_compile, route_compile_pass,
+                   memory, memory_pass, speedup, pass);
   if (args.has("phases-out")) {
     const std::string phases_path =
         args.get("phases-out", "BENCH_phases.json");
@@ -1130,9 +1331,28 @@ int main(int argc, char** argv) {
             << (async_parallel.skipped
                     ? "SKIPPED, host below 8 hardware threads"
                     : (async_parallel_pass ? "PASS" : "FAIL"))
-            << ")\nresults written to " << out_path << "\n";
+            << ")\nparallel route compile on SK(10,10,3): best "
+            << otis::core::format_double(route_compile.speedup.best, 2)
+            << "x, median "
+            << otis::core::format_double(route_compile.speedup.median, 2)
+            << "x (acceptance: best >= "
+            << otis::core::format_double(kRouteCompileRequiredSpeedup, 1)
+            << "x at " << kRouteCompileBarThreads << " threads: "
+            << (route_compile.skipped
+                    ? "SKIPPED, host below 8 hardware threads"
+                    : (route_compile_pass ? "PASS" : "FAIL"))
+            << ")\nsketch-cell peak RSS: "
+            << (memory.skipped ? std::string("SKIPPED, no /proc")
+                               : std::to_string(memory.delta_kib()) +
+                                     " KiB (acceptance: <= " +
+                                     std::to_string(kMemoryBudgetKiB) +
+                                     " KiB: " +
+                                     (memory_pass ? "PASS" : "FAIL") + ")")
+            << "\nresults written to " << out_path << "\n";
   return pass && queue_pass && telemetry_pass &&
-                 (async_parallel.skipped || async_parallel_pass)
+                 (async_parallel.skipped || async_parallel_pass) &&
+                 (route_compile.skipped || route_compile_pass) &&
+                 (memory.skipped || memory_pass)
              ? 0
              : 1;
 }

@@ -18,10 +18,14 @@ telemetry_pass=false (attached-but-disabled telemetry costs more than
 2% on the phased acceptance case), or async_parallel_pass=false
 (async-sharded >= 2.5x its own 1-thread run at 8 threads) -- all
 judged on the best of paired back-to-back rounds, so a slow runner
-cannot flip them -- the script emits ::error:: and exits 1. An
-async_parallel_pass of null means the host could not judge the
-8-thread bar (too few cores) and only warns. Exit status is also 1
-when the *current* file is missing/unreadable.
+cannot flip them -- the script emits ::error:: and exits 1. The same
+holds for route_compile_pass (parallel route compile >= 2.5x serial at
+8 threads) and memory_pass (one sketch-mode scale-up cell's peak-RSS
+growth within its KiB budget). An async_parallel_pass or
+route_compile_pass of null means the host could not judge the 8-thread
+bar (too few cores); a memory_pass of null means /proc/self/status was
+unavailable -- null verdicts only warn. Exit status is also 1 when the
+*current* file is missing/unreadable.
 """
 
 import argparse
@@ -98,6 +102,41 @@ def enforce_acceptance(current_doc):
           and acceptance.get("async_parallel_pass") is None):
         print(f"::warning title=Async-parallel bar skipped::"
               f"{acceptance.get('async_parallel_skip_reason')}")
+    # Parallel route compilation: same tri-state protocol (an 8-thread
+    # bar that small hosts record as null with a skip reason).
+    if "route_compile_pass" in acceptance:
+        print(f"acceptance: parallel route compile "
+              f"{acceptance.get('route_compile_measured_speedup')}x at "
+              f"{acceptance.get('route_compile_threads')} threads "
+              f"(required {acceptance.get('route_compile_required_speedup')}"
+              f"x at 8)")
+    if acceptance.get("route_compile_pass") is False:
+        print(f"::error title=Route-compile scaling bar failed::parallel "
+              f"route compile at "
+              f"{acceptance.get('route_compile_measured_speedup')}x of the "
+              f"serial compile, below the required "
+              f"{acceptance.get('route_compile_required_speedup')}x")
+        failed = True
+    elif ("route_compile_pass" in acceptance
+          and acceptance.get("route_compile_pass") is None):
+        print(f"::warning title=Route-compile bar skipped::"
+              f"{acceptance.get('route_compile_skip_reason')}")
+    # Per-cell memory budget: null means /proc/self/status was
+    # unavailable (non-Linux host); only an explicit false fails.
+    if "memory_pass" in acceptance:
+        print(f"acceptance: sketch-cell peak RSS "
+              f"{acceptance.get('memory_cell_kib')} KiB (budget "
+              f"{acceptance.get('memory_budget_kib')} KiB)")
+    if acceptance.get("memory_pass") is False:
+        print(f"::error title=Per-cell memory budget exceeded::the "
+              f"sketch-mode scale-up cell grew peak RSS by "
+              f"{acceptance.get('memory_cell_kib')} KiB, above the "
+              f"{acceptance.get('memory_budget_kib')} KiB budget")
+        failed = True
+    elif ("memory_pass" in acceptance
+          and acceptance.get("memory_pass") is None):
+        print(f"::warning title=Memory budget skipped::"
+              f"{acceptance.get('memory_skip_reason')}")
     return 1 if failed else 0
 
 

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <map>
+#include <mutex>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
@@ -18,152 +20,6 @@
 #include "workload/trace.hpp"
 
 namespace otis::campaign {
-
-// ----------------------------------------------------- WorkStealingPool
-
-WorkStealingPool::WorkStealingPool(int threads) {
-  int count = threads;
-  if (count <= 0) {
-    count = static_cast<int>(std::thread::hardware_concurrency());
-    if (count <= 0) {
-      count = 1;
-    }
-  }
-  queues_.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    queues_.push_back(std::make_unique<Queue>());
-  }
-  workers_.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    workers_.emplace_back(
-        [this, i] { worker_main(static_cast<std::size_t>(i)); });
-  }
-}
-
-WorkStealingPool::~WorkStealingPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    shutdown_ = true;
-  }
-  start_cv_.notify_all();
-  for (std::thread& worker : workers_) {
-    worker.join();
-  }
-}
-
-bool WorkStealingPool::try_acquire(std::size_t self, std::size_t& item) {
-  {
-    Queue& own = *queues_[self];
-    std::lock_guard<std::mutex> lock(own.mutex);
-    if (!own.items.empty()) {
-      item = own.items.front();
-      own.items.pop_front();
-      return true;
-    }
-  }
-  // Steal from the back of the victim with work, scanning round-robin
-  // from our right-hand neighbour.
-  for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
-    Queue& victim = *queues_[(self + offset) % queues_.size()];
-    std::lock_guard<std::mutex> lock(victim.mutex);
-    if (!victim.items.empty()) {
-      item = victim.items.back();
-      victim.items.pop_back();
-      return true;
-    }
-  }
-  return false;
-}
-
-void WorkStealingPool::worker_main(std::size_t self) {
-  std::uint64_t seen_epoch = 0;
-  while (true) {
-    const std::function<void(std::size_t, std::size_t)>* job = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      // job_ != nullptr keeps late wakers out of a batch that already
-      // finished (run() clears the pointer before returning).
-      start_cv_.wait(lock, [&] {
-        return shutdown_ || (job_ != nullptr && epoch_ != seen_epoch);
-      });
-      if (shutdown_) {
-        return;
-      }
-      seen_epoch = epoch_;
-      job = job_;
-      ++active_;
-    }
-    std::size_t item = 0;
-    while (try_acquire(self, item)) {
-      std::exception_ptr error;
-      try {
-        (*job)(item, self);
-      } catch (...) {
-        error = std::current_exception();
-      }
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (error && !first_error_) {
-        first_error_ = error;
-      }
-      --remaining_;
-    }
-    // run() returns only once every worker that entered the batch has
-    // also left it, so `job` can never dangle into the next batch.
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (--active_ == 0 && remaining_ == 0) {
-      done_cv_.notify_all();
-    }
-  }
-}
-
-void WorkStealingPool::run(std::size_t count,
-                           const std::function<void(std::size_t)>& fn) {
-  run(count, std::function<void(std::size_t, std::size_t)>(
-                 [&fn](std::size_t item, std::size_t) { fn(item); }));
-}
-
-void WorkStealingPool::run(
-    std::size_t count,
-    const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (count == 0) {
-    return;
-  }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    OTIS_REQUIRE(job_ == nullptr, "WorkStealingPool: run() is not reentrant");
-    // Contiguous blocks: worker w owns items [w*len, (w+1)*len). Early
-    // cells land on low workers, which keeps the runner's ordered emit
-    // buffer shallow.
-    const std::size_t workers = queues_.size();
-    const std::size_t base = count / workers;
-    const std::size_t extra = count % workers;
-    std::size_t next = 0;
-    for (std::size_t w = 0; w < workers; ++w) {
-      const std::size_t len = base + (w < extra ? 1 : 0);
-      for (std::size_t i = 0; i < len; ++i) {
-        queues_[w]->items.push_back(next++);
-      }
-    }
-    job_ = &fn;
-    remaining_ = count;
-    first_error_ = nullptr;
-    ++epoch_;
-  }
-  start_cv_.notify_all();
-  std::exception_ptr error;
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return remaining_ == 0 && active_ == 0; });
-    job_ = nullptr;
-    error = first_error_;
-    first_error_ = nullptr;
-  }
-  if (error) {
-    std::rethrow_exception(error);
-  }
-}
-
-// ------------------------------------------------------- CampaignRunner
 
 namespace {
 
@@ -243,7 +99,10 @@ std::string resolve_out_path(const std::string& out_dir,
 CellResult simulate_cell(const CampaignSpec& spec,
                          const CompiledTopology& topology,
                          const CampaignCell& cell,
-                         std::shared_ptr<obs::Telemetry> telemetry) {
+                         std::shared_ptr<obs::Telemetry> telemetry,
+                         const std::string& checkpoint_path,
+                         bool checkpoint_resume,
+                         std::int64_t checkpoint_stop) {
   sim::SimConfig config;
   config.arbitration = cell.arbitration;
   config.warmup_slots = spec.warmup_slots;
@@ -256,6 +115,13 @@ CellResult simulate_cell(const CampaignSpec& spec,
   config.timing = cell.timing;
   config.workload = make_workload(cell, topology);
   config.telemetry = std::move(telemetry);
+  config.latency_mode = spec.latency_stats;
+  if (!checkpoint_path.empty()) {
+    config.checkpoint_every_slots = spec.checkpoint_every;
+    config.checkpoint_path = checkpoint_path;
+    config.checkpoint_resume = checkpoint_resume;
+    config.checkpoint_stop_at = checkpoint_stop;
+  }
 
   std::unique_ptr<sim::TrafficGenerator> traffic =
       make_traffic(cell, topology.processor_count());
@@ -346,6 +212,28 @@ CampaignReport CampaignRunner::run(const CampaignOptions& options) {
                    options.shard_index < options.shard_count,
                "CampaignRunner: shard must be i/n with 0 <= i < n");
 
+  // Intra-cell checkpoints: one blob per cell under out_dir/checkpoints,
+  // written every spec.checkpoint_every slots and deleted when the cell
+  // completes. Only open-loop cells without a chrome-trace sink are
+  // eligible (the blob cannot carry a workload's or trace sink's state);
+  // ineligible cells simply run without checkpoints.
+  std::filesystem::path checkpoint_dir;
+  if (spec_.checkpoint_every > 0 && !options.out_dir.empty()) {
+    checkpoint_dir =
+        std::filesystem::path(options.out_dir) / "checkpoints";
+    std::filesystem::create_directories(checkpoint_dir);
+  }
+  auto cell_checkpoint_path = [&](const CampaignCell& cell) -> std::string {
+    if (checkpoint_dir.empty() ||
+        cell.workload.kind != WorkloadKind::kNone ||
+        cell.engine == sim::Engine::kEventQueue || trace_sink != nullptr) {
+      return {};
+    }
+    return (checkpoint_dir /
+            ("cell-" + std::to_string(cell.index) + ".ckpt"))
+        .string();
+  };
+
   std::vector<const CampaignCell*> pending;
   pending.reserve(cells.size());
   for (const CampaignCell& cell : cells) {
@@ -377,6 +265,11 @@ CampaignReport CampaignRunner::run(const CampaignOptions& options) {
     (resolved == sim::RouteTable::kCompressed ? need.compressed
                                               : need.dense) = true;
   }
+  // The cell pool doubles as the route-compile pool: builds happen
+  // before the cell batch starts, when every worker is otherwise idle,
+  // and parallel compilation is bit-identical to serial by construction.
+  WorkStealingPool pool(options.threads);
+
   std::map<std::size_t, std::shared_ptr<const CompiledTopology>> topologies;
   for (const auto& [index, need] : needs) {
     obs::Span compile_span;
@@ -385,35 +278,44 @@ CampaignReport CampaignRunner::run(const CampaignOptions& options) {
                                "compile " + spec_.topologies[index].label(),
                                "compile");
     }
-    topologies[index] = CompiledTopology::build(spec_.topologies[index],
-                                                need.dense, need.compressed);
+    topologies[index] = CompiledTopology::build(
+        spec_.topologies[index], need.dense, need.compressed, &pool);
     ++report.topologies_compiled;
   }
 
   // Reorder buffer: workers finish in steal order, sinks consume in
   // expansion order. A cell becomes durable (manifest line) only after
-  // its rows reached every sink.
+  // its rows reached every sink. Drill-interrupted cells hold a slot in
+  // the order but never reach a sink or the manifest: their partial
+  // metrics are not results, their checkpoint blob is.
+  struct EmitEntry {
+    CellResult result;
+    bool interrupted = false;
+  };
   std::mutex emit_mutex;
-  std::map<std::size_t, CellResult> ready;
+  std::map<std::size_t, EmitEntry> ready;
   std::size_t next_emit = 0;
+  std::int64_t interrupted_cells = 0;
   auto emit_ready = [&]() {
     while (!ready.empty() && ready.begin()->first == next_emit) {
-      const CellResult& result = ready.begin()->second;
-      for (const std::shared_ptr<ResultSink>& sink : sinks) {
-        sink->consume(result);
-      }
-      if (manifest != nullptr) {
+      const EmitEntry& entry = ready.begin()->second;
+      if (entry.interrupted) {
+        ++interrupted_cells;
+      } else {
         for (const std::shared_ptr<ResultSink>& sink : sinks) {
-          sink->flush();
+          sink->consume(entry.result);
         }
-        manifest->record(result.cell.id);
+        if (manifest != nullptr) {
+          for (const std::shared_ptr<ResultSink>& sink : sinks) {
+            sink->flush();
+          }
+          manifest->record(entry.result.cell.id);
+        }
       }
       ready.erase(ready.begin());
       ++next_emit;
     }
   };
-
-  WorkStealingPool pool(options.threads);
 
   // --progress heartbeat: a detached-from-the-results stderr line every
   // ~2 s while the grid runs. Counters are relaxed atomics -- they feed
@@ -471,13 +373,22 @@ CampaignReport CampaignRunner::run(const CampaignOptions& options) {
           cell_span = obs::Span(trace_sink.get(), tid, cell.id, "cell");
         }
       }
-      CellResult result = simulate_cell(spec_, *topologies.at(cell.topology),
-                                        cell, std::move(tel));
+      const std::string ckpt_path = cell_checkpoint_path(cell);
+      CellResult result = simulate_cell(
+          spec_, *topologies.at(cell.topology), cell, std::move(tel),
+          ckpt_path, options.resume, options.checkpoint_stop);
+      // A drill-interrupted cell's blob is its handoff to --resume; a
+      // completed cell's blob has served its purpose.
+      const bool interrupted = result.metrics.interrupted;
+      if (!ckpt_path.empty() && !interrupted) {
+        std::error_code ignored;
+        std::filesystem::remove(ckpt_path, ignored);
+      }
       cell_span.end();
       busy_workers.fetch_sub(1, std::memory_order_relaxed);
       cells_done.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(emit_mutex);
-      ready.emplace(i, std::move(result));
+      ready.emplace(i, EmitEntry{std::move(result), interrupted});
       emit_ready();
     });
   } catch (...) {
@@ -507,7 +418,9 @@ CampaignReport CampaignRunner::run(const CampaignOptions& options) {
   for (const std::shared_ptr<ResultSink>& sink : sinks) {
     sink->close();
   }
-  report.completed_cells = static_cast<std::int64_t>(pending.size());
+  report.interrupted_cells = interrupted_cells;
+  report.completed_cells =
+      static_cast<std::int64_t>(pending.size()) - interrupted_cells;
   report.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_time)

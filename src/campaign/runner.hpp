@@ -18,74 +18,21 @@
 /// the manifest, not the row streams, is the source of truth for
 /// completion.
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "campaign/grid.hpp"
 #include "campaign/sink.hpp"
 #include "campaign/spec.hpp"
+#include "core/work_pool.hpp"
 
 namespace otis::campaign {
 
-/// A pool of worker threads with per-worker deques and work stealing.
-/// Threads start once and persist across run() calls (a campaign is one
-/// call today, but the pool is reusable by design); each run() scatters
-/// item indices into contiguous per-worker blocks, workers drain their
-/// own block front-to-back and steal from the back of victims' deques
-/// when empty.
-class WorkStealingPool {
- public:
-  /// `threads` <= 0 means hardware concurrency.
-  explicit WorkStealingPool(int threads);
-  ~WorkStealingPool();
-
-  WorkStealingPool(const WorkStealingPool&) = delete;
-  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
-
-  [[nodiscard]] int thread_count() const noexcept {
-    return static_cast<int>(workers_.size());
-  }
-
-  /// Runs fn(i) for every i in [0, count); returns when all completed.
-  /// fn must be thread-safe across distinct items. Exceptions thrown by
-  /// fn are captured and the first one is rethrown after the batch.
-  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
-
-  /// As above with the executing worker's index [0, thread_count())
-  /// passed as the second argument -- the stable per-thread identity
-  /// (steals included) that e.g. telemetry span tracks key off.
-  void run(std::size_t count,
-           const std::function<void(std::size_t, std::size_t)>& fn);
-
- private:
-  struct Queue {
-    std::mutex mutex;
-    std::deque<std::size_t> items;
-  };
-
-  void worker_main(std::size_t self);
-  bool try_acquire(std::size_t self, std::size_t& item);
-
-  std::vector<std::unique_ptr<Queue>> queues_;
-  std::vector<std::thread> workers_;
-
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
-  std::uint64_t epoch_ = 0;
-  std::size_t remaining_ = 0;  ///< items of the current batch not yet done
-  std::size_t active_ = 0;     ///< workers currently inside the batch
-  std::exception_ptr first_error_;
-  bool shutdown_ = false;
-};
+/// The campaign layer's historical name for the shared pool (the class
+/// itself moved to core so the routing compilers can use it too).
+using WorkStealingPool = core::WorkStealingPool;
 
 /// How to execute a campaign (as opposed to *what* to run, the spec).
 struct CampaignOptions {
@@ -106,6 +53,13 @@ struct CampaignOptions {
   /// Heartbeat on stderr every ~2 s: cells done/total, rate, ETA, and
   /// busy workers. Diagnostics only -- never touches the result files.
   bool progress = false;
+  /// Checkpoint drill (tests/CI only): when >= 0 and the spec enables
+  /// checkpointing, every cell stops right after its first checkpoint
+  /// at a slot boundary >= this value, simulating a mid-cell crash.
+  /// Interrupted cells reach no sink and no manifest line -- their blob
+  /// on disk is the whole handoff to a --resume invocation, which
+  /// finishes them bit-identically to an uninterrupted run.
+  std::int64_t checkpoint_stop = -1;
 };
 
 /// What one run() did.
@@ -114,6 +68,7 @@ struct CampaignReport {
   std::int64_t completed_cells = 0;    ///< simulated this invocation
   std::int64_t skipped_cells = 0;      ///< already in the manifest
   std::int64_t out_of_shard_cells = 0;  ///< left to other shards
+  std::int64_t interrupted_cells = 0;  ///< stopped at a checkpoint drill
   std::int64_t topologies_compiled = 0;  ///< routing-table sets built
   double elapsed_seconds = 0.0;
 };

@@ -163,7 +163,8 @@ std::string TopologySpec::label() const {
 }
 
 std::shared_ptr<const CompiledTopology> CompiledTopology::build(
-    const TopologySpec& spec, bool want_dense, bool want_compressed) {
+    const TopologySpec& spec, bool want_dense, bool want_compressed,
+    core::WorkStealingPool* pool) {
   OTIS_REQUIRE(want_dense || want_compressed,
                "CompiledTopology: at least one table representation must "
                "be requested");
@@ -185,12 +186,12 @@ std::shared_ptr<const CompiledTopology> CompiledTopology::build(
       };
       if (want_dense) {
         topo->routes_ = std::make_shared<const routing::CompiledRoutes>(
-            routing::compile_stack_kautz_routes(*network));
+            routing::compile_stack_kautz_routes(*network, pool));
       }
       if (want_compressed) {
         topo->compressed_routes_ =
             std::make_shared<const routing::CompressedRoutes>(
-                routing::compress_stack_kautz_routes(*network));
+                routing::compress_stack_kautz_routes(*network, pool));
       }
       topo->owner_ = std::move(network);
       break;
@@ -208,12 +209,12 @@ std::shared_ptr<const CompiledTopology> CompiledTopology::build(
       };
       if (want_dense) {
         topo->routes_ = std::make_shared<const routing::CompiledRoutes>(
-            routing::compile_pops_routes(*network));
+            routing::compile_pops_routes(*network, pool));
       }
       if (want_compressed) {
         topo->compressed_routes_ =
             std::make_shared<const routing::CompressedRoutes>(
-                routing::compress_pops_routes(*network));
+                routing::compress_pops_routes(*network, pool));
       }
       topo->owner_ = std::move(network);
       break;
@@ -226,12 +227,12 @@ std::shared_ptr<const CompiledTopology> CompiledTopology::build(
       topo->couplers_ = network->coupler_count();
       if (want_dense) {
         topo->routes_ = std::make_shared<const routing::CompiledRoutes>(
-            routing::compile_stack_imase_itoh_routes(*network));
+            routing::compile_stack_imase_itoh_routes(*network, pool));
       }
       if (want_compressed) {
         topo->compressed_routes_ =
             std::make_shared<const routing::CompressedRoutes>(
-                routing::compress_stack_imase_itoh_routes(*network));
+                routing::compress_stack_imase_itoh_routes(*network, pool));
       }
       topo->owner_ = std::move(network);
       break;
@@ -410,6 +411,18 @@ sim::RouteTable parse_route_table(const std::string& name) {
                     "\" (expected dense|compressed|auto)");
 }
 
+sim::LatencyMode parse_latency_mode(const std::string& name) {
+  for (sim::LatencyMode mode : {sim::LatencyMode::kFull,
+                                sim::LatencyMode::kSketch,
+                                sim::LatencyMode::kAuto}) {
+    if (name == sim::latency_mode_name(mode)) {
+      return mode;
+    }
+  }
+  throw core::Error("CampaignSpec: unknown latency_stats mode \"" + name +
+                    "\" (expected full|sketch|auto)");
+}
+
 std::int64_t CampaignSpec::cell_count() const {
   const std::int64_t per_routes_value =
       static_cast<std::int64_t>(arbitrations.size()) *
@@ -457,6 +470,8 @@ void CampaignSpec::validate() const {
   OTIS_REQUIRE(measure_slots > 0, "CampaignSpec: measure_slots must be > 0");
   OTIS_REQUIRE(queue_capacity >= 0,
                "CampaignSpec: queue_capacity must be >= 0");
+  OTIS_REQUIRE(checkpoint_every >= 0,
+               "CampaignSpec: checkpoint_every must be >= 0");
   OTIS_REQUIRE(hotspot_node >= 0, "CampaignSpec: hotspot_node must be >= 0");
   OTIS_REQUIRE(hotspot_fraction >= 0.0 && hotspot_fraction <= 1.0,
                "CampaignSpec: hotspot_fraction must lie in [0, 1]");
@@ -735,6 +750,7 @@ CampaignSpec spec_from_json(const core::Json& root) {
                        "hotspot_fraction", "bursty_enter_on",
                        "bursty_exit_on", "warmup_slots", "measure_slots",
                        "queue_capacity", "engine", "engine_threads",
+                       "latency_stats", "checkpoint_every",
                        "telemetry", "overrides"},
                       "campaign spec");
 
@@ -825,6 +841,11 @@ CampaignSpec spec_from_json(const core::Json& root) {
   spec.engine = parse_engine(root.string_or("engine", "phased"));
   spec.engine_threads = static_cast<int>(
       root.int_or("engine_threads", spec.engine_threads));
+  spec.latency_stats = parse_latency_mode(
+      root.string_or("latency_stats", sim::latency_mode_name(
+                                          spec.latency_stats)));
+  spec.checkpoint_every =
+      root.int_or("checkpoint_every", spec.checkpoint_every);
   if (const core::Json* telemetry = root.find("telemetry")) {
     reject_unknown_keys(*telemetry,
                         {"sample_period", "timeseries", "trace", "probes"},

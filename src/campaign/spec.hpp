@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "collectives/schedule.hpp"
+#include "core/work_pool.hpp"
 #include "hypergraph/stack_graph.hpp"
 #include "routing/compiled_routes.hpp"
 #include "routing/compressed_routes.hpp"
@@ -72,10 +73,12 @@ class CompiledTopology {
   /// representations -- at most one compile per representation per call;
   /// bumps topology_compile_count() once per call. At large N request
   /// only the compressed table: the dense one is O(N^2) and is never
-  /// materialized unless asked for.
+  /// materialized unless asked for. A non-null `pool` spreads the table
+  /// fill across its workers (output bit-identical to serial); the
+  /// campaign runner passes its own otherwise-idle pool here.
   [[nodiscard]] static std::shared_ptr<const CompiledTopology> build(
       const TopologySpec& spec, bool want_dense = true,
-      bool want_compressed = false);
+      bool want_compressed = false, core::WorkStealingPool* pool = nullptr);
 
   [[nodiscard]] const TopologySpec& spec() const noexcept { return spec_; }
   [[nodiscard]] const std::string& label() const noexcept { return label_; }
@@ -177,6 +180,9 @@ struct TrafficSpec {
 
 /// Inverse of sim::route_table_name; throws core::Error on unknown names.
 [[nodiscard]] sim::RouteTable parse_route_table(const std::string& name);
+
+/// Inverse of sim::latency_mode_name; throws core::Error on unknown names.
+[[nodiscard]] sim::LatencyMode parse_latency_mode(const std::string& name);
 
 /// Workload families a campaign can drive (closed-loop; see
 /// workload/workload.hpp). kNone keeps the cell open-loop -- the
@@ -280,6 +286,20 @@ struct CampaignSpec {
   std::int64_t measure_slots = 1000;
   std::int64_t queue_capacity = 0;
 
+  /// Latency representation every cell records with
+  /// (SimConfig::latency_mode): "auto" keeps exact full-sample
+  /// percentiles on small cells and flips to the O(1)-memory sketch at
+  /// sim::kAutoLatencySketchNodes nodes, "full"/"sketch" force a mode.
+  sim::LatencyMode latency_stats = sim::LatencyMode::kAuto;
+
+  /// Intra-cell checkpoint stride in slots; 0 disables. With an out_dir
+  /// set, every open-loop cell serializes its engine state to
+  /// out_dir/checkpoints/cell-<index>.ckpt at this stride and deletes
+  /// the blob when the cell completes; a --resume run restores
+  /// interrupted cells mid-window instead of re-running them from
+  /// slot 0 (results stay bit-identical either way).
+  std::int64_t checkpoint_every = 0;
+
   /// Engine every cell runs on; engine_threads feeds SimConfig.threads
   /// for kSharded cells (results are thread-count invariant by design).
   sim::Engine engine = sim::Engine::kPhased;
@@ -334,6 +354,7 @@ struct CampaignSpec {
 ///   "bursty_enter_on": 0.05, "bursty_exit_on": 0.2,
 ///   "warmup_slots": 200, "measure_slots": 1000, "queue_capacity": 0,
 ///   "engine": "phased", "engine_threads": 1,
+///   "latency_stats": "auto", "checkpoint_every": 0,
 ///   "telemetry": {"sample_period": 64, "timeseries": "timeseries.jsonl",
 ///                 "trace": "campaign.trace.json",
 ///                 "probes": ["delivered", "backlog"]},

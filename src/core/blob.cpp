@@ -1,0 +1,40 @@
+#include "core/blob.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace otis::core {
+
+void write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    OTIS_REQUIRE(out.good(), "write_file_atomic: cannot open " + tmp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    OTIS_REQUIRE(out.good(), "write_file_atomic: short write to " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  OTIS_REQUIRE(!ec, "write_file_atomic: rename to " + path + " failed");
+}
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>& bytes) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.good()) {
+    return false;
+  }
+  const std::streamsize size = in.tellg();
+  if (size < 0) {
+    return false;
+  }
+  in.seekg(0);
+  bytes.resize(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  return in.good();
+}
+
+}  // namespace otis::core

@@ -121,6 +121,15 @@ class Rng {
     }
   }
 
+  /// The four xoshiro lanes, for engine checkpointing: a generator
+  /// restored via set_state() continues the exact draw sequence.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return state_;
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+  }
+
   /// Random permutation of {0, .., n-1}.
   [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n);
 

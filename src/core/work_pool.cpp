@@ -1,0 +1,149 @@
+#include "core/work_pool.hpp"
+
+#include "core/error.hpp"
+
+namespace otis::core {
+
+WorkStealingPool::WorkStealingPool(int threads) {
+  int count = threads;
+  if (count <= 0) {
+    count = static_cast<int>(std::thread::hardware_concurrency());
+    if (count <= 0) {
+      count = 1;
+    }
+  }
+  queues_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back(
+        [this, i] { worker_main(static_cast<std::size_t>(i)); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+bool WorkStealingPool::try_acquire(std::size_t self, std::size_t& item) {
+  {
+    Queue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.items.empty()) {
+      item = own.items.front();
+      own.items.pop_front();
+      return true;
+    }
+  }
+  // Steal from the back of the victim with work, scanning round-robin
+  // from our right-hand neighbour.
+  for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
+    Queue& victim = *queues_[(self + offset) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.items.empty()) {
+      item = victim.items.back();
+      victim.items.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkStealingPool::worker_main(std::size_t self) {
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    const std::function<void(std::size_t, std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // job_ != nullptr keeps late wakers out of a batch that already
+      // finished (run() clears the pointer before returning).
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (shutdown_) {
+        return;
+      }
+      seen_epoch = epoch_;
+      job = job_;
+      ++active_;
+    }
+    std::size_t item = 0;
+    while (try_acquire(self, item)) {
+      std::exception_ptr error;
+      try {
+        (*job)(item, self);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) {
+        first_error_ = error;
+      }
+      --remaining_;
+    }
+    // run() returns only once every worker that entered the batch has
+    // also left it, so `job` can never dangle into the next batch.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--active_ == 0 && remaining_ == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkStealingPool::run(std::size_t count,
+                           const std::function<void(std::size_t)>& fn) {
+  run(count, std::function<void(std::size_t, std::size_t)>(
+                 [&fn](std::size_t item, std::size_t) { fn(item); }));
+}
+
+void WorkStealingPool::run(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    OTIS_REQUIRE(job_ == nullptr, "WorkStealingPool: run() is not reentrant");
+    // Contiguous blocks: worker w owns items [w*len, (w+1)*len). Early
+    // cells land on low workers, which keeps the runner's ordered emit
+    // buffer shallow.
+    const std::size_t workers = queues_.size();
+    const std::size_t base = count / workers;
+    const std::size_t extra = count % workers;
+    std::size_t next = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t len = base + (w < extra ? 1 : 0);
+      for (std::size_t i = 0; i < len; ++i) {
+        queues_[w]->items.push_back(next++);
+      }
+    }
+    job_ = &fn;
+    remaining_ = count;
+    first_error_ = nullptr;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0 && active_ == 0; });
+    job_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace otis::core

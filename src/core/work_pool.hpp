@@ -1,0 +1,73 @@
+#pragma once
+/// \file work_pool.hpp
+/// A pool of worker threads with per-worker deques and work stealing.
+///
+/// Lives in core so every layer can fan out over it: the campaign
+/// runner spreads grid cells across workers, and the routing compilers
+/// split their per-source/per-group-pair loops over the same pool
+/// (disjoint output ranges, so parallel compilation is bit-identical
+/// to serial). Threads start once and persist across run() calls; each
+/// run() scatters item indices into contiguous per-worker blocks,
+/// workers drain their own block front-to-back and steal from the back
+/// of victims' deques when empty.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace otis::core {
+
+class WorkStealingPool {
+ public:
+  /// `threads` <= 0 means hardware concurrency.
+  explicit WorkStealingPool(int threads);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  [[nodiscard]] int thread_count() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Runs fn(i) for every i in [0, count); returns when all completed.
+  /// fn must be thread-safe across distinct items. Exceptions thrown by
+  /// fn are captured and the first one is rethrown after the batch.
+  /// NOT reentrant: fn must never call run() on the same pool.
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// As above with the executing worker's index [0, thread_count())
+  /// passed as the second argument -- the stable per-thread identity
+  /// (steals included) that e.g. telemetry span tracks key off.
+  void run(std::size_t count,
+           const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::size_t> items;
+  };
+
+  void worker_main(std::size_t self);
+  bool try_acquire(std::size_t self, std::size_t& item);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  std::size_t remaining_ = 0;  ///< items of the current batch not yet done
+  std::size_t active_ = 0;     ///< workers currently inside the batch
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+};
+
+}  // namespace otis::core

@@ -136,6 +136,23 @@ class Telemetry {
   /// just sampled, and flushes the writer.
   void finish(std::int64_t last_slot);
 
+  /// Sampler cross-row state (header flag + previous counter values),
+  /// for engine checkpointing: restoring it lets a resumed run append
+  /// rows to the interrupted run's stream byte-identically to an
+  /// uninterrupted run (counter fields are deltas against prev_, so
+  /// prev_ must survive the restart).
+  [[nodiscard]] bool header_written() const noexcept {
+    return header_written_;
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& sampler_prev()
+      const noexcept {
+    return prev_;
+  }
+  void restore_sampler(bool header_written, std::vector<std::int64_t> prev) {
+    header_written_ = header_written;
+    prev_ = std::move(prev);
+  }
+
   [[nodiscard]] std::int64_t rows_sampled() const;
   /// Closes owned sinks (campaign-shared sinks are closed by their
   /// owner); call before reading the output files.

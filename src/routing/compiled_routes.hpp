@@ -28,6 +28,10 @@
 
 #include "hypergraph/stack_graph.hpp"
 
+namespace otis::core {
+class WorkStealingPool;
+}  // namespace otis::core
+
 namespace otis::hypergraph {
 class Pops;
 class StackImaseItoh;
@@ -48,9 +52,17 @@ class CompiledRoutes {
   /// with node != dest. Validates that every chosen coupler is feedable
   /// by its node and that the relay of every chosen coupler is one of the
   /// coupler's targets.
+  ///
+  /// With `pool` set, the next-coupler/next-slot rows are filled in
+  /// parallel over source nodes (row v owns [v*N, (v+1)*N)) and the
+  /// relay table in a second pass over destination columns (column dest
+  /// owns relay_[h*N + dest] for every h), so no two workers ever touch
+  /// the same entry and the result is bit-identical to serial. The
+  /// callbacks must be const-thread-safe.
   static CompiledRoutes compile(const hypergraph::StackGraph& network,
                                 const NextCouplerFn& next_coupler,
-                                const RelayFn& relay_on);
+                                const RelayFn& relay_on,
+                                core::WorkStealingPool* pool = nullptr);
 
   /// Nodes covered by the node-indexed tables.
   [[nodiscard]] std::int64_t node_count() const noexcept { return nodes_; }
@@ -131,23 +143,27 @@ class CompiledRoutes {
   std::vector<std::int32_t> relay_;         // [coupler][dest]
 };
 
-/// Kautz label routing on SK(s, d, k), compiled.
+/// Kautz label routing on SK(s, d, k), compiled. A non-null `pool`
+/// parallelizes the table fill (bit-identical output).
 [[nodiscard]] CompiledRoutes compile_stack_kautz_routes(
-    const hypergraph::StackKautz& network);
+    const hypergraph::StackKautz& network,
+    core::WorkStealingPool* pool = nullptr);
 
 /// Single-hop POPS routing (relay is always the destination), compiled.
 [[nodiscard]] CompiledRoutes compile_pops_routes(
-    const hypergraph::Pops& network);
+    const hypergraph::Pops& network, core::WorkStealingPool* pool = nullptr);
 
 /// Table-driven shortest-path routing for any stack-graph (BFS tables on
 /// the base digraph via GenericStackRouter / TableRouter), compiled.
 [[nodiscard]] CompiledRoutes compile_generic_stack_routes(
-    const hypergraph::StackGraph& network);
+    const hypergraph::StackGraph& network,
+    core::WorkStealingPool* pool = nullptr);
 
 /// Shortest-path routing on SII(s, d, n); the Imase-Itoh arithmetic
 /// router is exact but per-call, so the compiled table is built from the
 /// generic shortest-path tables (they agree on distances by construction).
 [[nodiscard]] CompiledRoutes compile_stack_imase_itoh_routes(
-    const hypergraph::StackImaseItoh& network);
+    const hypergraph::StackImaseItoh& network,
+    core::WorkStealingPool* pool = nullptr);
 
 }  // namespace otis::routing

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "core/error.hpp"
+#include "core/work_pool.hpp"
 #include "hypergraph/pops.hpp"
 #include "hypergraph/stack_imase_itoh.hpp"
 #include "hypergraph/stack_kautz.hpp"
@@ -38,12 +39,16 @@ CompressedRoutes CompressedRoutes::layout(
 
 CompressedRoutes CompressedRoutes::compile(
     const hypergraph::StackGraph& network, const NextCouplerFn& next_coupler,
-    const RelayFn& relay_on) {
+    const RelayFn& relay_on, core::WorkStealingPool* pool) {
   OTIS_REQUIRE(next_coupler && relay_on,
                "CompressedRoutes: routing callbacks must be set");
   CompressedRoutes routes = layout(network);
   const std::int64_t s = routes.s_;
-  for (graph::Vertex gx = 0; gx < routes.groups_; ++gx) {
+  // One work item per source group: row gx writes exactly the pre-sized
+  // entries [gx*G, (gx+1)*G) of both tables, so rows are independent and
+  // the parallel fill is bit-identical to the serial one.
+  const auto compile_row = [&](std::size_t row) {
+    const auto gx = static_cast<graph::Vertex>(row);
     const hypergraph::Node src = network.node_of(gx, 0);
     for (graph::Vertex gy = 0; gy < routes.groups_; ++gy) {
       // Same-group traffic exists only for s >= 2; with s == 1 the
@@ -82,6 +87,14 @@ CompressedRoutes CompressedRoutes::compile(
             "CompressedRoutes: relay is not index-preserving for all "
             "copies of the destination group");
       }
+    }
+  };
+  const auto rows = static_cast<std::size_t>(routes.groups_);
+  if (pool != nullptr && pool->thread_count() > 1 && routes.groups_ > 1) {
+    pool->run(rows, compile_row);
+  } else {
+    for (std::size_t row = 0; row < rows; ++row) {
+      compile_row(row);
     }
   }
   return routes;
@@ -130,7 +143,7 @@ CompressedRoutes::RelayFn CompressedRoutes::relay_fn() const {
 }
 
 CompressedRoutes compress_stack_kautz_routes(
-    const hypergraph::StackKautz& network) {
+    const hypergraph::StackKautz& network, core::WorkStealingPool* pool) {
   const StackKautzRouter router(network);
   return CompressedRoutes::compile(
       network.stack(),
@@ -139,21 +152,23 @@ CompressedRoutes compress_stack_kautz_routes(
       },
       [&router](hypergraph::HyperarcId h, hypergraph::Node d) {
         return router.relay_on(h, d);
-      });
+      },
+      pool);
 }
 
-CompressedRoutes compress_pops_routes(const hypergraph::Pops& network) {
+CompressedRoutes compress_pops_routes(const hypergraph::Pops& network,
+                                      core::WorkStealingPool* pool) {
   const PopsRouter router(network);
   return CompressedRoutes::compile(
       network.stack(),
       [&router](hypergraph::Node c, hypergraph::Node d) {
         return router.next_coupler(c, d);
       },
-      [](hypergraph::HyperarcId, hypergraph::Node d) { return d; });
+      [](hypergraph::HyperarcId, hypergraph::Node d) { return d; }, pool);
 }
 
 CompressedRoutes compress_generic_stack_routes(
-    const hypergraph::StackGraph& network) {
+    const hypergraph::StackGraph& network, core::WorkStealingPool* pool) {
   const GenericStackRouter router(network);
   return CompressedRoutes::compile(
       network,
@@ -162,12 +177,13 @@ CompressedRoutes compress_generic_stack_routes(
       },
       [&router](hypergraph::HyperarcId h, hypergraph::Node d) {
         return router.relay_on(h, d);
-      });
+      },
+      pool);
 }
 
 CompressedRoutes compress_stack_imase_itoh_routes(
-    const hypergraph::StackImaseItoh& network) {
-  return compress_generic_stack_routes(network.stack());
+    const hypergraph::StackImaseItoh& network, core::WorkStealingPool* pool) {
+  return compress_generic_stack_routes(network.stack(), pool);
 }
 
 }  // namespace otis::routing

@@ -38,6 +38,10 @@
 
 #include "hypergraph/stack_graph.hpp"
 
+namespace otis::core {
+class WorkStealingPool;
+}  // namespace otis::core
+
 namespace otis::hypergraph {
 class Pops;
 class StackImaseItoh;
@@ -61,9 +65,16 @@ class CompressedRoutes {
   /// representatives (O(G^2) calls). Throws core::Error when the
   /// callbacks are detectably not group-factored or break the
   /// index-preserving relay convention.
+  ///
+  /// With `pool` set the per-source-group rows are spread across its
+  /// workers; each row writes only its own pre-sized [gx*G, (gx+1)*G)
+  /// table range, so the parallel result is bit-identical to serial
+  /// (the callbacks must be const-thread-safe, which every shipped
+  /// router is -- they are pure table/arithmetic lookups).
   static CompressedRoutes compile(const hypergraph::StackGraph& network,
                                   const NextCouplerFn& next_coupler,
-                                  const RelayFn& relay_on);
+                                  const RelayFn& relay_on,
+                                  core::WorkStealingPool* pool = nullptr);
 
   /// Folds a dense table into the group-factored form, verifying every
   /// (node, dest) pair on the way -- O(N^2), for small instances and
@@ -144,21 +155,25 @@ class CompressedRoutes {
 };
 
 /// Kautz label routing on SK(s, d, k), compiled directly at group
-/// granularity (the dense table is never materialized).
+/// granularity (the dense table is never materialized). A non-null
+/// `pool` parallelizes the row loop (bit-identical output).
 [[nodiscard]] CompressedRoutes compress_stack_kautz_routes(
-    const hypergraph::StackKautz& network);
+    const hypergraph::StackKautz& network,
+    core::WorkStealingPool* pool = nullptr);
 
 /// Single-hop POPS routing, group-compiled.
 [[nodiscard]] CompressedRoutes compress_pops_routes(
-    const hypergraph::Pops& network);
+    const hypergraph::Pops& network, core::WorkStealingPool* pool = nullptr);
 
 /// Table-driven shortest-path routing for any stack-graph,
 /// group-compiled (the BFS tables are per base vertex already).
 [[nodiscard]] CompressedRoutes compress_generic_stack_routes(
-    const hypergraph::StackGraph& network);
+    const hypergraph::StackGraph& network,
+    core::WorkStealingPool* pool = nullptr);
 
 /// Shortest-path routing on SII(s, d, n), group-compiled.
 [[nodiscard]] CompressedRoutes compress_stack_imase_itoh_routes(
-    const hypergraph::StackImaseItoh& network);
+    const hypergraph::StackImaseItoh& network,
+    core::WorkStealingPool* pool = nullptr);
 
 }  // namespace otis::routing

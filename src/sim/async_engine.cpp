@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <barrier>
 #include <bit>
+#include <exception>
+#include <limits>
 #include <thread>
 #include <utility>
 
 #include "core/error.hpp"
 #include "sim/arbitration.hpp"
 #include "sim/calendar_queue.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace otis::sim {
 namespace {
@@ -206,6 +209,9 @@ RunMetrics AsyncEngineT<Routes>::run(
   core::Rng rng = core::Rng::stream(config_.seed, kRunStream);
   RunMetrics metrics;
   metrics.slots = config_.measure_slots;
+  if (resolve_latency_sketch(config_.latency_mode, nodes_)) {
+    metrics.latency.use_sketch();
+  }
   metrics.latency.reserve(
       std::min(config_.measure_slots * nodes_, kLatencyReserveCap));
 
@@ -310,7 +316,95 @@ RunMetrics AsyncEngineT<Routes>::run(
     }
   };
 
-  for (SimTime now = 0;;) {
+  // Checkpointing (sim/checkpoint.hpp): same "blob = state at the top
+  // of a slot that will execute" contract as the phased serial loop,
+  // plus the async-only state -- re-tune deadlines, the calendar's
+  // pending arrivals (re-pushed keyed: pop order is a pure function of
+  // (time, seq)) and its auto-sequence counter.
+  const std::int64_t ckpt_every = config_.checkpoint_every_slots;
+  const auto save_checkpoint = [&](SimTime next_slot) {
+    core::BlobWriter out;
+    checkpoint_write_header(out, config_, nodes_, couplers_);
+    out.put_i64(next_slot);
+    out.put_i64(inflight);
+    out.put_i64(next_packet_id);
+    out.put_rng(rng);
+    out.put_i64_vec(token_);
+    out.put_i64_vec(retune_);
+    checkpoint_put_metrics(out, metrics);
+    out.put_i64_vec(coupler_success);
+    checkpoint_put_voq(out, voq);
+    out.put_u64(propagations.pending());
+    propagations.for_each([&](const typename CalendarQueue<Arrival>::Entry&
+                                  event) {
+      out.put_i64(event.time);
+      out.put_u64(event.seq);
+      out.put_i64(event.payload.entry.id);
+      out.put_i64(event.payload.entry.destination);
+      out.put_i64(event.payload.entry.created);
+      out.put_i64(event.payload.entry.hops);
+      out.put_u64(static_cast<std::uint64_t>(event.payload.coupler));
+      out.put_u8(event.payload.measuring ? 1 : 0);
+    });
+    out.put_u64(propagations.next_seq());
+    std::vector<std::int64_t> traffic_state;
+    traffic_.checkpoint_state(traffic_state);
+    out.put_i64_vec(traffic_state);
+    checkpoint_put_telemetry(out, tel, tel_last);
+    checkpoint_store(config_.checkpoint_path, out);
+  };
+  SimTime start_slot = 0;
+  if (config_.checkpoint_resume) {
+    std::vector<std::uint8_t> blob;
+    if (checkpoint_load(config_.checkpoint_path, config_, nodes_, couplers_,
+                        blob)) {
+      core::BlobReader in(blob);
+      (void)checkpoint_read_header(in, config_, nodes_, couplers_);
+      start_slot = in.get_i64();
+      inflight = in.get_i64();
+      next_packet_id = in.get_i64();
+      rng = in.get_rng();
+      token_ = in.get_i64_vec();
+      retune_ = in.get_i64_vec();
+      checkpoint_get_metrics(in, metrics);
+      coupler_success = in.get_i64_vec();
+      checkpoint_get_voq(in, voq);
+      const std::uint64_t pending = in.get_u64();
+      for (std::uint64_t i = 0; i < pending; ++i) {
+        const SimTime time = in.get_i64();
+        const std::uint64_t seq = in.get_u64();
+        Arrival arrival;
+        arrival.entry.id = in.get_i64();
+        arrival.entry.destination = in.get_i64();
+        arrival.entry.created = in.get_i64();
+        arrival.entry.hops = static_cast<std::int32_t>(in.get_i64());
+        arrival.coupler = static_cast<hypergraph::HyperarcId>(in.get_u64());
+        arrival.measuring = in.get_u8() != 0;
+        propagations.push_keyed(time, seq, std::move(arrival));
+      }
+      propagations.set_next_seq(in.get_u64());
+      traffic_.restore_state(in.get_i64_vec());
+      tel_last = checkpoint_get_telemetry(in, tel);
+      for (std::size_t qi = 0; qi < voq.queue_count(); ++qi) {
+        if (!voq.empty(qi)) {
+          masks.mark_nonempty(feed_, qi);
+        }
+      }
+    }
+  }
+
+  for (SimTime now = start_slot;;) {
+    if (ckpt_every > 0 && now != start_slot && now % ckpt_every == 0) {
+      save_checkpoint(now);
+      if (config_.checkpoint_stop_at >= 0 &&
+          now >= config_.checkpoint_stop_at) {
+        // Drill hook: pretend the process died right after the write
+        // (no in-flight flush, no telemetry finish()).
+        metrics.backlog = inflight;
+        metrics.interrupted = true;
+        return metrics;
+      }
+    }
     const SimTime slot_tick = ticks_from_slots(now);
     const bool measuring = now >= config_.warmup_slots && now < horizon;
 
@@ -503,6 +597,9 @@ RunMetrics AsyncEngineT<Routes>::run_workload(
   std::vector<workload::WorkloadPacket> inject;
   const std::size_t capacity = static_cast<std::size_t>(config_.wavelengths);
   const Arbitration policy = config_.arbitration;
+  if (resolve_latency_sketch(config_.latency_mode, nodes_)) {
+    metrics.latency.use_sketch();
+  }
   metrics.latency.reserve(std::min(background_base, kLatencyReserveCap));
 
   // Telemetry, as in the open-loop run above (no warmup window).
@@ -775,6 +872,9 @@ RunMetrics AsyncEngineT<Routes>::run_sharded(
     shard.request.assign(req_words, 0);
     shard.backlog_snap.assign(static_cast<std::size_t>(lookahead), 0);
     shard.events_snap.assign(static_cast<std::size_t>(lookahead), 0);
+    if (resolve_latency_sketch(config_.latency_mode, nodes_)) {
+      shard.latency.use_sketch();
+    }
     shard.latency.reserve(
         std::min(config_.measure_slots * (shard.node_end - shard.node_begin),
                  kLatencyReserveCap));
@@ -818,6 +918,131 @@ RunMetrics AsyncEngineT<Routes>::run_sharded(
   std::int64_t inflight = 0;
   std::int64_t pending_total = 0;
   bool running = true;
+  bool interrupted = false;  ///< checkpoint_stop_at drill fired
+
+  // Checkpointing. Saves happen at window boundaries (the completion
+  // step, all workers blocked), at the first boundary at or past each
+  // checkpoint_every_slots multiple. As in the sharded phased engine
+  // the blob folds the per-shard counters and keeps the per-unit RNG
+  // streams, so it is thread-count independent; calendar entries carry
+  // their global (time, seq) keys, and on restore each one lands on the
+  // calendar of the shard owning its relay node (final deliveries touch
+  // only counters, so any calendar works for them -- shard 0 takes
+  // them).
+  const std::int64_t ckpt_every = config_.checkpoint_every_slots;
+  SimTime next_ckpt =
+      ckpt_every > 0 ? ckpt_every : std::numeric_limits<SimTime>::max();
+  std::exception_ptr ckpt_error;  ///< completion step is noexcept
+  const auto save_checkpoint = [&](SimTime boundary) {
+    core::BlobWriter out;
+    checkpoint_write_header(out, config_, nodes_, couplers_);
+    out.put_i64(boundary);
+    out.put_i64(inflight);
+    out.put_i64(pending_total);
+    for (const core::Rng& r : gen_rng) {
+      out.put_rng(r);
+    }
+    for (const core::Rng& r : arb_rng) {
+      out.put_rng(r);
+    }
+    out.put_i64_vec(token_);
+    out.put_i64_vec(retune_);
+    std::int64_t offered = 0, delivered = 0, dropped = 0;
+    std::int64_t transmissions = 0, collisions = 0;
+    LatencyStats latency;
+    std::uint64_t events = 0;
+    for (const Shard& shard : shards) {
+      offered += shard.offered;
+      delivered += shard.delivered;
+      dropped += shard.dropped;
+      transmissions += shard.transmissions;
+      collisions += shard.collisions;
+      latency.merge(shard.latency);
+      events += shard.calendar.pending();
+    }
+    out.put_i64(offered);
+    out.put_i64(delivered);
+    out.put_i64(dropped);
+    out.put_i64(transmissions);
+    out.put_i64(collisions);
+    latency.serialize(out);
+    out.put_i64_vec(coupler_success);
+    checkpoint_put_voq(out, voq);
+    out.put_u64(events);
+    for (const Shard& shard : shards) {
+      shard.calendar.for_each(
+          [&](const typename CalendarQueue<Arrival>::Entry& event) {
+            out.put_i64(event.time);
+            out.put_u64(event.seq);
+            out.put_i64(event.payload.entry.id);
+            out.put_i64(event.payload.entry.destination);
+            out.put_i64(event.payload.entry.created);
+            out.put_i64(event.payload.entry.hops);
+            out.put_u64(static_cast<std::uint64_t>(event.payload.coupler));
+            out.put_u8(event.payload.measuring ? 1 : 0);
+          });
+    }
+    std::vector<std::int64_t> traffic_state;
+    traffic_.checkpoint_state(traffic_state);
+    out.put_i64_vec(traffic_state);
+    checkpoint_put_telemetry(out, tel, tel_last);
+    checkpoint_store(config_.checkpoint_path, out);
+  };
+  if (config_.checkpoint_resume) {
+    std::vector<std::uint8_t> blob;
+    if (checkpoint_load(config_.checkpoint_path, config_, nodes_, couplers_,
+                        blob)) {
+      core::BlobReader in(blob);
+      (void)checkpoint_read_header(in, config_, nodes_, couplers_);
+      win_begin = in.get_i64();
+      win_end = std::min(win_begin + lookahead,
+                         win_begin < horizon ? horizon : drain_bound + 1);
+      if (ckpt_every > 0) {
+        next_ckpt = (win_begin / ckpt_every + 1) * ckpt_every;
+      }
+      inflight = in.get_i64();
+      pending_total = in.get_i64();
+      for (core::Rng& r : gen_rng) {
+        r = in.get_rng();
+      }
+      for (core::Rng& r : arb_rng) {
+        r = in.get_rng();
+      }
+      token_ = in.get_i64_vec();
+      retune_ = in.get_i64_vec();
+      Shard& s0 = shards[0];
+      s0.offered = in.get_i64();
+      s0.delivered = in.get_i64();
+      s0.dropped = in.get_i64();
+      s0.transmissions = in.get_i64();
+      s0.collisions = in.get_i64();
+      s0.latency.deserialize(in);
+      coupler_success = in.get_i64_vec();
+      checkpoint_get_voq(in, voq);
+      const std::uint64_t events = in.get_u64();
+      for (std::uint64_t i = 0; i < events; ++i) {
+        const SimTime time = in.get_i64();
+        const std::uint64_t seq = in.get_u64();
+        Arrival arrival;
+        arrival.entry.id = in.get_i64();
+        arrival.entry.destination = in.get_i64();
+        arrival.entry.created = in.get_i64();
+        arrival.entry.hops = static_cast<std::int32_t>(in.get_i64());
+        arrival.coupler = static_cast<hypergraph::HyperarcId>(in.get_u64());
+        arrival.measuring = in.get_u8() != 0;
+        const hypergraph::Node relay =
+            routes_.relay(arrival.coupler, arrival.entry.destination);
+        const std::size_t owner =
+            relay != arrival.entry.destination
+                ? static_cast<std::size_t>(
+                      plan.node_owner[static_cast<std::size_t>(relay)])
+                : 0;
+        shards[owner].calendar.push_keyed(time, seq, std::move(arrival));
+      }
+      traffic_.restore_state(in.get_i64_vec());
+      tel_last = checkpoint_get_telemetry(in, tel);
+    }
+  }
 
   const auto on_window_end = [&]() noexcept {
     // Drain the mailboxes while every worker is blocked: a worker-side
@@ -878,6 +1103,22 @@ RunMetrics AsyncEngineT<Routes>::run_sharded(
     }
     win_end = std::min(win_begin + lookahead,
                        win_begin < horizon ? horizon : drain_bound + 1);
+    // The run is definitely continuing into [win_begin, win_end): save
+    // at the first boundary at or past the next checkpoint multiple.
+    if (win_begin >= next_ckpt) {
+      try {
+        save_checkpoint(win_begin);
+        next_ckpt = (win_begin / ckpt_every + 1) * ckpt_every;
+        if (config_.checkpoint_stop_at >= 0 &&
+            win_begin >= config_.checkpoint_stop_at) {
+          interrupted = true;
+          running = false;
+        }
+      } catch (...) {
+        ckpt_error = std::current_exception();
+        running = false;
+      }
+    }
   };
   std::barrier<decltype(on_window_end)> window_barrier(threads,
                                                        on_window_end);
@@ -1092,18 +1333,26 @@ RunMetrics AsyncEngineT<Routes>::run_sharded(
     }
   }
 
+  if (ckpt_error != nullptr) {
+    std::rethrow_exception(ckpt_error);
+  }
+
   // Land everything still in flight (the last window's barrier already
   // drained every mailbox onto the calendars). A receive only counts a
   // delivery or re-enqueues at a relay's VOQ -- it never schedules a
   // new event -- so a full per-shard calendar drain empties the system.
   // Per-queue order inside each shard still follows (time, seq); the
   // cross-shard interleaving is irrelevant because a shard's flush
-  // touches only its own VOQs and counters.
-  for (int w = 0; w < threads; ++w) {
-    Shard& shard = shards[static_cast<std::size_t>(w)];
-    while (!shard.calendar.empty()) {
-      auto event = shard.calendar.pop();
-      receive(shard, event.payload, event.time);
+  // touches only its own VOQs and counters. Drill interruptions skip
+  // the flush: the checkpoint already captured those events, and the
+  // resumed run lands them.
+  if (!interrupted) {
+    for (int w = 0; w < threads; ++w) {
+      Shard& shard = shards[static_cast<std::size_t>(w)];
+      while (!shard.calendar.empty()) {
+        auto event = shard.calendar.pop();
+        receive(shard, event.payload, event.time);
+      }
     }
   }
 
@@ -1117,7 +1366,8 @@ RunMetrics AsyncEngineT<Routes>::run_sharded(
     inflight += shard.inflight_delta;
   }
   metrics.backlog = inflight;
-  if (tel != nullptr) {
+  metrics.interrupted = interrupted;
+  if (tel != nullptr && !interrupted) {
     windows.finish();
     detail::fill_metric_probes(*tel, metrics, inflight);
     obs::ProbeRegistry& reg = tel->probes();
@@ -1192,6 +1442,9 @@ RunMetrics AsyncEngineT<Routes>::run_workload_sharded(
     shard.node_end = plan.node_cut[static_cast<std::size_t>(w) + 1];
     shard.outbox.resize(static_cast<std::size_t>(threads));
     shard.request.assign(req_words, 0);
+    if (resolve_latency_sketch(config_.latency_mode, nodes_)) {
+      shard.latency.use_sketch();
+    }
     shard.latency.reserve(
         std::min(load.packet_count() / threads + 1, kLatencyReserveCap));
     for (std::int64_t qi =

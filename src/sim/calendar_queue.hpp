@@ -169,6 +169,27 @@ class CalendarQueue {
     return result;
   }
 
+  /// Visits every pending entry in unspecified order (checkpoint
+  /// serialization: pop order is a pure function of (time, seq), so
+  /// re-pushing the visited entries with push_keyed reproduces the
+  /// queue's behaviour exactly, whatever order they are visited in).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+      for (std::size_t i = 0; i < counts_[b]; ++i) {
+        fn(slab_[b * kSlots + i]);
+      }
+    }
+    for (const Entry& entry : overflow_) {
+      fn(entry);
+    }
+  }
+
+  /// Auto-sequence counter state, for checkpointing queues that use the
+  /// plain push() path.
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+  void set_next_seq(std::uint64_t seq) noexcept { next_seq_ = seq; }
+
  private:
   /// Fixed entry slots per bucket in the slab. The rescale rule keeps
   /// steady-state occupancy near kTargetOccupancy, so a Poisson day

@@ -49,6 +49,18 @@ const char* route_table_name(RouteTable table) {
   return "?";
 }
 
+const char* latency_mode_name(LatencyMode mode) {
+  switch (mode) {
+    case LatencyMode::kFull:
+      return "full";
+    case LatencyMode::kSketch:
+      return "sketch";
+    case LatencyMode::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
 void OpsNetworkSim::validate_config() const {
   OTIS_REQUIRE(config_.wavelengths >= 1,
                "OpsNetworkSim: wavelengths must be >= 1");
@@ -87,6 +99,27 @@ void OpsNetworkSim::validate_config() const {
                    config_.engine != Engine::kEventQueue,
                "OpsNetworkSim: telemetry is implemented by the "
                "phased/sharded/async engines only");
+  OTIS_REQUIRE(config_.checkpoint_every_slots >= 0,
+               "OpsNetworkSim: checkpoint_every_slots must be >= 0");
+  if (config_.checkpoint_every_slots > 0 || config_.checkpoint_resume ||
+      config_.checkpoint_stop_at >= 0) {
+    OTIS_REQUIRE(!config_.checkpoint_path.empty(),
+                 "OpsNetworkSim: checkpointing requires checkpoint_path");
+    OTIS_REQUIRE(config_.engine != Engine::kEventQueue,
+                 "OpsNetworkSim: checkpointing is implemented by the "
+                 "phased/sharded/async engines only");
+    OTIS_REQUIRE(config_.workload == nullptr,
+                 "OpsNetworkSim: checkpointing covers open-loop runs only "
+                 "(workload completion state is not serialized)");
+    OTIS_REQUIRE(config_.recorder == nullptr,
+                 "OpsNetworkSim: checkpointing cannot restore a partially "
+                 "written trace recording");
+    OTIS_REQUIRE(config_.telemetry == nullptr ||
+                     config_.telemetry->trace_sink() == nullptr,
+                 "OpsNetworkSim: checkpointing excludes Chrome-trace spans "
+                 "(wall-clock timestamps cannot be resumed); timeseries "
+                 "sampling is supported");
+  }
 }
 
 OpsNetworkSim::OpsNetworkSim(const hypergraph::StackGraph& network,

@@ -44,6 +44,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -176,6 +177,36 @@ inline constexpr std::int64_t kAutoRouteTableNodes = 2048;
   return table;
 }
 
+/// How per-packet latency samples are stored (see LatencyStats). Both
+/// modes report identical count/sum/mean/min/max; percentiles from the
+/// sketch carry a bounded relative error (<= LatencyStats::
+/// kSketchRelativeError) instead of being exact.
+enum class LatencyMode {
+  kFull,    ///< every sample retained; exact percentiles; O(delivered) memory
+  kSketch,  ///< log-spaced bucket sketch; O(1) memory per cell
+  kAuto,    ///< sketch at/above kAutoLatencySketchNodes nodes, else full
+};
+
+[[nodiscard]] const char* latency_mode_name(LatencyMode mode);
+
+/// Node count at which LatencyMode::kAuto flips from full samples to the
+/// sketch. Below it a measured window's samples are a few MB at most and
+/// exact percentiles are worth keeping (and existing outputs stay
+/// byte-identical); above it sample storage scales with delivered
+/// packets -- hundreds of MB per cell at N ~ 10^5 -- while the sketch
+/// stays at a fixed ~15 KiB.
+inline constexpr std::int64_t kAutoLatencySketchNodes = 32768;
+
+/// True when `mode` resolved against a concrete node count selects the
+/// sketch representation (mirrors resolve_route_table).
+[[nodiscard]] constexpr bool resolve_latency_sketch(
+    LatencyMode mode, std::int64_t nodes) noexcept {
+  if (mode == LatencyMode::kAuto) {
+    return nodes >= kAutoLatencySketchNodes;
+  }
+  return mode == LatencyMode::kSketch;
+}
+
 /// Wall-time attribution of the slot loop's three phases, filled by the
 /// serial phased engine when SimConfig::phase_breakdown points at one
 /// (micro_benchmarks --phase-breakdown). Other engines ignore it -- the
@@ -236,6 +267,28 @@ struct SimConfig {
   /// accepts every router kDense does; only an explicit kCompressed
   /// requires factoredness (and throws otherwise).
   RouteTable route_table = RouteTable::kAuto;
+  /// Latency-sample representation (LatencyStats full samples vs the
+  /// log-bucket sketch). kAuto flips to the sketch at
+  /// kAutoLatencySketchNodes so small runs keep exact percentiles and
+  /// byte-identical outputs while N ~ 10^5+ cells stop scaling memory
+  /// with delivered-packet count. Never changes which packets are
+  /// simulated -- only how their latencies are aggregated.
+  LatencyMode latency_mode = LatencyMode::kAuto;
+  /// Intra-run checkpointing (sim/checkpoint.hpp): when
+  /// checkpoint_every_slots > 0 the engine serializes its full state to
+  /// checkpoint_path every that-many slots (atomic tmp+rename), and with
+  /// checkpoint_resume set it restores from an existing compatible blob
+  /// before running -- the resumed run is bit-identical to an
+  /// uninterrupted one. Open-loop runs on the phased/sharded/async/
+  /// async-sharded engines only (no workload, no trace sink).
+  std::int64_t checkpoint_every_slots = 0;
+  std::string checkpoint_path;
+  bool checkpoint_resume = false;
+  /// Test/drill hook: when >= 0, the run stops right after writing the
+  /// first checkpoint at a boundary slot >= this value (simulating an
+  /// interruption); the returned metrics are the partial window and the
+  /// blob on disk is the handoff to a checkpoint_resume run.
+  std::int64_t checkpoint_stop_at = -1;
   /// Sub-slot timing (tuning latencies, propagation skew, guard bands;
   /// timing_model.hpp). Non-slot-aligned configs require Engine::kAsync
   /// or Engine::kAsyncSharded -- the slotted engines cannot honour them

@@ -4,11 +4,13 @@
 #include <barrier>
 #include <bit>
 #include <chrono>
+#include <exception>
 #include <thread>
 #include <utility>
 
 #include "core/error.hpp"
 #include "sim/arbitration.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace otis::sim {
 namespace {
@@ -91,6 +93,9 @@ RunMetrics PhasedEngineT<Routes>::run_serial(
   core::Rng rng = core::Rng::stream(config_.seed, kRunStream);
   RunMetrics metrics;
   metrics.slots = config_.measure_slots;
+  if (resolve_latency_sketch(config_.latency_mode, nodes_)) {
+    metrics.latency.use_sketch();
+  }
   metrics.latency.reserve(
       std::min(config_.measure_slots * nodes_, kLatencyReserveCap));
 
@@ -163,7 +168,67 @@ RunMetrics PhasedEngineT<Routes>::run_serial(
     }
   };
 
-  for (SimTime now = 0;;) {
+  // Checkpointing (sim/checkpoint.hpp). A blob written at the top of
+  // slot S is "everything needed to run slots S.. onward": the resumed
+  // run replays the identical remainder, so restored results are
+  // bit-identical to an uninterrupted run's. Saves only happen at the
+  // top of a slot the run is definitely going to execute, so a resume
+  // never runs a slot the uninterrupted run skipped.
+  const std::int64_t ckpt_every = config_.checkpoint_every_slots;
+  const auto save_checkpoint = [&](SimTime next_slot) {
+    core::BlobWriter out;
+    checkpoint_write_header(out, config_, nodes_, couplers_);
+    out.put_i64(next_slot);
+    out.put_i64(inflight);
+    out.put_i64(next_packet_id);
+    out.put_rng(rng);
+    out.put_i64_vec(token_);
+    checkpoint_put_metrics(out, metrics);
+    out.put_i64_vec(coupler_success);
+    checkpoint_put_voq(out, voq);
+    std::vector<std::int64_t> traffic_state;
+    traffic_.checkpoint_state(traffic_state);
+    out.put_i64_vec(traffic_state);
+    checkpoint_put_telemetry(out, tel, tel_last);
+    checkpoint_store(config_.checkpoint_path, out);
+  };
+  SimTime start_slot = 0;
+  if (config_.checkpoint_resume) {
+    std::vector<std::uint8_t> blob;
+    if (checkpoint_load(config_.checkpoint_path, config_, nodes_, couplers_,
+                        blob)) {
+      core::BlobReader in(blob);
+      (void)checkpoint_read_header(in, config_, nodes_, couplers_);
+      start_slot = in.get_i64();
+      inflight = in.get_i64();
+      next_packet_id = in.get_i64();
+      rng = in.get_rng();
+      token_ = in.get_i64_vec();
+      checkpoint_get_metrics(in, metrics);
+      coupler_success = in.get_i64_vec();
+      checkpoint_get_voq(in, voq);
+      traffic_.restore_state(in.get_i64_vec());
+      tel_last = checkpoint_get_telemetry(in, tel);
+      for (std::size_t qi = 0; qi < voq.queue_count(); ++qi) {
+        if (!voq.empty(qi)) {
+          masks.mark_nonempty(feed_, qi);
+        }
+      }
+    }
+  }
+
+  for (SimTime now = start_slot;;) {
+    if (ckpt_every > 0 && now != start_slot && now % ckpt_every == 0) {
+      save_checkpoint(now);
+      if (config_.checkpoint_stop_at >= 0 &&
+          now >= config_.checkpoint_stop_at) {
+        // Drill hook: pretend the process died right after the write.
+        // No telemetry finish() -- the resumed run continues the stream.
+        metrics.backlog = inflight;
+        metrics.interrupted = true;
+        return metrics;
+      }
+    }
     const bool measuring = now >= config_.warmup_slots && now < horizon;
     if (breakdown != nullptr) {
       t0 = Clock::now();
@@ -350,6 +415,8 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
     std::vector<std::size_t> winners, scratch;
     std::vector<std::uint64_t> request;  ///< local per-coupler rebuild
   };
+  const bool latency_sketch =
+      resolve_latency_sketch(config_.latency_mode, nodes_);
   std::vector<Shard> shards(static_cast<std::size_t>(threads));
   for (int w = 0; w < threads; ++w) {
     auto [nb, ne] = partition(nodes_, w, threads);
@@ -360,6 +427,9 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
     shard.coupler_begin = cb;
     shard.coupler_end = ce;
     shard.request.assign(req_words, 0);
+    if (latency_sketch) {
+      shard.latency.use_sketch();
+    }
     shard.latency.reserve(
         std::min(config_.measure_slots * (ne - nb), kLatencyReserveCap));
     // Every queue of the shard's nodes pushes from this shard only (its
@@ -401,6 +471,85 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
   SimTime now = 0;
   std::int64_t inflight = 0;
   bool running = true;
+  bool interrupted = false;  ///< checkpoint_stop_at drill fired
+
+  // Checkpointing. The blob holds the fold of the per-shard counters and
+  // the per-unit RNG streams, never the partition itself, so it is
+  // thread-count independent: a run checkpointed with 2 workers resumes
+  // bit-identically with 8 (the engine's usual invariance). Saves happen
+  // in the completion step -- every worker is blocked, so the shared
+  // state is quiescent.
+  const std::int64_t ckpt_every = config_.checkpoint_every_slots;
+  SimTime start_slot = 0;
+  std::exception_ptr ckpt_error;  ///< completion step is noexcept
+  const auto save_checkpoint = [&](SimTime next_slot) {
+    core::BlobWriter out;
+    checkpoint_write_header(out, config_, nodes_, couplers_);
+    out.put_i64(next_slot);
+    out.put_i64(inflight);
+    for (const core::Rng& r : gen_rng) {
+      out.put_rng(r);
+    }
+    for (const core::Rng& r : arb_rng) {
+      out.put_rng(r);
+    }
+    out.put_i64_vec(token_);
+    std::int64_t offered = 0, delivered = 0, dropped = 0;
+    std::int64_t transmissions = 0, collisions = 0;
+    LatencyStats latency;
+    for (const Shard& shard : shards) {
+      offered += shard.offered;
+      delivered += shard.delivered;
+      dropped += shard.dropped;
+      transmissions += shard.transmissions;
+      collisions += shard.collisions;
+      latency.merge(shard.latency);
+    }
+    out.put_i64(offered);
+    out.put_i64(delivered);
+    out.put_i64(dropped);
+    out.put_i64(transmissions);
+    out.put_i64(collisions);
+    latency.serialize(out);
+    out.put_i64_vec(coupler_success);
+    checkpoint_put_voq(out, voq);
+    std::vector<std::int64_t> traffic_state;
+    traffic_.checkpoint_state(traffic_state);
+    out.put_i64_vec(traffic_state);
+    checkpoint_put_telemetry(out, tel, tel_last);
+    checkpoint_store(config_.checkpoint_path, out);
+  };
+  if (config_.checkpoint_resume) {
+    std::vector<std::uint8_t> blob;
+    if (checkpoint_load(config_.checkpoint_path, config_, nodes_, couplers_,
+                        blob)) {
+      core::BlobReader in(blob);
+      (void)checkpoint_read_header(in, config_, nodes_, couplers_);
+      start_slot = in.get_i64();
+      now = start_slot;
+      inflight = in.get_i64();
+      for (core::Rng& r : gen_rng) {
+        r = in.get_rng();
+      }
+      for (core::Rng& r : arb_rng) {
+        r = in.get_rng();
+      }
+      token_ = in.get_i64_vec();
+      // The folded counters land in shard 0; the final fold is an
+      // order-independent sum/merge, so the split is irrelevant.
+      Shard& s0 = shards[0];
+      s0.offered = in.get_i64();
+      s0.delivered = in.get_i64();
+      s0.dropped = in.get_i64();
+      s0.transmissions = in.get_i64();
+      s0.collisions = in.get_i64();
+      s0.latency.deserialize(in);
+      coupler_success = in.get_i64_vec();
+      checkpoint_get_voq(in, voq);
+      traffic_.restore_state(in.get_i64_vec());
+      tel_last = checkpoint_get_telemetry(in, tel);
+    }
+  }
 
   const auto on_slot_end = [&]() noexcept {
     for (Shard& shard : shards) {
@@ -430,6 +579,23 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
     ++now;
     if (now > drain_bound) {
       running = false;
+      return;
+    }
+    // The run is definitely continuing into slot `now`: boundary save
+    // (same "blob = state at the top of a slot that will execute"
+    // contract as the serial loop).
+    if (ckpt_every > 0 && now % ckpt_every == 0) {
+      try {
+        save_checkpoint(now);
+        if (config_.checkpoint_stop_at >= 0 &&
+            now >= config_.checkpoint_stop_at) {
+          interrupted = true;
+          running = false;
+        }
+      } catch (...) {
+        ckpt_error = std::current_exception();
+        running = false;
+      }
     }
   };
   std::barrier<> phase_barrier(threads);
@@ -597,6 +763,10 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
     }
   }
 
+  if (ckpt_error != nullptr) {
+    std::rethrow_exception(ckpt_error);
+  }
+
   RunMetrics metrics;
   metrics.slots = config_.measure_slots;
   for (Shard& shard : shards) {
@@ -608,7 +778,10 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
     metrics.latency.merge(shard.latency);
   }
   metrics.backlog = inflight;
-  if (tel != nullptr) {
+  metrics.interrupted = interrupted;
+  // Drill interruptions skip finish(): the process "died", and the
+  // resumed run continues the telemetry stream where this one stopped.
+  if (tel != nullptr && !interrupted) {
     windows.finish();
     detail::fill_metric_probes(*tel, metrics, inflight);
     obs::ProbeRegistry& reg = tel->probes();
@@ -655,6 +828,9 @@ RunMetrics PhasedEngineT<Routes>::run_workload_serial(
   std::vector<std::int64_t> delivered_ids;
   const std::size_t capacity = static_cast<std::size_t>(config_.wavelengths);
   const Arbitration policy = config_.arbitration;
+  if (resolve_latency_sketch(config_.latency_mode, nodes_)) {
+    metrics.latency.use_sketch();
+  }
   metrics.latency.reserve(std::min(background_base, kLatencyReserveCap));
 
   // Telemetry mirrors run_serial: one pointer test per slot when
@@ -861,6 +1037,9 @@ RunMetrics PhasedEngineT<Routes>::run_workload_sharded(
     shard.coupler_begin = cb;
     shard.coupler_end = ce;
     shard.request.assign(req_words, 0);
+    if (resolve_latency_sketch(config_.latency_mode, nodes_)) {
+      shard.latency.use_sketch();
+    }
     shard.latency.reserve(std::min(
         load.packet_count() / threads + 1, kLatencyReserveCap));
     for (std::int64_t qi = voq_base_[static_cast<std::size_t>(nb)];

@@ -368,6 +368,18 @@ std::size_t BurstyTraffic::demand_batch_senders_streams(
   return senders_streams(*this, node_begin, node_end, rngs, out);
 }
 
+void BurstyTraffic::checkpoint_state(std::vector<std::int64_t>& out) const {
+  out.assign(on_.begin(), on_.end());
+}
+
+void BurstyTraffic::restore_state(const std::vector<std::int64_t>& state) {
+  OTIS_REQUIRE(state.size() == on_.size(),
+               "BurstyTraffic: checkpoint state size mismatch");
+  for (std::size_t i = 0; i < on_.size(); ++i) {
+    on_[i] = static_cast<char>(state[i]);
+  }
+}
+
 SaturationTraffic::SaturationTraffic(std::int64_t nodes) : nodes_(nodes) {
   OTIS_REQUIRE(nodes >= 1, "SaturationTraffic: need at least one node");
 }

@@ -77,6 +77,16 @@ class TrafficGenerator {
   /// True for saturation-style generators that always have a packet
   /// ready (used to measure saturation throughput).
   [[nodiscard]] virtual bool is_saturating() const { return false; }
+
+  /// Checkpoint hooks: a generator with cross-slot state (BurstyTraffic's
+  /// per-node burst flags) exports it as integers so engine checkpoints
+  /// can restore it mid-run; stateless generators keep these no-ops.
+  virtual void checkpoint_state(std::vector<std::int64_t>& out) const {
+    out.clear();
+  }
+  virtual void restore_state(const std::vector<std::int64_t>& state) {
+    (void)state;
+  }
 };
 
 /// Bernoulli(load) arrivals, destination uniform over the other nodes.
@@ -180,6 +190,9 @@ class BurstyTraffic final : public TrafficGenerator {
 
   /// Long-run average load: peak_load * P(on).
   [[nodiscard]] double mean_load() const;
+
+  void checkpoint_state(std::vector<std::int64_t>& out) const override;
+  void restore_state(const std::vector<std::int64_t>& state) override;
 
  private:
   std::int64_t nodes_;

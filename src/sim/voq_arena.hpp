@@ -136,6 +136,27 @@ class VoqArenaT {
     return e;
   }
 
+  /// Visits queue `q`'s entries head to tail (checkpoint serialization:
+  /// re-pushing the visited sequence into a fresh arena reproduces the
+  /// queue's logical FIFO state exactly, whatever the segment layout).
+  template <typename Fn>
+  void for_each_entry(std::size_t q, Fn&& fn) const {
+    const Header& ref = queues_[q];
+    const Pool& pool = pools_[ref.pool];
+    for (std::uint32_t i = 0; i < ref.len; ++i) {
+      const std::size_t at = ref.base + ((ref.head + i) & (ref.cap - 1));
+      Entry e;
+      e.id = pool.id[at];
+      e.destination = pool.destination[at];
+      e.created = pool.created[at];
+      e.hops = pool.hops[at];
+      if constexpr (Timed) {
+        e.ready = pool.ready[at];
+      }
+      fn(e);
+    }
+  }
+
  private:
   /// Per-queue metadata, packed so every queue operation touches one
   /// header cache line (three headers per 64-byte line).

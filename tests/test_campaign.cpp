@@ -130,7 +130,9 @@ TEST(CampaignSpecJson, ParsesFullSchema) {
     "measure_slots": 200,
     "queue_capacity": 16,
     "engine": "sharded",
-    "engine_threads": 2
+    "engine_threads": 2,
+    "latency_stats": "sketch",
+    "checkpoint_every": 500
   })";
   const CampaignSpec spec = campaign::parse_campaign_spec(json);
   EXPECT_EQ(spec.name, "parse-test");
@@ -149,6 +151,8 @@ TEST(CampaignSpecJson, ParsesFullSchema) {
   EXPECT_EQ(spec.queue_capacity, 16);
   EXPECT_EQ(spec.engine, sim::Engine::kSharded);
   EXPECT_EQ(spec.engine_threads, 2);
+  EXPECT_EQ(spec.latency_stats, sim::LatencyMode::kSketch);
+  EXPECT_EQ(spec.checkpoint_every, 500);
   EXPECT_EQ(spec.cell_count(), 3 * 3 * 1 * 2 * 2);
 }
 
@@ -1053,6 +1057,96 @@ TEST(CampaignWorkloadTest, WorkloadCellsAreThreadCountInvariant) {
       EXPECT_EQ(reference, jsonl);
     }
   }
+}
+
+TEST(CampaignRunnerTest, CheckpointDrillThenResumeIsByteIdentical) {
+  // The crash drill: a --checkpoint-stop run interrupts every open-loop
+  // cell mid-window (blobs on disk, nothing in the result files), and a
+  // --resume run finishes them from the blobs. The resumed directory's
+  // results must match an uninterrupted run's byte for byte, and the
+  // per-cell blobs must be gone once their cells complete.
+  CampaignSpec spec;
+  spec.name = "drill";
+  spec.topologies = {TopologySpec::stack_kautz(4, 3, 2)};
+  spec.loads = {0.3, 0.7};
+  spec.seeds = {1, 2};
+  spec.warmup_slots = 10;
+  spec.measure_slots = 120;
+  spec.checkpoint_every = 30;
+
+  ScratchDir uninterrupted("ckpt-full");
+  {
+    CampaignOptions options;
+    options.threads = 2;
+    options.out_dir = uninterrupted.path().string();
+    CampaignRunner runner(spec);
+    const campaign::CampaignReport report = runner.run(options);
+    EXPECT_EQ(report.completed_cells, 4);
+    EXPECT_EQ(report.interrupted_cells, 0);
+    // Completed cells clean up their blobs.
+    EXPECT_TRUE(std::filesystem::is_empty(uninterrupted.path() /
+                                          "checkpoints"));
+  }
+
+  ScratchDir drilled("ckpt-drill");
+  {
+    CampaignOptions options;
+    options.threads = 2;
+    options.out_dir = drilled.path().string();
+    options.checkpoint_stop = 50;  // dies at the slot-60 boundary
+    CampaignRunner runner(spec);
+    const campaign::CampaignReport report = runner.run(options);
+    EXPECT_EQ(report.interrupted_cells, 4);
+    EXPECT_EQ(report.completed_cells, 0);
+    std::size_t blobs = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(
+             drilled.path() / "checkpoints")) {
+      blobs += entry.is_regular_file() ? 1 : 0;
+    }
+    EXPECT_EQ(blobs, 4u);
+    // Interrupted cells reach no sink and no manifest line.
+    EXPECT_EQ(read_file(drilled.path() / CampaignRunner::kJsonlFile), "");
+    EXPECT_EQ(read_file(drilled.path() / CampaignRunner::kManifestFile), "");
+  }
+  {
+    CampaignOptions options;
+    options.threads = 2;
+    options.out_dir = drilled.path().string();
+    options.resume = true;
+    CampaignRunner runner(spec);
+    const campaign::CampaignReport report = runner.run(options);
+    EXPECT_EQ(report.completed_cells, 4);
+    EXPECT_EQ(report.interrupted_cells, 0);
+  }
+  EXPECT_EQ(read_file(drilled.path() / CampaignRunner::kJsonlFile),
+            read_file(uninterrupted.path() / CampaignRunner::kJsonlFile));
+  EXPECT_EQ(read_file(drilled.path() / CampaignRunner::kCsvFile),
+            read_file(uninterrupted.path() / CampaignRunner::kCsvFile));
+  EXPECT_EQ(read_file(drilled.path() / CampaignRunner::kManifestFile),
+            read_file(uninterrupted.path() / CampaignRunner::kManifestFile));
+  EXPECT_TRUE(std::filesystem::is_empty(drilled.path() / "checkpoints"));
+}
+
+TEST(CampaignRunnerTest, SketchLatencyModeRunsTheGrid) {
+  // latency_stats: "sketch" flips every cell to the O(1)-memory sketch;
+  // the grid still runs end to end and reports plausible percentiles.
+  CampaignSpec spec;
+  spec.name = "sketch";
+  spec.topologies = {TopologySpec::stack_kautz(4, 3, 2)};
+  spec.loads = {0.5};
+  spec.seeds = {1};
+  spec.warmup_slots = 10;
+  spec.measure_slots = 60;
+  spec.latency_stats = sim::LatencyMode::kSketch;
+
+  ScratchDir dir("sketch");
+  CampaignOptions options;
+  options.out_dir = dir.path().string();
+  CampaignRunner runner(spec);
+  const campaign::CampaignReport report = runner.run(options);
+  EXPECT_EQ(report.completed_cells, 1);
+  const std::string jsonl = read_file(dir.path() / CampaignRunner::kJsonlFile);
+  EXPECT_NE(jsonl.find("\"p95_latency\""), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,247 @@
+// The O(1)-memory latency sketch (LatencyStats::use_sketch):
+//  - count, mean (exact integer sum), min-clamped and max statistics
+//    match full-sample mode exactly;
+//  - percentiles answer within the documented kSketchRelativeError
+//    (1/32) relative bound and never overshoot the exact value;
+//  - values below 2^kSketchSubBits land in exact unit buckets;
+//  - use_sketch() folds already-recorded samples and is idempotent;
+//  - merge() stays an order-independent fold in sketch mode and
+//    promotes the destination on mixed-mode merges;
+//  - serialize()/deserialize() round-trips both representations;
+//  - LatencyMode::kAuto resolves to the sketch exactly at the
+//    kAutoLatencySketchNodes threshold.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/blob.hpp"
+#include "sim/metrics.hpp"
+#include "sim/ops_network.hpp"
+
+namespace otis {
+namespace {
+
+using sim::LatencyStats;
+
+/// Deterministic 64-bit mix (splitmix64) -- no external RNG state, so
+/// the sample sets below are stable across platforms and reruns.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// A latency-shaped sample set: mostly small values with a heavy tail
+/// spanning several octaves, like queueing delays under load.
+std::vector<std::int64_t> tailed_samples(std::size_t n,
+                                         std::uint64_t seed = 1) {
+  std::vector<std::int64_t> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t r = mix(seed + i);
+    const int octaves = static_cast<int>(r % 21);  // 0..20 -> up to ~2M
+    values.push_back(
+        static_cast<std::int64_t>(mix(r) % (std::uint64_t{1} << octaves)));
+  }
+  return values;
+}
+
+void record_all(LatencyStats& stats, const std::vector<std::int64_t>& values) {
+  for (const std::int64_t v : values) {
+    stats.record(v);
+  }
+}
+
+constexpr double kQuantiles[] = {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0};
+
+/// The documented contract: a sketch percentile is never above the
+/// exact one and within kSketchRelativeError of it (plus one slot of
+/// integer-floor slack).
+void expect_percentiles_within_bound(const LatencyStats& exact,
+                                     const LatencyStats& sketch) {
+  ASSERT_EQ(sketch.count(), exact.count());
+  EXPECT_DOUBLE_EQ(sketch.mean(), exact.mean());
+  EXPECT_EQ(sketch.max(), exact.max());
+  for (const double q : kQuantiles) {
+    SCOPED_TRACE(q);
+    const std::int64_t p_exact = exact.percentile(q);
+    const std::int64_t p_sketch = sketch.percentile(q);
+    EXPECT_LE(p_sketch, p_exact);
+    EXPECT_GE(static_cast<double>(p_sketch),
+              (1.0 - LatencyStats::kSketchRelativeError) *
+                      static_cast<double>(p_exact) -
+                  1.0);
+  }
+}
+
+TEST(LatencySketch, SmallValuesAreExact) {
+  // Everything below 2^kSketchSubBits has its own unit bucket: the
+  // sketch is not approximate at all there.
+  LatencyStats exact;
+  LatencyStats sketch;
+  sketch.use_sketch();
+  for (std::int64_t v = 0; v < (std::int64_t{1} << LatencyStats::kSketchSubBits);
+       ++v) {
+    for (std::int64_t rep = 0; rep <= v % 3; ++rep) {
+      exact.record(v);
+      sketch.record(v);
+    }
+  }
+  ASSERT_EQ(sketch.count(), exact.count());
+  for (const double q : kQuantiles) {
+    EXPECT_EQ(sketch.percentile(q), exact.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencySketch, PercentilesWithinRelativeErrorBound) {
+  const std::vector<std::int64_t> values = tailed_samples(20000);
+  LatencyStats exact;
+  LatencyStats sketch;
+  sketch.use_sketch();
+  record_all(exact, values);
+  record_all(sketch, values);
+  EXPECT_FALSE(exact.sketch());
+  EXPECT_TRUE(sketch.sketch());
+  expect_percentiles_within_bound(exact, sketch);
+}
+
+TEST(LatencySketch, UseSketchFoldsExistingSamplesAndIsIdempotent) {
+  const std::vector<std::int64_t> values = tailed_samples(5000, 7);
+  LatencyStats exact;
+  record_all(exact, values);
+
+  LatencyStats folded;
+  record_all(folded, values);  // recorded in full mode first
+  folded.use_sketch();
+  folded.use_sketch();  // idempotent
+  EXPECT_TRUE(folded.sketch());
+  expect_percentiles_within_bound(exact, folded);
+
+  // Folding then recording must equal recording in sketch mode all
+  // along (the buckets do not care when the switch happened).
+  LatencyStats native;
+  native.use_sketch();
+  record_all(native, values);
+  for (const double q : kQuantiles) {
+    EXPECT_EQ(folded.percentile(q), native.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencySketch, MergeIsOrderIndependent) {
+  const std::vector<std::int64_t> a_values = tailed_samples(3000, 11);
+  const std::vector<std::int64_t> b_values = tailed_samples(3000, 13);
+  const std::vector<std::int64_t> c_values = tailed_samples(3000, 17);
+  auto make = [](const std::vector<std::int64_t>& values) {
+    LatencyStats s;
+    s.use_sketch();
+    record_all(s, values);
+    return s;
+  };
+  LatencyStats abc = make(a_values);
+  abc.merge(make(b_values));
+  abc.merge(make(c_values));
+  LatencyStats cba = make(c_values);
+  cba.merge(make(b_values));
+  cba.merge(make(a_values));
+  ASSERT_EQ(abc.count(), cba.count());
+  EXPECT_DOUBLE_EQ(abc.mean(), cba.mean());
+  EXPECT_EQ(abc.max(), cba.max());
+  for (const double q : kQuantiles) {
+    EXPECT_EQ(abc.percentile(q), cba.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencySketch, MixedModeMergePromotesToSketch) {
+  const std::vector<std::int64_t> a_values = tailed_samples(4000, 19);
+  const std::vector<std::int64_t> b_values = tailed_samples(4000, 23);
+  LatencyStats exact;
+  record_all(exact, a_values);
+  record_all(exact, b_values);
+
+  // Full destination, sketch source: the destination promotes first.
+  LatencyStats full_dst;
+  record_all(full_dst, a_values);
+  LatencyStats sketch_src;
+  sketch_src.use_sketch();
+  record_all(sketch_src, b_values);
+  full_dst.merge(sketch_src);
+  EXPECT_TRUE(full_dst.sketch());
+  expect_percentiles_within_bound(exact, full_dst);
+
+  // Sketch destination, full source: samples fold into the buckets.
+  LatencyStats sketch_dst;
+  sketch_dst.use_sketch();
+  record_all(sketch_dst, a_values);
+  LatencyStats full_src;
+  record_all(full_src, b_values);
+  sketch_dst.merge(full_src);
+  EXPECT_TRUE(sketch_dst.sketch());
+  for (const double q : kQuantiles) {
+    EXPECT_EQ(sketch_dst.percentile(q), full_dst.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencySketch, SerializeRoundTripsBothModes) {
+  const std::vector<std::int64_t> values = tailed_samples(2500, 29);
+  for (const bool sketch_mode : {false, true}) {
+    SCOPED_TRACE(sketch_mode ? "sketch" : "full");
+    LatencyStats original;
+    if (sketch_mode) {
+      original.use_sketch();
+    }
+    record_all(original, values);
+
+    core::BlobWriter out;
+    original.serialize(out);
+    core::BlobReader in(out.bytes());
+    LatencyStats restored;
+    restored.deserialize(in);
+    EXPECT_TRUE(in.at_end());
+
+    EXPECT_EQ(restored.sketch(), sketch_mode);
+    ASSERT_EQ(restored.count(), original.count());
+    EXPECT_DOUBLE_EQ(restored.mean(), original.mean());
+    EXPECT_EQ(restored.max(), original.max());
+    for (const double q : kQuantiles) {
+      EXPECT_EQ(restored.percentile(q), original.percentile(q)) << "q=" << q;
+    }
+
+    // The restored object keeps recording correctly.
+    restored.record(12345);
+    EXPECT_EQ(restored.count(), original.count() + 1);
+  }
+}
+
+TEST(LatencySketch, ReserveIsANoOpInSketchMode) {
+  LatencyStats stats;
+  stats.use_sketch();
+  stats.reserve(std::int64_t{1} << 40);  // must not try to allocate 8 TiB
+  stats.record(3);
+  EXPECT_EQ(stats.count(), 1);
+}
+
+TEST(LatencySketch, EmptyStatsAnswerZero) {
+  LatencyStats sketch;
+  sketch.use_sketch();
+  EXPECT_EQ(sketch.count(), 0);
+  EXPECT_DOUBLE_EQ(sketch.mean(), 0.0);
+  EXPECT_EQ(sketch.max(), 0);
+  EXPECT_EQ(sketch.percentile(0.5), 0);
+}
+
+TEST(LatencySketch, AutoModeFlipsAtTheNodeThreshold) {
+  using sim::LatencyMode;
+  EXPECT_FALSE(sim::resolve_latency_sketch(LatencyMode::kAuto,
+                                           sim::kAutoLatencySketchNodes - 1));
+  EXPECT_TRUE(sim::resolve_latency_sketch(LatencyMode::kAuto,
+                                          sim::kAutoLatencySketchNodes));
+  EXPECT_TRUE(sim::resolve_latency_sketch(LatencyMode::kSketch, 2));
+  EXPECT_FALSE(sim::resolve_latency_sketch(LatencyMode::kFull,
+                                           std::int64_t{1} << 40));
+}
+
+}  // namespace
+}  // namespace otis
