@@ -101,7 +101,11 @@ void print_usage(std::ostream& os) {
      << "             manifest.txt to refold the full grid (composes with\n"
      << "             --resume)\n"
      << "  --progress heartbeat on stderr every ~2 s: cells done/total,\n"
-     << "             rate, ETA and busy workers\n"
+     << "             rate, ETA (over this invocation's cells only, so\n"
+     << "             --resume shows the true remaining time) and busy\n"
+     << "             workers; with the spec's telemetry runtime_stats\n"
+     << "             sink set, adds the running barrier-stall share and\n"
+     << "             a per-cell stall-attribution line\n"
      << "  --checkpoint-stop SLOT  drill (tests/CI): with the spec's\n"
      << "             checkpoint_every set, stop every cell right after\n"
      << "             its first checkpoint at a boundary >= SLOT, as if\n"
@@ -314,7 +318,11 @@ int main(int argc, char** argv) {
     }
     std::cout << "), "
               << report.topologies_compiled
-              << " routing tables compiled, "
+              << " routing tables compiled, ";
+    if (report.runtime_rows > 0) {
+      std::cout << report.runtime_rows << " runtime rows, ";
+    }
+    std::cout
               << otis::core::format_double(report.elapsed_seconds, 2)
               << " s";
     if (report.elapsed_seconds > 0.0 && report.completed_cells > 0) {

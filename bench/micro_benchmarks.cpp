@@ -19,7 +19,10 @@
 // event-queue slots/sec on SK(4,3,2), calendar >= 3x priority-queue
 // event rate at 10^6 pending events, async-sharded >= 2.5x its own
 // 1-thread run at 8 threads (judged only on hosts with >= 8 cores;
-// recorded as a null verdict with a skip reason otherwise). Bars are
+// recorded as a null verdict with a skip reason otherwise), and the
+// attached-but-disabled obs layers -- deterministic telemetry on the
+// serial phased loop, the runtime-stats channel on the sharded loop --
+// each within 2% of their no-obs baselines. Bars are
 // judged on the BEST
 // ratio over kAcceptanceRounds back-to-back paired rounds (contender
 // then baseline inside each round): shared-container host speed swings
@@ -59,6 +62,7 @@
 #include "core/rng.hpp"
 #include "core/table.hpp"
 #include "core/work_pool.hpp"
+#include "obs/runtime_stats.hpp"
 #include "obs/telemetry.hpp"
 #include "designs/builders.hpp"
 #include "designs/verify.hpp"
@@ -180,6 +184,15 @@ constexpr HotPhase kHotFunctions[] = {
 /// probe-fill cost, reported but not enforced).
 enum class TelemetryMode { kOff, kDisabled, kSampling };
 
+/// The runtime-channel overhead modes of the BENCH runtime_stats rows,
+/// measured on the SHARDED phased loop (the only loop the channel
+/// instruments): no session attached (the production null-pointer
+/// path), attached with a default config whose active() is false (one
+/// pointer+flag test before the worker loop -- the enforced <= 2%
+/// bar), and collecting into a discarding row counter (the timed
+/// barriers' full price, reported but not enforced).
+enum class RuntimeStatsMode { kOff, kDisabled, kCollecting };
+
 /// One timed simulator run: construction (route-table sharing, arena
 /// and feed-index setup) happens before the clock starts; only
 /// sim.run() is timed. Returns wall seconds.
@@ -188,7 +201,8 @@ double time_sim_run(const SimBenchCase& c, otis::sim::Arbitration arb,
                     bool compressed_routes,
                     otis::sim::PhaseBreakdown* breakdown,
                     otis::sim::RunMetrics* metrics_out = nullptr,
-                    TelemetryMode telemetry = TelemetryMode::kOff) {
+                    TelemetryMode telemetry = TelemetryMode::kOff,
+                    RuntimeStatsMode runtime = RuntimeStatsMode::kOff) {
   otis::sim::SimConfig config;
   config.arbitration = arb;
   config.warmup_slots = 0;
@@ -204,6 +218,13 @@ double time_sim_run(const SimBenchCase& c, otis::sim::Arbitration arb,
     otis::obs::TelemetryConfig tc;
     tc.sample_period = 64;  // empty timeseries_path: rows counted, not written
     config.telemetry = otis::obs::Telemetry::create(tc);
+  }
+  if (runtime == RuntimeStatsMode::kDisabled) {
+    config.runtime_stats = otis::obs::RuntimeStats::create({});
+  } else if (runtime == RuntimeStatsMode::kCollecting) {
+    otis::obs::RuntimeStatsConfig rc;
+    rc.collect = true;  // empty path: rows counted, not written
+    config.runtime_stats = otis::obs::RuntimeStats::create(rc);
   }
   auto traffic =
       std::make_unique<otis::sim::UniformTraffic>(c.nodes, kSimLoad);
@@ -321,6 +342,14 @@ struct QueueBenchResult {
 /// One telemetry-overhead datapoint: the phased SK(4,3,2)/token case
 /// with the obs layer in one of the TelemetryMode states.
 struct TelemetryBenchRow {
+  std::string mode;
+  double slots_per_sec;
+};
+
+/// One runtime-channel overhead datapoint: the SHARDED phased
+/// SK(4,3,2)/token case (1 shard, so the numbers isolate channel cost
+/// from scaling) in one of the RuntimeStatsMode states.
+struct RuntimeStatsBenchRow {
   std::string mode;
   double slots_per_sec;
 };
@@ -639,6 +668,9 @@ void write_bench_json(const std::string& path,
                       const std::vector<TelemetryBenchRow>& telemetry,
                       const PairedSpeedup& telemetry_speedup,
                       bool telemetry_pass,
+                      const std::vector<RuntimeStatsBenchRow>& runtime,
+                      const PairedSpeedup& runtime_speedup,
+                      bool runtime_pass,
                       const PairedSpeedup& queue_speedup, bool queue_pass,
                       const AsyncParallelResult& async_parallel,
                       bool async_parallel_pass,
@@ -708,6 +740,14 @@ void write_bench_json(const std::string& path,
         << (i + 1 < telemetry.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
+      << "  \"runtime_stats\": [\n";
+  for (std::size_t i = 0; i < runtime.size(); ++i) {
+    const RuntimeStatsBenchRow& r = runtime[i];
+    out << "    {\"mode\": \"" << r.mode << "\", \"slots_per_sec\": "
+        << static_cast<std::int64_t>(r.slots_per_sec) << "}"
+        << (i + 1 < runtime.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
       << "  \"async_parallel\": {\"topology\": \"SK(10,10,3)\", "
          "\"arbitration\": \"token\", \"routes\": \"compressed\", "
          "\"timing\": \"const skew, 3-slot propagation\", \"slots\": "
@@ -750,6 +790,10 @@ void write_bench_json(const std::string& path,
       telemetry_speedup.best > 0.0
           ? (1.0 / telemetry_speedup.best - 1.0) * 100.0
           : 100.0;
+  const double runtime_overhead_pct =
+      runtime_speedup.best > 0.0
+          ? (1.0 / runtime_speedup.best - 1.0) * 100.0
+          : 100.0;
   out << "  \"acceptance\": {\"topology\": \"SK(4,3,2)\", \"arbitration\": "
          "\"token\", \"statistic\": \"best_paired_round\", \"rounds\": "
       << kAcceptanceRounds
@@ -767,6 +811,10 @@ void write_bench_json(const std::string& path,
       << otis::core::format_double(telemetry_overhead_pct, 2)
       << ", \"telemetry_required_max_overhead_pct\": 2.0"
       << ", \"telemetry_pass\": " << (telemetry_pass ? "true" : "false")
+      << ", \"runtime_stats_overhead_pct\": "
+      << otis::core::format_double(runtime_overhead_pct, 2)
+      << ", \"runtime_stats_required_max_overhead_pct\": 2.0"
+      << ", \"runtime_stats_pass\": " << (runtime_pass ? "true" : "false")
       << ", \"async_parallel_required_speedup\": "
       << otis::core::format_double(kAsyncParallelRequiredSpeedup, 1)
       << ", \"async_parallel_measured_speedup\": "
@@ -1206,6 +1254,55 @@ int main(int argc, char** argv) {
   // best >= 0.98 <=> disabled costs at most ~2% over the null pointer.
   const bool telemetry_pass = telemetry_speedup.best >= 0.98;
 
+  // ---------------------------------------- runtime-channel overhead
+  // Same ladder for the runtime-introspection channel, on the loop it
+  // actually instruments: kSharded with 1 thread, so the paired ratio
+  // isolates the channel's cost from parallel scaling noise. The
+  // enforced bar is attached-but-disabled (one pointer+flag test
+  // before the worker loop); the collecting row prices the timed
+  // barriers for context.
+  std::cout << "\n[runtime-stats] runtime-channel overhead on "
+               "SK(4,3,2)/token, phased sharded(1) ("
+            << kAcceptanceRounds << " paired rounds)\n\n";
+  double rt_off_best = 1e300;
+  double rt_disabled_best = 1e300;
+  const PairedSpeedup runtime_speedup = paired_speedup(
+      kAcceptanceRounds,
+      [&] {
+        const double t = time_sim_run(
+            cases[0], otis::sim::Arbitration::kTokenRoundRobin,
+            otis::sim::Engine::kSharded, 1, false, nullptr, nullptr,
+            TelemetryMode::kOff, RuntimeStatsMode::kDisabled);
+        rt_disabled_best = std::min(rt_disabled_best, t);
+        return t;
+      },
+      [&] {
+        const double t = time_sim_run(
+            cases[0], otis::sim::Arbitration::kTokenRoundRobin,
+            otis::sim::Engine::kSharded, 1, false, nullptr, nullptr,
+            TelemetryMode::kOff, RuntimeStatsMode::kOff);
+        rt_off_best = std::min(rt_off_best, t);
+        return t;
+      });
+  double rt_collecting_best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    rt_collecting_best = std::min(
+        rt_collecting_best,
+        time_sim_run(cases[0], otis::sim::Arbitration::kTokenRoundRobin,
+                     otis::sim::Engine::kSharded, 1, false, nullptr, nullptr,
+                     TelemetryMode::kOff, RuntimeStatsMode::kCollecting));
+  }
+  const std::vector<RuntimeStatsBenchRow> runtime_rows = {
+      {"off", static_cast<double>(kSimSlots) / rt_off_best},
+      {"disabled", static_cast<double>(kSimSlots) / rt_disabled_best},
+      {"collecting", static_cast<double>(kSimSlots) / rt_collecting_best}};
+  otis::core::Table runtime_table({"mode", "slots/s"});
+  for (const RuntimeStatsBenchRow& r : runtime_rows) {
+    runtime_table.add(r.mode, static_cast<std::int64_t>(r.slots_per_sec));
+  }
+  runtime_table.print(std::cout);
+  const bool runtime_pass = runtime_speedup.best >= 0.98;
+
   const bool queue_pass = queue_speedup.best >= 3.0;
 
   // ------------------------------------- parallel async engine scaling
@@ -1292,6 +1389,7 @@ int main(int argc, char** argv) {
   const bool pass = speedup.best >= 6.0;
   write_bench_json(out_path, results, route_tables, queues, collectives,
                    phases, telemetry_rows, telemetry_speedup, telemetry_pass,
+                   runtime_rows, runtime_speedup, runtime_pass,
                    queue_speedup, queue_pass, async_parallel,
                    async_parallel_pass, route_compile, route_compile_pass,
                    memory, memory_pass, speedup, pass);
@@ -1320,6 +1418,14 @@ int main(int argc, char** argv) {
                    2)
             << "% (acceptance: <= 2%: "
             << (telemetry_pass ? "PASS" : "FAIL")
+            << ")\ndisabled-runtime-stats overhead (sharded loop): "
+            << otis::core::format_double(
+                   runtime_speedup.best > 0.0
+                       ? (1.0 / runtime_speedup.best - 1.0) * 100.0
+                       : 100.0,
+                   2)
+            << "% (acceptance: <= 2%: "
+            << (runtime_pass ? "PASS" : "FAIL")
             << ")\nasync-sharded " << async_parallel.threads
             << "-thread scaling on SK(10,10,3): best "
             << otis::core::format_double(async_parallel.speedup.best, 2)
@@ -1349,7 +1455,7 @@ int main(int argc, char** argv) {
                                      " KiB: " +
                                      (memory_pass ? "PASS" : "FAIL") + ")")
             << "\nresults written to " << out_path << "\n";
-  return pass && queue_pass && telemetry_pass &&
+  return pass && queue_pass && telemetry_pass && runtime_pass &&
                  (async_parallel.skipped || async_parallel_pass) &&
                  (route_compile.skipped || route_compile_pass) &&
                  (memory.skipped || memory_pass)

@@ -17,6 +17,11 @@
 // summary prints the trace's shape without replaying it: slot span,
 // packet count, and the per-source packet-count histogram -- a fast
 // sanity check on recorded or hand-built traces before a long replay.
+// JSONL loading (and hence replay/summary) tolerates typed metadata
+// rows from the obs channels ({"type": ...} schema/sample/runtime
+// lines) interleaved with entry rows, and ignores unknown extra fields
+// on entries; the header's entry count still has to match the entry
+// rows actually present.
 
 #include <iostream>
 #include <memory>

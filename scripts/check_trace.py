@@ -5,9 +5,13 @@ Usage: check_trace.py TRACE.json [--min-events N]
 
 Checks, in order:
   1. the file parses as JSON and has a `traceEvents` array;
-  2. every event is a complete event ("ph": "X") with the required
+  2. every span is a complete event ("ph": "X") with the required
      fields (name, cat, ph, ts, dur, pid, tid), non-negative ts/dur,
-     and pid 0 (the repo's single-process track convention);
+     and pid 0 (the repo's single-process track convention); metadata
+     events ("ph": "M", e.g. thread names the runtime layer may emit)
+     are accepted and excluded from the nesting checks, and unknown
+     extra fields on any event are tolerated -- the format may grow --
+     but any other phase letter still fails;
   3. within each (pid, tid) track, spans strictly nest: sorted by
      start time (longest first on ties), every span either follows the
      previous ones or lies fully inside the innermost still-open span
@@ -42,13 +46,20 @@ def check_events(events, min_events):
         if not isinstance(event, dict):
             report(f"event {i}: not an object")
             continue
+        # Metadata events carry no duration and sit outside the span
+        # tree; validate their identity fields and move on.
+        if event.get("ph") == "M":
+            missing = [f for f in ("name", "pid", "tid") if f not in event]
+            if missing:
+                report(f"event {i}: metadata event missing {missing}")
+            continue
         missing = [f for f in REQUIRED_FIELDS if f not in event]
         if missing:
             report(f"event {i}: missing fields {missing}")
             continue
         if event["ph"] != "X":
             report(f"event {i} ({event['name']}): ph is {event['ph']!r}, "
-                   "expected complete event 'X'")
+                   "expected complete event 'X' or metadata 'M'")
         if event["pid"] != 0:
             report(f"event {i} ({event['name']}): pid {event['pid']}, "
                    "expected 0")

@@ -15,7 +15,9 @@ The acceptance section of the CURRENT file IS enforced: if
 micro_benchmarks recorded pass=false (phased >= 6x event-queue),
 queue_pass=false (calendar >= 3x priority queue),
 telemetry_pass=false (attached-but-disabled telemetry costs more than
-2% on the phased acceptance case), or async_parallel_pass=false
+2% on the phased acceptance case), runtime_stats_pass=false
+(attached-but-disabled runtime-introspection channel costs more than
+2% on the sharded acceptance case), or async_parallel_pass=false
 (async-sharded >= 2.5x its own 1-thread run at 8 threads) -- all
 judged on the best of paired back-to-back rounds, so a slow runner
 cannot flip them -- the script emits ::error:: and exits 1. The same
@@ -79,6 +81,19 @@ def enforce_acceptance(current_doc):
               f"{acceptance.get('telemetry_overhead_pct')}% on the phased "
               f"acceptance case, above the allowed "
               f"{acceptance.get('telemetry_required_max_overhead_pct')}%")
+        failed = True
+    if "runtime_stats_pass" in acceptance:
+        print(f"acceptance: disabled-runtime-stats overhead "
+              f"{acceptance.get('runtime_stats_overhead_pct')}% (max "
+              f"{acceptance.get('runtime_stats_required_max_overhead_pct')}"
+              f"%)")
+    if acceptance.get("runtime_stats_pass") is False:
+        print(f"::error title=Runtime-stats overhead bar failed::attached-"
+              f"but-disabled runtime-introspection channel costs "
+              f"{acceptance.get('runtime_stats_overhead_pct')}% on the "
+              f"sharded acceptance case, above the allowed "
+              f"{acceptance.get('runtime_stats_required_max_overhead_pct')}"
+              f"%")
         failed = True
     # The async-parallel scaling bar is tri-state: true/false when the
     # host could judge the 8-thread requirement, null (None) with a skip
@@ -269,6 +284,29 @@ def main():
         print(f"::warning title=Telemetry-overhead regression::telemetry "
               f"mode {mode} slots/sec at {ratio:.2f}x of previous run")
 
+    # Runtime-stats dimension: the runtime-channel cost ladder (off /
+    # disabled / collecting slots/sec on the sharded acceptance case).
+    # Same protocol as the telemetry ladder: per-mode wall-clock drops
+    # beyond the threshold warn here, the enforced disabled-mode bar
+    # lives in the acceptance section. Rows absent in pre-runtime-
+    # channel baselines.
+    runtime_regressions = []
+    cur_rt = {r["mode"]: r for r in current_doc.get("runtime_stats", [])}
+    prev_rt = {r["mode"]: r for r in previous_doc.get("runtime_stats", [])}
+    for mode in sorted(cur_rt):
+        cur_rate = cur_rt[mode].get("slots_per_sec")
+        prev_rate = prev_rt.get(mode, {}).get("slots_per_sec")
+        if not cur_rate or not prev_rate:
+            continue
+        ratio = cur_rate / prev_rate
+        print(f"runtime-stats {mode:<12} {prev_rate:>13} {cur_rate:>13} "
+              f"{ratio:>7.2f}")
+        if ratio < 1.0 - args.threshold:
+            runtime_regressions.append((mode, ratio))
+    for mode, ratio in runtime_regressions:
+        print(f"::warning title=Runtime-stats overhead regression::runtime "
+              f"stats mode {mode} slots/sec at {ratio:.2f}x of previous run")
+
     # Async-parallel dimension: the threads-vs-1 scaling of the sharded
     # calendar-queue engine on the scale-up case. Only comparable when
     # both runs used the same thread count (different hosts measure
@@ -325,7 +363,8 @@ def main():
 
     if not regressions and not memory_regressions and not queue_regressions \
             and not makespan_regressions and not telemetry_regressions \
-            and not async_regressions and not phase_regressions:
+            and not runtime_regressions and not async_regressions \
+            and not phase_regressions:
         print(f"\nno regression beyond {args.threshold:.0%} threshold")
 
     # The enforced bars: micro_benchmarks already measured these on

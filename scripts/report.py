@@ -1,0 +1,444 @@
+#!/usr/bin/env python3
+"""Render one campaign directory into a self-contained HTML report.
+
+Usage: report.py OUT_DIR [--output report.html]
+       report.py --csv results.csv --timeseries ts.jsonl \
+                 --runtime runtime.jsonl --output report.html
+
+Joins the three campaign artifacts -- results.csv (final per-cell
+metrics), the deterministic timeseries JSONL (per-cell throughput and
+backlog trajectories) and the nondeterministic runtime JSONL (per-shard
+barrier/window stats, pool-worker utilization) -- into one HTML file
+with inline SVG charts. Stdlib only, no network, no external assets:
+the file can be archived as a CI artifact and opened anywhere.
+
+Sections:
+  * campaign summary table (cells, topologies, throughput extremes)
+  * throughput + backlog trajectories per cell (timeseries channel)
+  * per-shard stall heat per cell (runtime channel, shard rows)
+  * pool-worker utilization bars (runtime channel, workers rows)
+
+Input discipline: a file that exists must parse. Any malformed line --
+bad JSON, a sample row before its schema row, a shard row missing its
+counters, a CSV without the cell_id column -- aborts with a message on
+stderr and exit status 1; CI relies on that to catch writer
+regressions. Unknown row types and extra fields are tolerated (the
+channels are allowed to grow), and a missing optional file only drops
+its section. results.csv is required.
+"""
+
+import argparse
+import csv
+import html
+import json
+import os
+import sys
+
+
+class ReportError(Exception):
+    """Malformed input; main() turns it into exit status 1."""
+
+
+# --------------------------------------------------------------- loaders
+
+def load_results_csv(path):
+    """results.csv rows as dicts; numeric fields coerced."""
+    try:
+        with open(path, "r", encoding="utf-8", newline="") as fh:
+            reader = csv.DictReader(fh)
+            rows = list(reader)
+    except OSError as exc:
+        raise ReportError(f"cannot read {path}: {exc}")
+    if not rows:
+        raise ReportError(f"{path}: no result rows")
+    for row in rows:
+        if not row.get("cell_id"):
+            raise ReportError(f"{path}: row without cell_id: {row}")
+        for field in ("load", "throughput_per_node", "mean_latency",
+                      "p95_latency", "delivered_fraction"):
+            try:
+                row[field] = float(row[field])
+            except (KeyError, TypeError, ValueError):
+                raise ReportError(
+                    f"{path}: cell {row['cell_id']} has no numeric "
+                    f"{field!r} column")
+        for field in ("backlog", "slots", "nodes"):
+            try:
+                row[field] = int(row[field])
+            except (KeyError, TypeError, ValueError):
+                raise ReportError(
+                    f"{path}: cell {row['cell_id']} has no integer "
+                    f"{field!r} column")
+    return rows
+
+
+def parse_jsonl(path):
+    """Yields (line_number, object) for every non-empty line."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except OSError as exc:
+        raise ReportError(f"cannot read {path}: {exc}")
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError as exc:
+            raise ReportError(f"{path}:{number}: bad JSON ({exc})")
+        if not isinstance(obj, dict):
+            raise ReportError(f"{path}:{number}: row is not an object")
+        yield number, obj
+
+
+def load_timeseries(path):
+    """Per-cell sample trajectories from the deterministic channel.
+
+    Returns {cell: {"period": int, "samples": [(slot, delivered,
+    backlog)]}}. Cells sampled without a label land under "".
+    """
+    cells = {}
+    seen_schema = set()
+    for number, row in parse_jsonl(path):
+        kind = row.get("type")
+        cell = row.get("cell", "")
+        if kind == "schema":
+            seen_schema.add(cell)
+            cells.setdefault(cell, {"period": row.get("sample_period", 0),
+                                    "samples": []})
+        elif kind == "sample":
+            if cell not in seen_schema:
+                raise ReportError(
+                    f"{path}:{number}: sample row for cell {cell!r} "
+                    f"before its schema row")
+            if "slot" not in row:
+                raise ReportError(f"{path}:{number}: sample without slot")
+            cells[cell]["samples"].append(
+                (int(row["slot"]), int(row.get("delivered", 0)),
+                 int(row.get("backlog", 0))))
+        # Unknown row types tolerated: the channel may grow.
+    return cells
+
+
+RUNTIME_SHARD_FIELDS = ("barrier_wait_ns", "work_ns", "windows",
+                        "lookahead_used", "lookahead_available",
+                        "mailbox_msgs_sent", "mailbox_bytes_sent",
+                        "mailbox_msgs_replayed", "calendar_peak")
+RUNTIME_WORKER_FIELDS = ("busy_ns", "idle_ns", "steal_ns", "items",
+                         "steals")
+
+
+def load_runtime(path):
+    """Shard, worker and summary rows from the runtime channel.
+
+    Returns (shards, workers, summaries): shards is {cell: [shard row
+    dicts]}, workers {cell: [worker row dicts]}, summaries {cell:
+    cell_summary dict}.
+    """
+    shards = {}
+    workers = {}
+    summaries = {}
+    seen_schema = set()
+    for number, row in parse_jsonl(path):
+        kind = row.get("type")
+        cell = row.get("cell", "")
+        if kind == "schema":
+            if row.get("channel") != "runtime":
+                raise ReportError(
+                    f"{path}:{number}: schema row with channel "
+                    f"{row.get('channel')!r}, expected 'runtime'")
+            seen_schema.add(cell)
+            continue
+        if kind in ("shard", "workers", "cell_summary") \
+                and cell not in seen_schema:
+            raise ReportError(
+                f"{path}:{number}: {kind} row for cell {cell!r} before "
+                f"its schema row")
+        if kind == "shard":
+            for field in RUNTIME_SHARD_FIELDS:
+                if not isinstance(row.get(field), int):
+                    raise ReportError(
+                        f"{path}:{number}: shard row missing integer "
+                        f"{field!r}")
+            shards.setdefault(cell, []).append(row)
+        elif kind == "workers":
+            for field in RUNTIME_WORKER_FIELDS:
+                if not isinstance(row.get(field), int):
+                    raise ReportError(
+                        f"{path}:{number}: workers row missing integer "
+                        f"{field!r}")
+            workers.setdefault(cell, []).append(row)
+        elif kind == "cell_summary":
+            summaries[cell] = row
+        # Unknown row types tolerated.
+    return shards, workers, summaries
+
+
+# ----------------------------------------------------------- SVG helpers
+
+PALETTE = ("#2563eb", "#dc2626", "#059669", "#d97706", "#7c3aed",
+           "#0891b2", "#be185d", "#65a30d", "#475569", "#ea580c",
+           "#0d9488", "#9333ea")
+
+
+def svg_line_chart(series, width=640, height=240, title=""):
+    """Multi-series line chart. series = [(label, [(x, y)])]."""
+    pad_l, pad_r, pad_t, pad_b = 48, 8, 24, 28
+    points = [p for _, pts in series for p in pts]
+    if not points:
+        return "<p class='empty'>no samples</p>"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(min(ys), 0), max(max(ys), 1)
+    x_span = (x_max - x_min) or 1
+    y_span = (y_max - y_min) or 1
+    plot_w = width - pad_l - pad_r
+    plot_h = height - pad_t - pad_b
+
+    def sx(x):
+        return pad_l + (x - x_min) / x_span * plot_w
+
+    def sy(y):
+        return pad_t + plot_h - (y - y_min) / y_span * plot_h
+
+    parts = [f"<svg viewBox='0 0 {width} {height}' class='chart' "
+             f"role='img'>"]
+    parts.append(f"<text x='{pad_l}' y='14' class='charttitle'>"
+                 f"{html.escape(title)}</text>")
+    for frac in (0.0, 0.5, 1.0):
+        y_val = y_min + frac * y_span
+        y_px = sy(y_val)
+        parts.append(f"<line x1='{pad_l}' y1='{y_px:.1f}' "
+                     f"x2='{width - pad_r}' y2='{y_px:.1f}' "
+                     f"class='grid'/>")
+        parts.append(f"<text x='{pad_l - 4}' y='{y_px + 4:.1f}' "
+                     f"class='tick' text-anchor='end'>{y_val:g}</text>")
+    for frac in (0.0, 0.5, 1.0):
+        x_val = x_min + frac * x_span
+        parts.append(f"<text x='{sx(x_val):.1f}' y='{height - 8}' "
+                     f"class='tick' text-anchor='middle'>"
+                     f"{x_val:g}</text>")
+    for index, (label, pts) in enumerate(series):
+        if not pts:
+            continue
+        color = PALETTE[index % len(PALETTE)]
+        path = " ".join(f"{'M' if i == 0 else 'L'}{sx(x):.1f},{sy(y):.1f}"
+                        for i, (x, y) in enumerate(pts))
+        parts.append(f"<path d='{path}' fill='none' stroke='{color}' "
+                     f"stroke-width='1.5'><title>"
+                     f"{html.escape(label)}</title></path>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def heat_color(fraction):
+    """White -> red ramp for stall heat cells."""
+    fraction = max(0.0, min(1.0, fraction))
+    g_b = int(255 - 195 * fraction)
+    return f"rgb(255,{g_b},{g_b})"
+
+
+def svg_legend(labels):
+    items = []
+    for index, label in enumerate(labels):
+        color = PALETTE[index % len(PALETTE)]
+        items.append(f"<span class='key'><span class='swatch' "
+                     f"style='background:{color}'></span>"
+                     f"{html.escape(label)}</span>")
+    return f"<div class='legend'>{''.join(items)}</div>"
+
+
+# -------------------------------------------------------------- sections
+
+def fmt_ms(ns):
+    return f"{ns / 1e6:.1f}"
+
+
+def summary_section(results):
+    by_thr = sorted(results, key=lambda r: r["throughput_per_node"])
+    rows = [
+        ("cells", str(len(results))),
+        ("topologies", str(len({r["topology"] for r in results}))),
+        ("best throughput/node",
+         f"{by_thr[-1]['throughput_per_node']:.4f} "
+         f"({html.escape(by_thr[-1]['cell_id'])})"),
+        ("worst throughput/node",
+         f"{by_thr[0]['throughput_per_node']:.4f} "
+         f"({html.escape(by_thr[0]['cell_id'])})"),
+        ("total backlog at end", str(sum(r["backlog"] for r in results))),
+    ]
+    cells = "".join(f"<tr><th>{k}</th><td>{v}</td></tr>" for k, v in rows)
+    return f"<h2>Campaign summary</h2><table class='kv'>{cells}</table>"
+
+
+def trajectory_section(timeseries, max_cells=12):
+    if not timeseries:
+        return ("<h2>Trajectories</h2><p class='empty'>no timeseries "
+                "channel in this campaign</p>")
+    labels = sorted(timeseries)[:max_cells]
+    dropped = len(timeseries) - len(labels)
+    thr = [(cell, [(s, d) for s, d, _ in timeseries[cell]["samples"]])
+           for cell in labels]
+    backlog = [(cell, [(s, b) for s, _, b in timeseries[cell]["samples"]])
+               for cell in labels]
+    note = (f"<p class='empty'>showing first {len(labels)} of "
+            f"{len(timeseries)} cells</p>" if dropped > 0 else "")
+    return ("<h2>Trajectories (deterministic channel)</h2>" + note +
+            svg_line_chart(thr, title="delivered per sample vs slot") +
+            svg_line_chart(backlog, title="backlog vs slot") +
+            svg_legend(labels))
+
+
+def stall_section(shards, summaries):
+    if not shards:
+        return ("<h2>Shard stall heat</h2><p class='empty'>no sharded-"
+                "engine cells in the runtime channel</p>")
+    max_shards = max(len(rows) for rows in shards.values())
+    head = "".join(f"<th>s{i}</th>" for i in range(max_shards))
+    body = []
+    for cell in sorted(shards):
+        rows = sorted(shards[cell], key=lambda r: r["shard"])
+        total = sum(r["barrier_wait_ns"] + r["work_ns"] for r in rows) or 1
+        cols = []
+        for row in rows:
+            share = row["barrier_wait_ns"] / total
+            cols.append(
+                f"<td style='background:{heat_color(share * len(rows))}'"
+                f" title='barrier {fmt_ms(row['barrier_wait_ns'])} ms, "
+                f"work {fmt_ms(row['work_ns'])} ms'>"
+                f"{100 * share:.0f}%</td>")
+        cols += ["<td class='empty'></td>"] * (max_shards - len(rows))
+        summary = summaries.get(cell, {})
+        blame = ""
+        if summary.get("blamed_shard", -1) >= 0:
+            blame = (f"shard {summary['blamed_shard']} caused "
+                     f"{100 * summary.get('blamed_share', 0):.0f}% of "
+                     f"barrier wait")
+        body.append(f"<tr><th>{html.escape(cell)}</th>{''.join(cols)}"
+                    f"<td>{blame}</td></tr>")
+    return ("<h2>Shard stall heat (runtime channel)</h2>"
+            "<p>Each cell: a shard's barrier wait as a share of the "
+            "cell's total shard time (100% / shard count would be a "
+            "fully stalled shard).</p>"
+            f"<table class='heat'><tr><th>cell</th>{head}"
+            f"<th>attribution</th></tr>{''.join(body)}</table>")
+
+
+def worker_section(workers):
+    rows = workers.get("campaign") or next(
+        (workers[c] for c in sorted(workers)), None)
+    if not rows:
+        return ("<h2>Worker utilization</h2><p class='empty'>no pool "
+                "worker rows in the runtime channel</p>")
+    rows = sorted(rows, key=lambda r: r["worker"])
+    body = []
+    for row in rows:
+        total = (row["busy_ns"] + row["idle_ns"] + row["steal_ns"]) or 1
+        busy = 100 * row["busy_ns"] / total
+        steal = 100 * row["steal_ns"] / total
+        idle = 100 * row["idle_ns"] / total
+        bar = (f"<div class='bar'>"
+               f"<span class='busy' style='width:{busy:.1f}%'></span>"
+               f"<span class='steal' style='width:{steal:.1f}%'></span>"
+               f"<span class='idle' style='width:{idle:.1f}%'></span>"
+               f"</div>")
+        body.append(
+            f"<tr><th>w{row['worker']}</th><td>{bar}</td>"
+            f"<td>{busy:.0f}% busy</td><td>{row['items']} items</td>"
+            f"<td>{row['steals']} stolen</td></tr>")
+    return ("<h2>Worker utilization (runtime channel)</h2>"
+            "<p><span class='swatch busyfill'></span>busy "
+            "<span class='swatch stealfill'></span>steal scan "
+            "<span class='swatch idlefill'></span>idle</p>"
+            f"<table class='workers'>{''.join(body)}</table>")
+
+
+STYLE = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto;
+       max-width: 60em; color: #1e293b; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; }
+td, th { border: 1px solid #cbd5e1; padding: 2px 8px; text-align: left; }
+table.kv th { background: #f1f5f9; }
+table.heat td { text-align: right; min-width: 3em; }
+.chart { background: #fff; border: 1px solid #cbd5e1; margin: 4px 0;
+         max-width: 100%; }
+.grid { stroke: #e2e8f0; } .tick { font-size: 10px; fill: #64748b; }
+.charttitle { font-size: 12px; fill: #334155; }
+.legend .key { margin-right: 1em; white-space: nowrap; }
+.swatch { display: inline-block; width: 10px; height: 10px;
+          margin-right: 4px; }
+.bar { display: flex; width: 16em; height: 12px; background: #f1f5f9; }
+.bar span { display: block; height: 100%; }
+.busy, .busyfill { background: #059669; }
+.steal, .stealfill { background: #d97706; }
+.idle, .idlefill { background: #e2e8f0; }
+.empty { color: #94a3b8; }
+"""
+
+
+def render(results, timeseries, shards, workers, summaries, title):
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{STYLE}</style></head><body>"
+        f"<h1>{html.escape(title)}</h1>"
+        + summary_section(results)
+        + trajectory_section(timeseries)
+        + stall_section(shards, summaries)
+        + worker_section(workers)
+        + "</body></html>\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="render a campaign directory as a self-contained "
+                    "HTML report")
+    parser.add_argument("out_dir", nargs="?",
+                        help="campaign output directory (results.csv, "
+                             "timeseries.jsonl, runtime.jsonl)")
+    parser.add_argument("--csv", help="results.csv path")
+    parser.add_argument("--timeseries", help="timeseries JSONL path")
+    parser.add_argument("--runtime", help="runtime JSONL path")
+    parser.add_argument("--output", default="report.html")
+    args = parser.parse_args()
+
+    def resolve(explicit, name):
+        if explicit:
+            return explicit
+        if args.out_dir:
+            candidate = os.path.join(args.out_dir, name)
+            return candidate if os.path.exists(candidate) else None
+        return None
+
+    csv_path = args.csv or (args.out_dir and
+                            os.path.join(args.out_dir, "results.csv"))
+    if not csv_path:
+        parser.error("need OUT_DIR or --csv")
+    ts_path = resolve(args.timeseries, "timeseries.jsonl")
+    rt_path = resolve(args.runtime, "runtime.jsonl")
+
+    try:
+        results = load_results_csv(csv_path)
+        timeseries = load_timeseries(ts_path) if ts_path else {}
+        shards, workers, summaries = (
+            load_runtime(rt_path) if rt_path else ({}, {}, {}))
+    except ReportError as exc:
+        print(f"report.py: {exc}", file=sys.stderr)
+        return 1
+
+    title = f"Campaign report: {os.path.basename(os.path.abspath(args.out_dir or csv_path))}"
+    document = render(results, timeseries, shards, workers, summaries,
+                      title)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        fh.write(document)
+    sections = sum((1, bool(timeseries), bool(shards), bool(workers)))
+    print(f"report.py: {args.output} written ({len(results)} cells, "
+          f"{sections}/4 sections)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

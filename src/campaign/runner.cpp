@@ -12,6 +12,7 @@
 
 #include "campaign/manifest.hpp"
 #include "core/error.hpp"
+#include "obs/runtime_stats.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/ops_network.hpp"
 #include "sim/traffic.hpp"
@@ -100,6 +101,7 @@ CellResult simulate_cell(const CampaignSpec& spec,
                          const CompiledTopology& topology,
                          const CampaignCell& cell,
                          std::shared_ptr<obs::Telemetry> telemetry,
+                         std::shared_ptr<obs::RuntimeStats> runtime_stats,
                          const std::string& checkpoint_path,
                          bool checkpoint_resume,
                          std::int64_t checkpoint_stop) {
@@ -115,6 +117,7 @@ CellResult simulate_cell(const CampaignSpec& spec,
   config.timing = cell.timing;
   config.workload = make_workload(cell, topology);
   config.telemetry = std::move(telemetry);
+  config.runtime_stats = std::move(runtime_stats);
   config.latency_mode = spec.latency_stats;
   if (!checkpoint_path.empty()) {
     config.checkpoint_every_slots = spec.checkpoint_every;
@@ -207,6 +210,14 @@ CampaignReport CampaignRunner::run(const CampaignOptions& options) {
         obs::Span(trace_sink.get(), 0, "campaign " + spec_.name, "campaign",
                   {{"cells", std::to_string(report.total_cells)}});
   }
+  // The runtime channel: one shared writer for the campaign; each cell
+  // gets its own session tagged with the cell id, and the pool's worker
+  // rows land under a "campaign" session after the batch.
+  std::shared_ptr<obs::RuntimeStatsWriter> rt_writer;
+  if (!spec_.runtime_stats_path.empty()) {
+    rt_writer = std::make_shared<obs::RuntimeStatsWriter>(
+        resolve_out_path(options.out_dir, spec_.runtime_stats_path));
+  }
 
   OTIS_REQUIRE(options.shard_count >= 1 && options.shard_index >= 0 &&
                    options.shard_index < options.shard_count,
@@ -269,6 +280,11 @@ CampaignReport CampaignRunner::run(const CampaignOptions& options) {
   // before the cell batch starts, when every worker is otherwise idle,
   // and parallel compilation is bit-identical to serial by construction.
   WorkStealingPool pool(options.threads);
+  if (rt_writer != nullptr) {
+    // Enabled before the route compiles so the worker rows cover the
+    // pool's whole lifetime (compile batches included).
+    pool.enable_stats();
+  }
 
   std::map<std::size_t, std::shared_ptr<const CompiledTopology>> topologies;
   for (const auto& [index, need] : needs) {
@@ -319,13 +335,21 @@ CampaignReport CampaignRunner::run(const CampaignOptions& options) {
 
   // --progress heartbeat: a detached-from-the-results stderr line every
   // ~2 s while the grid runs. Counters are relaxed atomics -- they feed
-  // a human, not the simulation.
+  // a human, not the simulation. The rate/ETA cover only cells executed
+  // by THIS invocation: manifest-skipped cells never enter `pending`,
+  // so a --resume of a mostly-done campaign reports the true remaining
+  // time instead of the stale full-grid rate (skips are shown apart).
+  // When the runtime channel is on, sharded cells contribute their
+  // barrier-wait/total-time split to a running stall share.
   std::atomic<std::int64_t> cells_done{0};
   std::atomic<int> busy_workers{0};
+  std::atomic<std::int64_t> agg_wait_ns{0};
+  std::atomic<std::int64_t> agg_shard_ns{0};
   std::atomic<bool> progress_stop{false};
   std::thread progress_thread;
   if (options.progress) {
-    progress_thread = std::thread([&, total = pending.size()] {
+    progress_thread = std::thread([&, total = pending.size(),
+                                   skipped = report.skipped_cells] {
       const auto t0 = std::chrono::steady_clock::now();
       auto next = t0 + std::chrono::seconds(2);
       while (!progress_stop.load(std::memory_order_relaxed)) {
@@ -345,12 +369,25 @@ CampaignReport CampaignRunner::run(const CampaignOptions& options) {
                              static_cast<std::int64_t>(total) - done) /
                              rate
                        : 0.0;
+        std::string extra;
+        if (skipped > 0) {
+          extra += "  resumed past " + std::to_string(skipped) + " cells";
+        }
+        const std::int64_t wait = agg_wait_ns.load(std::memory_order_relaxed);
+        const std::int64_t busy = agg_shard_ns.load(std::memory_order_relaxed);
+        if (busy > 0) {
+          char stall[48];
+          std::snprintf(stall, sizeof(stall), "  stall %.1f%%",
+                        100.0 * static_cast<double>(wait) /
+                            static_cast<double>(busy));
+          extra += stall;
+        }
         std::fprintf(stderr,
                      "[campaign] %lld/%zu cells  %.2f cells/s  eta %.0f s  "
-                     "workers %d/%d busy\n",
+                     "workers %d/%d busy%s\n",
                      static_cast<long long>(done), total, rate, eta,
                      busy_workers.load(std::memory_order_relaxed),
-                     pool.thread_count());
+                     pool.thread_count(), extra.c_str());
       }
     });
   }
@@ -373,10 +410,40 @@ CampaignReport CampaignRunner::run(const CampaignOptions& options) {
           cell_span = obs::Span(trace_sink.get(), tid, cell.id, "cell");
         }
       }
+      // Per-cell runtime session over the shared runtime writer. Only
+      // the sharded engine loops fill it; the finish() below still runs
+      // for every cell (it is a no-op without shard rows).
+      std::shared_ptr<obs::RuntimeStats> rt;
+      if (rt_writer != nullptr) {
+        rt = obs::RuntimeStats::attach(rt_writer, cell.id);
+      }
       const std::string ckpt_path = cell_checkpoint_path(cell);
       CellResult result = simulate_cell(
-          spec_, *topologies.at(cell.topology), cell, std::move(tel),
+          spec_, *topologies.at(cell.topology), cell, std::move(tel), rt,
           ckpt_path, options.resume, options.checkpoint_stop);
+      if (rt != nullptr) {
+        const obs::RuntimeStats::StallSummary stall = rt->stall_summary();
+        rt->finish();
+        if (stall.shards > 0) {
+          agg_wait_ns.fetch_add(stall.barrier_wait_ns,
+                                std::memory_order_relaxed);
+          agg_shard_ns.fetch_add(
+              static_cast<std::int64_t>(stall.shards) * stall.wall_ns,
+              std::memory_order_relaxed);
+          if (options.progress) {
+            // The stall-attribution line: which shard the others waited
+            // for, and how much of the total barrier wait it explains.
+            std::fprintf(
+                stderr,
+                "[campaign] cell %s  %lld shards  stall %.1f%%  shard %lld "
+                "caused %.0f%% of barrier wait\n",
+                cell.id.c_str(), static_cast<long long>(stall.shards),
+                100.0 * stall.stall_share,
+                static_cast<long long>(stall.blamed_shard),
+                100.0 * stall.blamed_share);
+          }
+        }
+      }
       // A drill-interrupted cell's blob is its handoff to --resume; a
       // completed cell's blob has served its purpose.
       const bool interrupted = result.metrics.interrupted;
@@ -408,6 +475,25 @@ CampaignReport CampaignRunner::run(const CampaignOptions& options) {
   }
   if (trace_sink != nullptr) {
     trace_sink->close();
+  }
+  if (rt_writer != nullptr) {
+    // Pool-level utilization rows under a "campaign" session: one row
+    // per worker covering the pool's lifetime (compiles + cells).
+    const std::vector<WorkStealingPool::WorkerStats> pool_stats =
+        pool.stats();
+    std::vector<obs::WorkerRuntime> workers(pool_stats.size());
+    for (std::size_t w = 0; w < pool_stats.size(); ++w) {
+      workers[w].busy_ns = pool_stats[w].busy_ns;
+      workers[w].idle_ns = pool_stats[w].idle_ns;
+      workers[w].steal_ns = pool_stats[w].steal_ns;
+      workers[w].items = pool_stats[w].items;
+      workers[w].steals = pool_stats[w].steals;
+    }
+    const std::shared_ptr<obs::RuntimeStats> campaign_rt =
+        obs::RuntimeStats::attach(rt_writer, "campaign");
+    campaign_rt->record_workers(pool.stats_wall_ns(), workers);
+    report.runtime_rows = rt_writer->rows();
+    rt_writer->close();
   }
   if (run_error) {
     std::rethrow_exception(run_error);

@@ -51,7 +51,13 @@ struct CampaignOptions {
   int shard_index = 0;
   int shard_count = 1;
   /// Heartbeat on stderr every ~2 s: cells done/total, rate, ETA, and
-  /// busy workers. Diagnostics only -- never touches the result files.
+  /// busy workers. Rate and ETA cover only cells executed by this
+  /// invocation (manifest-skipped cells are reported separately), so a
+  /// --resume shows the true remaining time. With the spec's telemetry
+  /// `runtime_stats` sink set, the heartbeat adds the running barrier-
+  /// stall share and each sharded cell gets a stall-attribution line
+  /// ("shard 3 caused 61% of barrier wait"). Diagnostics only -- never
+  /// touches the result files.
   bool progress = false;
   /// Checkpoint drill (tests/CI only): when >= 0 and the spec enables
   /// checkpointing, every cell stops right after its first checkpoint
@@ -70,6 +76,7 @@ struct CampaignReport {
   std::int64_t out_of_shard_cells = 0;  ///< left to other shards
   std::int64_t interrupted_cells = 0;  ///< stopped at a checkpoint drill
   std::int64_t topologies_compiled = 0;  ///< routing-table sets built
+  std::int64_t runtime_rows = 0;  ///< rows streamed to runtime.jsonl
   double elapsed_seconds = 0.0;
 };
 

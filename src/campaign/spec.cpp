@@ -847,15 +847,18 @@ CampaignSpec spec_from_json(const core::Json& root) {
   spec.checkpoint_every =
       root.int_or("checkpoint_every", spec.checkpoint_every);
   if (const core::Json* telemetry = root.find("telemetry")) {
-    reject_unknown_keys(*telemetry,
-                        {"sample_period", "timeseries", "trace", "probes"},
-                        "telemetry");
+    reject_unknown_keys(
+        *telemetry,
+        {"sample_period", "timeseries", "trace", "runtime_stats", "probes"},
+        "telemetry");
     spec.telemetry.sample_period =
         telemetry->int_or("sample_period", spec.telemetry.sample_period);
     spec.telemetry.timeseries_path =
         telemetry->string_or("timeseries", spec.telemetry.timeseries_path);
     spec.telemetry.trace_path =
         telemetry->string_or("trace", spec.telemetry.trace_path);
+    spec.runtime_stats_path =
+        telemetry->string_or("runtime_stats", spec.runtime_stats_path);
     if (const core::Json* probes = telemetry->find("probes")) {
       for (const core::Json& node : probes->items()) {
         spec.telemetry.probes.push_back(node.as_string());

@@ -311,6 +311,14 @@ struct CampaignSpec {
   /// tagging rows/spans with the cell id.
   obs::TelemetryConfig telemetry;
 
+  /// Runtime-introspection JSONL (obs/runtime_stats.hpp), the
+  /// NONdeterministic channel: per-shard barrier/window stats from the
+  /// sharded engines plus the runner's pool-worker utilization, all
+  /// streamed to this path (relative paths resolve against out_dir).
+  /// Kept apart from `telemetry` internals so the deterministic
+  /// timeseries bytes never mix with wall-clock rows; empty = off.
+  std::string runtime_stats_path;
+
   /// Per-topology execution overrides applied during grid expansion.
   std::vector<CellOverride> overrides;
 
@@ -357,6 +365,7 @@ struct CampaignSpec {
 ///   "latency_stats": "auto", "checkpoint_every": 0,
 ///   "telemetry": {"sample_period": 64, "timeseries": "timeseries.jsonl",
 ///                 "trace": "campaign.trace.json",
+///                 "runtime_stats": "runtime.jsonl",
 ///                 "probes": ["delivered", "backlog"]},
 ///   "overrides": [{"topology": "SK(4,3,2)", "engine": "sharded",
 ///                  "engine_threads": 4, "routes": "compressed"}]

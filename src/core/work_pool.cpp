@@ -4,6 +4,16 @@
 
 namespace otis::core {
 
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 WorkStealingPool::WorkStealingPool(int threads) {
   int count = threads;
   if (count <= 0) {
@@ -13,8 +23,10 @@ WorkStealingPool::WorkStealingPool(int threads) {
     }
   }
   queues_.reserve(static_cast<std::size_t>(count));
+  stats_.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
     queues_.push_back(std::make_unique<Queue>());
+    stats_.push_back(std::make_unique<Counters>());
   }
   workers_.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
@@ -34,13 +46,38 @@ WorkStealingPool::~WorkStealingPool() {
   }
 }
 
-bool WorkStealingPool::try_acquire(std::size_t self, std::size_t& item) {
+void WorkStealingPool::enable_stats() {
+  stats_enabled_.store(true, std::memory_order_relaxed);
+}
+
+std::vector<WorkStealingPool::WorkerStats> WorkStealingPool::stats() const {
+  std::vector<WorkerStats> out(stats_.size());
+  for (std::size_t w = 0; w < stats_.size(); ++w) {
+    const Counters& c = *stats_[w];
+    out[w].busy_ns = c.busy_ns.load(std::memory_order_relaxed);
+    out[w].idle_ns = c.idle_ns.load(std::memory_order_relaxed);
+    out[w].steal_ns = c.steal_ns.load(std::memory_order_relaxed);
+    out[w].items = c.items.load(std::memory_order_relaxed);
+    out[w].steals = c.steals.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::int64_t WorkStealingPool::stats_wall_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - stats_epoch_)
+      .count();
+}
+
+bool WorkStealingPool::try_acquire(std::size_t self, std::size_t& item,
+                                   bool& stolen) {
   {
     Queue& own = *queues_[self];
     std::lock_guard<std::mutex> lock(own.mutex);
     if (!own.items.empty()) {
       item = own.items.front();
       own.items.pop_front();
+      stolen = false;
       return true;
     }
   }
@@ -52,6 +89,7 @@ bool WorkStealingPool::try_acquire(std::size_t self, std::size_t& item) {
     if (!victim.items.empty()) {
       item = victim.items.back();
       victim.items.pop_back();
+      stolen = true;
       return true;
     }
   }
@@ -59,30 +97,59 @@ bool WorkStealingPool::try_acquire(std::size_t self, std::size_t& item) {
 }
 
 void WorkStealingPool::worker_main(std::size_t self) {
+  Counters& stat = *stats_[self];
   std::uint64_t seen_epoch = 0;
   while (true) {
     const std::function<void(std::size_t, std::size_t)>* job = nullptr;
+    bool collecting = stats_enabled_.load(std::memory_order_relaxed);
     {
+      const std::int64_t wait0 = collecting ? now_ns() : 0;
       std::unique_lock<std::mutex> lock(mutex_);
       // job_ != nullptr keeps late wakers out of a batch that already
       // finished (run() clears the pointer before returning).
       start_cv_.wait(lock, [&] {
         return shutdown_ || (job_ != nullptr && epoch_ != seen_epoch);
       });
+      if (collecting) {
+        stat.idle_ns.fetch_add(now_ns() - wait0, std::memory_order_relaxed);
+      }
       if (shutdown_) {
         return;
       }
       seen_epoch = epoch_;
       job = job_;
       ++active_;
+      // Re-read under the lock: a worker that parked before
+      // enable_stats() must still count the batch that wakes it -- the
+      // "enable before the first counted run()" contract only works if
+      // the flag is sampled per batch, not per park.
+      collecting = stats_enabled_.load(std::memory_order_relaxed);
     }
-    std::size_t item = 0;
-    while (try_acquire(self, item)) {
+    while (true) {
+      std::size_t item = 0;
+      bool was_stolen = false;
+      const std::int64_t scan0 = collecting ? now_ns() : 0;
+      const bool acquired = try_acquire(self, item, was_stolen);
+      if (collecting) {
+        stat.steal_ns.fetch_add(now_ns() - scan0,
+                                std::memory_order_relaxed);
+      }
+      if (!acquired) {
+        break;
+      }
       std::exception_ptr error;
+      const std::int64_t busy0 = collecting ? now_ns() : 0;
       try {
         (*job)(item, self);
       } catch (...) {
         error = std::current_exception();
+      }
+      if (collecting) {
+        stat.busy_ns.fetch_add(now_ns() - busy0, std::memory_order_relaxed);
+        stat.items.fetch_add(1, std::memory_order_relaxed);
+        if (was_stolen) {
+          stat.steals.fetch_add(1, std::memory_order_relaxed);
+        }
       }
       std::lock_guard<std::mutex> lock(mutex_);
       if (error && !first_error_) {

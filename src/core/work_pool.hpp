@@ -11,6 +11,8 @@
 /// workers drain their own block front-to-back and steal from the back
 /// of victims' deques when empty.
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -47,17 +49,55 @@ class WorkStealingPool {
   void run(std::size_t count,
            const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// One worker's lifetime counters (valid once stats are enabled).
+  /// busy covers job execution, idle the batch-wait blocks, steal the
+  /// queue scans; items/steals count executed vs stolen items. Wall
+  /// clock not covered by the three (mutex handoffs, scheduling) is
+  /// small, so busy + idle + steal tracks the pool's lifetime.
+  struct WorkerStats {
+    std::int64_t busy_ns = 0;
+    std::int64_t idle_ns = 0;
+    std::int64_t steal_ns = 0;
+    std::int64_t items = 0;
+    std::int64_t steals = 0;
+  };
+
+  /// Turns on per-worker accounting (relaxed atomics on worker-private
+  /// cache lines; a few counter updates per item). Off by default so
+  /// the route compilers' fine-grained batches pay nothing. Enable
+  /// before the first run() whose items should be counted.
+  void enable_stats();
+  /// Snapshot of every worker's counters (zeros when never enabled).
+  /// Racy against in-flight updates by design -- the numbers feed
+  /// reports, not the simulation.
+  [[nodiscard]] std::vector<WorkerStats> stats() const;
+  /// Nanoseconds since the pool was constructed -- the wall clock the
+  /// per-worker busy/idle/steal times are measured against.
+  [[nodiscard]] std::int64_t stats_wall_ns() const;
+
  private:
   struct Queue {
     std::mutex mutex;
     std::deque<std::size_t> items;
   };
+  /// Worker-private counter block, padded to its own cache line.
+  struct alignas(64) Counters {
+    std::atomic<std::int64_t> busy_ns{0};
+    std::atomic<std::int64_t> idle_ns{0};
+    std::atomic<std::int64_t> steal_ns{0};
+    std::atomic<std::int64_t> items{0};
+    std::atomic<std::int64_t> steals{0};
+  };
 
   void worker_main(std::size_t self);
-  bool try_acquire(std::size_t self, std::size_t& item);
+  bool try_acquire(std::size_t self, std::size_t& item, bool& stolen);
 
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<Counters>> stats_;
+  std::atomic<bool> stats_enabled_{false};
+  std::chrono::steady_clock::time_point stats_epoch_ =
+      std::chrono::steady_clock::now();
 
   std::mutex mutex_;
   std::condition_variable start_cv_;

@@ -911,6 +911,17 @@ RunMetrics AsyncEngineT<Routes>::run_sharded(
     }
   }
 
+  // Runtime channel (obs/runtime_stats.hpp): per-shard barrier-wait /
+  // window-width / mailbox / calendar-depth accounting. The flag is
+  // captured once; an attached-but-disabled session never reaches the
+  // loop. Sends are counted at the producer before the barrier, replays
+  // at the consumer inside the completion step (workers blocked), so
+  // across a run total sends == total replays.
+  obs::RuntimeStats* const rts = config_.runtime_stats.get();
+  const bool rt_on = rts != nullptr && rts->active();
+  std::vector<obs::ShardRuntime> rt_shards(
+      rt_on ? static_cast<std::size_t>(threads) : 0);
+
   // Window state shared across workers; mutated only by the window
   // barrier's completion step, which runs while every worker is blocked.
   SimTime win_begin = 0;
@@ -1054,6 +1065,10 @@ RunMetrics AsyncEngineT<Routes>::run_sharded(
     for (Shard& producer : shards) {
       for (int w = 0; w < threads; ++w) {
         auto& box = producer.outbox[static_cast<std::size_t>(w)];
+        if (rt_on) {
+          rt_shards[static_cast<std::size_t>(w)].mailbox_msgs_replayed +=
+              static_cast<std::int64_t>(box.size());
+        }
         for (Mail& mail : box) {
           shards[static_cast<std::size_t>(w)].calendar.push_keyed(
               mail.time, mail.seq, std::move(mail.arrival));
@@ -1168,9 +1183,20 @@ RunMetrics AsyncEngineT<Routes>::run_sharded(
   const auto worker = [&](int w) {
     Shard& shard = shards[static_cast<std::size_t>(w)];
     const auto& my_couplers = plan.couplers[static_cast<std::size_t>(w)];
+    obs::ShardRuntime* const rt =
+        rt_on ? &rt_shards[static_cast<std::size_t>(w)] : nullptr;
+    const std::int64_t loop_start = rt_on ? obs::runtime_now_ns() : 0;
     while (true) {
       // Cross-shard arrivals were already replayed onto this shard's
       // calendar by the window barrier's completion step.
+      if (rt != nullptr) {
+        ++rt->windows;
+        rt->lookahead_used += win_end - win_begin;
+        rt->lookahead_available += lookahead;
+        rt->calendar_peak = std::max(
+            rt->calendar_peak,
+            static_cast<std::int64_t>(shard.calendar.pending()));
+      }
       for (SimTime s = win_begin; s < win_end; ++s) {
         const SimTime slot_tick = ticks_from_slots(s);
         const bool measuring = s >= config_.warmup_slots && s < horizon;
@@ -1313,13 +1339,31 @@ RunMetrics AsyncEngineT<Routes>::run_sharded(
           shard.events_snap[k] = shard.events_delta;
         }
       }
-      window_barrier.arrive_and_wait();
+      if (rt != nullptr) {
+        // The outboxes hold exactly this window's cross-shard sends
+        // (the previous window's were drained at the last barrier).
+        for (const auto& box : shard.outbox) {
+          rt->mailbox_msgs_sent += static_cast<std::int64_t>(box.size());
+          rt->mailbox_bytes_sent +=
+              static_cast<std::int64_t>(box.size() * sizeof(Mail));
+        }
+        const std::int64_t t0 = obs::runtime_now_ns();
+        window_barrier.arrive_and_wait();
+        rt->barrier_wait_ns += obs::runtime_now_ns() - t0;
+      } else {
+        window_barrier.arrive_and_wait();
+      }
       if (!running) {
         break;
       }
     }
+    if (rt != nullptr) {
+      rt->work_ns +=
+          obs::runtime_now_ns() - loop_start - rt->barrier_wait_ns;
+    }
   };
 
+  const std::int64_t run_start = rt_on ? obs::runtime_now_ns() : 0;
   if (threads == 1) {
     worker(0);
   } else {
@@ -1331,6 +1375,10 @@ RunMetrics AsyncEngineT<Routes>::run_sharded(
     for (std::thread& t : pool) {
       t.join();
     }
+  }
+  if (rt_on) {
+    rts->record_shards("async_sharded", "open_loop",
+                       obs::runtime_now_ns() - run_start, rt_shards);
   }
 
   if (ckpt_error != nullptr) {
@@ -1473,6 +1521,14 @@ RunMetrics AsyncEngineT<Routes>::run_workload_sharded(
     }
   }
 
+  // Runtime channel: as in the open-loop sharded mode, except replays
+  // are counted worker-side (each consumer drains its own mailboxes in
+  // phase A here).
+  obs::RuntimeStats* const rts = config_.runtime_stats.get();
+  const bool rt_on = rts != nullptr && rts->active();
+  std::vector<obs::ShardRuntime> rt_shards(
+      rt_on ? static_cast<std::size_t>(threads) : 0);
+
   // Slot state shared across workers; mutated only in the barriers'
   // completion steps. `inject` is read-only during phases.
   SimTime now = 0;
@@ -1575,6 +1631,18 @@ RunMetrics AsyncEngineT<Routes>::run_workload_sharded(
   const auto worker = [&](int w) {
     Shard& shard = shards[static_cast<std::size_t>(w)];
     const auto& my_couplers = plan.couplers[static_cast<std::size_t>(w)];
+    obs::ShardRuntime* const rt =
+        rt_on ? &rt_shards[static_cast<std::size_t>(w)] : nullptr;
+    const auto timed_wait = [&](auto& barrier) {
+      if (rt == nullptr) {
+        barrier.arrive_and_wait();
+        return;
+      }
+      const std::int64_t t0 = obs::runtime_now_ns();
+      barrier.arrive_and_wait();
+      rt->barrier_wait_ns += obs::runtime_now_ns() - t0;
+    };
+    const std::int64_t loop_start = rt_on ? obs::runtime_now_ns() : 0;
     while (true) {
       const SimTime slot_tick = ticks_from_slots(now);
 
@@ -1583,11 +1651,24 @@ RunMetrics AsyncEngineT<Routes>::run_workload_sharded(
       for (int p = 0; p < threads; ++p) {
         auto& box = shards[static_cast<std::size_t>(p)]
                         .outbox[static_cast<std::size_t>(w)];
+        if (rt != nullptr) {
+          rt->mailbox_msgs_replayed +=
+              static_cast<std::int64_t>(box.size());
+        }
         for (Mail& mail : box) {
           shard.calendar.push_keyed(mail.time, mail.seq,
                                     std::move(mail.arrival));
         }
         box.clear();
+      }
+      if (rt != nullptr) {
+        // The feedback-gated window is one slot wide by construction.
+        ++rt->windows;
+        ++rt->lookahead_used;
+        ++rt->lookahead_available;
+        rt->calendar_peak = std::max(
+            rt->calendar_peak,
+            static_cast<std::int64_t>(shard.calendar.pending()));
       }
       while (!shard.calendar.empty() &&
              shard.calendar.peek().time <= slot_tick) {
@@ -1595,7 +1676,7 @@ RunMetrics AsyncEngineT<Routes>::run_workload_sharded(
         --shard.events_delta;
         receive(shard, event.payload, event.time);
       }
-      receive_barrier.arrive_and_wait();
+      timed_wait(receive_barrier);
       if (!running) {
         break;
       }
@@ -1719,10 +1800,24 @@ RunMetrics AsyncEngineT<Routes>::run_workload_sharded(
                                     h + 1);
         }
       }
-      slot_barrier.arrive_and_wait();
+      if (rt != nullptr) {
+        // The outboxes hold exactly this slot's phase-B sends (the
+        // consumers cleared them in their phase A).
+        for (const auto& box : shard.outbox) {
+          rt->mailbox_msgs_sent += static_cast<std::int64_t>(box.size());
+          rt->mailbox_bytes_sent +=
+              static_cast<std::int64_t>(box.size() * sizeof(Mail));
+        }
+      }
+      timed_wait(slot_barrier);
+    }
+    if (rt != nullptr) {
+      rt->work_ns +=
+          obs::runtime_now_ns() - loop_start - rt->barrier_wait_ns;
     }
   };
 
+  const std::int64_t run_start = rt_on ? obs::runtime_now_ns() : 0;
   if (threads == 1) {
     worker(0);
   } else {
@@ -1734,6 +1829,10 @@ RunMetrics AsyncEngineT<Routes>::run_workload_sharded(
     for (std::thread& t : pool) {
       t.join();
     }
+  }
+  if (rt_on) {
+    rts->record_shards("async_sharded", "workload",
+                       obs::runtime_now_ns() - run_start, rt_shards);
   }
 
   // No final flush: the serial workload loop leaves undeliverable

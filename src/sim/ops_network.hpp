@@ -49,6 +49,7 @@
 
 #include "core/rng.hpp"
 #include "hypergraph/stack_graph.hpp"
+#include "obs/runtime_stats.hpp"
 #include "obs/telemetry.hpp"
 #include "routing/compiled_routes.hpp"
 #include "routing/compressed_routes.hpp"
@@ -327,6 +328,18 @@ struct SimConfig {
   /// identical across thread counts. Supported by the phased, sharded
   /// and async engines (not the tests-only event-queue fixture).
   std::shared_ptr<obs::Telemetry> telemetry;
+  /// Optional runtime-introspection session (obs/runtime_stats.hpp):
+  /// the NONdeterministic channel -- per-shard barrier-wait/advance
+  /// time, conservative-window widths, mailbox pressure and calendar
+  /// depth, all wall-clock derived. Collected by the sharded phased
+  /// and async-sharded worker loops only; the serial engines have no
+  /// barriers to attribute. Null or inactive costs one pointer+flag
+  /// test per run (checked once before the worker loop, never per
+  /// slot), and collection never touches simulation state: RunMetrics,
+  /// probe values and timeseries bytes are unchanged whether or not a
+  /// session is attached -- the strict separation that keeps the
+  /// deterministic channel's thread-count-invariance intact.
+  std::shared_ptr<obs::RuntimeStats> runtime_stats;
 };
 
 /// The slot-synchronous multi-OPS network simulator.

@@ -466,6 +466,14 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
     }
   }
 
+  // Runtime channel (obs/runtime_stats.hpp): wall-clock barrier/work
+  // accounting, one private slot per shard. The flag is captured once,
+  // so an attached-but-disabled session never reaches the loop.
+  obs::RuntimeStats* const rts = config_.runtime_stats.get();
+  const bool rt_on = rts != nullptr && rts->active();
+  std::vector<obs::ShardRuntime> rt_shards(
+      rt_on ? static_cast<std::size_t>(threads) : 0);
+
   // Slot state shared across workers; mutated only by the slot barrier's
   // completion step, which runs while every worker is blocked.
   SimTime now = 0;
@@ -603,6 +611,18 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
 
   const auto worker = [&](int w) {
     Shard& shard = shards[static_cast<std::size_t>(w)];
+    obs::ShardRuntime* const rt =
+        rt_on ? &rt_shards[static_cast<std::size_t>(w)] : nullptr;
+    const auto timed_wait = [&](auto& barrier) {
+      if (rt == nullptr) {
+        barrier.arrive_and_wait();
+        return;
+      }
+      const std::int64_t t0 = obs::runtime_now_ns();
+      barrier.arrive_and_wait();
+      rt->barrier_wait_ns += obs::runtime_now_ns() - t0;
+    };
+    const std::int64_t loop_start = rt_on ? obs::runtime_now_ns() : 0;
     const auto enqueue = [&](const VoqEntry& entry, hypergraph::Node at,
                              bool measuring) {
       const std::int32_t slot = routes_.next_slot(at, entry.destination);
@@ -643,7 +663,7 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
                   d.source, measuring);
         }
       }
-      phase_barrier.arrive_and_wait();
+      timed_wait(phase_barrier);
 
       // Phase 2: arbitration over the shard's couplers. The request
       // words are rebuilt locally from the arena (no shared masks, no
@@ -696,7 +716,7 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
           out.push_back(entry);
         }
       }
-      phase_barrier.arrive_and_wait();
+      timed_wait(phase_barrier);
 
       // Phase 3: every worker scans all deliveries in coupler order and
       // consumes the ones whose relay it owns, so the push order at each
@@ -731,7 +751,7 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
         // phase-3 pushes visible, then each worker snapshots its own
         // counters and coupler range into its private frame. All
         // workers agree on due(now) -- `now` is slot-barrier state.
-        phase_barrier.arrive_and_wait();
+        timed_wait(phase_barrier);
         obs::ProbeRegistry& frame = frames[static_cast<std::size_t>(w)];
         const obs::EngineProbes& ids = tel->engine_probes();
         frame.zero();
@@ -743,13 +763,24 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
         detail::observe_occupancy(frame, ids.occupancy, feed_, voq,
                                   shard.coupler_begin, shard.coupler_end);
       }
-      slot_barrier.arrive_and_wait();
+      if (rt != nullptr) {
+        // Slot engines have a fixed one-slot "window".
+        ++rt->windows;
+        ++rt->lookahead_used;
+        ++rt->lookahead_available;
+      }
+      timed_wait(slot_barrier);
       if (!running) {
         break;
       }
     }
+    if (rt != nullptr) {
+      rt->work_ns +=
+          obs::runtime_now_ns() - loop_start - rt->barrier_wait_ns;
+    }
   };
 
+  const std::int64_t run_start = rt_on ? obs::runtime_now_ns() : 0;
   if (threads == 1) {
     worker(0);
   } else {
@@ -761,6 +792,10 @@ RunMetrics PhasedEngineT<Routes>::run_sharded(
     for (std::thread& t : pool) {
       t.join();
     }
+  }
+  if (rt_on) {
+    rts->record_shards("phased_sharded", "open_loop",
+                       obs::runtime_now_ns() - run_start, rt_shards);
   }
 
   if (ckpt_error != nullptr) {
@@ -1070,6 +1105,12 @@ RunMetrics PhasedEngineT<Routes>::run_workload_sharded(
     }
   }
 
+  // Runtime channel: as in the open-loop sharded mode.
+  obs::RuntimeStats* const rts = config_.runtime_stats.get();
+  const bool rt_on = rts != nullptr && rts->active();
+  std::vector<obs::ShardRuntime> rt_shards(
+      rt_on ? static_cast<std::size_t>(threads) : 0);
+
   // Slot state shared across workers; mutated only in the slot
   // barrier's completion step (every worker is blocked then). `inject`
   // is read-only during phases.
@@ -1130,6 +1171,18 @@ RunMetrics PhasedEngineT<Routes>::run_workload_sharded(
 
   const auto worker = [&](int w) {
     Shard& shard = shards[static_cast<std::size_t>(w)];
+    obs::ShardRuntime* const rt =
+        rt_on ? &rt_shards[static_cast<std::size_t>(w)] : nullptr;
+    const auto timed_wait = [&](auto& barrier) {
+      if (rt == nullptr) {
+        barrier.arrive_and_wait();
+        return;
+      }
+      const std::int64_t t0 = obs::runtime_now_ns();
+      barrier.arrive_and_wait();
+      rt->barrier_wait_ns += obs::runtime_now_ns() - t0;
+    };
+    const std::int64_t loop_start = rt_on ? obs::runtime_now_ns() : 0;
     const auto enqueue = [&](const VoqEntry& entry, hypergraph::Node at) {
       const std::int32_t slot = routes_.next_slot(at, entry.destination);
       voq.push(static_cast<std::size_t>(
@@ -1169,7 +1222,7 @@ RunMetrics PhasedEngineT<Routes>::run_workload_sharded(
                   d.source);
         }
       }
-      phase_barrier.arrive_and_wait();
+      timed_wait(phase_barrier);
 
       // Phase 2: arbitration over the shard's couplers (local request
       // rebuild, as in the open-loop sharded mode).
@@ -1219,7 +1272,7 @@ RunMetrics PhasedEngineT<Routes>::run_workload_sharded(
           out.push_back(entry);
         }
       }
-      phase_barrier.arrive_and_wait();
+      timed_wait(phase_barrier);
 
       // Phase 3: consume the deliveries whose relay this shard owns.
       for (hypergraph::HyperarcId h = 0; h < couplers_; ++h) {
@@ -1250,7 +1303,7 @@ RunMetrics PhasedEngineT<Routes>::run_workload_sharded(
         // Sampling boundary: extra barrier for phase-3 visibility, then
         // snapshot this shard's counters and coupler range (see the
         // open-loop sharded mode).
-        phase_barrier.arrive_and_wait();
+        timed_wait(phase_barrier);
         obs::ProbeRegistry& frame = frames[static_cast<std::size_t>(w)];
         const obs::EngineProbes& ids = tel->engine_probes();
         frame.zero();
@@ -1261,13 +1314,23 @@ RunMetrics PhasedEngineT<Routes>::run_workload_sharded(
         detail::observe_occupancy(frame, ids.occupancy, feed_, voq,
                                   shard.coupler_begin, shard.coupler_end);
       }
-      slot_barrier.arrive_and_wait();
+      if (rt != nullptr) {
+        ++rt->windows;
+        ++rt->lookahead_used;
+        ++rt->lookahead_available;
+      }
+      timed_wait(slot_barrier);
       if (!running) {
         break;
       }
     }
+    if (rt != nullptr) {
+      rt->work_ns +=
+          obs::runtime_now_ns() - loop_start - rt->barrier_wait_ns;
+    }
   };
 
+  const std::int64_t run_start = rt_on ? obs::runtime_now_ns() : 0;
   if (threads == 1) {
     worker(0);
   } else {
@@ -1279,6 +1342,10 @@ RunMetrics PhasedEngineT<Routes>::run_workload_sharded(
     for (std::thread& t : pool) {
       t.join();
     }
+  }
+  if (rt_on) {
+    rts->record_shards("phased_sharded", "workload",
+                       obs::runtime_now_ns() - run_start, rt_shards);
   }
 
   RunMetrics metrics;

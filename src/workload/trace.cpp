@@ -73,6 +73,13 @@ Trace load_jsonl(std::ifstream& in, const std::string& path) {
       continue;
     }
     const core::Json row = core::Json::parse(line);
+    // Rows carrying a "type" tag are typed metadata from the obs
+    // channels (schema/sample/runtime rows); tolerate them so a trace
+    // concatenated or interleaved with channel output still loads.
+    // Extra fields on entry rows are ignored for the same reason.
+    if (row.find("type") != nullptr) {
+      continue;
+    }
     trace.entries.push_back(TraceEntry{row.at("slot").as_int(),
                                        row.at("src").as_int(),
                                        row.at("dst").as_int()});
